@@ -1,0 +1,322 @@
+//! Machine configuration: cache geometry, DRAM model, cost model, platform presets.
+//!
+//! The default preset, [`MachineConfig::ampere_altra_max`], mirrors Table II of
+//! the paper: an Ampere Altra Max with 128 Armv8.2+ cores at 3.0 GHz, 64 KiB
+//! L1d and 1 MiB L2 per core, a 16 MiB system-level cache, 256 GiB of DDR4 at
+//! a 200 GB/s peak, and 64 KiB pages.
+
+use crate::{Result, SimError};
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes. Must be a multiple of `line_bytes * ways`.
+    pub size_bytes: u64,
+    /// Cache line size in bytes (64 on all modern ARM servers).
+    pub line_bytes: u32,
+    /// Associativity (number of ways per set).
+    pub ways: u32,
+    /// Load-to-use latency in core cycles when this level hits.
+    pub latency_cycles: u64,
+    /// Cycles charged to the issuing core per access that *hits* this level.
+    ///
+    /// This is an effective occupancy (latency divided by the memory-level
+    /// parallelism the core can extract), not the raw latency: out-of-order
+    /// cores overlap most of a hit's latency with other work.
+    pub occupancy_cycles: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes as u64 * self.ways as u64)
+    }
+
+    /// Validate that the geometry is consistent and power-of-two sized.
+    pub fn validate(&self, name: &str) -> Result<()> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(SimError::BadConfig(format!(
+                "{name}: line_bytes must be a non-zero power of two"
+            )));
+        }
+        if self.ways == 0 {
+            return Err(SimError::BadConfig(format!("{name}: ways must be non-zero")));
+        }
+        let denom = self.line_bytes as u64 * self.ways as u64;
+        if self.size_bytes == 0 || self.size_bytes % denom != 0 {
+            return Err(SimError::BadConfig(format!(
+                "{name}: size_bytes must be a non-zero multiple of line_bytes * ways"
+            )));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(SimError::BadConfig(format!(
+                "{name}: number of sets ({}) must be a power of two",
+                self.sets()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// DRAM latency/bandwidth model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Idle (unloaded) DRAM access latency in core cycles.
+    pub latency_cycles: u64,
+    /// Peak sustainable bandwidth of the memory system in bytes per core cycle
+    /// (machine-wide, shared by all cores). 200 GB/s at 3.0 GHz is ~66.7 B/cycle.
+    pub peak_bytes_per_cycle: f64,
+    /// Cycles charged to the issuing core per DRAM access when the bus is idle.
+    pub occupancy_cycles: u64,
+    /// Maximum queueing delay (cycles) added when the bus is saturated.
+    pub max_queue_cycles: u64,
+    /// Total DRAM capacity in bytes (Table II: 256 GiB).
+    pub capacity_bytes: u64,
+}
+
+/// Cost model for non-memory work and profiling-induced overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cycles per non-memory instruction (inverse IPC of the scalar pipeline).
+    pub cycles_per_cpu_op: f64,
+    /// Cycles per floating-point operation (fused into the pipeline; small).
+    pub cycles_per_flop: f64,
+}
+
+/// Complete description of the simulated platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Number of cores.
+    pub num_cores: usize,
+    /// Core clock frequency in Hz.
+    pub freq_hz: u64,
+    /// Virtual-memory page size in bytes (64 KiB on the paper's testbed).
+    pub page_bytes: u64,
+    /// Private L1 data cache.
+    pub l1d: CacheLevelConfig,
+    /// Private unified L2 cache.
+    pub l2: CacheLevelConfig,
+    /// Shared system-level cache (SLC).
+    pub slc: CacheLevelConfig,
+    /// Number of independently locked SLC shards (reduces contention between
+    /// simulated cores; must be a power of two).
+    pub slc_shards: usize,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// Non-memory cost model.
+    pub cost: CostModel,
+    /// Width of one bandwidth-accounting bucket in core cycles.
+    ///
+    /// The machine aggregates bus traffic into buckets of this width; the NMO
+    /// bandwidth profiler turns them into a GiB/s-over-time series.
+    pub bandwidth_bucket_cycles: u64,
+}
+
+impl MachineConfig {
+    /// Platform preset matching Table II of the paper (Ampere Altra Max).
+    ///
+    /// The core count defaults to 128 but most experiments only attach a
+    /// subset of cores; allocating 128 private cache models is cheap.
+    pub fn ampere_altra_max() -> Self {
+        let freq_hz = 3_000_000_000;
+        MachineConfig {
+            name: "Ampere Altra Max 64-Bit (Neoverse V1-class, simulated)".to_string(),
+            num_cores: 128,
+            freq_hz,
+            page_bytes: 64 * 1024,
+            l1d: CacheLevelConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                ways: 4,
+                latency_cycles: 4,
+                occupancy_cycles: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 1024 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                latency_cycles: 13,
+                occupancy_cycles: 3,
+            },
+            slc: CacheLevelConfig {
+                size_bytes: 16 * 1024 * 1024,
+                line_bytes: 64,
+                ways: 16,
+                latency_cycles: 45,
+                occupancy_cycles: 8,
+            },
+            slc_shards: 16,
+            dram: DramConfig {
+                latency_cycles: 330,
+                // 200 GB/s at 3.0 GHz.
+                peak_bytes_per_cycle: 200.0e9 / freq_hz as f64,
+                occupancy_cycles: 18,
+                max_queue_cycles: 2_000,
+                capacity_bytes: 256 * 1024 * 1024 * 1024,
+            },
+            cost: CostModel {
+                cycles_per_cpu_op: 0.4,
+                cycles_per_flop: 0.3,
+            },
+            // 1 ms of simulated time per bucket at 3 GHz.
+            bandwidth_bucket_cycles: 3_000_000,
+        }
+    }
+
+    /// A tiny machine for unit tests: 4 cores, small caches, 4 KiB pages.
+    ///
+    /// Using a small configuration keeps tests fast and makes cache-eviction
+    /// behaviour easy to trigger deterministically.
+    pub fn small_test() -> Self {
+        let freq_hz = 1_000_000_000;
+        MachineConfig {
+            name: "small-test".to_string(),
+            num_cores: 4,
+            freq_hz,
+            page_bytes: 4096,
+            l1d: CacheLevelConfig {
+                size_bytes: 4 * 1024,
+                line_bytes: 64,
+                ways: 2,
+                latency_cycles: 2,
+                occupancy_cycles: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 4,
+                latency_cycles: 8,
+                occupancy_cycles: 2,
+            },
+            slc: CacheLevelConfig {
+                size_bytes: 128 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                latency_cycles: 20,
+                occupancy_cycles: 4,
+            },
+            slc_shards: 4,
+            dram: DramConfig {
+                latency_cycles: 100,
+                peak_bytes_per_cycle: 16.0,
+                occupancy_cycles: 8,
+                max_queue_cycles: 500,
+                capacity_bytes: 1024 * 1024 * 1024,
+            },
+            cost: CostModel {
+                cycles_per_cpu_op: 0.5,
+                cycles_per_flop: 0.5,
+            },
+            bandwidth_bucket_cycles: 10_000,
+        }
+    }
+
+    /// Validate all geometry and parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_cores == 0 {
+            return Err(SimError::BadConfig("num_cores must be non-zero".into()));
+        }
+        if self.freq_hz == 0 {
+            return Err(SimError::BadConfig("freq_hz must be non-zero".into()));
+        }
+        if !self.page_bytes.is_power_of_two() || self.page_bytes < 4096 {
+            return Err(SimError::BadConfig(
+                "page_bytes must be a power of two >= 4096".into(),
+            ));
+        }
+        if self.slc_shards == 0 || !self.slc_shards.is_power_of_two() {
+            return Err(SimError::BadConfig(
+                "slc_shards must be a non-zero power of two".into(),
+            ));
+        }
+        if self.bandwidth_bucket_cycles == 0 {
+            return Err(SimError::BadConfig(
+                "bandwidth_bucket_cycles must be non-zero".into(),
+            ));
+        }
+        if self.dram.peak_bytes_per_cycle <= 0.0 {
+            return Err(SimError::BadConfig(
+                "dram.peak_bytes_per_cycle must be positive".into(),
+            ));
+        }
+        self.l1d.validate("l1d")?;
+        self.l2.validate("l2")?;
+        self.slc.validate("slc")?;
+        // SLC sets must be divisible by the shard count so each shard is a
+        // well-formed sub-cache.
+        if self.slc.sets() % self.slc_shards as u64 != 0 {
+            return Err(SimError::BadConfig(
+                "slc sets must be divisible by slc_shards".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of simulated nanoseconds per core cycle (as a ratio num/denom to
+    /// stay exact: ns = cycles * 1e9 / freq_hz).
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        ((cycles as u128 * 1_000_000_000u128) / self.freq_hz as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn altra_preset_is_valid_and_matches_table2() {
+        let c = MachineConfig::ampere_altra_max();
+        c.validate().unwrap();
+        assert_eq!(c.num_cores, 128);
+        assert_eq!(c.freq_hz, 3_000_000_000);
+        assert_eq!(c.page_bytes, 64 * 1024);
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+        assert_eq!(c.slc.size_bytes, 16 * 1024 * 1024);
+        assert_eq!(c.dram.capacity_bytes, 256 * 1024 * 1024 * 1024);
+        // 200 GB/s at 3 GHz is about 66.7 bytes per cycle.
+        assert!((c.dram.peak_bytes_per_cycle - 66.666).abs() < 0.1);
+    }
+
+    #[test]
+    fn small_preset_is_valid() {
+        MachineConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn cache_sets_power_of_two() {
+        let c = MachineConfig::ampere_altra_max();
+        assert_eq!(c.l1d.sets(), 256);
+        assert_eq!(c.l2.sets(), 2048);
+        assert!(c.slc.sets().is_power_of_two());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut c = MachineConfig::small_test();
+        c.l1d.size_bytes = 5000; // not a multiple of line*ways
+        assert!(matches!(c.validate(), Err(SimError::BadConfig(_))));
+
+        let mut c = MachineConfig::small_test();
+        c.l1d.ways = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::small_test();
+        c.page_bytes = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::small_test();
+        c.slc_shards = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cycles_to_ns_conversion() {
+        let c = MachineConfig::ampere_altra_max();
+        assert_eq!(c.cycles_to_ns(3_000_000_000), 1_000_000_000);
+        assert_eq!(c.cycles_to_ns(3), 1);
+        assert_eq!(c.cycles_to_ns(0), 0);
+    }
+}

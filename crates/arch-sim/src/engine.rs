@@ -1,0 +1,391 @@
+//! The per-thread execution engine.
+//!
+//! A workload thread attaches to a simulated core via [`Machine::attach`] and
+//! receives an [`Engine`]. The engine is the only hot-path object: it owns
+//! the core state (no locks on L1/L2 or counters), and for each memory
+//! operation it walks the hierarchy, charges time, updates counters, and
+//! notifies the core's observer (the SPE unit when profiling is on).
+//!
+//! [`Machine::attach`]: crate::machine::Machine::attach
+
+use crate::machine::{CoreState, Machine};
+use crate::op::{MemLevel, MemOutcome, Op, OpKind};
+
+/// Execution handle bound to one core of a [`Machine`].
+///
+/// Dropping the engine returns the core to the machine (and notifies the
+/// observer via `on_detach`, which is when the SPE aux buffer is drained).
+///
+/// [`Machine`]: crate::machine::Machine
+pub struct Engine<'m> {
+    machine: &'m Machine,
+    state: Option<CoreState>,
+}
+
+impl<'m> Engine<'m> {
+    pub(crate) fn new(machine: &'m Machine, state: CoreState) -> Self {
+        Engine { machine, state: Some(state) }
+    }
+
+    #[inline]
+    fn st(&mut self) -> &mut CoreState {
+        self.state.as_mut().expect("engine state present until drop")
+    }
+
+    /// The core this engine is attached to.
+    pub fn core_id(&self) -> usize {
+        self.state.as_ref().expect("engine state present until drop").id
+    }
+
+    /// Current core clock in cycles.
+    pub fn now_cycles(&self) -> u64 {
+        self.state.as_ref().expect("engine state present until drop").clock as u64
+    }
+
+    /// Current core clock in simulated nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.machine.config().cycles_to_ns(self.now_cycles())
+    }
+
+    /// Issue a load of `size` bytes at virtual address `vaddr`.
+    #[inline]
+    pub fn load(&mut self, vaddr: u64, size: u32) -> MemOutcome {
+        self.mem_op(OpKind::Load, 0, vaddr, size)
+    }
+
+    /// Issue a store of `size` bytes at virtual address `vaddr`.
+    #[inline]
+    pub fn store(&mut self, vaddr: u64, size: u32) -> MemOutcome {
+        self.mem_op(OpKind::Store, 0, vaddr, size)
+    }
+
+    /// Issue a load with an explicit synthetic program counter (used by
+    /// workloads so samples can be attributed to kernels).
+    #[inline]
+    pub fn load_at(&mut self, pc: u64, vaddr: u64, size: u32) -> MemOutcome {
+        self.mem_op(OpKind::Load, pc, vaddr, size)
+    }
+
+    /// Issue a store with an explicit synthetic program counter.
+    #[inline]
+    pub fn store_at(&mut self, pc: u64, vaddr: u64, size: u32) -> MemOutcome {
+        self.mem_op(OpKind::Store, pc, vaddr, size)
+    }
+
+    /// Issue a branch instruction (sampleable by SPE but excluded by NMO's
+    /// default filter).
+    pub fn branch(&mut self, pc: u64) {
+        let cost = self.machine.config().cost.cycles_per_cpu_op;
+        let st = self.st();
+        st.counters.instructions += 1;
+        st.counters.branches += 1;
+        st.clock += cost;
+        let now = st.clock as u64;
+        if let Some(obs) = st.observer.as_mut() {
+            let charge = obs.on_op(&Op::branch(pc), None, now);
+            if charge.extra_cycles > 0 {
+                st.clock += charge.extra_cycles as f64;
+                st.counters.observer_cycles += charge.extra_cycles;
+            }
+        }
+        st.counters.cycles = st.clock as u64;
+    }
+
+    /// Account `n` non-memory, non-sampleable ALU/control instructions.
+    ///
+    /// These advance the clock and the instruction counter but are not fed to
+    /// the observer individually (NMO's SPE configuration samples only memory
+    /// operations; see DESIGN.md for this simplification).
+    pub fn cpu_work(&mut self, n: u64) {
+        let cost = self.machine.config().cost.cycles_per_cpu_op;
+        let st = self.st();
+        st.counters.instructions += n;
+        st.clock += n as f64 * cost;
+        st.counters.cycles = st.clock as u64;
+    }
+
+    /// Account `n` floating-point operations (for arithmetic intensity).
+    pub fn flops(&mut self, n: u64) {
+        let cost = self.machine.config().cost.cycles_per_flop;
+        let st = self.st();
+        st.counters.instructions += n;
+        st.counters.flops += n;
+        st.clock += n as f64 * cost;
+        st.counters.cycles = st.clock as u64;
+    }
+
+    /// Advance the core clock by `cycles` without retiring instructions
+    /// (models stalls, synchronisation waits, I/O phases).
+    pub fn idle(&mut self, cycles: u64) {
+        let st = self.st();
+        st.clock += cycles as f64;
+        st.counters.cycles = st.clock as u64;
+    }
+
+    /// Free a named region of the simulated address space, timestamped with
+    /// this core's clock so the RSS-over-time series records the drop.
+    pub fn free(&mut self, name: &str) -> bool {
+        let now = self.now_cycles();
+        self.machine.free_at(name, now)
+    }
+
+    #[inline]
+    fn mem_op(&mut self, kind: OpKind, pc: u64, vaddr: u64, size: u32) -> MemOutcome {
+        let cfg = self.machine.config();
+        let line_bytes = cfg.l1d.line_bytes;
+        let is_store = kind == OpKind::Store;
+        let machine = self.machine;
+
+        let st = self.state.as_mut().expect("engine state present until drop");
+        st.counters.instructions += 1;
+        st.counters.mem_access += 1;
+        if is_store {
+            st.counters.stores += 1;
+        } else {
+            st.counters.loads += 1;
+        }
+
+        // Walk the hierarchy.
+        let l1 = st.l1.access(vaddr, is_store);
+        let outcome = if l1.hit {
+            st.counters.l1_hits += 1;
+            MemOutcome::hit(MemLevel::L1, cfg.l1d.latency_cycles, cfg.l1d.occupancy_cycles)
+        } else {
+            let l2 = st.l2.access(vaddr, is_store);
+            if l2.hit {
+                st.counters.l2_hits += 1;
+                MemOutcome::hit(MemLevel::L2, cfg.l2.latency_cycles, cfg.l2.occupancy_cycles)
+            } else {
+                let slc_res = {
+                    let mut shard = machine.slc_shard(vaddr).lock();
+                    shard.access(vaddr, is_store)
+                };
+                if slc_res.hit {
+                    st.counters.slc_hits += 1;
+                    MemOutcome::hit(MemLevel::Slc, cfg.slc.latency_cycles, cfg.slc.occupancy_cycles)
+                } else {
+                    // DRAM access: line fill plus any write-back from the
+                    // hierarchy walk above.
+                    let wb = if l1.dirty_eviction || l2.dirty_eviction || slc_res.dirty_eviction {
+                        line_bytes
+                    } else {
+                        0
+                    };
+                    let now = st.clock as u64;
+                    let acc = machine.dram().access(now, line_bytes, wb);
+                    st.counters.dram_accesses += 1;
+                    st.counters.bus_read_bytes += line_bytes as u64;
+                    st.counters.bus_write_bytes += wb as u64;
+
+                    // Bandwidth bucket accounting.
+                    let bucket = (now / cfg.bandwidth_bucket_cycles) as usize;
+                    if st.bw_buckets.len() <= bucket {
+                        st.bw_buckets.resize(bucket + 1, 0);
+                    }
+                    st.bw_buckets[bucket] += (line_bytes + wb) as u64;
+
+                    // First touch detection only needs to run on the cold path:
+                    // a page that has never been touched cannot be cached.
+                    let first_touch = machine.vm().touch(vaddr);
+                    if first_touch {
+                        machine.push_rss_event(now);
+                    }
+
+                    MemOutcome {
+                        level: MemLevel::Dram,
+                        latency_cycles: acc.latency_cycles,
+                        occupancy_cycles: machine.dram().occupancy() + acc.queue_cycles,
+                        bus_bytes: line_bytes + wb,
+                        first_touch,
+                    }
+                }
+            }
+        };
+
+        st.clock += outcome.occupancy_cycles as f64 + cfg.cost.cycles_per_cpu_op;
+        let now = st.clock as u64;
+
+        if let Some(obs) = st.observer.as_mut() {
+            let op = Op { kind, pc, vaddr, size };
+            let charge = obs.on_op(&op, Some(&outcome), now);
+            if charge.extra_cycles > 0 {
+                st.clock += charge.extra_cycles as f64;
+                st.counters.observer_cycles += charge.extra_cycles;
+            }
+        }
+        st.counters.cycles = st.clock as u64;
+        outcome
+    }
+}
+
+impl Drop for Engine<'_> {
+    fn drop(&mut self) {
+        if let Some(mut state) = self.state.take() {
+            if let Some(obs) = state.observer.as_mut() {
+                let charge = obs.on_detach(state.clock as u64);
+                if charge.extra_cycles > 0 {
+                    state.clock += charge.extra_cycles as f64;
+                    state.counters.observer_cycles += charge.extra_cycles;
+                    state.counters.cycles = state.clock as u64;
+                }
+            }
+            self.machine.return_core(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::machine::Machine;
+    use crate::observer::CountingObserver;
+
+    #[test]
+    fn streaming_counts_and_levels() {
+        let m = Machine::new(MachineConfig::small_test());
+        let region = m.alloc("data", 1 << 20).unwrap();
+        let mut e = m.attach(0).unwrap();
+        let mut dram_seen = 0;
+        let mut l1_seen = 0;
+        for i in 0..8192u64 {
+            let out = e.load(region.start + i * 8, 8);
+            match out.level {
+                MemLevel::Dram => dram_seen += 1,
+                MemLevel::L1 => l1_seen += 1,
+                _ => {}
+            }
+        }
+        drop(e);
+        let c = m.counters();
+        assert_eq!(c.mem_access, 8192);
+        assert_eq!(c.loads, 8192);
+        // 8 consecutive 8-byte loads share one 64-byte line: 1 miss + 7 hits.
+        assert_eq!(dram_seen, 1024);
+        assert_eq!(l1_seen, 7 * 1024);
+        assert_eq!(c.bus_read_bytes, 1024 * 64);
+        assert!(c.cycles > 0);
+    }
+
+    #[test]
+    fn repeated_access_hits_cache_and_is_faster() {
+        let m = Machine::new(MachineConfig::small_test());
+        let region = m.alloc("data", 1 << 16).unwrap();
+        let mut e = m.attach(0).unwrap();
+        // First pass: cold.
+        for i in 0..64u64 {
+            e.load(region.start + i * 8, 8);
+        }
+        let cold_cycles = e.now_cycles();
+        // Second pass over the same 512 bytes: hot in L1.
+        for i in 0..64u64 {
+            e.load(region.start + i * 8, 8);
+        }
+        let hot_cycles = e.now_cycles() - cold_cycles;
+        assert!(hot_cycles < cold_cycles * 7 / 10, "hot {hot_cycles} vs cold {cold_cycles}");
+    }
+
+    #[test]
+    fn rss_grows_on_first_touch_only() {
+        let m = Machine::new(MachineConfig::small_test());
+        let page = m.config().page_bytes;
+        let region = m.alloc("data", 4 * page).unwrap();
+        let mut e = m.attach(0).unwrap();
+        for rep in 0..2 {
+            for p in 0..4u64 {
+                e.store(region.start + p * page, 8);
+            }
+            if rep == 0 {
+                assert_eq!(m.rss_bytes(), 4 * page);
+            }
+        }
+        drop(e);
+        assert_eq!(m.rss_bytes(), 4 * page);
+        assert_eq!(m.rss_series().len(), 4);
+    }
+
+    #[test]
+    fn observer_sees_ops_and_charges_overhead() {
+        let m = Machine::new(MachineConfig::small_test());
+        let region = m.alloc("data", 1 << 16).unwrap();
+        m.set_observer(0, Box::new(CountingObserver { charge_per_op: 5, ..Default::default() }))
+            .unwrap();
+        let mut e = m.attach(0).unwrap();
+        for i in 0..100u64 {
+            e.load(region.start + i * 8, 8);
+        }
+        e.cpu_work(50);
+        e.branch(0x400000);
+        drop(e);
+        let c = m.counters();
+        // 100 mem ops + 1 branch were observed, each charged 5 cycles.
+        assert_eq!(c.observer_cycles, 101 * 5);
+        assert_eq!(c.instructions, 100 + 50 + 1);
+        assert_eq!(c.branches, 1);
+    }
+
+    #[test]
+    fn flops_and_idle_advance_clock() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut e = m.attach(0).unwrap();
+        let t0 = e.now_cycles();
+        e.flops(1000);
+        e.idle(500);
+        assert!(e.now_cycles() >= t0 + 500);
+        drop(e);
+        assert_eq!(m.counters().flops, 1000);
+    }
+
+    #[test]
+    fn free_records_rss_drop() {
+        let m = Machine::new(MachineConfig::small_test());
+        let page = m.config().page_bytes;
+        let region = m.alloc("tmp", 2 * page).unwrap();
+        let mut e = m.attach(0).unwrap();
+        e.store(region.start, 8);
+        e.store(region.start + page, 8);
+        assert_eq!(m.rss_bytes(), 2 * page);
+        assert!(e.free("tmp"));
+        assert_eq!(m.rss_bytes(), 0);
+        drop(e);
+        let series = m.rss_series();
+        assert_eq!(series.last().unwrap().rss_bytes, 0);
+    }
+
+    #[test]
+    fn write_back_traffic_counted() {
+        let m = Machine::new(MachineConfig::small_test());
+        // Write a working set much larger than SLC so dirty lines get evicted
+        // all the way to DRAM.
+        let region = m.alloc("data", 4 << 20).unwrap();
+        let mut e = m.attach(0).unwrap();
+        for i in (0..(4 << 20)).step_by(64) {
+            e.store(region.start + i as u64, 8);
+        }
+        drop(e);
+        let c = m.counters();
+        assert!(c.bus_write_bytes > 0, "dirty evictions must produce write-backs");
+    }
+
+    #[test]
+    fn parallel_threads_on_separate_cores() {
+        let m = Machine::new(MachineConfig::small_test());
+        let region = m.alloc("data", 1 << 20).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let m = &m;
+                let region = region.clone();
+                s.spawn(move || {
+                    let mut e = m.attach(t).unwrap();
+                    let base = region.start + (t as u64) * (1 << 18);
+                    for i in 0..4096u64 {
+                        e.load(base + i * 8, 8);
+                    }
+                });
+            }
+        });
+        let c = m.counters();
+        assert_eq!(c.mem_access, 4 * 4096);
+        assert!(!m.bandwidth_series().is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! The simulated machine: cores, shared cache, DRAM, address space, and the
+//! temporal series (bandwidth, resident set size) the NMO profiler consumes.
+
+use parking_lot::Mutex;
+
+use crate::cache::Cache;
+use crate::clock::TimeConv;
+use crate::config::MachineConfig;
+use crate::counters::{CoreCounters, MachineCounters};
+use crate::dram::Dram;
+use crate::engine::Engine;
+use crate::observer::OpObserver;
+use crate::vm::{AddressSpace, Region};
+use crate::{Result, SimError};
+
+/// State owned by one simulated core. Checked out by an [`Engine`] while a
+/// workload thread is running on the core, so the hot path needs no locks.
+pub(crate) struct CoreState {
+    /// Core id.
+    pub id: usize,
+    /// Private L1 data cache.
+    pub l1: Cache,
+    /// Private L2 cache.
+    pub l2: Cache,
+    /// Core clock in cycles (fractional cycles accumulate in f64).
+    pub clock: f64,
+    /// Event counters.
+    pub counters: CoreCounters,
+    /// Attached operation observer (the SPE unit when profiling is enabled).
+    pub observer: Option<Box<dyn OpObserver>>,
+    /// Bus bytes per bandwidth bucket attributable to this core.
+    pub bw_buckets: Vec<u64>,
+}
+
+impl std::fmt::Debug for CoreState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreState")
+            .field("id", &self.id)
+            .field("clock", &self.clock)
+            .field("counters", &self.counters)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl CoreState {
+    fn new(id: usize, cfg: &MachineConfig) -> Self {
+        CoreState {
+            id,
+            l1: Cache::new(&cfg.l1d),
+            l2: Cache::new(&cfg.l2),
+            clock: 0.0,
+            counters: CoreCounters::default(),
+            observer: None,
+            bw_buckets: Vec::new(),
+        }
+    }
+}
+
+/// One point of the memory-bandwidth-over-time series (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthPoint {
+    /// Start of the bucket, in simulated nanoseconds.
+    pub time_ns: u64,
+    /// Bus bytes transferred during the bucket.
+    pub bytes: u64,
+    /// Bandwidth in GiB/s over the bucket.
+    pub gib_per_s: f64,
+}
+
+/// One point of the resident-set-size-over-time series (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssPoint {
+    /// Simulated time of the event, nanoseconds.
+    pub time_ns: u64,
+    /// Resident set size after the event, bytes.
+    pub rss_bytes: u64,
+}
+
+/// The simulated multi-core machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    timeconv: TimeConv,
+    vm: AddressSpace,
+    dram: Dram,
+    /// Sharded shared system-level cache. A line maps to shard
+    /// `(line_index) & (shards - 1)`.
+    slc: Vec<Mutex<Cache>>,
+    /// Per-core state; `None` while checked out by an engine.
+    cores: Vec<Mutex<Option<CoreState>>>,
+    /// Step events of the RSS-over-time series.
+    rss_events: Mutex<Vec<RssPoint>>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("name", &self.cfg.name)
+            .field("num_cores", &self.cfg.num_cores)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Build a machine from a (validated) configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use [`MachineConfig::validate`]
+    /// first if the configuration is user-supplied.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let timeconv = TimeConv {
+            core_freq_hz: cfg.freq_hz,
+            timer_freq_hz: 25_000_000,
+            time_zero_ns: 0,
+        };
+        let vm = AddressSpace::new(cfg.page_bytes, cfg.dram.capacity_bytes);
+        let dram = Dram::new(cfg.dram);
+        let slc = (0..cfg.slc_shards)
+            .map(|_| Mutex::new(Cache::new_shard(&cfg.slc, cfg.slc_shards)))
+            .collect();
+        let cores = (0..cfg.num_cores)
+            .map(|id| Mutex::new(Some(CoreState::new(id, &cfg))))
+            .collect();
+        Machine {
+            cfg,
+            timeconv,
+            vm,
+            dram,
+            slc,
+            cores,
+            rss_events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Time-base conversion helper for this machine.
+    pub fn timeconv(&self) -> TimeConv {
+        self.timeconv
+    }
+
+    /// The virtual address space.
+    pub fn vm(&self) -> &AddressSpace {
+        &self.vm
+    }
+
+    /// The DRAM model.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    pub(crate) fn slc_shard(&self, vaddr: u64) -> &Mutex<Cache> {
+        let line = vaddr >> self.cfg.slc.line_bytes.trailing_zeros();
+        let idx = (line as usize) & (self.slc.len() - 1);
+        &self.slc[idx]
+    }
+
+    /// Allocate a named region of the simulated address space.
+    pub fn alloc(&self, name: &str, len: u64) -> Result<Region> {
+        self.vm.alloc(name, len)
+    }
+
+    /// Free a named region, recording the RSS drop at simulated time
+    /// `now_cycles` (use [`Engine::free`] from workload code so the timestamp
+    /// comes from the issuing core's clock).
+    pub fn free_at(&self, name: &str, now_cycles: u64) -> bool {
+        let freed = self.vm.free(name);
+        if freed {
+            self.push_rss_event(now_cycles);
+        }
+        freed
+    }
+
+    pub(crate) fn push_rss_event(&self, now_cycles: u64) {
+        let point = RssPoint {
+            time_ns: self.cfg.cycles_to_ns(now_cycles),
+            rss_bytes: self.vm.rss_bytes(),
+        };
+        self.rss_events.lock().push(point);
+    }
+
+    /// Attach an engine to a core (checking the core state out of the machine).
+    pub fn attach(&self, core_id: usize) -> Result<Engine<'_>> {
+        let slot = self.cores.get(core_id).ok_or(SimError::NoSuchCore(core_id))?;
+        let state = slot.lock().take().ok_or(SimError::CoreBusy(core_id))?;
+        Ok(Engine::new(self, state))
+    }
+
+    pub(crate) fn return_core(&self, state: CoreState) {
+        let slot = &self.cores[state.id];
+        *slot.lock() = Some(state);
+    }
+
+    /// Attach an operation observer (e.g. an SPE unit) to a core.
+    ///
+    /// Fails if the core is currently checked out by an engine.
+    pub fn set_observer(&self, core_id: usize, observer: Box<dyn OpObserver>) -> Result<()> {
+        let slot = self.cores.get(core_id).ok_or(SimError::NoSuchCore(core_id))?;
+        let mut guard = slot.lock();
+        match guard.as_mut() {
+            Some(state) => {
+                state.observer = Some(observer);
+                Ok(())
+            }
+            None => Err(SimError::CoreBusy(core_id)),
+        }
+    }
+
+    /// Remove and return the observer attached to a core, if any.
+    pub fn take_observer(&self, core_id: usize) -> Result<Option<Box<dyn OpObserver>>> {
+        let slot = self.cores.get(core_id).ok_or(SimError::NoSuchCore(core_id))?;
+        let mut guard = slot.lock();
+        match guard.as_mut() {
+            Some(state) => Ok(state.observer.take()),
+            None => Err(SimError::CoreBusy(core_id)),
+        }
+    }
+
+    /// Snapshot of one core's counters (None if the core is checked out).
+    pub fn core_counters(&self, core_id: usize) -> Option<CoreCounters> {
+        self.cores
+            .get(core_id)?
+            .lock()
+            .as_ref()
+            .map(|s| s.counters)
+    }
+
+    /// Machine-wide counter snapshot (sums over all cores not currently
+    /// checked out; call after workload threads have detached).
+    pub fn counters(&self) -> MachineCounters {
+        let mut m = MachineCounters::default();
+        for slot in &self.cores {
+            if let Some(state) = slot.lock().as_ref() {
+                m.absorb(&state.counters);
+            }
+        }
+        m
+    }
+
+    /// Simulated makespan in cycles (max core clock).
+    pub fn makespan_cycles(&self) -> u64 {
+        self.counters().cycles
+    }
+
+    /// Simulated makespan in nanoseconds.
+    pub fn makespan_ns(&self) -> u64 {
+        self.cfg.cycles_to_ns(self.makespan_cycles())
+    }
+
+    /// The memory-bandwidth-over-time series (Figure 3), aggregated over all
+    /// cores, one point per `bandwidth_bucket_cycles`-wide bucket.
+    pub fn bandwidth_series(&self) -> Vec<BandwidthPoint> {
+        let mut buckets: Vec<u64> = Vec::new();
+        for slot in &self.cores {
+            if let Some(state) = slot.lock().as_ref() {
+                if state.bw_buckets.len() > buckets.len() {
+                    buckets.resize(state.bw_buckets.len(), 0);
+                }
+                for (i, b) in state.bw_buckets.iter().enumerate() {
+                    buckets[i] += *b;
+                }
+            }
+        }
+        let bucket_cycles = self.cfg.bandwidth_bucket_cycles;
+        let bucket_ns = self.cfg.cycles_to_ns(bucket_cycles).max(1);
+        buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| BandwidthPoint {
+                time_ns: i as u64 * bucket_ns,
+                bytes,
+                gib_per_s: bytes as f64 / (1u64 << 30) as f64 / (bucket_ns as f64 * 1e-9),
+            })
+            .collect()
+    }
+
+    /// The resident-set-size-over-time series (Figure 2): one step event per
+    /// page first-touch or region free.
+    pub fn rss_series(&self) -> Vec<RssPoint> {
+        self.rss_events.lock().clone()
+    }
+
+    /// Current resident set size in bytes.
+    pub fn rss_bytes(&self) -> u64 {
+        self.vm.rss_bytes()
+    }
+
+    /// Flush all caches and reset DRAM traffic (used between experiment
+    /// trials that reuse a machine). Counters, clocks and RSS are preserved.
+    pub fn flush_caches(&self) {
+        for slot in &self.cores {
+            if let Some(state) = slot.lock().as_mut() {
+                state.l1.flush();
+                state.l2.flush();
+            }
+        }
+        for shard in &self.slc {
+            shard.lock().flush();
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cfg.num_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::CountingObserver;
+
+    #[test]
+    fn attach_and_detach_cores() {
+        let m = Machine::new(MachineConfig::small_test());
+        let e0 = m.attach(0).unwrap();
+        assert!(matches!(m.attach(0), Err(SimError::CoreBusy(0))));
+        assert!(matches!(m.attach(99), Err(SimError::NoSuchCore(99))));
+        drop(e0);
+        // After drop the core is back.
+        let _e0 = m.attach(0).unwrap();
+    }
+
+    #[test]
+    fn observer_attachment_lifecycle() {
+        let m = Machine::new(MachineConfig::small_test());
+        m.set_observer(1, Box::new(CountingObserver::default())).unwrap();
+        assert!(m.take_observer(1).unwrap().is_some());
+        assert!(m.take_observer(1).unwrap().is_none());
+        assert!(m.set_observer(42, Box::new(CountingObserver::default())).is_err());
+    }
+
+    #[test]
+    fn cannot_set_observer_while_checked_out() {
+        let m = Machine::new(MachineConfig::small_test());
+        let _e = m.attach(2).unwrap();
+        assert!(matches!(
+            m.set_observer(2, Box::new(CountingObserver::default())),
+            Err(SimError::CoreBusy(2))
+        ));
+    }
+
+    #[test]
+    fn counters_initially_zero() {
+        let m = Machine::new(MachineConfig::small_test());
+        let c = m.counters();
+        assert_eq!(c.mem_access, 0);
+        assert_eq!(c.cycles, 0);
+        assert!(m.bandwidth_series().is_empty());
+        assert!(m.rss_series().is_empty());
+    }
+
+    #[test]
+    fn slc_sharding_covers_all_shards() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..64u64 {
+            let shard = m.slc_shard(line * 64) as *const _;
+            seen.insert(shard as usize);
+        }
+        assert_eq!(seen.len(), m.config().slc_shards);
+    }
+}

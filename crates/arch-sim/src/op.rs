@@ -1,0 +1,166 @@
+//! Operation and memory-access outcome types.
+//!
+//! Every operation retired by a simulated core is described by an [`Op`];
+//! memory operations additionally carry a [`MemOutcome`] describing which
+//! level of the hierarchy served them and at what latency. These are exactly
+//! the quantities ARM SPE records per sampled operation (PC, data address,
+//! event flags, latency, data source), so the SPE unit model consumes them
+//! directly.
+
+/// The kind of a retired operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A load instruction (reads memory).
+    Load,
+    /// A store instruction (writes memory).
+    Store,
+    /// A conditional or unconditional branch.
+    Branch,
+    /// Any other (ALU/FP/...) instruction.
+    Other,
+}
+
+impl OpKind {
+    /// True for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+}
+
+/// The memory-hierarchy level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemLevel {
+    /// Served by the core-private L1 data cache.
+    L1,
+    /// Served by the core-private L2 cache.
+    L2,
+    /// Served by the shared system-level cache.
+    Slc,
+    /// Served by DRAM.
+    Dram,
+}
+
+impl MemLevel {
+    /// Encoding used in the SPE data-source packet (model-specific values;
+    /// chosen to be stable for decoding in tests and tools).
+    pub fn data_source_code(self) -> u8 {
+        match self {
+            MemLevel::L1 => 0x0,
+            MemLevel::L2 => 0x8,
+            MemLevel::Slc => 0x9,
+            MemLevel::Dram => 0xd,
+        }
+    }
+
+    /// Inverse of [`MemLevel::data_source_code`].
+    pub fn from_data_source_code(code: u8) -> Option<Self> {
+        match code {
+            0x0 => Some(MemLevel::L1),
+            0x8 => Some(MemLevel::L2),
+            0x9 => Some(MemLevel::Slc),
+            0xd => Some(MemLevel::Dram),
+            _ => None,
+        }
+    }
+}
+
+/// A retired operation as seen by per-core observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Synthetic program counter (work-loads use stable per-kernel values so
+    /// samples can be attributed to code regions).
+    pub pc: u64,
+    /// Virtual data address (0 for non-memory operations).
+    pub vaddr: u64,
+    /// Access size in bytes (0 for non-memory operations).
+    pub size: u32,
+}
+
+impl Op {
+    /// Construct a load operation.
+    pub fn load(pc: u64, vaddr: u64, size: u32) -> Self {
+        Op { kind: OpKind::Load, pc, vaddr, size }
+    }
+
+    /// Construct a store operation.
+    pub fn store(pc: u64, vaddr: u64, size: u32) -> Self {
+        Op { kind: OpKind::Store, pc, vaddr, size }
+    }
+
+    /// Construct a non-memory operation.
+    pub fn other(pc: u64) -> Self {
+        Op { kind: OpKind::Other, pc, vaddr: 0, size: 0 }
+    }
+
+    /// Construct a branch operation.
+    pub fn branch(pc: u64) -> Self {
+        Op { kind: OpKind::Branch, pc, vaddr: 0, size: 0 }
+    }
+}
+
+/// Result of sending a memory access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOutcome {
+    /// Level that ultimately served the access.
+    pub level: MemLevel,
+    /// Total load-to-use latency in cycles, including any DRAM queueing delay.
+    pub latency_cycles: u64,
+    /// Cycles of issue-slot occupancy charged to the core for this access.
+    pub occupancy_cycles: u64,
+    /// Bytes moved on the memory bus (0 unless the access reached DRAM).
+    pub bus_bytes: u32,
+    /// Whether this access was the first touch of its virtual page (used for
+    /// resident-set-size accounting).
+    pub first_touch: bool,
+}
+
+impl MemOutcome {
+    /// An outcome representing a hit in the given level with no bus traffic.
+    pub fn hit(level: MemLevel, latency_cycles: u64, occupancy_cycles: u64) -> Self {
+        MemOutcome {
+            level,
+            latency_cycles,
+            occupancy_cycles,
+            bus_bytes: 0,
+            first_touch: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors() {
+        let l = Op::load(0x400100, 0x1000, 8);
+        assert_eq!(l.kind, OpKind::Load);
+        assert!(l.kind.is_mem());
+        let s = Op::store(0x400104, 0x2000, 4);
+        assert_eq!(s.kind, OpKind::Store);
+        assert!(s.kind.is_mem());
+        let o = Op::other(0x400108);
+        assert!(!o.kind.is_mem());
+        assert_eq!(o.vaddr, 0);
+        let b = Op::branch(0x40010c);
+        assert_eq!(b.kind, OpKind::Branch);
+        assert!(!b.kind.is_mem());
+    }
+
+    #[test]
+    fn mem_level_data_source_roundtrip() {
+        for level in [MemLevel::L1, MemLevel::L2, MemLevel::Slc, MemLevel::Dram] {
+            assert_eq!(MemLevel::from_data_source_code(level.data_source_code()), Some(level));
+        }
+        assert_eq!(MemLevel::from_data_source_code(0x3), None);
+    }
+
+    #[test]
+    fn mem_level_ordering_reflects_distance() {
+        assert!(MemLevel::L1 < MemLevel::L2);
+        assert!(MemLevel::L2 < MemLevel::Slc);
+        assert!(MemLevel::Slc < MemLevel::Dram);
+    }
+}

@@ -1,0 +1,273 @@
+//! Virtual address space, named allocations, and resident-set-size tracking.
+//!
+//! Workloads allocate named regions ("a", "b", "c", "normals", ...) from a
+//! simulated 64 KiB-page address space. NMO's capacity profiler (Figure 2 of
+//! the paper) needs the resident set size over time; residency is accounted
+//! on *first touch* of each page, which in the simulator is detected on the
+//! cold-miss path of the cache hierarchy (a never-touched page can never be
+//! cached).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::{Result, SimError};
+
+/// Base virtual address of the simulated heap. Chosen to look like a typical
+/// Linux arm64 mmap region so plotted addresses resemble the paper's figures.
+pub const HEAP_BASE: u64 = 0xffff_0000_0000;
+
+/// A named, contiguous allocation in the simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Name supplied at allocation time (matches NMO address tags).
+    pub name: String,
+    /// First virtual address of the region.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `addr` lies inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+#[derive(Debug)]
+struct RegionState {
+    region: Region,
+    /// One bit per page: has the page been touched?
+    touched: Vec<u64>,
+    touched_pages: u64,
+    freed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Regions keyed by start address for range lookup.
+    regions: BTreeMap<u64, RegionState>,
+    next_free: u64,
+    resident_pages: u64,
+    peak_resident_pages: u64,
+}
+
+/// The simulated process address space.
+#[derive(Debug)]
+pub struct AddressSpace {
+    page_bytes: u64,
+    page_shift: u32,
+    capacity_bytes: u64,
+    inner: RwLock<Inner>,
+}
+
+impl AddressSpace {
+    /// Create an address space with the given page size and physical capacity.
+    pub fn new(page_bytes: u64, capacity_bytes: u64) -> Self {
+        AddressSpace {
+            page_bytes,
+            page_shift: page_bytes.trailing_zeros(),
+            capacity_bytes,
+            inner: RwLock::new(Inner { next_free: HEAP_BASE, ..Default::default() }),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Allocate `len` bytes under `name`. Returns the region descriptor.
+    pub fn alloc(&self, name: &str, len: u64) -> Result<Region> {
+        let mut inner = self.inner.write();
+        if inner.regions.values().any(|r| r.region.name == name && !r.freed) {
+            return Err(SimError::DuplicateRegion(name.to_string()));
+        }
+        let len_rounded = len.div_ceil(self.page_bytes) * self.page_bytes;
+        let start = inner.next_free;
+        let end = start.checked_add(len_rounded).ok_or(SimError::OutOfAddressSpace)?;
+        // Leave a guard page between allocations so regions are visually
+        // separated in address-scatter plots, like distinct mmap segments.
+        inner.next_free = end + self.page_bytes;
+        let region = Region { name: name.to_string(), start, len };
+        let pages = (len_rounded >> self.page_shift) as usize;
+        inner.regions.insert(
+            start,
+            RegionState {
+                region: region.clone(),
+                touched: vec![0u64; pages.div_ceil(64)],
+                touched_pages: 0,
+                freed: false,
+            },
+        );
+        Ok(region)
+    }
+
+    /// Free a region by name. Its resident pages are returned to the system.
+    pub fn free(&self, name: &str) -> bool {
+        let mut inner = self.inner.write();
+        let mut found = false;
+        let mut released = 0;
+        for st in inner.regions.values_mut() {
+            if st.region.name == name && !st.freed {
+                st.freed = true;
+                released += st.touched_pages;
+                st.touched_pages = 0;
+                st.touched.iter_mut().for_each(|w| *w = 0);
+                found = true;
+            }
+        }
+        inner.resident_pages = inner.resident_pages.saturating_sub(released);
+        found
+    }
+
+    /// Record a touch of `addr`; returns true if this was the first touch of
+    /// its page (i.e. the page just became resident).
+    pub fn touch(&self, addr: u64) -> bool {
+        let mut inner = self.inner.write();
+        // Find the region containing addr: last region starting at or below addr.
+        let Some((_, st)) = inner.regions.range_mut(..=addr).next_back() else {
+            return false;
+        };
+        if st.freed || !st.region.contains(addr) {
+            return false;
+        }
+        let page = ((addr - st.region.start) >> self.page_shift) as usize;
+        let (word, bit) = (page / 64, page % 64);
+        if st.touched[word] & (1 << bit) != 0 {
+            return false;
+        }
+        st.touched[word] |= 1 << bit;
+        st.touched_pages += 1;
+        inner.resident_pages += 1;
+        inner.peak_resident_pages = inner.peak_resident_pages.max(inner.resident_pages);
+        true
+    }
+
+    /// Current resident set size in bytes.
+    pub fn rss_bytes(&self) -> u64 {
+        self.inner.read().resident_pages * self.page_bytes
+    }
+
+    /// Peak resident set size in bytes.
+    pub fn peak_rss_bytes(&self) -> u64 {
+        self.inner.read().peak_resident_pages * self.page_bytes
+    }
+
+    /// Fraction of physical capacity currently resident (0.0–1.0+).
+    pub fn utilization(&self) -> f64 {
+        self.rss_bytes() as f64 / self.capacity_bytes as f64
+    }
+
+    /// Look up the region containing `addr`, if any.
+    pub fn region_of(&self, addr: u64) -> Option<Region> {
+        let inner = self.inner.read();
+        inner
+            .regions
+            .range(..=addr)
+            .next_back()
+            .filter(|(_, st)| !st.freed && st.region.contains(addr))
+            .map(|(_, st)| st.region.clone())
+    }
+
+    /// Snapshot of all live regions.
+    pub fn regions(&self) -> Vec<Region> {
+        self.inner
+            .read()
+            .regions
+            .values()
+            .filter(|st| !st.freed)
+            .map(|st| st.region.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_disjoint_page_aligned_regions() {
+        let vm = AddressSpace::new(4096, 1 << 30);
+        let a = vm.alloc("a", 10_000).unwrap();
+        let b = vm.alloc("b", 10_000).unwrap();
+        assert_eq!(a.start % 4096, 0);
+        assert_eq!(b.start % 4096, 0);
+        assert!(b.start >= a.start + 12288, "page-rounded plus guard page");
+        assert!(!a.contains(b.start));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let vm = AddressSpace::new(4096, 1 << 30);
+        vm.alloc("a", 100).unwrap();
+        assert!(matches!(vm.alloc("a", 100), Err(SimError::DuplicateRegion(_))));
+        // After freeing, the name can be reused.
+        assert!(vm.free("a"));
+        vm.alloc("a", 100).unwrap();
+    }
+
+    #[test]
+    fn first_touch_accounting() {
+        let vm = AddressSpace::new(4096, 1 << 30);
+        let a = vm.alloc("a", 3 * 4096).unwrap();
+        assert_eq!(vm.rss_bytes(), 0);
+        assert!(vm.touch(a.start));
+        assert!(!vm.touch(a.start + 8), "same page is not a first touch");
+        assert!(vm.touch(a.start + 4096));
+        assert_eq!(vm.rss_bytes(), 2 * 4096);
+        assert!(vm.touch(a.start + 2 * 4096));
+        assert_eq!(vm.rss_bytes(), 3 * 4096);
+        assert_eq!(vm.peak_rss_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn touch_outside_any_region_is_ignored() {
+        let vm = AddressSpace::new(4096, 1 << 30);
+        let a = vm.alloc("a", 4096).unwrap();
+        assert!(!vm.touch(a.start - 1));
+        assert!(!vm.touch(a.end() + 4096 * 10));
+        assert_eq!(vm.rss_bytes(), 0);
+    }
+
+    #[test]
+    fn free_releases_resident_pages() {
+        let vm = AddressSpace::new(4096, 1 << 30);
+        let a = vm.alloc("a", 4 * 4096).unwrap();
+        for p in 0..4u64 {
+            vm.touch(a.start + p * 4096);
+        }
+        assert_eq!(vm.rss_bytes(), 4 * 4096);
+        vm.free("a");
+        assert_eq!(vm.rss_bytes(), 0);
+        assert_eq!(vm.peak_rss_bytes(), 4 * 4096, "peak is sticky");
+        assert!(vm.region_of(a.start).is_none());
+    }
+
+    #[test]
+    fn region_lookup() {
+        let vm = AddressSpace::new(4096, 1 << 30);
+        let a = vm.alloc("a", 4096).unwrap();
+        let b = vm.alloc("b", 4096).unwrap();
+        assert_eq!(vm.region_of(a.start + 100).unwrap().name, "a");
+        assert_eq!(vm.region_of(b.start).unwrap().name, "b");
+        assert!(vm.region_of(b.end() + 4096 * 2).is_none());
+        assert_eq!(vm.regions().len(), 2);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let vm = AddressSpace::new(4096, 8 * 4096);
+        let a = vm.alloc("a", 4 * 4096).unwrap();
+        for p in 0..4u64 {
+            vm.touch(a.start + p * 4096);
+        }
+        assert!((vm.utilization() - 0.5).abs() < 1e-9);
+    }
+}

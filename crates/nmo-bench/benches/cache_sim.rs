@@ -1,0 +1,70 @@
+//! Criterion benches for the machine substrate: cache-hierarchy walks and the
+//! end-to-end engine throughput with and without an attached SPE observer.
+//! The delta between the two is the simulator-side cost of profiling, which
+//! bounds how large the figure sweeps can be.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use arch_sim::{Cache, CacheLevelConfig, Machine, MachineConfig};
+use nmo::{NmoConfig, Profiler};
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheLevelConfig {
+        size_bytes: 64 * 1024,
+        line_bytes: 64,
+        ways: 4,
+        latency_cycles: 4,
+        occupancy_cycles: 1,
+    };
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(&cfg);
+        cache.access(0x1000, false);
+        b.iter(|| cache.access(black_box(0x1000), false))
+    });
+    group.bench_function("streaming_miss", |b| {
+        let mut cache = Cache::new(&cfg);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            cache.access(black_box(addr), false)
+        })
+    });
+    group.finish();
+}
+
+fn run_engine_ops(machine: &Machine, n: u64) -> u64 {
+    let region = machine.vm().regions().first().cloned().unwrap();
+    let mut engine = machine.attach(0).unwrap();
+    let span = region.len / 8;
+    for i in 0..n {
+        engine.load(region.start + (i % span) * 8, 8);
+    }
+    engine.now_cycles()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    const OPS: u64 = 100_000;
+    group.throughput(Throughput::Elements(OPS));
+
+    group.bench_function("load_stream_unprofiled", |b| {
+        let machine = Machine::new(MachineConfig::ampere_altra_max());
+        machine.alloc("data", 8 << 20).unwrap();
+        b.iter(|| run_engine_ops(&machine, OPS))
+    });
+
+    group.bench_function("load_stream_with_spe", |b| {
+        let machine = Machine::new(MachineConfig::ampere_altra_max());
+        machine.alloc("data", 8 << 20).unwrap();
+        let mut profiler = Profiler::new(&machine, NmoConfig::paper_default(4096));
+        profiler.enable(&[0]).unwrap();
+        b.iter(|| run_engine_ops(&machine, OPS));
+        let _ = profiler.finish();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_engine);
+criterion_main!(benches);

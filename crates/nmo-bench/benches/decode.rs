@@ -1,0 +1,68 @@
+//! Criterion benches for the NMO hot path: SPE record encode/decode and the
+//! aux-buffer produce/consume cycle. These are the operations whose cost the
+//! paper's overhead model charges per sample.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use arch_sim::{MemLevel, OpKind};
+use perf_sub::{AuxBuffer, MetadataPage};
+use spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let record = SpeRecord::new(0x40_1000, 0xffff_0000_4242, 123_456_789, 333, OpKind::Load, MemLevel::Dram);
+    let bytes = record.encode();
+
+    let mut group = c.benchmark_group("spe_packet");
+    group.throughput(Throughput::Bytes(SPE_RECORD_BYTES as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(record).encode()));
+    group.bench_function("decode_full", |b| b.iter(|| SpeRecord::decode(black_box(&bytes))));
+    group.bench_function("decode_nmo_fields", |b| b.iter(|| decode_nmo_fields(black_box(&bytes))));
+    group.finish();
+}
+
+fn bench_aux_roundtrip(c: &mut Criterion) {
+    let meta = MetadataPage::default();
+    let aux = AuxBuffer::new(16, 64 * 1024).unwrap();
+    let record = SpeRecord::new(1, 2, 3, 4, OpKind::Store, MemLevel::L2).encode();
+
+    let mut group = c.benchmark_group("aux_buffer");
+    group.throughput(Throughput::Bytes(SPE_RECORD_BYTES as u64));
+    group.bench_function("write_read_release", |b| {
+        b.iter(|| {
+            let off = aux.write(black_box(&record), &meta).expect("space");
+            let data = aux.read_at(off, SPE_RECORD_BYTES as u64);
+            aux.advance_tail(off + SPE_RECORD_BYTES as u64, &meta);
+            black_box(data);
+        })
+    });
+    group.finish();
+}
+
+fn bench_drain_batch(c: &mut Criterion) {
+    // Decode a full watermark's worth of records (half of a 1 MiB aux buffer),
+    // the unit of work the monitor thread performs per interrupt.
+    let record = SpeRecord::new(0x40_1000, 0xffff_0000_4242, 99, 50, OpKind::Load, MemLevel::Slc);
+    let bytes = record.encode();
+    let batch: Vec<u8> = std::iter::repeat_with(|| bytes.iter().copied())
+        .take(8192)
+        .flatten()
+        .collect();
+
+    let mut group = c.benchmark_group("drain");
+    group.throughput(Throughput::Bytes(batch.len() as u64));
+    group.bench_function("decode_512KiB_batch", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for chunk in batch.chunks_exact(SPE_RECORD_BYTES) {
+                if decode_nmo_fields(black_box(chunk)).is_some() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_codec, bench_aux_roundtrip, bench_drain_batch);
+criterion_main!(benches);

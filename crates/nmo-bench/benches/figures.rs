@@ -1,0 +1,59 @@
+//! Criterion benches that exercise reduced-size versions of the paper's
+//! figure workloads end to end (workload + NMO profiler + analysis). One
+//! bench per evaluation figure family, at `Scale::tiny` so `cargo bench`
+//! completes quickly; the `repro` binary runs the full-size sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nmo::NmoConfig;
+use nmo_bench::experiments;
+use nmo_bench::harness::{baseline_run, measure, profiled_run, Scale, WorkloadKind};
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("fig2_fig3_cloud_capacity_bandwidth", |b| {
+        b.iter(|| experiments::fig2_fig3_cloud(&scale, 2))
+    });
+}
+
+fn bench_fig4_fig6_scatter(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("fig4_stream_scatter", |b| {
+        b.iter(|| experiments::fig4_stream_scatter(&scale, 512))
+    });
+    c.bench_function("fig5_fig6_cfd_scatter", |b| {
+        b.iter(|| experiments::fig5_fig6_cfd_scatter(&scale, 512, 4))
+    });
+}
+
+fn bench_fig7_fig8_period_point(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let baseline = baseline_run(WorkloadKind::Stream, &scale, 2);
+    c.bench_function("fig7_fig8_one_period_point_stream", |b| {
+        b.iter(|| measure(WorkloadKind::Stream, &scale, 2, NmoConfig::paper_default(1000), &baseline))
+    });
+    let baseline_bfs = baseline_run(WorkloadKind::Bfs, &scale, 2);
+    c.bench_function("fig7_fig8_one_period_point_bfs", |b| {
+        b.iter(|| measure(WorkloadKind::Bfs, &scale, 2, NmoConfig::paper_default(1000), &baseline_bfs))
+    });
+}
+
+fn bench_fig9_fig11_sweep_point(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("fig9_aux_point_stream_profiled_run", |b| {
+        b.iter(|| {
+            let config = NmoConfig { auxbufsize_mib: 1, ..NmoConfig::paper_default(2048) };
+            profiled_run(WorkloadKind::Stream, &scale, 4, config)
+        })
+    });
+    c.bench_function("fig10_thread_point_stream_profiled_run", |b| {
+        b.iter(|| profiled_run(WorkloadKind::Stream, &scale, 8, NmoConfig::paper_default(4096)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_fig3, bench_fig4_fig6_scatter, bench_fig7_fig8_period_point, bench_fig9_fig11_sweep_point
+}
+criterion_main!(benches);

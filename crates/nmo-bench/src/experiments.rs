@@ -1,0 +1,445 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function returns its data as rows of strings (ready for CSV or
+//! terminal tables) so the `repro` binary can both print and persist them.
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison of each experiment.
+
+use std::path::Path;
+
+use arch_sim::MachineConfig;
+use nmo::report::{format_table, write_csv};
+use nmo::{Mode, NmoConfig, Sweep, SweepPoint};
+
+use crate::harness::{baseline_run, measure, profiled_run, Scale, WorkloadKind};
+
+/// A rendered experiment result: a title, a header, and data rows.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment identifier ("fig7", "table1", ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentResult {
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let header: Vec<&str> = self.header.iter().map(|s| s.as_str()).collect();
+        format!("== {} ({}) ==\n{}", self.title, self.id, format_table(&header, &self.rows))
+    }
+
+    /// Write as `<id>.csv` under `dir`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<String> {
+        let header: Vec<&str> = self.header.iter().map(|s| s.as_str()).collect();
+        let path = dir.join(format!("{}.csv", self.id));
+        write_csv(&path, &header, &self.rows)?;
+        Ok(path.display().to_string())
+    }
+}
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.3}", x * 100.0)
+}
+
+/// Table I — the supported environment variables and their defaults.
+pub fn table1() -> ExperimentResult {
+    ExperimentResult {
+        id: "table1".into(),
+        title: "NMO environment variables".into(),
+        header: vec!["option".into(), "description".into(), "default".into()],
+        rows: NmoConfig::table1()
+            .into_iter()
+            .map(|(o, d, def)| vec![o.to_string(), d.to_string(), def.to_string()])
+            .collect(),
+    }
+}
+
+/// Table II — the (simulated) hardware platform.
+pub fn table2() -> ExperimentResult {
+    let c = MachineConfig::ampere_altra_max();
+    let rows = vec![
+        vec!["CPU".to_string(), c.name.clone()],
+        vec!["Cores".to_string(), format!("{} Armv8.2+ cores", c.num_cores)],
+        vec!["Frequency".to_string(), format!("{:.1} GHz", c.freq_hz as f64 / 1e9)],
+        vec!["Mem. capacity".to_string(), format!("{} GB", c.dram.capacity_bytes >> 30)],
+        vec!["Mem. technology".to_string(), "DDR4 (simulated)".to_string()],
+        vec![
+            "Peak bandwidth".to_string(),
+            format!("{:.0} GB/s", c.dram.peak_bytes_per_cycle * c.freq_hz as f64 / 1e9),
+        ],
+        vec!["L1d".to_string(), format!("{} KB per core", c.l1d.size_bytes >> 10)],
+        vec!["L2".to_string(), format!("{} MB per core", c.l2.size_bytes >> 20)],
+        vec!["System Level Cache".to_string(), format!("{} MB", c.slc.size_bytes >> 20)],
+        vec!["Page size".to_string(), format!("{} KB", c.page_bytes >> 10)],
+    ];
+    ExperimentResult {
+        id: "table2".into(),
+        title: "Hardware specification of the (simulated) ARM platform".into(),
+        header: vec!["item".into(), "value".into()],
+        rows,
+    }
+}
+
+/// Figures 2 and 3 — capacity and bandwidth over time for the two CloudSuite
+/// workloads (Page Rank and In-memory Analytics), profiled without SPE
+/// sampling (levels 1 and 2 only), 32 threads in the paper.
+pub fn fig2_fig3_cloud(scale: &Scale, threads: usize) -> Vec<ExperimentResult> {
+    let mut results = Vec::new();
+    for (kind, label) in
+        [(WorkloadKind::PageRank, "pagerank"), (WorkloadKind::InMemAnalytics, "inmem")]
+    {
+        let config = NmoConfig {
+            enabled: true,
+            mode: Mode::None,
+            track_rss: true,
+            track_bandwidth: true,
+            name: label.to_string(),
+            ..Default::default()
+        };
+        let profile = profiled_run(kind, scale, threads, config);
+
+        let cap_rows: Vec<Vec<String>> = profile
+            .capacity
+            .points
+            .iter()
+            .map(|p| vec![format!("{:.6}", p.time_s), format!("{:.6}", p.rss_gib)])
+            .collect();
+        results.push(ExperimentResult {
+            id: format!("fig2_capacity_{label}"),
+            title: format!(
+                "Memory capacity over time — {label} (peak {:.3} GiB, {:.1}% of node)",
+                profile.capacity.peak_gib(),
+                profile.capacity.peak_utilization * 100.0
+            ),
+            header: vec!["time_s".into(), "rss_gib".into()],
+            rows: cap_rows,
+        });
+
+        let bw_rows: Vec<Vec<String>> = profile
+            .bandwidth
+            .points
+            .iter()
+            .map(|p| vec![format!("{:.6}", p.time_s), format!("{:.3}", p.gib_per_s)])
+            .collect();
+        results.push(ExperimentResult {
+            id: format!("fig3_bandwidth_{label}"),
+            title: format!(
+                "Memory bandwidth over time — {label} (peak {:.1} GiB/s)",
+                profile.bandwidth.peak_gib_per_s
+            ),
+            header: vec!["time_s".into(), "gib_per_s".into()],
+            rows: bw_rows,
+        });
+    }
+    results
+}
+
+/// Figure 4 — STREAM sampled-address scatter with tagged arrays and the
+/// `triad` phase (8 OpenMP threads, 5 iterations in the paper).
+pub fn fig4_stream_scatter(scale: &Scale, period: u64) -> ExperimentResult {
+    let config = NmoConfig { name: "stream".into(), ..NmoConfig::paper_default(period) };
+    let profile = profiled_run(WorkloadKind::Stream, scale, 8, config);
+    let regions = profile.regions();
+    let rows: Vec<Vec<String>> = regions
+        .scatter
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{:.6}", s.time_s),
+                format!("{:#x}", s.vaddr),
+                s.tag.clone().unwrap_or_else(|| "-".into()),
+                s.phase.clone().unwrap_or_else(|| "-".into()),
+                (s.is_store as u8).to_string(),
+            ]
+        })
+        .collect();
+    ExperimentResult {
+        id: "fig4_stream_scatter".into(),
+        title: format!(
+            "STREAM tagged memory-access samples (8 threads, {} samples, hottest tag: {})",
+            rows.len(),
+            regions.hottest_tag().map(|t| t.name.clone()).unwrap_or_default()
+        ),
+        header: vec!["time_s".into(), "vaddr".into(), "tag".into(), "phase".into(), "is_store".into()],
+        rows,
+    }
+}
+
+/// Figures 5 and 6 — CFD sampled-address scatter at 1 thread and at
+/// `many_threads` threads, plus the high-resolution window of Figure 6.
+pub fn fig5_fig6_cfd_scatter(scale: &Scale, period: u64, many_threads: usize) -> Vec<ExperimentResult> {
+    let mut out = Vec::new();
+    for (id, threads) in [("fig5_cfd_1thread", 1usize), ("fig6_cfd_multithread", many_threads)] {
+        let config = NmoConfig { name: "cfd".into(), ..NmoConfig::paper_default(period) };
+        let profile = profiled_run(WorkloadKind::Cfd, scale, threads, config);
+        let regions = profile.regions();
+        let rows: Vec<Vec<String>> = regions
+            .scatter
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{:.6}", s.time_s),
+                    format!("{:#x}", s.vaddr),
+                    s.tag.clone().unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        out.push(ExperimentResult {
+            id: id.into(),
+            title: format!("CFD sampled accesses, {threads} thread(s), {} samples", rows.len()),
+            header: vec!["time_s".into(), "vaddr".into(), "tag".into()],
+            rows,
+        });
+        if threads > 1 {
+            // High-resolution zoom: the middle 10% of the computation loop.
+            let t_end = profile.elapsed_ns as f64 * 1e-9;
+            let window = regions.window(t_end * 0.45, t_end * 0.55, None);
+            let rows: Vec<Vec<String>> = window
+                .iter()
+                .map(|s| {
+                    vec![
+                        format!("{:.9}", s.time_s),
+                        format!("{:#x}", s.vaddr),
+                        s.tag.clone().unwrap_or_else(|| "-".into()),
+                    ]
+                })
+                .collect();
+            out.push(ExperimentResult {
+                id: "fig6_cfd_highres_window".into(),
+                title: format!("CFD high-resolution trace window ({} samples)", rows.len()),
+                header: vec!["time_s".into(), "vaddr".into(), "tag".into()],
+                rows,
+            });
+        }
+    }
+    out
+}
+
+/// The sampling periods of Figure 7 (512 … 131072, powers of two).
+pub fn fig7_periods() -> Vec<u64> {
+    (9..=17).map(|p| 1u64 << p).collect()
+}
+
+/// The sampling periods of Figure 8 (1000 … 128000, doubling).
+pub fn fig8_periods() -> Vec<u64> {
+    vec![1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000]
+}
+
+fn sweep_workloads() -> Vec<WorkloadKind> {
+    vec![WorkloadKind::Stream, WorkloadKind::Cfd, WorkloadKind::Bfs]
+}
+
+/// Figure 7 — number of collected SPE samples vs sampling period, with every
+/// trial reported separately (the paper plots 5 trials per point).
+pub fn fig7_samples_vs_period(scale: &Scale) -> ExperimentResult {
+    let threads = scale.sweep_threads;
+    let mut rows = Vec::new();
+    for kind in sweep_workloads() {
+        for period in fig7_periods() {
+            for trial in 0..scale.trials {
+                let config = NmoConfig::paper_default(period);
+                let profile = profiled_run(kind, scale, threads, config);
+                rows.push(vec![
+                    kind.label().to_string(),
+                    period.to_string(),
+                    (trial + 1).to_string(),
+                    profile.processed_samples.to_string(),
+                ]);
+            }
+        }
+    }
+    ExperimentResult {
+        id: "fig7_samples_vs_period".into(),
+        title: "Collected ARM SPE samples vs sampling period (per trial)".into(),
+        header: vec!["workload".into(), "period".into(), "trial".into(), "samples".into()],
+        rows,
+    }
+}
+
+/// Figures 8a–8c — accuracy, time overhead, and sample collisions vs
+/// sampling period for STREAM, CFD and BFS.
+pub fn fig8_sensitivity(scale: &Scale) -> ExperimentResult {
+    let threads = scale.sweep_threads;
+    let mut rows = Vec::new();
+    for kind in sweep_workloads() {
+        let baseline = baseline_run(kind, scale, threads);
+        let mut sweep = Sweep::new(kind.label());
+        for period in fig8_periods() {
+            let trials: Vec<_> = (0..scale.trials)
+                .map(|_| measure(kind, scale, threads, NmoConfig::paper_default(period), &baseline))
+                .collect();
+            let point = SweepPoint::from_trials(period, &trials);
+            rows.push(vec![
+                kind.label().to_string(),
+                period.to_string(),
+                pct(point.accuracy_mean),
+                pct(point.accuracy_std),
+                pct(point.overhead_mean),
+                pct(point.overhead_std),
+                f3(point.collisions_mean),
+                f3(point.samples_mean()),
+            ]);
+            sweep.points.push(point);
+        }
+    }
+    ExperimentResult {
+        id: "fig8_sensitivity".into(),
+        title: "Accuracy / time overhead / sample collisions vs sampling period".into(),
+        header: vec![
+            "workload".into(),
+            "period".into(),
+            "accuracy_pct".into(),
+            "accuracy_std_pct".into(),
+            "overhead_pct".into(),
+            "overhead_std_pct".into(),
+            "collisions".into(),
+            "samples".into(),
+        ],
+        rows,
+    }
+}
+
+/// The aux-buffer sizes (in 64 KiB pages) of Figure 9.
+pub fn fig9_aux_pages(max_pages: u64) -> Vec<u64> {
+    [2u64, 8, 32, 128, 512, 2048].into_iter().filter(|p| *p <= max_pages).collect()
+}
+
+/// Figure 9 — impact of the aux-buffer size on time overhead and accuracy
+/// (STREAM, fixed ring buffer, fixed sampling period).
+pub fn fig9_aux_buffer(scale: &Scale, period: u64) -> ExperimentResult {
+    let threads = scale.aux_sweep_threads;
+    let baseline = baseline_run(WorkloadKind::Stream, scale, threads);
+    let mut rows = Vec::new();
+    for pages in fig9_aux_pages(scale.aux_sweep_max_pages) {
+        let trials: Vec<_> = (0..scale.trials)
+            .map(|_| {
+                let config = NmoConfig {
+                    auxbuf_pages_override: Some(pages),
+                    ..NmoConfig::paper_default(period)
+                };
+                measure(WorkloadKind::Stream, scale, threads, config, &baseline)
+            })
+            .collect();
+        let point = SweepPoint::from_trials(pages, &trials);
+        rows.push(vec![
+            pages.to_string(),
+            pct(point.overhead_mean),
+            pct(point.accuracy_mean),
+            f3(point.samples_mean()),
+            f3(point.collisions_mean),
+        ]);
+    }
+    ExperimentResult {
+        id: "fig9_aux_buffer".into(),
+        title: format!("Impact of the aux-buffer size (STREAM, {threads} threads, period {period})"),
+        header: vec![
+            "aux_pages".into(),
+            "overhead_pct".into(),
+            "accuracy_pct".into(),
+            "samples".into(),
+            "collisions".into(),
+        ],
+        rows,
+    }
+}
+
+/// The thread counts of Figures 10 and 11.
+pub fn fig10_thread_counts(max_threads: usize) -> Vec<usize> {
+    [1usize, 2, 4, 8, 16, 32, 48, 64, 96, 128]
+        .into_iter()
+        .filter(|t| *t <= max_threads)
+        .collect()
+}
+
+/// Figures 10 and 11 — impact of the OpenMP thread count on time overhead,
+/// accuracy, and sample collisions (STREAM, 16-page aux buffer).
+pub fn fig10_fig11_threads(scale: &Scale, period: u64) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for threads in fig10_thread_counts(scale.thread_sweep_max) {
+        let baseline = baseline_run(WorkloadKind::Stream, scale, threads);
+        let trials: Vec<_> = (0..scale.trials)
+            .map(|_| {
+                let config = NmoConfig {
+                    auxbufsize_mib: 1, // 16 pages of 64 KiB
+                    ..NmoConfig::paper_default(period)
+                };
+                measure(WorkloadKind::Stream, scale, threads, config, &baseline)
+            })
+            .collect();
+        let point = SweepPoint::from_trials(threads as u64, &trials);
+        rows.push(vec![
+            threads.to_string(),
+            pct(point.overhead_mean),
+            pct(point.accuracy_mean),
+            f3(point.collisions_mean),
+            f3(point.samples_mean()),
+        ]);
+    }
+    ExperimentResult {
+        id: "fig10_fig11_threads".into(),
+        title: format!("Impact of thread count (STREAM, 16-page aux buffer, period {period})"),
+        header: vec![
+            "threads".into(),
+            "overhead_pct".into(),
+            "accuracy_pct".into(),
+            "collisions".into(),
+            "samples".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert_eq!(t1.rows.len(), 7);
+        assert!(t1.to_table().contains("NMO_PERIOD"));
+        let t2 = table2();
+        assert!(t2.to_table().contains("128 Armv8.2+ cores"));
+        assert!(t2.rows.iter().any(|r| r[1].contains("200 GB/s")));
+    }
+
+    #[test]
+    fn period_and_size_grids_match_paper() {
+        assert_eq!(fig7_periods().first(), Some(&512));
+        assert_eq!(fig7_periods().last(), Some(&131072));
+        assert_eq!(fig8_periods(), vec![1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000]);
+        assert_eq!(fig9_aux_pages(2048), vec![2, 8, 32, 128, 512, 2048]);
+        assert_eq!(fig9_aux_pages(128), vec![2, 8, 32, 128]);
+        assert_eq!(fig10_thread_counts(128).last(), Some(&128));
+        assert_eq!(fig10_thread_counts(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn fig4_scatter_has_tagged_samples_at_tiny_scale() {
+        let scale = Scale::tiny();
+        let r = fig4_stream_scatter(&scale, 200);
+        assert!(!r.rows.is_empty());
+        // Most STREAM samples land in a tagged array.
+        let tagged = r.rows.iter().filter(|row| row[2] != "-").count();
+        assert!(tagged * 10 >= r.rows.len() * 9, "tagged {tagged} of {}", r.rows.len());
+    }
+
+    #[test]
+    fn fig2_fig3_series_nonempty_at_tiny_scale() {
+        let scale = Scale::tiny();
+        let results = fig2_fig3_cloud(&scale, 2);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(!r.rows.is_empty(), "{} empty", r.id);
+        }
+    }
+}

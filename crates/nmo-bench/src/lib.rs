@@ -1,0 +1,29 @@
+//! # nmo-bench — benchmark harness and figure/table reproduction
+//!
+//! This crate regenerates every table and figure of the paper's evaluation
+//! (Sections VI and VII) on the simulated platform:
+//!
+//! | Experiment | Content | Function |
+//! |---|---|---|
+//! | Table I | NMO environment variables | [`experiments::table1`] |
+//! | Table II | Platform specification | [`experiments::table2`] |
+//! | Fig. 2 | Capacity over time (PageRank, In-memory Analytics) | [`experiments::fig2_fig3_cloud`] |
+//! | Fig. 3 | Bandwidth over time (same workloads) | [`experiments::fig2_fig3_cloud`] |
+//! | Fig. 4 | STREAM tagged address scatter | [`experiments::fig4_stream_scatter`] |
+//! | Fig. 5/6 | CFD access patterns at 1 and 32 threads | [`experiments::fig5_fig6_cfd_scatter`] |
+//! | Fig. 7 | Samples vs sampling period (5 trials) | [`experiments::fig7_samples_vs_period`] |
+//! | Fig. 8 | Accuracy / overhead / collisions vs period | [`experiments::fig8_sensitivity`] |
+//! | Fig. 9 | Aux-buffer size sweep | [`experiments::fig9_aux_buffer`] |
+//! | Fig. 10/11 | Thread-count sweep | [`experiments::fig10_fig11_threads`] |
+//!
+//! The `repro` binary drives them all (`repro --exp all --quick`) and writes
+//! CSV series under `results/`. Criterion benches cover the profiler's hot
+//! paths (SPE packet decode, aux drain, cache simulation) and a reduced-size
+//! figure workload.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{baseline_run, profiled_run, BaselineRun, Scale, WorkloadKind};

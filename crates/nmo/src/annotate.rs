@@ -1,0 +1,216 @@
+//! Architecture-agnostic source annotations (paper Section III-B).
+//!
+//! NMO exposes a small C API for tagging memory objects and execution phases:
+//!
+//! ```c
+//! nmo_tag_addr("data_a", addr0_start, addr0_end);
+//! nmo_start("kernel0");
+//! /* ... kernel ... */
+//! nmo_stop();
+//! ```
+//!
+//! The Rust equivalent is the [`Annotations`] registry: `tag_addr` registers
+//! a named address range, `start`/`stop` bracket named execution phases with
+//! simulated-time timestamps. The registry is thread-safe: any worker thread
+//! may open or close phases (phases are tracked per thread, mirroring the
+//! behaviour of the C API under OpenMP where the annotation is typically
+//! issued by the master thread outside the parallel region).
+
+use parking_lot::Mutex;
+
+/// A named address range tag (`nmo_tag_addr`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrTag {
+    /// Tag name (e.g. `"a"`, `"normals"`).
+    pub name: String,
+    /// First address of the range.
+    pub start: u64,
+    /// One-past-the-end address of the range.
+    pub end: u64,
+}
+
+impl AddrTag {
+    /// Whether `addr` falls inside the tag.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Size of the tagged range in bytes.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the tag covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A named execution phase (`nmo_start` .. `nmo_stop`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name (e.g. `"triad"`, `"computation loop"`).
+    pub name: String,
+    /// Phase start, simulated nanoseconds.
+    pub start_ns: u64,
+    /// Phase end, simulated nanoseconds (`u64::MAX` while still open).
+    pub end_ns: u64,
+}
+
+impl Phase {
+    /// Whether the phase is still open.
+    pub fn is_open(&self) -> bool {
+        self.end_ns == u64::MAX
+    }
+
+    /// Whether a timestamp falls inside the phase.
+    pub fn contains_ns(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns < self.end_ns
+    }
+
+    /// Phase duration (0 while open).
+    pub fn duration_ns(&self) -> u64 {
+        if self.is_open() {
+            0
+        } else {
+            self.end_ns - self.start_ns
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    tags: Vec<AddrTag>,
+    phases: Vec<Phase>,
+    open_stack: Vec<usize>,
+}
+
+/// Thread-safe annotation registry.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    inner: Mutex<Inner>,
+}
+
+impl Annotations {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `nmo_tag_addr`: register a named address range.
+    pub fn tag_addr(&self, name: &str, start: u64, end: u64) {
+        let mut inner = self.inner.lock();
+        inner.tags.push(AddrTag { name: name.to_string(), start, end: end.max(start) });
+    }
+
+    /// `nmo_start`: open a named phase at simulated time `now_ns`.
+    pub fn start(&self, name: &str, now_ns: u64) {
+        let mut inner = self.inner.lock();
+        let idx = inner.phases.len();
+        inner.phases.push(Phase { name: name.to_string(), start_ns: now_ns, end_ns: u64::MAX });
+        inner.open_stack.push(idx);
+    }
+
+    /// `nmo_stop`: close the most recently opened phase at `now_ns`.
+    /// Returns the closed phase, or `None` if no phase was open.
+    pub fn stop(&self, now_ns: u64) -> Option<Phase> {
+        let mut inner = self.inner.lock();
+        let idx = inner.open_stack.pop()?;
+        let phase = &mut inner.phases[idx];
+        phase.end_ns = now_ns.max(phase.start_ns);
+        Some(phase.clone())
+    }
+
+    /// All registered tags.
+    pub fn tags(&self) -> Vec<AddrTag> {
+        self.inner.lock().tags.clone()
+    }
+
+    /// All phases (open phases keep `end_ns == u64::MAX`).
+    pub fn phases(&self) -> Vec<Phase> {
+        self.inner.lock().phases.clone()
+    }
+
+    /// Find the innermost (most recently declared) tag containing `addr`.
+    pub fn tag_of(&self, addr: u64) -> Option<AddrTag> {
+        let inner = self.inner.lock();
+        inner.tags.iter().rev().find(|t| t.contains(addr)).cloned()
+    }
+
+    /// Number of open phases.
+    pub fn open_phases(&self) -> usize {
+        self.inner.lock().open_stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_registration_and_lookup() {
+        let a = Annotations::new();
+        a.tag_addr("a", 0x1000, 0x2000);
+        a.tag_addr("b", 0x2000, 0x3000);
+        assert_eq!(a.tags().len(), 2);
+        assert_eq!(a.tag_of(0x1800).unwrap().name, "a");
+        assert_eq!(a.tag_of(0x2000).unwrap().name, "b");
+        assert!(a.tag_of(0x5000).is_none());
+        assert_eq!(a.tags()[0].len(), 0x1000);
+    }
+
+    #[test]
+    fn innermost_tag_wins_on_overlap() {
+        let a = Annotations::new();
+        a.tag_addr("whole", 0x1000, 0x9000);
+        a.tag_addr("inner", 0x2000, 0x3000);
+        assert_eq!(a.tag_of(0x2500).unwrap().name, "inner");
+        assert_eq!(a.tag_of(0x4000).unwrap().name, "whole");
+    }
+
+    #[test]
+    fn phase_bracketing_is_stack_like() {
+        let a = Annotations::new();
+        a.start("outer", 100);
+        a.start("inner", 200);
+        assert_eq!(a.open_phases(), 2);
+        let inner = a.stop(300).unwrap();
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.duration_ns(), 100);
+        let outer = a.stop(500).unwrap();
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.duration_ns(), 400);
+        assert!(a.stop(600).is_none(), "no phase open anymore");
+        assert_eq!(a.open_phases(), 0);
+    }
+
+    #[test]
+    fn open_phase_reported_as_open() {
+        let a = Annotations::new();
+        a.start("kernel0", 50);
+        let phases = a.phases();
+        assert!(phases[0].is_open());
+        assert!(phases[0].contains_ns(1_000_000));
+        a.stop(60);
+        let phases = a.phases();
+        assert!(!phases[0].is_open());
+        assert!(!phases[0].contains_ns(61));
+    }
+
+    #[test]
+    fn stop_never_ends_before_start() {
+        let a = Annotations::new();
+        a.start("p", 100);
+        let p = a.stop(10).unwrap();
+        assert_eq!(p.end_ns, 100);
+        assert_eq!(p.duration_ns(), 0);
+    }
+
+    #[test]
+    fn empty_tag_is_empty() {
+        let a = Annotations::new();
+        a.tag_addr("z", 0x10, 0x10);
+        assert!(a.tags()[0].is_empty());
+        assert!(!a.tags()[0].contains(0x10));
+    }
+}

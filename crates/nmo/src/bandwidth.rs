@@ -1,0 +1,108 @@
+//! Level 2: temporal memory-bandwidth profiling (paper Section VI-B, Figure 3).
+//!
+//! NMO estimates memory bandwidth by counting bus load/store events over
+//! fixed intervals and dividing by the interval length. Augmented with
+//! floating-point event counts this also yields the arithmetic intensity used
+//! by the Roofline model to classify a phase as compute- or memory-bound.
+
+use arch_sim::BandwidthPoint;
+
+/// One sample of the bandwidth-over-time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthSample {
+    /// Simulated time at the start of the interval, seconds.
+    pub time_s: f64,
+    /// Average bandwidth over the interval, GiB/s.
+    pub gib_per_s: f64,
+}
+
+/// The memory-bandwidth profile of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BandwidthSeries {
+    /// Interval samples.
+    pub points: Vec<BandwidthSample>,
+    /// Peak interval bandwidth, GiB/s.
+    pub peak_gib_per_s: f64,
+    /// Average bandwidth over the whole run, GiB/s.
+    pub mean_gib_per_s: f64,
+    /// Total bus traffic, bytes.
+    pub total_bytes: u64,
+    /// Arithmetic intensity (FLOP per DRAM byte), if FLOPs were recorded.
+    pub arithmetic_intensity: Option<f64>,
+}
+
+impl BandwidthSeries {
+    /// Build a series from the machine's per-bucket bus traffic.
+    ///
+    /// `flops` supplies the total floating-point operations of the run (for
+    /// arithmetic intensity); pass 0 if not tracked.
+    pub fn from_buckets(buckets: &[BandwidthPoint], flops: u64) -> Self {
+        let points: Vec<BandwidthSample> = buckets
+            .iter()
+            .map(|b| BandwidthSample { time_s: b.time_ns as f64 * 1e-9, gib_per_s: b.gib_per_s })
+            .collect();
+        let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
+        let peak = points.iter().map(|p| p.gib_per_s).fold(0.0f64, f64::max);
+        let mean = if points.is_empty() {
+            0.0
+        } else {
+            points.iter().map(|p| p.gib_per_s).sum::<f64>() / points.len() as f64
+        };
+        let arithmetic_intensity =
+            if total_bytes > 0 && flops > 0 { Some(flops as f64 / total_bytes as f64) } else { None };
+        BandwidthSeries {
+            points,
+            peak_gib_per_s: peak,
+            mean_gib_per_s: mean,
+            total_bytes,
+            arithmetic_intensity,
+        }
+    }
+
+    /// Classify the run with a simple Roofline rule of thumb: memory-bound if
+    /// the arithmetic intensity is below `machine_balance` FLOP/byte.
+    pub fn is_memory_bound(&self, machine_balance: f64) -> Option<bool> {
+        self.arithmetic_intensity.map(|ai| ai < machine_balance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp(time_ns: u64, bytes: u64, gib_per_s: f64) -> BandwidthPoint {
+        BandwidthPoint { time_ns, bytes, gib_per_s }
+    }
+
+    #[test]
+    fn series_statistics() {
+        let buckets =
+            vec![bp(0, 1 << 30, 10.0), bp(1_000_000_000, 2 << 30, 20.0), bp(2_000_000_000, 0, 0.0)];
+        let s = BandwidthSeries::from_buckets(&buckets, 3 << 30);
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.total_bytes, 3 << 30);
+        assert!((s.peak_gib_per_s - 20.0).abs() < 1e-12);
+        assert!((s.mean_gib_per_s - 10.0).abs() < 1e-12);
+        let ai = s.arithmetic_intensity.unwrap();
+        assert!((ai - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = BandwidthSeries::from_buckets(&[], 0);
+        assert!(s.points.is_empty());
+        assert_eq!(s.mean_gib_per_s, 0.0);
+        assert_eq!(s.total_bytes, 0);
+        assert!(s.arithmetic_intensity.is_none());
+        assert!(s.is_memory_bound(10.0).is_none());
+    }
+
+    #[test]
+    fn roofline_classification() {
+        let buckets = vec![bp(0, 1 << 30, 50.0)];
+        // 0.25 FLOP/byte — memory bound for any balance above that.
+        let s = BandwidthSeries::from_buckets(&buckets, 1 << 28);
+        assert_eq!(s.is_memory_bound(10.0), Some(true));
+        assert_eq!(s.is_memory_bound(0.01), Some(false));
+    }
+}

@@ -1,0 +1,127 @@
+//! Level 1: temporal memory-capacity profiling (paper Section VI-A, Figure 2).
+//!
+//! NMO tracks the resident set size of the profiled application over time so
+//! users can right-size node memory and spot phase behaviour (e.g. a large
+//! initialisation footprint followed by a smaller execution footprint). In
+//! the simulator residency is accounted on first touch of each 64 KiB page;
+//! this module turns the raw step events into an evenly sampled series plus
+//! summary statistics (peak usage, utilisation of the node's capacity).
+
+use arch_sim::RssPoint;
+
+/// One sample of the capacity-over-time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPoint {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Resident set size, GiB.
+    pub rss_gib: f64,
+}
+
+/// The memory-capacity profile of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapacitySeries {
+    /// Evenly re-sampled capacity points.
+    pub points: Vec<CapacityPoint>,
+    /// Peak resident set size in bytes.
+    pub peak_bytes: u64,
+    /// Peak utilisation of the machine's memory capacity (0.0–1.0).
+    pub peak_utilization: f64,
+}
+
+impl CapacitySeries {
+    /// Build a series from raw first-touch/free step events.
+    ///
+    /// * `events` — step events from the machine (`time_ns`, `rss_bytes`).
+    /// * `total_ns` — run duration used for the final sample.
+    /// * `capacity_bytes` — machine memory capacity (for utilisation).
+    /// * `buckets` — number of evenly spaced output samples (>= 1).
+    pub fn from_events(
+        events: &[RssPoint],
+        total_ns: u64,
+        capacity_bytes: u64,
+        buckets: usize,
+    ) -> Self {
+        let buckets = buckets.max(1);
+        let peak_bytes = events.iter().map(|e| e.rss_bytes).max().unwrap_or(0);
+        let peak_utilization = if capacity_bytes == 0 {
+            0.0
+        } else {
+            peak_bytes as f64 / capacity_bytes as f64
+        };
+
+        let mut points = Vec::with_capacity(buckets + 1);
+        let step = (total_ns.max(1)) as f64 / buckets as f64;
+        let mut idx = 0usize;
+        let mut current = 0u64;
+        for b in 0..=buckets {
+            let t_ns = (b as f64 * step) as u64;
+            while idx < events.len() && events[idx].time_ns <= t_ns {
+                current = events[idx].rss_bytes;
+                idx += 1;
+            }
+            points.push(CapacityPoint {
+                time_s: t_ns as f64 * 1e-9,
+                rss_gib: current as f64 / (1u64 << 30) as f64,
+            });
+        }
+        CapacitySeries { points, peak_bytes, peak_utilization }
+    }
+
+    /// Peak resident set size in GiB.
+    pub fn peak_gib(&self) -> f64 {
+        self.peak_bytes as f64 / (1u64 << 30) as f64
+    }
+
+    /// The saturation value: RSS at the end of the run, GiB.
+    pub fn final_gib(&self) -> f64 {
+        self.points.last().map(|p| p.rss_gib).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_ns: u64, rss: u64) -> RssPoint {
+        RssPoint { time_ns, rss_bytes: rss }
+    }
+
+    #[test]
+    fn resampling_produces_monotonic_step_function() {
+        let events = vec![ev(0, 0), ev(100, 1 << 30), ev(500, 3 << 30), ev(900, 2 << 30)];
+        let s = CapacitySeries::from_events(&events, 1000, 8 << 30, 10);
+        assert_eq!(s.points.len(), 11);
+        assert_eq!(s.peak_bytes, 3 << 30);
+        assert!((s.peak_utilization - 3.0 / 8.0).abs() < 1e-12);
+        // At t=0 only the rss=0 event has happened; by the t=100 bucket the
+        // 1 GiB allocation is resident; after the last event it is 2 GiB.
+        assert_eq!(s.points[0].rss_gib, 0.0);
+        assert_eq!(s.points[1].rss_gib, 1.0);
+        assert!((s.final_gib() - 2.0).abs() < 1e-12);
+        // Peak appears somewhere in the middle.
+        assert!(s.points.iter().any(|p| (p.rss_gib - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_events_give_flat_zero() {
+        let s = CapacitySeries::from_events(&[], 1_000_000, 1 << 30, 4);
+        assert_eq!(s.peak_bytes, 0);
+        assert_eq!(s.peak_utilization, 0.0);
+        assert!(s.points.iter().all(|p| p.rss_gib == 0.0));
+    }
+
+    #[test]
+    fn single_bucket_minimum() {
+        let events = vec![ev(10, 1 << 20)];
+        let s = CapacitySeries::from_events(&events, 100, 1 << 30, 0);
+        assert_eq!(s.points.len(), 2);
+        assert!(s.final_gib() > 0.0);
+    }
+
+    #[test]
+    fn utilisation_guard_against_zero_capacity() {
+        let s = CapacitySeries::from_events(&[ev(0, 100)], 10, 0, 2);
+        assert_eq!(s.peak_utilization, 0.0);
+    }
+}

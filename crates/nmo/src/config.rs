@@ -1,0 +1,382 @@
+//! NMO configuration: the environment variables of Table I plus a
+//! programmatic builder.
+//!
+//! | Option            | Description                    | Default |
+//! |-------------------|--------------------------------|---------|
+//! | `NMO_ENABLE`      | Enable profile collection      | off     |
+//! | `NMO_NAME`        | Base name of output files      | "nmo"   |
+//! | `NMO_MODE`        | Profile collection mode        | none    |
+//! | `NMO_PERIOD`      | Sampling period                | 0       |
+//! | `NMO_TRACK_RSS`   | Capture working set size       | off     |
+//! | `NMO_BUFSIZE`     | Ring buffer size \[MiB\]       | 1       |
+//! | `NMO_AUXBUFSIZE`  | Aux buffer size \[MiB\]        | 1       |
+//!
+//! NMO is designed for transparent, preload-style activation, so everything
+//! can be driven from the environment; library users can instead construct a
+//! [`NmoConfig`] directly or with [`NmoConfig::builder`].
+
+use spe::{OverheadModel, SpeConfig};
+
+/// Profile collection mode (`NMO_MODE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// No collection (default).
+    #[default]
+    None,
+    /// Sample load instructions only.
+    Load,
+    /// Sample store instructions only.
+    Store,
+    /// Sample both loads and stores (the mode used throughout the paper).
+    LoadStore,
+}
+
+impl Mode {
+    /// Parse the `NMO_MODE` value. Unknown strings fall back to `None`.
+    pub fn parse(s: &str) -> Mode {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "load" | "loads" | "l" => Mode::Load,
+            "store" | "stores" | "s" => Mode::Store,
+            "mem" | "loadstore" | "load_store" | "ls" | "all" => Mode::LoadStore,
+            _ => Mode::None,
+        }
+    }
+
+    /// Whether this mode requires SPE sampling.
+    pub fn uses_spe(self) -> bool {
+        self != Mode::None
+    }
+}
+
+/// Complete NMO configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmoConfig {
+    /// Master enable (`NMO_ENABLE`).
+    pub enabled: bool,
+    /// Base name for output files (`NMO_NAME`).
+    pub name: String,
+    /// Collection mode (`NMO_MODE`).
+    pub mode: Mode,
+    /// SPE sampling period in operations (`NMO_PERIOD`). 0 disables sampling.
+    pub period: u64,
+    /// Track resident set size over time (`NMO_TRACK_RSS`).
+    pub track_rss: bool,
+    /// Ring buffer size in MiB (`NMO_BUFSIZE`).
+    pub bufsize_mib: u64,
+    /// Aux buffer size in MiB (`NMO_AUXBUFSIZE`).
+    pub auxbufsize_mib: u64,
+    /// Explicit aux-buffer size in machine pages, overriding
+    /// `auxbufsize_mib` when set. The environment variable only offers MiB
+    /// granularity (16 pages of 64 KiB per MiB); the Figure 9 sweep needs
+    /// buffers as small as 2 pages, which this field expresses.
+    pub auxbuf_pages_override: Option<u64>,
+    /// Minimum-latency filter in cycles (0 = keep everything).
+    pub min_latency: u64,
+    /// Track memory bandwidth over time.
+    pub track_bandwidth: bool,
+    /// Overhead/cost model used by the simulated SPE driver.
+    pub overhead: OverheadModel,
+}
+
+impl Default for NmoConfig {
+    fn default() -> Self {
+        NmoConfig {
+            enabled: false,
+            name: "nmo".to_string(),
+            mode: Mode::None,
+            period: 0,
+            track_rss: false,
+            bufsize_mib: 1,
+            auxbufsize_mib: 1,
+            auxbuf_pages_override: None,
+            min_latency: 0,
+            track_bandwidth: true,
+            overhead: OverheadModel::default(),
+        }
+    }
+}
+
+/// Builder for [`NmoConfig`].
+#[derive(Debug, Default, Clone)]
+pub struct NmoConfigBuilder {
+    cfg: NmoConfig,
+}
+
+impl NmoConfigBuilder {
+    /// Enable collection.
+    pub fn enabled(mut self, on: bool) -> Self {
+        self.cfg.enabled = on;
+        self
+    }
+
+    /// Set the output base name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.cfg.name = name.into();
+        self
+    }
+
+    /// Set the collection mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Set the SPE sampling period.
+    pub fn period(mut self, period: u64) -> Self {
+        self.cfg.period = period;
+        self
+    }
+
+    /// Track RSS over time.
+    pub fn track_rss(mut self, on: bool) -> Self {
+        self.cfg.track_rss = on;
+        self
+    }
+
+    /// Track bandwidth over time.
+    pub fn track_bandwidth(mut self, on: bool) -> Self {
+        self.cfg.track_bandwidth = on;
+        self
+    }
+
+    /// Ring buffer size in MiB.
+    pub fn bufsize_mib(mut self, mib: u64) -> Self {
+        self.cfg.bufsize_mib = mib;
+        self
+    }
+
+    /// Aux buffer size in MiB.
+    pub fn auxbufsize_mib(mut self, mib: u64) -> Self {
+        self.cfg.auxbufsize_mib = mib;
+        self
+    }
+
+    /// Aux buffer size in machine pages (used by the Figure 9 sweep, which
+    /// needs sub-MiB buffers the environment variable cannot express).
+    pub fn auxbuf_pages(mut self, pages: u64) -> Self {
+        self.cfg.auxbuf_pages_override = Some(pages);
+        self
+    }
+
+    /// Minimum-latency filter.
+    pub fn min_latency(mut self, cycles: u64) -> Self {
+        self.cfg.min_latency = cycles;
+        self
+    }
+
+    /// Override the SPE overhead model.
+    pub fn overhead(mut self, model: OverheadModel) -> Self {
+        self.cfg.overhead = model;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> NmoConfig {
+        self.cfg
+    }
+}
+
+impl NmoConfig {
+    /// Start building a configuration.
+    pub fn builder() -> NmoConfigBuilder {
+        NmoConfigBuilder::default()
+    }
+
+    /// The configuration the paper uses for its sensitivity study: loads and
+    /// stores sampled at `period`, RSS and bandwidth tracking on.
+    pub fn paper_default(period: u64) -> Self {
+        NmoConfig {
+            enabled: true,
+            mode: Mode::LoadStore,
+            period,
+            track_rss: true,
+            track_bandwidth: true,
+            ..Default::default()
+        }
+    }
+
+    /// Read the configuration from environment variables (Table I).
+    pub fn from_env() -> Self {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// Read the configuration from an arbitrary lookup function (testable
+    /// version of [`NmoConfig::from_env`]).
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let mut cfg = NmoConfig::default();
+        if let Some(v) = lookup("NMO_ENABLE") {
+            cfg.enabled = parse_bool(&v);
+        }
+        if let Some(v) = lookup("NMO_NAME") {
+            if !v.trim().is_empty() {
+                cfg.name = v.trim().to_string();
+            }
+        }
+        if let Some(v) = lookup("NMO_MODE") {
+            cfg.mode = Mode::parse(&v);
+        }
+        if let Some(v) = lookup("NMO_PERIOD") {
+            cfg.period = v.trim().parse().unwrap_or(0);
+        }
+        if let Some(v) = lookup("NMO_TRACK_RSS") {
+            cfg.track_rss = parse_bool(&v);
+        }
+        if let Some(v) = lookup("NMO_BUFSIZE") {
+            cfg.bufsize_mib = v.trim().parse().unwrap_or(1).max(1);
+        }
+        if let Some(v) = lookup("NMO_AUXBUFSIZE") {
+            cfg.auxbufsize_mib = v.trim().parse().unwrap_or(1).max(1);
+        }
+        cfg
+    }
+
+    /// Whether SPE sampling should be set up.
+    pub fn spe_active(&self) -> bool {
+        self.enabled && self.mode.uses_spe() && self.period > 0
+    }
+
+    /// The SPE configuration implied by this NMO configuration.
+    pub fn spe_config(&self) -> SpeConfig {
+        let mut spe = SpeConfig::loads_stores(self.period.max(1));
+        spe.sample_loads = matches!(self.mode, Mode::Load | Mode::LoadStore);
+        spe.sample_stores = matches!(self.mode, Mode::Store | Mode::LoadStore);
+        spe.min_latency = self.min_latency;
+        spe
+    }
+
+    /// Ring buffer size in data pages for the given machine page size
+    /// (the `(N+1)`-page mmap excludes the metadata page).
+    pub fn ring_pages(&self, page_bytes: u64) -> u64 {
+        ((self.bufsize_mib << 20) / page_bytes).next_power_of_two().max(1)
+    }
+
+    /// Aux buffer size in pages for the given machine page size.
+    pub fn aux_pages(&self, page_bytes: u64) -> u64 {
+        if let Some(pages) = self.auxbuf_pages_override {
+            return pages.next_power_of_two().max(1);
+        }
+        ((self.auxbufsize_mib << 20) / page_bytes).next_power_of_two().max(1)
+    }
+
+    /// Table I as structured data: `(variable, description, default)`.
+    pub fn table1() -> Vec<(&'static str, &'static str, &'static str)> {
+        vec![
+            ("NMO_ENABLE", "Enable profile collection", "off"),
+            ("NMO_NAME", "Base name of output files", "\"nmo\""),
+            ("NMO_MODE", "Profile collection mode", "none"),
+            ("NMO_PERIOD", "Sampling period", "0"),
+            ("NMO_TRACK_RSS", "Capture working set size", "off"),
+            ("NMO_BUFSIZE", "Ring buffer size [MiB]", "1"),
+            ("NMO_AUXBUFSIZE", "Aux buffer size [MiB]", "1"),
+        ]
+    }
+}
+
+fn parse_bool(s: &str) -> bool {
+    matches!(s.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn defaults_match_table1() {
+        let cfg = NmoConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.name, "nmo");
+        assert_eq!(cfg.mode, Mode::None);
+        assert_eq!(cfg.period, 0);
+        assert!(!cfg.track_rss);
+        assert_eq!(cfg.bufsize_mib, 1);
+        assert_eq!(cfg.auxbufsize_mib, 1);
+        assert_eq!(NmoConfig::table1().len(), 7);
+    }
+
+    #[test]
+    fn env_parsing() {
+        let env: HashMap<&str, &str> = [
+            ("NMO_ENABLE", "1"),
+            ("NMO_NAME", "triad"),
+            ("NMO_MODE", "mem"),
+            ("NMO_PERIOD", "4096"),
+            ("NMO_TRACK_RSS", "yes"),
+            ("NMO_BUFSIZE", "2"),
+            ("NMO_AUXBUFSIZE", "4"),
+        ]
+        .into_iter()
+        .collect();
+        let cfg = NmoConfig::from_lookup(|k| env.get(k).map(|v| v.to_string()));
+        assert!(cfg.enabled);
+        assert_eq!(cfg.name, "triad");
+        assert_eq!(cfg.mode, Mode::LoadStore);
+        assert_eq!(cfg.period, 4096);
+        assert!(cfg.track_rss);
+        assert_eq!(cfg.bufsize_mib, 2);
+        assert_eq!(cfg.auxbufsize_mib, 4);
+        assert!(cfg.spe_active());
+    }
+
+    #[test]
+    fn env_garbage_falls_back_to_defaults() {
+        let env: HashMap<&str, &str> =
+            [("NMO_ENABLE", "maybe"), ("NMO_PERIOD", "not-a-number"), ("NMO_MODE", "bogus")]
+                .into_iter()
+                .collect();
+        let cfg = NmoConfig::from_lookup(|k| env.get(k).map(|v| v.to_string()));
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.period, 0);
+        assert_eq!(cfg.mode, Mode::None);
+        assert!(!cfg.spe_active());
+    }
+
+    #[test]
+    fn mode_parse_variants() {
+        assert_eq!(Mode::parse("load"), Mode::Load);
+        assert_eq!(Mode::parse("STORES"), Mode::Store);
+        assert_eq!(Mode::parse("Mem"), Mode::LoadStore);
+        assert_eq!(Mode::parse("none"), Mode::None);
+        assert_eq!(Mode::parse(""), Mode::None);
+        assert!(Mode::LoadStore.uses_spe());
+        assert!(!Mode::None.uses_spe());
+    }
+
+    #[test]
+    fn spe_config_reflects_mode_and_period() {
+        let cfg = NmoConfig::builder().enabled(true).mode(Mode::Load).period(2048).build();
+        let spe = cfg.spe_config();
+        assert!(spe.sample_loads);
+        assert!(!spe.sample_stores);
+        assert_eq!(spe.sample_period, 2048);
+
+        let cfg = NmoConfig::paper_default(1000);
+        assert!(cfg.spe_active());
+        assert!(cfg.spe_config().sample_stores);
+    }
+
+    #[test]
+    fn buffer_sizing_in_64k_pages() {
+        let cfg = NmoConfig::default();
+        // 1 MiB of 64 KiB pages = 16 pages.
+        assert_eq!(cfg.ring_pages(64 * 1024), 16);
+        assert_eq!(cfg.aux_pages(64 * 1024), 16);
+        let cfg = NmoConfig::builder().auxbufsize_mib(4).build();
+        assert_eq!(cfg.aux_pages(64 * 1024), 64);
+        // The page-count override expresses sub-MiB buffers exactly.
+        let cfg = NmoConfig::builder().auxbuf_pages(32).build();
+        assert_eq!(cfg.aux_pages(64 * 1024), 32);
+        let cfg = NmoConfig::builder().auxbuf_pages(2).build();
+        assert_eq!(cfg.aux_pages(64 * 1024), 2);
+    }
+
+    #[test]
+    fn spe_inactive_without_period_or_mode() {
+        let cfg = NmoConfig::builder().enabled(true).mode(Mode::LoadStore).period(0).build();
+        assert!(!cfg.spe_active());
+        let cfg = NmoConfig::builder().enabled(true).mode(Mode::None).period(100).build();
+        assert!(!cfg.spe_active());
+        let cfg = NmoConfig::builder().enabled(false).mode(Mode::LoadStore).period(100).build();
+        assert!(!cfg.spe_active());
+    }
+}

@@ -1,0 +1,198 @@
+//! Report generation: CSV series and text tables.
+//!
+//! The original NMO writes its raw data to files that Python scripts
+//! post-process into the paper's figures. This module provides the same
+//! output surface in Rust: every temporal series and attribution table of a
+//! [`Profile`] can be written as CSV (one file per figure-style series), and
+//! small helpers format aligned text tables for terminal output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::runtime::Profile;
+
+/// Write a generic CSV file: a header row plus data rows.
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Render rows as an aligned text table.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "{cell:<w$}  ");
+        }
+        out.push('\n');
+    };
+    fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths, &mut out);
+    fmt_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+impl Profile {
+    /// Write every series of this profile as CSV files under `dir`, prefixed
+    /// with the profile's base name (`NMO_NAME`). Returns the list of files
+    /// written.
+    pub fn write_csv_reports<P: AsRef<Path>>(&self, dir: P) -> io::Result<Vec<String>> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let base = &self.name;
+
+        // Address samples (the scatter data of Figures 4-6).
+        let path = dir.join(format!("{base}_samples.csv"));
+        let rows: Vec<Vec<String>> = self
+            .samples
+            .iter()
+            .map(|s| {
+                vec![
+                    s.time_ns.to_string(),
+                    format!("{:#x}", s.vaddr),
+                    s.core.to_string(),
+                    (s.is_store as u8).to_string(),
+                    s.latency.to_string(),
+                    format!("{:?}", s.level),
+                ]
+            })
+            .collect();
+        write_csv(&path, &["time_ns", "vaddr", "core", "is_store", "latency", "level"], &rows)?;
+        written.push(path.display().to_string());
+
+        // Capacity over time (Figure 2).
+        let path = dir.join(format!("{base}_capacity.csv"));
+        let rows: Vec<Vec<String>> = self
+            .capacity
+            .points
+            .iter()
+            .map(|p| vec![format!("{:.6}", p.time_s), format!("{:.6}", p.rss_gib)])
+            .collect();
+        write_csv(&path, &["time_s", "rss_gib"], &rows)?;
+        written.push(path.display().to_string());
+
+        // Bandwidth over time (Figure 3).
+        let path = dir.join(format!("{base}_bandwidth.csv"));
+        let rows: Vec<Vec<String>> = self
+            .bandwidth
+            .points
+            .iter()
+            .map(|p| vec![format!("{:.6}", p.time_s), format!("{:.3}", p.gib_per_s)])
+            .collect();
+        write_csv(&path, &["time_s", "gib_per_s"], &rows)?;
+        written.push(path.display().to_string());
+
+        // Region attribution (Figures 4-6 legends).
+        let regions = self.regions();
+        let path = dir.join(format!("{base}_regions.csv"));
+        let rows: Vec<Vec<String>> = regions
+            .per_tag
+            .iter()
+            .map(|t| {
+                vec![
+                    t.name.clone(),
+                    t.samples.to_string(),
+                    t.loads.to_string(),
+                    t.stores.to_string(),
+                    format!("{:#x}", t.min_addr),
+                    format!("{:#x}", t.max_addr),
+                    format!("{:.4}", t.coverage),
+                ]
+            })
+            .collect();
+        write_csv(
+            &path,
+            &["tag", "samples", "loads", "stores", "min_addr", "max_addr", "coverage"],
+            &rows,
+        )?;
+        written.push(path.display().to_string());
+
+        // Phases.
+        let path = dir.join(format!("{base}_phases.csv"));
+        let rows: Vec<Vec<String>> = self
+            .phases
+            .iter()
+            .map(|p| {
+                vec![p.name.clone(), p.start_ns.to_string(), p.end_ns.to_string()]
+            })
+            .collect();
+        write_csv(&path, &["phase", "start_ns", "end_ns"], &rows)?;
+        written.push(path.display().to_string());
+
+        Ok(written)
+    }
+
+    /// A one-paragraph text summary of the run.
+    pub fn summary(&self) -> String {
+        format!(
+            "profile '{}': {} samples processed ({} skipped), {} aux records, \
+             elapsed {:.3} ms simulated, peak RSS {:.3} GiB, peak BW {:.1} GiB/s, \
+             collisions {}, truncated {}",
+            self.name,
+            self.processed_samples,
+            self.skipped_packets,
+            self.aux_records,
+            self.elapsed_ns as f64 * 1e-6,
+            self.capacity.peak_gib(),
+            self.bandwidth.peak_gib_per_s,
+            self.spe.collisions,
+            self.spe.truncated_records,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_writer_produces_well_formed_files() {
+        let dir = std::env::temp_dir().join(format!("nmo_report_test_{}", std::process::id()));
+        let path = dir.join("x.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]])
+            .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let t = format_table(
+            &["name", "value"],
+            &[vec!["x".into(), "1".into()], vec!["longer-name".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("x"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+}

@@ -1,0 +1,504 @@
+//! The NMO runtime: per-core SPE setup, the monitoring thread, packet
+//! decoding, and profile assembly (paper Section IV).
+//!
+//! The runtime mirrors the implementation described in the paper:
+//!
+//! * one SPE perf event is opened per profiled core (`perf_event_open`, PMU
+//!   type `0x2c`) with a ring buffer of `(N+1)` 64 KiB pages and an aux
+//!   buffer sized by `NMO_AUXBUFSIZE`;
+//! * a monitoring thread polls the events (epoll in the original); each
+//!   `PERF_RECORD_AUX` record points at newly written SPE data in the aux
+//!   buffer;
+//! * each 64-byte SPE record is decoded by checking the `0xb2`/`0x71` header
+//!   bytes and reading the virtual address at offset 31 and the timestamp at
+//!   offset 56; invalid records (e.g. mangled by collisions) are skipped;
+//! * timestamps are converted from the SPE timer to the perf clock using the
+//!   `time_zero`/`time_shift`/`time_mult` fields of the metadata page;
+//! * when profiling stops, the buffers are drained one final time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use arch_sim::{Machine, MachineCounters, MemLevel, TimeConv};
+use perf_sub::poll::PollTimeout;
+use perf_sub::records::Record;
+use perf_sub::PerfEvent;
+use spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
+use spe::{SpeDriver, SpeStats, SpeStatsSnapshot};
+
+use crate::annotate::{AddrTag, Annotations, Phase};
+use crate::bandwidth::BandwidthSeries;
+use crate::capacity::CapacitySeries;
+use crate::config::NmoConfig;
+use crate::regions::{attribute, RegionProfile};
+use crate::NmoError;
+
+/// One decoded SPE address sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressSample {
+    /// Sample time in perf-clock nanoseconds (after timescale conversion).
+    pub time_ns: u64,
+    /// Sampled virtual data address.
+    pub vaddr: u64,
+    /// Core the sample was collected on.
+    pub core: usize,
+    /// Whether the sampled operation was a store.
+    pub is_store: bool,
+    /// Latency reported by SPE, cycles.
+    pub latency: u16,
+    /// Memory level that served the access.
+    pub level: MemLevel,
+}
+
+/// Shared store the monitoring thread decodes samples into.
+#[derive(Debug, Default)]
+struct SampleStore {
+    samples: Mutex<Vec<AddressSample>>,
+    processed: AtomicU64,
+    skipped: AtomicU64,
+    aux_records: AtomicU64,
+    collision_flagged: AtomicU64,
+    truncated_flagged: AtomicU64,
+}
+
+struct CoreSpe {
+    core: usize,
+    event: Arc<PerfEvent>,
+    stats: Arc<SpeStats>,
+}
+
+/// The complete result of one profiled run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Base name (from `NMO_NAME`).
+    pub name: String,
+    /// Configuration in force.
+    pub config: NmoConfig,
+    /// Decoded address samples, sorted by time.
+    pub samples: Vec<AddressSample>,
+    /// Number of successfully decoded samples.
+    pub processed_samples: u64,
+    /// Number of records skipped because of invalid header bytes or zero fields.
+    pub skipped_packets: u64,
+    /// Number of `PERF_RECORD_AUX` records consumed.
+    pub aux_records: u64,
+    /// AUX records carrying the collision flag.
+    pub collision_flagged_records: u64,
+    /// AUX records carrying the truncation flag.
+    pub truncated_flagged_records: u64,
+    /// Aggregated SPE statistics over all profiled cores.
+    pub spe: SpeStatsSnapshot,
+    /// Per-core SPE statistics.
+    pub per_core_spe: Vec<(usize, SpeStatsSnapshot)>,
+    /// Machine-wide hardware counters at the end of the run.
+    pub counters: MachineCounters,
+    /// Capacity-over-time series (level 1).
+    pub capacity: CapacitySeries,
+    /// Bandwidth-over-time series (level 2).
+    pub bandwidth: BandwidthSeries,
+    /// Registered address tags.
+    pub tags: Vec<AddrTag>,
+    /// Recorded execution phases.
+    pub phases: Vec<Phase>,
+    /// Simulated execution time, cycles (makespan across cores).
+    pub elapsed_cycles: u64,
+    /// Simulated execution time, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl Profile {
+    /// Region-based attribution of the address samples (level 3).
+    pub fn regions(&self) -> RegionProfile {
+        attribute(&self.samples, &self.tags, &self.phases)
+    }
+
+    /// Accuracy per Eq. (1) against a baseline `mem_access` count.
+    pub fn accuracy_against(&self, mem_counted: u64) -> f64 {
+        crate::analysis::accuracy(mem_counted, self.processed_samples, self.config.period)
+    }
+
+    /// Total sample collisions as NMO counts them (hardware collisions plus
+    /// aux-buffer drops flagged `PERF_AUX_FLAG_COLLISION`).
+    pub fn collisions(&self) -> u64 {
+        self.spe.collisions + self.spe.truncated_records
+    }
+}
+
+/// The NMO profiler bound to a simulated machine.
+///
+/// Lifecycle: [`Profiler::new`] → [`Profiler::enable`] → run the workload →
+/// [`Profiler::finish`].
+pub struct Profiler<'m> {
+    machine: &'m Machine,
+    config: NmoConfig,
+    annotations: Arc<Annotations>,
+    cores: Vec<CoreSpe>,
+    store: Arc<SampleStore>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl<'m> Profiler<'m> {
+    /// Create a profiler for `machine` with the given configuration.
+    pub fn new(machine: &'m Machine, config: NmoConfig) -> Self {
+        Profiler {
+            machine,
+            config,
+            annotations: Arc::new(Annotations::new()),
+            cores: Vec::new(),
+            store: Arc::new(SampleStore::default()),
+            monitor: None,
+        }
+    }
+
+    /// The annotation registry (share it with workload code).
+    pub fn annotations(&self) -> Arc<Annotations> {
+        self.annotations.clone()
+    }
+
+    /// `nmo_tag_addr` convenience wrapper.
+    pub fn tag_addr(&self, name: &str, start: u64, end: u64) {
+        self.annotations.tag_addr(name, start, end);
+    }
+
+    /// `nmo_start` convenience wrapper (timestamp in simulated nanoseconds).
+    pub fn start_phase(&self, name: &str, now_ns: u64) {
+        self.annotations.start(name, now_ns);
+    }
+
+    /// `nmo_stop` convenience wrapper.
+    pub fn stop_phase(&self, now_ns: u64) {
+        self.annotations.stop(now_ns);
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NmoConfig {
+        &self.config
+    }
+
+    /// Set up profiling on the given cores (opens one SPE event per core when
+    /// sampling is active) and start the monitoring thread.
+    pub fn enable(&mut self, cores: &[usize]) -> Result<(), NmoError> {
+        if !self.config.enabled {
+            return Ok(());
+        }
+        if self.config.spe_active() {
+            let page_bytes = self.machine.config().page_bytes;
+            let ring_pages = self.config.ring_pages(page_bytes);
+            let aux_pages = self.config.aux_pages(page_bytes);
+            let spe_cfg = self.config.spe_config();
+            for &core in cores {
+                let (event, stats) = SpeDriver::open_on(
+                    self.machine,
+                    core,
+                    spe_cfg,
+                    ring_pages,
+                    aux_pages,
+                    self.config.overhead,
+                )
+                .map_err(NmoError::Perf)?;
+                self.cores.push(CoreSpe { core, event, stats });
+            }
+            self.spawn_monitor();
+        }
+        Ok(())
+    }
+
+    fn spawn_monitor(&mut self) {
+        let events: Vec<(usize, Arc<PerfEvent>)> =
+            self.cores.iter().map(|c| (c.core, c.event.clone())).collect();
+        let store = self.store.clone();
+        self.monitor = Some(std::thread::spawn(move || {
+            monitor_loop(&events, &store);
+        }));
+    }
+
+    /// Stop profiling, drain all buffers, and assemble the [`Profile`].
+    pub fn finish(mut self) -> Profile {
+        // Remove the SPE observers from the cores (the final aux drain was
+        // published when the last engine detached).
+        for c in &self.cores {
+            let _ = self.machine.take_observer(c.core);
+            c.event.close();
+        }
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+        // Final synchronous drain in case the monitor exited early.
+        for c in &self.cores {
+            drain_event(c.core, &c.event, &self.store);
+        }
+
+        let counters = self.machine.counters();
+        let elapsed_cycles = counters.cycles;
+        let elapsed_ns = self.machine.config().cycles_to_ns(elapsed_cycles);
+
+        let mut per_core_spe = Vec::new();
+        let mut merged = SpeStatsSnapshot::default();
+        for c in &self.cores {
+            let snap = c.stats.snapshot();
+            merged.merge(&snap);
+            per_core_spe.push((c.core, snap));
+        }
+
+        let capacity = if self.config.track_rss {
+            CapacitySeries::from_events(
+                &self.machine.rss_series(),
+                elapsed_ns,
+                self.machine.config().dram.capacity_bytes,
+                200,
+            )
+        } else {
+            CapacitySeries::default()
+        };
+        let bandwidth = if self.config.track_bandwidth {
+            BandwidthSeries::from_buckets(&self.machine.bandwidth_series(), counters.flops)
+        } else {
+            BandwidthSeries::default()
+        };
+
+        let mut samples = std::mem::take(&mut *self.store.samples.lock());
+        samples.sort_by_key(|s| s.time_ns);
+
+        Profile {
+            name: self.config.name.clone(),
+            config: self.config.clone(),
+            samples,
+            processed_samples: self.store.processed.load(Ordering::Relaxed),
+            skipped_packets: self.store.skipped.load(Ordering::Relaxed),
+            aux_records: self.store.aux_records.load(Ordering::Relaxed),
+            collision_flagged_records: self.store.collision_flagged.load(Ordering::Relaxed),
+            truncated_flagged_records: self.store.truncated_flagged.load(Ordering::Relaxed),
+            spe: merged,
+            per_core_spe,
+            counters,
+            capacity,
+            bandwidth,
+            tags: self.annotations.tags(),
+            phases: self.annotations.phases(),
+            elapsed_cycles,
+            elapsed_ns,
+        }
+    }
+}
+
+fn monitor_loop(events: &[(usize, Arc<PerfEvent>)], store: &Arc<SampleStore>) {
+    loop {
+        let mut any_ready = false;
+        let mut all_closed = true;
+        for (core, event) in events {
+            match event.waker().try_wait() {
+                PollTimeout::Ready => {
+                    any_ready = true;
+                    drain_event(*core, event, store);
+                }
+                PollTimeout::Closed => {
+                    drain_event(*core, event, store);
+                }
+                PollTimeout::TimedOut => {}
+            }
+            if !event.waker().is_closed() {
+                all_closed = false;
+            }
+        }
+        if all_closed {
+            for (core, event) in events {
+                drain_event(*core, event, store);
+            }
+            return;
+        }
+        if !any_ready {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Drain every pending ring-buffer record of one event, decoding aux data
+/// into address samples.
+fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<SampleStore>) {
+    let (time_zero, time_shift, time_mult) = event.meta().clock();
+    while let Ok(Some(record)) = event.next_record() {
+        let aux = match record {
+            Record::Aux(a) => a,
+            Record::ItraceStart(_) | Record::Lost(_) => continue,
+        };
+        store.aux_records.fetch_add(1, Ordering::Relaxed);
+        if aux.collision() {
+            store.collision_flagged.fetch_add(1, Ordering::Relaxed);
+        }
+        if aux.truncated() {
+            store.truncated_flagged.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(aux_buf) = event.aux() else { continue };
+        let data = aux_buf.read_at(aux.aux_offset, aux.aux_size);
+        let mut samples = Vec::with_capacity(data.len() / SPE_RECORD_BYTES);
+        for chunk in data.chunks_exact(SPE_RECORD_BYTES) {
+            // The NMO decode: validate the 0xb2 / 0x71 header bytes, read the
+            // 64-bit address and timestamp, skip the record otherwise.
+            match decode_nmo_fields(chunk) {
+                Some((vaddr, ticks)) => {
+                    let time_ns =
+                        TimeConv::apply_mmap_triple(ticks, time_zero, time_shift, time_mult);
+                    // Opportunistic full decode for the richer fields.
+                    let (is_store, latency, level) = match SpeRecord::decode(chunk) {
+                        Some(rec) => (rec.is_store, rec.latency, rec.level),
+                        None => (false, 0, MemLevel::L1),
+                    };
+                    samples.push(AddressSample { time_ns, vaddr, core, is_store, latency, level });
+                }
+                None => {
+                    store.skipped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        store.processed.fetch_add(samples.len() as u64, Ordering::Relaxed);
+        store.samples.lock().extend(samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch_sim::MachineConfig;
+    use spe::OverheadModel;
+
+    fn fast_overhead() -> OverheadModel {
+        OverheadModel {
+            record_write_cycles: 10,
+            interrupt_cycles: 100,
+            drain_cycles_per_byte: 0.05,
+            drain_service_latency_cycles: 100,
+            min_functional_aux_pages: 4,
+        }
+    }
+
+    fn run_stream_like(machine: &Machine, cores: &[usize], elems_per_core: u64) {
+        let region = machine.alloc("data", 64 << 20).unwrap();
+        std::thread::scope(|s| {
+            for (i, &core) in cores.iter().enumerate() {
+                let region = region.clone();
+                s.spawn(move || {
+                    let mut e = machine.attach(core).unwrap();
+                    let base = region.start + (i as u64) * elems_per_core * 8;
+                    for k in 0..elems_per_core {
+                        e.load(base + k * 8, 8);
+                        e.store(base + k * 8, 8);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn end_to_end_sampling_produces_samples() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = NmoConfig {
+            overhead: fast_overhead(),
+            ..NmoConfig::paper_default(100)
+        };
+        let mut profiler = Profiler::new(&machine, cfg);
+        profiler.enable(&[0, 1]).unwrap();
+        run_stream_like(&machine, &[0, 1], 50_000);
+        let profile = profiler.finish();
+
+        assert!(profile.processed_samples > 0);
+        assert_eq!(profile.processed_samples as usize, profile.samples.len());
+        // ~2 cores * 100k ops / period 100 = ~2000 samples expected.
+        assert!(profile.processed_samples > 1000, "{}", profile.processed_samples);
+        assert!(profile.spe.records_written >= profile.processed_samples);
+        assert!(profile.elapsed_cycles > 0);
+        assert!(profile.counters.mem_access >= 200_000);
+        // Samples are time-sorted and carry plausible addresses.
+        assert!(profile.samples.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
+        assert!(profile.samples.iter().all(|s| s.vaddr >= arch_sim::vm::HEAP_BASE));
+        // Accuracy against the machine's own mem_access counter is high with
+        // a fast drain model.
+        let acc = profile.accuracy_against(profile.counters.mem_access);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn disabled_profiler_collects_nothing_and_costs_nothing() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let mut profiler = Profiler::new(&machine, NmoConfig::default());
+        profiler.enable(&[0]).unwrap();
+        run_stream_like(&machine, &[0], 10_000);
+        let profile = profiler.finish();
+        assert_eq!(profile.processed_samples, 0);
+        assert_eq!(profile.counters.observer_cycles, 0);
+        assert!(profile.samples.is_empty());
+    }
+
+    #[test]
+    fn capacity_and_bandwidth_series_populated() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = NmoConfig {
+            overhead: fast_overhead(),
+            ..NmoConfig::paper_default(1000)
+        };
+        let mut profiler = Profiler::new(&machine, cfg);
+        profiler.enable(&[0]).unwrap();
+        run_stream_like(&machine, &[0], 100_000);
+        let profile = profiler.finish();
+        assert!(profile.capacity.peak_bytes > 0);
+        assert!(!profile.capacity.points.is_empty());
+        assert!(profile.bandwidth.total_bytes > 0);
+        assert!(profile.bandwidth.peak_gib_per_s > 0.0);
+    }
+
+    #[test]
+    fn annotations_flow_into_profile_and_regions() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(50) };
+        let mut profiler = Profiler::new(&machine, cfg);
+        let region = machine.alloc("a", 1 << 20).unwrap();
+        profiler.tag_addr("a", region.start, region.end());
+        profiler.enable(&[0]).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            profiler.start_phase("kernel0", e.now_ns());
+            for k in 0..20_000u64 {
+                e.load(region.start + (k % 10_000) * 8, 8);
+            }
+            profiler.stop_phase(e.now_ns());
+        }
+        let profile = profiler.finish();
+        assert_eq!(profile.tags.len(), 1);
+        assert_eq!(profile.phases.len(), 1);
+        assert!(!profile.phases[0].is_open());
+        let regions = profile.regions();
+        assert!(regions.per_tag.iter().any(|t| t.name == "a" && t.samples > 0));
+        assert_eq!(regions.untagged_samples, 0);
+        let in_phase = regions.per_phase.iter().find(|(n, _)| n == "kernel0");
+        assert!(in_phase.is_some_and(|(_, n)| *n > 0));
+    }
+
+    #[test]
+    fn profiling_overhead_is_visible_but_bounded() {
+        // Run the same work twice on two fresh machines: once bare, once
+        // profiled; the profiled run must be slower but not absurdly so.
+        let work = |machine: &Machine| {
+            run_stream_like(machine, &[0], 200_000);
+            machine.counters().cycles
+        };
+        let baseline = {
+            let machine = Machine::new(MachineConfig::small_test());
+            work(&machine)
+        };
+        let profiled = {
+            let machine = Machine::new(MachineConfig::small_test());
+            let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(100) };
+            let mut profiler = Profiler::new(&machine, cfg);
+            profiler.enable(&[0]).unwrap();
+            let c = work(&machine);
+            let _ = profiler.finish();
+            c
+        };
+        assert!(profiled > baseline, "profiled {profiled} vs baseline {baseline}");
+        let overhead = crate::analysis::time_overhead(baseline, profiled);
+        assert!(overhead < 0.5, "overhead unexpectedly large: {overhead}");
+    }
+}

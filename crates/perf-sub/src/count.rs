@@ -1,0 +1,96 @@
+//! Counting events (`perf stat` style).
+//!
+//! The paper's accuracy baseline runs the application under `perf stat -e
+//! mem_access` to obtain the true number of loads and stores (Section VII,
+//! Eq. 1). [`CountingEvent`] models such an event: the "kernel" side (the
+//! simulated machine / driver) adds to it while it is enabled, the profiler
+//! reads it afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::attr::PerfEventAttr;
+
+/// A free-running counting event.
+#[derive(Debug)]
+pub struct CountingEvent {
+    attr: PerfEventAttr,
+    value: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl CountingEvent {
+    /// Create a counting event from its attribute block.
+    pub fn new(attr: PerfEventAttr) -> Self {
+        CountingEvent {
+            attr,
+            value: AtomicU64::new(0),
+            enabled: AtomicBool::new(!attr.disabled),
+        }
+    }
+
+    /// The attribute block this event was opened with.
+    pub fn attr(&self) -> &PerfEventAttr {
+        &self.attr
+    }
+
+    /// Enable counting.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disable counting.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether the event is currently counting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Producer side: add `n` occurrences (ignored while disabled).
+    pub fn add(&self, n: u64) {
+        if self.is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Read the current count.
+    pub fn read(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset the count to zero (between trials).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{hw_config, PerfEventAttr};
+
+    #[test]
+    fn counts_only_while_enabled() {
+        let ev = CountingEvent::new(PerfEventAttr::counting(hw_config::MEM_ACCESS));
+        assert!(ev.is_enabled());
+        ev.add(10);
+        ev.disable();
+        ev.add(5);
+        ev.enable();
+        ev.add(1);
+        assert_eq!(ev.read(), 11);
+        ev.reset();
+        assert_eq!(ev.read(), 0);
+    }
+
+    #[test]
+    fn starts_disabled_when_attr_says_so() {
+        let attr = PerfEventAttr { disabled: true, ..PerfEventAttr::counting(hw_config::CPU_CYCLES) };
+        let ev = CountingEvent::new(attr);
+        assert!(!ev.is_enabled());
+        ev.add(100);
+        assert_eq!(ev.read(), 0);
+    }
+}

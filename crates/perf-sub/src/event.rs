@@ -1,0 +1,225 @@
+//! The perf "file descriptor": an opened event with its mmap'd buffers.
+//!
+//! For ARM SPE, NMO opens one event per core (Section IV-A: "this
+//! configuration process is done on a per-core basis"), mmaps a ring buffer
+//! of `(N+1)` 64 KiB pages and an aux buffer whose size is controlled by the
+//! `NMO_AUXBUFSIZE` environment variable, and then polls for
+//! `PERF_RECORD_AUX` records.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::attr::PerfEventAttr;
+use crate::mmap::{AuxBuffer, MetadataPage, RingBuffer};
+use crate::poll::Waker;
+use crate::records::Record;
+use crate::{PerfError, Result};
+
+/// Identifier of an opened event (unique per process, like an fd number).
+pub type EventId = u64;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(3);
+
+/// An opened perf event with its buffers.
+///
+/// The struct is designed to be shared (`Arc<PerfEvent>`) between the
+/// producer side (the SPE driver, running on the profiled core) and the
+/// consumer side (the NMO monitoring thread).
+#[derive(Debug)]
+pub struct PerfEvent {
+    id: EventId,
+    attr: PerfEventAttr,
+    cpu: usize,
+    meta: MetadataPage,
+    ring: RingBuffer,
+    aux: Option<AuxBuffer>,
+    waker: Waker,
+    enabled: AtomicBool,
+}
+
+impl PerfEvent {
+    /// Open an event on `cpu` with a ring buffer of `ring_pages` data pages.
+    ///
+    /// The aux buffer is mapped separately via [`PerfEvent::mmap_aux`], as in
+    /// the real ABI (a second `mmap` call on the same fd).
+    pub fn open(attr: PerfEventAttr, cpu: usize, ring_pages: u64, page_bytes: u64) -> Result<Self> {
+        attr.validate()?;
+        let ring = RingBuffer::new(ring_pages, page_bytes)?;
+        Ok(PerfEvent {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            attr,
+            cpu,
+            meta: MetadataPage::default(),
+            ring,
+            aux: None,
+            waker: Waker::new(),
+            enabled: AtomicBool::new(!attr.disabled),
+        })
+    }
+
+    /// Map an aux buffer of `aux_pages` pages onto this event.
+    pub fn mmap_aux(&mut self, aux_pages: u64, page_bytes: u64) -> Result<()> {
+        if !self.attr.is_spe() {
+            return Err(PerfError::InvalidAttr(
+                "aux buffers are only meaningful for AUX-capable PMUs (SPE)".into(),
+            ));
+        }
+        self.aux = Some(AuxBuffer::new(aux_pages, page_bytes)?);
+        Ok(())
+    }
+
+    /// The event id (fd number analogue).
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// The attribute block the event was opened with.
+    pub fn attr(&self) -> &PerfEventAttr {
+        &self.attr
+    }
+
+    /// The CPU this event is bound to.
+    pub fn cpu(&self) -> usize {
+        self.cpu
+    }
+
+    /// The metadata page.
+    pub fn meta(&self) -> &MetadataPage {
+        &self.meta
+    }
+
+    /// The data ring buffer.
+    pub fn ring(&self) -> &RingBuffer {
+        &self.ring
+    }
+
+    /// The aux buffer, if mapped.
+    pub fn aux(&self) -> Option<&AuxBuffer> {
+        self.aux.as_ref()
+    }
+
+    /// The readiness waker (epoll analogue).
+    pub fn waker(&self) -> &Waker {
+        &self.waker
+    }
+
+    /// Enable the event (ioctl `PERF_EVENT_IOC_ENABLE`).
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disable the event (ioctl `PERF_EVENT_IOC_DISABLE`).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether the event is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Effective aux watermark in bytes: the attribute value, or half the aux
+    /// buffer when the attribute is 0 (kernel default).
+    pub fn effective_aux_watermark(&self) -> u64 {
+        let aux_capacity = self.aux.as_ref().map(|a| a.capacity()).unwrap_or(0);
+        if self.attr.aux_watermark != 0 {
+            self.attr.aux_watermark.min(aux_capacity.max(1))
+        } else {
+            (aux_capacity / 2).max(1)
+        }
+    }
+
+    /// Producer side: publish a record into the ring buffer and wake pollers.
+    pub fn publish(&self, record: Record) -> bool {
+        let ok = self.ring.write_record(&record, &self.meta);
+        self.waker.wake();
+        ok
+    }
+
+    /// Consumer side: read the next record from the ring buffer.
+    pub fn next_record(&self) -> Result<Option<Record>> {
+        self.ring.read_record(&self.meta)
+    }
+
+    /// Close the event: disable it and unblock any pollers.
+    pub fn close(&self) {
+        self.disable();
+        self.waker.close();
+    }
+
+    /// Convenience constructor returning an `Arc` so both sides can share it.
+    pub fn open_shared(
+        attr: PerfEventAttr,
+        cpu: usize,
+        ring_pages: u64,
+        aux_pages: u64,
+        page_bytes: u64,
+    ) -> Result<Arc<Self>> {
+        let mut ev = Self::open(attr, cpu, ring_pages, page_bytes)?;
+        if attr.is_spe() {
+            ev.mmap_aux(aux_pages, page_bytes)?;
+        }
+        Ok(Arc::new(ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::PerfEventAttr;
+    use crate::records::{AuxRecord, Record};
+
+    #[test]
+    fn open_spe_event_with_buffers() {
+        let ev = PerfEvent::open_shared(PerfEventAttr::arm_spe_loads_stores(4096), 3, 8, 16, 4096)
+            .unwrap();
+        assert_eq!(ev.cpu(), 3);
+        assert!(ev.is_enabled());
+        assert!(ev.aux().is_some());
+        assert_eq!(ev.aux().unwrap().capacity(), 16 * 4096);
+        assert_eq!(ev.effective_aux_watermark(), 8 * 4096, "default watermark is half the aux buffer");
+    }
+
+    #[test]
+    fn aux_mmap_rejected_for_counting_events() {
+        let mut ev = PerfEvent::open(PerfEventAttr::counting(0x13), 0, 8, 4096).unwrap();
+        assert!(ev.mmap_aux(8, 4096).is_err());
+    }
+
+    #[test]
+    fn publish_wakes_and_delivers() {
+        let ev = PerfEvent::open_shared(PerfEventAttr::arm_spe_loads_stores(4096), 0, 8, 16, 4096)
+            .unwrap();
+        let rec = Record::Aux(AuxRecord { aux_offset: 0, aux_size: 128, flags: 0 });
+        assert!(ev.publish(rec));
+        assert_eq!(ev.waker().wakeups(), 1);
+        assert_eq!(ev.next_record().unwrap(), Some(rec));
+        assert_eq!(ev.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn explicit_watermark_capped_at_capacity() {
+        let attr = PerfEventAttr {
+            aux_watermark: 1 << 30,
+            ..PerfEventAttr::arm_spe_loads_stores(1000)
+        };
+        let ev = PerfEvent::open_shared(attr, 0, 8, 4, 4096).unwrap();
+        assert_eq!(ev.effective_aux_watermark(), 4 * 4096);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = PerfEvent::open(PerfEventAttr::counting(0x11), 0, 1, 4096).unwrap();
+        let b = PerfEvent::open(PerfEventAttr::counting(0x11), 0, 1, 4096).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn close_disables_and_unblocks() {
+        let ev = PerfEvent::open_shared(PerfEventAttr::arm_spe_loads_stores(4096), 0, 8, 4, 4096)
+            .unwrap();
+        ev.close();
+        assert!(!ev.is_enabled());
+        assert!(ev.waker().is_closed());
+    }
+}

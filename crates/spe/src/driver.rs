@@ -1,0 +1,437 @@
+//! The SPE "kernel driver": buffer management, watermark interrupts,
+//! truncation, and the profiling-overhead model.
+//!
+//! [`SpeDriver`] implements [`arch_sim::OpObserver`], so attaching it to a
+//! simulated core is the software equivalent of `perf_event_open` with PMU
+//! type `0x2c` bound to that core. It owns the per-core [`SamplerUnit`] and a
+//! shared [`perf_sub::PerfEvent`] (ring buffer + aux buffer + waker) that the
+//! NMO monitoring thread consumes.
+//!
+//! ## Overhead and loss model
+//!
+//! The paper's sensitivity study is driven by three mechanisms, all modelled
+//! here in *simulated time* so the results are deterministic:
+//!
+//! * **Record cost** — every record written to the aux buffer charges
+//!   [`OverheadModel::record_write_cycles`] to the profiled core (pipeline
+//!   tracking + packet formation + buffer write). Samples dropped by a
+//!   collision or a full buffer charge nothing, matching the paper's
+//!   observation that dropped samples cost no time.
+//! * **Watermark interrupts** — when `aux_watermark` bytes accumulate, a
+//!   `PERF_RECORD_AUX` record is published, pollers are woken, and
+//!   [`OverheadModel::interrupt_cycles`] are charged to the core.
+//! * **Drain latency** — the space occupied by published data is only
+//!   released after a service latency plus a per-byte processing time
+//!   (modelling the NMO monitor thread catching up). If the core produces
+//!   samples faster than this drain, the aux buffer fills and records are
+//!   dropped as *truncated* — the dominant cause of the accuracy collapse at
+//!   sampling periods below ~2000–3000 in Figure 8a, of the aux-buffer-size
+//!   sensitivity in Figure 9, and (via the `PERF_AUX_FLAG_COLLISION` flag on
+//!   the published records) of the collision counts in Figure 8c.
+//!
+//! In addition, SPE needs a minimum functional aux-buffer size
+//! ([`OverheadModel::min_functional_aux_pages`], 4 pages on the paper's
+//! testbed): below it the hardware produces no samples at all, which is why
+//! the smallest buffer in Figure 9 shows the lowest overhead and zero
+//! accuracy.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use arch_sim::{Machine, MemOutcome, ObserverCharge, Op, OpObserver};
+use perf_sub::records::{
+    AuxRecord, ItraceStartRecord, Record, PERF_AUX_FLAG_COLLISION, PERF_AUX_FLAG_TRUNCATED,
+};
+use perf_sub::{PerfEvent, PerfError};
+
+use crate::config::SpeConfig;
+use crate::packet::SPE_RECORD_BYTES;
+use crate::stats::SpeStats;
+use crate::unit::{SampleOutcome, SamplerUnit};
+
+/// Tunable cost model for SPE profiling overhead (in core cycles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Cycles charged to the profiled core per record written to the aux
+    /// buffer (pipeline tracking, packet formation, buffer write).
+    pub record_write_cycles: u64,
+    /// Cycles charged to the profiled core per watermark interrupt.
+    pub interrupt_cycles: u64,
+    /// Simulated monitor-thread processing speed: cycles per aux byte before
+    /// the space is released back to the producer.
+    pub drain_cycles_per_byte: f64,
+    /// Fixed latency (scheduling + syscall + wakeup) before a published chunk
+    /// starts draining, in cycles.
+    pub drain_service_latency_cycles: u64,
+    /// Minimum aux-buffer size, in pages, below which SPE produces nothing.
+    pub min_functional_aux_pages: u64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            record_write_cycles: 400,
+            interrupt_cycles: 12_000,
+            drain_cycles_per_byte: 150.0,
+            drain_service_latency_cycles: 4_500_000,
+            min_functional_aux_pages: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRelease {
+    release_at_cycle: u64,
+    new_tail: u64,
+}
+
+/// Per-core SPE driver: sampling unit + perf event plumbing + overhead model.
+pub struct SpeDriver {
+    unit: SamplerUnit,
+    event: Arc<PerfEvent>,
+    stats: Arc<SpeStats>,
+    model: OverheadModel,
+    /// Aux offset where not-yet-published data begins.
+    pending_start: u64,
+    /// Bytes written but not yet published via `PERF_RECORD_AUX`.
+    pending_bytes: u64,
+    /// Flags accumulated for the next published AUX record.
+    pending_flags: u64,
+    /// Future aux-tail advances, ordered by release time.
+    releases: VecDeque<PendingRelease>,
+    /// Whether the aux buffer meets the minimum functional size.
+    functional: bool,
+}
+
+impl std::fmt::Debug for SpeDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeDriver")
+            .field("cpu", &self.event.cpu())
+            .field("pending_bytes", &self.pending_bytes)
+            .field("functional", &self.functional)
+            .finish()
+    }
+}
+
+impl SpeDriver {
+    /// Create a driver bound to an already-opened SPE perf event.
+    pub fn new(
+        cfg: SpeConfig,
+        event: Arc<PerfEvent>,
+        stats: Arc<SpeStats>,
+        model: OverheadModel,
+        timeconv: arch_sim::TimeConv,
+        seed: u64,
+    ) -> Self {
+        let functional = event
+            .aux()
+            .map(|aux| aux.pages() >= model.min_functional_aux_pages)
+            .unwrap_or(false);
+        let unit = SamplerUnit::new(cfg, stats.clone(), timeconv, seed);
+        SpeDriver {
+            unit,
+            event,
+            stats,
+            model,
+            pending_start: 0,
+            pending_bytes: 0,
+            pending_flags: 0,
+            releases: VecDeque::new(),
+            functional,
+        }
+    }
+
+    /// `perf_event_open` analogue: open an SPE event for `core` on `machine`,
+    /// allocate its buffers, attach the driver to the core, and return the
+    /// handles the profiler needs (the shared event and statistics).
+    ///
+    /// `ring_pages` and `aux_pages` are in machine pages (64 KiB on the
+    /// paper's testbed); `ring_pages` excludes the metadata page, mirroring
+    /// NMO's `(N+1)`-page mmap.
+    pub fn open_on(
+        machine: &Machine,
+        core: usize,
+        cfg: SpeConfig,
+        ring_pages: u64,
+        aux_pages: u64,
+        model: OverheadModel,
+    ) -> Result<(Arc<PerfEvent>, Arc<SpeStats>), PerfError> {
+        let page_bytes = machine.config().page_bytes;
+        let attr = cfg.to_attr();
+        let event = PerfEvent::open_shared(attr, core, ring_pages, aux_pages, page_bytes)?;
+        let timeconv = machine.timeconv();
+        let (zero, shift, mult) = timeconv.perf_mmap_triple();
+        event.meta().set_clock(zero, shift, mult);
+        event.publish(Record::ItraceStart(ItraceStartRecord { pid: 1, tid: core as u32 + 1 }));
+
+        let stats = SpeStats::new_shared();
+        let driver = SpeDriver::new(cfg, event.clone(), stats.clone(), model, timeconv, core as u64);
+        machine
+            .set_observer(core, Box::new(driver))
+            .map_err(|e| PerfError::InvalidAttr(format!("cannot attach SPE to core {core}: {e}")))?;
+        Ok((event, stats))
+    }
+
+    /// The shared perf event.
+    pub fn event(&self) -> &Arc<PerfEvent> {
+        &self.event
+    }
+
+    /// The shared statistics block.
+    pub fn stats(&self) -> &Arc<SpeStats> {
+        &self.stats
+    }
+
+    fn process_releases(&mut self, now_cycles: u64) {
+        while let Some(front) = self.releases.front() {
+            if front.release_at_cycle <= now_cycles {
+                if let Some(aux) = self.event.aux() {
+                    aux.advance_tail(front.new_tail, self.event.meta());
+                }
+                self.releases.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn publish_pending(&mut self, now_cycles: u64) -> u64 {
+        if self.pending_bytes == 0 && self.pending_flags == 0 {
+            return 0;
+        }
+        let record = Record::Aux(AuxRecord {
+            aux_offset: self.pending_start,
+            aux_size: self.pending_bytes,
+            flags: self.pending_flags,
+        });
+        self.event.publish(record);
+        self.stats.add(&self.stats.interrupts, 1);
+
+        // Schedule the space release (simulated monitor-thread drain). A
+        // flags-only record (pending_bytes == 0, e.g. pure truncation at the
+        // final drain) releases nothing.
+        let new_tail = self.pending_start + self.pending_bytes;
+        if self.pending_bytes > 0 {
+            let drain_cycles = self.model.drain_service_latency_cycles
+                + (self.pending_bytes as f64 * self.model.drain_cycles_per_byte) as u64;
+            self.releases.push_back(PendingRelease {
+                release_at_cycle: now_cycles + drain_cycles,
+                new_tail,
+            });
+        }
+
+        self.pending_start = new_tail;
+        self.pending_bytes = 0;
+        self.pending_flags = 0;
+        self.model.interrupt_cycles
+    }
+}
+
+impl OpObserver for SpeDriver {
+    fn on_op(&mut self, op: &Op, outcome: Option<&MemOutcome>, now_cycles: u64) -> ObserverCharge {
+        if !self.functional || !self.event.is_enabled() {
+            return ObserverCharge::NONE;
+        }
+        self.process_releases(now_cycles);
+
+        let record = match self.unit.on_op(op, outcome, now_cycles) {
+            SampleOutcome::Record(rec) => rec,
+            // Non-samples and dropped samples cost nothing (paper Section
+            // VII-A: collided samples are discarded before filtering and
+            // buffer writes, hence no time overhead).
+            _ => return ObserverCharge::NONE,
+        };
+
+        let Some(aux) = self.event.aux() else {
+            return ObserverCharge::NONE;
+        };
+        let bytes = record.encode();
+        let mut charge = 0u64;
+        match aux.write(&bytes, self.event.meta()) {
+            Some(offset) => {
+                if self.pending_bytes == 0 {
+                    self.pending_start = offset;
+                }
+                self.pending_bytes += SPE_RECORD_BYTES as u64;
+                self.stats.add(&self.stats.records_written, 1);
+                self.stats.add(&self.stats.aux_bytes_written, SPE_RECORD_BYTES as u64);
+                charge += self.model.record_write_cycles;
+
+                if self.pending_bytes >= self.event.effective_aux_watermark() {
+                    charge += self.publish_pending(now_cycles);
+                }
+            }
+            None => {
+                // Aux buffer full: the record is dropped. The next published
+                // AUX record carries the truncation/collision flags, which is
+                // what NMO counts (paper Section VII).
+                self.stats.add(&self.stats.truncated_records, 1);
+                self.pending_flags |= PERF_AUX_FLAG_TRUNCATED | PERF_AUX_FLAG_COLLISION;
+            }
+        }
+        if charge > 0 {
+            self.stats.add(&self.stats.overhead_cycles, charge);
+        }
+        ObserverCharge::cycles(charge)
+    }
+
+    fn on_detach(&mut self, now_cycles: u64) -> ObserverCharge {
+        if !self.functional {
+            return ObserverCharge::NONE;
+        }
+        // Final drain: publish whatever is pending so the monitor can process
+        // it after program exit. The paper measures execution time up to the
+        // end of `main`, so the final drain is not charged to the core.
+        self.publish_pending(now_cycles);
+        self.process_releases(u64::MAX);
+        ObserverCharge::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch_sim::MachineConfig;
+    use perf_sub::records::Record;
+
+    fn fast_model() -> OverheadModel {
+        OverheadModel {
+            record_write_cycles: 10,
+            interrupt_cycles: 100,
+            drain_cycles_per_byte: 0.1,
+            drain_service_latency_cycles: 10,
+            min_functional_aux_pages: 4,
+        }
+    }
+
+    #[test]
+    fn open_on_attaches_and_publishes_itrace_start() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = SpeConfig::loads_stores(100);
+        let (event, _stats) =
+            SpeDriver::open_on(&machine, 0, cfg, 8, 16, OverheadModel::default()).unwrap();
+        match event.next_record().unwrap() {
+            Some(Record::ItraceStart(s)) => assert_eq!(s.tid, 1),
+            other => panic!("expected ItraceStart, got {other:?}"),
+        }
+        // Observer is attached to the core.
+        assert!(machine.take_observer(0).unwrap().is_some());
+    }
+
+    #[test]
+    fn records_flow_into_aux_and_aux_records_into_ring() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = SpeConfig { jitter_ops: 0, ..SpeConfig::loads_stores(10) };
+        let (event, stats) = SpeDriver::open_on(&machine, 0, cfg, 8, 16, fast_model()).unwrap();
+        // Consume the ItraceStart record.
+        let _ = event.next_record().unwrap();
+
+        let region = machine.alloc("data", 1 << 20).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..10_000u64 {
+                e.load(region.start + i * 8, 8);
+            }
+        }
+        let snap = stats.snapshot();
+        assert!(snap.records_written >= 900, "snap={snap:?}");
+        assert!(snap.aux_bytes_written >= 900 * 64);
+        assert!(snap.interrupts >= 1, "final drain publishes at least once");
+
+        // NMO side: AUX records are readable and point at valid data.
+        let mut aux_bytes_seen = 0;
+        while let Some(rec) = event.next_record().unwrap() {
+            if let Record::Aux(a) = rec {
+                aux_bytes_seen += a.aux_size;
+                let data = event.aux().unwrap().read_at(a.aux_offset, a.aux_size);
+                assert_eq!(data.len() as u64 % 64, 0);
+            }
+        }
+        assert_eq!(aux_bytes_seen, snap.aux_bytes_written);
+    }
+
+    #[test]
+    fn tiny_aux_buffer_disables_sampling() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = SpeConfig { jitter_ops: 0, ..SpeConfig::loads_stores(10) };
+        // 2 pages < min_functional_aux_pages (4).
+        let (_event, stats) = SpeDriver::open_on(&machine, 0, cfg, 8, 2, fast_model()).unwrap();
+        let region = machine.alloc("data", 1 << 20).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..10_000u64 {
+                e.load(region.start + i * 8, 8);
+            }
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.records_written, 0);
+        assert_eq!(snap.overhead_cycles, 0, "a non-functional SPE costs nothing");
+    }
+
+    #[test]
+    fn slow_drain_causes_truncation() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = SpeConfig { jitter_ops: 0, ..SpeConfig::loads_stores(2) };
+        let model = OverheadModel {
+            record_write_cycles: 1,
+            interrupt_cycles: 1,
+            // Slower than production on purpose.
+            drain_cycles_per_byte: 10_000.0,
+            drain_service_latency_cycles: 1_000_000,
+            min_functional_aux_pages: 4,
+        };
+        // Small aux buffer: 4 pages of 4 KiB = 256 records.
+        let (_event, stats) = SpeDriver::open_on(&machine, 0, cfg, 8, 4, model).unwrap();
+        let region = machine.alloc("data", 1 << 22).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..100_000u64 {
+                e.load(region.start + (i * 64) % (1 << 22), 8);
+            }
+        }
+        let snap = stats.snapshot();
+        assert!(snap.truncated_records > 0, "snap={snap:?}");
+        assert!(
+            snap.records_written < snap.samples_selected,
+            "some selected samples must be lost"
+        );
+    }
+
+    #[test]
+    fn disabled_event_produces_nothing() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = SpeConfig { jitter_ops: 0, ..SpeConfig::loads_stores(10) };
+        let (event, stats) = SpeDriver::open_on(&machine, 0, cfg, 8, 16, fast_model()).unwrap();
+        event.disable();
+        let region = machine.alloc("data", 1 << 20).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..1000u64 {
+                e.load(region.start + i * 8, 8);
+            }
+        }
+        assert_eq!(stats.snapshot().records_written, 0);
+    }
+
+    #[test]
+    fn overhead_scales_with_sample_count() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let region = machine.alloc("data", 1 << 20).unwrap();
+        let mut overheads = Vec::new();
+        for (core, period) in [(0usize, 10u64), (1, 100)] {
+            let cfg = SpeConfig { jitter_ops: 0, ..SpeConfig::loads_stores(period) };
+            let (_event, stats) = SpeDriver::open_on(&machine, core, cfg, 8, 16, fast_model()).unwrap();
+            {
+                let mut e = machine.attach(core).unwrap();
+                for i in 0..50_000u64 {
+                    e.load(region.start + (i % 1000) * 8, 8);
+                }
+            }
+            overheads.push(stats.snapshot().overhead_cycles);
+        }
+        assert!(
+            overheads[0] > overheads[1] * 5,
+            "10x more samples should cost much more: {overheads:?}"
+        );
+    }
+}

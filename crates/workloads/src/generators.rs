@@ -1,0 +1,258 @@
+//! Deterministic synthetic-input generators.
+//!
+//! The paper's workloads consume external inputs (Rodinia data files, the
+//! CloudSuite movie-ratings dataset, graph files). Those inputs are not
+//! redistributable here, so this module generates synthetic equivalents with
+//! the same structural properties: power-law graphs for BFS/PageRank
+//! (RMAT-style), uniform graphs as a regular baseline, an unstructured-mesh
+//! neighbour map for CFD, and a sparse user–movie rating matrix for ALS. All
+//! generators are seeded and deterministic so experiment trials are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in compressed sparse row (CSR) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Row offsets, length `num_vertices + 1`.
+    pub offsets: Vec<u32>,
+    /// Column indices (edge targets), length = number of edges.
+    pub edges: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        &self.edges[start..end]
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Basic structural validation (offsets monotone, targets in range).
+    pub fn validate(&self) -> bool {
+        if self.offsets.len() != self.num_vertices + 1 {
+            return false;
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() as usize != self.edges.len() {
+            return false;
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        self.edges.iter().all(|&t| (t as usize) < self.num_vertices)
+    }
+
+    /// Build a CSR graph from an edge list.
+    pub fn from_edges(num_vertices: usize, edge_list: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u32; num_vertices];
+        for &(src, _) in edge_list {
+            degree[src as usize] += 1;
+        }
+        let mut offsets = vec![0u32; num_vertices + 1];
+        for v in 0..num_vertices {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0u32; edge_list.len()];
+        for &(src, dst) in edge_list {
+            let c = &mut cursor[src as usize];
+            edges[*c as usize] = dst;
+            *c += 1;
+        }
+        CsrGraph { num_vertices, offsets, edges }
+    }
+}
+
+/// Generate a uniform random directed graph with `num_vertices` vertices and
+/// average out-degree `avg_degree`.
+pub fn uniform_graph(num_vertices: usize, avg_degree: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edge_list = Vec::with_capacity(num_vertices * avg_degree);
+    for v in 0..num_vertices as u32 {
+        for _ in 0..avg_degree {
+            let dst = rng.gen_range(0..num_vertices as u32);
+            edge_list.push((v, dst));
+        }
+    }
+    CsrGraph::from_edges(num_vertices, &edge_list)
+}
+
+/// Generate an RMAT-style power-law graph (parameters a=0.57, b=0.19, c=0.19,
+/// the Graph500 defaults), with `num_vertices` rounded up to a power of two.
+pub fn rmat_graph(num_vertices: usize, avg_degree: usize, seed: u64) -> CsrGraph {
+    let n = num_vertices.next_power_of_two().max(2);
+    let levels = n.trailing_zeros();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_edges = n * avg_degree;
+    let mut edge_list = Vec::with_capacity(num_edges);
+    let (a, b, c) = (0.57f64, 0.19f64, 0.19f64);
+    for _ in 0..num_edges {
+        let (mut src, mut dst) = (0usize, 0usize);
+        for _ in 0..levels {
+            src <<= 1;
+            dst <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left quadrant
+            } else if r < a + b {
+                dst |= 1;
+            } else if r < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        edge_list.push((src as u32, dst as u32));
+    }
+    CsrGraph::from_edges(n, &edge_list)
+}
+
+/// An unstructured-mesh neighbour map for the CFD benchmark: each element has
+/// `NEIGHBORS_PER_ELEMENT` neighbours, mostly nearby (mesh locality) with a
+/// fraction of far-away neighbours that create the irregular accesses seen in
+/// the paper's Figure 6.
+pub const NEIGHBORS_PER_ELEMENT: usize = 4;
+
+/// Generate the neighbour indices of an unstructured mesh with `elements`
+/// cells. `far_fraction` in `[0,1]` controls how many neighbour links jump to
+/// a random remote element.
+pub fn mesh_neighbors(elements: usize, far_fraction: f64, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(elements * NEIGHBORS_PER_ELEMENT);
+    let window = (elements / 64).max(8) as i64;
+    for e in 0..elements as i64 {
+        for k in 0..NEIGHBORS_PER_ELEMENT as i64 {
+            let neighbor = if rng.gen::<f64>() < far_fraction {
+                rng.gen_range(0..elements as i64)
+            } else {
+                // Nearby neighbour: a small signed offset, alternating sides.
+                let off = rng.gen_range(1..=window) * if k % 2 == 0 { 1 } else { -1 };
+                (e + off).rem_euclid(elements as i64)
+            };
+            out.push(neighbor as u32);
+        }
+    }
+    out
+}
+
+/// A sparse user–movie rating in coordinate form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// User index.
+    pub user: u32,
+    /// Movie index.
+    pub movie: u32,
+    /// Rating value in `[0.5, 5.0]`.
+    pub value: f32,
+}
+
+/// Generate a synthetic user–movie rating set with a skewed movie popularity
+/// distribution (a few blockbusters receive most ratings), as in the
+/// MovieLens-style dataset CloudSuite uses.
+pub fn ratings(users: usize, movies: usize, ratings_per_user: usize, seed: u64) -> Vec<Rating> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(users * ratings_per_user);
+    for u in 0..users as u32 {
+        for _ in 0..ratings_per_user {
+            // Zipf-ish: square a uniform variable to skew towards low indices.
+            let z: f64 = rng.gen::<f64>();
+            let movie = ((z * z) * movies as f64) as u32 % movies as u32;
+            let value = (rng.gen_range(1..=10) as f32) * 0.5;
+            out.push(Rating { user: u, movie, value });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_graph_is_valid_and_sized() {
+        let g = uniform_graph(1000, 8, 1);
+        assert!(g.validate());
+        assert_eq!(g.num_vertices, 1000);
+        assert_eq!(g.num_edges(), 8000);
+        // Every vertex has exactly avg_degree out-edges in the uniform model.
+        assert!((0..1000).all(|v| g.degree(v) == 8));
+    }
+
+    #[test]
+    fn rmat_graph_is_valid_and_skewed() {
+        let g = rmat_graph(1 << 12, 8, 7);
+        assert!(g.validate());
+        assert_eq!(g.num_vertices, 1 << 12);
+        let max_degree = (0..g.num_vertices).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.num_edges() / g.num_vertices;
+        assert!(
+            max_degree > avg * 5,
+            "power-law graphs should have hubs: max {max_degree}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_graph(500, 4, 42), uniform_graph(500, 4, 42));
+        assert_eq!(rmat_graph(512, 4, 42), rmat_graph(512, 4, 42));
+        assert_eq!(mesh_neighbors(100, 0.1, 3), mesh_neighbors(100, 0.1, 3));
+        let r1 = ratings(10, 50, 5, 9);
+        let r2 = ratings(10, 50, 5, 9);
+        assert_eq!(r1.len(), r2.len());
+        assert!(r1.iter().zip(&r2).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform_graph(500, 4, 1), uniform_graph(500, 4, 2));
+    }
+
+    #[test]
+    fn mesh_neighbors_in_range_and_mostly_local() {
+        let elements = 4096;
+        let nbrs = mesh_neighbors(elements, 0.05, 11);
+        assert_eq!(nbrs.len(), elements * NEIGHBORS_PER_ELEMENT);
+        assert!(nbrs.iter().all(|&n| (n as usize) < elements));
+        let local = nbrs
+            .chunks(NEIGHBORS_PER_ELEMENT)
+            .enumerate()
+            .flat_map(|(e, ns)| ns.iter().map(move |&n| (e as i64 - n as i64).abs()))
+            .filter(|d| *d <= (elements / 64) as i64)
+            .count();
+        assert!(local as f64 / nbrs.len() as f64 > 0.8, "most neighbours should be local");
+    }
+
+    #[test]
+    fn ratings_are_in_range_and_skewed() {
+        let r = ratings(100, 1000, 20, 5);
+        assert_eq!(r.len(), 2000);
+        assert!(r.iter().all(|x| x.value >= 0.5 && x.value <= 5.0 && (x.movie as usize) < 1000));
+        // Popularity skew: the most popular decile of movies gets well over
+        // its proportional share of ratings.
+        let low_decile = r.iter().filter(|x| (x.movie as usize) < 100).count();
+        assert!(low_decile as f64 / r.len() as f64 > 0.2);
+    }
+
+    #[test]
+    fn csr_from_edges_groups_by_source() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (2, 0), (0, 2), (1, 1)]);
+        assert!(g.validate());
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[1]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+}

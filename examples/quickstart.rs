@@ -1,0 +1,69 @@
+//! Quickstart: profile a small STREAM run with NMO and print every level of
+//! the memory-centric profile (capacity, bandwidth, regions).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nmo_repro::arch_sim::{Machine, MachineConfig};
+use nmo_repro::nmo::{NmoConfig, Profiler};
+use nmo_repro::workloads::{StreamBench, Workload};
+
+fn main() {
+    // The simulated platform of Table II (Ampere Altra Max-like).
+    let machine = Machine::new(MachineConfig::ampere_altra_max());
+
+    // NMO configured the way the paper runs it: loads + stores sampled with
+    // ARM SPE, RSS and bandwidth tracking on. The same configuration can be
+    // pulled from the NMO_* environment variables with `NmoConfig::from_env()`.
+    let config = NmoConfig { name: "quickstart".into(), ..NmoConfig::paper_default(4096) };
+    let mut profiler = Profiler::new(&machine, config);
+    let annotations = profiler.annotations();
+
+    // A 2M-element STREAM Triad on 8 threads.
+    let mut stream = StreamBench::new(2_000_000, 2);
+    stream.setup(&machine, &annotations);
+
+    let cores: Vec<usize> = (0..8).collect();
+    profiler.enable(&cores).expect("enable NMO");
+    let report = stream.run(&machine, &annotations, &cores);
+    assert!(stream.verify(), "STREAM verification failed");
+
+    let profile = profiler.finish();
+
+    println!("== NMO quickstart ==");
+    println!("{}", profile.summary());
+    println!();
+    println!("workload issued {} memory ops and {} FLOPs", report.mem_ops, report.flops);
+    println!(
+        "level 1 (capacity):  peak RSS {:.3} GiB ({:.2}% of the 256 GiB node)",
+        profile.capacity.peak_gib(),
+        profile.capacity.peak_utilization * 100.0
+    );
+    println!(
+        "level 2 (bandwidth): peak {:.1} GiB/s, mean {:.1} GiB/s, arithmetic intensity {:?}",
+        profile.bandwidth.peak_gib_per_s,
+        profile.bandwidth.mean_gib_per_s,
+        profile.bandwidth.arithmetic_intensity
+    );
+
+    let regions = profile.regions();
+    println!("level 3 (regions):   {} SPE samples attributed as follows:", profile.processed_samples);
+    for tag in &regions.per_tag {
+        println!(
+            "  {:10}  {:>8} samples ({} loads / {} stores), coverage {:.1}%",
+            tag.name,
+            tag.samples,
+            tag.loads,
+            tag.stores,
+            tag.coverage * 100.0
+        );
+    }
+    println!(
+        "accuracy vs hardware counter baseline (Eq. 1): {:.1}%",
+        profile.accuracy_against(profile.counters.mem_access) * 100.0
+    );
+
+    let written = profile.write_csv_reports("results/quickstart").expect("write CSV reports");
+    println!("\nwrote {} CSV report files under results/quickstart/", written.len());
+}

@@ -1,0 +1,74 @@
+//! A reduced version of the paper's Section VII sensitivity study: sweep the
+//! ARM SPE sampling period on STREAM and report samples, accuracy (Eq. 1),
+//! time overhead, and collisions — the quantities of Figures 7 and 8.
+//!
+//! ```text
+//! cargo run --release --example spe_sensitivity
+//! ```
+//! (The full sweeps over three workloads, aux-buffer sizes and thread counts
+//! are produced by the `repro` binary in `crates/nmo-bench`.)
+
+use nmo_repro::arch_sim::{Machine, MachineConfig};
+use nmo_repro::nmo::{accuracy, time_overhead, Annotations, NmoConfig, Profiler};
+use nmo_repro::workloads::{StreamBench, Workload};
+
+const ELEMS: usize = 1_500_000;
+const ITERS: usize = 2;
+const THREADS: usize = 8;
+
+fn baseline() -> (u64, u64) {
+    let machine = Machine::new(MachineConfig::ampere_altra_max());
+    let annotations = Annotations::new();
+    let mut stream = StreamBench::new(ELEMS, ITERS);
+    stream.setup(&machine, &annotations);
+    let cores: Vec<usize> = (0..THREADS).collect();
+    stream.run(&machine, &annotations, &cores);
+    let counters = machine.counters();
+    (counters.mem_access, counters.cycles)
+}
+
+fn main() {
+    println!("== ARM SPE sensitivity on STREAM ({} threads) ==", THREADS);
+    let (mem_counted, baseline_cycles) = baseline();
+    println!(
+        "baseline: {} mem_access events, {:.3} ms simulated execution time\n",
+        mem_counted,
+        baseline_cycles as f64 / 3e9 * 1e3
+    );
+    println!(
+        "{:>9}  {:>10}  {:>9}  {:>9}  {:>11}  {:>10}",
+        "period", "samples", "acc_%", "ovhd_%", "collisions", "truncated"
+    );
+
+    for period in [1000u64, 2000, 4000, 8000, 16000, 32000, 64000, 128000] {
+        let machine = Machine::new(MachineConfig::ampere_altra_max());
+        let mut profiler = Profiler::new(&machine, NmoConfig::paper_default(period));
+        let annotations = profiler.annotations();
+        let mut stream = StreamBench::new(ELEMS, ITERS);
+        stream.setup(&machine, &annotations);
+        let cores: Vec<usize> = (0..THREADS).collect();
+        profiler.enable(&cores).expect("enable");
+        stream.run(&machine, &annotations, &cores);
+        assert!(stream.verify());
+        let profile = profiler.finish();
+
+        let acc = accuracy(mem_counted, profile.processed_samples, period);
+        let ovh = time_overhead(baseline_cycles, profile.elapsed_cycles);
+        println!(
+            "{:>9}  {:>10}  {:>9.2}  {:>9.3}  {:>11}  {:>10}",
+            period,
+            profile.processed_samples,
+            acc * 100.0,
+            ovh * 100.0,
+            profile.spe.collisions,
+            profile.spe.truncated_records
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper Figure 8): accuracy collapses below a period of ~2000-3000\n\
+         because the monitor cannot drain the aux buffer fast enough, stabilises around\n\
+         90-95% at larger periods, while the time overhead falls roughly linearly with\n\
+         the sampling rate."
+    );
+}

@@ -1,0 +1,57 @@
+//! # nmo-repro — reproduction of "Multi-level Memory-Centric Profiling on ARM
+//! Processors with ARM SPE" (SC 2024)
+//!
+//! This meta-crate ties the workspace together and re-exports the public API
+//! of every component:
+//!
+//! * [`arch_sim`] — the simulated ARM-server machine (caches, DRAM, VM, cores);
+//! * [`perf_sub`] — the modelled `perf_event` ABI (attrs, ring/aux buffers, records);
+//! * [`spe`] — the ARM Statistical Profiling Extension model (sampling unit,
+//!   packet codec, driver, overhead model);
+//! * [`nmo`] — the NMO profiler itself (configuration, annotations, runtime,
+//!   capacity/bandwidth/region profiling, accuracy & overhead analysis);
+//! * [`workloads`] — STREAM, CFD, BFS, PageRank and In-memory Analytics.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and hardware-substitution argument, and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison of every table and figure. The runnable
+//! entry points are the examples in `examples/` and the `repro` binary in
+//! `crates/nmo-bench`.
+
+pub use arch_sim;
+pub use nmo;
+pub use perf_sub;
+pub use spe;
+pub use workloads;
+
+/// One-call convenience: run a workload under NMO on a fresh simulated
+/// Ampere-Altra-like machine and return the resulting profile.
+///
+/// This is the "preload the library and set environment variables" usage
+/// model of the paper compressed into a function: the configuration can come
+/// from [`nmo::NmoConfig::from_env`] or be built programmatically.
+///
+/// ```
+/// use nmo_repro::{profile_workload, nmo::NmoConfig, workloads::StreamBench};
+///
+/// let profile = profile_workload(
+///     Box::new(StreamBench::new(10_000, 1)),
+///     &NmoConfig::paper_default(500),
+///     2,
+/// );
+/// assert!(profile.processed_samples > 0);
+/// ```
+pub fn profile_workload(
+    mut workload: Box<dyn workloads::Workload>,
+    config: &nmo::NmoConfig,
+    threads: usize,
+) -> nmo::Profile {
+    let machine = arch_sim::Machine::new(arch_sim::MachineConfig::ampere_altra_max());
+    let mut profiler = nmo::Profiler::new(&machine, config.clone());
+    let annotations = profiler.annotations();
+    let cores: Vec<usize> = (0..threads).collect();
+    workload.setup(&machine, &annotations);
+    profiler.enable(&cores).expect("profiler enable");
+    workload.run(&machine, &annotations, &cores);
+    profiler.finish()
+}

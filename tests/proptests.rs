@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: SPE packet codec, perf ring/aux buffers, time conversion,
+//! cache behaviour, Eq. (1) accuracy bounds, and chunk partitioning.
+
+use proptest::prelude::*;
+
+use nmo_repro::arch_sim::{Cache, CacheLevelConfig, MemLevel, OpKind, TimeConv};
+use nmo_repro::nmo::accuracy;
+use nmo_repro::perf_sub::{AuxBuffer, MetadataPage, RingBuffer};
+use nmo_repro::perf_sub::records::{AuxRecord, LostRecord, Record};
+use nmo_repro::spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
+use nmo_repro::workloads::chunk_range;
+
+fn arb_level() -> impl Strategy<Value = MemLevel> {
+    prop_oneof![
+        Just(MemLevel::L1),
+        Just(MemLevel::L2),
+        Just(MemLevel::Slc),
+        Just(MemLevel::Dram),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![Just(OpKind::Load), Just(OpKind::Store)]
+}
+
+proptest! {
+    #[test]
+    fn spe_record_roundtrips_for_arbitrary_fields(
+        pc in any::<u64>(),
+        vaddr in 1u64..u64::MAX,
+        ts in 1u64..u64::MAX,
+        latency in 0u64..100_000,
+        kind in arb_kind(),
+        level in arb_level(),
+    ) {
+        let rec = SpeRecord::new(pc, vaddr, ts, latency, kind, level);
+        let bytes = rec.encode();
+        prop_assert_eq!(bytes.len(), SPE_RECORD_BYTES);
+        let back = SpeRecord::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, rec);
+        let (va, t) = decode_nmo_fields(&bytes).expect("nmo decode");
+        prop_assert_eq!(va, vaddr);
+        prop_assert_eq!(t, ts);
+    }
+
+    #[test]
+    fn corrupting_any_header_byte_never_panics_and_zero_fields_are_rejected(
+        vaddr in 1u64..u64::MAX,
+        ts in 1u64..u64::MAX,
+        corrupt_at in 0usize..64,
+        new_byte in any::<u8>(),
+    ) {
+        let rec = SpeRecord::new(0, vaddr, ts, 5, OpKind::Load, MemLevel::L1);
+        let mut bytes = rec.encode();
+        bytes[corrupt_at] = new_byte;
+        // Must never panic; may or may not decode depending on which byte
+        // was hit.
+        let _ = SpeRecord::decode(&bytes);
+        let _ = decode_nmo_fields(&bytes);
+        // Zero address / timestamp records are always rejected by the NMO decode.
+        let zero = SpeRecord::new(0, 0, ts, 5, OpKind::Load, MemLevel::L1);
+        prop_assert!(decode_nmo_fields(&zero.encode()).is_none());
+    }
+
+    #[test]
+    fn perf_records_roundtrip(offset in any::<u64>(), size in any::<u64>(), flags in 0u64..16, id in any::<u64>(), lost in any::<u64>()) {
+        for rec in [
+            Record::Aux(AuxRecord { aux_offset: offset, aux_size: size, flags }),
+            Record::Lost(LostRecord { id, lost }),
+        ] {
+            let back = Record::from_bytes(&rec.to_bytes()).expect("roundtrip");
+            prop_assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn ring_buffer_fifo_order_and_no_loss_below_capacity(
+        sizes in prop::collection::vec(1u64..10_000, 1..40)
+    ) {
+        let meta = MetadataPage::default();
+        let ring = RingBuffer::new(8, 4096).unwrap();
+        // Interleave writes and reads; everything written must come back in order.
+        let mut expected = std::collections::VecDeque::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let rec = Record::Aux(AuxRecord { aux_offset: i as u64 * 64, aux_size: *size, flags: 0 });
+            prop_assert!(ring.write_record(&rec, &meta), "writes below capacity never fail");
+            expected.push_back(rec);
+            if i % 3 == 0 {
+                if let Some(rec) = ring.read_record(&meta).unwrap() {
+                    prop_assert_eq!(rec, expected.pop_front().unwrap());
+                }
+            }
+        }
+        while let Some(rec) = ring.read_record(&meta).unwrap() {
+            prop_assert_eq!(rec, expected.pop_front().unwrap());
+        }
+        prop_assert!(expected.is_empty());
+        prop_assert_eq!(ring.lost(), 0);
+    }
+
+    #[test]
+    fn aux_buffer_head_tail_invariants_hold(
+        writes in prop::collection::vec(1usize..512, 1..60),
+        drain_every in 1usize..8,
+    ) {
+        let meta = MetadataPage::default();
+        let aux = AuxBuffer::new(4, 1024).unwrap();
+        for (i, len) in writes.iter().enumerate() {
+            let data = vec![0xa5u8; *len];
+            let _ = aux.write(&data, &meta);
+            prop_assert!(aux.head() >= aux.tail());
+            prop_assert!(aux.head() - aux.tail() <= aux.capacity());
+            if i % drain_every == 0 {
+                aux.advance_tail(aux.head(), &meta);
+                prop_assert_eq!(aux.unconsumed(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn time_conversion_via_mmap_triple_is_close_to_exact(
+        cycles in 0u64..10_000_000_000,
+        time_zero in 0u64..1_000_000,
+    ) {
+        let tc = TimeConv::altra().with_time_zero(time_zero);
+        let ticks = tc.cycles_to_timer_ticks(cycles);
+        let exact = tc.timer_ticks_to_ns(ticks);
+        let (zero, shift, mult) = tc.perf_mmap_triple();
+        let approx = TimeConv::apply_mmap_triple(ticks, zero, shift, mult);
+        // Within 0.01% or 2us, whichever is larger.
+        let tolerance = (exact / 10_000).max(2_000);
+        prop_assert!(exact.abs_diff(approx) <= tolerance, "exact={exact} approx={approx}");
+    }
+
+    #[test]
+    fn accuracy_is_always_a_valid_fraction(mem in 0u64..u64::MAX, samples in 0u64..1_000_000_000, period in 0u64..1_000_000) {
+        let a = accuracy(mem, samples, period);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn accuracy_is_perfect_when_estimate_matches(samples in 1u64..1_000_000, period in 1u64..100_000) {
+        let mem = samples * period;
+        let a = accuracy(mem, samples, period);
+        prop_assert!((a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_probe_agrees_with_access_history(addresses in prop::collection::vec(0u64..(1<<16), 1..200)) {
+        let cfg = CacheLevelConfig {
+            size_bytes: 64 * 1024, // larger than the address range: no evictions
+            line_bytes: 64,
+            ways: 4,
+            latency_cycles: 1,
+            occupancy_cycles: 1,
+        };
+        let mut cache = Cache::new(&cfg);
+        let mut touched_lines = std::collections::HashSet::new();
+        for addr in &addresses {
+            let was_touched = touched_lines.contains(&(addr >> 6));
+            let res = cache.access(*addr, false);
+            prop_assert_eq!(res.hit, was_touched, "addr {:#x}", addr);
+            touched_lines.insert(addr >> 6);
+        }
+        for addr in &addresses {
+            prop_assert!(cache.probe(*addr));
+        }
+    }
+
+    #[test]
+    fn chunk_range_partitions_any_n(n in 0usize..10_000, parts in 1usize..64) {
+        let mut total = 0usize;
+        let mut prev_end = 0usize;
+        for p in 0..parts {
+            let r = chunk_range(n, parts, p);
+            prop_assert!(r.start == prev_end, "ranges must be contiguous");
+            prop_assert!(r.end >= r.start);
+            total += r.len();
+            prev_end = r.end;
+        }
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(prev_end, n);
+    }
+}
