@@ -1,0 +1,198 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Implements the surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`Throughput`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock harness: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the per-iteration mean plus derived throughput
+//! is printed. No statistics files or HTML reports are produced.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (scales the printed rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: u32,
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, then time `samples` batches and record the
+    /// mean time per iteration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: find how many iterations fit in
+        // ~5 ms so short routines are timed over a meaningful window.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.per_iter_ns = if iters == 0 { 0.0 } else { total.as_nanos() as f64 / iters as f64 };
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, per_iter_ns: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let per_s = if per_iter_ns > 0.0 { count as f64 / (per_iter_ns * 1e-9) } else { 0.0 };
+        format!("  ({per_s:.3e} {unit})")
+    });
+    println!("bench: {name:<50} {:>12}{}", human_time(per_iter_ns), rate.unwrap_or_default());
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Run a single benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, per_iter_ns: 0.0 };
+        f(&mut b);
+        report(name, b.per_iter_ns, None);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.criterion.sample_size, per_iter_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.per_iter_ns, self.throughput);
+        self
+    }
+
+    /// Close the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from a list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_cheap_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("noop", |b| b.iter(|| black_box(0u8)));
+        group.finish();
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("macro_target", |b| b.iter(|| black_box(3u32)));
+    }
+
+    criterion_group!(shim_benches, target);
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        shim_benches();
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Supports the surface the workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] implemented for numeric
+//! ranges, [`arbitrary::any`], [`strategy::Just`], [`prop_oneof!`],
+//! `prop::collection::vec`, and the `prop_assert*` macros. Each property runs
+//! for a fixed number of randomly generated cases (`PROPTEST_CASES`
+//! overrides the default of 96); failing inputs are reported through the
+//! panic message but are *not* shrunk.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Deterministic case generation for the [`crate::proptest!`] macro.
+
+    use rand::{RngCore, SeedableRng, StdRng};
+
+    /// Default number of cases per property (override with `PROPTEST_CASES`).
+    pub const DEFAULT_CASES: u32 = 96;
+
+    /// Number of cases to run, honouring the `PROPTEST_CASES` env variable.
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+
+    /// The generator handed to strategies while producing one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Deterministic generator derived from the property's name, so runs
+        /// are reproducible without a persisted seed file.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { inner: StdRng::seed_from_u64(seed) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (built by [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union; panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Integers uniformly samplable from ranges (implementation detail of the
+    /// range `Strategy` impls).
+    pub trait UniformInt: Copy {
+        /// Sample uniformly from `[lo, lo + span)`; `span == 0` means the full
+        /// 2^64 wheel (i.e. the whole inclusive domain).
+        fn uniform_span(rng: &mut TestRng, lo: Self, span: u64) -> Self;
+
+        /// The value as a `u64` bit pattern (for span arithmetic).
+        fn to_wheel(self) -> u64;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl UniformInt for $t {
+                fn uniform_span(rng: &mut TestRng, lo: Self, span: u64) -> Self {
+                    let draw = if span == 0 {
+                        rng.next_u64()
+                    } else {
+                        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+                    };
+                    (lo as u64).wrapping_add(draw) as $t
+                }
+
+                fn to_wheel(self) -> u64 {
+                    self as u64
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: UniformInt + PartialOrd> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = self.end.to_wheel().wrapping_sub(self.start.to_wheel());
+            T::uniform_span(rng, self.start, span)
+        }
+    }
+
+    impl<T: UniformInt + PartialOrd> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(self.start() <= self.end(), "cannot sample empty range");
+            let span = self.end().to_wheel().wrapping_sub(self.start().to_wheel()).wrapping_add(1);
+            T::uniform_span(rng, *self.start(), span)
+        }
+    }
+
+    /// Box a strategy (helper for [`crate::prop_oneof!`]).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy { _marker: PhantomData }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy `element` and a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module normally imports.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// `body` for many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!("case {} of {}" $(, ", ", stringify!($arg), " = {:?}")*),
+                        __case + 1, __cases $(, $arg)*
+                    );
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = __result {
+                        eprintln!("proptest failure in {} ({})", stringify!($name), __inputs);
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any_stay_in_bounds(x in 10u64..20, y in 0usize..=4, z in any::<u8>()) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = z;
+        }
+
+        #[test]
+        fn oneof_and_vec_compose(v in prop::collection::vec(prop_oneof![Just(1u32), Just(2)], 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

@@ -120,9 +120,7 @@ impl Cache {
         let set = self.set_index(addr) as usize;
         let tag = self.tag(addr);
         let base = set * self.ways as usize;
-        self.lines[base..base + self.ways as usize]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.ways as usize].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidate the whole cache (used between experiment trials).

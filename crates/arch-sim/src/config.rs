@@ -43,7 +43,7 @@ impl CacheLevelConfig {
             return Err(SimError::BadConfig(format!("{name}: ways must be non-zero")));
         }
         let denom = self.line_bytes as u64 * self.ways as u64;
-        if self.size_bytes == 0 || self.size_bytes % denom != 0 {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(denom) {
             return Err(SimError::BadConfig(format!(
                 "{name}: size_bytes must be a non-zero multiple of line_bytes * ways"
             )));
@@ -156,10 +156,7 @@ impl MachineConfig {
                 max_queue_cycles: 2_000,
                 capacity_bytes: 256 * 1024 * 1024 * 1024,
             },
-            cost: CostModel {
-                cycles_per_cpu_op: 0.4,
-                cycles_per_flop: 0.3,
-            },
+            cost: CostModel { cycles_per_cpu_op: 0.4, cycles_per_flop: 0.3 },
             // 1 ms of simulated time per bucket at 3 GHz.
             bandwidth_bucket_cycles: 3_000_000,
         }
@@ -205,10 +202,7 @@ impl MachineConfig {
                 max_queue_cycles: 500,
                 capacity_bytes: 1024 * 1024 * 1024,
             },
-            cost: CostModel {
-                cycles_per_cpu_op: 0.5,
-                cycles_per_flop: 0.5,
-            },
+            cost: CostModel { cycles_per_cpu_op: 0.5, cycles_per_flop: 0.5 },
             bandwidth_bucket_cycles: 10_000,
         }
     }
@@ -222,34 +216,24 @@ impl MachineConfig {
             return Err(SimError::BadConfig("freq_hz must be non-zero".into()));
         }
         if !self.page_bytes.is_power_of_two() || self.page_bytes < 4096 {
-            return Err(SimError::BadConfig(
-                "page_bytes must be a power of two >= 4096".into(),
-            ));
+            return Err(SimError::BadConfig("page_bytes must be a power of two >= 4096".into()));
         }
         if self.slc_shards == 0 || !self.slc_shards.is_power_of_two() {
-            return Err(SimError::BadConfig(
-                "slc_shards must be a non-zero power of two".into(),
-            ));
+            return Err(SimError::BadConfig("slc_shards must be a non-zero power of two".into()));
         }
         if self.bandwidth_bucket_cycles == 0 {
-            return Err(SimError::BadConfig(
-                "bandwidth_bucket_cycles must be non-zero".into(),
-            ));
+            return Err(SimError::BadConfig("bandwidth_bucket_cycles must be non-zero".into()));
         }
         if self.dram.peak_bytes_per_cycle <= 0.0 {
-            return Err(SimError::BadConfig(
-                "dram.peak_bytes_per_cycle must be positive".into(),
-            ));
+            return Err(SimError::BadConfig("dram.peak_bytes_per_cycle must be positive".into()));
         }
         self.l1d.validate("l1d")?;
         self.l2.validate("l2")?;
         self.slc.validate("slc")?;
         // SLC sets must be divisible by the shard count so each shard is a
         // well-formed sub-cache.
-        if self.slc.sets() % self.slc_shards as u64 != 0 {
-            return Err(SimError::BadConfig(
-                "slc sets must be divisible by slc_shards".into(),
-            ));
+        if !self.slc.sets().is_multiple_of(self.slc_shards as u64) {
+            return Err(SimError::BadConfig("slc sets must be divisible by slc_shards".into()));
         }
         Ok(())
     }

@@ -135,7 +135,8 @@ mod tests {
 
     #[test]
     fn merge_sums_and_maxes() {
-        let mut a = CoreCounters { mem_access: 10, loads: 6, stores: 4, cycles: 100, ..Default::default() };
+        let mut a =
+            CoreCounters { mem_access: 10, loads: 6, stores: 4, cycles: 100, ..Default::default() };
         let b = CoreCounters { mem_access: 5, loads: 5, cycles: 200, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.mem_access, 15);
@@ -147,8 +148,20 @@ mod tests {
     #[test]
     fn machine_absorb() {
         let mut m = MachineCounters::default();
-        m.absorb(&CoreCounters { mem_access: 3, bus_read_bytes: 64, cycles: 10, flops: 7, ..Default::default() });
-        m.absorb(&CoreCounters { mem_access: 4, bus_write_bytes: 64, cycles: 50, flops: 1, ..Default::default() });
+        m.absorb(&CoreCounters {
+            mem_access: 3,
+            bus_read_bytes: 64,
+            cycles: 10,
+            flops: 7,
+            ..Default::default()
+        });
+        m.absorb(&CoreCounters {
+            mem_access: 4,
+            bus_write_bytes: 64,
+            cycles: 50,
+            flops: 1,
+            ..Default::default()
+        });
         assert_eq!(m.mem_access, 7);
         assert_eq!(m.bus_bytes(), 128);
         assert_eq!(m.cycles, 50);

@@ -62,7 +62,7 @@ pub use counters::{CoreCounters, MachineCounters};
 pub use dram::Dram;
 pub use engine::Engine;
 pub use machine::{BandwidthPoint, Machine, RssPoint};
-pub use observer::{NullObserver, ObserverCharge, OpObserver};
+pub use observer::{FanoutObserver, NullObserver, ObserverCharge, OpObserver};
 pub use op::{MemLevel, MemOutcome, Op, OpKind};
 pub use vm::{AddressSpace, Region};
 

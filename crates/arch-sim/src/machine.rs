@@ -109,28 +109,16 @@ impl Machine {
     /// first if the configuration is user-supplied.
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate().expect("invalid machine configuration");
-        let timeconv = TimeConv {
-            core_freq_hz: cfg.freq_hz,
-            timer_freq_hz: 25_000_000,
-            time_zero_ns: 0,
-        };
+        let timeconv =
+            TimeConv { core_freq_hz: cfg.freq_hz, timer_freq_hz: 25_000_000, time_zero_ns: 0 };
         let vm = AddressSpace::new(cfg.page_bytes, cfg.dram.capacity_bytes);
         let dram = Dram::new(cfg.dram);
         let slc = (0..cfg.slc_shards)
             .map(|_| Mutex::new(Cache::new_shard(&cfg.slc, cfg.slc_shards)))
             .collect();
-        let cores = (0..cfg.num_cores)
-            .map(|id| Mutex::new(Some(CoreState::new(id, &cfg))))
-            .collect();
-        Machine {
-            cfg,
-            timeconv,
-            vm,
-            dram,
-            slc,
-            cores,
-            rss_events: Mutex::new(Vec::new()),
-        }
+        let cores =
+            (0..cfg.num_cores).map(|id| Mutex::new(Some(CoreState::new(id, &cfg)))).collect();
+        Machine { cfg, timeconv, vm, dram, slc, cores, rss_events: Mutex::new(Vec::new()) }
     }
 
     /// The machine configuration.
@@ -176,10 +164,8 @@ impl Machine {
     }
 
     pub(crate) fn push_rss_event(&self, now_cycles: u64) {
-        let point = RssPoint {
-            time_ns: self.cfg.cycles_to_ns(now_cycles),
-            rss_bytes: self.vm.rss_bytes(),
-        };
+        let point =
+            RssPoint { time_ns: self.cfg.cycles_to_ns(now_cycles), rss_bytes: self.vm.rss_bytes() };
         self.rss_events.lock().push(point);
     }
 
@@ -222,11 +208,7 @@ impl Machine {
 
     /// Snapshot of one core's counters (None if the core is checked out).
     pub fn core_counters(&self, core_id: usize) -> Option<CoreCounters> {
-        self.cores
-            .get(core_id)?
-            .lock()
-            .as_ref()
-            .map(|s| s.counters)
+        self.cores.get(core_id)?.lock().as_ref().map(|s| s.counters)
     }
 
     /// Machine-wide counter snapshot (sums over all cores not currently

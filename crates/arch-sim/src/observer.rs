@@ -49,6 +49,59 @@ pub trait OpObserver: Send {
     }
 }
 
+/// An observer that dispatches every callback to several child observers and
+/// sums their charges.
+///
+/// One core has exactly one observer slot; a profiling session that runs
+/// several sample backends on the same core (e.g. ARM SPE sampling plus
+/// `perf stat`-style counting) composes their per-core observers with this
+/// type.
+pub struct FanoutObserver {
+    observers: Vec<Box<dyn OpObserver>>,
+}
+
+impl FanoutObserver {
+    /// Compose `observers` into a single observer. Order is preserved: charges
+    /// accrue in registration order.
+    pub fn new(observers: Vec<Box<dyn OpObserver>>) -> Self {
+        FanoutObserver { observers }
+    }
+
+    /// Number of child observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// True when there are no child observers.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FanoutObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutObserver").field("observers", &self.observers.len()).finish()
+    }
+}
+
+impl OpObserver for FanoutObserver {
+    fn on_op(&mut self, op: &Op, outcome: Option<&MemOutcome>, now_cycles: u64) -> ObserverCharge {
+        let mut total = 0u64;
+        for obs in &mut self.observers {
+            total += obs.on_op(op, outcome, now_cycles).extra_cycles;
+        }
+        ObserverCharge::cycles(total)
+    }
+
+    fn on_detach(&mut self, now_cycles: u64) -> ObserverCharge {
+        let mut total = 0u64;
+        for obs in &mut self.observers {
+            total += obs.on_detach(now_cycles).extra_cycles;
+        }
+        ObserverCharge::cycles(total)
+    }
+}
+
 /// An observer that does nothing (profiling disabled).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
@@ -117,5 +170,21 @@ mod tests {
         let mut obs = NullObserver;
         let c = obs.on_op(&Op::other(0), None, 0);
         assert_eq!(c, ObserverCharge::NONE);
+    }
+
+    #[test]
+    fn fanout_dispatches_and_sums_charges() {
+        let mut fan = FanoutObserver::new(vec![
+            Box::new(CountingObserver { charge_per_op: 3, ..Default::default() }),
+            Box::new(CountingObserver { charge_per_op: 4, ..Default::default() }),
+            Box::new(NullObserver),
+        ]);
+        assert_eq!(fan.len(), 3);
+        assert!(!fan.is_empty());
+        let outcome = MemOutcome::hit(MemLevel::L1, 4, 1);
+        let c = fan.on_op(&Op::load(0, 0x100, 8), Some(&outcome), 5);
+        assert_eq!(c.extra_cycles, 7);
+        let c = fan.on_detach(9);
+        assert_eq!(c.extra_cycles, 0);
     }
 }

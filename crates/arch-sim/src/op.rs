@@ -119,13 +119,7 @@ pub struct MemOutcome {
 impl MemOutcome {
     /// An outcome representing a hit in the given level with no bus traffic.
     pub fn hit(level: MemLevel, latency_cycles: u64, occupancy_cycles: u64) -> Self {
-        MemOutcome {
-            level,
-            latency_cycles,
-            occupancy_cycles,
-            bus_bytes: 0,
-            first_touch: false,
-        }
+        MemOutcome { level, latency_cycles, occupancy_cycles, bus_bytes: 0, first_touch: false }
     }
 }
 

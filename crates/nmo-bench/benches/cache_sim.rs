@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use arch_sim::{Cache, CacheLevelConfig, Machine, MachineConfig};
-use nmo::{NmoConfig, Profiler};
+use nmo::{NmoConfig, SampleBackend, SpeBackend};
 
 fn bench_cache(c: &mut Criterion) {
     let cfg = CacheLevelConfig {
@@ -58,10 +58,16 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("load_stream_with_spe", |b| {
         let machine = Machine::new(MachineConfig::ampere_altra_max());
         machine.alloc("data", 8 << 20).unwrap();
-        let mut profiler = Profiler::new(&machine, NmoConfig::paper_default(4096));
-        profiler.enable(&[0]).unwrap();
+        let mut backend = SpeBackend::new();
+        let observers = backend
+            .start(&machine, &[0], &NmoConfig::paper_default(4096))
+            .expect("spe backend start");
+        for co in observers {
+            machine.set_observer(co.core, co.observer).expect("attach observer");
+        }
         b.iter(|| run_engine_ops(&machine, OPS));
-        let _ = profiler.finish();
+        let _ = machine.take_observer(0);
+        let _ = backend.stop(&machine);
     });
     group.finish();
 }

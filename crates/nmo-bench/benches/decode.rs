@@ -9,7 +9,8 @@ use perf_sub::{AuxBuffer, MetadataPage};
 use spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
 
 fn bench_packet_codec(c: &mut Criterion) {
-    let record = SpeRecord::new(0x40_1000, 0xffff_0000_4242, 123_456_789, 333, OpKind::Load, MemLevel::Dram);
+    let record =
+        SpeRecord::new(0x40_1000, 0xffff_0000_4242, 123_456_789, 333, OpKind::Load, MemLevel::Dram);
     let bytes = record.encode();
 
     let mut group = c.benchmark_group("spe_packet");
@@ -43,10 +44,8 @@ fn bench_drain_batch(c: &mut Criterion) {
     // the unit of work the monitor thread performs per interrupt.
     let record = SpeRecord::new(0x40_1000, 0xffff_0000_4242, 99, 50, OpKind::Load, MemLevel::Slc);
     let bytes = record.encode();
-    let batch: Vec<u8> = std::iter::repeat_with(|| bytes.iter().copied())
-        .take(8192)
-        .flatten()
-        .collect();
+    let batch: Vec<u8> =
+        std::iter::repeat_with(|| bytes.iter().copied()).take(8192).flatten().collect();
 
     let mut group = c.benchmark_group("drain");
     group.throughput(Throughput::Bytes(batch.len() as u64));

@@ -12,29 +12,35 @@ use nmo_bench::harness::{baseline_run, measure, profiled_run, Scale, WorkloadKin
 fn bench_fig2_fig3(c: &mut Criterion) {
     let scale = Scale::tiny();
     c.bench_function("fig2_fig3_cloud_capacity_bandwidth", |b| {
-        b.iter(|| experiments::fig2_fig3_cloud(&scale, 2))
+        b.iter(|| experiments::fig2_fig3_cloud(&scale, 2).expect("fig2/3"))
     });
 }
 
 fn bench_fig4_fig6_scatter(c: &mut Criterion) {
     let scale = Scale::tiny();
     c.bench_function("fig4_stream_scatter", |b| {
-        b.iter(|| experiments::fig4_stream_scatter(&scale, 512))
+        b.iter(|| experiments::fig4_stream_scatter(&scale, 512).expect("fig4"))
     });
     c.bench_function("fig5_fig6_cfd_scatter", |b| {
-        b.iter(|| experiments::fig5_fig6_cfd_scatter(&scale, 512, 4))
+        b.iter(|| experiments::fig5_fig6_cfd_scatter(&scale, 512, 4).expect("fig5/6"))
     });
 }
 
 fn bench_fig7_fig8_period_point(c: &mut Criterion) {
     let scale = Scale::tiny();
-    let baseline = baseline_run(WorkloadKind::Stream, &scale, 2);
+    let baseline = baseline_run(WorkloadKind::Stream, &scale, 2).expect("baseline");
     c.bench_function("fig7_fig8_one_period_point_stream", |b| {
-        b.iter(|| measure(WorkloadKind::Stream, &scale, 2, NmoConfig::paper_default(1000), &baseline))
+        b.iter(|| {
+            measure(WorkloadKind::Stream, &scale, 2, NmoConfig::paper_default(1000), &baseline)
+                .expect("measure")
+        })
     });
-    let baseline_bfs = baseline_run(WorkloadKind::Bfs, &scale, 2);
+    let baseline_bfs = baseline_run(WorkloadKind::Bfs, &scale, 2).expect("baseline");
     c.bench_function("fig7_fig8_one_period_point_bfs", |b| {
-        b.iter(|| measure(WorkloadKind::Bfs, &scale, 2, NmoConfig::paper_default(1000), &baseline_bfs))
+        b.iter(|| {
+            measure(WorkloadKind::Bfs, &scale, 2, NmoConfig::paper_default(1000), &baseline_bfs)
+                .expect("measure")
+        })
     });
 }
 
@@ -43,11 +49,14 @@ fn bench_fig9_fig11_sweep_point(c: &mut Criterion) {
     c.bench_function("fig9_aux_point_stream_profiled_run", |b| {
         b.iter(|| {
             let config = NmoConfig { auxbufsize_mib: 1, ..NmoConfig::paper_default(2048) };
-            profiled_run(WorkloadKind::Stream, &scale, 4, config)
+            profiled_run(WorkloadKind::Stream, &scale, 4, config).expect("profiled run")
         })
     });
     c.bench_function("fig10_thread_point_stream_profiled_run", |b| {
-        b.iter(|| profiled_run(WorkloadKind::Stream, &scale, 8, NmoConfig::paper_default(4096)))
+        b.iter(|| {
+            profiled_run(WorkloadKind::Stream, &scale, 8, NmoConfig::paper_default(4096))
+                .expect("profiled run")
+        })
     });
 }
 

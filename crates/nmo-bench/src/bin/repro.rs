@@ -8,8 +8,9 @@
 //! Each experiment prints an aligned table to stdout and writes a CSV file
 //! under the output directory.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
+use nmo::NmoError;
 use nmo_bench::experiments::{self, ExperimentResult};
 use nmo_bench::harness::Scale;
 
@@ -58,11 +59,16 @@ fn parse_args() -> Args {
     Args { exp, scale, scale_name, out }
 }
 
+const EXPERIMENT_IDS: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11",
+];
+
 fn wants(exp: &str, ids: &[&str]) -> bool {
     exp == "all" || ids.contains(&exp)
 }
 
-fn emit(results: Vec<ExperimentResult>, out: &PathBuf, max_print_rows: usize) {
+fn emit(results: Vec<ExperimentResult>, out: &Path, max_print_rows: usize) {
     for r in results {
         println!("{}", r.to_table_truncated(max_print_rows));
         match r.write_csv(out) {
@@ -91,16 +97,14 @@ impl Truncate for ExperimentResult {
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let t0 = std::time::Instant::now();
-    println!(
-        "NMO reproduction harness — scale: {}, output: {}\n",
-        args.scale_name,
-        args.out.display()
-    );
-    std::fs::create_dir_all(&args.out).expect("create output directory");
+fn run(args: &Args) -> Result<(), NmoError> {
     let exp = args.exp.as_str();
+    if exp != "all" && !EXPERIMENT_IDS.contains(&exp) {
+        return Err(NmoError::Config(format!(
+            "unknown experiment '{exp}'; valid ids: all {}",
+            EXPERIMENT_IDS.join(" ")
+        )));
+    }
     let scale = &args.scale;
 
     if wants(exp, &["table1"]) {
@@ -111,27 +115,45 @@ fn main() {
     }
     if wants(exp, &["fig2", "fig3"]) {
         let threads = scale.sweep_threads.max(4);
-        emit(experiments::fig2_fig3_cloud(scale, threads), &args.out, 12);
+        emit(experiments::fig2_fig3_cloud(scale, threads)?, &args.out, 12);
     }
     if wants(exp, &["fig4"]) {
-        emit(vec![experiments::fig4_stream_scatter(scale, 2048)], &args.out, 12);
+        emit(vec![experiments::fig4_stream_scatter(scale, 2048)?], &args.out, 12);
     }
     if wants(exp, &["fig5", "fig6"]) {
         let many = scale.thread_sweep_max.min(32);
-        emit(experiments::fig5_fig6_cfd_scatter(scale, 2048, many), &args.out, 12);
+        emit(experiments::fig5_fig6_cfd_scatter(scale, 2048, many)?, &args.out, 12);
     }
     if wants(exp, &["fig7"]) {
-        emit(vec![experiments::fig7_samples_vs_period(scale)], &args.out, 40);
+        emit(vec![experiments::fig7_samples_vs_period(scale)?], &args.out, 40);
     }
     if wants(exp, &["fig8"]) {
-        emit(vec![experiments::fig8_sensitivity(scale)], &args.out, 40);
+        emit(vec![experiments::fig8_sensitivity(scale)?], &args.out, 40);
     }
     if wants(exp, &["fig9"]) {
-        emit(vec![experiments::fig9_aux_buffer(scale, 2048)], &args.out, 20);
+        emit(vec![experiments::fig9_aux_buffer(scale, 2048)?], &args.out, 20);
     }
     if wants(exp, &["fig10", "fig11"]) {
-        emit(vec![experiments::fig10_fig11_threads(scale, 4096)], &args.out, 20);
+        emit(vec![experiments::fig10_fig11_threads(scale, 4096)?], &args.out, 20);
     }
+    Ok(())
+}
 
+fn main() {
+    let args = parse_args();
+    let t0 = std::time::Instant::now();
+    println!(
+        "NMO reproduction harness — scale: {}, output: {}\n",
+        args.scale_name,
+        args.out.display()
+    );
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create output directory {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
     println!("done in {:.1} s", t0.elapsed().as_secs_f64());
 }

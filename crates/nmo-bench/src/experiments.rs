@@ -9,7 +9,7 @@ use std::path::Path;
 
 use arch_sim::MachineConfig;
 use nmo::report::{format_table, write_csv};
-use nmo::{Mode, NmoConfig, Sweep, SweepPoint};
+use nmo::{Mode, NmoConfig, NmoError, Sweep, SweepPoint};
 
 use crate::harness::{baseline_run, measure, profiled_run, Scale, WorkloadKind};
 
@@ -92,7 +92,7 @@ pub fn table2() -> ExperimentResult {
 /// Figures 2 and 3 — capacity and bandwidth over time for the two CloudSuite
 /// workloads (Page Rank and In-memory Analytics), profiled without SPE
 /// sampling (levels 1 and 2 only), 32 threads in the paper.
-pub fn fig2_fig3_cloud(scale: &Scale, threads: usize) -> Vec<ExperimentResult> {
+pub fn fig2_fig3_cloud(scale: &Scale, threads: usize) -> Result<Vec<ExperimentResult>, NmoError> {
     let mut results = Vec::new();
     for (kind, label) in
         [(WorkloadKind::PageRank, "pagerank"), (WorkloadKind::InMemAnalytics, "inmem")]
@@ -105,7 +105,7 @@ pub fn fig2_fig3_cloud(scale: &Scale, threads: usize) -> Vec<ExperimentResult> {
             name: label.to_string(),
             ..Default::default()
         };
-        let profile = profiled_run(kind, scale, threads, config);
+        let profile = profiled_run(kind, scale, threads, config)?;
 
         let cap_rows: Vec<Vec<String>> = profile
             .capacity
@@ -140,14 +140,14 @@ pub fn fig2_fig3_cloud(scale: &Scale, threads: usize) -> Vec<ExperimentResult> {
             rows: bw_rows,
         });
     }
-    results
+    Ok(results)
 }
 
 /// Figure 4 — STREAM sampled-address scatter with tagged arrays and the
 /// `triad` phase (8 OpenMP threads, 5 iterations in the paper).
-pub fn fig4_stream_scatter(scale: &Scale, period: u64) -> ExperimentResult {
+pub fn fig4_stream_scatter(scale: &Scale, period: u64) -> Result<ExperimentResult, NmoError> {
     let config = NmoConfig { name: "stream".into(), ..NmoConfig::paper_default(period) };
-    let profile = profiled_run(WorkloadKind::Stream, scale, 8, config);
+    let profile = profiled_run(WorkloadKind::Stream, scale, 8, config)?;
     let regions = profile.regions();
     let rows: Vec<Vec<String>> = regions
         .scatter
@@ -162,25 +162,35 @@ pub fn fig4_stream_scatter(scale: &Scale, period: u64) -> ExperimentResult {
             ]
         })
         .collect();
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig4_stream_scatter".into(),
         title: format!(
             "STREAM tagged memory-access samples (8 threads, {} samples, hottest tag: {})",
             rows.len(),
             regions.hottest_tag().map(|t| t.name.clone()).unwrap_or_default()
         ),
-        header: vec!["time_s".into(), "vaddr".into(), "tag".into(), "phase".into(), "is_store".into()],
+        header: vec![
+            "time_s".into(),
+            "vaddr".into(),
+            "tag".into(),
+            "phase".into(),
+            "is_store".into(),
+        ],
         rows,
-    }
+    })
 }
 
 /// Figures 5 and 6 — CFD sampled-address scatter at 1 thread and at
 /// `many_threads` threads, plus the high-resolution window of Figure 6.
-pub fn fig5_fig6_cfd_scatter(scale: &Scale, period: u64, many_threads: usize) -> Vec<ExperimentResult> {
+pub fn fig5_fig6_cfd_scatter(
+    scale: &Scale,
+    period: u64,
+    many_threads: usize,
+) -> Result<Vec<ExperimentResult>, NmoError> {
     let mut out = Vec::new();
     for (id, threads) in [("fig5_cfd_1thread", 1usize), ("fig6_cfd_multithread", many_threads)] {
         let config = NmoConfig { name: "cfd".into(), ..NmoConfig::paper_default(period) };
-        let profile = profiled_run(WorkloadKind::Cfd, scale, threads, config);
+        let profile = profiled_run(WorkloadKind::Cfd, scale, threads, config)?;
         let regions = profile.regions();
         let rows: Vec<Vec<String>> = regions
             .scatter
@@ -221,7 +231,7 @@ pub fn fig5_fig6_cfd_scatter(scale: &Scale, period: u64, many_threads: usize) ->
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// The sampling periods of Figure 7 (512 … 131072, powers of two).
@@ -240,14 +250,14 @@ fn sweep_workloads() -> Vec<WorkloadKind> {
 
 /// Figure 7 — number of collected SPE samples vs sampling period, with every
 /// trial reported separately (the paper plots 5 trials per point).
-pub fn fig7_samples_vs_period(scale: &Scale) -> ExperimentResult {
+pub fn fig7_samples_vs_period(scale: &Scale) -> Result<ExperimentResult, NmoError> {
     let threads = scale.sweep_threads;
     let mut rows = Vec::new();
     for kind in sweep_workloads() {
         for period in fig7_periods() {
             for trial in 0..scale.trials {
                 let config = NmoConfig::paper_default(period);
-                let profile = profiled_run(kind, scale, threads, config);
+                let profile = profiled_run(kind, scale, threads, config)?;
                 rows.push(vec![
                     kind.label().to_string(),
                     period.to_string(),
@@ -257,26 +267,26 @@ pub fn fig7_samples_vs_period(scale: &Scale) -> ExperimentResult {
             }
         }
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig7_samples_vs_period".into(),
         title: "Collected ARM SPE samples vs sampling period (per trial)".into(),
         header: vec!["workload".into(), "period".into(), "trial".into(), "samples".into()],
         rows,
-    }
+    })
 }
 
 /// Figures 8a–8c — accuracy, time overhead, and sample collisions vs
 /// sampling period for STREAM, CFD and BFS.
-pub fn fig8_sensitivity(scale: &Scale) -> ExperimentResult {
+pub fn fig8_sensitivity(scale: &Scale) -> Result<ExperimentResult, NmoError> {
     let threads = scale.sweep_threads;
     let mut rows = Vec::new();
     for kind in sweep_workloads() {
-        let baseline = baseline_run(kind, scale, threads);
+        let baseline = baseline_run(kind, scale, threads)?;
         let mut sweep = Sweep::new(kind.label());
         for period in fig8_periods() {
             let trials: Vec<_> = (0..scale.trials)
                 .map(|_| measure(kind, scale, threads, NmoConfig::paper_default(period), &baseline))
-                .collect();
+                .collect::<Result<_, _>>()?;
             let point = SweepPoint::from_trials(period, &trials);
             rows.push(vec![
                 kind.label().to_string(),
@@ -291,7 +301,7 @@ pub fn fig8_sensitivity(scale: &Scale) -> ExperimentResult {
             sweep.points.push(point);
         }
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig8_sensitivity".into(),
         title: "Accuracy / time overhead / sample collisions vs sampling period".into(),
         header: vec![
@@ -305,7 +315,7 @@ pub fn fig8_sensitivity(scale: &Scale) -> ExperimentResult {
             "samples".into(),
         ],
         rows,
-    }
+    })
 }
 
 /// The aux-buffer sizes (in 64 KiB pages) of Figure 9.
@@ -315,9 +325,9 @@ pub fn fig9_aux_pages(max_pages: u64) -> Vec<u64> {
 
 /// Figure 9 — impact of the aux-buffer size on time overhead and accuracy
 /// (STREAM, fixed ring buffer, fixed sampling period).
-pub fn fig9_aux_buffer(scale: &Scale, period: u64) -> ExperimentResult {
+pub fn fig9_aux_buffer(scale: &Scale, period: u64) -> Result<ExperimentResult, NmoError> {
     let threads = scale.aux_sweep_threads;
-    let baseline = baseline_run(WorkloadKind::Stream, scale, threads);
+    let baseline = baseline_run(WorkloadKind::Stream, scale, threads)?;
     let mut rows = Vec::new();
     for pages in fig9_aux_pages(scale.aux_sweep_max_pages) {
         let trials: Vec<_> = (0..scale.trials)
@@ -328,7 +338,7 @@ pub fn fig9_aux_buffer(scale: &Scale, period: u64) -> ExperimentResult {
                 };
                 measure(WorkloadKind::Stream, scale, threads, config, &baseline)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let point = SweepPoint::from_trials(pages, &trials);
         rows.push(vec![
             pages.to_string(),
@@ -338,9 +348,11 @@ pub fn fig9_aux_buffer(scale: &Scale, period: u64) -> ExperimentResult {
             f3(point.collisions_mean),
         ]);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig9_aux_buffer".into(),
-        title: format!("Impact of the aux-buffer size (STREAM, {threads} threads, period {period})"),
+        title: format!(
+            "Impact of the aux-buffer size (STREAM, {threads} threads, period {period})"
+        ),
         header: vec![
             "aux_pages".into(),
             "overhead_pct".into(),
@@ -349,23 +361,20 @@ pub fn fig9_aux_buffer(scale: &Scale, period: u64) -> ExperimentResult {
             "collisions".into(),
         ],
         rows,
-    }
+    })
 }
 
 /// The thread counts of Figures 10 and 11.
 pub fn fig10_thread_counts(max_threads: usize) -> Vec<usize> {
-    [1usize, 2, 4, 8, 16, 32, 48, 64, 96, 128]
-        .into_iter()
-        .filter(|t| *t <= max_threads)
-        .collect()
+    [1usize, 2, 4, 8, 16, 32, 48, 64, 96, 128].into_iter().filter(|t| *t <= max_threads).collect()
 }
 
 /// Figures 10 and 11 — impact of the OpenMP thread count on time overhead,
 /// accuracy, and sample collisions (STREAM, 16-page aux buffer).
-pub fn fig10_fig11_threads(scale: &Scale, period: u64) -> ExperimentResult {
+pub fn fig10_fig11_threads(scale: &Scale, period: u64) -> Result<ExperimentResult, NmoError> {
     let mut rows = Vec::new();
     for threads in fig10_thread_counts(scale.thread_sweep_max) {
-        let baseline = baseline_run(WorkloadKind::Stream, scale, threads);
+        let baseline = baseline_run(WorkloadKind::Stream, scale, threads)?;
         let trials: Vec<_> = (0..scale.trials)
             .map(|_| {
                 let config = NmoConfig {
@@ -374,7 +383,7 @@ pub fn fig10_fig11_threads(scale: &Scale, period: u64) -> ExperimentResult {
                 };
                 measure(WorkloadKind::Stream, scale, threads, config, &baseline)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let point = SweepPoint::from_trials(threads as u64, &trials);
         rows.push(vec![
             threads.to_string(),
@@ -384,7 +393,7 @@ pub fn fig10_fig11_threads(scale: &Scale, period: u64) -> ExperimentResult {
             f3(point.samples_mean()),
         ]);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "fig10_fig11_threads".into(),
         title: format!("Impact of thread count (STREAM, 16-page aux buffer, period {period})"),
         header: vec![
@@ -395,7 +404,7 @@ pub fn fig10_fig11_threads(scale: &Scale, period: u64) -> ExperimentResult {
             "samples".into(),
         ],
         rows,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -426,7 +435,7 @@ mod tests {
     #[test]
     fn fig4_scatter_has_tagged_samples_at_tiny_scale() {
         let scale = Scale::tiny();
-        let r = fig4_stream_scatter(&scale, 200);
+        let r = fig4_stream_scatter(&scale, 200).unwrap();
         assert!(!r.rows.is_empty());
         // Most STREAM samples land in a tagged array.
         let tagged = r.rows.iter().filter(|row| row[2] != "-").count();
@@ -436,7 +445,7 @@ mod tests {
     #[test]
     fn fig2_fig3_series_nonempty_at_tiny_scale() {
         let scale = Scale::tiny();
-        let results = fig2_fig3_cloud(&scale, 2);
+        let results = fig2_fig3_cloud(&scale, 2).unwrap();
         assert_eq!(results.len(), 4);
         for r in &results {
             assert!(!r.rows.is_empty(), "{} empty", r.id);

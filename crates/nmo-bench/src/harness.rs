@@ -1,7 +1,7 @@
 //! Shared harness: workload construction, baseline and profiled runs.
 
 use arch_sim::{Machine, MachineConfig};
-use nmo::{NmoConfig, Profile, Profiler, RunMeasurement};
+use nmo::{NmoConfig, NmoError, Profile, ProfileSession, RunMeasurement};
 use spe::SpeStatsSnapshot;
 use workloads::{
     bfs::GraphKind, BfsBench, CfdBench, InMemAnalytics, PageRank, StreamBench, Workload,
@@ -158,7 +158,9 @@ impl Scale {
     /// Instantiate a fresh workload of the given kind at this scale.
     pub fn build(&self, kind: WorkloadKind) -> Box<dyn Workload> {
         match kind {
-            WorkloadKind::Stream => Box::new(StreamBench::new(self.stream_elems, self.stream_iters)),
+            WorkloadKind::Stream => {
+                Box::new(StreamBench::new(self.stream_elems, self.stream_iters))
+            }
             WorkloadKind::Cfd => Box::new(CfdBench::new(self.cfd_elements, self.cfd_iters)),
             WorkloadKind::Bfs => {
                 Box::new(BfsBench::new(self.bfs_vertices, self.bfs_degree, GraphKind::Uniform))
@@ -189,30 +191,41 @@ pub fn paper_machine() -> Machine {
 }
 
 /// Run a workload without any profiling and return the baseline measurements.
-pub fn baseline_run(kind: WorkloadKind, scale: &Scale, threads: usize) -> BaselineRun {
+pub fn baseline_run(
+    kind: WorkloadKind,
+    scale: &Scale,
+    threads: usize,
+) -> Result<BaselineRun, NmoError> {
     let machine = paper_machine();
     let annotations = nmo::Annotations::new();
     let mut workload = scale.build(kind);
     let cores: Vec<usize> = (0..threads).collect();
-    workload.setup(&machine, &annotations);
-    workload.run(&machine, &annotations, &cores);
-    assert!(workload.verify(), "{} failed verification in baseline run", kind.label());
+    workload.setup(&machine, &annotations)?;
+    workload.run(&machine, &annotations, &cores)?;
+    if !workload.verify() {
+        return Err(NmoError::Workload(format!(
+            "{} failed verification in baseline run",
+            kind.label()
+        )));
+    }
     let counters = machine.counters();
-    BaselineRun { mem_counted: counters.mem_access, cycles: counters.cycles }
+    Ok(BaselineRun { mem_counted: counters.mem_access, cycles: counters.cycles })
 }
 
-/// Run a workload under the NMO profiler and return the profile.
-pub fn profiled_run(kind: WorkloadKind, scale: &Scale, threads: usize, config: NmoConfig) -> Profile {
-    let machine = paper_machine();
-    let mut profiler = Profiler::new(&machine, config);
-    let annotations = profiler.annotations();
-    let mut workload = scale.build(kind);
-    let cores: Vec<usize> = (0..threads).collect();
-    workload.setup(&machine, &annotations);
-    profiler.enable(&cores).expect("profiler enable");
-    workload.run(&machine, &annotations, &cores);
-    assert!(workload.verify(), "{} failed verification in profiled run", kind.label());
-    profiler.finish()
+/// Run a workload under an NMO profiling session and return the profile.
+pub fn profiled_run(
+    kind: WorkloadKind,
+    scale: &Scale,
+    threads: usize,
+    config: NmoConfig,
+) -> Result<Profile, NmoError> {
+    ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(config)
+        .threads(threads)
+        .workload(scale.build(kind))
+        .build()?
+        .run()
 }
 
 /// Run one trial of the sensitivity study and fold it into a [`RunMeasurement`].
@@ -222,11 +235,11 @@ pub fn measure(
     threads: usize,
     config: NmoConfig,
     baseline: &BaselineRun,
-) -> RunMeasurement {
+) -> Result<RunMeasurement, NmoError> {
     let aux_pages = config.aux_pages(64 * 1024);
     let period = config.period;
-    let profile = profiled_run(kind, scale, threads, config);
-    RunMeasurement {
+    let profile = profiled_run(kind, scale, threads, config)?;
+    Ok(RunMeasurement {
         period,
         aux_pages,
         threads,
@@ -235,7 +248,7 @@ pub fn measure(
         mem_counted: baseline.mem_counted,
         processed_samples: profile.processed_samples,
         spe: merge_spe(&profile),
-    }
+    })
 }
 
 fn merge_spe(profile: &Profile) -> SpeStatsSnapshot {
@@ -250,26 +263,23 @@ mod tests {
     #[test]
     fn baseline_and_profiled_runs_agree_on_workload_size() {
         let scale = Scale::tiny();
-        let baseline = baseline_run(WorkloadKind::Stream, &scale, 2);
+        let baseline = baseline_run(WorkloadKind::Stream, &scale, 2).unwrap();
         assert!(baseline.mem_counted > 0);
         let profile =
-            profiled_run(WorkloadKind::Stream, &scale, 2, NmoConfig::paper_default(200));
+            profiled_run(WorkloadKind::Stream, &scale, 2, NmoConfig::paper_default(200)).unwrap();
         // The profiled run issues the same number of memory accesses.
         assert_eq!(profile.counters.mem_access, baseline.mem_counted);
         assert!(profile.processed_samples > 0);
+        // The counter backend ran alongside SPE and agrees with the machine.
+        assert_eq!(profile.perf_count("mem_access"), Some(profile.counters.mem_access));
     }
 
     #[test]
     fn measure_produces_consistent_measurement() {
         let scale = Scale::tiny();
-        let baseline = baseline_run(WorkloadKind::Bfs, &scale, 2);
-        let m = measure(
-            WorkloadKind::Bfs,
-            &scale,
-            2,
-            NmoConfig::paper_default(500),
-            &baseline,
-        );
+        let baseline = baseline_run(WorkloadKind::Bfs, &scale, 2).unwrap();
+        let m = measure(WorkloadKind::Bfs, &scale, 2, NmoConfig::paper_default(500), &baseline)
+            .unwrap();
         assert_eq!(m.period, 500);
         assert!(m.processed_samples > 0);
         assert!(m.accuracy() > 0.0 && m.accuracy() <= 1.0);
@@ -286,7 +296,7 @@ mod tests {
             WorkloadKind::PageRank,
             WorkloadKind::InMemAnalytics,
         ] {
-            let b = baseline_run(kind, &scale, 2);
+            let b = baseline_run(kind, &scale, 2).unwrap();
             assert!(b.mem_counted > 0, "{}", kind.label());
             assert!(b.cycles > 0, "{}", kind.label());
         }

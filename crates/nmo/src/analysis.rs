@@ -143,17 +143,18 @@ impl Sweep {
     /// returns the worst-case relative deviation of `samples * x` from its
     /// median across points.
     pub fn inverse_linearity_error(&self) -> f64 {
-        let mut products: Vec<f64> =
-            self.points.iter().map(|p| p.samples_mean() * p.x as f64).filter(|v| *v > 0.0).collect();
+        let mut products: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.samples_mean() * p.x as f64)
+            .filter(|v| *v > 0.0)
+            .collect();
         if products.len() < 2 {
             return 0.0;
         }
         products.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = products[products.len() / 2];
-        products
-            .iter()
-            .map(|p| (p - median).abs() / median)
-            .fold(0.0, f64::max)
+        products.iter().map(|p| (p - median).abs() / median).fold(0.0, f64::max)
     }
 }
 

@@ -1,0 +1,492 @@
+//! Pluggable sample backends (the data-acquisition seam of the profiler).
+//!
+//! The paper's NMO tool is layered: ARM SPE sampling at the bottom, a
+//! `perf_event` substrate in the middle, and the analysis levels on top. A
+//! [`SampleBackend`] is the seam between the bottom two layers and the
+//! session: it opens whatever per-core instruments it needs, hands the
+//! session one [`arch_sim::OpObserver`] per core (composed with other
+//! backends via [`arch_sim::FanoutObserver`] when several backends share a
+//! core), and folds its results into the final [`Profile`].
+//!
+//! Two backends ship with the crate:
+//!
+//! * [`SpeBackend`] — the paper's path: one ARM SPE perf event per core, a
+//!   monitoring thread draining `PERF_RECORD_AUX` records, and the 64-byte
+//!   record decode of Section IV.
+//! * [`CounterBackend`] — `perf stat`-style aggregate counting over
+//!   [`perf_sub::CountingEvent`], the baseline side of the paper's accuracy
+//!   methodology (Eq. 1). It samples no addresses and charges no overhead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use arch_sim::{Machine, MemLevel, MemOutcome, ObserverCharge, Op, OpKind, OpObserver, TimeConv};
+use perf_sub::attr::{hw_config, PerfEventAttr};
+use perf_sub::poll::PollTimeout;
+use perf_sub::records::Record;
+use perf_sub::{CountingEvent, PerfEvent};
+use spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
+use spe::{SpeDriver, SpeStats, SpeStatsSnapshot};
+
+use crate::config::NmoConfig;
+use crate::runtime::{AddressSample, Profile};
+use crate::NmoError;
+
+/// One per-core observer produced by a backend, ready to attach.
+pub struct CoreObserver {
+    /// The core the observer belongs to.
+    pub core: usize,
+    /// The observer to install (alone or fanned out with other backends').
+    pub observer: Box<dyn OpObserver>,
+}
+
+impl std::fmt::Debug for CoreObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreObserver").field("core", &self.core).finish()
+    }
+}
+
+/// A pluggable source of profiling data for a session.
+///
+/// Lifecycle: [`SampleBackend::start`] before the workload runs (returning
+/// the per-core observers), [`SampleBackend::stop`] after the workload
+/// finishes and observers are detached, then [`SampleBackend::fill`] to fold
+/// the backend's results into the assembled [`Profile`].
+pub trait SampleBackend: Send {
+    /// Stable backend name (used in reports and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Open per-core instruments for `cores` under `config` and return the
+    /// observers to attach. A backend that is inactive under `config` (e.g.
+    /// SPE with sampling disabled) returns an empty vector.
+    fn start(
+        &mut self,
+        machine: &Machine,
+        cores: &[usize],
+        config: &NmoConfig,
+    ) -> Result<Vec<CoreObserver>, NmoError>;
+
+    /// Stop collection and drain any remaining data. Called after the
+    /// session has detached this backend's observers from the cores.
+    fn stop(&mut self, machine: &Machine) -> Result<(), NmoError>;
+
+    /// Fold the backend's results into `profile`.
+    fn fill(&mut self, profile: &mut Profile) -> Result<(), NmoError>;
+}
+
+/// Shared store the SPE monitoring thread decodes samples into.
+#[derive(Debug, Default)]
+pub(crate) struct SampleStore {
+    pub(crate) samples: Mutex<Vec<AddressSample>>,
+    pub(crate) processed: AtomicU64,
+    pub(crate) skipped: AtomicU64,
+    pub(crate) aux_records: AtomicU64,
+    pub(crate) collision_flagged: AtomicU64,
+    pub(crate) truncated_flagged: AtomicU64,
+}
+
+pub(crate) struct CoreSpe {
+    pub(crate) core: usize,
+    pub(crate) event: Arc<PerfEvent>,
+    pub(crate) stats: Arc<SpeStats>,
+}
+
+/// The ARM SPE sampling backend (paper Section IV).
+///
+/// Opens one SPE perf event per profiled core (PMU type `0x2c`) with a ring
+/// buffer of `(N+1)` pages and an aux buffer sized by `NMO_AUXBUFSIZE`,
+/// spawns a monitoring thread that polls the events and decodes each
+/// 64-byte SPE record (validating the `0xb2`/`0x71` header bytes, reading
+/// the virtual address at offset 31 and the timestamp at offset 56), and
+/// converts timestamps to the perf clock via the metadata-page triple.
+#[derive(Default)]
+pub struct SpeBackend {
+    cores: Vec<CoreSpe>,
+    store: Arc<SampleStore>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl SpeBackend {
+    /// Create an idle SPE backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Close every opened event and join the monitor thread. Idempotent.
+    fn shut_down(&mut self) -> std::thread::Result<()> {
+        for c in &self.cores {
+            c.event.close();
+        }
+        match self.monitor.take() {
+            Some(handle) => handle.join(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A session that errors out mid-run drops its backends without calling
+/// [`SampleBackend::stop`]; without this, the monitor thread would keep
+/// polling (and its perf events stay open) for the rest of the process.
+impl Drop for SpeBackend {
+    fn drop(&mut self) {
+        let _ = self.shut_down();
+    }
+}
+
+impl std::fmt::Debug for SpeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeBackend")
+            .field("cores", &self.cores.len())
+            .field("monitoring", &self.monitor.is_some())
+            .finish()
+    }
+}
+
+impl SampleBackend for SpeBackend {
+    fn name(&self) -> &'static str {
+        "spe"
+    }
+
+    fn start(
+        &mut self,
+        machine: &Machine,
+        cores: &[usize],
+        config: &NmoConfig,
+    ) -> Result<Vec<CoreObserver>, NmoError> {
+        if !config.spe_active() {
+            return Ok(Vec::new());
+        }
+        let page_bytes = machine.config().page_bytes;
+        let ring_pages = config.ring_pages(page_bytes);
+        let aux_pages = config.aux_pages(page_bytes);
+        let spe_cfg = config.spe_config();
+        let mut observers = Vec::with_capacity(cores.len());
+        for &core in cores {
+            let (driver, event, stats) =
+                SpeDriver::open_for(machine, core, spe_cfg, ring_pages, aux_pages, config.overhead)
+                    .map_err(NmoError::Perf)?;
+            self.cores.push(CoreSpe { core, event, stats });
+            observers.push(CoreObserver { core, observer: Box::new(driver) });
+        }
+
+        let events: Vec<(usize, Arc<PerfEvent>)> =
+            self.cores.iter().map(|c| (c.core, c.event.clone())).collect();
+        let store = self.store.clone();
+        self.monitor = Some(std::thread::spawn(move || {
+            monitor_loop(&events, &store);
+        }));
+        Ok(observers)
+    }
+
+    fn stop(&mut self, _machine: &Machine) -> Result<(), NmoError> {
+        self.shut_down().map_err(|_| NmoError::backend("spe", "monitor thread panicked"))?;
+        // Final synchronous drain in case the monitor exited early.
+        for c in &self.cores {
+            drain_event(c.core, &c.event, &self.store);
+        }
+        Ok(())
+    }
+
+    fn fill(&mut self, profile: &mut Profile) -> Result<(), NmoError> {
+        let mut samples = std::mem::take(&mut *self.store.samples.lock());
+        samples.sort_by_key(|s| s.time_ns);
+
+        let mut per_core_spe = Vec::new();
+        let mut merged = SpeStatsSnapshot::default();
+        for c in &self.cores {
+            let snap = c.stats.snapshot();
+            merged.merge(&snap);
+            per_core_spe.push((c.core, snap));
+        }
+
+        profile.processed_samples = self.store.processed.load(Ordering::Relaxed);
+        profile.skipped_packets = self.store.skipped.load(Ordering::Relaxed);
+        profile.aux_records = self.store.aux_records.load(Ordering::Relaxed);
+        profile.collision_flagged_records = self.store.collision_flagged.load(Ordering::Relaxed);
+        profile.truncated_flagged_records = self.store.truncated_flagged.load(Ordering::Relaxed);
+        profile.samples = samples;
+        profile.spe = merged;
+        profile.per_core_spe = per_core_spe;
+        Ok(())
+    }
+}
+
+pub(crate) fn monitor_loop(events: &[(usize, Arc<PerfEvent>)], store: &Arc<SampleStore>) {
+    loop {
+        let mut any_ready = false;
+        let mut all_closed = true;
+        for (core, event) in events {
+            match event.waker().try_wait() {
+                PollTimeout::Ready => {
+                    any_ready = true;
+                    drain_event(*core, event, store);
+                }
+                PollTimeout::Closed => {
+                    drain_event(*core, event, store);
+                }
+                PollTimeout::TimedOut => {}
+            }
+            if !event.waker().is_closed() {
+                all_closed = false;
+            }
+        }
+        if all_closed {
+            for (core, event) in events {
+                drain_event(*core, event, store);
+            }
+            return;
+        }
+        if !any_ready {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Drain every pending ring-buffer record of one event, decoding aux data
+/// into address samples.
+pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<SampleStore>) {
+    let (time_zero, time_shift, time_mult) = event.meta().clock();
+    while let Ok(Some(record)) = event.next_record() {
+        let aux = match record {
+            Record::Aux(a) => a,
+            Record::ItraceStart(_) | Record::Lost(_) => continue,
+        };
+        store.aux_records.fetch_add(1, Ordering::Relaxed);
+        if aux.collision() {
+            store.collision_flagged.fetch_add(1, Ordering::Relaxed);
+        }
+        if aux.truncated() {
+            store.truncated_flagged.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(aux_buf) = event.aux() else { continue };
+        let data = aux_buf.read_at(aux.aux_offset, aux.aux_size);
+        let mut samples = Vec::with_capacity(data.len() / SPE_RECORD_BYTES);
+        for chunk in data.chunks_exact(SPE_RECORD_BYTES) {
+            // The NMO decode: validate the 0xb2 / 0x71 header bytes, read the
+            // 64-bit address and timestamp, skip the record otherwise.
+            match decode_nmo_fields(chunk) {
+                Some((vaddr, ticks)) => {
+                    let time_ns =
+                        TimeConv::apply_mmap_triple(ticks, time_zero, time_shift, time_mult);
+                    // Opportunistic full decode for the richer fields.
+                    let (is_store, latency, level) = match SpeRecord::decode(chunk) {
+                        Some(rec) => (rec.is_store, rec.latency, rec.level),
+                        None => (false, 0, MemLevel::L1),
+                    };
+                    samples.push(AddressSample { time_ns, vaddr, core, is_store, latency, level });
+                }
+                None => {
+                    store.skipped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        store.processed.fetch_add(samples.len() as u64, Ordering::Relaxed);
+        store.samples.lock().extend(samples);
+    }
+}
+
+/// The `perf stat`-style counting backend.
+///
+/// Opens one machine-wide [`CountingEvent`] per tracked hardware event
+/// (`mem_access`, `ld_retired`, `st_retired`, `inst_retired`, `br_retired`)
+/// and feeds them from a per-core observer. Counting charges no cycles to the
+/// profiled cores, mirroring the negligible overhead of `perf stat` in the
+/// paper's baseline runs; the final counts land in
+/// [`Profile::perf_counts`].
+#[derive(Debug, Default)]
+pub struct CounterBackend {
+    events: Vec<(&'static str, Arc<CountingEvent>)>,
+}
+
+impl CounterBackend {
+    /// Create an idle counting backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current value of one named counter, if it exists.
+    pub fn read(&self, name: &str) -> Option<u64> {
+        self.events.iter().find(|(n, _)| *n == name).map(|(_, e)| e.read())
+    }
+}
+
+struct CounterObserver {
+    mem_access: Arc<CountingEvent>,
+    ld_retired: Arc<CountingEvent>,
+    st_retired: Arc<CountingEvent>,
+    inst_retired: Arc<CountingEvent>,
+    br_retired: Arc<CountingEvent>,
+}
+
+impl OpObserver for CounterObserver {
+    fn on_op(
+        &mut self,
+        op: &Op,
+        _outcome: Option<&MemOutcome>,
+        _now_cycles: u64,
+    ) -> ObserverCharge {
+        self.inst_retired.add(1);
+        match op.kind {
+            OpKind::Load => {
+                self.mem_access.add(1);
+                self.ld_retired.add(1);
+            }
+            OpKind::Store => {
+                self.mem_access.add(1);
+                self.st_retired.add(1);
+            }
+            OpKind::Branch => self.br_retired.add(1),
+            OpKind::Other => {}
+        }
+        ObserverCharge::NONE
+    }
+}
+
+impl SampleBackend for CounterBackend {
+    fn name(&self) -> &'static str {
+        "counters"
+    }
+
+    fn start(
+        &mut self,
+        _machine: &Machine,
+        cores: &[usize],
+        config: &NmoConfig,
+    ) -> Result<Vec<CoreObserver>, NmoError> {
+        if !config.enabled {
+            return Ok(Vec::new());
+        }
+        let open = |cfg: u64| -> Result<Arc<CountingEvent>, NmoError> {
+            let attr = PerfEventAttr::counting(cfg);
+            attr.validate().map_err(NmoError::Perf)?;
+            Ok(Arc::new(CountingEvent::new(attr)))
+        };
+        let mem_access = open(hw_config::MEM_ACCESS)?;
+        let ld_retired = open(hw_config::LD_RETIRED)?;
+        let st_retired = open(hw_config::ST_RETIRED)?;
+        let inst_retired = open(hw_config::INSTRUCTIONS)?;
+        let br_retired = open(hw_config::BR_RETIRED)?;
+        self.events = vec![
+            ("mem_access", mem_access.clone()),
+            ("ld_retired", ld_retired.clone()),
+            ("st_retired", st_retired.clone()),
+            ("inst_retired", inst_retired.clone()),
+            ("br_retired", br_retired.clone()),
+        ];
+        Ok(cores
+            .iter()
+            .map(|&core| CoreObserver {
+                core,
+                observer: Box::new(CounterObserver {
+                    mem_access: mem_access.clone(),
+                    ld_retired: ld_retired.clone(),
+                    st_retired: st_retired.clone(),
+                    inst_retired: inst_retired.clone(),
+                    br_retired: br_retired.clone(),
+                }) as Box<dyn OpObserver>,
+            })
+            .collect())
+    }
+
+    fn stop(&mut self, _machine: &Machine) -> Result<(), NmoError> {
+        for (_, event) in &self.events {
+            event.disable();
+        }
+        Ok(())
+    }
+
+    fn fill(&mut self, profile: &mut Profile) -> Result<(), NmoError> {
+        profile
+            .perf_counts
+            .extend(self.events.iter().map(|(name, event)| (name.to_string(), event.read())));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arch_sim::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small_test())
+    }
+
+    #[test]
+    fn spe_backend_inactive_without_sampling_config() {
+        let machine = machine();
+        let mut backend = SpeBackend::new();
+        let observers = backend.start(&machine, &[0, 1], &NmoConfig::default()).unwrap();
+        assert!(observers.is_empty());
+        backend.stop(&machine).unwrap();
+    }
+
+    #[test]
+    fn spe_backend_collects_samples_end_to_end() {
+        let machine = machine();
+        let config = NmoConfig::paper_default(100);
+        let mut backend = SpeBackend::new();
+        let observers = backend.start(&machine, &[0], &config).unwrap();
+        assert_eq!(observers.len(), 1);
+        for co in observers {
+            machine.set_observer(co.core, co.observer).unwrap();
+        }
+        let region = machine.alloc("data", 1 << 20).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..50_000u64 {
+                e.load(region.start + (i % 10_000) * 8, 8);
+            }
+        }
+        let _ = machine.take_observer(0).unwrap();
+        backend.stop(&machine).unwrap();
+        let mut profile = Profile::empty("t", config);
+        backend.fill(&mut profile).unwrap();
+        assert!(profile.processed_samples > 100, "{}", profile.processed_samples);
+        assert_eq!(profile.samples.len() as u64, profile.processed_samples);
+        assert!(profile.spe.records_written >= profile.processed_samples);
+    }
+
+    #[test]
+    fn counter_backend_counts_while_attached() {
+        let machine = machine();
+        let config = NmoConfig { enabled: true, ..NmoConfig::default() };
+        let mut backend = CounterBackend::new();
+        let observers = backend.start(&machine, &[0, 1], &config).unwrap();
+        assert_eq!(observers.len(), 2);
+        for co in observers {
+            machine.set_observer(co.core, co.observer).unwrap();
+        }
+        let region = machine.alloc("data", 1 << 16).unwrap();
+        for core in [0usize, 1] {
+            let mut e = machine.attach(core).unwrap();
+            for i in 0..1_000u64 {
+                e.load(region.start + i * 8, 8);
+            }
+            e.store(region.start, 8);
+        }
+        for core in [0usize, 1] {
+            let _ = machine.take_observer(core).unwrap();
+        }
+        backend.stop(&machine).unwrap();
+        assert_eq!(backend.read("mem_access"), Some(2 * 1_000 + 2));
+        assert_eq!(backend.read("st_retired"), Some(2));
+        let mut profile = Profile::empty("t", config);
+        backend.fill(&mut profile).unwrap();
+        let mem = profile.perf_counts.iter().find(|(n, _)| n == "mem_access").unwrap();
+        assert_eq!(mem.1, machine.counters().mem_access);
+    }
+
+    #[test]
+    fn counter_backend_disabled_config_attaches_nothing() {
+        let machine = machine();
+        let mut backend = CounterBackend::new();
+        let observers = backend.start(&machine, &[0], &NmoConfig::default()).unwrap();
+        assert!(observers.is_empty());
+        assert_eq!(backend.read("mem_access"), None);
+    }
+}

@@ -48,8 +48,11 @@ impl BandwidthSeries {
         } else {
             points.iter().map(|p| p.gib_per_s).sum::<f64>() / points.len() as f64
         };
-        let arithmetic_intensity =
-            if total_bytes > 0 && flops > 0 { Some(flops as f64 / total_bytes as f64) } else { None };
+        let arithmetic_intensity = if total_bytes > 0 && flops > 0 {
+            Some(flops as f64 / total_bytes as f64)
+        } else {
+            None
+        };
         BandwidthSeries {
             points,
             peak_gib_per_s: peak,

@@ -44,11 +44,8 @@ impl CapacitySeries {
     ) -> Self {
         let buckets = buckets.max(1);
         let peak_bytes = events.iter().map(|e| e.rss_bytes).max().unwrap_or(0);
-        let peak_utilization = if capacity_bytes == 0 {
-            0.0
-        } else {
-            peak_bytes as f64 / capacity_bytes as f64
-        };
+        let peak_utilization =
+            if capacity_bytes == 0 { 0.0 } else { peak_bytes as f64 / capacity_bytes as f64 };
 
         let mut points = Vec::with_capacity(buckets + 1);
         let step = (total_ns.max(1)) as f64 / buckets as f64;

@@ -14,63 +14,96 @@
 //!    Extension and attributed to user-tagged objects and execution phases
 //!    (Figures 4–6).
 //!
+//! The public API is organised around three seams:
+//!
+//! * [`session::ProfileSession`] — the entry point. A builder configures the
+//!   machine, cores, workload, backends, and sinks; every fallible step
+//!   returns [`Result`]`<_, `[`NmoError`]`>`.
+//! * [`backend::SampleBackend`] — pluggable data sources. [`backend::SpeBackend`]
+//!   samples precise addresses with the ARM SPE model; [`backend::CounterBackend`]
+//!   aggregates `perf stat`-style hardware counters. A session can run both
+//!   at once on the same cores.
+//! * [`sink::AnalysisSink`] — pluggable analyses over the collected run.
+//!   The three levels of the paper ship as [`sink::CapacitySink`],
+//!   [`sink::BandwidthSink`], and [`sink::RegionSink`].
+//!
 //! Configuration follows Table I of the paper ([`config::NmoConfig`], the
 //! `NMO_*` environment variables); source annotations follow the C API of
-//! Section III-B ([`annotate`]); the runtime ([`runtime::Profiler`]) opens one
-//! SPE perf event per core, monitors the ring/aux buffers, and decodes the
-//! 64-byte SPE records exactly as described in Section IV; the accuracy and
-//! overhead metrics of the sensitivity study (Section VII) live in
-//! [`analysis`].
+//! Section III-B ([`annotate`]); the SPE backend opens one perf event per
+//! core, monitors the ring/aux buffers, and decodes the 64-byte SPE records
+//! exactly as described in Section IV; the accuracy and overhead metrics of
+//! the sensitivity study (Section VII) live in [`analysis`].
 //!
 //! Because real SPE hardware is unavailable in this environment, the profiler
 //! runs against the simulated machine of the `arch-sim` crate and the SPE
-//! model of the `spe` crate — see `DESIGN.md` at the repository root for the
-//! substitution argument.
+//! model of the `spe` crate — see `README.md` at the repository root.
 //!
 //! ## Example
 //!
 //! ```
-//! use arch_sim::{Machine, MachineConfig};
-//! use nmo::{NmoConfig, Profiler};
+//! use arch_sim::MachineConfig;
+//! use nmo::{NmoConfig, ProfileSession};
 //!
-//! let machine = Machine::new(MachineConfig::small_test());
-//! let mut profiler = Profiler::new(&machine, NmoConfig::paper_default(100));
-//! let data = machine.alloc("data", 1 << 20).unwrap();
-//! profiler.tag_addr("data", data.start, data.end());
-//! profiler.enable(&[0]).unwrap();
-//! {
-//!     let mut engine = machine.attach(0).unwrap();
-//!     profiler.start_phase("kernel", engine.now_ns());
+//! # fn main() -> Result<(), nmo::NmoError> {
+//! let session = ProfileSession::builder()
+//!     .machine_config(MachineConfig::small_test())
+//!     .config(NmoConfig::paper_default(100))
+//!     .threads(1)
+//!     .build()?;
+//!
+//! let profile = session.run_with(|machine, annotations, cores| {
+//!     let data = machine.alloc("data", 1 << 20)?;
+//!     annotations.tag_addr("data", data.start, data.end());
+//!     let mut engine = machine.attach(cores[0])?;
+//!     annotations.start("kernel", engine.now_ns());
 //!     for i in 0..10_000u64 {
 //!         engine.load(data.start + (i % 1000) * 8, 8);
 //!     }
-//!     profiler.stop_phase(engine.now_ns());
-//! }
-//! let profile = profiler.finish();
+//!     annotations.stop(engine.now_ns());
+//!     Ok(())
+//! })?;
+//!
 //! assert!(profile.processed_samples > 0);
+//! assert!(profile.regions().per_tag.iter().any(|t| t.name == "data"));
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod annotate;
+pub mod backend;
 pub mod bandwidth;
 pub mod capacity;
 pub mod config;
 pub mod regions;
 pub mod report;
 pub mod runtime;
+pub mod session;
+pub mod sink;
+pub mod workload;
 
 pub use analysis::{accuracy, time_overhead, RunMeasurement, Sweep, SweepPoint};
 pub use annotate::{AddrTag, Annotations, Phase};
+pub use backend::{CoreObserver, CounterBackend, SampleBackend, SpeBackend};
 pub use bandwidth::BandwidthSeries;
 pub use capacity::CapacitySeries;
 pub use config::{Mode, NmoConfig, NmoConfigBuilder};
 pub use regions::{attribute, RegionProfile, RegionStats};
 pub use runtime::{AddressSample, Profile, Profiler};
+pub use session::{ActiveSession, ProfileSession, ProfileSessionBuilder};
+pub use sink::{
+    AnalysisRecord, AnalysisReport, AnalysisSink, BandwidthSink, CapacitySink, RegionSink,
+};
+pub use workload::{Workload, WorkloadReport};
 
 /// Errors produced by the NMO runtime.
+///
+/// Marked `#[non_exhaustive]`: new backends and sinks may introduce new
+/// failure classes, so downstream matches must carry a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NmoError {
     /// The underlying perf substrate rejected a configuration.
     Perf(perf_sub::PerfError),
@@ -78,6 +111,37 @@ pub enum NmoError {
     Sim(arch_sim::SimError),
     /// An I/O error while writing reports.
     Io(std::io::Error),
+    /// A [`backend::SampleBackend`] failed to start, stop, or report.
+    Backend {
+        /// Name of the failing backend.
+        backend: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// An [`sink::AnalysisSink`] failed to produce its analysis.
+    Sink {
+        /// Name of the failing sink.
+        sink: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A workload failed during setup, execution, or verification.
+    Workload(String),
+    /// The session was configured inconsistently (no cores, unknown core
+    /// ids, missing workload, ...).
+    Config(String),
+}
+
+impl NmoError {
+    /// Construct a [`NmoError::Backend`] from a backend name and message.
+    pub fn backend(backend: impl Into<String>, message: impl Into<String>) -> Self {
+        NmoError::Backend { backend: backend.into(), message: message.into() }
+    }
+
+    /// Construct a [`NmoError::Sink`] from a sink name and message.
+    pub fn sink(sink: impl Into<String>, message: impl Into<String>) -> Self {
+        NmoError::Sink { sink: sink.into(), message: message.into() }
+    }
 }
 
 impl std::fmt::Display for NmoError {
@@ -86,11 +150,26 @@ impl std::fmt::Display for NmoError {
             NmoError::Perf(e) => write!(f, "perf error: {e}"),
             NmoError::Sim(e) => write!(f, "machine error: {e}"),
             NmoError::Io(e) => write!(f, "i/o error: {e}"),
+            NmoError::Backend { backend, message } => {
+                write!(f, "backend '{backend}' failed: {message}")
+            }
+            NmoError::Sink { sink, message } => write!(f, "sink '{sink}' failed: {message}"),
+            NmoError::Workload(msg) => write!(f, "workload error: {msg}"),
+            NmoError::Config(msg) => write!(f, "session configuration error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for NmoError {}
+impl std::error::Error for NmoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NmoError::Perf(e) => Some(e),
+            NmoError::Sim(e) => Some(e),
+            NmoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<perf_sub::PerfError> for NmoError {
     fn from(e: perf_sub::PerfError) -> Self {

@@ -63,17 +63,14 @@ pub struct RegionProfile {
 /// Attribute SPE samples to tags and phases.
 pub fn attribute(samples: &[AddressSample], tags: &[AddrTag], phases: &[Phase]) -> RegionProfile {
     let mut scatter = Vec::with_capacity(samples.len());
-    let mut per_tag: HashMap<String, (RegionStats, std::collections::HashSet<u64>)> = HashMap::new();
+    let mut per_tag: HashMap<String, (RegionStats, std::collections::HashSet<u64>)> =
+        HashMap::new();
     let mut per_phase: HashMap<String, u64> = HashMap::new();
     let mut untagged = 0u64;
 
     for s in samples {
         let tag = tags.iter().rev().find(|t| t.contains(s.vaddr));
-        let phase = phases
-            .iter()
-            .rev()
-            .find(|p| p.contains_ns(s.time_ns))
-            .map(|p| p.name.clone());
+        let phase = phases.iter().rev().find(|p| p.contains_ns(s.time_ns)).map(|p| p.name.clone());
         if let Some(p) = &phase {
             *per_phase.entry(p.clone()).or_insert(0) += 1;
         }
@@ -157,7 +154,14 @@ mod tests {
     use super::*;
 
     fn sample(time_ns: u64, vaddr: u64, is_store: bool) -> AddressSample {
-        AddressSample { time_ns, vaddr, core: 0, is_store, latency: 4, level: arch_sim::MemLevel::L1 }
+        AddressSample {
+            time_ns,
+            vaddr,
+            core: 0,
+            is_store,
+            latency: 4,
+            level: arch_sim::MemLevel::L1,
+        }
     }
 
     fn tags() -> Vec<AddrTag> {

@@ -47,11 +47,7 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths, &mut out);
-    fmt_row(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-        &widths,
-        &mut out,
-    );
+    fmt_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(), &widths, &mut out);
     for row in rows {
         fmt_row(row, &widths, &mut out);
     }
@@ -139,12 +135,22 @@ impl Profile {
         let rows: Vec<Vec<String>> = self
             .phases
             .iter()
-            .map(|p| {
-                vec![p.name.clone(), p.start_ns.to_string(), p.end_ns.to_string()]
-            })
+            .map(|p| vec![p.name.clone(), p.start_ns.to_string(), p.end_ns.to_string()])
             .collect();
         write_csv(&path, &["phase", "start_ns", "end_ns"], &rows)?;
         written.push(path.display().to_string());
+
+        // Hardware counters from the counting backend (perf stat analogue).
+        if !self.perf_counts.is_empty() {
+            let path = dir.join(format!("{base}_counters.csv"));
+            let rows: Vec<Vec<String>> = self
+                .perf_counts
+                .iter()
+                .map(|(event, count)| vec![event.clone(), count.to_string()])
+                .collect();
+            write_csv(&path, &["event", "count"], &rows)?;
+            written.push(path.display().to_string());
+        }
 
         Ok(written)
     }
@@ -152,10 +158,15 @@ impl Profile {
     /// A one-paragraph text summary of the run.
     pub fn summary(&self) -> String {
         format!(
-            "profile '{}': {} samples processed ({} skipped), {} aux records, \
+            "profile '{}' [{}]: {} samples processed ({} skipped), {} aux records, \
              elapsed {:.3} ms simulated, peak RSS {:.3} GiB, peak BW {:.1} GiB/s, \
              collisions {}, truncated {}",
             self.name,
+            if self.backends.is_empty() {
+                "no backends".to_string()
+            } else {
+                self.backends.join("+")
+            },
             self.processed_samples,
             self.skipped_packets,
             self.aux_records,
@@ -176,8 +187,12 @@ mod tests {
     fn csv_writer_produces_well_formed_files() {
         let dir = std::env::temp_dir().join(format!("nmo_report_test_{}", std::process::id()));
         let path = dir.join("x.csv");
-        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]])
-            .unwrap();
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,2\n3,4\n");
         std::fs::remove_dir_all(&dir).ok();

@@ -1,40 +1,27 @@
-//! The NMO runtime: per-core SPE setup, the monitoring thread, packet
-//! decoding, and profile assembly (paper Section IV).
+//! The assembled profiling result ([`Profile`]) and the deprecated
+//! [`Profiler`] shim.
 //!
-//! The runtime mirrors the implementation described in the paper:
-//!
-//! * one SPE perf event is opened per profiled core (`perf_event_open`, PMU
-//!   type `0x2c`) with a ring buffer of `(N+1)` 64 KiB pages and an aux
-//!   buffer sized by `NMO_AUXBUFSIZE`;
-//! * a monitoring thread polls the events (epoll in the original); each
-//!   `PERF_RECORD_AUX` record points at newly written SPE data in the aux
-//!   buffer;
-//! * each 64-byte SPE record is decoded by checking the `0xb2`/`0x71` header
-//!   bytes and reading the virtual address at offset 31 and the timestamp at
-//!   offset 56; invalid records (e.g. mangled by collisions) are skipped;
-//! * timestamps are converted from the SPE timer to the perf clock using the
-//!   `time_zero`/`time_shift`/`time_mult` fields of the metadata page;
-//! * when profiling stops, the buffers are drained one final time.
+//! The runtime machinery described in paper Section IV — per-core SPE event
+//! setup, the monitoring thread, packet decoding — lives in
+//! [`crate::backend::SpeBackend`]; profile assembly is orchestrated by
+//! [`crate::session::ProfileSession`]. This module defines the data the
+//! session produces and keeps the historical `Profiler` entry point alive as
+//! a thin, `#[deprecated]` wrapper over the backend so old call sites keep
+//! compiling while they migrate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
-use parking_lot::Mutex;
-
-use arch_sim::{Machine, MachineCounters, MemLevel, TimeConv};
-use perf_sub::poll::PollTimeout;
-use perf_sub::records::Record;
-use perf_sub::PerfEvent;
-use spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
-use spe::{SpeDriver, SpeStats, SpeStatsSnapshot};
+use arch_sim::{Machine, MachineCounters, MemLevel};
+use spe::SpeStatsSnapshot;
 
 use crate::annotate::{AddrTag, Annotations, Phase};
+use crate::backend::{SampleBackend, SpeBackend};
 use crate::bandwidth::BandwidthSeries;
 use crate::capacity::CapacitySeries;
 use crate::config::NmoConfig;
 use crate::regions::{attribute, RegionProfile};
+use crate::sink::{default_sinks, run_sinks, AnalysisRecord};
+use crate::workload::WorkloadReport;
 use crate::NmoError;
 
 /// One decoded SPE address sample.
@@ -54,23 +41,6 @@ pub struct AddressSample {
     pub level: MemLevel,
 }
 
-/// Shared store the monitoring thread decodes samples into.
-#[derive(Debug, Default)]
-struct SampleStore {
-    samples: Mutex<Vec<AddressSample>>,
-    processed: AtomicU64,
-    skipped: AtomicU64,
-    aux_records: AtomicU64,
-    collision_flagged: AtomicU64,
-    truncated_flagged: AtomicU64,
-}
-
-struct CoreSpe {
-    core: usize,
-    event: Arc<PerfEvent>,
-    stats: Arc<SpeStats>,
-}
-
 /// The complete result of one profiled run.
 #[derive(Debug, Clone)]
 pub struct Profile {
@@ -78,6 +48,8 @@ pub struct Profile {
     pub name: String,
     /// Configuration in force.
     pub config: NmoConfig,
+    /// Names of the sample backends that ran under the session.
+    pub backends: Vec<String>,
     /// Decoded address samples, sorted by time.
     pub samples: Vec<AddressSample>,
     /// Number of successfully decoded samples.
@@ -94,16 +66,23 @@ pub struct Profile {
     pub spe: SpeStatsSnapshot,
     /// Per-core SPE statistics.
     pub per_core_spe: Vec<(usize, SpeStatsSnapshot)>,
+    /// `perf stat`-style counts collected by the counter backend
+    /// (`(event name, count)` pairs; empty when the backend did not run).
+    pub perf_counts: Vec<(String, u64)>,
     /// Machine-wide hardware counters at the end of the run.
     pub counters: MachineCounters,
     /// Capacity-over-time series (level 1).
     pub capacity: CapacitySeries,
     /// Bandwidth-over-time series (level 2).
     pub bandwidth: BandwidthSeries,
+    /// Outputs of every analysis sink registered on the session.
+    pub analyses: Vec<AnalysisRecord>,
     /// Registered address tags.
     pub tags: Vec<AddrTag>,
     /// Recorded execution phases.
     pub phases: Vec<Phase>,
+    /// Report of the workload the session drove, if any.
+    pub workload: Option<WorkloadReport>,
     /// Simulated execution time, cycles (makespan across cores).
     pub elapsed_cycles: u64,
     /// Simulated execution time, nanoseconds.
@@ -111,9 +90,50 @@ pub struct Profile {
 }
 
 impl Profile {
+    /// An empty profile carrying only a name and configuration (the starting
+    /// point backends and sinks fill in).
+    pub fn empty(name: impl Into<String>, config: NmoConfig) -> Self {
+        Profile {
+            name: name.into(),
+            config,
+            backends: Vec::new(),
+            samples: Vec::new(),
+            processed_samples: 0,
+            skipped_packets: 0,
+            aux_records: 0,
+            collision_flagged_records: 0,
+            truncated_flagged_records: 0,
+            spe: SpeStatsSnapshot::default(),
+            per_core_spe: Vec::new(),
+            perf_counts: Vec::new(),
+            counters: MachineCounters::default(),
+            capacity: CapacitySeries::default(),
+            bandwidth: BandwidthSeries::default(),
+            analyses: Vec::new(),
+            tags: Vec::new(),
+            phases: Vec::new(),
+            workload: None,
+            elapsed_cycles: 0,
+            elapsed_ns: 0,
+        }
+    }
+
     /// Region-based attribution of the address samples (level 3).
+    ///
+    /// When a [`crate::sink::RegionSink`] ran on the session its stored
+    /// report is returned; otherwise the attribution is computed on demand.
     pub fn regions(&self) -> RegionProfile {
+        for record in &self.analyses {
+            if let crate::sink::AnalysisReport::Regions(r) = &record.report {
+                return r.clone();
+            }
+        }
         attribute(&self.samples, &self.tags, &self.phases)
+    }
+
+    /// The count collected by the counter backend for `event`, if any.
+    pub fn perf_count(&self, event: &str) -> Option<u64> {
+        self.perf_counts.iter().find(|(n, _)| n == event).map(|(_, v)| *v)
     }
 
     /// Accuracy per Eq. (1) against a baseline `mem_access` count.
@@ -128,29 +148,53 @@ impl Profile {
     }
 }
 
-/// The NMO profiler bound to a simulated machine.
+/// Assemble the machine-derived base of a profile: counters, elapsed time,
+/// and annotations. Backends and sinks fill in the rest.
+pub(crate) fn base_profile(
+    machine: &Machine,
+    config: &NmoConfig,
+    annotations: &Annotations,
+) -> Profile {
+    let counters = machine.counters();
+    let elapsed_cycles = counters.cycles;
+    let mut profile = Profile::empty(config.name.clone(), config.clone());
+    profile.counters = counters;
+    profile.elapsed_cycles = elapsed_cycles;
+    profile.elapsed_ns = machine.config().cycles_to_ns(elapsed_cycles);
+    profile.tags = annotations.tags();
+    profile.phases = annotations.phases();
+    profile
+}
+
+/// The historical NMO profiler bound to a borrowed machine.
 ///
 /// Lifecycle: [`Profiler::new`] → [`Profiler::enable`] → run the workload →
-/// [`Profiler::finish`].
+/// [`Profiler::finish`]. New code should use
+/// [`crate::session::ProfileSession`], which owns its machine, supports
+/// multiple backends and pluggable sinks, and returns `Result` everywhere;
+/// this type remains as a thin shim over [`SpeBackend`].
 pub struct Profiler<'m> {
     machine: &'m Machine,
     config: NmoConfig,
     annotations: Arc<Annotations>,
-    cores: Vec<CoreSpe>,
-    store: Arc<SampleStore>,
-    monitor: Option<JoinHandle<()>>,
+    backend: SpeBackend,
+    attached: Vec<usize>,
 }
 
 impl<'m> Profiler<'m> {
     /// Create a profiler for `machine` with the given configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use nmo::ProfileSession::builder() — it owns the machine, runs multiple \
+                backends, and reports errors as Result instead of panicking"
+    )]
     pub fn new(machine: &'m Machine, config: NmoConfig) -> Self {
         Profiler {
             machine,
             config,
             annotations: Arc::new(Annotations::new()),
-            cores: Vec::new(),
-            store: Arc::new(SampleStore::default()),
-            monitor: None,
+            backend: SpeBackend::new(),
+            attached: Vec::new(),
         }
     }
 
@@ -185,183 +229,37 @@ impl<'m> Profiler<'m> {
         if !self.config.enabled {
             return Ok(());
         }
-        if self.config.spe_active() {
-            let page_bytes = self.machine.config().page_bytes;
-            let ring_pages = self.config.ring_pages(page_bytes);
-            let aux_pages = self.config.aux_pages(page_bytes);
-            let spe_cfg = self.config.spe_config();
-            for &core in cores {
-                let (event, stats) = SpeDriver::open_on(
-                    self.machine,
-                    core,
-                    spe_cfg,
-                    ring_pages,
-                    aux_pages,
-                    self.config.overhead,
-                )
-                .map_err(NmoError::Perf)?;
-                self.cores.push(CoreSpe { core, event, stats });
-            }
-            self.spawn_monitor();
+        for co in self.backend.start(self.machine, cores, &self.config)? {
+            self.machine.set_observer(co.core, co.observer).map_err(NmoError::Sim)?;
+            self.attached.push(co.core);
         }
         Ok(())
     }
 
-    fn spawn_monitor(&mut self) {
-        let events: Vec<(usize, Arc<PerfEvent>)> =
-            self.cores.iter().map(|c| (c.core, c.event.clone())).collect();
-        let store = self.store.clone();
-        self.monitor = Some(std::thread::spawn(move || {
-            monitor_loop(&events, &store);
-        }));
-    }
-
     /// Stop profiling, drain all buffers, and assemble the [`Profile`].
     pub fn finish(mut self) -> Profile {
-        // Remove the SPE observers from the cores (the final aux drain was
-        // published when the last engine detached).
-        for c in &self.cores {
-            let _ = self.machine.take_observer(c.core);
-            c.event.close();
+        for &core in &self.attached {
+            let _ = self.machine.take_observer(core);
         }
-        if let Some(handle) = self.monitor.take() {
-            let _ = handle.join();
+        // The SPE backend's stop/fill paths only fail when the monitor thread
+        // itself panicked; the historical API has no error channel, so that
+        // (unreachable in practice) case degrades to an empty sample set.
+        let _ = self.backend.stop(self.machine);
+        let mut profile = base_profile(self.machine, &self.config, &self.annotations);
+        if !self.attached.is_empty() {
+            profile.backends = vec![self.backend.name().to_string()];
         }
-        // Final synchronous drain in case the monitor exited early.
-        for c in &self.cores {
-            drain_event(c.core, &c.event, &self.store);
-        }
-
-        let counters = self.machine.counters();
-        let elapsed_cycles = counters.cycles;
-        let elapsed_ns = self.machine.config().cycles_to_ns(elapsed_cycles);
-
-        let mut per_core_spe = Vec::new();
-        let mut merged = SpeStatsSnapshot::default();
-        for c in &self.cores {
-            let snap = c.stats.snapshot();
-            merged.merge(&snap);
-            per_core_spe.push((c.core, snap));
-        }
-
-        let capacity = if self.config.track_rss {
-            CapacitySeries::from_events(
-                &self.machine.rss_series(),
-                elapsed_ns,
-                self.machine.config().dram.capacity_bytes,
-                200,
-            )
-        } else {
-            CapacitySeries::default()
-        };
-        let bandwidth = if self.config.track_bandwidth {
-            BandwidthSeries::from_buckets(&self.machine.bandwidth_series(), counters.flops)
-        } else {
-            BandwidthSeries::default()
-        };
-
-        let mut samples = std::mem::take(&mut *self.store.samples.lock());
-        samples.sort_by_key(|s| s.time_ns);
-
-        Profile {
-            name: self.config.name.clone(),
-            config: self.config.clone(),
-            samples,
-            processed_samples: self.store.processed.load(Ordering::Relaxed),
-            skipped_packets: self.store.skipped.load(Ordering::Relaxed),
-            aux_records: self.store.aux_records.load(Ordering::Relaxed),
-            collision_flagged_records: self.store.collision_flagged.load(Ordering::Relaxed),
-            truncated_flagged_records: self.store.truncated_flagged.load(Ordering::Relaxed),
-            spe: merged,
-            per_core_spe,
-            counters,
-            capacity,
-            bandwidth,
-            tags: self.annotations.tags(),
-            phases: self.annotations.phases(),
-            elapsed_cycles,
-            elapsed_ns,
-        }
-    }
-}
-
-fn monitor_loop(events: &[(usize, Arc<PerfEvent>)], store: &Arc<SampleStore>) {
-    loop {
-        let mut any_ready = false;
-        let mut all_closed = true;
-        for (core, event) in events {
-            match event.waker().try_wait() {
-                PollTimeout::Ready => {
-                    any_ready = true;
-                    drain_event(*core, event, store);
-                }
-                PollTimeout::Closed => {
-                    drain_event(*core, event, store);
-                }
-                PollTimeout::TimedOut => {}
-            }
-            if !event.waker().is_closed() {
-                all_closed = false;
-            }
-        }
-        if all_closed {
-            for (core, event) in events {
-                drain_event(*core, event, store);
-            }
-            return;
-        }
-        if !any_ready {
-            std::thread::sleep(Duration::from_micros(200));
-        }
-    }
-}
-
-/// Drain every pending ring-buffer record of one event, decoding aux data
-/// into address samples.
-fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<SampleStore>) {
-    let (time_zero, time_shift, time_mult) = event.meta().clock();
-    while let Ok(Some(record)) = event.next_record() {
-        let aux = match record {
-            Record::Aux(a) => a,
-            Record::ItraceStart(_) | Record::Lost(_) => continue,
-        };
-        store.aux_records.fetch_add(1, Ordering::Relaxed);
-        if aux.collision() {
-            store.collision_flagged.fetch_add(1, Ordering::Relaxed);
-        }
-        if aux.truncated() {
-            store.truncated_flagged.fetch_add(1, Ordering::Relaxed);
-        }
-        let Some(aux_buf) = event.aux() else { continue };
-        let data = aux_buf.read_at(aux.aux_offset, aux.aux_size);
-        let mut samples = Vec::with_capacity(data.len() / SPE_RECORD_BYTES);
-        for chunk in data.chunks_exact(SPE_RECORD_BYTES) {
-            // The NMO decode: validate the 0xb2 / 0x71 header bytes, read the
-            // 64-bit address and timestamp, skip the record otherwise.
-            match decode_nmo_fields(chunk) {
-                Some((vaddr, ticks)) => {
-                    let time_ns =
-                        TimeConv::apply_mmap_triple(ticks, time_zero, time_shift, time_mult);
-                    // Opportunistic full decode for the richer fields.
-                    let (is_store, latency, level) = match SpeRecord::decode(chunk) {
-                        Some(rec) => (rec.is_store, rec.latency, rec.level),
-                        None => (false, 0, MemLevel::L1),
-                    };
-                    samples.push(AddressSample { time_ns, vaddr, core, is_store, latency, level });
-                }
-                None => {
-                    store.skipped.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-        store.processed.fetch_add(samples.len() as u64, Ordering::Relaxed);
-        store.samples.lock().extend(samples);
+        let _ = self.backend.fill(&mut profile);
+        let mut sinks = default_sinks(&self.config);
+        let _ = run_sinks(self.machine, &mut profile, &mut sinks);
+        profile
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::ProfileSession;
     use arch_sim::MachineConfig;
     use spe::OverheadModel;
 
@@ -392,17 +290,24 @@ mod tests {
         });
     }
 
+    fn session(config: NmoConfig, threads: usize) -> ProfileSession {
+        ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(config)
+            .threads(threads)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn end_to_end_sampling_produces_samples() {
-        let machine = Machine::new(MachineConfig::small_test());
-        let cfg = NmoConfig {
-            overhead: fast_overhead(),
-            ..NmoConfig::paper_default(100)
-        };
-        let mut profiler = Profiler::new(&machine, cfg);
-        profiler.enable(&[0, 1]).unwrap();
-        run_stream_like(&machine, &[0, 1], 50_000);
-        let profile = profiler.finish();
+        let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(100) };
+        let profile = session(cfg, 2)
+            .run_with(|machine, _ann, cores| {
+                run_stream_like(machine, cores, 50_000);
+                Ok(())
+            })
+            .unwrap();
 
         assert!(profile.processed_samples > 0);
         assert_eq!(profile.processed_samples as usize, profile.samples.len());
@@ -418,31 +323,33 @@ mod tests {
         // a fast drain model.
         let acc = profile.accuracy_against(profile.counters.mem_access);
         assert!(acc > 0.85, "accuracy {acc}");
+        // The counter backend ran alongside SPE and agrees with the machine.
+        assert_eq!(profile.perf_count("mem_access"), Some(profile.counters.mem_access));
     }
 
     #[test]
-    fn disabled_profiler_collects_nothing_and_costs_nothing() {
-        let machine = Machine::new(MachineConfig::small_test());
-        let mut profiler = Profiler::new(&machine, NmoConfig::default());
-        profiler.enable(&[0]).unwrap();
-        run_stream_like(&machine, &[0], 10_000);
-        let profile = profiler.finish();
+    fn disabled_session_collects_nothing_and_costs_nothing() {
+        let profile = session(NmoConfig::default(), 1)
+            .run_with(|machine, _ann, cores| {
+                run_stream_like(machine, cores, 10_000);
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(profile.processed_samples, 0);
         assert_eq!(profile.counters.observer_cycles, 0);
         assert!(profile.samples.is_empty());
+        assert!(profile.perf_counts.is_empty());
     }
 
     #[test]
     fn capacity_and_bandwidth_series_populated() {
-        let machine = Machine::new(MachineConfig::small_test());
-        let cfg = NmoConfig {
-            overhead: fast_overhead(),
-            ..NmoConfig::paper_default(1000)
-        };
-        let mut profiler = Profiler::new(&machine, cfg);
-        profiler.enable(&[0]).unwrap();
-        run_stream_like(&machine, &[0], 100_000);
-        let profile = profiler.finish();
+        let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(1000) };
+        let profile = session(cfg, 1)
+            .run_with(|machine, _ann, cores| {
+                run_stream_like(machine, cores, 100_000);
+                Ok(())
+            })
+            .unwrap();
         assert!(profile.capacity.peak_bytes > 0);
         assert!(!profile.capacity.points.is_empty());
         assert!(profile.bandwidth.total_bytes > 0);
@@ -451,21 +358,20 @@ mod tests {
 
     #[test]
     fn annotations_flow_into_profile_and_regions() {
-        let machine = Machine::new(MachineConfig::small_test());
         let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(50) };
-        let mut profiler = Profiler::new(&machine, cfg);
-        let region = machine.alloc("a", 1 << 20).unwrap();
-        profiler.tag_addr("a", region.start, region.end());
-        profiler.enable(&[0]).unwrap();
-        {
-            let mut e = machine.attach(0).unwrap();
-            profiler.start_phase("kernel0", e.now_ns());
-            for k in 0..20_000u64 {
-                e.load(region.start + (k % 10_000) * 8, 8);
-            }
-            profiler.stop_phase(e.now_ns());
-        }
-        let profile = profiler.finish();
+        let profile = session(cfg, 1)
+            .run_with(|machine, annotations, _cores| {
+                let region = machine.alloc("a", 1 << 20)?;
+                annotations.tag_addr("a", region.start, region.end());
+                let mut e = machine.attach(0)?;
+                annotations.start("kernel0", e.now_ns());
+                for k in 0..20_000u64 {
+                    e.load(region.start + (k % 10_000) * 8, 8);
+                }
+                annotations.stop(e.now_ns());
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(profile.tags.len(), 1);
         assert_eq!(profile.phases.len(), 1);
         assert!(!profile.phases[0].is_open());
@@ -478,27 +384,37 @@ mod tests {
 
     #[test]
     fn profiling_overhead_is_visible_but_bounded() {
-        // Run the same work twice on two fresh machines: once bare, once
-        // profiled; the profiled run must be slower but not absurdly so.
-        let work = |machine: &Machine| {
-            run_stream_like(machine, &[0], 200_000);
-            machine.counters().cycles
-        };
+        // Run the same work twice: once bare, once profiled; the profiled run
+        // must be slower but not absurdly so.
         let baseline = {
             let machine = Machine::new(MachineConfig::small_test());
-            work(&machine)
+            run_stream_like(&machine, &[0], 200_000);
+            machine.counters().cycles
         };
-        let profiled = {
-            let machine = Machine::new(MachineConfig::small_test());
-            let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(100) };
-            let mut profiler = Profiler::new(&machine, cfg);
-            profiler.enable(&[0]).unwrap();
-            let c = work(&machine);
-            let _ = profiler.finish();
-            c
-        };
+        let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(100) };
+        let profiled = session(cfg, 1)
+            .run_with(|machine, _ann, cores| {
+                run_stream_like(machine, cores, 200_000);
+                Ok(())
+            })
+            .unwrap()
+            .elapsed_cycles;
         assert!(profiled > baseline, "profiled {profiled} vs baseline {baseline}");
         let overhead = crate::analysis::time_overhead(baseline, profiled);
         assert!(overhead < 0.5, "overhead unexpectedly large: {overhead}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_profiler_shim_still_works() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let cfg = NmoConfig { overhead: fast_overhead(), ..NmoConfig::paper_default(100) };
+        let mut profiler = Profiler::new(&machine, cfg);
+        profiler.enable(&[0]).unwrap();
+        run_stream_like(&machine, &[0], 20_000);
+        let profile = profiler.finish();
+        assert!(profile.processed_samples > 0);
+        assert_eq!(profile.backends, vec!["spe".to_string()]);
+        assert!(profile.capacity.peak_bytes > 0);
     }
 }

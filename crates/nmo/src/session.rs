@@ -1,0 +1,572 @@
+//! [`ProfileSession`] — the backend-abstracted, `Result`-based entry point
+//! of the profiler.
+//!
+//! A session is built fluently, owns its simulated machine, and drives the
+//! full lifecycle:
+//!
+//! ```text
+//! ProfileSession::builder()           configure machine / cores / config /
+//!     ...                             backends / sinks / workload
+//!     .build()?                       validate, construct the machine
+//!     .run()?                         setup → start → run → verify → finish
+//! ```
+//!
+//! Backends ([`crate::backend::SampleBackend`]) acquire the raw data (SPE
+//! address samples, hardware counters); sinks
+//! ([`crate::sink::AnalysisSink`]) turn the finished run into the paper's
+//! analysis levels. When no backends or sinks are registered explicitly, the
+//! session derives the paper's defaults from the [`NmoConfig`] flags, so
+//! `ProfileSession` is a strict superset of the deprecated
+//! [`crate::runtime::Profiler`] flow.
+//!
+//! For callers that drive the machine directly (attaching engines from their
+//! own threads), [`ProfileSession::start`] returns an [`ActiveSession`]
+//! handle whose [`ActiveSession::finish`] assembles the [`Profile`].
+
+use std::sync::Arc;
+
+use arch_sim::{FanoutObserver, Machine, MachineConfig, OpObserver};
+
+use crate::annotate::Annotations;
+use crate::backend::{CounterBackend, SampleBackend, SpeBackend};
+use crate::config::NmoConfig;
+use crate::runtime::Profile;
+use crate::sink::{default_sinks, run_sinks, AnalysisSink};
+use crate::workload::Workload;
+use crate::NmoError;
+
+/// Fluent configuration for a [`ProfileSession`].
+pub struct ProfileSessionBuilder {
+    machine_config: MachineConfig,
+    config: NmoConfig,
+    cores: Vec<usize>,
+    backends: Vec<Box<dyn SampleBackend>>,
+    sinks: Vec<Box<dyn AnalysisSink>>,
+    workload: Option<Box<dyn Workload>>,
+    default_backends: bool,
+    default_sinks: bool,
+}
+
+impl Default for ProfileSessionBuilder {
+    fn default() -> Self {
+        ProfileSessionBuilder {
+            machine_config: MachineConfig::ampere_altra_max(),
+            config: NmoConfig::default(),
+            cores: Vec::new(),
+            backends: Vec::new(),
+            sinks: Vec::new(),
+            workload: None,
+            default_backends: true,
+            default_sinks: true,
+        }
+    }
+}
+
+impl std::fmt::Debug for ProfileSessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileSessionBuilder")
+            .field("machine", &self.machine_config.name)
+            .field("cores", &self.cores)
+            .field("backends", &self.backends.len())
+            .field("sinks", &self.sinks.len())
+            .field("workload", &self.workload.as_ref().map(|w| w.name()))
+            .finish()
+    }
+}
+
+impl ProfileSessionBuilder {
+    /// The simulated platform to profile on (default: the paper's Ampere
+    /// Altra Max preset).
+    pub fn machine_config(mut self, machine_config: MachineConfig) -> Self {
+        self.machine_config = machine_config;
+        self
+    }
+
+    /// The NMO configuration (Table I) in force for the session.
+    pub fn config(mut self, config: NmoConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Base name for the profile and its report files (`NMO_NAME`).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = name.into();
+        self
+    }
+
+    /// Profile exactly these cores (one workload thread per entry).
+    pub fn cores(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
+        self.cores = cores.into_iter().collect();
+        self
+    }
+
+    /// Profile cores `0..threads` (one workload thread per core).
+    pub fn threads(self, threads: usize) -> Self {
+        self.cores(0..threads)
+    }
+
+    /// Register a sample backend. When no backend is registered explicitly,
+    /// the session derives the default set from the configuration
+    /// ([`SpeBackend`] when SPE sampling is active, plus [`CounterBackend`]
+    /// whenever collection is enabled).
+    pub fn backend(mut self, backend: impl SampleBackend + 'static) -> Self {
+        self.backends.push(Box::new(backend));
+        self
+    }
+
+    /// Register an analysis sink. When no sink is registered explicitly, the
+    /// session derives the default set from the configuration flags
+    /// (capacity when RSS tracking is on, bandwidth when bandwidth tracking
+    /// is on; region attribution stays lazy via `Profile::regions` unless
+    /// [`crate::sink::RegionSink`] is registered here).
+    pub fn sink(mut self, sink: impl AnalysisSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// The workload [`ProfileSession::run`] will drive.
+    pub fn workload(mut self, workload: Box<dyn Workload>) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Disable the config-derived default backends (an empty backend list
+    /// then collects nothing).
+    pub fn no_default_backends(mut self) -> Self {
+        self.default_backends = false;
+        self
+    }
+
+    /// Disable the config-derived default sinks (an empty sink list then
+    /// produces no analyses).
+    pub fn no_default_sinks(mut self) -> Self {
+        self.default_sinks = false;
+        self
+    }
+
+    /// Validate the configuration and construct the session (including its
+    /// simulated machine).
+    pub fn build(mut self) -> Result<ProfileSession, NmoError> {
+        self.machine_config.validate().map_err(NmoError::Sim)?;
+        if self.cores.is_empty() {
+            self.cores.push(0);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &core in &self.cores {
+            if core >= self.machine_config.num_cores {
+                return Err(NmoError::Config(format!(
+                    "core {core} does not exist on '{}' ({} cores)",
+                    self.machine_config.name, self.machine_config.num_cores
+                )));
+            }
+            if !seen.insert(core) {
+                return Err(NmoError::Config(format!("core {core} listed more than once")));
+            }
+        }
+        if self.default_backends && self.backends.is_empty() && self.config.enabled {
+            if self.config.spe_active() {
+                self.backends.push(Box::new(SpeBackend::new()));
+            }
+            self.backends.push(Box::new(CounterBackend::new()));
+        }
+        if self.default_sinks && self.sinks.is_empty() {
+            self.sinks = default_sinks(&self.config);
+        }
+        Ok(ProfileSession {
+            machine: Machine::new(self.machine_config),
+            config: self.config,
+            cores: self.cores,
+            annotations: Arc::new(Annotations::new()),
+            backends: self.backends,
+            sinks: self.sinks,
+            workload: self.workload,
+        })
+    }
+}
+
+/// A configured (but not yet collecting) profiling session.
+///
+/// The session owns the simulated machine; access it with
+/// [`ProfileSession::machine`] for allocations or manual engine attachment.
+pub struct ProfileSession {
+    machine: Machine,
+    config: NmoConfig,
+    cores: Vec<usize>,
+    annotations: Arc<Annotations>,
+    backends: Vec<Box<dyn SampleBackend>>,
+    sinks: Vec<Box<dyn AnalysisSink>>,
+    workload: Option<Box<dyn Workload>>,
+}
+
+impl std::fmt::Debug for ProfileSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileSession")
+            .field("machine", &self.machine.config().name)
+            .field("cores", &self.cores)
+            .field("backends", &self.backends.len())
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl ProfileSession {
+    /// Start configuring a session.
+    pub fn builder() -> ProfileSessionBuilder {
+        ProfileSessionBuilder::default()
+    }
+
+    /// The simulated machine the session owns.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The annotation registry (share it with workload code).
+    pub fn annotations(&self) -> Arc<Annotations> {
+        self.annotations.clone()
+    }
+
+    /// The cores the session profiles.
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NmoConfig {
+        &self.config
+    }
+
+    /// Drive the registered workload end to end: `setup`, start collection,
+    /// `run`, `verify`, and profile assembly.
+    pub fn run(mut self) -> Result<Profile, NmoError> {
+        let mut workload = self.workload.take().ok_or_else(|| {
+            NmoError::Config(
+                "ProfileSession::run requires a workload; use run_with for closures".into(),
+            )
+        })?;
+        workload.setup(&self.machine, &self.annotations)?;
+        let active = self.start()?;
+        let report = workload.run(active.machine(), active.annotations_ref(), active.cores())?;
+        if !workload.verify() {
+            return Err(NmoError::Workload(format!(
+                "workload '{}' failed verification",
+                workload.name()
+            )));
+        }
+        let mut profile = active.finish()?;
+        profile.workload = Some(report);
+        Ok(profile)
+    }
+
+    /// Drive a closure instead of a [`Workload`]: collection starts, the
+    /// closure runs the work against the machine, and the profile is
+    /// assembled when it returns.
+    pub fn run_with<F>(self, body: F) -> Result<Profile, NmoError>
+    where
+        F: FnOnce(&Machine, &Annotations, &[usize]) -> Result<(), NmoError>,
+    {
+        let active = self.start()?;
+        body(active.machine(), active.annotations_ref(), active.cores())?;
+        active.finish()
+    }
+
+    /// Start collection manually and return the active handle. Use this when
+    /// the caller attaches engines itself; call [`ActiveSession::finish`]
+    /// when the work is done.
+    pub fn start(mut self) -> Result<ActiveSession, NmoError> {
+        // Gather per-core observers from every backend, preserving core order.
+        let mut per_core: Vec<(usize, Vec<Box<dyn OpObserver>>)> =
+            self.cores.iter().map(|&c| (c, Vec::new())).collect();
+        for backend in &mut self.backends {
+            for co in backend.start(&self.machine, &self.cores, &self.config)? {
+                match per_core.iter_mut().find(|(c, _)| *c == co.core) {
+                    Some((_, slot)) => slot.push(co.observer),
+                    None => {
+                        return Err(NmoError::backend(
+                            backend.name(),
+                            format!("returned an observer for unrequested core {}", co.core),
+                        ))
+                    }
+                }
+            }
+        }
+        let mut attached = Vec::new();
+        for (core, mut observers) in per_core {
+            let observer: Box<dyn OpObserver> = match observers.len() {
+                0 => continue,
+                1 => observers.pop().expect("len checked"),
+                _ => Box::new(FanoutObserver::new(observers)),
+            };
+            self.machine.set_observer(core, observer).map_err(NmoError::Sim)?;
+            attached.push(core);
+        }
+        Ok(ActiveSession { session: self, attached })
+    }
+}
+
+/// A session that is actively collecting.
+pub struct ActiveSession {
+    session: ProfileSession,
+    attached: Vec<usize>,
+}
+
+impl std::fmt::Debug for ActiveSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveSession")
+            .field("machine", &self.session.machine.config().name)
+            .field("attached", &self.attached)
+            .finish()
+    }
+}
+
+impl ActiveSession {
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.session.machine
+    }
+
+    /// The annotation registry as a shared handle.
+    pub fn annotations(&self) -> Arc<Annotations> {
+        self.session.annotations.clone()
+    }
+
+    /// The annotation registry by reference.
+    pub fn annotations_ref(&self) -> &Annotations {
+        &self.session.annotations
+    }
+
+    /// The profiled cores.
+    pub fn cores(&self) -> &[usize] {
+        &self.session.cores
+    }
+
+    /// `nmo_tag_addr` convenience wrapper.
+    pub fn tag_addr(&self, name: &str, start: u64, end: u64) {
+        self.session.annotations.tag_addr(name, start, end);
+    }
+
+    /// `nmo_start` convenience wrapper (timestamp in simulated nanoseconds).
+    pub fn start_phase(&self, name: &str, now_ns: u64) {
+        self.session.annotations.start(name, now_ns);
+    }
+
+    /// `nmo_stop` convenience wrapper.
+    pub fn stop_phase(&self, now_ns: u64) {
+        self.session.annotations.stop(now_ns);
+    }
+
+    /// Stop collection, drain the backends, run the sinks, and assemble the
+    /// [`Profile`].
+    pub fn finish(mut self) -> Result<Profile, NmoError> {
+        for &core in &self.attached {
+            // Dropping the observer box releases the backend's per-core
+            // instrument; the final aux drain was published when the last
+            // engine detached.
+            let _ = self.session.machine.take_observer(core);
+        }
+        for backend in &mut self.session.backends {
+            backend.stop(&self.session.machine)?;
+        }
+        let mut profile = crate::runtime::base_profile(
+            &self.session.machine,
+            &self.session.config,
+            &self.session.annotations,
+        );
+        profile.backends = self.session.backends.iter().map(|b| b.name().to_string()).collect();
+        for backend in &mut self.session.backends {
+            backend.fill(&mut profile)?;
+        }
+        run_sinks(&self.session.machine, &mut profile, &mut self.session.sinks)?;
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::AnalysisReport;
+    use arch_sim::MachineConfig;
+
+    fn small_session(period: u64, threads: usize) -> ProfileSession {
+        ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(NmoConfig::paper_default(period))
+            .threads(threads)
+            .build()
+            .unwrap()
+    }
+
+    fn stream_like(
+        machine: &Machine,
+        annotations: &Annotations,
+        cores: &[usize],
+    ) -> Result<(), NmoError> {
+        let region = machine.alloc("data", 1 << 20)?;
+        annotations.tag_addr("data", region.start, region.end());
+        std::thread::scope(|s| {
+            for &core in cores {
+                let region = region.clone();
+                s.spawn(move || {
+                    let mut e = machine.attach(core).expect("attach");
+                    for i in 0..20_000u64 {
+                        e.load(region.start + (i % 10_000) * 8, 8);
+                        e.store(region.start + (i % 10_000) * 8, 8);
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    #[test]
+    fn builder_rejects_bad_cores() {
+        let err = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .cores([0, 99])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NmoError::Config(_)), "{err}");
+        let err = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .cores([1, 1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NmoError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn run_without_workload_is_a_config_error() {
+        let err = small_session(100, 1).run().unwrap_err();
+        assert!(matches!(err, NmoError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn default_backends_run_spe_and_counters_together() {
+        let session = small_session(100, 2);
+        let profile = session.run_with(stream_like).unwrap();
+        assert_eq!(profile.backends, vec!["spe".to_string(), "counters".to_string()]);
+        assert!(profile.processed_samples > 100);
+        // The counter backend's mem_access agrees with the machine counter.
+        let mem = profile.perf_count("mem_access").unwrap();
+        assert_eq!(mem, profile.counters.mem_access);
+        // Default sinks produced capacity and bandwidth; region attribution
+        // stays lazy unless RegionSink is registered explicitly.
+        assert_eq!(profile.analyses.len(), 2);
+        assert!(profile.capacity.peak_bytes > 0);
+        assert!(profile.bandwidth.total_bytes > 0);
+        assert!(!profile.regions().scatter.is_empty());
+    }
+
+    #[test]
+    fn explicit_region_sink_caches_attribution_on_the_profile() {
+        let session = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(NmoConfig::paper_default(100))
+            .threads(1)
+            .sink(crate::sink::RegionSink)
+            .build()
+            .unwrap();
+        let profile = session.run_with(stream_like).unwrap();
+        assert!(profile.analyses.iter().any(|a| a.sink == "regions"
+            && matches!(&a.report, AnalysisReport::Regions(r) if !r.scatter.is_empty())));
+    }
+
+    #[test]
+    fn counter_only_session_samples_nothing_but_counts() {
+        let session = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(NmoConfig { enabled: true, track_rss: true, ..NmoConfig::default() })
+            .threads(1)
+            .build()
+            .unwrap();
+        let profile = session.run_with(stream_like).unwrap();
+        assert_eq!(profile.backends, vec!["counters".to_string()]);
+        assert_eq!(profile.processed_samples, 0);
+        assert!(profile.samples.is_empty());
+        assert_eq!(profile.perf_count("mem_access"), Some(40_000));
+        assert_eq!(profile.counters.observer_cycles, 0, "counting charges no cycles");
+    }
+
+    #[test]
+    fn disabled_config_attaches_no_backends() {
+        let session = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(NmoConfig::default())
+            .threads(1)
+            .build()
+            .unwrap();
+        let profile = session.run_with(stream_like).unwrap();
+        assert!(profile.backends.is_empty());
+        assert_eq!(profile.processed_samples, 0);
+        assert_eq!(profile.counters.observer_cycles, 0);
+    }
+
+    #[test]
+    fn manual_start_finish_flow() {
+        let session = small_session(50, 1);
+        let active = session.start().unwrap();
+        let region = active.machine().alloc("a", 1 << 16).unwrap();
+        active.tag_addr("a", region.start, region.end());
+        {
+            let mut e = active.machine().attach(0).unwrap();
+            active.start_phase("kernel", e.now_ns());
+            for i in 0..10_000u64 {
+                e.load(region.start + (i % 1_000) * 8, 8);
+            }
+            active.stop_phase(e.now_ns());
+        }
+        let profile = active.finish().unwrap();
+        assert!(profile.processed_samples > 0);
+        assert_eq!(profile.phases.len(), 1);
+        assert!(!profile.phases[0].is_open());
+    }
+
+    #[test]
+    fn explicit_backend_and_sink_registration_overrides_defaults() {
+        let session = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(NmoConfig::paper_default(100))
+            .threads(1)
+            .backend(CounterBackend::new())
+            .sink(crate::sink::BandwidthSink)
+            .build()
+            .unwrap();
+        let profile = session.run_with(stream_like).unwrap();
+        assert_eq!(profile.backends, vec!["counters".to_string()]);
+        assert_eq!(profile.processed_samples, 0, "no SPE backend registered");
+        assert_eq!(profile.analyses.len(), 1);
+        assert!(profile.capacity.points.is_empty(), "no capacity sink registered");
+    }
+
+    #[test]
+    fn workload_verification_failure_surfaces_as_error() {
+        struct BadWorkload;
+        impl Workload for BadWorkload {
+            fn name(&self) -> &'static str {
+                "bad"
+            }
+            fn setup(&mut self, _m: &Machine, _a: &Annotations) -> Result<(), NmoError> {
+                Ok(())
+            }
+            fn run(
+                &mut self,
+                _m: &Machine,
+                _a: &Annotations,
+                _c: &[usize],
+            ) -> Result<crate::WorkloadReport, NmoError> {
+                Ok(crate::WorkloadReport::default())
+            }
+            fn verify(&self) -> bool {
+                false
+            }
+        }
+        let err = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .threads(1)
+            .workload(Box::new(BadWorkload))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, NmoError::Workload(_)), "{err}");
+    }
+}

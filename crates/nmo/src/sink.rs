@@ -1,0 +1,212 @@
+//! Pluggable analysis sinks (the reporting seam of the profiler).
+//!
+//! The paper's three profiling levels — temporal capacity, temporal
+//! bandwidth, and memory-region attribution — are implemented as
+//! [`AnalysisSink`]s registered on a [`crate::session::ProfileSession`]
+//! instead of hard-wired steps of the runtime. After the workload finishes
+//! and the backends have filled in the raw run data, the session invokes
+//! every registered sink and records its [`AnalysisReport`] on the
+//! [`Profile`]; the standard capacity/bandwidth reports are additionally
+//! mirrored into the corresponding [`Profile`] fields so existing consumers
+//! keep working.
+
+use arch_sim::Machine;
+
+use crate::bandwidth::BandwidthSeries;
+use crate::capacity::CapacitySeries;
+use crate::regions::{attribute, RegionProfile};
+use crate::runtime::Profile;
+use crate::NmoError;
+
+/// The output of one analysis sink.
+#[derive(Debug, Clone)]
+pub enum AnalysisReport {
+    /// A capacity-over-time series (level 1).
+    Capacity(CapacitySeries),
+    /// A bandwidth-over-time series (level 2).
+    Bandwidth(BandwidthSeries),
+    /// A region-attribution profile (level 3).
+    Regions(RegionProfile),
+    /// Free-form textual output from a custom sink.
+    Text(String),
+}
+
+impl AnalysisReport {
+    /// Whether the report carries any data points / samples / text.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            AnalysisReport::Capacity(c) => c.points.is_empty(),
+            AnalysisReport::Bandwidth(b) => b.points.is_empty(),
+            AnalysisReport::Regions(r) => r.scatter.is_empty(),
+            AnalysisReport::Text(t) => t.is_empty(),
+        }
+    }
+}
+
+/// One sink's named output, as stored on the [`Profile`].
+#[derive(Debug, Clone)]
+pub struct AnalysisRecord {
+    /// Name of the sink that produced the report.
+    pub sink: String,
+    /// The report itself.
+    pub report: AnalysisReport,
+}
+
+/// A pluggable analysis over a completed profiling run.
+pub trait AnalysisSink: Send {
+    /// Stable sink name (used in reports and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Produce this sink's analysis of the (backend-filled) profile.
+    fn analyze(&mut self, machine: &Machine, profile: &Profile)
+        -> Result<AnalysisReport, NmoError>;
+}
+
+/// Level 1: temporal capacity usage (paper Section VI-A, Figure 2).
+#[derive(Debug, Clone, Copy)]
+pub struct CapacitySink {
+    /// Number of evenly spaced output samples.
+    pub buckets: usize,
+}
+
+impl Default for CapacitySink {
+    fn default() -> Self {
+        CapacitySink { buckets: 200 }
+    }
+}
+
+impl AnalysisSink for CapacitySink {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn analyze(
+        &mut self,
+        machine: &Machine,
+        profile: &Profile,
+    ) -> Result<AnalysisReport, NmoError> {
+        Ok(AnalysisReport::Capacity(CapacitySeries::from_events(
+            &machine.rss_series(),
+            profile.elapsed_ns,
+            machine.config().dram.capacity_bytes,
+            self.buckets,
+        )))
+    }
+}
+
+/// Level 2: temporal bandwidth usage (paper Section VI-B, Figure 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BandwidthSink;
+
+impl AnalysisSink for BandwidthSink {
+    fn name(&self) -> &'static str {
+        "bandwidth"
+    }
+
+    fn analyze(
+        &mut self,
+        machine: &Machine,
+        profile: &Profile,
+    ) -> Result<AnalysisReport, NmoError> {
+        Ok(AnalysisReport::Bandwidth(BandwidthSeries::from_buckets(
+            &machine.bandwidth_series(),
+            profile.counters.flops,
+        )))
+    }
+}
+
+/// Level 3: memory-region attribution (paper Section VI-C, Figures 4–6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionSink;
+
+impl AnalysisSink for RegionSink {
+    fn name(&self) -> &'static str {
+        "regions"
+    }
+
+    fn analyze(
+        &mut self,
+        _machine: &Machine,
+        profile: &Profile,
+    ) -> Result<AnalysisReport, NmoError> {
+        Ok(AnalysisReport::Regions(attribute(&profile.samples, &profile.tags, &profile.phases)))
+    }
+}
+
+/// The sinks the session registers by default for `config`, mirroring the
+/// behaviour of the historical `Profiler`: capacity when RSS tracking is on,
+/// bandwidth when bandwidth tracking is on. Region attribution is *not* a
+/// default sink — it stays lazy via [`Profile::regions`] (many callers, e.g.
+/// the sensitivity sweeps, never read it and should not pay the per-sample
+/// attribution scan); register [`RegionSink`] explicitly to compute and
+/// cache it at session finish.
+pub(crate) fn default_sinks(config: &crate::config::NmoConfig) -> Vec<Box<dyn AnalysisSink>> {
+    let mut sinks: Vec<Box<dyn AnalysisSink>> = Vec::new();
+    if config.track_rss {
+        sinks.push(Box::new(CapacitySink::default()));
+    }
+    if config.track_bandwidth {
+        sinks.push(Box::new(BandwidthSink));
+    }
+    sinks
+}
+
+/// Run every sink over the profile, recording the reports and mirroring the
+/// standard capacity/bandwidth series into the legacy fields.
+pub(crate) fn run_sinks(
+    machine: &Machine,
+    profile: &mut Profile,
+    sinks: &mut [Box<dyn AnalysisSink>],
+) -> Result<(), NmoError> {
+    for sink in sinks {
+        let report = sink.analyze(machine, profile)?;
+        match &report {
+            AnalysisReport::Capacity(c) => profile.capacity = c.clone(),
+            AnalysisReport::Bandwidth(b) => profile.bandwidth = b.clone(),
+            AnalysisReport::Regions(_) | AnalysisReport::Text(_) => {}
+        }
+        profile.analyses.push(AnalysisRecord { sink: sink.name().to_string(), report });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NmoConfig;
+    use arch_sim::MachineConfig;
+
+    #[test]
+    fn default_sinks_follow_config_flags() {
+        let names = |cfg: &NmoConfig| -> Vec<&'static str> {
+            default_sinks(cfg).iter().map(|s| s.name()).collect()
+        };
+        assert!(names(&NmoConfig::default()).contains(&"bandwidth"));
+        assert_eq!(names(&NmoConfig::paper_default(100)), vec!["capacity", "bandwidth"]);
+        let off = NmoConfig { track_bandwidth: false, ..NmoConfig::default() };
+        assert!(names(&off).is_empty());
+    }
+
+    #[test]
+    fn sinks_populate_profile_and_analyses() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let region = machine.alloc("x", 1 << 16).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..4_096u64 {
+                e.load(region.start + i * 8, 8);
+            }
+        }
+        let mut profile = Profile::empty("t", NmoConfig::paper_default(100));
+        profile.elapsed_ns = machine.makespan_ns();
+        profile.counters = machine.counters();
+        let mut sinks: Vec<Box<dyn AnalysisSink>> =
+            vec![Box::new(CapacitySink::default()), Box::new(BandwidthSink), Box::new(RegionSink)];
+        run_sinks(&machine, &mut profile, &mut sinks).unwrap();
+        assert_eq!(profile.analyses.len(), 3);
+        assert!(profile.capacity.peak_bytes > 0);
+        assert!(profile.bandwidth.total_bytes > 0);
+        assert!(matches!(profile.analyses[2].report, AnalysisReport::Regions(_)));
+        assert!(!profile.analyses[0].report.is_empty());
+    }
+}

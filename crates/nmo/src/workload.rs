@@ -1,0 +1,73 @@
+//! The workload contract a [`crate::session::ProfileSession`] drives.
+//!
+//! A workload allocates its simulated regions in [`Workload::setup`], runs
+//! its kernels in [`Workload::run`] (bracketing phases and routing every
+//! load/store through the machine's engines), and checks its numerical
+//! result in [`Workload::verify`]. All fallible steps report
+//! [`NmoError`] instead of panicking, so a session can surface allocation
+//! failures, busy cores, or corrupted results to the caller.
+//!
+//! The trait lives in `nmo` (rather than the `workloads` crate) so the
+//! session type can drive any workload without a dependency cycle; the
+//! `workloads` crate re-exports it alongside the five paper benchmarks.
+
+use arch_sim::Machine;
+
+use crate::annotate::Annotations;
+use crate::NmoError;
+
+/// Summary of one workload execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkloadReport {
+    /// Simulated memory operations issued.
+    pub mem_ops: u64,
+    /// Floating-point operations reported.
+    pub flops: u64,
+    /// A workload-specific checksum for verification.
+    pub checksum: f64,
+}
+
+/// A benchmark that can run on the simulated machine under a profiling
+/// session.
+pub trait Workload: Send {
+    /// Short name ("stream", "cfd", ...).
+    fn name(&self) -> &'static str;
+
+    /// Allocate simulated regions and register NMO address tags.
+    fn setup(&mut self, machine: &Machine, annotations: &Annotations) -> Result<(), NmoError>;
+
+    /// Run the workload using one thread per entry of `cores`. Execution
+    /// phases are bracketed with NMO annotations.
+    fn run(
+        &mut self,
+        machine: &Machine,
+        annotations: &Annotations,
+        cores: &[usize],
+    ) -> Result<WorkloadReport, NmoError>;
+
+    /// Verify the computed result (returns false on numerical corruption).
+    fn verify(&self) -> bool;
+}
+
+impl Workload for Box<dyn Workload> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn setup(&mut self, machine: &Machine, annotations: &Annotations) -> Result<(), NmoError> {
+        (**self).setup(machine, annotations)
+    }
+
+    fn run(
+        &mut self,
+        machine: &Machine,
+        annotations: &Annotations,
+        cores: &[usize],
+    ) -> Result<WorkloadReport, NmoError> {
+        (**self).run(machine, annotations, cores)
+    }
+
+    fn verify(&self) -> bool {
+        (**self).verify()
+    }
+}

@@ -31,7 +31,7 @@ pub const SPE_CONFIG_BRANCH_FILTER: u64 = 1 << 35;
 pub const SPE_CONFIG_LOADS_AND_STORES: u64 =
     SPE_CONFIG_TS_ENABLE | SPE_CONFIG_LOAD_FILTER | SPE_CONFIG_STORE_FILTER;
 
-/// Counting-event configs for `PERF_TYPE_HARDWARE`.
+/// Counting-event configs for `PERF_TYPE_HARDWARE` (ARM PMU event numbers).
 pub mod hw_config {
     /// ARM `mem_access` event (loads + stores), used for the accuracy baseline.
     pub const MEM_ACCESS: u64 = 0x13;
@@ -39,6 +39,12 @@ pub mod hw_config {
     pub const CPU_CYCLES: u64 = 0x11;
     /// Retired instructions.
     pub const INSTRUCTIONS: u64 = 0x08;
+    /// Retired load instructions (`LD_RETIRED`).
+    pub const LD_RETIRED: u64 = 0x06;
+    /// Retired store instructions (`ST_RETIRED`).
+    pub const ST_RETIRED: u64 = 0x07;
+    /// Retired branches (`BR_RETIRED`).
+    pub const BR_RETIRED: u64 = 0x21;
 }
 
 /// The subset of `perf_event_attr` NMO uses.

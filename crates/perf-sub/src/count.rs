@@ -21,11 +21,7 @@ pub struct CountingEvent {
 impl CountingEvent {
     /// Create a counting event from its attribute block.
     pub fn new(attr: PerfEventAttr) -> Self {
-        CountingEvent {
-            attr,
-            value: AtomicU64::new(0),
-            enabled: AtomicBool::new(!attr.disabled),
-        }
+        CountingEvent { attr, value: AtomicU64::new(0), enabled: AtomicBool::new(!attr.disabled) }
     }
 
     /// The attribute block this event was opened with.
@@ -87,7 +83,8 @@ mod tests {
 
     #[test]
     fn starts_disabled_when_attr_says_so() {
-        let attr = PerfEventAttr { disabled: true, ..PerfEventAttr::counting(hw_config::CPU_CYCLES) };
+        let attr =
+            PerfEventAttr { disabled: true, ..PerfEventAttr::counting(hw_config::CPU_CYCLES) };
         let ev = CountingEvent::new(attr);
         assert!(!ev.is_enabled());
         ev.add(100);

@@ -177,7 +177,11 @@ mod tests {
         assert!(ev.is_enabled());
         assert!(ev.aux().is_some());
         assert_eq!(ev.aux().unwrap().capacity(), 16 * 4096);
-        assert_eq!(ev.effective_aux_watermark(), 8 * 4096, "default watermark is half the aux buffer");
+        assert_eq!(
+            ev.effective_aux_watermark(),
+            8 * 4096,
+            "default watermark is half the aux buffer"
+        );
     }
 
     #[test]
@@ -199,10 +203,8 @@ mod tests {
 
     #[test]
     fn explicit_watermark_capped_at_capacity() {
-        let attr = PerfEventAttr {
-            aux_watermark: 1 << 30,
-            ..PerfEventAttr::arm_spe_loads_stores(1000)
-        };
+        let attr =
+            PerfEventAttr { aux_watermark: 1 << 30, ..PerfEventAttr::arm_spe_loads_stores(1000) };
         let ev = PerfEvent::open_shared(attr, 0, 8, 4, 4096).unwrap();
         assert_eq!(ev.effective_aux_watermark(), 4 * 4096);
     }

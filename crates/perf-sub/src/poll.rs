@@ -103,11 +103,7 @@ impl Waker {
         }
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            let timed_out = self
-                .state
-                .condvar
-                .wait_until(&mut pending, deadline)
-                .timed_out();
+            let timed_out = self.state.condvar.wait_until(&mut pending, deadline).timed_out();
             if *pending {
                 *pending = false;
                 return PollTimeout::Ready;

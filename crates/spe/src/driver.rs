@@ -42,7 +42,7 @@ use arch_sim::{Machine, MemOutcome, ObserverCharge, Op, OpObserver};
 use perf_sub::records::{
     AuxRecord, ItraceStartRecord, Record, PERF_AUX_FLAG_COLLISION, PERF_AUX_FLAG_TRUNCATED,
 };
-use perf_sub::{PerfEvent, PerfError};
+use perf_sub::{PerfError, PerfEvent};
 
 use crate::config::SpeConfig;
 use crate::packet::SPE_RECORD_BYTES;
@@ -123,10 +123,8 @@ impl SpeDriver {
         timeconv: arch_sim::TimeConv,
         seed: u64,
     ) -> Self {
-        let functional = event
-            .aux()
-            .map(|aux| aux.pages() >= model.min_functional_aux_pages)
-            .unwrap_or(false);
+        let functional =
+            event.aux().map(|aux| aux.pages() >= model.min_functional_aux_pages).unwrap_or(false);
         let unit = SamplerUnit::new(cfg, stats.clone(), timeconv, seed);
         SpeDriver {
             unit,
@@ -141,21 +139,24 @@ impl SpeDriver {
         }
     }
 
-    /// `perf_event_open` analogue: open an SPE event for `core` on `machine`,
-    /// allocate its buffers, attach the driver to the core, and return the
-    /// handles the profiler needs (the shared event and statistics).
+    /// `perf_event_open` analogue without attaching: open an SPE event for
+    /// `core` on `machine`, allocate its buffers, and return the driver
+    /// together with the handles the profiler needs (the shared event and
+    /// statistics). The caller decides how the driver observes the core —
+    /// directly via `Machine::set_observer`, or composed with other observers
+    /// (e.g. `arch_sim::FanoutObserver`) when several backends share a core.
     ///
     /// `ring_pages` and `aux_pages` are in machine pages (64 KiB on the
     /// paper's testbed); `ring_pages` excludes the metadata page, mirroring
     /// NMO's `(N+1)`-page mmap.
-    pub fn open_on(
+    pub fn open_for(
         machine: &Machine,
         core: usize,
         cfg: SpeConfig,
         ring_pages: u64,
         aux_pages: u64,
         model: OverheadModel,
-    ) -> Result<(Arc<PerfEvent>, Arc<SpeStats>), PerfError> {
+    ) -> Result<(SpeDriver, Arc<PerfEvent>, Arc<SpeStats>), PerfError> {
         let page_bytes = machine.config().page_bytes;
         let attr = cfg.to_attr();
         let event = PerfEvent::open_shared(attr, core, ring_pages, aux_pages, page_bytes)?;
@@ -165,10 +166,26 @@ impl SpeDriver {
         event.publish(Record::ItraceStart(ItraceStartRecord { pid: 1, tid: core as u32 + 1 }));
 
         let stats = SpeStats::new_shared();
-        let driver = SpeDriver::new(cfg, event.clone(), stats.clone(), model, timeconv, core as u64);
-        machine
-            .set_observer(core, Box::new(driver))
-            .map_err(|e| PerfError::InvalidAttr(format!("cannot attach SPE to core {core}: {e}")))?;
+        let driver =
+            SpeDriver::new(cfg, event.clone(), stats.clone(), model, timeconv, core as u64);
+        Ok((driver, event, stats))
+    }
+
+    /// [`SpeDriver::open_for`] plus attaching the driver as the core's sole
+    /// observer — the historical one-call path.
+    pub fn open_on(
+        machine: &Machine,
+        core: usize,
+        cfg: SpeConfig,
+        ring_pages: u64,
+        aux_pages: u64,
+        model: OverheadModel,
+    ) -> Result<(Arc<PerfEvent>, Arc<SpeStats>), PerfError> {
+        let (driver, event, stats) =
+            Self::open_for(machine, core, cfg, ring_pages, aux_pages, model)?;
+        machine.set_observer(core, Box::new(driver)).map_err(|e| {
+            PerfError::InvalidAttr(format!("cannot attach SPE to core {core}: {e}"))
+        })?;
         Ok((event, stats))
     }
 
@@ -391,10 +408,7 @@ mod tests {
         }
         let snap = stats.snapshot();
         assert!(snap.truncated_records > 0, "snap={snap:?}");
-        assert!(
-            snap.records_written < snap.samples_selected,
-            "some selected samples must be lost"
-        );
+        assert!(snap.records_written < snap.samples_selected, "some selected samples must be lost");
     }
 
     #[test]
@@ -420,7 +434,8 @@ mod tests {
         let mut overheads = Vec::new();
         for (core, period) in [(0usize, 10u64), (1, 100)] {
             let cfg = SpeConfig { jitter_ops: 0, ..SpeConfig::loads_stores(period) };
-            let (_event, stats) = SpeDriver::open_on(&machine, core, cfg, 8, 16, fast_model()).unwrap();
+            let (_event, stats) =
+                SpeDriver::open_on(&machine, core, cfg, 8, 16, fast_model()).unwrap();
             {
                 let mut e = machine.attach(core).unwrap();
                 for i in 0..50_000u64 {

@@ -218,8 +218,7 @@ mod tests {
 
     #[test]
     fn latency_saturates() {
-        let rec =
-            SpeRecord::new(0, 1, 1, 1 << 40, OpKind::Load, MemLevel::L2);
+        let rec = SpeRecord::new(0, 1, 1, 1 << 40, OpKind::Load, MemLevel::L2);
         assert_eq!(rec.latency, u16::MAX);
     }
 

@@ -76,11 +76,8 @@ impl SamplerUnit {
     }
 
     fn reload_interval(&mut self) {
-        let jitter = if self.cfg.jitter_ops == 0 {
-            0
-        } else {
-            self.rng.gen_range(0..=self.cfg.jitter_ops)
-        };
+        let jitter =
+            if self.cfg.jitter_ops == 0 { 0 } else { self.rng.gen_range(0..=self.cfg.jitter_ops) };
         self.interval_remaining = self.cfg.sample_period.saturating_sub(jitter).max(1);
     }
 
@@ -134,7 +131,13 @@ mod tests {
     use arch_sim::MemOutcome;
 
     fn outcome(latency: u64) -> MemOutcome {
-        MemOutcome { level: MemLevel::L2, latency_cycles: latency, occupancy_cycles: 1, bus_bytes: 0, first_touch: false }
+        MemOutcome {
+            level: MemLevel::L2,
+            latency_cycles: latency,
+            occupancy_cycles: 1,
+            bus_bytes: 0,
+            first_touch: false,
+        }
     }
 
     fn unit(period: u64) -> SamplerUnit {
@@ -155,7 +158,9 @@ mod tests {
         let out = outcome(4);
         for i in 0..n {
             let now = i * 4 + 1_000_000;
-            if let SampleOutcome::Record(_) = u.on_op(&Op::load(0x400, 0x1000 + i * 8, 8), Some(&out), now) {
+            if let SampleOutcome::Record(_) =
+                u.on_op(&Op::load(0x400, 0x1000 + i * 8, 8), Some(&out), now)
+            {
                 records += 1;
             }
         }
@@ -267,7 +272,8 @@ mod tests {
         let mut gaps = Vec::new();
         let mut last: Option<u64> = None;
         for i in 0..200_000u64 {
-            if let SampleOutcome::Record(_) = u.on_op(&Op::load(0, 0x1000, 8), Some(&out), i * 400) {
+            if let SampleOutcome::Record(_) = u.on_op(&Op::load(0, 0x1000, 8), Some(&out), i * 400)
+            {
                 if let Some(prev) = last {
                     gaps.push(i - prev);
                 }

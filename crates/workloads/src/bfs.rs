@@ -17,7 +17,7 @@
 use std::sync::Mutex;
 
 use arch_sim::{Machine, MemLevel};
-use nmo::Annotations;
+use nmo::{Annotations, NmoError};
 
 use crate::generators::{rmat_graph, uniform_graph, CsrGraph};
 use crate::{chunk_range, parallel_on_cores, pc, Workload, WorkloadReport};
@@ -79,16 +79,17 @@ impl Workload for BfsBench {
         "bfs"
     }
 
-    fn setup(&mut self, machine: &Machine, annotations: &Annotations) {
+    fn setup(&mut self, machine: &Machine, annotations: &Annotations) -> Result<(), NmoError> {
         let n = self.graph.num_vertices as u64;
         let m = self.graph.num_edges() as u64;
-        let offsets = machine.alloc("row_offsets", (n + 1) * 4).expect("alloc offsets");
-        let edges = machine.alloc("col_indices", m * 4).expect("alloc edges");
-        let levels = machine.alloc("levels", n * 4).expect("alloc levels");
+        let offsets = machine.alloc("row_offsets", (n + 1) * 4)?;
+        let edges = machine.alloc("col_indices", m * 4)?;
+        let levels = machine.alloc("levels", n * 4)?;
         annotations.tag_addr("row_offsets", offsets.start, offsets.end());
         annotations.tag_addr("col_indices", edges.start, edges.end());
         annotations.tag_addr("levels", levels.start, levels.end());
         self.regions = Some(Regions { offsets, edges, levels });
+        Ok(())
     }
 
     fn run(
@@ -96,8 +97,11 @@ impl Workload for BfsBench {
         machine: &Machine,
         annotations: &Annotations,
         cores: &[usize],
-    ) -> WorkloadReport {
-        let regions = self.regions.as_ref().expect("setup() must run before run()");
+    ) -> Result<WorkloadReport, NmoError> {
+        let regions = self
+            .regions
+            .as_ref()
+            .ok_or_else(|| NmoError::Workload("bfs: run() called before setup()".into()))?;
         let threads = cores.len();
         let (ro, re, rl) = (regions.offsets.start, regions.edges.start, regions.levels.start);
         let graph = &self.graph;
@@ -116,7 +120,7 @@ impl Workload for BfsBench {
         while !frontier.is_empty() {
             let next = Mutex::new(Vec::<u32>::new());
             let frontier_ref = &frontier;
-            parallel_on_cores(machine, cores, |tid, engine| {
+            let result = parallel_on_cores(machine, cores, |tid, engine| {
                 let range = chunk_range(frontier_ref.len(), threads, tid);
                 let mut local_next = Vec::new();
                 let lv = levels_ptr;
@@ -148,10 +152,11 @@ impl Workload for BfsBench {
                     }
                 }
                 if !local_next.is_empty() {
-                    next.lock().unwrap().extend_from_slice(&local_next);
+                    next.lock().unwrap_or_else(|p| p.into_inner()).extend_from_slice(&local_next);
                 }
             });
-            let mut next = next.into_inner().unwrap();
+            result?;
+            let mut next = next.into_inner().unwrap_or_else(|p| p.into_inner());
             // Deduplicate vertices discovered by multiple threads in the same level.
             next.sort_unstable();
             next.dedup();
@@ -163,11 +168,11 @@ impl Workload for BfsBench {
         self.visited_count = visited;
 
         let counters = machine.counters();
-        WorkloadReport {
+        Ok(WorkloadReport {
             mem_ops: counters.mem_access,
             flops: counters.flops,
             checksum: visited as f64 + level as f64 * 1e-3,
-        }
+        })
     }
 
     fn verify(&self) -> bool {
@@ -182,9 +187,8 @@ impl Workload for BfsBench {
             if l == u32::MAX || l == 0 {
                 continue;
             }
-            let ok = (0..self.graph.num_vertices).any(|u| {
-                self.levels[u] == l - 1 && self.graph.neighbors(u).contains(&(v as u32))
-            });
+            let ok = (0..self.graph.num_vertices)
+                .any(|u| self.levels[u] == l - 1 && self.graph.neighbors(u).contains(&(v as u32)));
             if !ok {
                 return false;
             }
@@ -208,8 +212,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = BfsBench::new(2000, 8, GraphKind::Uniform);
-        bench.setup(&machine, &ann);
-        let report = bench.run(&machine, &ann, &[0, 1]);
+        bench.setup(&machine, &ann).unwrap();
+        let report = bench.run(&machine, &ann, &[0, 1]).unwrap();
         assert!(bench.verify());
         assert!(report.mem_ops > 0);
         // A uniform degree-8 graph is almost surely one giant component.
@@ -221,8 +225,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = BfsBench::new(1 << 11, 8, GraphKind::Rmat);
-        bench.setup(&machine, &ann);
-        bench.run(&machine, &ann, &[0, 1, 2, 3]);
+        bench.setup(&machine, &ann).unwrap();
+        bench.run(&machine, &ann, &[0, 1, 2, 3]).unwrap();
         assert!(bench.verify());
         assert!(bench.reached() > 1);
     }
@@ -233,9 +237,9 @@ mod tests {
             let machine = Machine::new(MachineConfig::small_test());
             let ann = Annotations::new();
             let mut bench = BfsBench::new(1500, 6, GraphKind::Uniform);
-            bench.setup(&machine, &ann);
+            bench.setup(&machine, &ann).unwrap();
             let cores: Vec<usize> = (0..threads).collect();
-            bench.run(&machine, &ann, &cores);
+            bench.run(&machine, &ann, &cores).unwrap();
             bench.reached()
         };
         assert_eq!(reached(1), reached(4));
@@ -246,9 +250,9 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = BfsBench::new(512, 4, GraphKind::Uniform);
-        bench.setup(&machine, &ann);
+        bench.setup(&machine, &ann).unwrap();
         assert_eq!(ann.tags().len(), 3);
-        bench.run(&machine, &ann, &[0]);
+        bench.run(&machine, &ann, &[0]).unwrap();
         assert_eq!(ann.phases().len(), 1);
         assert_eq!(ann.phases()[0].name, "bfs");
     }

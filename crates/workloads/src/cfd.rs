@@ -10,7 +10,7 @@
 //! threads.
 
 use arch_sim::Machine;
-use nmo::Annotations;
+use nmo::{Annotations, NmoError};
 
 use crate::generators::{mesh_neighbors, NEIGHBORS_PER_ELEMENT};
 use crate::{chunk_range, parallel_on_cores, pc, Workload, WorkloadReport};
@@ -82,21 +82,19 @@ impl Workload for CfdBench {
         "cfd"
     }
 
-    fn setup(&mut self, machine: &Machine, annotations: &Annotations) {
+    fn setup(&mut self, machine: &Machine, annotations: &Annotations) -> Result<(), NmoError> {
         let e = self.elements as u64;
-        let variables = machine.alloc("variables", e * NVAR as u64 * 8).expect("alloc variables");
-        let fluxes = machine.alloc("fluxes", e * NVAR as u64 * 8).expect("alloc fluxes");
-        let normals = machine
-            .alloc("normals", e * NEIGHBORS_PER_ELEMENT as u64 * 3 * 8)
-            .expect("alloc normals");
-        let neighbors = machine
-            .alloc("elements_surrounding", e * NEIGHBORS_PER_ELEMENT as u64 * 4)
-            .expect("alloc neighbors");
+        let variables = machine.alloc("variables", e * NVAR as u64 * 8)?;
+        let fluxes = machine.alloc("fluxes", e * NVAR as u64 * 8)?;
+        let normals = machine.alloc("normals", e * NEIGHBORS_PER_ELEMENT as u64 * 3 * 8)?;
+        let neighbors =
+            machine.alloc("elements_surrounding", e * NEIGHBORS_PER_ELEMENT as u64 * 4)?;
         annotations.tag_addr("variables", variables.start, variables.end());
         annotations.tag_addr("fluxes", fluxes.start, fluxes.end());
         annotations.tag_addr("normals", normals.start, normals.end());
         annotations.tag_addr("elements_surrounding", neighbors.start, neighbors.end());
         self.regions = Some(Regions { variables, fluxes, normals, neighbors });
+        Ok(())
     }
 
     fn run(
@@ -104,12 +102,19 @@ impl Workload for CfdBench {
         machine: &Machine,
         annotations: &Annotations,
         cores: &[usize],
-    ) -> WorkloadReport {
-        let regions = self.regions.as_ref().expect("setup() must run before run()");
+    ) -> Result<WorkloadReport, NmoError> {
+        let regions = self
+            .regions
+            .as_ref()
+            .ok_or_else(|| NmoError::Workload("cfd: run() called before setup()".into()))?;
         let elements = self.elements;
         let threads = cores.len();
-        let (rv, rf, rn, rnb) =
-            (regions.variables.start, regions.fluxes.start, regions.normals.start, regions.neighbors.start);
+        let (rv, rf, rn, rnb) = (
+            regions.variables.start,
+            regions.fluxes.start,
+            regions.normals.start,
+            regions.neighbors.start,
+        );
 
         let variables_ptr = SendPtr(self.variables.as_mut_ptr());
         let fluxes_ptr = SendPtr(self.fluxes.as_mut_ptr());
@@ -120,17 +125,17 @@ impl Workload for CfdBench {
         for _iter in 0..self.iterations {
             // Flux computation: gather own + neighbour variables, read the
             // element's normals, write the flux vector.
-            parallel_on_cores(machine, cores, |tid, engine| {
+            let flux_result = parallel_on_cores(machine, cores, |tid, engine| {
                 let range = chunk_range(elements, threads, tid);
                 let vars = variables_ptr;
                 let flx = fluxes_ptr;
                 for e in range {
                     let mut acc = [0.0f64; NVAR];
                     // Own variables.
-                    for v in 0..NVAR {
+                    for (v, slot) in acc.iter_mut().enumerate() {
                         let idx = e * NVAR + v;
                         engine.load_at(pc::CFD_FLUX, rv + (idx * 8) as u64, 8);
-                        acc[v] += unsafe { *vars.0.add(idx) };
+                        *slot += unsafe { *vars.0.add(idx) };
                     }
                     // Neighbour gathers through the index array (indirect).
                     for k in 0..NEIGHBORS_PER_ELEMENT {
@@ -143,25 +148,26 @@ impl Workload for CfdBench {
                             engine.load_at(pc::CFD_FLUX, rn + (n_idx * 8) as u64, 8);
                         }
                         let weight = normals[(e * NEIGHBORS_PER_ELEMENT + k) * 3];
-                        for v in 0..NVAR {
+                        for (v, slot) in acc.iter_mut().enumerate() {
                             let idx = nb * NVAR + v;
                             engine.load_at(pc::CFD_FLUX, rv + (idx * 8) as u64, 8);
-                            acc[v] += weight * unsafe { *vars.0.add(idx) };
+                            *slot += weight * unsafe { *vars.0.add(idx) };
                         }
                     }
                     // Store the flux vector.
-                    for v in 0..NVAR {
+                    for (v, value) in acc.iter().enumerate() {
                         let idx = e * NVAR + v;
                         engine.store_at(pc::CFD_FLUX, rf + (idx * 8) as u64, 8);
-                        unsafe { *flx.0.add(idx) = acc[v] * 0.2 };
+                        unsafe { *flx.0.add(idx) = value * 0.2 };
                     }
                     engine.flops((NVAR * (NEIGHBORS_PER_ELEMENT + 2)) as u64);
                     engine.cpu_work(8);
                 }
             });
 
+            flux_result?;
             // Time-step update: variables += dt * fluxes (regular).
-            parallel_on_cores(machine, cores, |tid, engine| {
+            let step_result = parallel_on_cores(machine, cores, |tid, engine| {
                 let range = chunk_range(elements, threads, tid);
                 let vars = variables_ptr;
                 let flx = fluxes_ptr;
@@ -179,15 +185,16 @@ impl Workload for CfdBench {
                     engine.cpu_work(4);
                 }
             });
+            step_result?;
         }
         annotations.stop(machine.makespan_ns());
 
         let counters = machine.counters();
-        WorkloadReport {
+        Ok(WorkloadReport {
             mem_ops: counters.mem_access,
             flops: counters.flops,
             checksum: self.variables.iter().take(1024).sum::<f64>(),
-        }
+        })
     }
 
     fn verify(&self) -> bool {
@@ -213,8 +220,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = CfdBench::new(512, 2);
-        bench.setup(&machine, &ann);
-        let report = bench.run(&machine, &ann, &[0, 1]);
+        bench.setup(&machine, &ann).unwrap();
+        let report = bench.run(&machine, &ann, &[0, 1]).unwrap();
         assert!(bench.verify());
         assert!(report.mem_ops > 0);
         assert!(report.flops > 0);
@@ -230,12 +237,12 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = CfdBench::new(256, 1);
-        bench.setup(&machine, &ann);
+        bench.setup(&machine, &ann).unwrap();
         let names: Vec<String> = ann.tags().iter().map(|t| t.name.clone()).collect();
         for expected in ["variables", "fluxes", "normals", "elements_surrounding"] {
             assert!(names.iter().any(|n| n == expected), "missing tag {expected}");
         }
-        bench.run(&machine, &ann, &[0]);
+        bench.run(&machine, &ann, &[0]).unwrap();
         let phases = ann.phases();
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].name, "computation loop");
@@ -248,9 +255,9 @@ mod tests {
             let machine = Machine::new(MachineConfig::small_test());
             let ann = Annotations::new();
             let mut bench = CfdBench::new(300, 1);
-            bench.setup(&machine, &ann);
+            bench.setup(&machine, &ann).unwrap();
             let cores: Vec<usize> = (0..threads).collect();
-            bench.run(&machine, &ann, &cores).mem_ops
+            bench.run(&machine, &ann, &cores).unwrap().mem_ops
         };
         assert_eq!(count(1), count(4));
     }
@@ -263,8 +270,8 @@ mod tests {
             let machine = Machine::new(MachineConfig::small_test());
             let ann = Annotations::new();
             let mut bench = CfdBench::with_far_fraction(2048, 1, far);
-            bench.setup(&machine, &ann);
-            bench.run(&machine, &ann, &[0]);
+            bench.setup(&machine, &ann).unwrap();
+            bench.run(&machine, &ann, &[0]).unwrap();
             machine.counters().bus_read_bytes
         };
         let local = traffic(0.0);

@@ -13,7 +13,7 @@
 //! the counterpart factor row and update the owned factor row).
 
 use arch_sim::Machine;
-use nmo::Annotations;
+use nmo::{Annotations, NmoError};
 
 use crate::generators::{ratings, Rating};
 use crate::{chunk_range, parallel_on_cores, pc, Workload, WorkloadReport};
@@ -75,7 +75,8 @@ impl InMemAnalytics {
     pub fn rmse(&self) -> f64 {
         let mut se = 0.0f64;
         for r in &self.ratings {
-            let pred = predict(&self.user_factors, &self.item_factors, r.user as usize, r.movie as usize);
+            let pred =
+                predict(&self.user_factors, &self.item_factors, r.user as usize, r.movie as usize);
             se += (pred - r.value as f64).powi(2);
         }
         (se / self.ratings.len().max(1) as f64).sqrt()
@@ -93,17 +94,18 @@ impl Workload for InMemAnalytics {
         "inmem-analytics"
     }
 
-    fn setup(&mut self, machine: &Machine, annotations: &Annotations) {
+    fn setup(&mut self, machine: &Machine, annotations: &Annotations) -> Result<(), NmoError> {
         let ratings_bytes = self.ratings.len() as u64 * 12;
         let uf_bytes = (self.users * RANK * 4) as u64;
         let if_bytes = (self.movies * RANK * 4) as u64;
-        let ratings = machine.alloc("ratings", ratings_bytes).expect("alloc ratings");
-        let user_factors = machine.alloc("user_factors", uf_bytes).expect("alloc user_factors");
-        let item_factors = machine.alloc("item_factors", if_bytes).expect("alloc item_factors");
+        let ratings = machine.alloc("ratings", ratings_bytes)?;
+        let user_factors = machine.alloc("user_factors", uf_bytes)?;
+        let item_factors = machine.alloc("item_factors", if_bytes)?;
         annotations.tag_addr("ratings", ratings.start, ratings.end());
         annotations.tag_addr("user_factors", user_factors.start, user_factors.end());
         annotations.tag_addr("item_factors", item_factors.start, item_factors.end());
         self.regions = Some(Regions { ratings, user_factors, item_factors });
+        Ok(())
     }
 
     fn run(
@@ -111,8 +113,10 @@ impl Workload for InMemAnalytics {
         machine: &Machine,
         annotations: &Annotations,
         cores: &[usize],
-    ) -> WorkloadReport {
-        let regions = self.regions.as_ref().expect("setup() must run before run()");
+    ) -> Result<WorkloadReport, NmoError> {
+        let regions = self.regions.as_ref().ok_or_else(|| {
+            NmoError::Workload("inmem-analytics: run() called before setup()".into())
+        })?;
         let threads = cores.len();
         let users = self.users;
         let (rr, ru, ri) =
@@ -128,7 +132,7 @@ impl Workload for InMemAnalytics {
             // User sweep: for each user, read its ratings and the item factor
             // rows, update the user factor row (gradient step).
             annotations.start("als-user-sweep", machine.makespan_ns());
-            parallel_on_cores(machine, cores, |tid, engine| {
+            let user_result = parallel_on_cores(machine, cores, |tid, engine| {
                 let urange = chunk_range(users, threads, tid);
                 let uf = uf_ptr;
                 let itf = if_ptr;
@@ -146,8 +150,7 @@ impl Workload for InMemAnalytics {
                         for k in 0..RANK {
                             engine.load_at(pc::ALS_USER, ri + ((m * RANK + k) * 4) as u64, 4);
                         }
-                        let err = rating.value as f64
-                            - predict_raw(uf.0, itf.0, u, m);
+                        let err = rating.value as f64 - predict_raw(uf.0, itf.0, u, m);
                         for k in 0..RANK {
                             unsafe {
                                 let item = *itf.0.add(m * RANK + k) as f64;
@@ -165,13 +168,14 @@ impl Workload for InMemAnalytics {
                 }
             });
             annotations.stop(machine.makespan_ns());
+            user_result?;
 
             // Item sweep: symmetric pass reading user rows and updating item
             // rows. Partition by user range but update items with a small
             // damped step (races between threads on popular movies are
             // numerically benign for this workload model).
             annotations.start("als-item-sweep", machine.makespan_ns());
-            parallel_on_cores(machine, cores, |tid, engine| {
+            let item_result = parallel_on_cores(machine, cores, |tid, engine| {
                 let urange = chunk_range(users, threads, tid);
                 let uf = uf_ptr;
                 let itf = if_ptr;
@@ -200,13 +204,14 @@ impl Workload for InMemAnalytics {
                 }
             });
             annotations.stop(machine.makespan_ns());
+            item_result?;
 
             // Between sweeps the driver does bookkeeping with little memory
             // traffic, which creates the bandwidth troughs of Figure 3.
             if sweep + 1 < self.sweeps {
                 parallel_on_cores(machine, cores, |_tid, engine| {
                     engine.cpu_work(200_000);
-                });
+                })?;
             }
         }
 
@@ -214,7 +219,7 @@ impl Workload for InMemAnalytics {
         report.mem_ops = counters.mem_access;
         report.flops = counters.flops;
         report.checksum = self.rmse();
-        report
+        Ok(report)
     }
 
     fn verify(&self) -> bool {
@@ -222,8 +227,7 @@ impl Workload for InMemAnalytics {
         // and keep every factor finite.
         let trivial = {
             let pred = 0.1f64 * 0.1 * RANK as f64;
-            let se: f64 =
-                self.ratings.iter().map(|r| (pred - r.value as f64).powi(2)).sum::<f64>();
+            let se: f64 = self.ratings.iter().map(|r| (pred - r.value as f64).powi(2)).sum::<f64>();
             (se / self.ratings.len().max(1) as f64).sqrt()
         };
         self.user_factors.iter().chain(&self.item_factors).all(|f| f.is_finite())
@@ -256,9 +260,9 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = InMemAnalytics::new(200, 500, 20, 3);
-        bench.setup(&machine, &ann);
+        bench.setup(&machine, &ann).unwrap();
         let before = bench.rmse();
-        let report = bench.run(&machine, &ann, &[0, 1]);
+        let report = bench.run(&machine, &ann, &[0, 1]).unwrap();
         let after = bench.rmse();
         assert!(after < before, "RMSE should drop: {before} -> {after}");
         assert!(bench.verify());
@@ -270,8 +274,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = InMemAnalytics::new(64, 128, 10, 2);
-        bench.setup(&machine, &ann);
-        bench.run(&machine, &ann, &[0]);
+        bench.setup(&machine, &ann).unwrap();
+        bench.run(&machine, &ann, &[0]).unwrap();
         let names: Vec<String> = ann.phases().iter().map(|p| p.name.clone()).collect();
         assert_eq!(
             names,
@@ -284,9 +288,9 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = InMemAnalytics::new(256, 512, 16, 1);
-        bench.setup(&machine, &ann);
+        bench.setup(&machine, &ann).unwrap();
         assert_eq!(machine.rss_bytes(), 0, "allocation alone is not residency");
-        bench.run(&machine, &ann, &[0, 1]);
+        bench.run(&machine, &ann, &[0, 1]).unwrap();
         assert!(machine.rss_bytes() > 0);
         assert!(!machine.rss_series().is_empty());
     }

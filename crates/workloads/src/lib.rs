@@ -37,7 +37,12 @@ pub use pagerank::PageRank;
 pub use stream::StreamBench;
 
 use arch_sim::Machine;
-use nmo::Annotations;
+use nmo::NmoError;
+
+/// The workload contract (defined in `nmo` so profiling sessions can drive
+/// any benchmark without a dependency cycle; re-exported here for
+/// convenience).
+pub use nmo::workload::{Workload, WorkloadReport};
 
 /// Synthetic program-counter bases per workload kernel (used so SPE samples
 /// can be attributed to code regions).
@@ -66,53 +71,33 @@ pub mod pc {
     pub const ALS_ITEM: u64 = 0x40_5100;
 }
 
-/// Summary of one workload execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct WorkloadReport {
-    /// Simulated memory operations issued.
-    pub mem_ops: u64,
-    /// Floating-point operations reported.
-    pub flops: u64,
-    /// A workload-specific checksum for verification.
-    pub checksum: f64,
-}
-
-/// A benchmark that can run on the simulated machine.
-pub trait Workload: Send {
-    /// Short name ("stream", "cfd", ...).
-    fn name(&self) -> &'static str;
-
-    /// Allocate simulated regions and register NMO address tags.
-    fn setup(&mut self, machine: &Machine, annotations: &Annotations);
-
-    /// Run the workload using one thread per entry of `cores`. Execution
-    /// phases are bracketed with NMO annotations.
-    fn run(&mut self, machine: &Machine, annotations: &Annotations, cores: &[usize])
-        -> WorkloadReport;
-
-    /// Verify the computed result (returns false on numerical corruption).
-    fn verify(&self) -> bool;
-}
-
 /// Run `body` once per core on its own thread, each with an attached engine.
 ///
 /// This is the OpenMP-`parallel for`-style helper every workload uses: thread
-/// `i` is bound to `cores[i]` and receives `(i, &mut Engine)`.
-pub fn parallel_on_cores<F>(machine: &Machine, cores: &[usize], body: F)
+/// `i` is bound to `cores[i]` and receives `(i, &mut Engine)`. A core that
+/// cannot be attached (out of range, or checked out by another engine) is
+/// reported as an [`NmoError`] after the remaining threads finish, instead of
+/// panicking inside the worker thread.
+pub fn parallel_on_cores<F>(machine: &Machine, cores: &[usize], body: F) -> Result<(), NmoError>
 where
     F: Fn(usize, &mut arch_sim::Engine<'_>) + Sync,
 {
+    let failures: std::sync::Mutex<Vec<arch_sim::SimError>> = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for (idx, &core) in cores.iter().enumerate() {
             let body = &body;
-            s.spawn(move || {
-                let mut engine = machine
-                    .attach(core)
-                    .unwrap_or_else(|e| panic!("cannot attach core {core}: {e}"));
-                body(idx, &mut engine);
+            let failures = &failures;
+            s.spawn(move || match machine.attach(core) {
+                Ok(mut engine) => body(idx, &mut engine),
+                Err(e) => failures.lock().unwrap_or_else(|p| p.into_inner()).push(e),
             });
         }
     });
+    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    match failures.pop() {
+        Some(e) => Err(e.into()),
+        None => Ok(()),
+    }
 }
 
 /// Split `n` items into `parts` contiguous ranges (the last part absorbs the
@@ -162,7 +147,15 @@ mod tests {
         parallel_on_cores(&machine, &[0, 1, 2], |idx, engine| {
             assert_eq!(engine.core_id(), idx);
             engine.load(region.start + idx as u64 * 64, 8);
-        });
+        })
+        .unwrap();
         assert_eq!(machine.counters().mem_access, 3);
+    }
+
+    #[test]
+    fn parallel_on_cores_reports_unattachable_cores() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let err = parallel_on_cores(&machine, &[0, 99], |_idx, _engine| {}).unwrap_err();
+        assert!(matches!(err, nmo::NmoError::Sim(arch_sim::SimError::NoSuchCore(99))), "{err}");
     }
 }

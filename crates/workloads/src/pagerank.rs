@@ -9,7 +9,7 @@
 //! CSR graph and rank arrays, then pull-style power iterations.
 
 use arch_sim::Machine;
-use nmo::Annotations;
+use nmo::{Annotations, NmoError};
 
 use crate::generators::{rmat_graph, CsrGraph};
 use crate::{chunk_range, parallel_on_cores, pc, Workload, WorkloadReport};
@@ -82,20 +82,21 @@ impl Workload for PageRank {
         "pagerank"
     }
 
-    fn setup(&mut self, machine: &Machine, annotations: &Annotations) {
+    fn setup(&mut self, machine: &Machine, annotations: &Annotations) -> Result<(), NmoError> {
         let n = self.graph.num_vertices as u64;
         let m = self.graph.num_edges() as u64;
-        let offsets = machine.alloc("offsets", (n + 1) * 4).expect("alloc offsets");
-        let edges = machine.alloc("edges", m * 4).expect("alloc edges");
-        let ranks = machine.alloc("ranks", n * 8).expect("alloc ranks");
-        let ranks_next = machine.alloc("ranks_next", n * 8).expect("alloc ranks_next");
-        let out_degree = machine.alloc("out_degree", n * 4).expect("alloc out_degree");
+        let offsets = machine.alloc("offsets", (n + 1) * 4)?;
+        let edges = machine.alloc("edges", m * 4)?;
+        let ranks = machine.alloc("ranks", n * 8)?;
+        let ranks_next = machine.alloc("ranks_next", n * 8)?;
+        let out_degree = machine.alloc("out_degree", n * 4)?;
         annotations.tag_addr("offsets", offsets.start, offsets.end());
         annotations.tag_addr("edges", edges.start, edges.end());
         annotations.tag_addr("ranks", ranks.start, ranks.end());
         annotations.tag_addr("ranks_next", ranks_next.start, ranks_next.end());
         annotations.tag_addr("out_degree", out_degree.start, out_degree.end());
         self.regions = Some(Regions { offsets, edges, ranks, ranks_next, out_degree });
+        Ok(())
     }
 
     fn run(
@@ -103,8 +104,11 @@ impl Workload for PageRank {
         machine: &Machine,
         annotations: &Annotations,
         cores: &[usize],
-    ) -> WorkloadReport {
-        let regions = self.regions.as_ref().expect("setup() must run before run()");
+    ) -> Result<WorkloadReport, NmoError> {
+        let regions = self
+            .regions
+            .as_ref()
+            .ok_or_else(|| NmoError::Workload("pagerank: run() called before setup()".into()))?;
         let n = self.graph.num_vertices;
         let threads = cores.len();
         let graph = &self.graph;
@@ -121,7 +125,7 @@ impl Workload for PageRank {
         // first-touches every page (memory usage climbs to saturation) and
         // produces the early bandwidth peak of Figure 3.
         annotations.start("load graph", machine.makespan_ns());
-        parallel_on_cores(machine, cores, |tid, engine| {
+        let load_result = parallel_on_cores(machine, cores, |tid, engine| {
             let vrange = chunk_range(n, threads, tid);
             for v in vrange {
                 engine.store_at(pc::PR_LOAD, ro + (v * 4) as u64, 4);
@@ -137,13 +141,14 @@ impl Workload for PageRank {
             }
         });
         annotations.stop(machine.makespan_ns());
+        load_result?;
 
         // Phase 2: power iterations (pull model).
         let ranks_ptr = SendPtr(self.ranks.as_mut_ptr());
         let next_ptr = SendPtr(self.ranks_next.as_mut_ptr());
         annotations.start("iterate", machine.makespan_ns());
         for _it in 0..self.iterations {
-            parallel_on_cores(machine, cores, |tid, engine| {
+            let iter_result = parallel_on_cores(machine, cores, |tid, engine| {
                 let vrange = chunk_range(n, threads, tid);
                 let ranks = ranks_ptr;
                 let next = next_ptr;
@@ -165,6 +170,7 @@ impl Workload for PageRank {
                     engine.cpu_work(4);
                 }
             });
+            iter_result?;
             // Swap rank buffers on the host (the simulated arrays swap roles
             // implicitly; accesses alternate between the two tagged regions).
             std::mem::swap(&mut self.ranks, &mut self.ranks_next);
@@ -172,11 +178,11 @@ impl Workload for PageRank {
         annotations.stop(machine.makespan_ns());
 
         let counters = machine.counters();
-        WorkloadReport {
+        Ok(WorkloadReport {
             mem_ops: counters.mem_access,
             flops: counters.flops,
             checksum: self.ranks.iter().sum::<f64>(),
-        }
+        })
     }
 
     fn verify(&self) -> bool {
@@ -203,8 +209,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = PageRank::new(1 << 10, 8, 3);
-        bench.setup(&machine, &ann);
-        let report = bench.run(&machine, &ann, &[0, 1]);
+        bench.setup(&machine, &ann).unwrap();
+        let report = bench.run(&machine, &ann, &[0, 1]).unwrap();
         assert!(bench.verify(), "rank sum = {}", bench.ranks().iter().sum::<f64>());
         assert!(report.mem_ops > 0);
         assert!(report.flops > 0);
@@ -215,8 +221,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = PageRank::new(1 << 10, 8, 5);
-        bench.setup(&machine, &ann);
-        bench.run(&machine, &ann, &[0]);
+        bench.setup(&machine, &ann).unwrap();
+        bench.run(&machine, &ann, &[0]).unwrap();
         let uniform = 1.0 / bench.num_vertices() as f64;
         let max = bench.ranks().iter().cloned().fold(0.0, f64::max);
         assert!(max > 3.0 * uniform, "power-law hubs should concentrate rank");
@@ -227,8 +233,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = PageRank::new(1 << 10, 4, 1);
-        bench.setup(&machine, &ann);
-        bench.run(&machine, &ann, &[0, 1, 2]);
+        bench.setup(&machine, &ann).unwrap();
+        bench.run(&machine, &ann, &[0, 1, 2]).unwrap();
         // After the load phase every allocated region is resident.
         let total_alloc: u64 = machine
             .vm()

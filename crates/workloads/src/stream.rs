@@ -9,7 +9,7 @@
 //! thread-count sensitivity studies (Figures 9–11).
 
 use arch_sim::Machine;
-use nmo::Annotations;
+use nmo::{Annotations, NmoError};
 
 use crate::{chunk_range, parallel_on_cores, pc, Workload, WorkloadReport};
 
@@ -110,15 +110,16 @@ impl Workload for StreamBench {
         "stream"
     }
 
-    fn setup(&mut self, machine: &Machine, annotations: &Annotations) {
+    fn setup(&mut self, machine: &Machine, annotations: &Annotations) -> Result<(), NmoError> {
         let bytes = (self.n * 8) as u64;
-        let a = machine.alloc("a", bytes).expect("alloc a");
-        let b = machine.alloc("b", bytes).expect("alloc b");
-        let c = machine.alloc("c", bytes).expect("alloc c");
+        let a = machine.alloc("a", bytes)?;
+        let b = machine.alloc("b", bytes)?;
+        let c = machine.alloc("c", bytes)?;
         annotations.tag_addr("a", a.start, a.end());
         annotations.tag_addr("b", b.start, b.end());
         annotations.tag_addr("c", c.start, c.end());
         self.regions = Some(Regions { a, b, c });
+        Ok(())
     }
 
     fn run(
@@ -126,8 +127,11 @@ impl Workload for StreamBench {
         machine: &Machine,
         annotations: &Annotations,
         cores: &[usize],
-    ) -> WorkloadReport {
-        let regions = self.regions.as_ref().expect("setup() must run before run()");
+    ) -> Result<WorkloadReport, NmoError> {
+        let regions = self
+            .regions
+            .as_ref()
+            .ok_or_else(|| NmoError::Workload("stream: run() called before setup()".into()))?;
         let n = self.n;
         let threads = cores.len();
         let kernel = self.kernel;
@@ -143,7 +147,7 @@ impl Workload for StreamBench {
         let mut report = WorkloadReport::default();
         for _iter in 0..self.iterations {
             annotations.start(kernel.name(), machine.makespan_ns());
-            parallel_on_cores(machine, cores, |tid, engine| {
+            let result = parallel_on_cores(machine, cores, |tid, engine| {
                 let range = chunk_range(n, threads, tid);
                 let a = a_ptr;
                 let b = b_ptr;
@@ -186,13 +190,14 @@ impl Workload for StreamBench {
                 }
             });
             annotations.stop(machine.makespan_ns());
+            result?;
         }
 
         let counters = machine.counters();
         report.mem_ops = counters.mem_access;
         report.flops = counters.flops;
         report.checksum = self.a.iter().take(1024).sum::<f64>();
-        report
+        Ok(report)
     }
 
     fn verify(&self) -> bool {
@@ -200,19 +205,20 @@ impl Workload for StreamBench {
             StreamKernel::Triad => {
                 // After any number of iterations a[i] = b[i] + SCALAR*c[i]
                 // with b and c untouched.
-                self.a.iter().zip(self.b.iter().zip(&self.c)).all(|(a, (b, c))| {
-                    (a - (b + SCALAR * c)).abs() < 1e-12
-                })
+                self.a
+                    .iter()
+                    .zip(self.b.iter().zip(&self.c))
+                    .all(|(a, (b, c))| (a - (b + SCALAR * c)).abs() < 1e-12)
             }
             StreamKernel::Copy => self.c.iter().zip(&self.a).all(|(c, a)| c == a),
             StreamKernel::Scale => {
                 self.b.iter().zip(&self.c).all(|(b, c)| (b - SCALAR * c).abs() < 1e-12)
             }
-            StreamKernel::Add => {
-                self.c.iter().zip(self.a.iter().zip(&self.b)).all(|(c, (a, b))| {
-                    (c - (a + b)).abs() < 1e-12
-                })
-            }
+            StreamKernel::Add => self
+                .c
+                .iter()
+                .zip(self.a.iter().zip(&self.b))
+                .all(|(c, (a, b))| (c - (a + b)).abs() < 1e-12),
         }
     }
 }
@@ -233,9 +239,9 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = StreamBench::with_kernel(4096, 2, kernel);
-        bench.setup(&machine, &ann);
+        bench.setup(&machine, &ann).unwrap();
         let cores: Vec<usize> = (0..threads).collect();
-        let report = bench.run(&machine, &ann, &cores);
+        let report = bench.run(&machine, &ann, &cores).unwrap();
         (bench, report)
     }
 
@@ -251,7 +257,9 @@ mod tests {
 
     #[test]
     fn all_kernels_verify() {
-        for kernel in [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad] {
+        for kernel in
+            [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
+        {
             let (bench, _) = run(kernel, 3);
             assert!(bench.verify(), "kernel {kernel:?} failed verification");
         }
@@ -262,9 +270,9 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = StreamBench::new(1024, 3);
-        bench.setup(&machine, &ann);
+        bench.setup(&machine, &ann).unwrap();
         assert_eq!(ann.tags().len(), 3);
-        bench.run(&machine, &ann, &[0]);
+        bench.run(&machine, &ann, &[0]).unwrap();
         let phases = ann.phases();
         assert_eq!(phases.len(), 3, "one phase per iteration");
         assert!(phases.iter().all(|p| p.name == "triad" && !p.is_open()));
@@ -282,8 +290,8 @@ mod tests {
         let machine = Machine::new(MachineConfig::small_test());
         let ann = Annotations::new();
         let mut bench = StreamBench::new(8192, 1);
-        bench.setup(&machine, &ann);
-        bench.run(&machine, &ann, &[0, 1]);
+        bench.setup(&machine, &ann).unwrap();
+        bench.run(&machine, &ann, &[0, 1]).unwrap();
         let page = machine.config().page_bytes;
         let expected = 3 * (8192u64 * 8).div_ceil(page) * page;
         assert_eq!(machine.rss_bytes(), expected);

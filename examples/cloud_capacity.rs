@@ -8,13 +8,13 @@
 //! cargo run --release --example cloud_capacity
 //! ```
 
-use nmo_repro::arch_sim::{Machine, MachineConfig};
-use nmo_repro::nmo::{Mode, NmoConfig, Profile, Profiler};
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{Mode, NmoConfig, NmoError, Profile, ProfileSession};
 use nmo_repro::workloads::{InMemAnalytics, PageRank, Workload};
 
-fn run(name: &str, mut workload: Box<dyn Workload>, threads: usize) -> Profile {
-    let machine = Machine::new(MachineConfig::ampere_altra_max());
-    // Levels 1 and 2 only: no SPE sampling, just capacity + bandwidth.
+fn run(name: &str, workload: Box<dyn Workload>, threads: usize) -> Result<Profile, NmoError> {
+    // Levels 1 and 2 only: no SPE sampling, just capacity + bandwidth (the
+    // session still runs the perf-stat counter backend).
     let config = NmoConfig {
         enabled: true,
         name: name.into(),
@@ -23,23 +23,22 @@ fn run(name: &str, mut workload: Box<dyn Workload>, threads: usize) -> Profile {
         track_bandwidth: true,
         ..Default::default()
     };
-    let mut profiler = Profiler::new(&machine, config);
-    let annotations = profiler.annotations();
-    let cores: Vec<usize> = (0..threads).collect();
-    workload.setup(&machine, &annotations);
-    profiler.enable(&cores).expect("enable");
-    workload.run(&machine, &annotations, &cores);
-    assert!(workload.verify(), "{name} failed verification");
-    profiler.finish()
+    ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(config)
+        .threads(threads)
+        .workload(workload)
+        .build()?
+        .run()
 }
 
 fn sparkline(values: &[f64]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
-    values
-        .iter()
-        .map(|v| BARS[((v / max) * 7.0).round().clamp(0.0, 7.0) as usize])
-        .collect()
+    values.iter().map(|v| BARS[((v / max) * 7.0).round().clamp(0.0, 7.0) as usize]).collect()
 }
 
 fn describe(profile: &Profile) {
@@ -72,16 +71,12 @@ fn describe(profile: &Profile) {
     println!();
 }
 
-fn main() {
+fn main() -> Result<(), NmoError> {
     println!("== CloudSuite-style temporal profiles (Figures 2 and 3, scaled down) ==\n");
     let threads = 8;
-    let pr = run("pagerank", Box::new(PageRank::new(1 << 15, 8, 4)), threads);
+    let pr = run("pagerank", Box::new(PageRank::new(1 << 15, 8, 4)), threads)?;
     describe(&pr);
-    let als = run(
-        "inmem-analytics",
-        Box::new(InMemAnalytics::new(4_000, 4_000, 40, 3)),
-        threads,
-    );
+    let als = run("inmem-analytics", Box::new(InMemAnalytics::new(4_000, 4_000, 40, 3)), threads)?;
     describe(&als);
 
     println!(
@@ -90,4 +85,5 @@ fn main() {
          shapes — PageRank saturates early with an early bandwidth peak, ALS grows gradually\n\
          with one bandwidth peak per sweep."
     );
+    Ok(())
 }

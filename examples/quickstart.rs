@@ -5,31 +5,27 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use nmo_repro::arch_sim::{Machine, MachineConfig};
-use nmo_repro::nmo::{NmoConfig, Profiler};
-use nmo_repro::workloads::{StreamBench, Workload};
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{NmoConfig, NmoError, ProfileSession};
+use nmo_repro::workloads::StreamBench;
 
-fn main() {
-    // The simulated platform of Table II (Ampere Altra Max-like).
-    let machine = Machine::new(MachineConfig::ampere_altra_max());
+fn main() -> Result<(), NmoError> {
+    // The simulated platform of Table II (Ampere Altra Max-like), profiled
+    // with NMO configured the way the paper runs it: loads + stores sampled
+    // with ARM SPE, RSS and bandwidth tracking on. The same configuration can
+    // be pulled from the NMO_* environment variables with
+    // `NmoConfig::from_env()`. The session registers its default backends —
+    // SPE sampling plus perf-stat counting — and the three analysis sinks.
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(NmoConfig { name: "quickstart".into(), ..NmoConfig::paper_default(4096) })
+        .threads(8)
+        // A 2M-element STREAM Triad on 8 threads.
+        .workload(Box::new(StreamBench::new(2_000_000, 2)))
+        .build()?
+        .run()?;
 
-    // NMO configured the way the paper runs it: loads + stores sampled with
-    // ARM SPE, RSS and bandwidth tracking on. The same configuration can be
-    // pulled from the NMO_* environment variables with `NmoConfig::from_env()`.
-    let config = NmoConfig { name: "quickstart".into(), ..NmoConfig::paper_default(4096) };
-    let mut profiler = Profiler::new(&machine, config);
-    let annotations = profiler.annotations();
-
-    // A 2M-element STREAM Triad on 8 threads.
-    let mut stream = StreamBench::new(2_000_000, 2);
-    stream.setup(&machine, &annotations);
-
-    let cores: Vec<usize> = (0..8).collect();
-    profiler.enable(&cores).expect("enable NMO");
-    let report = stream.run(&machine, &annotations, &cores);
-    assert!(stream.verify(), "STREAM verification failed");
-
-    let profile = profiler.finish();
+    let report = profile.workload.unwrap_or_default();
 
     println!("== NMO quickstart ==");
     println!("{}", profile.summary());
@@ -48,7 +44,10 @@ fn main() {
     );
 
     let regions = profile.regions();
-    println!("level 3 (regions):   {} SPE samples attributed as follows:", profile.processed_samples);
+    println!(
+        "level 3 (regions):   {} SPE samples attributed as follows:",
+        profile.processed_samples
+    );
     for tag in &regions.per_tag {
         println!(
             "  {:10}  {:>8} samples ({} loads / {} stores), coverage {:.1}%",
@@ -59,11 +58,16 @@ fn main() {
             tag.coverage * 100.0
         );
     }
+    println!("\nperf-stat backend counts:");
+    for (event, count) in &profile.perf_counts {
+        println!("  {event:14} {count:>14}");
+    }
     println!(
         "accuracy vs hardware counter baseline (Eq. 1): {:.1}%",
         profile.accuracy_against(profile.counters.mem_access) * 100.0
     );
 
-    let written = profile.write_csv_reports("results/quickstart").expect("write CSV reports");
+    let written = profile.write_csv_reports("results/quickstart")?;
     println!("\nwrote {} CSV report files under results/quickstart/", written.len());
+    Ok(())
 }

@@ -8,28 +8,30 @@
 //! (The full sweeps over three workloads, aux-buffer sizes and thread counts
 //! are produced by the `repro` binary in `crates/nmo-bench`.)
 
-use nmo_repro::arch_sim::{Machine, MachineConfig};
-use nmo_repro::nmo::{accuracy, time_overhead, Annotations, NmoConfig, Profiler};
-use nmo_repro::workloads::{StreamBench, Workload};
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{accuracy, time_overhead, NmoConfig, NmoError, ProfileSession};
+use nmo_repro::workloads::StreamBench;
 
 const ELEMS: usize = 1_500_000;
 const ITERS: usize = 2;
 const THREADS: usize = 8;
 
-fn baseline() -> (u64, u64) {
-    let machine = Machine::new(MachineConfig::ampere_altra_max());
-    let annotations = Annotations::new();
-    let mut stream = StreamBench::new(ELEMS, ITERS);
-    stream.setup(&machine, &annotations);
-    let cores: Vec<usize> = (0..THREADS).collect();
-    stream.run(&machine, &annotations, &cores);
-    let counters = machine.counters();
-    (counters.mem_access, counters.cycles)
+/// Unprofiled baseline: the same session machinery with collection disabled,
+/// so the only difference to the profiled runs is the profiler itself.
+fn baseline() -> Result<(u64, u64), NmoError> {
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(NmoConfig::default())
+        .threads(THREADS)
+        .workload(Box::new(StreamBench::new(ELEMS, ITERS)))
+        .build()?
+        .run()?;
+    Ok((profile.counters.mem_access, profile.counters.cycles))
 }
 
-fn main() {
+fn main() -> Result<(), NmoError> {
     println!("== ARM SPE sensitivity on STREAM ({} threads) ==", THREADS);
-    let (mem_counted, baseline_cycles) = baseline();
+    let (mem_counted, baseline_cycles) = baseline()?;
     println!(
         "baseline: {} mem_access events, {:.3} ms simulated execution time\n",
         mem_counted,
@@ -41,16 +43,13 @@ fn main() {
     );
 
     for period in [1000u64, 2000, 4000, 8000, 16000, 32000, 64000, 128000] {
-        let machine = Machine::new(MachineConfig::ampere_altra_max());
-        let mut profiler = Profiler::new(&machine, NmoConfig::paper_default(period));
-        let annotations = profiler.annotations();
-        let mut stream = StreamBench::new(ELEMS, ITERS);
-        stream.setup(&machine, &annotations);
-        let cores: Vec<usize> = (0..THREADS).collect();
-        profiler.enable(&cores).expect("enable");
-        stream.run(&machine, &annotations, &cores);
-        assert!(stream.verify());
-        let profile = profiler.finish();
+        let profile = ProfileSession::builder()
+            .machine_config(MachineConfig::ampere_altra_max())
+            .config(NmoConfig::paper_default(period))
+            .threads(THREADS)
+            .workload(Box::new(StreamBench::new(ELEMS, ITERS)))
+            .build()?
+            .run()?;
 
         let acc = accuracy(mem_counted, profile.processed_samples, period);
         let ovh = time_overhead(baseline_cycles, profile.elapsed_cycles);
@@ -71,4 +70,5 @@ fn main() {
          90-95% at larger periods, while the time overhead falls roughly linearly with\n\
          the sampling rate."
     );
+    Ok(())
 }

@@ -6,28 +6,27 @@
 //! cargo run --release --example stream_regions
 //! ```
 
-use nmo_repro::arch_sim::{Machine, MachineConfig};
-use nmo_repro::nmo::{NmoConfig, Profiler};
-use nmo_repro::workloads::{StreamBench, Workload};
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{NmoConfig, NmoError, ProfileSession};
+use nmo_repro::workloads::StreamBench;
 
-fn main() {
-    let machine = Machine::new(MachineConfig::ampere_altra_max());
-    let config = NmoConfig { name: "stream_regions".into(), ..NmoConfig::paper_default(2048) };
-    let mut profiler = Profiler::new(&machine, config);
-    let annotations = profiler.annotations();
-
+fn main() -> Result<(), NmoError> {
     // 5 iterations of Triad on 8 threads, like the paper's Figure 4.
-    let mut stream = StreamBench::new(1_000_000, 5);
-    stream.setup(&machine, &annotations);
-    let cores: Vec<usize> = (0..8).collect();
-    profiler.enable(&cores).expect("enable NMO");
-    stream.run(&machine, &annotations, &cores);
-    assert!(stream.verify());
-    let profile = profiler.finish();
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(NmoConfig { name: "stream_regions".into(), ..NmoConfig::paper_default(2048) })
+        .threads(8)
+        .workload(Box::new(StreamBench::new(1_000_000, 5)))
+        .build()?
+        .run()?;
     let regions = profile.regions();
 
     println!("== STREAM region profile (Figure 4 scenario) ==");
-    println!("{} samples total, {} outside any tag", regions.scatter.len(), regions.untagged_samples);
+    println!(
+        "{} samples total, {} outside any tag",
+        regions.scatter.len(),
+        regions.untagged_samples
+    );
 
     // Per-tag distribution: triad reads b and c and writes a, so the three
     // arrays should receive comparable sample counts with the stores
@@ -56,7 +55,9 @@ fn main() {
             let addrs: Vec<u64> = profile
                 .samples
                 .iter()
-                .filter(|s| s.core == core && s.vaddr >= a_tag.min_addr && s.vaddr <= a_tag.max_addr)
+                .filter(|s| {
+                    s.core == core && s.vaddr >= a_tag.min_addr && s.vaddr <= a_tag.max_addr
+                })
                 .map(|s| s.vaddr)
                 .collect();
             if let (Some(min), Some(max)) = (addrs.iter().min(), addrs.iter().max()) {
@@ -70,4 +71,5 @@ fn main() {
             }
         }
     }
+    Ok(())
 }

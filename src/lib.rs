@@ -8,15 +8,15 @@
 //! * [`perf_sub`] — the modelled `perf_event` ABI (attrs, ring/aux buffers, records);
 //! * [`spe`] — the ARM Statistical Profiling Extension model (sampling unit,
 //!   packet codec, driver, overhead model);
-//! * [`nmo`] — the NMO profiler itself (configuration, annotations, runtime,
-//!   capacity/bandwidth/region profiling, accuracy & overhead analysis);
+//! * [`nmo`] — the NMO profiler itself: the [`nmo::ProfileSession`] builder,
+//!   pluggable [`nmo::SampleBackend`]s (SPE sampling, perf-stat counting),
+//!   pluggable [`nmo::AnalysisSink`]s (capacity/bandwidth/region levels),
+//!   configuration, annotations, and the accuracy & overhead analysis;
 //! * [`workloads`] — STREAM, CFD, BFS, PageRank and In-memory Analytics.
 //!
-//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
-//! and hardware-substitution argument, and `EXPERIMENTS.md` for the
-//! paper-vs-measured comparison of every table and figure. The runnable
-//! entry points are the examples in `examples/` and the `repro` binary in
-//! `crates/nmo-bench`.
+//! See `README.md` for a guided tour and a `ProfileSession` quickstart. The
+//! runnable entry points are the examples in `examples/` and the `repro`
+//! binary in `crates/nmo-bench`.
 
 pub use arch_sim;
 pub use nmo;
@@ -29,29 +29,33 @@ pub use workloads;
 ///
 /// This is the "preload the library and set environment variables" usage
 /// model of the paper compressed into a function: the configuration can come
-/// from [`nmo::NmoConfig::from_env`] or be built programmatically.
+/// from [`nmo::NmoConfig::from_env`] or be built programmatically. It is a
+/// thin wrapper over [`nmo::ProfileSession`]; use the session builder
+/// directly for custom machines, backends, or sinks.
 ///
 /// ```
 /// use nmo_repro::{profile_workload, nmo::NmoConfig, workloads::StreamBench};
 ///
+/// # fn main() -> Result<(), nmo_repro::nmo::NmoError> {
 /// let profile = profile_workload(
 ///     Box::new(StreamBench::new(10_000, 1)),
 ///     &NmoConfig::paper_default(500),
 ///     2,
-/// );
+/// )?;
 /// assert!(profile.processed_samples > 0);
+/// # Ok(())
+/// # }
 /// ```
 pub fn profile_workload(
-    mut workload: Box<dyn workloads::Workload>,
+    workload: Box<dyn workloads::Workload>,
     config: &nmo::NmoConfig,
     threads: usize,
-) -> nmo::Profile {
-    let machine = arch_sim::Machine::new(arch_sim::MachineConfig::ampere_altra_max());
-    let mut profiler = nmo::Profiler::new(&machine, config.clone());
-    let annotations = profiler.annotations();
-    let cores: Vec<usize> = (0..threads).collect();
-    workload.setup(&machine, &annotations);
-    profiler.enable(&cores).expect("profiler enable");
-    workload.run(&machine, &annotations, &cores);
-    profiler.finish()
+) -> Result<nmo::Profile, nmo::NmoError> {
+    nmo::ProfileSession::builder()
+        .machine_config(arch_sim::MachineConfig::ampere_altra_max())
+        .config(config.clone())
+        .threads(threads)
+        .workload(workload)
+        .build()?
+        .run()
 }

@@ -1,15 +1,16 @@
 //! Cross-crate integration tests: workloads → machine → SPE → perf buffers →
 //! NMO runtime → analysis, end to end.
 
-use nmo_repro::arch_sim::{Machine, MachineConfig};
-use nmo_repro::nmo::{Mode, NmoConfig, Profile, Profiler};
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{Mode, NmoConfig, Profile, ProfileSession};
+use nmo_repro::profile_workload;
 use nmo_repro::workloads::{
     bfs::GraphKind, BfsBench, CfdBench, InMemAnalytics, PageRank, StreamBench, Workload,
 };
-use nmo_repro::profile_workload;
 
 fn run_profiled(workload: Box<dyn Workload>, threads: usize, period: u64) -> Profile {
     profile_workload(workload, &NmoConfig::paper_default(period), threads)
+        .expect("profiling session")
 }
 
 #[test]
@@ -87,7 +88,6 @@ fn inmem_analytics_bandwidth_is_periodic_across_sweeps() {
 
 #[test]
 fn capacity_only_mode_runs_without_spe_and_without_overhead() {
-    let machine = Machine::new(MachineConfig::ampere_altra_max());
     let config = NmoConfig {
         enabled: true,
         mode: Mode::None,
@@ -95,17 +95,23 @@ fn capacity_only_mode_runs_without_spe_and_without_overhead() {
         track_bandwidth: true,
         ..Default::default()
     };
-    let mut profiler = Profiler::new(&machine, config);
-    let annotations = profiler.annotations();
-    let mut wl = StreamBench::new(100_000, 1);
-    wl.setup(&machine, &annotations);
-    profiler.enable(&[0, 1]).unwrap();
-    wl.run(&machine, &annotations, &[0, 1]);
-    let profile = profiler.finish();
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(config)
+        .threads(2)
+        .workload(Box::new(StreamBench::new(100_000, 1)))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(profile.processed_samples, 0);
     assert_eq!(profile.counters.observer_cycles, 0, "no SPE => no profiling overhead");
     assert!(profile.capacity.peak_bytes > 0);
     assert!(profile.bandwidth.total_bytes > 0);
+    // Counter-only sessions still count: the perf-stat backend agrees with
+    // the machine-wide counter.
+    assert_eq!(profile.perf_count("mem_access"), Some(profile.counters.mem_access));
+    assert_eq!(profile.backends, vec!["counters".to_string()]);
 }
 
 #[test]
@@ -113,7 +119,9 @@ fn profile_csv_reports_are_written_and_parse_back() {
     let profile = run_profiled(Box::new(StreamBench::new(50_000, 1)), 2, 200);
     let dir = std::env::temp_dir().join(format!("nmo_it_csv_{}", std::process::id()));
     let files = profile.write_csv_reports(&dir).unwrap();
-    assert_eq!(files.len(), 5);
+    // samples, capacity, bandwidth, regions, phases, plus the perf-stat
+    // counters collected by the counter backend.
+    assert_eq!(files.len(), 6);
     for f in &files {
         let content = std::fs::read_to_string(f).unwrap();
         let mut lines = content.lines();

@@ -6,18 +6,13 @@ use proptest::prelude::*;
 
 use nmo_repro::arch_sim::{Cache, CacheLevelConfig, MemLevel, OpKind, TimeConv};
 use nmo_repro::nmo::accuracy;
-use nmo_repro::perf_sub::{AuxBuffer, MetadataPage, RingBuffer};
 use nmo_repro::perf_sub::records::{AuxRecord, LostRecord, Record};
+use nmo_repro::perf_sub::{AuxBuffer, MetadataPage, RingBuffer};
 use nmo_repro::spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
 use nmo_repro::workloads::chunk_range;
 
 fn arb_level() -> impl Strategy<Value = MemLevel> {
-    prop_oneof![
-        Just(MemLevel::L1),
-        Just(MemLevel::L2),
-        Just(MemLevel::Slc),
-        Just(MemLevel::Dram),
-    ]
+    prop_oneof![Just(MemLevel::L1), Just(MemLevel::L2), Just(MemLevel::Slc), Just(MemLevel::Dram),]
 }
 
 fn arb_kind() -> impl Strategy<Value = OpKind> {

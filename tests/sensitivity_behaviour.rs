@@ -2,35 +2,31 @@
 //! (Section VII), at reduced scale: these check the *shape* invariants the
 //! figures rely on, with generous tolerances so they stay robust.
 
-use nmo_repro::arch_sim::{Machine, MachineConfig};
-use nmo_repro::nmo::{accuracy, time_overhead, NmoConfig, Profile, Profiler};
-use nmo_repro::workloads::{StreamBench, Workload};
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{accuracy, time_overhead, NmoConfig, Profile, ProfileSession};
 use nmo_repro::spe::OverheadModel;
+use nmo_repro::workloads::StreamBench;
 
 const ELEMS: usize = 400_000;
 const THREADS: usize = 4;
 
+fn session(config: NmoConfig) -> ProfileSession {
+    ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(config)
+        .threads(THREADS)
+        .workload(Box::new(StreamBench::new(ELEMS, 1)))
+        .build()
+        .expect("session builds")
+}
+
 fn baseline() -> (u64, u64) {
-    let machine = Machine::new(MachineConfig::ampere_altra_max());
-    let ann = nmo_repro::nmo::Annotations::new();
-    let mut wl = StreamBench::new(ELEMS, 1);
-    wl.setup(&machine, &ann);
-    let cores: Vec<usize> = (0..THREADS).collect();
-    wl.run(&machine, &ann, &cores);
-    let c = machine.counters();
-    (c.mem_access, c.cycles)
+    let p = session(NmoConfig::default()).run().expect("baseline run");
+    (p.counters.mem_access, p.counters.cycles)
 }
 
 fn profiled(config: NmoConfig) -> Profile {
-    let machine = Machine::new(MachineConfig::ampere_altra_max());
-    let mut profiler = Profiler::new(&machine, config);
-    let ann = profiler.annotations();
-    let mut wl = StreamBench::new(ELEMS, 1);
-    wl.setup(&machine, &ann);
-    let cores: Vec<usize> = (0..THREADS).collect();
-    profiler.enable(&cores).unwrap();
-    wl.run(&machine, &ann, &cores);
-    profiler.finish()
+    session(config).run().expect("profiled run")
 }
 
 #[test]

@@ -1,0 +1,130 @@
+//! End-to-end coverage of the `ProfileSession` API: every paper workload runs
+//! under one session on the `small_test` machine with both sample backends
+//! (ARM SPE sampling + perf-stat counting) registered explicitly, and each
+//! analysis sink must produce non-empty output.
+
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{
+    AnalysisReport, BandwidthSink, CapacitySink, CounterBackend, NmoConfig, Profile,
+    ProfileSession, RegionSink, SpeBackend, Workload,
+};
+use nmo_repro::workloads::{
+    bfs::GraphKind, BfsBench, CfdBench, InMemAnalytics, PageRank, StreamBench,
+};
+
+const THREADS: usize = 2;
+
+fn tiny_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(StreamBench::new(40_000, 2)),
+        Box::new(CfdBench::new(2_000, 2)),
+        Box::new(BfsBench::new(1 << 12, 6, GraphKind::Uniform)),
+        Box::new(PageRank::new(1 << 11, 8, 2)),
+        Box::new(InMemAnalytics::new(200, 400, 10, 2)),
+    ]
+}
+
+fn run_session(workload: Box<dyn Workload>) -> (String, Profile) {
+    let name = workload.name().to_string();
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::small_test())
+        .config(NmoConfig { name: name.clone(), ..NmoConfig::paper_default(100) })
+        .threads(THREADS)
+        .backend(SpeBackend::new())
+        .backend(CounterBackend::new())
+        .sink(CapacitySink::default())
+        .sink(BandwidthSink)
+        .sink(RegionSink)
+        .workload(workload)
+        .build()
+        .unwrap_or_else(|e| panic!("{name}: session build failed: {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: session run failed: {e}"));
+    (name, profile)
+}
+
+#[test]
+fn every_workload_profiles_under_one_session_with_both_backends() {
+    for workload in tiny_workloads() {
+        let (name, profile) = run_session(workload);
+
+        // Both backends ran under the session.
+        assert_eq!(
+            profile.backends,
+            vec!["spe".to_string(), "counters".to_string()],
+            "{name}: both backends must be active"
+        );
+
+        // The SPE backend sampled addresses.
+        assert!(profile.processed_samples > 0, "{name}: no SPE samples");
+        assert_eq!(
+            profile.processed_samples as usize,
+            profile.samples.len(),
+            "{name}: sample count mismatch"
+        );
+
+        // The counter backend agrees exactly with the machine-wide counter
+        // (both observe the same retired-operation stream).
+        assert_eq!(
+            profile.perf_count("mem_access"),
+            Some(profile.counters.mem_access),
+            "{name}: counter backend disagrees with machine counters"
+        );
+        assert_eq!(
+            profile.perf_count("ld_retired").unwrap() + profile.perf_count("st_retired").unwrap(),
+            profile.counters.mem_access,
+            "{name}: loads + stores must equal mem_access"
+        );
+
+        // The workload itself completed and verified (run() errors otherwise)
+        // and reported its operation counts.
+        let report = profile.workload.expect("workload report present");
+        assert!(report.mem_ops > 0, "{name}: empty workload report");
+
+        // Every sink produced non-empty output.
+        assert_eq!(profile.analyses.len(), 3, "{name}: expected 3 sink reports");
+        for record in &profile.analyses {
+            assert!(
+                !record.report.is_empty(),
+                "{name}: sink '{}' produced empty output",
+                record.sink
+            );
+        }
+
+        // Level 1 (capacity): the workload touched memory, so RSS rose.
+        assert!(profile.capacity.peak_bytes > 0, "{name}: empty capacity series");
+        assert!(!profile.capacity.points.is_empty(), "{name}: no capacity points");
+
+        // Level 2 (bandwidth): bus traffic was recorded.
+        assert!(profile.bandwidth.total_bytes > 0, "{name}: empty bandwidth series");
+        assert!(!profile.bandwidth.points.is_empty(), "{name}: no bandwidth points");
+
+        // Level 3 (regions): samples were attributed to the workload's tags.
+        let regions = profile
+            .analyses
+            .iter()
+            .find_map(|a| match &a.report {
+                AnalysisReport::Regions(r) if a.sink == "regions" => Some(r.clone()),
+                _ => None,
+            })
+            .expect("region sink report present");
+        assert!(!regions.scatter.is_empty(), "{name}: empty region scatter");
+        assert!(
+            regions.per_tag.iter().any(|t| t.samples > 0),
+            "{name}: no samples attributed to any tag"
+        );
+        // Profile::regions() returns the sink's cached report.
+        assert_eq!(profile.regions().per_tag.len(), regions.per_tag.len());
+    }
+}
+
+#[test]
+fn session_reports_are_deterministic_per_configuration() {
+    // Two identical sessions over the same deterministic workload must agree
+    // on the counter backend's exact counts (the SPE jitter is seeded per
+    // core, so sample counts agree as well).
+    let (_, a) = run_session(Box::new(StreamBench::new(20_000, 1)));
+    let (_, b) = run_session(Box::new(StreamBench::new(20_000, 1)));
+    assert_eq!(a.perf_counts, b.perf_counts);
+    assert_eq!(a.processed_samples, b.processed_samples);
+}
