@@ -122,6 +122,23 @@ impl<'m> Engine<'m> {
         st.counters.cycles = st.clock as u64;
     }
 
+    /// Flush the core's observer (if any): buffered profiling data (e.g. SPE
+    /// records below the aux watermark) is published immediately and any
+    /// flush cost is charged to this core's clock. Used by streaming
+    /// profilers at window boundaries.
+    pub fn flush_observer(&mut self) {
+        let st = self.st();
+        let now = st.clock as u64;
+        if let Some(obs) = st.observer.as_mut() {
+            let charge = obs.on_flush(now);
+            if charge.extra_cycles > 0 {
+                st.clock += charge.extra_cycles as f64;
+                st.counters.observer_cycles += charge.extra_cycles;
+                st.counters.cycles = st.clock as u64;
+            }
+        }
+    }
+
     /// Free a named region of the simulated address space, timestamped with
     /// this core's clock so the RSS-over-time series records the drop.
     pub fn free(&mut self, name: &str) -> bool {

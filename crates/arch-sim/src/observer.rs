@@ -47,6 +47,16 @@ pub trait OpObserver: Send {
     fn on_detach(&mut self, _now_cycles: u64) -> ObserverCharge {
         ObserverCharge::NONE
     }
+
+    /// Ask the observer to publish any internally buffered data *now*,
+    /// without detaching. A streaming profiler calls this at window
+    /// boundaries so partially accumulated data (e.g. SPE records below the
+    /// aux watermark) becomes visible to consumers mid-run, instead of only
+    /// at [`OpObserver::on_detach`]. Observers without internal buffering
+    /// keep the default no-op.
+    fn on_flush(&mut self, _now_cycles: u64) -> ObserverCharge {
+        ObserverCharge::NONE
+    }
 }
 
 /// An observer that dispatches every callback to several child observers and
@@ -100,6 +110,14 @@ impl OpObserver for FanoutObserver {
         }
         ObserverCharge::cycles(total)
     }
+
+    fn on_flush(&mut self, now_cycles: u64) -> ObserverCharge {
+        let mut total = 0u64;
+        for obs in &mut self.observers {
+            total += obs.on_flush(now_cycles).extra_cycles;
+        }
+        ObserverCharge::cycles(total)
+    }
 }
 
 /// An observer that does nothing (profiling disabled).
@@ -126,6 +144,8 @@ pub struct CountingObserver {
     pub charge_per_op: u64,
     /// Number of detach callbacks received.
     pub detaches: u64,
+    /// Number of flush callbacks received.
+    pub flushes: u64,
 }
 
 impl OpObserver for CountingObserver {
@@ -142,6 +162,11 @@ impl OpObserver for CountingObserver {
 
     fn on_detach(&mut self, _now_cycles: u64) -> ObserverCharge {
         self.detaches += 1;
+        ObserverCharge::NONE
+    }
+
+    fn on_flush(&mut self, _now_cycles: u64) -> ObserverCharge {
+        self.flushes += 1;
         ObserverCharge::NONE
     }
 }
@@ -186,5 +211,16 @@ mod tests {
         assert_eq!(c.extra_cycles, 7);
         let c = fan.on_detach(9);
         assert_eq!(c.extra_cycles, 0);
+        let c = fan.on_flush(11);
+        assert_eq!(c.extra_cycles, 0);
+    }
+
+    #[test]
+    fn flush_default_is_noop_and_counting_observer_records_it() {
+        let mut obs = CountingObserver::default();
+        assert_eq!(obs.on_flush(7), ObserverCharge::NONE);
+        assert_eq!(obs.flushes, 1);
+        let mut null = NullObserver;
+        assert_eq!(null.on_flush(7), ObserverCharge::NONE);
     }
 }

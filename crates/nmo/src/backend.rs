@@ -29,11 +29,12 @@ use perf_sub::attr::{hw_config, PerfEventAttr};
 use perf_sub::poll::PollTimeout;
 use perf_sub::records::Record;
 use perf_sub::{CountingEvent, PerfEvent};
-use spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
+use spe::packet::{decode_records, SPE_RECORD_BYTES};
 use spe::{SpeDriver, SpeStats, SpeStatsSnapshot};
 
 use crate::config::NmoConfig;
 use crate::runtime::{AddressSample, Profile};
+use crate::stream::{BatchPayload, CounterDelta, SampleBatch, StreamSource, WindowClock};
 use crate::NmoError;
 
 /// One per-core observer produced by a backend, ready to attach.
@@ -56,6 +57,12 @@ impl std::fmt::Debug for CoreObserver {
 /// the per-core observers), [`SampleBackend::stop`] after the workload
 /// finishes and observers are detached, then [`SampleBackend::fill`] to fold
 /// the backend's results into the assembled [`Profile`].
+///
+/// During a streaming session the pump thread additionally calls
+/// [`SampleBackend::drain`] periodically while the workload runs (and once
+/// more after `stop`), turning whatever accumulated since the previous call
+/// into window-stamped [`SampleBatch`]es for the event bus. Backends that
+/// only report at the end keep the default no-op.
 pub trait SampleBackend: Send {
     /// Stable backend name (used in reports and error messages).
     fn name(&self) -> &'static str;
@@ -69,6 +76,30 @@ pub trait SampleBackend: Send {
         cores: &[usize],
         config: &NmoConfig,
     ) -> Result<Vec<CoreObserver>, NmoError>;
+
+    /// Streaming hook: move everything collected since the previous call
+    /// into window-stamped batches. `clock` supplies the window arithmetic
+    /// and the producer watermark (use [`WindowClock::current`] for data
+    /// without timestamps). Data returned here must *also* be folded into
+    /// the final [`Profile`] by [`SampleBackend::fill`] — batches feed the
+    /// live pipeline, the profile stays the complete record.
+    fn drain(
+        &mut self,
+        _machine: &Machine,
+        _clock: &WindowClock,
+    ) -> Result<Vec<SampleBatch>, NmoError> {
+        Ok(Vec::new())
+    }
+
+    /// The timestamped batch producers this backend will feed once started
+    /// (queried after [`SampleBackend::start`]). The streaming pump holds
+    /// the window-close watermark until each declared source has produced —
+    /// otherwise a slow-starting producer's first delivery would land in
+    /// already-closed windows. Backends whose batches carry no timestamps
+    /// keep the default empty list.
+    fn stream_sources(&self) -> Vec<StreamSource> {
+        Vec::new()
+    }
 
     /// Stop collection and drain any remaining data. Called after the
     /// session has detached this backend's observers from the cores.
@@ -108,6 +139,11 @@ pub struct SpeBackend {
     cores: Vec<CoreSpe>,
     store: Arc<SampleStore>,
     monitor: Option<JoinHandle<()>>,
+    /// Everything already handed out through [`SampleBackend::drain`];
+    /// merged back into the profile by `fill`.
+    drained: Vec<AddressSample>,
+    /// Cumulative statistics at the previous drain (for per-drain deltas).
+    last_stats: SpeStatsSnapshot,
 }
 
 impl SpeBackend {
@@ -182,6 +218,63 @@ impl SampleBackend for SpeBackend {
         Ok(observers)
     }
 
+    fn drain(
+        &mut self,
+        machine: &Machine,
+        clock: &WindowClock,
+    ) -> Result<Vec<SampleBatch>, NmoError> {
+        if self.cores.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Push sub-watermark data out of the per-core drivers, then pull
+        // every published record through the decode pipeline ourselves (the
+        // monitor thread may also be pulling; the ring hands each record to
+        // exactly one of us).
+        for c in &self.cores {
+            let _ = machine.flush_observer(c.core);
+            drain_event(c.core, &c.event, &self.store);
+        }
+        let samples = std::mem::take(&mut *self.store.samples.lock());
+        let mut cumulative = SpeStatsSnapshot::default();
+        for c in &self.cores {
+            cumulative.merge(&c.stats.snapshot());
+        }
+        let loss = cumulative.delta(&self.last_stats);
+        self.last_stats = cumulative;
+        if samples.is_empty() && loss == SpeStatsSnapshot::default() {
+            return Ok(Vec::new());
+        }
+        self.drained.extend_from_slice(&samples);
+
+        let batch = |window, samples, loss| SampleBatch {
+            backend: "spe",
+            core: None,
+            seq: 0,
+            window,
+            payload: BatchPayload::SpeSamples { samples, loss },
+        };
+        let grouped = clock.group_by_window(samples, |s| s.time_ns);
+        if grouped.is_empty() {
+            // Loss-only drain (e.g. pure truncation): stamp with the current
+            // watermark window.
+            return Ok(vec![batch(clock.current(), Vec::new(), loss)]);
+        }
+        let last = grouped.len() - 1;
+        Ok(grouped
+            .into_iter()
+            .enumerate()
+            .map(|(i, (window, group))| {
+                // The per-drain loss delta rides on the newest batch.
+                let loss = if i == last { loss } else { SpeStatsSnapshot::default() };
+                batch(window, group, loss)
+            })
+            .collect())
+    }
+
+    fn stream_sources(&self) -> Vec<StreamSource> {
+        self.cores.iter().map(|c| ("spe", Some(c.core))).collect()
+    }
+
     fn stop(&mut self, _machine: &Machine) -> Result<(), NmoError> {
         self.shut_down().map_err(|_| NmoError::backend("spe", "monitor thread panicked"))?;
         // Final synchronous drain in case the monitor exited early.
@@ -192,7 +285,10 @@ impl SampleBackend for SpeBackend {
     }
 
     fn fill(&mut self, profile: &mut Profile) -> Result<(), NmoError> {
+        // Everything still in the store plus everything already streamed out
+        // through `drain` — together the complete sample record.
         let mut samples = std::mem::take(&mut *self.store.samples.lock());
+        samples.append(&mut self.drained);
         samples.sort_by_key(|s| s.time_ns);
 
         let mut per_core_spe = Vec::new();
@@ -250,7 +346,7 @@ pub(crate) fn monitor_loop(events: &[(usize, Arc<PerfEvent>)], store: &Arc<Sampl
 /// into address samples.
 pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<SampleStore>) {
     let (time_zero, time_shift, time_mult) = event.meta().clock();
-    while let Ok(Some(record)) = event.next_record() {
+    for record in event.drain() {
         let aux = match record {
             Record::Aux(a) => a,
             Record::ItraceStart(_) | Record::Lost(_) => continue,
@@ -265,25 +361,27 @@ pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<Sampl
         let Some(aux_buf) = event.aux() else { continue };
         let data = aux_buf.read_at(aux.aux_offset, aux.aux_size);
         let mut samples = Vec::with_capacity(data.len() / SPE_RECORD_BYTES);
-        for chunk in data.chunks_exact(SPE_RECORD_BYTES) {
-            // The NMO decode: validate the 0xb2 / 0x71 header bytes, read the
-            // 64-bit address and timestamp, skip the record otherwise.
-            match decode_nmo_fields(chunk) {
-                Some((vaddr, ticks)) => {
-                    let time_ns =
-                        TimeConv::apply_mmap_triple(ticks, time_zero, time_shift, time_mult);
-                    // Opportunistic full decode for the richer fields.
-                    let (is_store, latency, level) = match SpeRecord::decode(chunk) {
-                        Some(rec) => (rec.is_store, rec.latency, rec.level),
-                        None => (false, 0, MemLevel::L1),
-                    };
-                    samples.push(AddressSample { time_ns, vaddr, core, is_store, latency, level });
-                }
-                None => {
-                    store.skipped.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+        // The incremental NMO decode: validate the 0xb2 / 0x71 header bytes,
+        // read the 64-bit address and timestamp, count everything else as
+        // skipped (per-drain loss accounting).
+        let mut decoder = decode_records(&data);
+        for rec in decoder.by_ref() {
+            let time_ns = TimeConv::apply_mmap_triple(rec.ticks, time_zero, time_shift, time_mult);
+            // Opportunistic full decode for the richer fields.
+            let (is_store, latency, level) = match rec.full {
+                Some(full) => (full.is_store, full.latency, full.level),
+                None => (false, 0, MemLevel::L1),
+            };
+            samples.push(AddressSample {
+                time_ns,
+                vaddr: rec.vaddr,
+                core,
+                is_store,
+                latency,
+                level,
+            });
         }
+        store.skipped.fetch_add(decoder.skipped(), Ordering::Relaxed);
         store.processed.fetch_add(samples.len() as u64, Ordering::Relaxed);
         store.samples.lock().extend(samples);
     }
@@ -300,6 +398,8 @@ pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<Sampl
 #[derive(Debug, Default)]
 pub struct CounterBackend {
     events: Vec<(&'static str, Arc<CountingEvent>)>,
+    /// Counter values at the previous streaming drain.
+    last_totals: Vec<u64>,
 }
 
 impl CounterBackend {
@@ -392,6 +492,40 @@ impl SampleBackend for CounterBackend {
             .collect())
     }
 
+    fn drain(
+        &mut self,
+        _machine: &Machine,
+        clock: &WindowClock,
+    ) -> Result<Vec<SampleBatch>, NmoError> {
+        if self.events.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.last_totals.len() != self.events.len() {
+            self.last_totals = vec![0; self.events.len()];
+        }
+        let mut deltas = Vec::new();
+        for (i, (name, event)) in self.events.iter().enumerate() {
+            let total = event.read();
+            let delta = total.saturating_sub(self.last_totals[i]);
+            if delta > 0 {
+                deltas.push(CounterDelta { event: name.to_string(), delta, total });
+            }
+            self.last_totals[i] = total;
+        }
+        if deltas.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Counter reads carry no timestamps of their own; stamp with the
+        // producer watermark's current window.
+        Ok(vec![SampleBatch {
+            backend: "counters",
+            core: None,
+            seq: 0,
+            window: clock.current(),
+            payload: BatchPayload::CounterDeltas { deltas },
+        }])
+    }
+
     fn stop(&mut self, _machine: &Machine) -> Result<(), NmoError> {
         for (_, event) in &self.events {
             event.disable();
@@ -449,6 +583,107 @@ mod tests {
         assert!(profile.processed_samples > 100, "{}", profile.processed_samples);
         assert_eq!(profile.samples.len() as u64, profile.processed_samples);
         assert!(profile.spe.records_written >= profile.processed_samples);
+    }
+
+    #[test]
+    fn spe_drain_streams_batches_and_fill_keeps_the_complete_record() {
+        let machine = machine();
+        let config = NmoConfig::paper_default(100);
+        let mut backend = SpeBackend::new();
+        let observers = backend.start(&machine, &[0], &config).unwrap();
+        for co in observers {
+            machine.set_observer(co.core, co.observer).unwrap();
+        }
+        let clock = crate::stream::WindowClock::new(1_000);
+        let region = machine.alloc("data", 1 << 20).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..50_000u64 {
+                e.load(region.start + (i % 10_000) * 8, 8);
+            }
+        }
+        let _ = machine.take_observer(0).unwrap();
+
+        // Mid-run drain: batches are window-stamped, carry samples, and the
+        // per-drain loss delta rides exactly once.
+        let batches = backend.drain(&machine, &clock).unwrap();
+        assert!(!batches.is_empty());
+        let mut streamed = 0u64;
+        let mut loss_batches = 0u64;
+        let mut last_window = None;
+        for b in &batches {
+            assert_eq!(b.backend, "spe");
+            if let BatchPayload::SpeSamples { samples, loss } = &b.payload {
+                streamed += samples.len() as u64;
+                assert!(samples.iter().all(|s| b.window.contains_ns(s.time_ns)));
+                if *loss != SpeStatsSnapshot::default() {
+                    loss_batches += 1;
+                }
+            } else {
+                panic!("spe backend emits SpeSamples payloads");
+            }
+            if let Some(prev) = last_window {
+                assert!(b.window.index > prev, "batches ascend by window");
+            }
+            last_window = Some(b.window.index);
+        }
+        assert!(streamed > 0);
+        assert_eq!(loss_batches, 1, "the drain's stats delta rides on one batch");
+
+        // A second drain with no new data is empty.
+        assert!(backend.drain(&machine, &clock).unwrap().is_empty());
+
+        // fill() still assembles the complete record.
+        backend.stop(&machine).unwrap();
+        let mut profile = Profile::empty("t", config);
+        backend.fill(&mut profile).unwrap();
+        assert!(profile.processed_samples >= streamed);
+        assert_eq!(profile.samples.len() as u64, profile.processed_samples);
+        assert!(profile.samples.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
+    }
+
+    #[test]
+    fn counter_drain_emits_deltas_and_totals() {
+        let machine = machine();
+        let config = NmoConfig { enabled: true, ..NmoConfig::default() };
+        let mut backend = CounterBackend::new();
+        let observers = backend.start(&machine, &[0], &config).unwrap();
+        for co in observers {
+            machine.set_observer(co.core, co.observer).unwrap();
+        }
+        let clock = crate::stream::WindowClock::new(1_000);
+        let region = machine.alloc("data", 1 << 16).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for i in 0..1_000u64 {
+                e.load(region.start + i * 8, 8);
+            }
+        }
+        let batches = backend.drain(&machine, &clock).unwrap();
+        assert_eq!(batches.len(), 1);
+        let BatchPayload::CounterDeltas { deltas } = &batches[0].payload else {
+            panic!("counter backend emits CounterDeltas");
+        };
+        let mem = deltas.iter().find(|d| d.event == "mem_access").unwrap();
+        assert_eq!(mem.delta, 1_000);
+        assert_eq!(mem.total, 1_000);
+
+        // Incremental: the next drain reports only the new work.
+        {
+            let mut e = machine.attach(0).unwrap();
+            e.store(region.start, 8);
+        }
+        let batches = backend.drain(&machine, &clock).unwrap();
+        let BatchPayload::CounterDeltas { deltas } = &batches[0].payload else {
+            panic!("counter backend emits CounterDeltas");
+        };
+        let mem = deltas.iter().find(|d| d.event == "mem_access").unwrap();
+        assert_eq!(mem.delta, 1);
+        assert_eq!(mem.total, 1_001);
+        let _ = machine.take_observer(0).unwrap();
+        backend.stop(&machine).unwrap();
+        // Quiescent counters drain to nothing.
+        assert!(backend.drain(&machine, &clock).unwrap().is_empty());
     }
 
     #[test]

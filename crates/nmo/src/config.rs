@@ -72,8 +72,22 @@ pub struct NmoConfig {
     pub auxbuf_pages_override: Option<u64>,
     /// Minimum-latency filter in cycles (0 = keep everything).
     pub min_latency: u64,
+    /// Aux-watermark override in bytes (`NMO_AUXWATERMARK`): how much SPE
+    /// data accumulates before the kernel publishes a `PERF_RECORD_AUX`
+    /// record and wakes the monitor. `None` keeps the kernel default of
+    /// half the aux buffer. Streaming sessions set a small value (e.g. a
+    /// few KiB) so samples reach the pipeline with bounded lag; the extra
+    /// watermark interrupts are charged by the overhead model like any
+    /// others.
+    pub aux_watermark_bytes: Option<u64>,
     /// Track memory bandwidth over time.
     pub track_bandwidth: bool,
+    /// Warn (stderr) when the fraction of selected SPE samples lost to
+    /// collisions/filters/truncation exceeds this threshold
+    /// (`NMO_LOSS_WARN`; 0 disables the warning). The paper's sensitivity
+    /// study shows accuracy collapsing once loss grows, so surfacing it
+    /// loudly beats silently under-reporting.
+    pub loss_warn_threshold: f64,
     /// Overhead/cost model used by the simulated SPE driver.
     pub overhead: OverheadModel,
 }
@@ -90,7 +104,9 @@ impl Default for NmoConfig {
             auxbufsize_mib: 1,
             auxbuf_pages_override: None,
             min_latency: 0,
+            aux_watermark_bytes: None,
             track_bandwidth: true,
+            loss_warn_threshold: 0.1,
             overhead: OverheadModel::default(),
         }
     }
@@ -164,6 +180,20 @@ impl NmoConfigBuilder {
         self
     }
 
+    /// SPE data-loss warning threshold (fraction of selected samples; 0
+    /// disables the warning).
+    pub fn loss_warn_threshold(mut self, fraction: f64) -> Self {
+        self.cfg.loss_warn_threshold = fraction;
+        self
+    }
+
+    /// Aux-watermark override in bytes (streaming freshness knob; see
+    /// [`NmoConfig::aux_watermark_bytes`]).
+    pub fn aux_watermark_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.aux_watermark_bytes = Some(bytes);
+        self
+    }
+
     /// Override the SPE overhead model.
     pub fn overhead(mut self, model: OverheadModel) -> Self {
         self.cfg.overhead = model;
@@ -227,6 +257,12 @@ impl NmoConfig {
         if let Some(v) = lookup("NMO_AUXBUFSIZE") {
             cfg.auxbufsize_mib = v.trim().parse().unwrap_or(1).max(1);
         }
+        if let Some(v) = lookup("NMO_LOSS_WARN") {
+            cfg.loss_warn_threshold = v.trim().parse().unwrap_or(cfg.loss_warn_threshold).max(0.0);
+        }
+        if let Some(v) = lookup("NMO_AUXWATERMARK") {
+            cfg.aux_watermark_bytes = v.trim().parse().ok().filter(|b| *b > 0);
+        }
         cfg
     }
 
@@ -241,6 +277,7 @@ impl NmoConfig {
         spe.sample_loads = matches!(self.mode, Mode::Load | Mode::LoadStore);
         spe.sample_stores = matches!(self.mode, Mode::Store | Mode::LoadStore);
         spe.min_latency = self.min_latency;
+        spe.aux_watermark = self.aux_watermark_bytes.unwrap_or(0);
         spe
     }
 
@@ -319,6 +356,19 @@ mod tests {
     }
 
     #[test]
+    fn loss_warn_threshold_default_and_env() {
+        assert!((NmoConfig::default().loss_warn_threshold - 0.1).abs() < 1e-12);
+        let cfg = NmoConfig::from_lookup(|k| (k == "NMO_LOSS_WARN").then(|| "0.25".to_string()));
+        assert!((cfg.loss_warn_threshold - 0.25).abs() < 1e-12);
+        let cfg = NmoConfig::from_lookup(|k| (k == "NMO_LOSS_WARN").then(|| "-3".to_string()));
+        assert_eq!(cfg.loss_warn_threshold, 0.0, "negative values clamp to disabled");
+        let cfg = NmoConfig::from_lookup(|k| (k == "NMO_LOSS_WARN").then(|| "junk".to_string()));
+        assert!((cfg.loss_warn_threshold - 0.1).abs() < 1e-12);
+        let cfg = NmoConfig::builder().loss_warn_threshold(0.02).build();
+        assert!((cfg.loss_warn_threshold - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
     fn env_garbage_falls_back_to_defaults() {
         let env: HashMap<&str, &str> =
             [("NMO_ENABLE", "maybe"), ("NMO_PERIOD", "not-a-number"), ("NMO_MODE", "bogus")]
@@ -340,6 +390,18 @@ mod tests {
         assert_eq!(Mode::parse(""), Mode::None);
         assert!(Mode::LoadStore.uses_spe());
         assert!(!Mode::None.uses_spe());
+    }
+
+    #[test]
+    fn aux_watermark_override_reaches_the_spe_attr() {
+        let cfg = NmoConfig::builder().enabled(true).mode(Mode::LoadStore).period(100).build();
+        assert_eq!(cfg.spe_config().to_attr().aux_watermark, 0, "kernel default");
+        let cfg = NmoConfig { aux_watermark_bytes: Some(4096), ..cfg };
+        assert_eq!(cfg.spe_config().to_attr().aux_watermark, 4096);
+        let env = NmoConfig::from_lookup(|k| (k == "NMO_AUXWATERMARK").then(|| "8192".to_string()));
+        assert_eq!(env.aux_watermark_bytes, Some(8192));
+        let env = NmoConfig::from_lookup(|k| (k == "NMO_AUXWATERMARK").then(|| "0".to_string()));
+        assert_eq!(env.aux_watermark_bytes, None, "zero means kernel default");
     }
 
     #[test]

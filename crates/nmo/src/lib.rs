@@ -23,9 +23,16 @@
 //!   samples precise addresses with the ARM SPE model; [`backend::CounterBackend`]
 //!   aggregates `perf stat`-style hardware counters. A session can run both
 //!   at once on the same cores.
-//! * [`sink::AnalysisSink`] — pluggable analyses over the collected run.
+//! * [`sink::AnalysisSink`] — pluggable analyses over the collected data.
 //!   The three levels of the paper ship as [`sink::CapacitySink`],
-//!   [`sink::BandwidthSink`], and [`sink::RegionSink`].
+//!   [`sink::BandwidthSink`], and [`sink::RegionSink`] — all incremental
+//!   aggregators.
+//! * [`stream`] — the online data plane: backends emit window-stamped
+//!   [`stream::SampleBatch`]es onto a bounded [`stream::EventBus`] while
+//!   the workload runs ([`session::ProfileSession::run_streaming`]), sinks
+//!   consume them through streaming hooks, and
+//!   [`session::ActiveSession::poll_snapshot`] exposes a live readout —
+//!   the mode long-running services are profiled in.
 //!
 //! Configuration follows Table I of the paper ([`config::NmoConfig`], the
 //! `NMO_*` environment variables); source annotations follow the C API of
@@ -82,6 +89,7 @@ pub mod report;
 pub mod runtime;
 pub mod session;
 pub mod sink;
+pub mod stream;
 pub mod workload;
 
 pub use analysis::{accuracy, time_overhead, RunMeasurement, Sweep, SweepPoint};
@@ -90,11 +98,16 @@ pub use backend::{CoreObserver, CounterBackend, SampleBackend, SpeBackend};
 pub use bandwidth::BandwidthSeries;
 pub use capacity::CapacitySeries;
 pub use config::{Mode, NmoConfig, NmoConfigBuilder};
-pub use regions::{attribute, RegionProfile, RegionStats};
+pub use regions::{attribute, RegionAccumulator, RegionProfile, RegionStats};
 pub use runtime::{AddressSample, Profile, Profiler};
 pub use session::{ActiveSession, ProfileSession, ProfileSessionBuilder};
 pub use sink::{
     AnalysisRecord, AnalysisReport, AnalysisSink, BandwidthSink, CapacitySink, RegionSink,
+    StreamContext,
+};
+pub use stream::{
+    BackpressurePolicy, BatchPayload, BusStats, CounterDelta, EventBus, SampleBatch, StreamOptions,
+    StreamSnapshot, StreamStats, Window, WindowClock, WindowSummary,
 };
 pub use workload::{Workload, WorkloadReport};
 

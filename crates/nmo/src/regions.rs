@@ -60,72 +60,120 @@ pub struct RegionProfile {
     pub per_phase: Vec<(String, u64)>,
 }
 
-/// Attribute SPE samples to tags and phases.
-pub fn attribute(samples: &[AddressSample], tags: &[AddrTag], phases: &[Phase]) -> RegionProfile {
-    let mut scatter = Vec::with_capacity(samples.len());
-    let mut per_tag: HashMap<String, (RegionStats, std::collections::HashSet<u64>)> =
-        HashMap::new();
-    let mut per_phase: HashMap<String, u64> = HashMap::new();
-    let mut untagged = 0u64;
+/// Incremental region attribution: the windowed-merge core behind both the
+/// post-hoc [`attribute`] scan and the streaming
+/// [`crate::sink::RegionSink`].
+///
+/// Samples are ingested batch by batch (each batch attributed against the
+/// tags and phases known at ingestion time, which is how a streaming
+/// profiler avoids keeping the whole run in memory before analysing), and
+/// [`RegionAccumulator::finalize`] computes the coverage statistics that
+/// need the final tag extents.
+#[derive(Debug, Default)]
+pub struct RegionAccumulator {
+    scatter: Vec<AttributedSample>,
+    per_tag: HashMap<String, (RegionStats, std::collections::HashSet<u64>)>,
+    per_phase: HashMap<String, u64>,
+    untagged: u64,
+}
 
-    for s in samples {
-        let tag = tags.iter().rev().find(|t| t.contains(s.vaddr));
-        let phase = phases.iter().rev().find(|p| p.contains_ns(s.time_ns)).map(|p| p.name.clone());
-        if let Some(p) = &phase {
-            *per_phase.entry(p.clone()).or_insert(0) += 1;
-        }
-        match tag {
-            Some(t) => {
-                let entry = per_tag.entry(t.name.clone()).or_insert_with(|| {
-                    (
-                        RegionStats {
-                            name: t.name.clone(),
-                            samples: 0,
-                            loads: 0,
-                            stores: 0,
-                            min_addr: u64::MAX,
-                            max_addr: 0,
-                            coverage: 0.0,
-                        },
-                        std::collections::HashSet::new(),
-                    )
-                });
-                entry.0.samples += 1;
-                if s.is_store {
-                    entry.0.stores += 1;
-                } else {
-                    entry.0.loads += 1;
-                }
-                entry.0.min_addr = entry.0.min_addr.min(s.vaddr);
-                entry.0.max_addr = entry.0.max_addr.max(s.vaddr);
-                entry.1.insert(s.vaddr >> 6);
-            }
-            None => untagged += 1,
-        }
-        scatter.push(AttributedSample {
-            time_s: s.time_ns as f64 * 1e-9,
-            vaddr: s.vaddr,
-            tag: tag.map(|t| t.name.clone()),
-            phase,
-            is_store: s.is_store,
-        });
+impl RegionAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    let mut per_tag: Vec<RegionStats> = per_tag
-        .into_iter()
-        .map(|(name, (mut stats, lines))| {
-            let tag = tags.iter().find(|t| t.name == name).expect("tag exists");
-            let total_lines = (tag.len() >> 6).max(1);
-            stats.coverage = (lines.len() as f64 / total_lines as f64).min(1.0);
-            stats
-        })
-        .collect();
-    per_tag.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.name.cmp(&b.name)));
+    /// Number of samples ingested so far.
+    pub fn len(&self) -> usize {
+        self.scatter.len()
+    }
 
-    let mut per_phase: Vec<(String, u64)> = per_phase.into_iter().collect();
-    per_phase.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    /// Whether no samples have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.scatter.is_empty()
+    }
 
-    RegionProfile { scatter, per_tag, untagged_samples: untagged, per_phase }
+    /// Attribute one batch of samples against the currently known tags and
+    /// phases, merging into the running statistics.
+    pub fn ingest(&mut self, samples: &[AddressSample], tags: &[AddrTag], phases: &[Phase]) {
+        self.scatter.reserve(samples.len());
+        for s in samples {
+            let tag = tags.iter().rev().find(|t| t.contains(s.vaddr));
+            let phase =
+                phases.iter().rev().find(|p| p.contains_ns(s.time_ns)).map(|p| p.name.clone());
+            if let Some(p) = &phase {
+                *self.per_phase.entry(p.clone()).or_insert(0) += 1;
+            }
+            match tag {
+                Some(t) => {
+                    let entry = self.per_tag.entry(t.name.clone()).or_insert_with(|| {
+                        (
+                            RegionStats {
+                                name: t.name.clone(),
+                                samples: 0,
+                                loads: 0,
+                                stores: 0,
+                                min_addr: u64::MAX,
+                                max_addr: 0,
+                                coverage: 0.0,
+                            },
+                            std::collections::HashSet::new(),
+                        )
+                    });
+                    entry.0.samples += 1;
+                    if s.is_store {
+                        entry.0.stores += 1;
+                    } else {
+                        entry.0.loads += 1;
+                    }
+                    entry.0.min_addr = entry.0.min_addr.min(s.vaddr);
+                    entry.0.max_addr = entry.0.max_addr.max(s.vaddr);
+                    entry.1.insert(s.vaddr >> 6);
+                }
+                None => self.untagged += 1,
+            }
+            self.scatter.push(AttributedSample {
+                time_s: s.time_ns as f64 * 1e-9,
+                vaddr: s.vaddr,
+                tag: tag.map(|t| t.name.clone()),
+                phase,
+                is_store: s.is_store,
+            });
+        }
+    }
+
+    /// Finish: compute per-tag coverage against the final tag extents and
+    /// assemble the [`RegionProfile`]. Scatter samples keep ingestion order.
+    pub fn finalize(self, tags: &[AddrTag]) -> RegionProfile {
+        let mut per_tag: Vec<RegionStats> = self
+            .per_tag
+            .into_iter()
+            .map(|(name, (mut stats, lines))| {
+                // A tag seen during ingestion is normally still registered at
+                // the end; fall back to the sampled span if it is not.
+                let total_lines = match tags.iter().find(|t| t.name == name) {
+                    Some(tag) => (tag.len() >> 6).max(1),
+                    None => ((stats.max_addr.saturating_sub(stats.min_addr)) >> 6) + 1,
+                };
+                stats.coverage = (lines.len() as f64 / total_lines as f64).min(1.0);
+                stats
+            })
+            .collect();
+        per_tag.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.name.cmp(&b.name)));
+
+        let mut per_phase: Vec<(String, u64)> = self.per_phase.into_iter().collect();
+        per_phase.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        RegionProfile { scatter: self.scatter, per_tag, untagged_samples: self.untagged, per_phase }
+    }
+}
+
+/// Attribute SPE samples to tags and phases (the post-hoc, whole-run scan:
+/// one [`RegionAccumulator`] pass over everything).
+pub fn attribute(samples: &[AddressSample], tags: &[AddrTag], phases: &[Phase]) -> RegionProfile {
+    let mut accum = RegionAccumulator::new();
+    accum.ingest(samples, tags, phases);
+    accum.finalize(tags)
 }
 
 impl RegionProfile {
@@ -200,6 +248,33 @@ mod tests {
         assert_eq!(triad.1, 4, "samples at 150, 200, 250 and 300 fall in the phase");
         // Sample at t=2000 has no phase.
         assert!(p.scatter[3].phase.is_none());
+    }
+
+    #[test]
+    fn incremental_ingestion_matches_whole_run_scan() {
+        let samples: Vec<AddressSample> =
+            (0..200u64).map(|i| sample(i * 10 + 100, 0x1000 + (i % 0x2000), i % 3 == 0)).collect();
+        let post_hoc = attribute(&samples, &tags(), &phases());
+        let mut accum = RegionAccumulator::new();
+        for chunk in samples.chunks(17) {
+            accum.ingest(chunk, &tags(), &phases());
+        }
+        assert_eq!(accum.len(), samples.len());
+        let streamed = accum.finalize(&tags());
+        assert_eq!(streamed.per_tag, post_hoc.per_tag);
+        assert_eq!(streamed.per_phase, post_hoc.per_phase);
+        assert_eq!(streamed.untagged_samples, post_hoc.untagged_samples);
+        assert_eq!(streamed.scatter, post_hoc.scatter);
+    }
+
+    #[test]
+    fn finalize_survives_a_vanished_tag() {
+        let tag = vec![AddrTag { name: "tmp".into(), start: 0x1000, end: 0x1100 }];
+        let mut accum = RegionAccumulator::new();
+        accum.ingest(&[sample(1, 0x1000, false), sample(2, 0x1040, false)], &tag, &[]);
+        let profile = accum.finalize(&[]); // tag no longer registered
+        assert_eq!(profile.per_tag.len(), 1);
+        assert!(profile.per_tag[0].coverage > 0.0);
     }
 
     #[test]

@@ -13,14 +13,36 @@ use std::path::Path;
 
 use crate::runtime::Profile;
 
-/// Write a generic CSV file: a header row plus data rows.
+/// Quote a CSV cell per RFC 4180 when it contains a comma, a double quote,
+/// or a line break; other cells pass through unchanged.
+fn csv_cell(cell: &str) -> std::borrow::Cow<'_, str> {
+    if cell.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", cell.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(cell)
+    }
+}
+
+fn csv_row(out: &mut String, cells: impl Iterator<Item = impl AsRef<str>>) {
+    let mut first = true;
+    for cell in cells {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&csv_cell(cell.as_ref()));
+    }
+    out.push('\n');
+}
+
+/// Write a generic CSV file: a header row plus data rows. Cells containing
+/// commas, quotes, or newlines (e.g. user-supplied region names) are quoted
+/// per RFC 4180 so they cannot corrupt the row structure.
 pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     let mut out = String::new();
-    out.push_str(&header.join(","));
-    out.push('\n');
+    csv_row(&mut out, header.iter());
     for row in rows {
-        out.push_str(&row.join(","));
-        out.push('\n');
+        csv_row(&mut out, row.iter());
     }
     if let Some(parent) = path.as_ref().parent() {
         fs::create_dir_all(parent)?;
@@ -155,12 +177,14 @@ impl Profile {
         Ok(written)
     }
 
-    /// A one-paragraph text summary of the run.
+    /// A one-paragraph text summary of the run, including the SPE data-loss
+    /// fraction (paper §SPE limitations) and, for streaming runs, the
+    /// pipeline statistics.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "profile '{}' [{}]: {} samples processed ({} skipped), {} aux records, \
              elapsed {:.3} ms simulated, peak RSS {:.3} GiB, peak BW {:.1} GiB/s, \
-             collisions {}, truncated {}",
+             collisions {}, truncated {}, SPE loss {:.1}%",
             self.name,
             if self.backends.is_empty() {
                 "no backends".to_string()
@@ -175,7 +199,19 @@ impl Profile {
             self.bandwidth.peak_gib_per_s,
             self.spe.collisions,
             self.spe.truncated_records,
-        )
+            self.loss_fraction() * 100.0,
+        );
+        if let Some(stream) = &self.stream {
+            let _ = write!(
+                out,
+                ", streamed {} batches over {} windows ({} dropped, {} late)",
+                stream.batches_published,
+                stream.windows_closed,
+                stream.batches_dropped,
+                stream.late_batches,
+            );
+        }
+        out
     }
 }
 
@@ -196,6 +232,41 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,2\n3,4\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_cells_with_delimiters_are_quoted() {
+        let dir = std::env::temp_dir().join(format!("nmo_csvq_test_{}", std::process::id()));
+        let path = dir.join("q.csv");
+        write_csv(
+            &path,
+            &["tag", "n"],
+            &[
+                vec!["plain".into(), "1".into()],
+                vec!["a,b".into(), "2".into()],
+                vec!["say \"hi\"".into(), "3".into()],
+                vec!["line\nbreak".into(), "4".into()],
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "tag,n\nplain,1\n\"a,b\",2\n\"say \"\"hi\"\"\",3\n\"line\nbreak\",4\n");
+        // Every data row still parses to exactly two cells under RFC 4180.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_reports_loss_fraction() {
+        let mut profile = crate::runtime::Profile::empty("t", crate::config::NmoConfig::default());
+        profile.spe.samples_selected = 100;
+        profile.spe.records_written = 80;
+        assert!(profile.summary().contains("SPE loss 20.0%"), "{}", profile.summary());
+        profile.stream = Some(crate::stream::StreamStats {
+            windows_closed: 7,
+            batches_published: 42,
+            ..Default::default()
+        });
+        assert!(profile.summary().contains("42 batches over 7 windows"), "{}", profile.summary());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::capacity::CapacitySeries;
 use crate::config::NmoConfig;
 use crate::regions::{attribute, RegionProfile};
 use crate::sink::{default_sinks, run_sinks, AnalysisRecord};
+use crate::stream::StreamStats;
 use crate::workload::WorkloadReport;
 use crate::NmoError;
 
@@ -83,6 +84,10 @@ pub struct Profile {
     pub phases: Vec<Phase>,
     /// Report of the workload the session drove, if any.
     pub workload: Option<WorkloadReport>,
+    /// Streaming-pipeline statistics, when the run used
+    /// [`crate::session::ProfileSession::run_streaming`] (windows closed,
+    /// batches delivered/dropped, late batches).
+    pub stream: Option<StreamStats>,
     /// Simulated execution time, cycles (makespan across cores).
     pub elapsed_cycles: u64,
     /// Simulated execution time, nanoseconds.
@@ -113,6 +118,7 @@ impl Profile {
             tags: Vec::new(),
             phases: Vec::new(),
             workload: None,
+            stream: None,
             elapsed_cycles: 0,
             elapsed_ns: 0,
         }
@@ -145,6 +151,34 @@ impl Profile {
     /// aux-buffer drops flagged `PERF_AUX_FLAG_COLLISION`).
     pub fn collisions(&self) -> u64 {
         self.spe.collisions + self.spe.truncated_records
+    }
+
+    /// Fraction of selected SPE samples lost before reaching the aux buffer
+    /// (collisions + filters + truncation; paper §SPE limitations). 0.0 when
+    /// SPE did not run.
+    pub fn loss_fraction(&self) -> f64 {
+        self.spe.loss_fraction()
+    }
+}
+
+/// Emit a stderr warning when the run lost more SPE samples than the
+/// configured threshold ([`NmoConfig::loss_warn_threshold`], `NMO_LOSS_WARN`)
+/// — the accuracy-collapse regime of the paper's Figures 8–9.
+pub(crate) fn warn_on_loss(profile: &Profile) {
+    let threshold = profile.config.loss_warn_threshold;
+    let loss = profile.loss_fraction();
+    if threshold > 0.0 && profile.spe.samples_selected > 0 && loss > threshold {
+        eprintln!(
+            "[nmo] warning: profile '{}' lost {:.1}% of selected SPE samples \
+             (threshold {:.1}%): {} collisions, {} truncated of {} selected — consider a \
+             larger NMO_AUXBUFSIZE or a longer NMO_PERIOD",
+            profile.name,
+            loss * 100.0,
+            threshold * 100.0,
+            profile.spe.collisions,
+            profile.spe.truncated_records,
+            profile.spe.samples_selected,
+        );
     }
 }
 
@@ -250,6 +284,7 @@ impl<'m> Profiler<'m> {
             profile.backends = vec![self.backend.name().to_string()];
         }
         let _ = self.backend.fill(&mut profile);
+        warn_on_loss(&profile);
         let mut sinks = default_sinks(&self.config);
         let _ = run_sinks(self.machine, &mut profile, &mut sinks);
         profile

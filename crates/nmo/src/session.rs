@@ -22,8 +22,25 @@
 //! For callers that drive the machine directly (attaching engines from their
 //! own threads), [`ProfileSession::start`] returns an [`ActiveSession`]
 //! handle whose [`ActiveSession::finish`] assembles the [`Profile`].
+//!
+//! ## Streaming
+//!
+//! [`ProfileSession::run_streaming`] (and the manual
+//! [`ProfileSession::start_streaming`]) turn the session into an online
+//! pipeline: a *pump* thread periodically drains every backend into
+//! window-stamped [`crate::stream::SampleBatch`]es on a bounded
+//! [`crate::stream::EventBus`], and a *consumer* thread feeds them to the
+//! sinks' streaming hooks as the workload runs. [`ActiveSession::poll_snapshot`]
+//! exposes a live readout ([`StreamSnapshot`]) while collection is active —
+//! the mode a long-running service is profiled in, where waiting for the
+//! workload to exit is not an option.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use arch_sim::{FanoutObserver, Machine, MachineConfig, OpObserver};
 
@@ -31,7 +48,11 @@ use crate::annotate::Annotations;
 use crate::backend::{CounterBackend, SampleBackend, SpeBackend};
 use crate::config::NmoConfig;
 use crate::runtime::Profile;
-use crate::sink::{default_sinks, run_sinks, AnalysisSink};
+use crate::sink::{default_sinks, run_sinks, AnalysisSink, StreamContext};
+use crate::stream::{
+    BatchPayload, BusEvent, BusRecv, EventBus, SampleBatch, SnapshotState, StreamOptions,
+    StreamSnapshot, StreamStats, WindowClock,
+};
 use crate::workload::Workload;
 use crate::NmoError;
 
@@ -45,6 +66,7 @@ pub struct ProfileSessionBuilder {
     workload: Option<Box<dyn Workload>>,
     default_backends: bool,
     default_sinks: bool,
+    stream_options: StreamOptions,
 }
 
 impl Default for ProfileSessionBuilder {
@@ -58,6 +80,7 @@ impl Default for ProfileSessionBuilder {
             workload: None,
             default_backends: true,
             default_sinks: true,
+            stream_options: StreamOptions::default(),
         }
     }
 }
@@ -144,6 +167,15 @@ impl ProfileSessionBuilder {
         self
     }
 
+    /// Tune the streaming pipeline (window width, bus capacity, pump
+    /// interval, backpressure policy) used by
+    /// [`ProfileSession::run_streaming`] /
+    /// [`ProfileSession::start_streaming`].
+    pub fn stream_options(mut self, options: StreamOptions) -> Self {
+        self.stream_options = options;
+        self
+    }
+
     /// Validate the configuration and construct the session (including its
     /// simulated machine).
     pub fn build(mut self) -> Result<ProfileSession, NmoError> {
@@ -173,13 +205,14 @@ impl ProfileSessionBuilder {
             self.sinks = default_sinks(&self.config);
         }
         Ok(ProfileSession {
-            machine: Machine::new(self.machine_config),
+            machine: Arc::new(Machine::new(self.machine_config)),
             config: self.config,
             cores: self.cores,
             annotations: Arc::new(Annotations::new()),
             backends: self.backends,
             sinks: self.sinks,
             workload: self.workload,
+            stream_options: self.stream_options,
         })
     }
 }
@@ -189,13 +222,14 @@ impl ProfileSessionBuilder {
 /// The session owns the simulated machine; access it with
 /// [`ProfileSession::machine`] for allocations or manual engine attachment.
 pub struct ProfileSession {
-    machine: Machine,
+    machine: Arc<Machine>,
     config: NmoConfig,
     cores: Vec<usize>,
     annotations: Arc<Annotations>,
     backends: Vec<Box<dyn SampleBackend>>,
     sinks: Vec<Box<dyn AnalysisSink>>,
     workload: Option<Box<dyn Workload>>,
+    stream_options: StreamOptions,
 }
 
 impl std::fmt::Debug for ProfileSession {
@@ -269,6 +303,85 @@ impl ProfileSession {
         active.finish()
     }
 
+    /// [`ProfileSession::run`], but through the online pipeline: backends
+    /// stream window-stamped batches onto the event bus while the workload
+    /// runs, sinks aggregate them incrementally, and the final [`Profile`]
+    /// records the pipeline statistics in [`Profile::stream`]. The final
+    /// capacity/bandwidth/region reports are equivalent to the post-hoc
+    /// path's (same data, merged windowed instead of scanned whole).
+    pub fn run_streaming(mut self) -> Result<Profile, NmoError> {
+        let mut workload = self.workload.take().ok_or_else(|| {
+            NmoError::Config(
+                "ProfileSession::run_streaming requires a workload; use start_streaming + \
+                 manual engines otherwise"
+                    .into(),
+            )
+        })?;
+        workload.setup(&self.machine, &self.annotations)?;
+        let active = self.start_streaming()?;
+        let report = workload.run(active.machine(), active.annotations_ref(), active.cores())?;
+        if !workload.verify() {
+            return Err(NmoError::Workload(format!(
+                "workload '{}' failed verification",
+                workload.name()
+            )));
+        }
+        let mut profile = active.finish()?;
+        profile.workload = Some(report);
+        Ok(profile)
+    }
+
+    /// Drive a closure through the streaming pipeline (the
+    /// [`ProfileSession::run_with`] analogue of
+    /// [`ProfileSession::run_streaming`]).
+    pub fn run_streaming_with<F>(self, body: F) -> Result<Profile, NmoError>
+    where
+        F: FnOnce(&Machine, &Annotations, &[usize]) -> Result<(), NmoError>,
+    {
+        let active = self.start_streaming()?;
+        body(active.machine(), active.annotations_ref(), active.cores())?;
+        active.finish()
+    }
+
+    /// Start collection with streaming delivery and return the active
+    /// handle. The caller attaches engines itself (or drives a workload),
+    /// polls [`ActiveSession::poll_snapshot`] for live readout, and calls
+    /// [`ActiveSession::finish`] when done.
+    pub fn start_streaming(self) -> Result<ActiveSession, NmoError> {
+        let opts = self.stream_options.clone();
+        let mut active = self.start()?;
+        let backends = std::mem::take(&mut active.session.backends);
+        let sinks = std::mem::take(&mut active.session.sinks);
+        // Remember the backend names now — `fill` runs after the pump hands
+        // the backends back, but the name list must survive a pump failure.
+        active.backend_names = backends.iter().map(|b| b.name().to_string()).collect();
+
+        let bus = EventBus::bounded(opts.bus_capacity, opts.backpressure);
+        let stop = Arc::new(AtomicBool::new(false));
+        let snapshot = Arc::new(Mutex::new(SnapshotState::default()));
+        let machine_cfg = active.session.machine.config();
+        let ctx = StreamContext {
+            annotations: active.session.annotations.clone(),
+            capacity_bytes: machine_cfg.dram.capacity_bytes,
+            bucket_ns: machine_cfg.cycles_to_ns(machine_cfg.bandwidth_bucket_cycles).max(1),
+        };
+
+        let pump = {
+            let machine = active.session.machine.clone();
+            let bus = bus.clone();
+            let stop = stop.clone();
+            let opts = opts.clone();
+            std::thread::spawn(move || pump_loop(machine, backends, bus, stop, opts))
+        };
+        let consumer = {
+            let bus = bus.clone();
+            let snapshot = snapshot.clone();
+            std::thread::spawn(move || consumer_loop(sinks, bus, snapshot, ctx))
+        };
+        active.streaming = Some(StreamingState { bus, stop, snapshot, pump, consumer });
+        Ok(active)
+    }
+
     /// Start collection manually and return the active handle. Use this when
     /// the caller attaches engines itself; call [`ActiveSession::finish`]
     /// when the work is done.
@@ -299,14 +412,34 @@ impl ProfileSession {
             self.machine.set_observer(core, observer).map_err(NmoError::Sim)?;
             attached.push(core);
         }
-        Ok(ActiveSession { session: self, attached })
+        Ok(ActiveSession {
+            backend_names: self.backends.iter().map(|b| b.name().to_string()).collect(),
+            session: self,
+            attached,
+            streaming: None,
+        })
     }
+}
+
+/// What the pump thread returns on join: the backends it borrowed for the
+/// run, plus the first error any of their drain/stop calls produced.
+type PumpOutcome = (Vec<Box<dyn SampleBackend>>, Result<(), NmoError>);
+
+/// The threads and shared state of a streaming session.
+struct StreamingState {
+    bus: Arc<EventBus>,
+    stop: Arc<AtomicBool>,
+    snapshot: Arc<Mutex<SnapshotState>>,
+    pump: JoinHandle<PumpOutcome>,
+    consumer: JoinHandle<Vec<Box<dyn AnalysisSink>>>,
 }
 
 /// A session that is actively collecting.
 pub struct ActiveSession {
     session: ProfileSession,
     attached: Vec<usize>,
+    backend_names: Vec<String>,
+    streaming: Option<StreamingState>,
 }
 
 impl std::fmt::Debug for ActiveSession {
@@ -354,6 +487,13 @@ impl ActiveSession {
         self.session.annotations.stop(now_ns);
     }
 
+    /// Live readout of a streaming session: the windows seen and closed so
+    /// far, sample/batch counts, counter totals, and bus accounting.
+    /// Returns `None` on a non-streaming session.
+    pub fn poll_snapshot(&self) -> Option<StreamSnapshot> {
+        self.streaming.as_ref().map(|s| s.snapshot.lock().snapshot(s.bus.stats()))
+    }
+
     /// Stop collection, drain the backends, run the sinks, and assemble the
     /// [`Profile`].
     pub fn finish(mut self) -> Result<Profile, NmoError> {
@@ -363,20 +503,338 @@ impl ActiveSession {
             // engine detached.
             let _ = self.session.machine.take_observer(core);
         }
-        for backend in &mut self.session.backends {
-            backend.stop(&self.session.machine)?;
+
+        let mut stream_stats = None;
+        match self.streaming.take() {
+            Some(streaming) => {
+                // The pump stops the backends itself (monitor joins + final
+                // drain), publishes the remainder, closes every window, and
+                // closes the bus — which lets the consumer exit.
+                streaming.stop.store(true, Ordering::Release);
+                let pump_outcome = streaming.pump.join();
+                if pump_outcome.is_err() {
+                    // The pump died before its own bus.close(); close it here
+                    // so the consumer (joined below) can exit instead of
+                    // polling an open, silent bus forever.
+                    streaming.bus.close();
+                }
+                let (backends, pump_result) = match pump_outcome {
+                    Ok(outcome) => outcome,
+                    Err(_) => {
+                        let _ = streaming.consumer.join();
+                        return Err(NmoError::backend("stream-pump", "pump thread panicked"));
+                    }
+                };
+                self.session.backends = backends;
+                let sinks = streaming
+                    .consumer
+                    .join()
+                    .map_err(|_| NmoError::sink("stream-consumer", "consumer thread panicked"))?;
+                self.session.sinks = sinks;
+                pump_result?;
+                let state = streaming.snapshot.lock();
+                let bus = streaming.bus.stats();
+                stream_stats = Some(StreamStats {
+                    windows_closed: state.windows_closed,
+                    batches_published: state.batches,
+                    batches_dropped: bus.dropped_batches,
+                    items_dropped: bus.dropped_items,
+                    late_batches: state.late_batches,
+                    bus_high_watermark: bus.high_watermark,
+                });
+            }
+            None => {
+                for backend in &mut self.session.backends {
+                    backend.stop(&self.session.machine)?;
+                }
+            }
         }
+
         let mut profile = crate::runtime::base_profile(
             &self.session.machine,
             &self.session.config,
             &self.session.annotations,
         );
-        profile.backends = self.session.backends.iter().map(|b| b.name().to_string()).collect();
+        profile.backends = self.backend_names.clone();
+        profile.stream = stream_stats;
         for backend in &mut self.session.backends {
             backend.fill(&mut profile)?;
         }
+        crate::runtime::warn_on_loss(&profile);
         run_sinks(&self.session.machine, &mut profile, &mut self.session.sinks)?;
         Ok(profile)
+    }
+}
+
+/// Abandoning an active streaming session (e.g. a workload error unwinding
+/// past `finish`) must not leave the pump and consumer threads spinning:
+/// signal them to stop and close the bus so both exit; the backends close
+/// their perf events when the pump drops them.
+impl Drop for ActiveSession {
+    fn drop(&mut self) {
+        if let Some(streaming) = self.streaming.take() {
+            streaming.stop.store(true, Ordering::Release);
+            streaming.bus.close();
+        }
+    }
+}
+
+/// The producer side of a streaming session: periodically drain every
+/// backend (plus the machine-level RSS/bandwidth probes) into window-stamped
+/// batches, advance the watermark, and close completed windows. On stop:
+/// stop the backends (joining the SPE monitor), publish the final remainder,
+/// close every open window, and close the bus.
+/// Producer-side bookkeeping of the pump: sequence numbers, the window
+/// clock, the set of windows awaiting closure, and a per-source watermark
+/// (a window only closes once every recently active, timestamp-carrying
+/// source has moved past it — e.g. the SPE aux watermark publishes in
+/// bursts that lag the RSS probe, and closing on the global maximum alone
+/// would make every SPE burst arrive late).
+struct PumpState {
+    clock: WindowClock,
+    seq: u64,
+    open_windows: std::collections::BTreeSet<u64>,
+    closed_below: u64,
+    /// Per-source `(watermark_ns, last tick the source produced)`. SPE
+    /// samples are tracked per *core* — each core's aux buffer publishes at
+    /// its own cadence, so the slowest core bounds what may close.
+    sources: std::collections::BTreeMap<(&'static str, Option<usize>), (u64, u64)>,
+    tick: u64,
+}
+
+/// A source that has been quiet for this many pump ticks stops holding the
+/// close watermark back (it is presumed done, not lagging — e.g. the RSS
+/// probe after the allocation phase, or an SPE core whose thread exited).
+/// At the default 200 µs pump interval this is a 50 ms wall-clock grace —
+/// comfortably above one aux-watermark publication interval.
+const SOURCE_IDLE_TICKS: u64 = 250;
+
+impl PumpState {
+    fn mark_source(&mut self, key: (&'static str, Option<usize>), t_ns: u64) {
+        let entry = self.sources.entry(key).or_insert((0, self.tick));
+        entry.0 = entry.0.max(t_ns);
+        entry.1 = self.tick;
+    }
+
+    fn publish(&mut self, mut batch: SampleBatch, bus: &EventBus) {
+        batch.seq = self.seq;
+        self.seq += 1;
+        if let Some(t) = batch.max_time_ns() {
+            self.clock.observe(t);
+            if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+                let mut per_core: std::collections::BTreeMap<usize, u64> =
+                    std::collections::BTreeMap::new();
+                for s in samples {
+                    let max = per_core.entry(s.core).or_insert(0);
+                    *max = (*max).max(s.time_ns);
+                }
+                for (core, max) in per_core {
+                    self.mark_source((batch.backend, Some(core)), max);
+                }
+            } else {
+                self.mark_source((batch.backend, None), t);
+            }
+        }
+        if batch.window.index >= self.closed_below {
+            self.open_windows.insert(batch.window.index);
+        }
+        bus.publish(BusEvent::Batch(batch));
+    }
+
+    /// The window index below which every active source has delivered.
+    fn close_threshold(&self) -> u64 {
+        let active_min = self
+            .sources
+            .values()
+            .filter(|(_, last_tick)| self.tick.saturating_sub(*last_tick) < SOURCE_IDLE_TICKS)
+            .map(|(watermark, _)| self.clock.index_of(*watermark))
+            .min();
+        active_min.unwrap_or_else(|| self.clock.index_of(self.clock.watermark_ns()))
+    }
+
+    fn close_ready_windows(&mut self, bus: &EventBus) {
+        let threshold = self.close_threshold();
+        while let Some(&index) = self.open_windows.iter().next() {
+            if index >= threshold {
+                break;
+            }
+            self.open_windows.remove(&index);
+            bus.publish(BusEvent::CloseWindow(self.clock.window(index)));
+            self.closed_below = self.closed_below.max(index + 1);
+        }
+    }
+}
+
+fn pump_loop(
+    machine: Arc<Machine>,
+    mut backends: Vec<Box<dyn SampleBackend>>,
+    bus: Arc<EventBus>,
+    stop: Arc<AtomicBool>,
+    opts: StreamOptions,
+) -> PumpOutcome {
+    let mut state = PumpState {
+        clock: WindowClock::new(opts.window_ns),
+        seq: 0,
+        open_windows: std::collections::BTreeSet::new(),
+        closed_below: 0,
+        sources: std::collections::BTreeMap::new(),
+        tick: 0,
+    };
+    // Seed the watermark with every declared producer so nothing closes
+    // until each has delivered its first data (or sat out the idle grace).
+    for backend in &backends {
+        for source in backend.stream_sources() {
+            state.sources.insert(source, (0, 0));
+        }
+    }
+    let mut rss_cursor = 0usize;
+    let mut result: Result<(), NmoError> = Ok(());
+
+    loop {
+        state.tick += 1;
+        let stopping = stop.load(Ordering::Acquire);
+        if stopping {
+            // Observers are detached by now; join the SPE monitor and run
+            // the backends' final synchronous drains into their stores, so
+            // the drain below sees everything.
+            for backend in &mut backends {
+                if let Err(e) = backend.stop(&machine) {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+            }
+        }
+        // Observer flushing is each backend's own job inside `drain` (the
+        // SPE backend nudges its idle cores there); busy cores publish on
+        // the aux watermark, or the workload thread calls
+        // `Engine::flush_observer` itself.
+
+        for backend in &mut backends {
+            match backend.drain(&machine, &state.clock) {
+                Ok(batches) => {
+                    for batch in batches {
+                        state.publish(batch, &bus);
+                    }
+                }
+                Err(e) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+            }
+        }
+
+        // Machine probe: new RSS step events since the previous tick.
+        let fresh = machine.rss_events_since(rss_cursor);
+        if !fresh.is_empty() {
+            rss_cursor += fresh.len();
+            for (window, points) in state.clock.group_by_window(fresh, |p| p.time_ns) {
+                state.publish(
+                    SampleBatch {
+                        backend: "machine",
+                        core: None,
+                        seq: 0,
+                        window,
+                        payload: BatchPayload::Rss { points },
+                    },
+                    &bus,
+                );
+            }
+        }
+
+        if stopping {
+            // Bandwidth buckets only become readable once the workload's
+            // engines have returned their cores; deliver the full series as
+            // the final tick, one batch per window.
+            let bw = machine.bandwidth_series();
+            for (window, points) in state.clock.group_by_window(bw, |p| p.time_ns) {
+                state.publish(
+                    SampleBatch {
+                        backend: "machine",
+                        core: None,
+                        seq: 0,
+                        window,
+                        payload: BatchPayload::Bandwidth { points },
+                    },
+                    &bus,
+                );
+            }
+            for index in std::mem::take(&mut state.open_windows) {
+                bus.publish(BusEvent::CloseWindow(state.clock.window(index)));
+            }
+            bus.close();
+            return (backends, result);
+        }
+
+        // Close every open window every active producer has moved past —
+        // those can no longer receive on-time data.
+        state.close_ready_windows(&bus);
+
+        std::thread::sleep(opts.poll_interval);
+    }
+}
+
+/// The consumer side of a streaming session: deliver bus events to the
+/// sinks' streaming hooks (in bus order) and keep the shared snapshot state
+/// current for [`ActiveSession::poll_snapshot`].
+///
+/// A panicking sink must not kill the thread outright: under
+/// [`crate::stream::BackpressurePolicy::Block`] a dead consumer would leave
+/// the pump wedged in `publish` forever (and `finish` wedged joining it).
+/// Instead the panic is caught, the loop keeps draining (discarding) until
+/// the bus closes, and the panic is rethrown so the join in
+/// [`ActiveSession::finish`] surfaces it as an error.
+fn consumer_loop(
+    mut sinks: Vec<Box<dyn AnalysisSink>>,
+    bus: Arc<EventBus>,
+    snapshot: Arc<Mutex<SnapshotState>>,
+    ctx: StreamContext,
+) -> Vec<Box<dyn AnalysisSink>> {
+    let mut panic_payload = None;
+    let dispatch = |sinks: &mut Vec<Box<dyn AnalysisSink>>,
+                    event: &BusEvent,
+                    panic_payload: &mut Option<Box<dyn std::any::Any + Send>>| {
+        if panic_payload.is_some() {
+            return;
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for sink in sinks.iter_mut() {
+                match event {
+                    BusEvent::Batch(batch) => sink.on_batch(batch),
+                    BusEvent::CloseWindow(window) => sink.on_window_close(*window),
+                }
+            }
+        }));
+        if let Err(payload) = result {
+            *panic_payload = Some(payload);
+        }
+    };
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for sink in &mut sinks {
+            sink.on_stream_start(&ctx);
+        }
+    })) {
+        panic_payload = Some(payload);
+    }
+    loop {
+        match bus.recv_timeout(Duration::from_millis(100)) {
+            BusRecv::Event(event) => {
+                {
+                    let mut snap = snapshot.lock();
+                    match &event {
+                        BusEvent::Batch(batch) => snap.record_batch(batch),
+                        BusEvent::CloseWindow(window) => snap.record_close(*window),
+                    }
+                }
+                dispatch(&mut sinks, &event, &mut panic_payload);
+            }
+            BusRecv::TimedOut => {}
+            BusRecv::Closed => match panic_payload {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => return sinks,
+            },
+        }
     }
 }
 
@@ -462,7 +920,7 @@ mod tests {
             .machine_config(MachineConfig::small_test())
             .config(NmoConfig::paper_default(100))
             .threads(1)
-            .sink(crate::sink::RegionSink)
+            .sink(crate::sink::RegionSink::default())
             .build()
             .unwrap();
         let profile = session.run_with(stream_like).unwrap();
@@ -527,7 +985,7 @@ mod tests {
             .config(NmoConfig::paper_default(100))
             .threads(1)
             .backend(CounterBackend::new())
-            .sink(crate::sink::BandwidthSink)
+            .sink(crate::sink::BandwidthSink::default())
             .build()
             .unwrap();
         let profile = session.run_with(stream_like).unwrap();
@@ -535,6 +993,112 @@ mod tests {
         assert_eq!(profile.processed_samples, 0, "no SPE backend registered");
         assert_eq!(profile.analyses.len(), 1);
         assert!(profile.capacity.points.is_empty(), "no capacity sink registered");
+    }
+
+    #[test]
+    fn streaming_closure_run_matches_post_hoc_exactly_single_threaded() {
+        // One thread → fully deterministic simulation, so the streaming
+        // pipeline's windowed merge must reproduce the post-hoc scan exactly.
+        let build = || {
+            ProfileSession::builder()
+                .machine_config(MachineConfig::small_test())
+                .config(NmoConfig::paper_default(100))
+                .threads(1)
+                .sink(crate::sink::CapacitySink::default())
+                .sink(crate::sink::BandwidthSink::default())
+                .sink(crate::sink::RegionSink::default())
+                .build()
+                .unwrap()
+        };
+        let post_hoc = build().run_with(stream_like).unwrap();
+        let streamed = build().run_streaming_with(stream_like).unwrap();
+
+        assert_eq!(streamed.processed_samples, post_hoc.processed_samples);
+        assert_eq!(streamed.samples, post_hoc.samples);
+        assert_eq!(streamed.capacity, post_hoc.capacity);
+        assert_eq!(streamed.bandwidth, post_hoc.bandwidth);
+        let (r_s, r_p) = (streamed.regions(), post_hoc.regions());
+        assert_eq!(r_s.per_tag, r_p.per_tag);
+        assert_eq!(r_s.untagged_samples, r_p.untagged_samples);
+        assert_eq!(r_s.per_phase, r_p.per_phase);
+
+        assert!(post_hoc.stream.is_none());
+        let stats = streamed.stream.expect("streaming run records pipeline stats");
+        assert!(stats.batches_published > 0, "{stats:?}");
+        assert!(stats.windows_closed > 0, "{stats:?}");
+        assert_eq!(stats.batches_dropped, 0, "default bus must not drop: {stats:?}");
+    }
+
+    #[test]
+    fn streaming_without_workload_is_a_config_error() {
+        let err = small_session(100, 1).run_streaming().unwrap_err();
+        assert!(matches!(err, NmoError::Config(_)), "{err}");
+    }
+
+    /// A sink that panics mid-stream must surface as an error, not wedge the
+    /// session: under `Block` backpressure a dead consumer would otherwise
+    /// leave the pump stuck in `publish` and `finish` stuck joining it.
+    #[test]
+    fn panicking_sink_surfaces_as_error_not_deadlock() {
+        struct PanickingSink;
+        impl crate::sink::AnalysisSink for PanickingSink {
+            fn name(&self) -> &'static str {
+                "boom"
+            }
+            fn analyze(
+                &mut self,
+                _machine: &Machine,
+                _profile: &Profile,
+            ) -> Result<crate::sink::AnalysisReport, NmoError> {
+                Ok(crate::sink::AnalysisReport::Text(String::new()))
+            }
+            fn on_batch(&mut self, _batch: &SampleBatch) {
+                panic!("sink exploded");
+            }
+        }
+        let session = ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(NmoConfig::paper_default(100))
+            .threads(1)
+            .sink(PanickingSink)
+            .stream_options(crate::stream::StreamOptions {
+                bus_capacity: 2,
+                backpressure: crate::stream::BackpressurePolicy::Block,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let err = session.run_streaming_with(stream_like).unwrap_err();
+        assert!(matches!(err, NmoError::Sink { .. }), "{err}");
+    }
+
+    #[test]
+    fn poll_snapshot_is_none_without_streaming_and_live_with_it() {
+        let active = small_session(100, 1).start().unwrap();
+        assert!(active.poll_snapshot().is_none());
+        drop(active.finish().unwrap());
+
+        let active = small_session(100, 1).start_streaming().unwrap();
+        let region = active.machine().alloc("data", 1 << 20).unwrap();
+        active.tag_addr("data", region.start, region.end());
+        {
+            let mut e = active.machine().attach(0).unwrap();
+            for i in 0..50_000u64 {
+                e.load(region.start + (i % 10_000) * 8, 8);
+            }
+        }
+        // Give the pump a few ticks to drain the detached core.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let snap = active.poll_snapshot().expect("streaming session has snapshots");
+            if snap.spe_samples > 0 || std::time::Instant::now() > deadline {
+                assert!(snap.spe_samples > 0, "pump never delivered: {snap:?}");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let profile = active.finish().unwrap();
+        assert!(profile.processed_samples > 0);
     }
 
     #[test]

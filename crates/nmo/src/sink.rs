@@ -3,19 +3,44 @@
 //! The paper's three profiling levels — temporal capacity, temporal
 //! bandwidth, and memory-region attribution — are implemented as
 //! [`AnalysisSink`]s registered on a [`crate::session::ProfileSession`]
-//! instead of hard-wired steps of the runtime. After the workload finishes
-//! and the backends have filled in the raw run data, the session invokes
-//! every registered sink and records its [`AnalysisReport`] on the
-//! [`Profile`]; the standard capacity/bandwidth reports are additionally
-//! mirrored into the corresponding [`Profile`] fields so existing consumers
-//! keep working.
+//! instead of hard-wired steps of the runtime.
+//!
+//! Sinks consume data in one of two ways:
+//!
+//! * **Streaming** (the primary path): during a
+//!   [`crate::session::ProfileSession::run_streaming`] run the consumer
+//!   thread feeds every [`SampleBatch`] to [`AnalysisSink::on_batch`] and
+//!   signals completed windows via [`AnalysisSink::on_window_close`]; at the
+//!   end [`AnalysisSink::finish`] assembles the report from the
+//!   incrementally merged state.
+//! * **Post-hoc** (the compatibility adapter): a plain
+//!   [`crate::session::ProfileSession::run`] delivers no batches, so the
+//!   default [`AnalysisSink::finish`] implementation falls back to
+//!   [`AnalysisSink::analyze`] over the completed [`Profile`]. Existing
+//!   sinks that only implement `analyze` therefore keep working unchanged
+//!   on both paths.
+//!
+//! The three shipped sinks are incremental aggregators: capacity merges RSS
+//! tick batches, bandwidth merges per-bucket traffic deltas, and regions
+//! attributes each window's samples as it closes — a windowed merge instead
+//! of a deferred whole-run scan, so analysis work is spread over the run
+//! and live readouts stay current. Note that the *retained data* is not yet
+//! bounded: the final [`Profile`] still records every decoded sample (and
+//! the region scatter keeps one attributed point per sample), so memory
+//! grows with run length just as on the post-hoc path; eviction/downsampling
+//! policies for indefinitely long runs are future work.
 
-use arch_sim::Machine;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use arch_sim::{Machine, RssPoint};
+
+use crate::annotate::Annotations;
 use crate::bandwidth::BandwidthSeries;
 use crate::capacity::CapacitySeries;
-use crate::regions::{attribute, RegionProfile};
+use crate::regions::{attribute, RegionAccumulator, RegionProfile};
 use crate::runtime::Profile;
+use crate::stream::{BatchPayload, SampleBatch, Window};
 use crate::NmoError;
 
 /// The output of one analysis sink.
@@ -52,26 +77,81 @@ pub struct AnalysisRecord {
     pub report: AnalysisReport,
 }
 
-/// A pluggable analysis over a completed profiling run.
+/// Context handed to sinks when a streaming session starts. (Per-window
+/// geometry travels on each batch's [`Window`], so it is not repeated here.)
+#[derive(Debug, Clone)]
+pub struct StreamContext {
+    /// The session's annotation registry (tags/phases grow during the run).
+    pub annotations: Arc<Annotations>,
+    /// Machine DRAM capacity in bytes (for utilisation figures).
+    pub capacity_bytes: u64,
+    /// Width of one bandwidth bucket, simulated nanoseconds.
+    pub bucket_ns: u64,
+}
+
+/// A pluggable analysis over a profiling run.
+///
+/// Only [`AnalysisSink::name`] and [`AnalysisSink::analyze`] are required;
+/// the streaming hooks default to no-ops and [`AnalysisSink::finish`]
+/// defaults to the post-hoc `analyze` adapter, so pre-streaming sinks keep
+/// compiling and behave exactly as before.
 pub trait AnalysisSink: Send {
     /// Stable sink name (used in reports and error messages).
     fn name(&self) -> &'static str;
 
-    /// Produce this sink's analysis of the (backend-filled) profile.
+    /// Post-hoc analysis over the (backend-filled) profile. Also the
+    /// fallback behaviour of [`AnalysisSink::finish`] when no batches were
+    /// streamed.
     fn analyze(&mut self, machine: &Machine, profile: &Profile)
         -> Result<AnalysisReport, NmoError>;
+
+    /// Streaming: a session with streaming delivery is starting. Sinks that
+    /// aggregate incrementally latch the context here.
+    fn on_stream_start(&mut self, _ctx: &StreamContext) {}
+
+    /// Streaming: one window-stamped batch arrived. Called from the
+    /// session's consumer thread, in bus order.
+    fn on_batch(&mut self, _batch: &SampleBatch) {}
+
+    /// Streaming: the producer watermark passed `window`; no further
+    /// on-time data will arrive for it (late batches are still delivered
+    /// through [`AnalysisSink::on_batch`] and counted by the session).
+    fn on_window_close(&mut self, _window: Window) {}
+
+    /// Produce the final report. The default adapter re-expresses the
+    /// historical post-hoc path: it simply calls
+    /// [`AnalysisSink::analyze`]. Streaming sinks override this to emit the
+    /// incrementally merged result instead.
+    fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
+        self.analyze(machine, profile)
+    }
 }
 
 /// Level 1: temporal capacity usage (paper Section VI-A, Figure 2).
-#[derive(Debug, Clone, Copy)]
+///
+/// Streaming: merges the RSS tick batches into a step-event list and
+/// resamples at [`AnalysisSink::finish`]; post-hoc: scans the machine's
+/// recorded RSS series.
+#[derive(Debug, Clone)]
 pub struct CapacitySink {
     /// Number of evenly spaced output samples.
     pub buckets: usize,
+    events: Vec<RssPoint>,
+    /// DRAM capacity latched from the stream context; `None` until
+    /// streaming starts (the post-hoc marker).
+    capacity_bytes: Option<u64>,
+}
+
+impl CapacitySink {
+    /// A capacity sink emitting `buckets` evenly spaced samples.
+    pub fn new(buckets: usize) -> Self {
+        CapacitySink { buckets, events: Vec::new(), capacity_bytes: None }
+    }
 }
 
 impl Default for CapacitySink {
     fn default() -> Self {
-        CapacitySink { buckets: 200 }
+        CapacitySink::new(200)
     }
 }
 
@@ -92,11 +172,54 @@ impl AnalysisSink for CapacitySink {
             self.buckets,
         )))
     }
+
+    fn on_stream_start(&mut self, ctx: &StreamContext) {
+        self.capacity_bytes = Some(ctx.capacity_bytes);
+    }
+
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::Rss { points } = &batch.payload {
+            self.events.extend_from_slice(points);
+        }
+    }
+
+    fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
+        let Some(capacity_bytes) = self.capacity_bytes else {
+            return self.analyze(machine, profile);
+        };
+        let mut events = std::mem::take(&mut self.events);
+        events.sort_by_key(|e| e.time_ns);
+        Ok(AnalysisReport::Capacity(CapacitySeries::from_events(
+            &events,
+            profile.elapsed_ns,
+            capacity_bytes,
+            self.buckets,
+        )))
+    }
 }
 
 /// Level 2: temporal bandwidth usage (paper Section VI-B, Figure 3).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BandwidthSink;
+///
+/// Streaming: merges bandwidth tick batches per bucket (deliveries for the
+/// same bucket sum their bytes — the windowed merge); post-hoc: scans the
+/// machine's aggregated bucket series.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthSink {
+    /// Merged bus bytes per bucket *index* (points are binned to the bucket
+    /// containing their timestamp, so unaligned deliveries cannot fall
+    /// between buckets).
+    merged: BTreeMap<u64, u64>,
+    /// Bucket width latched from the stream context; `None` until streaming
+    /// starts (the post-hoc marker).
+    bucket_ns: Option<u64>,
+}
+
+impl BandwidthSink {
+    /// A fresh bandwidth sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl AnalysisSink for BandwidthSink {
     fn name(&self) -> &'static str {
@@ -113,11 +236,69 @@ impl AnalysisSink for BandwidthSink {
             profile.counters.flops,
         )))
     }
+
+    fn on_stream_start(&mut self, ctx: &StreamContext) {
+        self.bucket_ns = Some(ctx.bucket_ns.max(1));
+    }
+
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        let Some(bucket_ns) = self.bucket_ns else { return };
+        if let BatchPayload::Bandwidth { points } = &batch.payload {
+            for p in points {
+                *self.merged.entry(p.time_ns / bucket_ns).or_insert(0) += p.bytes;
+            }
+        }
+    }
+
+    fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
+        let Some(bucket_ns) = self.bucket_ns else {
+            return self.analyze(machine, profile);
+        };
+        let points: Vec<arch_sim::BandwidthPoint> = match self.merged.keys().next_back() {
+            None => Vec::new(),
+            Some(&last) => (0..=last)
+                .map(|i| {
+                    let bytes = self.merged.get(&i).copied().unwrap_or(0);
+                    arch_sim::BandwidthPoint {
+                        time_ns: i * bucket_ns,
+                        bytes,
+                        gib_per_s: bytes as f64 / (1u64 << 30) as f64 / (bucket_ns as f64 * 1e-9),
+                    }
+                })
+                .collect(),
+        };
+        Ok(AnalysisReport::Bandwidth(BandwidthSeries::from_buckets(
+            &points,
+            profile.counters.flops,
+        )))
+    }
 }
 
 /// Level 3: memory-region attribution (paper Section VI-C, Figures 4–6).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RegionSink;
+///
+/// Streaming: buffers each window's SPE samples and attributes them when the
+/// window closes (so phases bracketing the window are usually final),
+/// merging into a running [`RegionAccumulator`]; post-hoc: one attribution
+/// scan over the profile's samples.
+#[derive(Debug, Default)]
+pub struct RegionSink {
+    accum: RegionAccumulator,
+    pending: BTreeMap<u64, Vec<crate::runtime::AddressSample>>,
+    annotations: Option<Arc<Annotations>>,
+}
+
+impl RegionSink {
+    /// A fresh region sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ingest_window(&mut self, index: u64) {
+        let Some(samples) = self.pending.remove(&index) else { return };
+        let Some(ann) = &self.annotations else { return };
+        self.accum.ingest(&samples, &ann.tags(), &ann.phases());
+    }
+}
 
 impl AnalysisSink for RegionSink {
     fn name(&self) -> &'static str {
@@ -130,6 +311,33 @@ impl AnalysisSink for RegionSink {
         profile: &Profile,
     ) -> Result<AnalysisReport, NmoError> {
         Ok(AnalysisReport::Regions(attribute(&profile.samples, &profile.tags, &profile.phases)))
+    }
+
+    fn on_stream_start(&mut self, ctx: &StreamContext) {
+        self.annotations = Some(ctx.annotations.clone());
+    }
+
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+            self.pending.entry(batch.window.index).or_default().extend_from_slice(samples);
+        }
+    }
+
+    fn on_window_close(&mut self, window: Window) {
+        self.ingest_window(window.index);
+    }
+
+    fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
+        if self.annotations.is_none() {
+            return self.analyze(machine, profile);
+        }
+        // Merge any windows that never saw a close signal.
+        let open: Vec<u64> = self.pending.keys().copied().collect();
+        for index in open {
+            self.ingest_window(index);
+        }
+        let accum = std::mem::take(&mut self.accum);
+        Ok(AnalysisReport::Regions(accum.finalize(&profile.tags)))
     }
 }
 
@@ -146,20 +354,22 @@ pub(crate) fn default_sinks(config: &crate::config::NmoConfig) -> Vec<Box<dyn An
         sinks.push(Box::new(CapacitySink::default()));
     }
     if config.track_bandwidth {
-        sinks.push(Box::new(BandwidthSink));
+        sinks.push(Box::new(BandwidthSink::default()));
     }
     sinks
 }
 
-/// Run every sink over the profile, recording the reports and mirroring the
-/// standard capacity/bandwidth series into the legacy fields.
+/// Run every sink's [`AnalysisSink::finish`] over the profile, recording
+/// the reports and mirroring the standard capacity/bandwidth series into
+/// the legacy fields. On the post-hoc path `finish` falls through to
+/// `analyze`, so this single entry point serves both modes.
 pub(crate) fn run_sinks(
     machine: &Machine,
     profile: &mut Profile,
     sinks: &mut [Box<dyn AnalysisSink>],
 ) -> Result<(), NmoError> {
     for sink in sinks {
-        let report = sink.analyze(machine, profile)?;
+        let report = sink.finish(machine, profile)?;
         match &report {
             AnalysisReport::Capacity(c) => profile.capacity = c.clone(),
             AnalysisReport::Bandwidth(b) => profile.bandwidth = b.clone(),
@@ -174,7 +384,8 @@ pub(crate) fn run_sinks(
 mod tests {
     use super::*;
     use crate::config::NmoConfig;
-    use arch_sim::MachineConfig;
+    use crate::runtime::AddressSample;
+    use arch_sim::{BandwidthPoint, MachineConfig};
 
     #[test]
     fn default_sinks_follow_config_flags() {
@@ -200,13 +411,171 @@ mod tests {
         let mut profile = Profile::empty("t", NmoConfig::paper_default(100));
         profile.elapsed_ns = machine.makespan_ns();
         profile.counters = machine.counters();
-        let mut sinks: Vec<Box<dyn AnalysisSink>> =
-            vec![Box::new(CapacitySink::default()), Box::new(BandwidthSink), Box::new(RegionSink)];
+        let mut sinks: Vec<Box<dyn AnalysisSink>> = vec![
+            Box::new(CapacitySink::default()),
+            Box::new(BandwidthSink::default()),
+            Box::new(RegionSink::default()),
+        ];
         run_sinks(&machine, &mut profile, &mut sinks).unwrap();
         assert_eq!(profile.analyses.len(), 3);
         assert!(profile.capacity.peak_bytes > 0);
         assert!(profile.bandwidth.total_bytes > 0);
         assert!(matches!(profile.analyses[2].report, AnalysisReport::Regions(_)));
         assert!(!profile.analyses[0].report.is_empty());
+    }
+
+    /// A pre-streaming sink that only implements `analyze` still works via
+    /// the default `finish` adapter — the compile-compatibility guarantee.
+    #[test]
+    fn legacy_sink_works_through_default_finish_adapter() {
+        struct Legacy;
+        impl AnalysisSink for Legacy {
+            fn name(&self) -> &'static str {
+                "legacy"
+            }
+            fn analyze(
+                &mut self,
+                _machine: &Machine,
+                profile: &Profile,
+            ) -> Result<AnalysisReport, NmoError> {
+                Ok(AnalysisReport::Text(format!("samples={}", profile.processed_samples)))
+            }
+        }
+        let machine = Machine::new(MachineConfig::small_test());
+        let mut profile = Profile::empty("t", NmoConfig::default());
+        profile.processed_samples = 42;
+        let mut sinks: Vec<Box<dyn AnalysisSink>> = vec![Box::new(Legacy)];
+        run_sinks(&machine, &mut profile, &mut sinks).unwrap();
+        assert!(matches!(&profile.analyses[0].report,
+            AnalysisReport::Text(t) if t == "samples=42"));
+    }
+
+    fn stream_ctx(annotations: Arc<Annotations>) -> StreamContext {
+        StreamContext { annotations, capacity_bytes: 1 << 30, bucket_ns: 1000 }
+    }
+
+    #[test]
+    fn capacity_sink_merges_rss_batches_incrementally() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let mut profile = Profile::empty("t", NmoConfig::default());
+        profile.elapsed_ns = 4_000;
+        let mut sink = CapacitySink::new(4);
+        sink.on_stream_start(&stream_ctx(Arc::new(Annotations::new())));
+        let clock = crate::stream::WindowClock::new(1000);
+        for (i, rss) in [(0u64, 1u64 << 20), (1, 3 << 20), (2, 2 << 20)] {
+            sink.on_batch(&SampleBatch {
+                backend: "machine",
+                core: None,
+                seq: i,
+                window: clock.window(i),
+                payload: BatchPayload::Rss {
+                    points: vec![arch_sim::RssPoint { time_ns: i * 1000, rss_bytes: rss }],
+                },
+            });
+        }
+        let report = sink.finish(&machine, &profile).unwrap();
+        match report {
+            AnalysisReport::Capacity(c) => {
+                assert_eq!(c.peak_bytes, 3 << 20);
+                assert!(!c.points.is_empty());
+            }
+            other => panic!("expected capacity report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bandwidth_sink_merges_same_bucket_deliveries() {
+        let machine = Machine::new(MachineConfig::small_test());
+        // The sink bins by the stream context's bucket width (1000 ns in
+        // the test context), not by point alignment.
+        let bucket_ns = 1000u64;
+        let mut profile = Profile::empty("t", NmoConfig::default());
+        profile.counters.flops = 1 << 20;
+        let mut sink = BandwidthSink::new();
+        sink.on_stream_start(&stream_ctx(Arc::new(Annotations::new())));
+        let clock = crate::stream::WindowClock::new(1000);
+        let bp = |time_ns: u64, bytes: u64| BandwidthPoint {
+            time_ns,
+            bytes,
+            gib_per_s: 0.0, // recomputed by the sink
+        };
+        // Two deliveries into bucket 0 (one of them mid-bucket, i.e. not
+        // aligned to a bucket boundary) plus one into bucket 2.
+        for (seq, points) in [
+            (0u64, vec![bp(0, 1 << 20)]),
+            (1, vec![bp(bucket_ns / 2, 1 << 20), bp(2 * bucket_ns, 1 << 21)]),
+        ] {
+            sink.on_batch(&SampleBatch {
+                backend: "machine",
+                core: None,
+                seq,
+                window: clock.window(seq),
+                payload: BatchPayload::Bandwidth { points },
+            });
+        }
+        let report = sink.finish(&machine, &profile).unwrap();
+        match report {
+            AnalysisReport::Bandwidth(b) => {
+                assert_eq!(b.total_bytes, (1 << 21) + (1 << 21), "unaligned bytes are kept");
+                assert_eq!(b.points.len(), 3, "gap bucket 1 is zero-filled");
+                // Bucket 0 merged 2 × 1 MiB, bucket 2 carries 2 MiB: equal rates.
+                assert!((b.points[0].gib_per_s - b.points[2].gib_per_s).abs() < 1e-9);
+                assert_eq!(b.points[1].gib_per_s, 0.0);
+                assert!(b.arithmetic_intensity.is_some());
+            }
+            other => panic!("expected bandwidth report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn region_sink_attributes_windows_as_they_close() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let mut profile = Profile::empty("t", NmoConfig::default());
+        let annotations = Arc::new(Annotations::new());
+        annotations.tag_addr("obj", 0x1000, 0x2000);
+        profile.tags = annotations.tags();
+        let mut sink = RegionSink::new();
+        sink.on_stream_start(&stream_ctx(annotations.clone()));
+        let clock = crate::stream::WindowClock::new(1000);
+        let mk = |time_ns: u64, vaddr: u64| AddressSample {
+            time_ns,
+            vaddr,
+            core: 0,
+            is_store: false,
+            latency: 1,
+            level: arch_sim::MemLevel::L1,
+        };
+        sink.on_batch(&SampleBatch {
+            backend: "spe",
+            core: None,
+            seq: 0,
+            window: clock.window(0),
+            payload: BatchPayload::SpeSamples {
+                samples: vec![mk(10, 0x1100), mk(20, 0x9000)],
+                loss: Default::default(),
+            },
+        });
+        sink.on_window_close(clock.window(0));
+        // A window that never closes is still merged at finish.
+        sink.on_batch(&SampleBatch {
+            backend: "spe",
+            core: None,
+            seq: 1,
+            window: clock.window(1),
+            payload: BatchPayload::SpeSamples {
+                samples: vec![mk(1500, 0x1200)],
+                loss: Default::default(),
+            },
+        });
+        let report = sink.finish(&machine, &profile).unwrap();
+        match report {
+            AnalysisReport::Regions(r) => {
+                assert_eq!(r.scatter.len(), 3);
+                assert_eq!(r.untagged_samples, 1);
+                let obj = r.per_tag.iter().find(|t| t.name == "obj").unwrap();
+                assert_eq!(obj.samples, 2);
+            }
+            other => panic!("expected regions report, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,721 @@
+//! The streaming data plane: time windows, sample batches, and the bounded
+//! event bus connecting backends to analysis sinks.
+//!
+//! The paper's SPE flow is inherently streaming — a monitor thread drains
+//! the aux buffer periodically and all three analysis levels are windowed
+//! over time — so the profiler's core seam is a produce/consume pipeline
+//! rather than a post-hoc scan:
+//!
+//! ```text
+//! backends ──SampleBatch──▶ EventBus (bounded MPSC) ──▶ sinks.on_batch
+//!    │                          │                          │
+//!    └── stamped with a       drop accounting            windowed
+//!        time Window          + backpressure             aggregation
+//! ```
+//!
+//! * A [`SampleBatch`] carries one window's worth of data from one source:
+//!   decoded SPE records, hardware-counter deltas, or RSS/bandwidth ticks.
+//! * The [`EventBus`] is a bounded multi-producer single-consumer queue with
+//!   explicit backpressure: when the consumer falls behind, batches are
+//!   either dropped (and counted — the analogue of SPE aux truncation) or
+//!   the producer blocks, depending on [`BackpressurePolicy`].
+//! * [`Window`]s close monotonically once the producer-side watermark passes
+//!   them; late batches are still delivered (and counted) so final reports
+//!   stay complete.
+//!
+//! [`crate::session::ProfileSession::run_streaming`] wires the pipeline up;
+//! [`crate::sink::AnalysisSink`] consumes it through its streaming hooks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use arch_sim::{BandwidthPoint, RssPoint};
+use spe::SpeStatsSnapshot;
+
+use crate::runtime::AddressSample;
+
+/// One time window of the streaming pipeline (half-open, `[start, end)`
+/// simulated nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window index (`start_ns / width`).
+    pub index: u64,
+    /// Inclusive start, simulated nanoseconds.
+    pub start_ns: u64,
+    /// Exclusive end, simulated nanoseconds.
+    pub end_ns: u64,
+}
+
+impl Window {
+    /// Window width in nanoseconds.
+    pub fn width_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Whether a timestamp falls inside the window.
+    pub fn contains_ns(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns < self.end_ns
+    }
+}
+
+/// The producer-side window arithmetic: a fixed width plus the high-water
+/// mark of simulated time observed so far. Backends use it to stamp drained
+/// data with windows; the pump uses the watermark to close windows.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowClock {
+    width_ns: u64,
+    watermark_ns: u64,
+}
+
+impl WindowClock {
+    /// A clock with the given window width (clamped to at least 1 ns).
+    pub fn new(width_ns: u64) -> Self {
+        WindowClock { width_ns: width_ns.max(1), watermark_ns: 0 }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn width_ns(&self) -> u64 {
+        self.width_ns
+    }
+
+    /// Highest simulated time observed so far.
+    pub fn watermark_ns(&self) -> u64 {
+        self.watermark_ns
+    }
+
+    /// The window index a timestamp falls into.
+    pub fn index_of(&self, t_ns: u64) -> u64 {
+        t_ns / self.width_ns
+    }
+
+    /// The window with the given index.
+    pub fn window(&self, index: u64) -> Window {
+        Window { index, start_ns: index * self.width_ns, end_ns: (index + 1) * self.width_ns }
+    }
+
+    /// The window containing a timestamp.
+    pub fn window_containing(&self, t_ns: u64) -> Window {
+        self.window(self.index_of(t_ns))
+    }
+
+    /// The window containing the current watermark.
+    pub fn current(&self) -> Window {
+        self.window_containing(self.watermark_ns)
+    }
+
+    /// Advance the watermark (monotonic).
+    pub fn observe(&mut self, t_ns: u64) {
+        self.watermark_ns = self.watermark_ns.max(t_ns);
+    }
+
+    /// Group timestamped items by the window containing them, ascending by
+    /// window index (the stamping step every batch producer shares).
+    pub fn group_by_window<T>(
+        &self,
+        items: impl IntoIterator<Item = T>,
+        time_ns: impl Fn(&T) -> u64,
+    ) -> Vec<(Window, Vec<T>)> {
+        let mut by_window: std::collections::BTreeMap<u64, Vec<T>> =
+            std::collections::BTreeMap::new();
+        for item in items {
+            by_window.entry(self.index_of(time_ns(&item))).or_default().push(item);
+        }
+        by_window.into_iter().map(|(index, group)| (self.window(index), group)).collect()
+    }
+}
+
+/// Identity of one timestamped batch producer: a backend name plus an
+/// optional core (per-core producers like SPE publish at independent
+/// cadences, so the window-close watermark must track each one).
+pub type StreamSource = (&'static str, Option<usize>);
+
+/// One hardware-counter reading inside a [`BatchPayload::CounterDeltas`]
+/// batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Event name (`mem_access`, `ld_retired`, ...).
+    pub event: String,
+    /// Increase since the previous drain.
+    pub delta: u64,
+    /// Cumulative count at this drain.
+    pub total: u64,
+}
+
+/// The data carried by one [`SampleBatch`].
+#[derive(Debug, Clone)]
+pub enum BatchPayload {
+    /// Decoded SPE address samples, plus the per-drain SPE loss statistics
+    /// (the [`SpeStatsSnapshot::delta`] since the previous drain; attached
+    /// to the last batch of a drain, zero on the others).
+    SpeSamples {
+        /// The decoded samples, all inside the batch's window.
+        samples: Vec<AddressSample>,
+        /// Per-drain loss statistics delta.
+        loss: SpeStatsSnapshot,
+    },
+    /// `perf stat`-style counter deltas since the previous drain.
+    CounterDeltas {
+        /// One entry per tracked hardware event.
+        deltas: Vec<CounterDelta>,
+    },
+    /// Resident-set-size step events (level 1 ticks).
+    Rss {
+        /// New RSS step events since the previous drain.
+        points: Vec<RssPoint>,
+    },
+    /// Memory-bandwidth bucket ticks (level 2 ticks).
+    Bandwidth {
+        /// Bandwidth buckets; deliveries for the same `time_ns` merge by
+        /// summing bytes.
+        points: Vec<BandwidthPoint>,
+    },
+}
+
+/// One unit of streaming delivery: a window-stamped chunk of data from one
+/// backend (or the machine probe).
+#[derive(Debug, Clone)]
+pub struct SampleBatch {
+    /// Name of the producing backend (`"spe"`, `"counters"`, `"machine"`).
+    pub backend: &'static str,
+    /// Core the data belongs to, when per-core.
+    pub core: Option<usize>,
+    /// Monotonic publication sequence number (stamped by the pump).
+    pub seq: u64,
+    /// The time window the data belongs to.
+    pub window: Window,
+    /// The data itself.
+    pub payload: BatchPayload,
+}
+
+impl SampleBatch {
+    /// Number of items (samples / deltas / points) in the batch.
+    pub fn len(&self) -> usize {
+        match &self.payload {
+            BatchPayload::SpeSamples { samples, .. } => samples.len(),
+            BatchPayload::CounterDeltas { deltas } => deltas.len(),
+            BatchPayload::Rss { points } => points.len(),
+            BatchPayload::Bandwidth { points } => points.len(),
+        }
+    }
+
+    /// Whether the batch carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest simulated timestamp carried by the batch's items, if any
+    /// carry timestamps.
+    pub fn max_time_ns(&self) -> Option<u64> {
+        match &self.payload {
+            BatchPayload::SpeSamples { samples, .. } => samples.iter().map(|s| s.time_ns).max(),
+            BatchPayload::CounterDeltas { .. } => None,
+            BatchPayload::Rss { points } => points.iter().map(|p| p.time_ns).max(),
+            BatchPayload::Bandwidth { points } => points.iter().map(|p| p.time_ns).max(),
+        }
+    }
+}
+
+/// What the bus does when a producer finds it full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Drop the incoming batch and count it (the SPE aux-truncation
+    /// analogue; the profiled application never stalls). Default.
+    #[default]
+    DropNewest,
+    /// Block the producer until the consumer makes room (lossless, but the
+    /// pump — never the profiled cores — stalls).
+    Block,
+}
+
+/// Point-in-time bus accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Events accepted onto the bus.
+    pub published: u64,
+    /// Batches dropped because the bus was full.
+    pub dropped_batches: u64,
+    /// Items (samples/points/deltas) inside dropped batches.
+    pub dropped_items: u64,
+    /// Highest queue occupancy observed.
+    pub high_watermark: u64,
+    /// Configured capacity.
+    pub capacity: u64,
+    /// Events currently queued.
+    pub queued: u64,
+}
+
+/// An event travelling over the bus: a data batch or a window-close signal.
+#[derive(Debug, Clone)]
+pub enum BusEvent {
+    /// A window-stamped data batch.
+    Batch(SampleBatch),
+    /// All producers have passed this window; it will receive no further
+    /// on-time data. (Late batches are still delivered and counted.)
+    CloseWindow(Window),
+}
+
+/// Result of a blocking receive on the bus.
+#[derive(Debug)]
+pub enum BusRecv {
+    /// An event arrived.
+    Event(BusEvent),
+    /// The timeout elapsed with the bus empty (but still open).
+    TimedOut,
+    /// The bus is closed and fully drained.
+    Closed,
+}
+
+struct BusQueue {
+    queue: VecDeque<BusEvent>,
+    high_watermark: u64,
+}
+
+/// Bounded multi-producer/single-consumer queue with drop accounting
+/// (see the module docs).
+///
+/// Window-close signals bypass the capacity check: they are tiny, bounded
+/// in number by the run's window count, and dropping one would wedge the
+/// consumer's window tracking.
+pub struct EventBus {
+    inner: Mutex<BusQueue>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    closed: AtomicBool,
+    published: AtomicU64,
+    dropped_batches: AtomicU64,
+    dropped_items: AtomicU64,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EventBus {
+    /// Create a bus holding at most `capacity` events (minimum 1).
+    pub fn bounded(capacity: usize, policy: BackpressurePolicy) -> Arc<EventBus> {
+        Arc::new(EventBus {
+            inner: Mutex::new(BusQueue { queue: VecDeque::new(), high_watermark: 0 }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+            closed: AtomicBool::new(false),
+            published: AtomicU64::new(0),
+            dropped_batches: AtomicU64::new(0),
+            dropped_items: AtomicU64::new(0),
+        })
+    }
+
+    /// Producer side: enqueue an event. Returns `false` when the event was
+    /// dropped (bus full under [`BackpressurePolicy::DropNewest`], or bus
+    /// closed). A [`BackpressurePolicy::Block`] wait relies on the consumer
+    /// always draining the bus — the session's consumer thread guarantees
+    /// this even when a sink panics (see `consumer_loop`).
+    pub fn publish(&self, event: BusEvent) -> bool {
+        let is_batch = matches!(event, BusEvent::Batch(_));
+        let items = match &event {
+            BusEvent::Batch(b) => b.len() as u64,
+            BusEvent::CloseWindow(_) => 0,
+        };
+        let mut inner = self.inner.lock();
+        if is_batch {
+            while inner.queue.len() >= self.capacity {
+                if self.is_closed() {
+                    break;
+                }
+                if matches!(self.policy, BackpressurePolicy::DropNewest) {
+                    drop(inner);
+                    self.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                    self.dropped_items.fetch_add(items, Ordering::Relaxed);
+                    return false;
+                }
+                // Block: re-check the closed flag at least every 10 ms so a
+                // blocked producer cannot outlive a closed bus.
+                let deadline = std::time::Instant::now() + Duration::from_millis(10);
+                let _ = self.writable.wait_until(&mut inner, deadline);
+            }
+        }
+        if self.is_closed() {
+            drop(inner);
+            if is_batch {
+                self.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                self.dropped_items.fetch_add(items, Ordering::Relaxed);
+            }
+            return false;
+        }
+        inner.queue.push_back(event);
+        let occupancy = inner.queue.len() as u64;
+        inner.high_watermark = inner.high_watermark.max(occupancy);
+        drop(inner);
+        self.published.fetch_add(1, Ordering::Relaxed);
+        self.readable.notify_one();
+        true
+    }
+
+    /// Consumer side: dequeue the next event, waiting up to `timeout`.
+    /// Queued events are still delivered after [`EventBus::close`];
+    /// [`BusRecv::Closed`] is only returned once the queue is empty.
+    pub fn recv_timeout(&self, timeout: Duration) -> BusRecv {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(event) = inner.queue.pop_front() {
+                drop(inner);
+                self.writable.notify_one();
+                return BusRecv::Event(event);
+            }
+            if self.is_closed() {
+                return BusRecv::Closed;
+            }
+            if self.readable.wait_until(&mut inner, deadline).timed_out() && inner.queue.is_empty()
+            {
+                return if self.is_closed() { BusRecv::Closed } else { BusRecv::TimedOut };
+            }
+        }
+    }
+
+    /// Close the bus: producers start failing, the consumer drains what is
+    /// queued and then sees [`BusRecv::Closed`].
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _guard = self.inner.lock();
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Whether the bus has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> BusStats {
+        let inner = self.inner.lock();
+        BusStats {
+            published: self.published.load(Ordering::Relaxed),
+            dropped_batches: self.dropped_batches.load(Ordering::Relaxed),
+            dropped_items: self.dropped_items.load(Ordering::Relaxed),
+            high_watermark: inner.high_watermark,
+            capacity: self.capacity as u64,
+            queued: inner.queue.len() as u64,
+        }
+    }
+}
+
+/// Tuning knobs for a streaming session
+/// (see [`crate::session::ProfileSessionBuilder::stream_options`]).
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Window width in simulated nanoseconds (default 1 ms).
+    pub window_ns: u64,
+    /// Event-bus capacity in events (default 1024).
+    pub bus_capacity: usize,
+    /// Wall-clock interval between pump drains (default 200 µs).
+    pub poll_interval: Duration,
+    /// What producers do when the bus is full.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            window_ns: 1_000_000,
+            bus_capacity: 1024,
+            poll_interval: Duration::from_micros(200),
+            backpressure: BackpressurePolicy::default(),
+        }
+    }
+}
+
+/// Summary of the streaming pipeline over one run, recorded on
+/// [`crate::runtime::Profile::stream`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Windows closed by the watermark.
+    pub windows_closed: u64,
+    /// Batches accepted onto the bus.
+    pub batches_published: u64,
+    /// Batches dropped by backpressure.
+    pub batches_dropped: u64,
+    /// Items inside dropped batches.
+    pub items_dropped: u64,
+    /// Batches that arrived for an already-closed window.
+    pub late_batches: u64,
+    /// Highest bus occupancy observed.
+    pub bus_high_watermark: u64,
+}
+
+/// Live per-window accounting inside a [`StreamSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSummary {
+    /// The window.
+    pub window: Window,
+    /// Batches delivered for the window so far.
+    pub batches: u64,
+    /// SPE samples delivered for the window so far.
+    pub samples: u64,
+    /// Whether the window has been closed by the watermark.
+    pub closed: bool,
+}
+
+/// A point-in-time view of a streaming session, returned by
+/// [`crate::session::ActiveSession::poll_snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamSnapshot {
+    /// Per-window accounting, ascending by window index.
+    pub windows: Vec<WindowSummary>,
+    /// Windows closed so far.
+    pub windows_closed: u64,
+    /// Batches consumed so far.
+    pub batches: u64,
+    /// SPE samples consumed so far.
+    pub spe_samples: u64,
+    /// Latest cumulative hardware-counter totals seen.
+    pub counter_totals: Vec<(String, u64)>,
+    /// Highest RSS seen so far, bytes.
+    pub rss_peak_bytes: u64,
+    /// Highest simulated timestamp seen so far.
+    pub last_time_ns: u64,
+    /// Bus accounting at snapshot time.
+    pub bus: BusStats,
+}
+
+impl StreamSnapshot {
+    /// The closed, non-empty windows (live readout of completed windows).
+    pub fn closed_windows(&self) -> impl Iterator<Item = &WindowSummary> {
+        self.windows.iter().filter(|w| w.closed && (w.samples > 0 || w.batches > 0))
+    }
+}
+
+/// Consumer-thread bookkeeping behind [`StreamSnapshot`] (shared with
+/// [`crate::session::ActiveSession::poll_snapshot`] via a mutex).
+#[derive(Debug, Default)]
+pub(crate) struct SnapshotState {
+    pub(crate) windows: Vec<WindowSummary>,
+    pub(crate) windows_closed: u64,
+    pub(crate) batches: u64,
+    pub(crate) spe_samples: u64,
+    pub(crate) late_batches: u64,
+    pub(crate) counter_totals: Vec<(String, u64)>,
+    pub(crate) rss_peak_bytes: u64,
+    pub(crate) last_time_ns: u64,
+}
+
+impl SnapshotState {
+    fn summary_mut(&mut self, window: Window) -> &mut WindowSummary {
+        match self.windows.binary_search_by_key(&window.index, |w| w.window.index) {
+            Ok(i) => &mut self.windows[i],
+            Err(i) => {
+                self.windows
+                    .insert(i, WindowSummary { window, batches: 0, samples: 0, closed: false });
+                &mut self.windows[i]
+            }
+        }
+    }
+
+    pub(crate) fn record_batch(&mut self, batch: &SampleBatch) {
+        self.batches += 1;
+        if let Some(t) = batch.max_time_ns() {
+            self.last_time_ns = self.last_time_ns.max(t);
+        }
+        match &batch.payload {
+            BatchPayload::SpeSamples { samples, .. } => {
+                self.spe_samples += samples.len() as u64;
+            }
+            BatchPayload::CounterDeltas { deltas } => {
+                for d in deltas {
+                    match self.counter_totals.iter_mut().find(|(n, _)| *n == d.event) {
+                        Some((_, total)) => *total = d.total,
+                        None => self.counter_totals.push((d.event.clone(), d.total)),
+                    }
+                }
+            }
+            BatchPayload::Rss { points } => {
+                for p in points {
+                    self.rss_peak_bytes = self.rss_peak_bytes.max(p.rss_bytes);
+                }
+            }
+            BatchPayload::Bandwidth { .. } => {}
+        }
+        let summary = self.summary_mut(batch.window);
+        summary.batches += 1;
+        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+            summary.samples += samples.len() as u64;
+        }
+        // Bandwidth ticks are exempt from late accounting: the machine's
+        // buckets only become readable once the cores detach, so their
+        // end-of-run delivery into long-closed windows is by design, not a
+        // lagging producer.
+        if summary.closed && !matches!(batch.payload, BatchPayload::Bandwidth { .. }) {
+            self.late_batches += 1;
+        }
+    }
+
+    pub(crate) fn record_close(&mut self, window: Window) {
+        let summary = self.summary_mut(window);
+        if !summary.closed {
+            summary.closed = true;
+            self.windows_closed += 1;
+        }
+    }
+
+    pub(crate) fn snapshot(&self, bus: BusStats) -> StreamSnapshot {
+        StreamSnapshot {
+            windows: self.windows.clone(),
+            windows_closed: self.windows_closed,
+            batches: self.batches,
+            spe_samples: self.spe_samples,
+            counter_totals: self.counter_totals.clone(),
+            rss_peak_bytes: self.rss_peak_bytes,
+            last_time_ns: self.last_time_ns,
+            bus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(window: Window, n: usize) -> SampleBatch {
+        SampleBatch {
+            backend: "test",
+            core: None,
+            seq: 0,
+            window,
+            payload: BatchPayload::SpeSamples {
+                samples: vec![
+                    AddressSample {
+                        time_ns: window.start_ns,
+                        vaddr: 0x1000,
+                        core: 0,
+                        is_store: false,
+                        latency: 1,
+                        level: arch_sim::MemLevel::L1,
+                    };
+                    n
+                ],
+                loss: SpeStatsSnapshot::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn window_clock_arithmetic() {
+        let mut clock = WindowClock::new(1000);
+        assert_eq!(clock.index_of(0), 0);
+        assert_eq!(clock.index_of(999), 0);
+        assert_eq!(clock.index_of(1000), 1);
+        let w = clock.window_containing(2500);
+        assert_eq!(w.index, 2);
+        assert_eq!(w.start_ns, 2000);
+        assert_eq!(w.end_ns, 3000);
+        assert!(w.contains_ns(2000) && w.contains_ns(2999) && !w.contains_ns(3000));
+        clock.observe(4200);
+        clock.observe(100); // monotonic
+        assert_eq!(clock.watermark_ns(), 4200);
+        assert_eq!(clock.current().index, 4);
+        // Zero width is clamped.
+        assert_eq!(WindowClock::new(0).width_ns(), 1);
+    }
+
+    #[test]
+    fn bus_delivers_in_order_and_counts() {
+        let bus = EventBus::bounded(8, BackpressurePolicy::DropNewest);
+        let clock = WindowClock::new(1000);
+        for i in 0..3u64 {
+            assert!(bus.publish(BusEvent::Batch(batch(clock.window(i), 2))));
+        }
+        bus.close();
+        let mut seen = Vec::new();
+        loop {
+            match bus.recv_timeout(Duration::from_millis(50)) {
+                BusRecv::Event(BusEvent::Batch(b)) => seen.push(b.window.index),
+                BusRecv::Event(BusEvent::CloseWindow(_)) => {}
+                BusRecv::Closed => break,
+                BusRecv::TimedOut => panic!("queued events must be drained before Closed"),
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+        let stats = bus.stats();
+        assert_eq!(stats.published, 3);
+        assert_eq!(stats.dropped_batches, 0);
+        assert_eq!(stats.queued, 0);
+        assert!(stats.high_watermark >= 1);
+    }
+
+    #[test]
+    fn full_bus_drops_newest_and_accounts_items() {
+        let bus = EventBus::bounded(2, BackpressurePolicy::DropNewest);
+        let clock = WindowClock::new(1000);
+        assert!(bus.publish(BusEvent::Batch(batch(clock.window(0), 5))));
+        assert!(bus.publish(BusEvent::Batch(batch(clock.window(1), 5))));
+        assert!(!bus.publish(BusEvent::Batch(batch(clock.window(2), 7))));
+        // Close signals bypass the capacity limit.
+        assert!(bus.publish(BusEvent::CloseWindow(clock.window(0))));
+        let stats = bus.stats();
+        assert_eq!(stats.dropped_batches, 1);
+        assert_eq!(stats.dropped_items, 7);
+        assert_eq!(stats.published, 3);
+    }
+
+    #[test]
+    fn blocking_policy_waits_for_the_consumer() {
+        let bus = EventBus::bounded(1, BackpressurePolicy::Block);
+        let clock = WindowClock::new(1000);
+        assert!(bus.publish(BusEvent::Batch(batch(clock.window(0), 1))));
+        let bus2 = bus.clone();
+        let producer = std::thread::spawn(move || {
+            // Blocks until the consumer pops the first batch.
+            bus2.publish(BusEvent::Batch(batch(WindowClock::new(1000).window(1), 1)))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        match bus.recv_timeout(Duration::from_secs(5)) {
+            BusRecv::Event(BusEvent::Batch(b)) => assert_eq!(b.window.index, 0),
+            other => panic!("expected first batch, got {other:?}"),
+        }
+        assert!(producer.join().unwrap(), "blocked producer completes after space frees");
+        assert_eq!(bus.stats().dropped_batches, 0);
+    }
+
+    #[test]
+    fn closed_bus_rejects_and_unblocks() {
+        let bus = EventBus::bounded(1, BackpressurePolicy::Block);
+        bus.close();
+        let clock = WindowClock::new(1000);
+        assert!(!bus.publish(BusEvent::Batch(batch(clock.window(0), 3))));
+        assert_eq!(bus.stats().dropped_batches, 1);
+        assert!(matches!(bus.recv_timeout(Duration::from_millis(5)), BusRecv::Closed));
+    }
+
+    #[test]
+    fn snapshot_state_tracks_windows_and_late_batches() {
+        let clock = WindowClock::new(1000);
+        let mut state = SnapshotState::default();
+        state.record_batch(&batch(clock.window(0), 3));
+        state.record_batch(&batch(clock.window(1), 2));
+        state.record_close(clock.window(0));
+        state.record_close(clock.window(0)); // idempotent
+        state.record_batch(&batch(clock.window(0), 1)); // late
+        let snap = state.snapshot(BusStats::default());
+        assert_eq!(snap.windows_closed, 1);
+        assert_eq!(snap.spe_samples, 6);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(state.late_batches, 1);
+        assert_eq!(snap.closed_windows().count(), 1);
+        assert_eq!(snap.windows.len(), 2);
+        assert!(snap.windows[0].closed && !snap.windows[1].closed);
+    }
+}

@@ -141,6 +141,23 @@ impl PerfEvent {
         self.ring.read_record(&self.meta)
     }
 
+    /// Consumer side: drain every currently pending record as an iterator.
+    ///
+    /// This is the streaming read path of the profiler's monitor loop: each
+    /// `next()` consumes one framed record and advances the ring tail, so a
+    /// single pass empties everything published up to that point. A corrupt
+    /// record stops the iteration; inspect [`RecordDrain::error`] afterwards
+    /// to distinguish "empty" from "corrupt".
+    pub fn drain(&self) -> RecordDrain<'_> {
+        RecordDrain { event: self, error: None, drained: 0 }
+    }
+
+    /// Number of records the producer dropped because the ring buffer was
+    /// full (the consumer did not keep up).
+    pub fn lost_records(&self) -> u64 {
+        self.ring.lost()
+    }
+
     /// Close the event: disable it and unblock any pollers.
     pub fn close(&self) {
         self.disable();
@@ -160,6 +177,48 @@ impl PerfEvent {
             ev.mmap_aux(aux_pages, page_bytes)?;
         }
         Ok(Arc::new(ev))
+    }
+}
+
+/// Draining iterator over an event's pending ring-buffer records (see
+/// [`PerfEvent::drain`]).
+#[derive(Debug)]
+pub struct RecordDrain<'a> {
+    event: &'a PerfEvent,
+    error: Option<PerfError>,
+    drained: u64,
+}
+
+impl RecordDrain<'_> {
+    /// The corrupt-record error that terminated the drain, if any.
+    pub fn error(&self) -> Option<&PerfError> {
+        self.error.as_ref()
+    }
+
+    /// Number of records consumed by this drain so far.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+}
+
+impl Iterator for RecordDrain<'_> {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.event.next_record() {
+            Ok(Some(record)) => {
+                self.drained += 1;
+                Some(record)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
     }
 }
 
@@ -214,6 +273,81 @@ mod tests {
         let a = PerfEvent::open(PerfEventAttr::counting(0x11), 0, 1, 4096).unwrap();
         let b = PerfEvent::open(PerfEventAttr::counting(0x11), 0, 1, 4096).unwrap();
         assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn drain_consumes_all_pending_records_in_order() {
+        let ev = PerfEvent::open_shared(PerfEventAttr::arm_spe_loads_stores(4096), 0, 8, 16, 4096)
+            .unwrap();
+        for i in 0..5u64 {
+            assert!(ev.publish(Record::Aux(AuxRecord {
+                aux_offset: i * 64,
+                aux_size: 64,
+                flags: 0
+            })));
+        }
+        let mut drain = ev.drain();
+        let offsets: Vec<u64> = drain
+            .by_ref()
+            .map(|r| match r {
+                Record::Aux(a) => a.aux_offset,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(offsets, vec![0, 64, 128, 192, 256]);
+        assert_eq!(drain.drained(), 5);
+        assert!(drain.error().is_none());
+        assert_eq!(ev.drain().count(), 0, "second drain finds nothing");
+    }
+
+    #[test]
+    fn drain_across_ring_wrap_around_loses_nothing() {
+        // One 128-byte page holds four 32-byte AUX records; drain between
+        // bursts so the monotonic head/tail arithmetic wraps many times.
+        let mut ev = PerfEvent::open(PerfEventAttr::arm_spe_loads_stores(4096), 0, 1, 128).unwrap();
+        ev.mmap_aux(4, 128).unwrap();
+        let mut seen = 0u64;
+        for burst in 0..50u64 {
+            for i in 0..4u64 {
+                assert!(ev.publish(Record::Aux(AuxRecord {
+                    aux_offset: (burst * 4 + i) * 64,
+                    aux_size: 64,
+                    flags: 0
+                })));
+            }
+            for record in ev.drain() {
+                match record {
+                    Record::Aux(a) => {
+                        assert_eq!(a.aux_offset, seen * 64, "records arrive in publish order");
+                        seen += 1;
+                    }
+                    other => panic!("unexpected record {other:?}"),
+                }
+            }
+        }
+        assert_eq!(seen, 200);
+        assert_eq!(ev.lost_records(), 0);
+        assert_eq!(ev.ring().head(), ev.ring().tail());
+        assert!(ev.ring().head() > ev.ring().capacity(), "head is monotonic past a wrap");
+    }
+
+    #[test]
+    fn lost_records_counted_when_consumer_stalls() {
+        let ev = PerfEvent::open(PerfEventAttr::arm_spe_loads_stores(4096), 0, 1, 128).unwrap();
+        let mut accepted = 0u64;
+        for i in 0..20u64 {
+            if ev.publish(Record::Aux(AuxRecord { aux_offset: i * 64, aux_size: 64, flags: 0 })) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 20);
+        assert_eq!(ev.lost_records(), 20 - accepted);
+        // Whatever was accepted is still fully drainable.
+        assert_eq!(ev.drain().count() as u64, accepted);
+        // After draining, the producer has room again and loss stops growing.
+        let lost_before = ev.lost_records();
+        assert!(ev.publish(Record::Aux(AuxRecord { aux_offset: 0, aux_size: 64, flags: 0 })));
+        assert_eq!(ev.lost_records(), lost_before);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod records;
 
 pub use attr::{PerfEventAttr, PERF_TYPE_ARM_SPE, PERF_TYPE_HARDWARE};
 pub use count::CountingEvent;
-pub use event::{EventId, PerfEvent};
+pub use event::{EventId, PerfEvent, RecordDrain};
 pub use mmap::{AuxBuffer, MetadataPage, RingBuffer, PAGE_SIZE_64K};
 pub use poll::{PollTimeout, Waker};
 pub use records::{

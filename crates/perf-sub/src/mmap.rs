@@ -117,6 +117,16 @@ impl RingBuffer {
         inner.head - inner.tail
     }
 
+    /// Current producer position (monotonic bytes, never wraps).
+    pub fn head(&self) -> u64 {
+        self.inner.lock().head
+    }
+
+    /// Current consumer position (monotonic bytes, never wraps).
+    pub fn tail(&self) -> u64 {
+        self.inner.lock().tail
+    }
+
     /// Number of records dropped because the buffer was full.
     pub fn lost(&self) -> u64 {
         self.inner.lock().lost

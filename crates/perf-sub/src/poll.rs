@@ -4,7 +4,7 @@
 //! until the kernel signals that new data (a `PERF_RECORD_AUX` record) is
 //! available. [`Waker`] models that readiness notification: the producer
 //! (the SPE driver) calls [`Waker::wake`], the consumer (the NMO monitor
-//! thread) blocks in [`Waker::wait`]/[`Waker::wait_timeout`].
+//! thread) blocks in [`Waker::wait_timeout`] or polls [`Waker::try_wait`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

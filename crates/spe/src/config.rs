@@ -33,6 +33,12 @@ pub struct SpeConfig {
     pub timestamps: bool,
     /// Discard records whose total latency is below this many cycles.
     pub min_latency: u64,
+    /// Aux watermark in bytes: how much aux data accumulates before a
+    /// `PERF_RECORD_AUX` record is published and pollers are woken. 0 keeps
+    /// the kernel default (half the aux buffer). Streaming profilers lower
+    /// this so data reaches the monitor with bounded lag — at the cost of
+    /// more watermark interrupts, which the overhead model charges.
+    pub aux_watermark: u64,
 }
 
 impl SpeConfig {
@@ -47,6 +53,7 @@ impl SpeConfig {
             sample_branches: false,
             timestamps: true,
             min_latency: 0,
+            aux_watermark: 0,
         }
     }
 
@@ -63,6 +70,7 @@ impl SpeConfig {
             sample_branches: attr.samples_branches(),
             timestamps: attr.timestamps_enabled(),
             min_latency: attr.min_latency,
+            aux_watermark: attr.aux_watermark,
         })
     }
 
@@ -86,6 +94,7 @@ impl SpeConfig {
             config,
             sample_period: self.sample_period,
             min_latency: self.min_latency,
+            aux_watermark: self.aux_watermark,
             ..Default::default()
         }
     }

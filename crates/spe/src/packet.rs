@@ -165,6 +165,75 @@ pub fn decode_nmo_fields(bytes: &[u8]) -> Option<(u64, u64)> {
     Some((vaddr, timestamp))
 }
 
+/// One record yielded by the incremental decoder: the two NMO fields plus
+/// the opportunistic full decode for the richer packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedRecord {
+    /// Sampled virtual data address (vaddr packet, offset 31).
+    pub vaddr: u64,
+    /// Timestamp in generic-timer ticks (timestamp packet, offset 56).
+    pub ticks: u64,
+    /// The full record, when every packet decoded cleanly. The NMO fields
+    /// above are valid even when this is `None` (e.g. a record whose
+    /// data-source packet was mangled by a collision).
+    pub full: Option<SpeRecord>,
+}
+
+/// Incremental decoder over a drained aux-buffer chunk.
+///
+/// The monitor thread drains aux data in arbitrary-size chunks (one per
+/// `PERF_RECORD_AUX`); this iterator walks the chunk in 64-byte steps,
+/// yielding every record whose NMO fields validate and counting the rest in
+/// [`SpeRecordIter::skipped`] — the per-drain loss accounting a streaming
+/// profiler reports alongside each batch. A trailing partial record (fewer
+/// than 64 bytes) is also counted as skipped.
+#[derive(Debug)]
+pub struct SpeRecordIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    skipped: u64,
+}
+
+impl SpeRecordIter<'_> {
+    /// Records rejected so far (bad headers, zero fields, trailing partial).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Upper bound on the number of records remaining in the chunk.
+    pub fn remaining_capacity(&self) -> usize {
+        (self.data.len() - self.pos) / SPE_RECORD_BYTES
+    }
+}
+
+impl Iterator for SpeRecordIter<'_> {
+    type Item = DecodedRecord;
+
+    fn next(&mut self) -> Option<DecodedRecord> {
+        while self.pos + SPE_RECORD_BYTES <= self.data.len() {
+            let chunk = &self.data[self.pos..self.pos + SPE_RECORD_BYTES];
+            self.pos += SPE_RECORD_BYTES;
+            match decode_nmo_fields(chunk) {
+                Some((vaddr, ticks)) => {
+                    return Some(DecodedRecord { vaddr, ticks, full: SpeRecord::decode(chunk) })
+                }
+                None => self.skipped += 1,
+            }
+        }
+        if self.pos < self.data.len() {
+            // Trailing partial record: count once, then stop for good.
+            self.skipped += 1;
+            self.pos = self.data.len();
+        }
+        None
+    }
+}
+
+/// Decode a drained aux chunk incrementally (see [`SpeRecordIter`]).
+pub fn decode_records(data: &[u8]) -> SpeRecordIter<'_> {
+    SpeRecordIter { data, pos: 0, skipped: 0 }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +295,49 @@ mod tests {
     fn short_buffer_rejected() {
         assert!(SpeRecord::decode(&[0u8; 10]).is_none());
         assert!(decode_nmo_fields(&[0u8; 63]).is_none());
+    }
+
+    #[test]
+    fn incremental_decoder_yields_valid_records_and_counts_skips() {
+        let good = sample();
+        let mut corrupt = sample().encode();
+        corrupt[30] = 0x00; // break the vaddr header
+        let mut data = Vec::new();
+        data.extend_from_slice(&good.encode());
+        data.extend_from_slice(&corrupt);
+        data.extend_from_slice(&good.encode());
+        data.extend_from_slice(&[0xabu8; 17]); // trailing partial record
+
+        let mut iter = decode_records(&data);
+        assert_eq!(iter.remaining_capacity(), 3);
+        let first = iter.next().unwrap();
+        assert_eq!(first.vaddr, good.vaddr);
+        assert_eq!(first.ticks, good.timestamp);
+        assert_eq!(first.full, Some(good));
+        let second = iter.next().unwrap();
+        assert_eq!(second.vaddr, good.vaddr);
+        assert!(iter.next().is_none());
+        assert_eq!(iter.skipped(), 2, "one corrupt record and one trailing partial");
+        assert!(iter.next().is_none(), "exhausted iterator stays exhausted");
+        assert_eq!(iter.skipped(), 2, "skip count does not grow after exhaustion");
+    }
+
+    #[test]
+    fn incremental_decoder_on_empty_chunk() {
+        let mut iter = decode_records(&[]);
+        assert!(iter.next().is_none());
+        assert_eq!(iter.skipped(), 0);
+    }
+
+    #[test]
+    fn incremental_decoder_nmo_fields_survive_rich_packet_corruption() {
+        // Mangle only the data-source packet: NMO's two fields still decode,
+        // the full decode does not.
+        let mut bytes = sample().encode();
+        bytes[8] = 0x00;
+        let rec = decode_records(&bytes).next().unwrap();
+        assert_eq!(rec.vaddr, sample().vaddr);
+        assert!(rec.full.is_none());
     }
 
     #[test]

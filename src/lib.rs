@@ -11,6 +11,8 @@
 //! * [`nmo`] — the NMO profiler itself: the [`nmo::ProfileSession`] builder,
 //!   pluggable [`nmo::SampleBackend`]s (SPE sampling, perf-stat counting),
 //!   pluggable [`nmo::AnalysisSink`]s (capacity/bandwidth/region levels),
+//!   the streaming pipeline ([`nmo::ProfileSession::run_streaming`], the
+//!   [`nmo::stream`] event bus, live [`nmo::ActiveSession::poll_snapshot`]),
 //!   configuration, annotations, and the accuracy & overhead analysis;
 //! * [`workloads`] — STREAM, CFD, BFS, PageRank and In-memory Analytics.
 //!

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use nmo_repro::arch_sim::{Cache, CacheLevelConfig, MemLevel, OpKind, TimeConv};
 use nmo_repro::nmo::accuracy;
 use nmo_repro::perf_sub::records::{AuxRecord, LostRecord, Record};
-use nmo_repro::perf_sub::{AuxBuffer, MetadataPage, RingBuffer};
+use nmo_repro::perf_sub::{AuxBuffer, MetadataPage, PerfEvent, PerfEventAttr, RingBuffer};
 use nmo_repro::spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
 use nmo_repro::workloads::chunk_range;
 
@@ -110,6 +110,78 @@ proptest! {
                 aux.advance_tail(aux.head(), &meta);
                 prop_assert_eq!(aux.unconsumed(), 0);
             }
+        }
+    }
+
+    #[test]
+    fn event_drain_head_tail_and_lost_accounting(
+        bursts in prop::collection::vec(1usize..12, 1..30),
+    ) {
+        // A deliberately tiny ring (one 256-byte page = eight 32-byte AUX
+        // records) so bursts overflow it regularly; the monotonic head/tail
+        // arithmetic and the lost counter must stay consistent through many
+        // wrap-arounds of the drain API.
+        let ev = PerfEvent::open(PerfEventAttr::arm_spe_loads_stores(4096), 0, 1, 256).unwrap();
+        let mut published = 0u64;
+        let mut accepted = 0u64;
+        let mut consumed = 0u64;
+        for burst in bursts {
+            for _ in 0..burst {
+                let rec = Record::Aux(AuxRecord {
+                    aux_offset: accepted * 64,
+                    aux_size: 64,
+                    flags: 0,
+                });
+                if ev.publish(rec) {
+                    accepted += 1;
+                }
+                published += 1;
+                prop_assert!(ev.ring().head() >= ev.ring().tail());
+                prop_assert!(ev.ring().head() - ev.ring().tail() <= ev.ring().capacity());
+            }
+            let mut drain = ev.drain();
+            for rec in drain.by_ref() {
+                // Accepted records come back in publish order, never
+                // corrupted by the wrap.
+                match rec {
+                    Record::Aux(a) => prop_assert_eq!(a.aux_offset, consumed * 64),
+                    other => prop_assert!(false, "unexpected record {:?}", other),
+                }
+                consumed += 1;
+            }
+            prop_assert!(drain.error().is_none());
+            prop_assert_eq!(ev.ring().head(), ev.ring().tail());
+        }
+        prop_assert_eq!(consumed, accepted);
+        prop_assert_eq!(ev.lost_records(), published - accepted);
+    }
+
+    #[test]
+    fn aux_wraparound_reads_return_exactly_what_was_written(
+        lens in prop::collection::vec(1u64..300, 1..50),
+    ) {
+        let meta = MetadataPage::default();
+        let aux = AuxBuffer::new(1, 512).unwrap();
+        let mut fill = 0u8;
+        for len in lens {
+            let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+            fill = fill.wrapping_add(17);
+            match aux.write(&data, &meta) {
+                Some(offset) => {
+                    // Monotonic offsets map onto the circular storage; the
+                    // read must reproduce the bytes across any wrap.
+                    prop_assert_eq!(aux.read_at(offset, len), data);
+                    aux.advance_tail(offset + len, &meta);
+                    prop_assert_eq!(aux.unconsumed(), 0);
+                }
+                None => {
+                    // Only oversized writes can fail here (the buffer is
+                    // drained after every accepted write).
+                    prop_assert!(len > aux.capacity());
+                }
+            }
+            prop_assert!(aux.head() >= aux.tail());
+            prop_assert!(aux.head() - aux.tail() <= aux.capacity());
         }
     }
 

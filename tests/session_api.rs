@@ -33,8 +33,8 @@ fn run_session(workload: Box<dyn Workload>) -> (String, Profile) {
         .backend(SpeBackend::new())
         .backend(CounterBackend::new())
         .sink(CapacitySink::default())
-        .sink(BandwidthSink)
-        .sink(RegionSink)
+        .sink(BandwidthSink::default())
+        .sink(RegionSink::default())
         .workload(workload)
         .build()
         .unwrap_or_else(|e| panic!("{name}: session build failed: {e}"))

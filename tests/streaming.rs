@@ -1,0 +1,133 @@
+//! Streaming-pipeline integration tests (the acceptance criteria of the
+//! `run_streaming` redesign): running the STREAM workload through the online
+//! pipeline must reproduce the post-hoc capacity/bandwidth/region results,
+//! and `poll_snapshot` must expose monotonically growing, non-empty windows
+//! while the workload is still running.
+
+use std::time::Duration;
+
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{
+    BandwidthSink, CapacitySink, NmoConfig, ProfileSession, RegionSink, StreamOptions,
+    StreamSnapshot, Workload,
+};
+use nmo_repro::workloads::StreamBench;
+
+fn stream_session(threads: usize, n: usize, iterations: usize) -> ProfileSession {
+    ProfileSession::builder()
+        .machine_config(MachineConfig::small_test())
+        .config(NmoConfig::paper_default(200))
+        .threads(threads)
+        .sink(CapacitySink::default())
+        .sink(BandwidthSink::default())
+        .sink(RegionSink::default())
+        .stream_options(StreamOptions { window_ns: 100_000, ..StreamOptions::default() })
+        .workload(Box::new(StreamBench::new(n, iterations)))
+        .build()
+        .expect("session builds")
+}
+
+/// Equivalence: a single-threaded run is fully deterministic, so the
+/// windowed merge must land on the same final series as the post-hoc scan
+/// (exact integers, float fields within merge tolerance).
+#[test]
+fn streaming_stream_workload_matches_post_hoc_series() {
+    let post_hoc = stream_session(1, 60_000, 2).run().expect("post-hoc run");
+    let streamed = stream_session(1, 60_000, 2).run_streaming().expect("streaming run");
+
+    assert!(post_hoc.processed_samples > 500, "{}", post_hoc.processed_samples);
+    assert_eq!(streamed.processed_samples, post_hoc.processed_samples);
+    assert_eq!(streamed.samples, post_hoc.samples, "identical decoded sample streams");
+
+    // Level 1: capacity series.
+    assert_eq!(streamed.capacity.peak_bytes, post_hoc.capacity.peak_bytes);
+    assert_eq!(streamed.capacity.points.len(), post_hoc.capacity.points.len());
+    for (s, p) in streamed.capacity.points.iter().zip(&post_hoc.capacity.points) {
+        assert!((s.time_s - p.time_s).abs() < 1e-9, "{s:?} vs {p:?}");
+        assert!((s.rss_gib - p.rss_gib).abs() < 1e-9, "{s:?} vs {p:?}");
+    }
+
+    // Level 2: bandwidth series.
+    assert_eq!(streamed.bandwidth.total_bytes, post_hoc.bandwidth.total_bytes);
+    assert_eq!(streamed.bandwidth.points.len(), post_hoc.bandwidth.points.len());
+    for (s, p) in streamed.bandwidth.points.iter().zip(&post_hoc.bandwidth.points) {
+        assert!((s.time_s - p.time_s).abs() < 1e-9, "{s:?} vs {p:?}");
+        assert!((s.gib_per_s - p.gib_per_s).abs() < 1e-6, "{s:?} vs {p:?}");
+    }
+    assert!((streamed.bandwidth.peak_gib_per_s - post_hoc.bandwidth.peak_gib_per_s).abs() < 1e-6);
+
+    // Level 3: region attribution.
+    let (rs, rp) = (streamed.regions(), post_hoc.regions());
+    assert_eq!(rs.per_tag, rp.per_tag);
+    assert_eq!(rs.per_phase, rp.per_phase);
+    assert_eq!(rs.untagged_samples, rp.untagged_samples);
+    assert_eq!(rs.scatter.len(), rp.scatter.len());
+
+    // The streaming run actually streamed.
+    let stats = streamed.stream.expect("streaming stats recorded");
+    assert!(stats.batches_published > 0, "{stats:?}");
+    assert!(stats.windows_closed > 1, "{stats:?}");
+    assert_eq!(stats.batches_dropped, 0, "{stats:?}");
+    assert!(post_hoc.stream.is_none());
+}
+
+/// Live readout: snapshots observed while the STREAM workload is still
+/// running grow monotonically and expose non-empty windows.
+#[test]
+fn poll_snapshot_grows_monotonically_during_the_run() {
+    let session = ProfileSession::builder()
+        .machine_config(MachineConfig::small_test())
+        .config(NmoConfig::paper_default(50))
+        .threads(2)
+        .stream_options(StreamOptions { window_ns: 50_000, ..StreamOptions::default() })
+        .build()
+        .expect("session builds");
+
+    let mut workload = StreamBench::new(400_000, 3);
+    workload.setup(session.machine(), &session.annotations()).expect("setup");
+    let active = session.start_streaming().expect("start streaming");
+
+    let mut snapshots: Vec<StreamSnapshot> = Vec::new();
+    let report = std::thread::scope(|s| {
+        let machine = active.machine();
+        let annotations = active.annotations_ref();
+        let cores = active.cores();
+        let workload = &mut workload;
+        let handle = s.spawn(move || workload.run(machine, annotations, cores));
+        while !handle.is_finished() {
+            snapshots.push(active.poll_snapshot().expect("streaming session snapshots"));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.join().expect("workload thread").expect("workload run")
+    });
+    assert!(workload.verify(), "workload result corrupted");
+    assert!(report.mem_ops > 0);
+
+    // Monotonic growth across every observed snapshot.
+    assert!(snapshots.len() > 2, "expected several mid-run snapshots");
+    for pair in snapshots.windows(2) {
+        assert!(pair[1].batches >= pair[0].batches);
+        assert!(pair[1].spe_samples >= pair[0].spe_samples);
+        assert!(pair[1].windows_closed >= pair[0].windows_closed);
+        assert!(pair[1].last_time_ns >= pair[0].last_time_ns);
+        assert!(pair[1].windows.len() >= pair[0].windows.len());
+    }
+
+    // Mid-run snapshots saw real, non-empty windows.
+    let last = snapshots.last().unwrap();
+    assert!(last.batches > 0, "pump delivered batches during the run: {last:?}");
+    assert!(!last.windows.is_empty(), "windows observed during the run: {last:?}");
+    assert!(last.windows.iter().any(|w| w.batches > 0), "windows carry data: {:?}", last.windows);
+
+    let profile = active.finish().expect("finish");
+    let stats = profile.stream.expect("stream stats");
+    assert!(stats.windows_closed >= last.windows_closed);
+    assert!(stats.batches_published >= last.batches);
+    assert!(profile.processed_samples >= last.spe_samples);
+    assert!(profile.processed_samples > 1_000, "{}", profile.processed_samples);
+    // The final profile is complete even though data was streamed out
+    // incrementally along the way.
+    assert_eq!(profile.samples.len() as u64, profile.processed_samples);
+    assert!(profile.capacity.peak_bytes > 0);
+    assert!(profile.bandwidth.total_bytes > 0);
+}
