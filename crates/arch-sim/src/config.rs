@@ -1,11 +1,24 @@
-//! Machine configuration: cache geometry, DRAM model, cost model, platform presets.
+//! Machine configuration: cache geometry, memory topology, cost model,
+//! platform presets.
 //!
 //! The default preset, [`MachineConfig::ampere_altra_max`], mirrors Table II of
 //! the paper: an Ampere Altra Max with 128 Armv8.2+ cores at 3.0 GHz, 64 KiB
 //! L1d and 1 MiB L2 per core, a 16 MiB system-level cache, 256 GiB of DDR4 at
 //! a 200 GB/s peak, and 64 KiB pages.
+//!
+//! The memory system is a [`MemTopologyConfig`]: an ordered list of
+//! [`MemNodeConfig`]s (node 0 is the local DDR; further nodes model
+//! CXL-style remote memory with higher idle latency and lower peak
+//! bandwidth) plus a [`PlacementPolicy`] that decides which node each
+//! virtual page is homed on at first touch — the knob behind the paper's
+//! tiered-memory (DDR vs. CXL-emulated NUMA) experiments.
 
 use crate::{Result, SimError};
+
+/// Maximum number of memory nodes a machine may have. Fixed-size per-node
+/// arrays of this length ride on the bandwidth/RSS series points so they
+/// stay `Copy`; the SPE data-source encoding itself supports 16 nodes.
+pub const MAX_MEM_NODES: usize = 4;
 
 /// Geometry and timing of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,20 +71,119 @@ impl CacheLevelConfig {
     }
 }
 
-/// DRAM latency/bandwidth model parameters.
+/// Latency/bandwidth model parameters of one memory node (a DDR channel
+/// group, or a CXL-attached expander).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DramConfig {
-    /// Idle (unloaded) DRAM access latency in core cycles.
+pub struct MemNodeConfig {
+    /// Idle (unloaded) access latency in core cycles.
     pub latency_cycles: u64,
-    /// Peak sustainable bandwidth of the memory system in bytes per core cycle
-    /// (machine-wide, shared by all cores). 200 GB/s at 3.0 GHz is ~66.7 B/cycle.
+    /// Peak sustainable bandwidth of the node in bytes per core cycle
+    /// (shared by all cores). 200 GB/s at 3.0 GHz is ~66.7 B/cycle.
     pub peak_bytes_per_cycle: f64,
-    /// Cycles charged to the issuing core per DRAM access when the bus is idle.
+    /// Cycles charged to the issuing core per access when the node is idle.
     pub occupancy_cycles: u64,
-    /// Maximum queueing delay (cycles) added when the bus is saturated.
+    /// Maximum queueing delay (cycles) added when the node is saturated.
     pub max_queue_cycles: u64,
-    /// Total DRAM capacity in bytes (Table II: 256 GiB).
+    /// Node capacity in bytes.
     pub capacity_bytes: u64,
+    /// Whether the node sits behind a remote (CXL-style) link. Accesses
+    /// served here report [`crate::op::DataSource::RemoteDram`] instead of
+    /// [`crate::op::DataSource::Dram`].
+    pub remote: bool,
+}
+
+impl MemNodeConfig {
+    /// Validate the node parameters.
+    pub fn validate(&self, name: &str) -> Result<()> {
+        if self.peak_bytes_per_cycle <= 0.0 {
+            return Err(SimError::BadConfig(format!(
+                "{name}: peak_bytes_per_cycle must be positive"
+            )));
+        }
+        if self.capacity_bytes == 0 {
+            return Err(SimError::BadConfig(format!("{name}: capacity_bytes must be non-zero")));
+        }
+        Ok(())
+    }
+}
+
+/// Where the virtual-memory system homes each page at first touch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PlacementPolicy {
+    /// Every page is homed on node 0 (the local DDR). Default.
+    #[default]
+    LocalOnly,
+    /// Pages are striped round-robin across all nodes in first-touch order.
+    Interleave,
+    /// A `local_fraction` share of pages (in first-touch order) is homed on
+    /// node 0; the remainder is spread round-robin over the remote nodes —
+    /// the paper's DDR-vs-CXL capacity-split scenario.
+    TierSplit {
+        /// Fraction of pages homed locally, clamped to `[0, 1]`.
+        local_fraction: f64,
+    },
+}
+
+/// The machine's memory system: an ordered list of nodes (node 0 = local
+/// DDR) plus the page-placement policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemTopologyConfig {
+    /// The memory nodes, indexed by [`crate::op::NodeId`]. Node 0 must be
+    /// local (not `remote`).
+    pub nodes: Vec<MemNodeConfig>,
+    /// First-touch page-placement policy.
+    pub placement: PlacementPolicy,
+}
+
+impl MemTopologyConfig {
+    /// A single-node (flat DRAM) topology.
+    pub fn single(node: MemNodeConfig) -> Self {
+        MemTopologyConfig { nodes: vec![node], placement: PlacementPolicy::LocalOnly }
+    }
+
+    /// A two-tier topology: local DDR plus one remote node, with the given
+    /// placement policy.
+    pub fn tiered(local: MemNodeConfig, remote: MemNodeConfig, placement: PlacementPolicy) -> Self {
+        MemTopologyConfig {
+            nodes: vec![local, MemNodeConfig { remote: true, ..remote }],
+            placement,
+        }
+    }
+
+    /// Total capacity across all nodes, bytes.
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.capacity_bytes).sum()
+    }
+
+    /// Validate node count, node parameters, and tier ordering.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(SimError::BadConfig("memory topology needs at least one node".into()));
+        }
+        if self.nodes.len() > MAX_MEM_NODES {
+            return Err(SimError::BadConfig(format!(
+                "memory topology supports at most {MAX_MEM_NODES} nodes, got {}",
+                self.nodes.len()
+            )));
+        }
+        if self.nodes[0].remote {
+            return Err(SimError::BadConfig("memory node 0 must be the local tier".into()));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.validate(&format!("mem node {i}"))?;
+        }
+        if let PlacementPolicy::TierSplit { local_fraction } = self.placement {
+            if !local_fraction.is_finite() {
+                return Err(SimError::BadConfig("TierSplit local_fraction must be finite".into()));
+            }
+            if self.nodes.len() < 2 {
+                return Err(SimError::BadConfig(
+                    "TierSplit placement needs at least one remote node".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Cost model for non-memory work and profiling-induced overhead.
@@ -103,8 +215,9 @@ pub struct MachineConfig {
     /// Number of independently locked SLC shards (reduces contention between
     /// simulated cores; must be a power of two).
     pub slc_shards: usize,
-    /// DRAM model.
-    pub dram: DramConfig,
+    /// Memory topology: the nodes behind the SLC and the page-placement
+    /// policy homing pages on them.
+    pub mem: MemTopologyConfig,
     /// Non-memory cost model.
     pub cost: CostModel,
     /// Width of one bandwidth-accounting bucket in core cycles.
@@ -148,17 +261,39 @@ impl MachineConfig {
                 occupancy_cycles: 8,
             },
             slc_shards: 16,
-            dram: DramConfig {
+            mem: MemTopologyConfig::single(MemNodeConfig {
                 latency_cycles: 330,
                 // 200 GB/s at 3.0 GHz.
                 peak_bytes_per_cycle: 200.0e9 / freq_hz as f64,
                 occupancy_cycles: 18,
                 max_queue_cycles: 2_000,
                 capacity_bytes: 256 * 1024 * 1024 * 1024,
-            },
+                remote: false,
+            }),
             cost: CostModel { cycles_per_cpu_op: 0.4, cycles_per_flop: 0.3 },
             // 1 ms of simulated time per bucket at 3 GHz.
             bandwidth_bucket_cycles: 3_000_000,
+        }
+    }
+
+    /// The Table II platform extended with a CXL-style remote memory node
+    /// (the paper's CXL-emulated NUMA testbed): ~3x the idle latency and a
+    /// quarter of the local peak bandwidth, homed by `placement`.
+    pub fn ampere_altra_max_tiered(placement: PlacementPolicy) -> Self {
+        let base = Self::ampere_altra_max();
+        let local = base.mem.nodes[0];
+        let remote = MemNodeConfig {
+            latency_cycles: local.latency_cycles * 3,
+            peak_bytes_per_cycle: local.peak_bytes_per_cycle / 4.0,
+            occupancy_cycles: local.occupancy_cycles * 2,
+            max_queue_cycles: local.max_queue_cycles * 2,
+            capacity_bytes: 128 * 1024 * 1024 * 1024,
+            remote: true,
+        };
+        MachineConfig {
+            name: format!("{} + CXL-style remote node", base.name),
+            mem: MemTopologyConfig::tiered(local, remote, placement),
+            ..base
         }
     }
 
@@ -195,16 +330,53 @@ impl MachineConfig {
                 occupancy_cycles: 4,
             },
             slc_shards: 4,
-            dram: DramConfig {
+            mem: MemTopologyConfig::single(MemNodeConfig {
                 latency_cycles: 100,
                 peak_bytes_per_cycle: 16.0,
                 occupancy_cycles: 8,
                 max_queue_cycles: 500,
                 capacity_bytes: 1024 * 1024 * 1024,
-            },
+                remote: false,
+            }),
             cost: CostModel { cycles_per_cpu_op: 0.5, cycles_per_flop: 0.5 },
             bandwidth_bucket_cycles: 10_000,
         }
+    }
+
+    /// The tiny test machine with a second, slower remote memory node
+    /// (4x the idle latency, a quarter of the bandwidth) and the given
+    /// placement policy — the unit-test analogue of the tiered testbed.
+    pub fn small_test_tiered(placement: PlacementPolicy) -> Self {
+        let base = Self::small_test();
+        let local = base.mem.nodes[0];
+        let remote = MemNodeConfig {
+            latency_cycles: local.latency_cycles * 4,
+            peak_bytes_per_cycle: local.peak_bytes_per_cycle / 4.0,
+            occupancy_cycles: local.occupancy_cycles * 2,
+            max_queue_cycles: local.max_queue_cycles,
+            capacity_bytes: local.capacity_bytes,
+            remote: true,
+        };
+        MachineConfig {
+            name: "small-test-tiered".to_string(),
+            mem: MemTopologyConfig::tiered(local, remote, placement),
+            ..base
+        }
+    }
+
+    /// The node-0 (local DDR) memory configuration.
+    pub fn local_mem(&self) -> &MemNodeConfig {
+        &self.mem.nodes[0]
+    }
+
+    /// Total memory capacity across every node, bytes.
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.mem.total_capacity_bytes()
+    }
+
+    /// Number of memory nodes in the topology.
+    pub fn mem_nodes(&self) -> usize {
+        self.mem.nodes.len()
     }
 
     /// Validate all geometry and parameters.
@@ -224,9 +396,7 @@ impl MachineConfig {
         if self.bandwidth_bucket_cycles == 0 {
             return Err(SimError::BadConfig("bandwidth_bucket_cycles must be non-zero".into()));
         }
-        if self.dram.peak_bytes_per_cycle <= 0.0 {
-            return Err(SimError::BadConfig("dram.peak_bytes_per_cycle must be positive".into()));
-        }
+        self.mem.validate()?;
         self.l1d.validate("l1d")?;
         self.l2.validate("l2")?;
         self.slc.validate("slc")?;
@@ -259,14 +429,35 @@ mod tests {
         assert_eq!(c.l1d.size_bytes, 64 * 1024);
         assert_eq!(c.l2.size_bytes, 1024 * 1024);
         assert_eq!(c.slc.size_bytes, 16 * 1024 * 1024);
-        assert_eq!(c.dram.capacity_bytes, 256 * 1024 * 1024 * 1024);
+        assert_eq!(c.mem_nodes(), 1);
+        assert_eq!(c.local_mem().capacity_bytes, 256 * 1024 * 1024 * 1024);
+        assert_eq!(c.total_mem_bytes(), 256 * 1024 * 1024 * 1024);
         // 200 GB/s at 3 GHz is about 66.7 bytes per cycle.
-        assert!((c.dram.peak_bytes_per_cycle - 66.666).abs() < 0.1);
+        assert!((c.local_mem().peak_bytes_per_cycle - 66.666).abs() < 0.1);
     }
 
     #[test]
     fn small_preset_is_valid() {
         MachineConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn tiered_presets_are_valid_and_slower_remotely() {
+        for c in [
+            MachineConfig::small_test_tiered(PlacementPolicy::TierSplit { local_fraction: 0.5 }),
+            MachineConfig::ampere_altra_max_tiered(PlacementPolicy::Interleave),
+        ] {
+            c.validate().unwrap();
+            assert_eq!(c.mem_nodes(), 2);
+            assert!(!c.mem.nodes[0].remote);
+            assert!(c.mem.nodes[1].remote);
+            assert!(c.mem.nodes[1].latency_cycles > c.mem.nodes[0].latency_cycles);
+            assert!(c.mem.nodes[1].peak_bytes_per_cycle < c.mem.nodes[0].peak_bytes_per_cycle);
+            assert_eq!(
+                c.total_mem_bytes(),
+                c.mem.nodes[0].capacity_bytes + c.mem.nodes[1].capacity_bytes
+            );
+        }
     }
 
     #[test]
@@ -294,6 +485,34 @@ mod tests {
         let mut c = MachineConfig::small_test();
         c.slc_shards = 3;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        let mut c = MachineConfig::small_test();
+        c.mem.nodes.clear();
+        assert!(c.validate().is_err(), "empty topology");
+
+        let mut c = MachineConfig::small_test();
+        let node = c.mem.nodes[0];
+        c.mem.nodes = vec![node; MAX_MEM_NODES + 1];
+        assert!(c.validate().is_err(), "too many nodes");
+
+        let mut c = MachineConfig::small_test();
+        c.mem.nodes[0].remote = true;
+        assert!(c.validate().is_err(), "node 0 must be local");
+
+        let mut c = MachineConfig::small_test();
+        c.mem.nodes[0].peak_bytes_per_cycle = 0.0;
+        assert!(c.validate().is_err(), "zero bandwidth");
+
+        let mut c = MachineConfig::small_test();
+        c.mem.placement = PlacementPolicy::TierSplit { local_fraction: 0.5 };
+        assert!(c.validate().is_err(), "TierSplit needs a remote node");
+
+        let mut c = MachineConfig::small_test_tiered(PlacementPolicy::LocalOnly);
+        c.mem.placement = PlacementPolicy::TierSplit { local_fraction: f64::NAN };
+        assert!(c.validate().is_err(), "non-finite split fraction");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! [`Machine::attach`]: crate::machine::Machine::attach
 
 use crate::machine::{CoreState, Machine};
-use crate::op::{MemLevel, MemOutcome, Op, OpKind};
+use crate::op::{DataSource, MemOutcome, Op, OpKind};
 
 /// Execution handle bound to one core of a [`Machine`].
 ///
@@ -166,12 +166,12 @@ impl<'m> Engine<'m> {
         let l1 = st.l1.access(vaddr, is_store);
         let outcome = if l1.hit {
             st.counters.l1_hits += 1;
-            MemOutcome::hit(MemLevel::L1, cfg.l1d.latency_cycles, cfg.l1d.occupancy_cycles)
+            MemOutcome::hit(DataSource::L1, cfg.l1d.latency_cycles, cfg.l1d.occupancy_cycles)
         } else {
             let l2 = st.l2.access(vaddr, is_store);
             if l2.hit {
                 st.counters.l2_hits += 1;
-                MemOutcome::hit(MemLevel::L2, cfg.l2.latency_cycles, cfg.l2.occupancy_cycles)
+                MemOutcome::hit(DataSource::L2, cfg.l2.latency_cycles, cfg.l2.occupancy_cycles)
             } else {
                 let slc_res = {
                     let mut shard = machine.slc_shard(vaddr).lock();
@@ -179,39 +179,57 @@ impl<'m> Engine<'m> {
                 };
                 if slc_res.hit {
                     st.counters.slc_hits += 1;
-                    MemOutcome::hit(MemLevel::Slc, cfg.slc.latency_cycles, cfg.slc.occupancy_cycles)
+                    MemOutcome::hit(
+                        DataSource::Slc,
+                        cfg.slc.latency_cycles,
+                        cfg.slc.occupancy_cycles,
+                    )
                 } else {
-                    // DRAM access: line fill plus any write-back from the
-                    // hierarchy walk above.
+                    // Memory-node access: line fill plus any write-back from
+                    // the hierarchy walk above. Resolving the page home first
+                    // also performs first-touch placement — only the cold
+                    // path needs it, since a never-touched page cannot be
+                    // cached. Write-back traffic is charged to the same node
+                    // as the fill (the model does not track the evicted
+                    // line's home).
                     let wb = if l1.dirty_eviction || l2.dirty_eviction || slc_res.dirty_eviction {
                         line_bytes
                     } else {
                         0
                     };
                     let now = st.clock as u64;
-                    let acc = machine.dram().access(now, line_bytes, wb);
+                    let (node_id, first_touch) = match machine.vm().place(vaddr) {
+                        Some(home) => (home.node, home.first_touch),
+                        // Untracked address (outside every region): served by
+                        // the local node, no residency accounting.
+                        None => (0, false),
+                    };
+                    let node = machine.topology().node(node_id);
+                    let acc = node.access(now, line_bytes, wb);
                     st.counters.dram_accesses += 1;
                     st.counters.bus_read_bytes += line_bytes as u64;
                     st.counters.bus_write_bytes += wb as u64;
 
-                    // Bandwidth bucket accounting.
+                    // Bandwidth bucket accounting, split per serving node.
                     let bucket = (now / cfg.bandwidth_bucket_cycles) as usize;
                     if st.bw_buckets.len() <= bucket {
-                        st.bw_buckets.resize(bucket + 1, 0);
+                        st.bw_buckets.resize(bucket + 1, [0; crate::config::MAX_MEM_NODES]);
                     }
-                    st.bw_buckets[bucket] += (line_bytes + wb) as u64;
+                    st.bw_buckets[bucket][node_id as usize] += (line_bytes + wb) as u64;
 
-                    // First touch detection only needs to run on the cold path:
-                    // a page that has never been touched cannot be cached.
-                    let first_touch = machine.vm().touch(vaddr);
                     if first_touch {
                         machine.push_rss_event(now);
                     }
 
+                    let source = if node.is_remote() {
+                        DataSource::RemoteDram(node_id)
+                    } else {
+                        DataSource::Dram(node_id)
+                    };
                     MemOutcome {
-                        level: MemLevel::Dram,
+                        source,
                         latency_cycles: acc.latency_cycles,
-                        occupancy_cycles: machine.dram().occupancy() + acc.queue_cycles,
+                        occupancy_cycles: node.occupancy() + acc.queue_cycles,
                         bus_bytes: line_bytes + wb,
                         first_touch,
                     }
@@ -254,9 +272,10 @@ impl Drop for Engine<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::MachineConfig;
+    use crate::config::{MachineConfig, PlacementPolicy};
     use crate::machine::Machine;
     use crate::observer::CountingObserver;
+    use crate::op::MemLevel;
 
     #[test]
     fn streaming_counts_and_levels() {
@@ -267,8 +286,11 @@ mod tests {
         let mut l1_seen = 0;
         for i in 0..8192u64 {
             let out = e.load(region.start + i * 8, 8);
-            match out.level {
-                MemLevel::Dram => dram_seen += 1,
+            match out.level() {
+                MemLevel::Dram => {
+                    assert_eq!(out.source, DataSource::Dram(0), "single-node machine");
+                    dram_seen += 1;
+                }
                 MemLevel::L1 => l1_seen += 1,
                 _ => {}
             }
@@ -382,6 +404,51 @@ mod tests {
         drop(e);
         let c = m.counters();
         assert!(c.bus_write_bytes > 0, "dirty evictions must produce write-backs");
+    }
+
+    #[test]
+    fn tiered_machine_serves_remote_pages_slower() {
+        let m = Machine::new(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+            local_fraction: 0.5,
+        }));
+        // Stream far past every cache so accesses keep reaching the nodes.
+        let region = m.alloc("data", 8 << 20).unwrap();
+        let mut e = m.attach(0).unwrap();
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
+        for i in (0..(8 << 20)).step_by(64) {
+            let out = e.load(region.start + i as u64, 8);
+            match out.source {
+                DataSource::Dram(0) => local.push(out.latency_cycles),
+                DataSource::RemoteDram(1) => remote.push(out.latency_cycles),
+                DataSource::Dram(_) | DataSource::RemoteDram(_) => {
+                    panic!("unexpected node: {:?}", out.source)
+                }
+                _ => {}
+            }
+        }
+        drop(e);
+        assert!(!local.is_empty() && !remote.is_empty(), "both tiers served traffic");
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            mean(&remote) > mean(&local) + 100.0,
+            "remote tier must be visibly slower: local {} remote {}",
+            mean(&local),
+            mean(&remote)
+        );
+        // Traffic accounting reaches the right nodes.
+        assert!(m.topology().node(0).accesses() > 0);
+        assert!(m.topology().node(1).accesses() > 0);
+        let bw = m.bandwidth_series();
+        let by_node: [u64; crate::config::MAX_MEM_NODES] =
+            bw.iter().fold([0; crate::config::MAX_MEM_NODES], |mut acc, p| {
+                for (n, b) in p.by_node.iter().enumerate() {
+                    acc[n] += b;
+                }
+                acc
+            });
+        assert!(by_node[0] > 0 && by_node[1] > 0, "per-node bandwidth split recorded: {by_node:?}");
+        assert_eq!(by_node.iter().sum::<u64>(), bw.iter().map(|p| p.bytes).sum::<u64>());
     }
 
     #[test]

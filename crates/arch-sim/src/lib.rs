@@ -2,9 +2,12 @@
 //!
 //! This crate models the hardware platform the NMO profiler runs on: an
 //! ARM-server-like multi-core machine with a private L1d/L2 per core, a
-//! shared system-level cache (SLC), a bandwidth-limited DRAM, a 64 KiB-page
-//! virtual address space, and a per-core *operation stream* that observers
-//! (such as the ARM SPE unit model in the `spe` crate) can subscribe to.
+//! shared system-level cache (SLC), a multi-node memory topology (local DDR
+//! plus optional CXL-style remote nodes, each with its own latency and
+//! bandwidth contention model), a 64 KiB-page virtual address space with
+//! first-touch page placement across the nodes, and a per-core *operation
+//! stream* that observers (such as the ARM SPE unit model in the `spe`
+//! crate) can subscribe to.
 //!
 //! The paper evaluates NMO on an Ampere Altra Max (Neoverse V1-class, 128
 //! cores, 64 KiB pages, 256 GiB DDR4, 200 GB/s peak). Since real SPE hardware
@@ -48,23 +51,26 @@ pub mod cache;
 pub mod clock;
 pub mod config;
 pub mod counters;
-pub mod dram;
 pub mod engine;
 pub mod machine;
 pub mod observer;
 pub mod op;
+pub mod topology;
 pub mod vm;
 
 pub use cache::Cache;
 pub use clock::TimeConv;
-pub use config::{CacheLevelConfig, CostModel, DramConfig, MachineConfig};
+pub use config::{
+    CacheLevelConfig, CostModel, MachineConfig, MemNodeConfig, MemTopologyConfig, PlacementPolicy,
+    MAX_MEM_NODES,
+};
 pub use counters::{CoreCounters, MachineCounters};
-pub use dram::Dram;
 pub use engine::Engine;
 pub use machine::{BandwidthPoint, Machine, RssPoint};
 pub use observer::{FanoutObserver, NullObserver, ObserverCharge, OpObserver};
-pub use op::{MemLevel, MemOutcome, Op, OpKind};
-pub use vm::{AddressSpace, Region};
+pub use op::{DataSource, MemLevel, MemOutcome, NodeId, Op, OpKind};
+pub use topology::{MemNode, MemTopology, NodeAccess};
+pub use vm::{AddressSpace, PageHome, Region};
 
 /// Errors produced by the machine substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,15 +1,16 @@
-//! The simulated machine: cores, shared cache, DRAM, address space, and the
-//! temporal series (bandwidth, resident set size) the NMO profiler consumes.
+//! The simulated machine: cores, shared cache, the multi-node memory
+//! topology, address space, and the temporal series (bandwidth, resident set
+//! size) the NMO profiler consumes.
 
 use parking_lot::Mutex;
 
 use crate::cache::Cache;
 use crate::clock::TimeConv;
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, MAX_MEM_NODES};
 use crate::counters::{CoreCounters, MachineCounters};
-use crate::dram::Dram;
 use crate::engine::Engine;
 use crate::observer::OpObserver;
+use crate::topology::MemTopology;
 use crate::vm::{AddressSpace, Region};
 use crate::{Result, SimError};
 
@@ -28,8 +29,9 @@ pub(crate) struct CoreState {
     pub counters: CoreCounters,
     /// Attached operation observer (the SPE unit when profiling is enabled).
     pub observer: Option<Box<dyn OpObserver>>,
-    /// Bus bytes per bandwidth bucket attributable to this core.
-    pub bw_buckets: Vec<u64>,
+    /// Bus bytes per bandwidth bucket attributable to this core, split per
+    /// memory node.
+    pub bw_buckets: Vec<[u64; MAX_MEM_NODES]>,
 }
 
 impl std::fmt::Debug for CoreState {
@@ -62,8 +64,10 @@ impl CoreState {
 pub struct BandwidthPoint {
     /// Start of the bucket, in simulated nanoseconds.
     pub time_ns: u64,
-    /// Bus bytes transferred during the bucket.
+    /// Bus bytes transferred during the bucket (all nodes).
     pub bytes: u64,
+    /// Bus bytes transferred during the bucket, per memory node.
+    pub by_node: [u64; MAX_MEM_NODES],
     /// Bandwidth in GiB/s over the bucket.
     pub gib_per_s: f64,
 }
@@ -73,8 +77,20 @@ pub struct BandwidthPoint {
 pub struct RssPoint {
     /// Simulated time of the event, nanoseconds.
     pub time_ns: u64,
-    /// Resident set size after the event, bytes.
+    /// Resident set size after the event, bytes (all nodes).
     pub rss_bytes: u64,
+    /// Resident set size after the event, per memory node.
+    pub rss_by_node: [u64; MAX_MEM_NODES],
+}
+
+impl RssPoint {
+    /// A point with the whole RSS on node 0 (single-node topologies and
+    /// tests).
+    pub fn flat(time_ns: u64, rss_bytes: u64) -> Self {
+        let mut rss_by_node = [0u64; MAX_MEM_NODES];
+        rss_by_node[0] = rss_bytes;
+        RssPoint { time_ns, rss_bytes, rss_by_node }
+    }
 }
 
 /// The simulated multi-core machine.
@@ -82,7 +98,8 @@ pub struct Machine {
     cfg: MachineConfig,
     timeconv: TimeConv,
     vm: AddressSpace,
-    dram: Dram,
+    /// The memory nodes (local DDR plus any remote tiers).
+    topology: MemTopology,
     /// Sharded shared system-level cache. A line maps to shard
     /// `(line_index) & (shards - 1)`.
     slc: Vec<Mutex<Cache>>,
@@ -97,6 +114,7 @@ impl std::fmt::Debug for Machine {
         f.debug_struct("Machine")
             .field("name", &self.cfg.name)
             .field("num_cores", &self.cfg.num_cores)
+            .field("mem_nodes", &self.topology.len())
             .finish()
     }
 }
@@ -111,14 +129,19 @@ impl Machine {
         cfg.validate().expect("invalid machine configuration");
         let timeconv =
             TimeConv { core_freq_hz: cfg.freq_hz, timer_freq_hz: 25_000_000, time_zero_ns: 0 };
-        let vm = AddressSpace::new(cfg.page_bytes, cfg.dram.capacity_bytes);
-        let dram = Dram::new(cfg.dram);
+        let vm = AddressSpace::with_placement(
+            cfg.page_bytes,
+            cfg.total_mem_bytes(),
+            cfg.mem_nodes(),
+            cfg.mem.placement,
+        );
+        let topology = MemTopology::from_config(&cfg.mem);
         let slc = (0..cfg.slc_shards)
             .map(|_| Mutex::new(Cache::new_shard(&cfg.slc, cfg.slc_shards)))
             .collect();
         let cores =
             (0..cfg.num_cores).map(|id| Mutex::new(Some(CoreState::new(id, &cfg)))).collect();
-        Machine { cfg, timeconv, vm, dram, slc, cores, rss_events: Mutex::new(Vec::new()) }
+        Machine { cfg, timeconv, vm, topology, slc, cores, rss_events: Mutex::new(Vec::new()) }
     }
 
     /// The machine configuration.
@@ -136,9 +159,9 @@ impl Machine {
         &self.vm
     }
 
-    /// The DRAM model.
-    pub fn dram(&self) -> &Dram {
-        &self.dram
+    /// The memory topology (every node, local and remote).
+    pub fn topology(&self) -> &MemTopology {
+        &self.topology
     }
 
     pub(crate) fn slc_shard(&self, vaddr: u64) -> &Mutex<Cache> {
@@ -164,8 +187,11 @@ impl Machine {
     }
 
     pub(crate) fn push_rss_event(&self, now_cycles: u64) {
-        let point =
-            RssPoint { time_ns: self.cfg.cycles_to_ns(now_cycles), rss_bytes: self.vm.rss_bytes() };
+        // One consistent reading: taking total and per-node split under
+        // separate locks could record a point whose split does not sum to
+        // its total when another core first-touches in between.
+        let (rss_bytes, rss_by_node) = self.vm.rss_snapshot();
+        let point = RssPoint { time_ns: self.cfg.cycles_to_ns(now_cycles), rss_bytes, rss_by_node };
         self.rss_events.lock().push(point);
     }
 
@@ -261,16 +287,19 @@ impl Machine {
     }
 
     /// The memory-bandwidth-over-time series (Figure 3), aggregated over all
-    /// cores, one point per `bandwidth_bucket_cycles`-wide bucket.
+    /// cores, one point per `bandwidth_bucket_cycles`-wide bucket, with the
+    /// per-node traffic split preserved in [`BandwidthPoint::by_node`].
     pub fn bandwidth_series(&self) -> Vec<BandwidthPoint> {
-        let mut buckets: Vec<u64> = Vec::new();
+        let mut buckets: Vec<[u64; MAX_MEM_NODES]> = Vec::new();
         for slot in &self.cores {
             if let Some(state) = slot.lock().as_ref() {
                 if state.bw_buckets.len() > buckets.len() {
-                    buckets.resize(state.bw_buckets.len(), 0);
+                    buckets.resize(state.bw_buckets.len(), [0; MAX_MEM_NODES]);
                 }
-                for (i, b) in state.bw_buckets.iter().enumerate() {
-                    buckets[i] += *b;
+                for (i, by_node) in state.bw_buckets.iter().enumerate() {
+                    for (node, b) in by_node.iter().enumerate() {
+                        buckets[i][node] += *b;
+                    }
                 }
             }
         }
@@ -279,16 +308,21 @@ impl Machine {
         buckets
             .iter()
             .enumerate()
-            .map(|(i, &bytes)| BandwidthPoint {
-                time_ns: i as u64 * bucket_ns,
-                bytes,
-                gib_per_s: bytes as f64 / (1u64 << 30) as f64 / (bucket_ns as f64 * 1e-9),
+            .map(|(i, by_node)| {
+                let bytes: u64 = by_node.iter().sum();
+                BandwidthPoint {
+                    time_ns: i as u64 * bucket_ns,
+                    bytes,
+                    by_node: *by_node,
+                    gib_per_s: bytes as f64 / (1u64 << 30) as f64 / (bucket_ns as f64 * 1e-9),
+                }
             })
             .collect()
     }
 
     /// The resident-set-size-over-time series (Figure 2): one step event per
-    /// page first-touch or region free.
+    /// page first-touch or region free, with the per-node residency split in
+    /// [`RssPoint::rss_by_node`].
     pub fn rss_series(&self) -> Vec<RssPoint> {
         self.rss_events.lock().clone()
     }
@@ -306,8 +340,9 @@ impl Machine {
         self.vm.rss_bytes()
     }
 
-    /// Flush all caches and reset DRAM traffic (used between experiment
-    /// trials that reuse a machine). Counters, clocks and RSS are preserved.
+    /// Flush all caches and reset memory-node traffic and busy frontiers
+    /// (used between experiment trials that reuse a machine). Counters,
+    /// clocks and RSS are preserved.
     pub fn flush_caches(&self) {
         for slot in &self.cores {
             if let Some(state) = slot.lock().as_mut() {
@@ -318,6 +353,7 @@ impl Machine {
         for shard in &self.slc {
             shard.lock().flush();
         }
+        self.topology.reset();
     }
 
     /// Number of cores.
@@ -329,6 +365,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PlacementPolicy;
     use crate::observer::CountingObserver;
 
     #[test]
@@ -408,7 +445,27 @@ mod tests {
         let fresh = m.rss_events_since(first.len());
         assert_eq!(fresh.len(), 1);
         assert_eq!(fresh[0].rss_bytes, 3 * page);
+        assert_eq!(fresh[0].rss_by_node[0], 3 * page, "single-node machine homes on node 0");
         assert!(m.rss_events_since(99).is_empty(), "past-the-end cursor yields nothing");
+    }
+
+    #[test]
+    fn tiered_machine_splits_rss_events_per_node() {
+        let m = Machine::new(MachineConfig::small_test_tiered(PlacementPolicy::Interleave));
+        let page = m.config().page_bytes;
+        let region = m.alloc("data", 4 * page).unwrap();
+        {
+            let mut e = m.attach(0).unwrap();
+            for p in 0..4u64 {
+                e.store(region.start + p * page, 8);
+            }
+        }
+        let series = m.rss_series();
+        let last = series.last().unwrap();
+        assert_eq!(last.rss_bytes, 4 * page);
+        assert_eq!(last.rss_by_node[0], 2 * page);
+        assert_eq!(last.rss_by_node[1], 2 * page);
+        assert_eq!(last.rss_by_node.iter().sum::<u64>(), last.rss_bytes);
     }
 
     #[test]

@@ -174,12 +174,12 @@ impl OpObserver for CountingObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::{MemLevel, MemOutcome, Op};
+    use crate::op::{DataSource, MemOutcome, Op};
 
     #[test]
     fn counting_observer_counts() {
         let mut obs = CountingObserver { charge_per_op: 2, ..Default::default() };
-        let outcome = MemOutcome::hit(MemLevel::L1, 4, 1);
+        let outcome = MemOutcome::hit(DataSource::L1, 4, 1);
         let c = obs.on_op(&Op::load(0, 0x100, 8), Some(&outcome), 10);
         assert_eq!(c.extra_cycles, 2);
         obs.on_op(&Op::other(0), None, 12);
@@ -206,7 +206,7 @@ mod tests {
         ]);
         assert_eq!(fan.len(), 3);
         assert!(!fan.is_empty());
-        let outcome = MemOutcome::hit(MemLevel::L1, 4, 1);
+        let outcome = MemOutcome::hit(DataSource::L1, 4, 1);
         let c = fan.on_op(&Op::load(0, 0x100, 8), Some(&outcome), 5);
         assert_eq!(c.extra_cycles, 7);
         let c = fan.on_detach(9);

@@ -2,10 +2,15 @@
 //!
 //! Every operation retired by a simulated core is described by an [`Op`];
 //! memory operations additionally carry a [`MemOutcome`] describing which
-//! level of the hierarchy served them and at what latency. These are exactly
-//! the quantities ARM SPE records per sampled operation (PC, data address,
-//! event flags, latency, data source), so the SPE unit model consumes them
-//! directly.
+//! part of the memory system served them and at what latency. These are
+//! exactly the quantities ARM SPE records per sampled operation (PC, data
+//! address, event flags, latency, data source), so the SPE unit model
+//! consumes them directly.
+//!
+//! Since the machine models a multi-node memory topology (local DDR plus
+//! CXL-style remote nodes), a DRAM-class access carries the *node* that
+//! served it in its [`DataSource`]; the coarser [`MemLevel`] remains the
+//! class-level view (L1/L2/SLC/DRAM) used by filters and summaries.
 
 /// The kind of a retired operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,7 +32,7 @@ impl OpKind {
     }
 }
 
-/// The memory-hierarchy level that served an access.
+/// The memory-hierarchy level (class) that served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemLevel {
     /// Served by the core-private L1 data cache.
@@ -36,31 +41,123 @@ pub enum MemLevel {
     L2,
     /// Served by the shared system-level cache.
     Slc,
-    /// Served by DRAM.
+    /// Served by a DRAM node (local or remote; see [`DataSource`]).
     Dram,
 }
 
-impl MemLevel {
-    /// Encoding used in the SPE data-source packet (model-specific values;
-    /// chosen to be stable for decoding in tests and tools).
-    pub fn data_source_code(self) -> u8 {
+/// Identifier of one memory node in the topology (0 = local DDR).
+pub type NodeId = u8;
+
+/// The precise memory-system source that served an access, as recorded in
+/// the SPE data-source packet.
+///
+/// The one-byte encoding is modeled on the Neoverse data-source encodings
+/// (L1D `0x0`, L2 `0x8`, system cache, local and far DRAM), extended with
+/// the serving node id in the high nibble for DRAM-class sources:
+///
+/// | Source              | Code           | Neoverse analogue     |
+/// |---------------------|----------------|-----------------------|
+/// | [`DataSource::L1`]  | `0x00`         | `L1D` (`0b0000`)      |
+/// | [`DataSource::L2`]  | `0x08`         | `L2` (`0b1000`)       |
+/// | [`DataSource::Slc`] | `0x09`         | `SYS_CACHE` class     |
+/// | [`DataSource::Dram`]`(n)`       | `0x0d \| n << 4` | `DRAM` (`0b1101`) |
+/// | [`DataSource::RemoteDram`]`(n)` | `0x0e \| n << 4` | `REMOTE` / far-memory class |
+///
+/// Node ids occupy the high nibble, so up to 16 nodes round-trip through
+/// the packet codec (the machine model caps the topology at
+/// [`crate::config::MAX_MEM_NODES`] nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataSource {
+    /// Served by the core-private L1 data cache.
+    L1,
+    /// Served by the core-private L2 cache.
+    L2,
+    /// Served by the shared system-level cache.
+    Slc,
+    /// Served by a local-tier DRAM node (node 0 is the DDR of the socket).
+    Dram(NodeId),
+    /// Served by a remote-tier (CXL-style) DRAM node.
+    RemoteDram(NodeId),
+}
+
+/// Low-nibble class code of a local DRAM data source.
+const DS_CLASS_DRAM: u8 = 0xd;
+/// Low-nibble class code of a remote DRAM data source.
+const DS_CLASS_REMOTE: u8 = 0xe;
+
+impl DataSource {
+    /// The memory-level class of this source.
+    pub fn level(self) -> MemLevel {
         match self {
-            MemLevel::L1 => 0x0,
-            MemLevel::L2 => 0x8,
-            MemLevel::Slc => 0x9,
-            MemLevel::Dram => 0xd,
+            DataSource::L1 => MemLevel::L1,
+            DataSource::L2 => MemLevel::L2,
+            DataSource::Slc => MemLevel::Slc,
+            DataSource::Dram(_) | DataSource::RemoteDram(_) => MemLevel::Dram,
         }
     }
 
-    /// Inverse of [`MemLevel::data_source_code`].
-    pub fn from_data_source_code(code: u8) -> Option<Self> {
-        match code {
-            0x0 => Some(MemLevel::L1),
-            0x8 => Some(MemLevel::L2),
-            0x9 => Some(MemLevel::Slc),
-            0xd => Some(MemLevel::Dram),
+    /// Whether the access was served by a DRAM node (any tier).
+    pub fn is_dram_class(self) -> bool {
+        matches!(self, DataSource::Dram(_) | DataSource::RemoteDram(_))
+    }
+
+    /// Whether the access was served by a remote-tier node.
+    pub fn is_remote(self) -> bool {
+        matches!(self, DataSource::RemoteDram(_))
+    }
+
+    /// The serving memory node, for DRAM-class sources.
+    pub fn node(self) -> Option<NodeId> {
+        match self {
+            DataSource::Dram(n) | DataSource::RemoteDram(n) => Some(n),
             _ => None,
         }
+    }
+
+    /// Encoding used in the SPE data-source packet (see the type-level
+    /// table). Node ids above 15 are masked to the low 4 bits.
+    pub fn encode(self) -> u8 {
+        match self {
+            DataSource::L1 => 0x0,
+            DataSource::L2 => 0x8,
+            DataSource::Slc => 0x9,
+            DataSource::Dram(n) => DS_CLASS_DRAM | (n & 0xf) << 4,
+            DataSource::RemoteDram(n) => DS_CLASS_REMOTE | (n & 0xf) << 4,
+        }
+    }
+
+    /// Inverse of [`DataSource::encode`]. Returns `None` for codes that do
+    /// not name a source (including cache-class codes with a non-zero node
+    /// nibble).
+    pub fn decode(code: u8) -> Option<Self> {
+        let node = code >> 4;
+        match code & 0xf {
+            _ if code == 0x0 => Some(DataSource::L1),
+            _ if code == 0x8 => Some(DataSource::L2),
+            _ if code == 0x9 => Some(DataSource::Slc),
+            DS_CLASS_DRAM => Some(DataSource::Dram(node)),
+            DS_CLASS_REMOTE => Some(DataSource::RemoteDram(node)),
+            _ => None,
+        }
+    }
+}
+
+impl MemLevel {
+    /// Encoding used in the SPE data-source packet for the canonical source
+    /// of this class (node 0 for DRAM). Kept for class-level tooling; the
+    /// full encoding lives on [`DataSource::encode`].
+    pub fn data_source_code(self) -> u8 {
+        match self {
+            MemLevel::L1 => DataSource::L1.encode(),
+            MemLevel::L2 => DataSource::L2.encode(),
+            MemLevel::Slc => DataSource::Slc.encode(),
+            MemLevel::Dram => DataSource::Dram(0).encode(),
+        }
+    }
+
+    /// Inverse of [`MemLevel::data_source_code`] at class granularity.
+    pub fn from_data_source_code(code: u8) -> Option<Self> {
+        DataSource::decode(code).map(DataSource::level)
     }
 }
 
@@ -103,23 +200,30 @@ impl Op {
 /// Result of sending a memory access through the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemOutcome {
-    /// Level that ultimately served the access.
-    pub level: MemLevel,
-    /// Total load-to-use latency in cycles, including any DRAM queueing delay.
+    /// The precise source that served the access (carries the node for
+    /// DRAM-class accesses).
+    pub source: DataSource,
+    /// Total load-to-use latency in cycles, including any queueing delay at
+    /// the serving memory node.
     pub latency_cycles: u64,
     /// Cycles of issue-slot occupancy charged to the core for this access.
     pub occupancy_cycles: u64,
     /// Bytes moved on the memory bus (0 unless the access reached DRAM).
     pub bus_bytes: u32,
     /// Whether this access was the first touch of its virtual page (used for
-    /// resident-set-size accounting).
+    /// resident-set-size accounting and page placement).
     pub first_touch: bool,
 }
 
 impl MemOutcome {
-    /// An outcome representing a hit in the given level with no bus traffic.
-    pub fn hit(level: MemLevel, latency_cycles: u64, occupancy_cycles: u64) -> Self {
-        MemOutcome { level, latency_cycles, occupancy_cycles, bus_bytes: 0, first_touch: false }
+    /// An outcome representing a hit in the given source with no bus traffic.
+    pub fn hit(source: DataSource, latency_cycles: u64, occupancy_cycles: u64) -> Self {
+        MemOutcome { source, latency_cycles, occupancy_cycles, bus_bytes: 0, first_touch: false }
+    }
+
+    /// The memory-level class of the serving source.
+    pub fn level(&self) -> MemLevel {
+        self.source.level()
     }
 }
 
@@ -144,11 +248,52 @@ mod tests {
     }
 
     #[test]
+    fn data_source_roundtrip_including_nodes() {
+        let mut sources = vec![DataSource::L1, DataSource::L2, DataSource::Slc];
+        for n in 0..16u8 {
+            sources.push(DataSource::Dram(n));
+            sources.push(DataSource::RemoteDram(n));
+        }
+        for src in sources {
+            assert_eq!(DataSource::decode(src.encode()), Some(src), "{src:?}");
+        }
+        assert_eq!(DataSource::decode(0x3), None);
+        assert_eq!(DataSource::decode(0x18), None, "L2 with a node nibble is invalid");
+        assert_eq!(DataSource::decode(0xff), None);
+    }
+
+    #[test]
+    fn data_source_codes_match_neoverse_classes() {
+        assert_eq!(DataSource::L1.encode(), 0x0);
+        assert_eq!(DataSource::L2.encode(), 0x8);
+        assert_eq!(DataSource::Slc.encode(), 0x9);
+        assert_eq!(DataSource::Dram(0).encode(), 0xd);
+        assert_eq!(DataSource::Dram(1).encode(), 0x1d);
+        assert_eq!(DataSource::RemoteDram(1).encode(), 0x1e);
+    }
+
+    #[test]
+    fn data_source_classification() {
+        assert_eq!(DataSource::Dram(0).level(), MemLevel::Dram);
+        assert_eq!(DataSource::RemoteDram(2).level(), MemLevel::Dram);
+        assert!(DataSource::RemoteDram(1).is_dram_class());
+        assert!(DataSource::RemoteDram(1).is_remote());
+        assert!(!DataSource::Dram(0).is_remote());
+        assert_eq!(DataSource::Dram(3).node(), Some(3));
+        assert_eq!(DataSource::Slc.node(), None);
+    }
+
+    #[test]
     fn mem_level_data_source_roundtrip() {
         for level in [MemLevel::L1, MemLevel::L2, MemLevel::Slc, MemLevel::Dram] {
             assert_eq!(MemLevel::from_data_source_code(level.data_source_code()), Some(level));
         }
         assert_eq!(MemLevel::from_data_source_code(0x3), None);
+        // Any node decodes to the DRAM class.
+        assert_eq!(
+            MemLevel::from_data_source_code(DataSource::RemoteDram(1).encode()),
+            Some(MemLevel::Dram)
+        );
     }
 
     #[test]
@@ -156,5 +301,14 @@ mod tests {
         assert!(MemLevel::L1 < MemLevel::L2);
         assert!(MemLevel::L2 < MemLevel::Slc);
         assert!(MemLevel::Slc < MemLevel::Dram);
+    }
+
+    #[test]
+    fn outcome_level_follows_source() {
+        let hit = MemOutcome::hit(DataSource::L2, 13, 3);
+        assert_eq!(hit.level(), MemLevel::L2);
+        assert_eq!(hit.bus_bytes, 0);
+        let far = MemOutcome::hit(DataSource::RemoteDram(1), 900, 20);
+        assert_eq!(far.level(), MemLevel::Dram);
     }
 }

@@ -1,4 +1,5 @@
-//! Virtual address space, named allocations, and resident-set-size tracking.
+//! Virtual address space, named allocations, resident-set-size tracking, and
+//! first-touch page placement onto the memory topology.
 //!
 //! Workloads allocate named regions ("a", "b", "c", "normals", ...) from a
 //! simulated 64 KiB-page address space. NMO's capacity profiler (Figure 2 of
@@ -6,16 +7,27 @@
 //! on *first touch* of each page, which in the simulator is detected on the
 //! cold-miss path of the cache hierarchy (a never-touched page can never be
 //! cached).
+//!
+//! On a multi-node memory topology the first touch also *homes* the page:
+//! the configured [`PlacementPolicy`] assigns each newly resident page a
+//! memory node (local DDR, or a CXL-style remote node), and every later
+//! DRAM-class access to the page is served by that node — exactly the
+//! first-touch NUMA behaviour the paper's tiered experiments rely on.
 
 use std::collections::BTreeMap;
 
 use parking_lot::RwLock;
 
+use crate::config::{PlacementPolicy, MAX_MEM_NODES};
+use crate::op::NodeId;
 use crate::{Result, SimError};
 
 /// Base virtual address of the simulated heap. Chosen to look like a typical
 /// Linux arm64 mmap region so plotted addresses resemble the paper's figures.
 pub const HEAP_BASE: u64 = 0xffff_0000_0000;
+
+/// Sentinel for a page that has not been homed yet.
+const NODE_UNASSIGNED: u8 = u8::MAX;
 
 /// A named, contiguous allocation in the simulated address space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,12 +52,26 @@ impl Region {
     }
 }
 
+/// The home of one touched page, as resolved by [`AddressSpace::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageHome {
+    /// The memory node the page lives on.
+    pub node: NodeId,
+    /// Whether this access was the first touch of the page (the page just
+    /// became resident and was homed by the placement policy).
+    pub first_touch: bool,
+}
+
 #[derive(Debug)]
 struct RegionState {
     region: Region,
     /// One bit per page: has the page been touched?
     touched: Vec<u64>,
+    /// The home node of each page (NODE_UNASSIGNED until first touch).
+    nodes: Vec<u8>,
     touched_pages: u64,
+    /// Touched pages per memory node (released on free).
+    touched_by_node: [u64; MAX_MEM_NODES],
     freed: bool,
 }
 
@@ -56,6 +82,14 @@ struct Inner {
     next_free: u64,
     resident_pages: u64,
     peak_resident_pages: u64,
+    /// Resident pages per memory node.
+    resident_by_node: [u64; MAX_MEM_NODES],
+    /// Pages assigned a home so far (placement-policy state).
+    pages_assigned: u64,
+    /// Pages assigned to node 0 so far (TierSplit state).
+    local_assigned: u64,
+    /// Pages assigned to remote nodes so far (TierSplit round-robin state).
+    remote_assigned: u64,
 }
 
 /// The simulated process address space.
@@ -64,16 +98,32 @@ pub struct AddressSpace {
     page_bytes: u64,
     page_shift: u32,
     capacity_bytes: u64,
+    num_nodes: usize,
+    placement: PlacementPolicy,
     inner: RwLock<Inner>,
 }
 
 impl AddressSpace {
-    /// Create an address space with the given page size and physical capacity.
+    /// Create a single-node address space with the given page size and
+    /// physical capacity (every page homed on node 0).
     pub fn new(page_bytes: u64, capacity_bytes: u64) -> Self {
+        Self::with_placement(page_bytes, capacity_bytes, 1, PlacementPolicy::LocalOnly)
+    }
+
+    /// Create an address space placing pages over `num_nodes` memory nodes
+    /// per `placement`.
+    pub fn with_placement(
+        page_bytes: u64,
+        capacity_bytes: u64,
+        num_nodes: usize,
+        placement: PlacementPolicy,
+    ) -> Self {
         AddressSpace {
             page_bytes,
             page_shift: page_bytes.trailing_zeros(),
             capacity_bytes,
+            num_nodes: num_nodes.clamp(1, MAX_MEM_NODES),
+            placement,
             inner: RwLock::new(Inner { next_free: HEAP_BASE, ..Default::default() }),
         }
     }
@@ -81,6 +131,16 @@ impl AddressSpace {
     /// Page size in bytes.
     pub fn page_bytes(&self) -> u64 {
         self.page_bytes
+    }
+
+    /// Number of memory nodes pages are placed on.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The placement policy in force.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
     }
 
     /// Allocate `len` bytes under `name`. Returns the region descriptor.
@@ -102,7 +162,9 @@ impl AddressSpace {
             RegionState {
                 region: region.clone(),
                 touched: vec![0u64; pages.div_ceil(64)],
+                nodes: vec![NODE_UNASSIGNED; pages],
                 touched_pages: 0,
+                touched_by_node: [0; MAX_MEM_NODES],
                 freed: false,
             },
         );
@@ -114,45 +176,137 @@ impl AddressSpace {
         let mut inner = self.inner.write();
         let mut found = false;
         let mut released = 0;
+        let mut released_by_node = [0u64; MAX_MEM_NODES];
         for st in inner.regions.values_mut() {
             if st.region.name == name && !st.freed {
                 st.freed = true;
                 released += st.touched_pages;
+                for (node, count) in st.touched_by_node.iter_mut().enumerate() {
+                    released_by_node[node] += *count;
+                    *count = 0;
+                }
                 st.touched_pages = 0;
                 st.touched.iter_mut().for_each(|w| *w = 0);
+                st.nodes.iter_mut().for_each(|n| *n = NODE_UNASSIGNED);
                 found = true;
             }
         }
         inner.resident_pages = inner.resident_pages.saturating_sub(released);
+        for (node, count) in released_by_node.iter().enumerate() {
+            inner.resident_by_node[node] = inner.resident_by_node[node].saturating_sub(*count);
+        }
         found
     }
 
-    /// Record a touch of `addr`; returns true if this was the first touch of
-    /// its page (i.e. the page just became resident).
-    pub fn touch(&self, addr: u64) -> bool {
-        let mut inner = self.inner.write();
-        // Find the region containing addr: last region starting at or below addr.
-        let Some((_, st)) = inner.regions.range_mut(..=addr).next_back() else {
-            return false;
+    /// Pick the home node for a page just being touched, advancing the
+    /// placement-policy counters.
+    fn assign_node(
+        &self,
+        pages_assigned: &mut u64,
+        local_assigned: &mut u64,
+        remote_assigned: &mut u64,
+    ) -> NodeId {
+        let nodes = self.num_nodes as u64;
+        let node = if nodes <= 1 {
+            0
+        } else {
+            match self.placement {
+                PlacementPolicy::LocalOnly => 0,
+                PlacementPolicy::Interleave => (*pages_assigned % nodes) as NodeId,
+                PlacementPolicy::TierSplit { local_fraction } => {
+                    let frac = local_fraction.clamp(0.0, 1.0);
+                    let target_local = frac * (*pages_assigned + 1) as f64;
+                    if (*local_assigned as f64) < target_local {
+                        *local_assigned += 1;
+                        0
+                    } else {
+                        let remote = 1 + (*remote_assigned % (nodes - 1)) as NodeId;
+                        *remote_assigned += 1;
+                        remote
+                    }
+                }
+            }
         };
+        *pages_assigned += 1;
+        node
+    }
+
+    /// Resolve the home of `addr`'s page, homing the page per the placement
+    /// policy if this is its first touch. Returns `None` for addresses
+    /// outside every live region (such accesses are served by node 0 and do
+    /// not count toward residency).
+    pub fn place(&self, addr: u64) -> Option<PageHome> {
+        let mut inner = self.inner.write();
+        let Inner {
+            regions,
+            resident_pages,
+            peak_resident_pages,
+            resident_by_node,
+            pages_assigned,
+            local_assigned,
+            remote_assigned,
+            next_free: _,
+        } = &mut *inner;
+        // Find the region containing addr: last region starting at or below addr.
+        let (_, st) = regions.range_mut(..=addr).next_back()?;
         if st.freed || !st.region.contains(addr) {
-            return false;
+            return None;
         }
         let page = ((addr - st.region.start) >> self.page_shift) as usize;
         let (word, bit) = (page / 64, page % 64);
         if st.touched[word] & (1 << bit) != 0 {
-            return false;
+            return Some(PageHome { node: st.nodes[page], first_touch: false });
         }
+        let node = self.assign_node(pages_assigned, local_assigned, remote_assigned);
         st.touched[word] |= 1 << bit;
         st.touched_pages += 1;
-        inner.resident_pages += 1;
-        inner.peak_resident_pages = inner.peak_resident_pages.max(inner.resident_pages);
-        true
+        st.touched_by_node[node as usize] += 1;
+        st.nodes[page] = node;
+        *resident_pages += 1;
+        resident_by_node[node as usize] += 1;
+        *peak_resident_pages = (*peak_resident_pages).max(*resident_pages);
+        Some(PageHome { node, first_touch: true })
+    }
+
+    /// Record a touch of `addr`; returns true if this was the first touch of
+    /// its page (i.e. the page just became resident). Equivalent to
+    /// [`AddressSpace::place`] ignoring the home node.
+    pub fn touch(&self, addr: u64) -> bool {
+        self.place(addr).map(|h| h.first_touch).unwrap_or(false)
+    }
+
+    /// The home node of `addr`'s page, if the page is resident.
+    pub fn node_of(&self, addr: u64) -> Option<NodeId> {
+        let inner = self.inner.read();
+        let (_, st) = inner.regions.range(..=addr).next_back()?;
+        if st.freed || !st.region.contains(addr) {
+            return None;
+        }
+        let page = ((addr - st.region.start) >> self.page_shift) as usize;
+        let node = st.nodes[page];
+        (node != NODE_UNASSIGNED).then_some(node)
     }
 
     /// Current resident set size in bytes.
     pub fn rss_bytes(&self) -> u64 {
         self.inner.read().resident_pages * self.page_bytes
+    }
+
+    /// Current resident set size per memory node, bytes.
+    pub fn rss_bytes_by_node(&self) -> [u64; MAX_MEM_NODES] {
+        self.rss_snapshot().1
+    }
+
+    /// Consistent `(total, per-node)` RSS reading under one lock
+    /// acquisition — the per-node split always sums to the total, even
+    /// while other cores are first-touching pages concurrently.
+    pub fn rss_snapshot(&self) -> (u64, [u64; MAX_MEM_NODES]) {
+        let inner = self.inner.read();
+        let mut by_node = [0u64; MAX_MEM_NODES];
+        for (node, pages) in inner.resident_by_node.iter().enumerate() {
+            by_node[node] = pages * self.page_bytes;
+        }
+        (inner.resident_pages * self.page_bytes, by_node)
     }
 
     /// Peak resident set size in bytes.
@@ -233,6 +387,7 @@ mod tests {
         let a = vm.alloc("a", 4096).unwrap();
         assert!(!vm.touch(a.start - 1));
         assert!(!vm.touch(a.end() + 4096 * 10));
+        assert!(vm.place(a.start - 1).is_none());
         assert_eq!(vm.rss_bytes(), 0);
     }
 
@@ -269,5 +424,92 @@ mod tests {
             vm.touch(a.start + p * 4096);
         }
         assert!((vm.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_only_homes_everything_on_node_0() {
+        let vm = AddressSpace::with_placement(4096, 1 << 30, 2, PlacementPolicy::LocalOnly);
+        let a = vm.alloc("a", 8 * 4096).unwrap();
+        for p in 0..8u64 {
+            let home = vm.place(a.start + p * 4096).unwrap();
+            assert_eq!(home.node, 0);
+            assert!(home.first_touch);
+        }
+        let by_node = vm.rss_bytes_by_node();
+        assert_eq!(by_node[0], 8 * 4096);
+        assert_eq!(by_node[1], 0);
+    }
+
+    #[test]
+    fn interleave_stripes_pages_across_nodes() {
+        let vm = AddressSpace::with_placement(4096, 1 << 30, 2, PlacementPolicy::Interleave);
+        let a = vm.alloc("a", 8 * 4096).unwrap();
+        let homes: Vec<NodeId> =
+            (0..8u64).map(|p| vm.place(a.start + p * 4096).unwrap().node).collect();
+        assert_eq!(homes, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let by_node = vm.rss_bytes_by_node();
+        assert_eq!(by_node[0], 4 * 4096);
+        assert_eq!(by_node[1], 4 * 4096);
+    }
+
+    #[test]
+    fn place_is_stable_after_first_touch() {
+        let vm = AddressSpace::with_placement(4096, 1 << 30, 2, PlacementPolicy::Interleave);
+        let a = vm.alloc("a", 4 * 4096).unwrap();
+        let first = vm.place(a.start + 4096).unwrap();
+        assert!(first.first_touch);
+        for _ in 0..3 {
+            let again = vm.place(a.start + 4096 + 8).unwrap();
+            assert!(!again.first_touch);
+            assert_eq!(again.node, first.node, "home is sticky");
+        }
+        assert_eq!(vm.node_of(a.start + 4096), Some(first.node));
+        assert_eq!(vm.node_of(a.start), None, "untouched page has no home yet");
+    }
+
+    #[test]
+    fn tier_split_respects_the_local_fraction() {
+        for (fraction, expect_local) in [(1.0, 100u64), (0.75, 75), (0.5, 50), (0.0, 0)] {
+            let vm = AddressSpace::with_placement(
+                4096,
+                1 << 30,
+                2,
+                PlacementPolicy::TierSplit { local_fraction: fraction },
+            );
+            let a = vm.alloc("a", 100 * 4096).unwrap();
+            for p in 0..100u64 {
+                vm.place(a.start + p * 4096).unwrap();
+            }
+            let by_node = vm.rss_bytes_by_node();
+            assert_eq!(by_node[0] / 4096, expect_local, "fraction {fraction}");
+            assert_eq!(by_node[1] / 4096, 100 - expect_local, "fraction {fraction}");
+        }
+    }
+
+    #[test]
+    fn tier_split_spreads_the_remote_share_round_robin() {
+        let vm = AddressSpace::with_placement(
+            4096,
+            1 << 30,
+            3,
+            PlacementPolicy::TierSplit { local_fraction: 0.0 },
+        );
+        let a = vm.alloc("a", 6 * 4096).unwrap();
+        let homes: Vec<NodeId> =
+            (0..6u64).map(|p| vm.place(a.start + p * 4096).unwrap().node).collect();
+        assert_eq!(homes, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn free_releases_per_node_counts() {
+        let vm = AddressSpace::with_placement(4096, 1 << 30, 2, PlacementPolicy::Interleave);
+        let a = vm.alloc("a", 4 * 4096).unwrap();
+        for p in 0..4u64 {
+            vm.place(a.start + p * 4096).unwrap();
+        }
+        assert_eq!(vm.rss_bytes_by_node()[1], 2 * 4096);
+        vm.free("a");
+        assert_eq!(vm.rss_bytes_by_node(), [0; MAX_MEM_NODES]);
+        assert_eq!(vm.rss_bytes(), 0);
     }
 }

@@ -1,16 +1,25 @@
-//! Criterion benches for the NMO hot path: SPE record encode/decode and the
-//! aux-buffer produce/consume cycle. These are the operations whose cost the
-//! paper's overhead model charges per sample.
+//! Criterion benches for the NMO hot path: SPE record encode/decode, the
+//! aux-buffer produce/consume cycle, and the monitor thread's incremental
+//! `decode_records` drain. These are the operations whose cost the paper's
+//! overhead model charges per sample, and the drain throughput bounds how
+//! fast the monitor thread can keep up with the profiled cores — guard it
+//! before and after data-source/topology changes.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-use arch_sim::{MemLevel, OpKind};
+use arch_sim::{DataSource, OpKind};
 use perf_sub::{AuxBuffer, MetadataPage};
-use spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
+use spe::packet::{decode_nmo_fields, decode_records, SpeRecord, SPE_RECORD_BYTES};
 
 fn bench_packet_codec(c: &mut Criterion) {
-    let record =
-        SpeRecord::new(0x40_1000, 0xffff_0000_4242, 123_456_789, 333, OpKind::Load, MemLevel::Dram);
+    let record = SpeRecord::new(
+        0x40_1000,
+        0xffff_0000_4242,
+        123_456_789,
+        333,
+        OpKind::Load,
+        DataSource::Dram(0),
+    );
     let bytes = record.encode();
 
     let mut group = c.benchmark_group("spe_packet");
@@ -24,7 +33,7 @@ fn bench_packet_codec(c: &mut Criterion) {
 fn bench_aux_roundtrip(c: &mut Criterion) {
     let meta = MetadataPage::default();
     let aux = AuxBuffer::new(16, 64 * 1024).unwrap();
-    let record = SpeRecord::new(1, 2, 3, 4, OpKind::Store, MemLevel::L2).encode();
+    let record = SpeRecord::new(1, 2, 3, 4, OpKind::Store, DataSource::L2).encode();
 
     let mut group = c.benchmark_group("aux_buffer");
     group.throughput(Throughput::Bytes(SPE_RECORD_BYTES as u64));
@@ -39,14 +48,38 @@ fn bench_aux_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_drain_batch(c: &mut Criterion) {
-    // Decode a full watermark's worth of records (half of a 1 MiB aux buffer),
-    // the unit of work the monitor thread performs per interrupt.
-    let record = SpeRecord::new(0x40_1000, 0xffff_0000_4242, 99, 50, OpKind::Load, MemLevel::Slc);
-    let bytes = record.encode();
-    let batch: Vec<u8> =
-        std::iter::repeat_with(|| bytes.iter().copied()).take(8192).flatten().collect();
+/// A watermark's worth of records (half of a 1 MiB aux buffer) mixing every
+/// data-source class the tiered machine produces, plus some corruption —
+/// the realistic shape of one monitor-thread drain.
+fn drain_batch(records: usize, corrupt_every: usize) -> Vec<u8> {
+    let sources = [
+        DataSource::L1,
+        DataSource::L2,
+        DataSource::Slc,
+        DataSource::Dram(0),
+        DataSource::RemoteDram(1),
+    ];
+    let mut batch = Vec::with_capacity(records * SPE_RECORD_BYTES);
+    for i in 0..records {
+        let rec = SpeRecord::new(
+            0x40_1000 + (i as u64 % 7) * 0x100,
+            0xffff_0000_4242 + i as u64 * 64,
+            99 + i as u64,
+            50 + (i as u64 % 900),
+            if i % 3 == 0 { OpKind::Store } else { OpKind::Load },
+            sources[i % sources.len()],
+        );
+        let mut bytes = rec.encode();
+        if corrupt_every > 0 && i % corrupt_every == 0 {
+            bytes[30] = 0x00; // mangled vaddr header: the skip path
+        }
+        batch.extend_from_slice(&bytes);
+    }
+    batch
+}
 
+fn bench_drain_batch(c: &mut Criterion) {
+    let batch = drain_batch(8192, 0);
     let mut group = c.benchmark_group("drain");
     group.throughput(Throughput::Bytes(batch.len() as u64));
     group.bench_function("decode_512KiB_batch", |b| {
@@ -63,5 +96,40 @@ fn bench_drain_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_packet_codec, bench_aux_roundtrip, bench_drain_batch);
+/// The monitor-thread hot path as the streaming backend actually runs it:
+/// the incremental `decode_records` iterator (NMO-field validation, skip
+/// accounting, opportunistic full decode including the data-source packet).
+fn bench_decode_records(c: &mut Criterion) {
+    let clean = drain_batch(8192, 0);
+    let lossy = drain_batch(8192, 16); // ~6% corrupted records
+
+    let mut group = c.benchmark_group("decode_records");
+    group.throughput(Throughput::Bytes(clean.len() as u64));
+    group.bench_function("clean_512KiB", |b| {
+        b.iter(|| {
+            let mut decoder = decode_records(black_box(&clean));
+            let mut full = 0u64;
+            for rec in decoder.by_ref() {
+                full += u64::from(rec.full.is_some());
+            }
+            black_box((full, decoder.skipped()))
+        })
+    });
+    group.bench_function("lossy_512KiB", |b| {
+        b.iter(|| {
+            let mut decoder = decode_records(black_box(&lossy));
+            let count = decoder.by_ref().count() as u64;
+            black_box((count, decoder.skipped()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packet_codec,
+    bench_aux_roundtrip,
+    bench_drain_batch,
+    bench_decode_records
+);
 criterion_main!(benches);

@@ -70,11 +70,11 @@ pub fn table2() -> ExperimentResult {
         vec!["CPU".to_string(), c.name.clone()],
         vec!["Cores".to_string(), format!("{} Armv8.2+ cores", c.num_cores)],
         vec!["Frequency".to_string(), format!("{:.1} GHz", c.freq_hz as f64 / 1e9)],
-        vec!["Mem. capacity".to_string(), format!("{} GB", c.dram.capacity_bytes >> 30)],
+        vec!["Mem. capacity".to_string(), format!("{} GB", c.total_mem_bytes() >> 30)],
         vec!["Mem. technology".to_string(), "DDR4 (simulated)".to_string()],
         vec![
             "Peak bandwidth".to_string(),
-            format!("{:.0} GB/s", c.dram.peak_bytes_per_cycle * c.freq_hz as f64 / 1e9),
+            format!("{:.0} GB/s", c.local_mem().peak_bytes_per_cycle * c.freq_hz as f64 / 1e9),
         ],
         vec!["L1d".to_string(), format!("{} KB per core", c.l1d.size_bytes >> 10)],
         vec!["L2".to_string(), format!("{} MB per core", c.l2.size_bytes >> 20)],

@@ -131,7 +131,16 @@ impl Annotations {
         self.inner.lock().phases.clone()
     }
 
-    /// Find the innermost (most recently declared) tag containing `addr`.
+    /// Find the tag containing `addr`.
+    ///
+    /// **Overlap precedence (pinned):** tags are scanned in *reverse
+    /// registration order* and the first match wins — i.e. when ranges
+    /// overlap, the **most recently registered** containing tag takes
+    /// precedence. This makes nested tagging natural (`tag_addr` the whole
+    /// arena, then re-tag a sub-object later and the sub-object wins) and
+    /// means re-registering a name after `free`/`alloc` shadows the stale
+    /// range. Empty ranges (`start == end`) contain no address and never
+    /// match.
     pub fn tag_of(&self, addr: u64) -> Option<AddrTag> {
         let inner = self.inner.lock();
         inner.tags.iter().rev().find(|t| t.contains(addr)).cloned()
@@ -166,6 +175,51 @@ mod tests {
         a.tag_addr("inner", 0x2000, 0x3000);
         assert_eq!(a.tag_of(0x2500).unwrap().name, "inner");
         assert_eq!(a.tag_of(0x4000).unwrap().name, "whole");
+    }
+
+    /// Pins the documented overlap rule: reverse scan, first match — the
+    /// most recently registered containing tag wins, at every overlap shape.
+    #[test]
+    fn overlap_precedence_is_latest_registration_first_match() {
+        let a = Annotations::new();
+        a.tag_addr("first", 0x1000, 0x5000);
+        a.tag_addr("second", 0x3000, 0x7000); // partial overlap with "first"
+        a.tag_addr("third", 0x3800, 0x4000); // nested inside both
+
+        // Non-overlapping parts resolve to their sole owner.
+        assert_eq!(a.tag_of(0x1500).unwrap().name, "first");
+        assert_eq!(a.tag_of(0x6000).unwrap().name, "second");
+        // In the first/second overlap the later registration wins.
+        assert_eq!(a.tag_of(0x3400).unwrap().name, "second");
+        // In the triple overlap the latest registration wins.
+        assert_eq!(a.tag_of(0x3900).unwrap().name, "third");
+        // Identical ranges: the later duplicate shadows the earlier one.
+        a.tag_addr("dup_old", 0x8000, 0x8100);
+        a.tag_addr("dup_new", 0x8000, 0x8100);
+        assert_eq!(a.tag_of(0x8050).unwrap().name, "dup_new");
+        // Boundary semantics are half-open: `end` belongs to the next tag.
+        assert_eq!(a.tag_of(0x7000), None);
+        assert_eq!(a.tag_of(0x4fff).unwrap().name, "second");
+    }
+
+    /// An empty range (`start == end`) matches nothing — even when a later
+    /// empty tag sits exactly on an address covered by an earlier real tag,
+    /// the reverse scan skips it rather than shadowing the real tag.
+    #[test]
+    fn empty_range_never_matches_nor_shadows() {
+        let a = Annotations::new();
+        a.tag_addr("real", 0x1000, 0x2000);
+        a.tag_addr("empty", 0x1800, 0x1800);
+        assert!(a.tags()[1].is_empty());
+        assert_eq!(a.tag_of(0x1800).unwrap().name, "real", "empty tag cannot shadow");
+        // An empty tag with nothing underneath matches nothing at all.
+        let b = Annotations::new();
+        b.tag_addr("only_empty", 0x5000, 0x5000);
+        assert_eq!(b.tag_of(0x5000), None);
+        // end < start is clamped to empty at registration, same outcome.
+        b.tag_addr("inverted", 0x9000, 0x8000);
+        assert!(b.tags()[1].is_empty());
+        assert_eq!(b.tag_of(0x8800), None);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use arch_sim::{Machine, MemLevel, MemOutcome, ObserverCharge, Op, OpKind, OpObserver, TimeConv};
+use arch_sim::{DataSource, Machine, MemOutcome, ObserverCharge, Op, OpKind, OpObserver, TimeConv};
 use perf_sub::attr::{hw_config, PerfEventAttr};
 use perf_sub::poll::PollTimeout;
 use perf_sub::records::Record;
@@ -368,9 +368,9 @@ pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<Sampl
         for rec in decoder.by_ref() {
             let time_ns = TimeConv::apply_mmap_triple(rec.ticks, time_zero, time_shift, time_mult);
             // Opportunistic full decode for the richer fields.
-            let (is_store, latency, level) = match rec.full {
-                Some(full) => (full.is_store, full.latency, full.level),
-                None => (false, 0, MemLevel::L1),
+            let (is_store, latency, source) = match rec.full {
+                Some(full) => (full.is_store, full.latency, full.source),
+                None => (false, 0, DataSource::L1),
             };
             samples.push(AddressSample {
                 time_ns,
@@ -378,7 +378,7 @@ pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<Sampl
                 core,
                 is_store,
                 latency,
-                level,
+                source,
             });
         }
         store.skipped.fetch_add(decoder.skipped(), Ordering::Relaxed);

@@ -4,16 +4,23 @@
 //! fixed intervals and dividing by the interval length. Augmented with
 //! floating-point event counts this also yields the arithmetic intensity used
 //! by the Roofline model to classify a phase as compute- or memory-bound.
+//!
+//! On a tiered-memory machine each bucket carries the per-node traffic
+//! split, so the series shows how much bandwidth each tier (local DDR,
+//! remote/CXL) sustained — the bandwidth view of the paper's tiering
+//! experiments.
 
-use arch_sim::BandwidthPoint;
+use arch_sim::{BandwidthPoint, MAX_MEM_NODES};
 
 /// One sample of the bandwidth-over-time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BandwidthSample {
     /// Simulated time at the start of the interval, seconds.
     pub time_s: f64,
-    /// Average bandwidth over the interval, GiB/s.
+    /// Average bandwidth over the interval, GiB/s (all nodes).
     pub gib_per_s: f64,
+    /// Average bandwidth over the interval per memory node, GiB/s.
+    pub gib_per_s_by_node: [f64; MAX_MEM_NODES],
 }
 
 /// The memory-bandwidth profile of a run.
@@ -23,10 +30,17 @@ pub struct BandwidthSeries {
     pub points: Vec<BandwidthSample>,
     /// Peak interval bandwidth, GiB/s.
     pub peak_gib_per_s: f64,
+    /// Peak interval bandwidth per memory node, GiB/s.
+    pub peak_gib_per_s_by_node: [f64; MAX_MEM_NODES],
     /// Average bandwidth over the whole run, GiB/s.
     pub mean_gib_per_s: f64,
     /// Total bus traffic, bytes.
     pub total_bytes: u64,
+    /// Total bus traffic per memory node, bytes.
+    pub total_bytes_by_node: [u64; MAX_MEM_NODES],
+    /// Number of memory nodes the series was built for (the meaningful
+    /// prefix of the per-node arrays).
+    pub nodes: usize,
     /// Arithmetic intensity (FLOP per DRAM byte), if FLOPs were recorded.
     pub arithmetic_intensity: Option<f64>,
 }
@@ -35,11 +49,29 @@ impl BandwidthSeries {
     /// Build a series from the machine's per-bucket bus traffic.
     ///
     /// `flops` supplies the total floating-point operations of the run (for
-    /// arithmetic intensity); pass 0 if not tracked.
-    pub fn from_buckets(buckets: &[BandwidthPoint], flops: u64) -> Self {
+    /// arithmetic intensity); pass 0 if not tracked. `nodes` is the number
+    /// of memory nodes in the topology.
+    pub fn from_buckets(buckets: &[BandwidthPoint], flops: u64, nodes: usize) -> Self {
+        let nodes = nodes.clamp(1, MAX_MEM_NODES);
+        let mut total_bytes_by_node = [0u64; MAX_MEM_NODES];
+        let mut peak_by_node = [0f64; MAX_MEM_NODES];
         let points: Vec<BandwidthSample> = buckets
             .iter()
-            .map(|b| BandwidthSample { time_s: b.time_ns as f64 * 1e-9, gib_per_s: b.gib_per_s })
+            .map(|b| {
+                // Per-node rates share the bucket's byte→GiB/s scale.
+                let scale = if b.bytes > 0 { b.gib_per_s / b.bytes as f64 } else { 0.0 };
+                let mut gib_per_s_by_node = [0f64; MAX_MEM_NODES];
+                for (node, bytes) in b.by_node.iter().enumerate() {
+                    total_bytes_by_node[node] += bytes;
+                    gib_per_s_by_node[node] = *bytes as f64 * scale;
+                    peak_by_node[node] = peak_by_node[node].max(gib_per_s_by_node[node]);
+                }
+                BandwidthSample {
+                    time_s: b.time_ns as f64 * 1e-9,
+                    gib_per_s: b.gib_per_s,
+                    gib_per_s_by_node,
+                }
+            })
             .collect();
         let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
         let peak = points.iter().map(|p| p.gib_per_s).fold(0.0f64, f64::max);
@@ -56,8 +88,11 @@ impl BandwidthSeries {
         BandwidthSeries {
             points,
             peak_gib_per_s: peak,
+            peak_gib_per_s_by_node: peak_by_node,
             mean_gib_per_s: mean,
             total_bytes,
+            total_bytes_by_node,
+            nodes,
             arithmetic_intensity,
         }
     }
@@ -67,6 +102,15 @@ impl BandwidthSeries {
     pub fn is_memory_bound(&self, machine_balance: f64) -> Option<bool> {
         self.arithmetic_intensity.map(|ai| ai < machine_balance)
     }
+
+    /// Fraction of the total traffic served by one node (0.0 when idle).
+    pub fn node_traffic_share(&self, node: usize) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        self.total_bytes_by_node.get(node).map(|b| *b as f64).unwrap_or(0.0)
+            / self.total_bytes as f64
+    }
 }
 
 #[cfg(test)]
@@ -74,37 +118,60 @@ mod tests {
     use super::*;
 
     fn bp(time_ns: u64, bytes: u64, gib_per_s: f64) -> BandwidthPoint {
-        BandwidthPoint { time_ns, bytes, gib_per_s }
+        let mut by_node = [0u64; MAX_MEM_NODES];
+        by_node[0] = bytes;
+        BandwidthPoint { time_ns, bytes, by_node, gib_per_s }
     }
 
     #[test]
     fn series_statistics() {
         let buckets =
             vec![bp(0, 1 << 30, 10.0), bp(1_000_000_000, 2 << 30, 20.0), bp(2_000_000_000, 0, 0.0)];
-        let s = BandwidthSeries::from_buckets(&buckets, 3 << 30);
+        let s = BandwidthSeries::from_buckets(&buckets, 3 << 30, 1);
         assert_eq!(s.points.len(), 3);
         assert_eq!(s.total_bytes, 3 << 30);
         assert!((s.peak_gib_per_s - 20.0).abs() < 1e-12);
         assert!((s.mean_gib_per_s - 10.0).abs() < 1e-12);
         let ai = s.arithmetic_intensity.unwrap();
         assert!((ai - 1.0).abs() < 1e-12);
+        // Flat traffic lives on node 0.
+        assert_eq!(s.total_bytes_by_node[0], 3 << 30);
+        assert!((s.peak_gib_per_s_by_node[0] - 20.0).abs() < 1e-12);
+        assert!((s.node_traffic_share(0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.node_traffic_share(1), 0.0);
+    }
+
+    #[test]
+    fn per_node_split_scales_with_bucket_rate() {
+        let mut by_node = [0u64; MAX_MEM_NODES];
+        by_node[0] = 3 << 30;
+        by_node[1] = 1 << 30;
+        let buckets = vec![BandwidthPoint { time_ns: 0, bytes: 4 << 30, by_node, gib_per_s: 40.0 }];
+        let s = BandwidthSeries::from_buckets(&buckets, 0, 2);
+        assert_eq!(s.nodes, 2);
+        assert!((s.points[0].gib_per_s_by_node[0] - 30.0).abs() < 1e-9);
+        assert!((s.points[0].gib_per_s_by_node[1] - 10.0).abs() < 1e-9);
+        assert!((s.node_traffic_share(1) - 0.25).abs() < 1e-12);
+        let node_sum: f64 = s.points[0].gib_per_s_by_node.iter().sum();
+        assert!((node_sum - s.points[0].gib_per_s).abs() < 1e-9);
     }
 
     #[test]
     fn empty_series() {
-        let s = BandwidthSeries::from_buckets(&[], 0);
+        let s = BandwidthSeries::from_buckets(&[], 0, 1);
         assert!(s.points.is_empty());
         assert_eq!(s.mean_gib_per_s, 0.0);
         assert_eq!(s.total_bytes, 0);
         assert!(s.arithmetic_intensity.is_none());
         assert!(s.is_memory_bound(10.0).is_none());
+        assert_eq!(s.node_traffic_share(0), 0.0);
     }
 
     #[test]
     fn roofline_classification() {
         let buckets = vec![bp(0, 1 << 30, 50.0)];
         // 0.25 FLOP/byte — memory bound for any balance above that.
-        let s = BandwidthSeries::from_buckets(&buckets, 1 << 28);
+        let s = BandwidthSeries::from_buckets(&buckets, 1 << 28, 1);
         assert_eq!(s.is_memory_bound(10.0), Some(true));
         assert_eq!(s.is_memory_bound(0.01), Some(false));
     }

@@ -6,16 +6,23 @@
 //! the simulator residency is accounted on first touch of each 64 KiB page;
 //! this module turns the raw step events into an evenly sampled series plus
 //! summary statistics (peak usage, utilisation of the node's capacity).
+//!
+//! On a tiered-memory machine each step event also carries the per-node
+//! residency split, so the series shows how much of the working set landed
+//! on the local DDR versus the remote/CXL tier — the capacity view of the
+//! paper's tiering experiments.
 
-use arch_sim::RssPoint;
+use arch_sim::{RssPoint, MAX_MEM_NODES};
 
 /// One sample of the capacity-over-time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacityPoint {
     /// Simulated time, seconds.
     pub time_s: f64,
-    /// Resident set size, GiB.
+    /// Resident set size, GiB (all nodes).
     pub rss_gib: f64,
+    /// Resident set size per memory node, GiB.
+    pub rss_by_node_gib: [f64; MAX_MEM_NODES],
 }
 
 /// The memory-capacity profile of a run.
@@ -25,25 +32,43 @@ pub struct CapacitySeries {
     pub points: Vec<CapacityPoint>,
     /// Peak resident set size in bytes.
     pub peak_bytes: u64,
+    /// Peak resident set size per memory node, bytes (each node's own peak;
+    /// they need not be simultaneous).
+    pub peak_bytes_by_node: [u64; MAX_MEM_NODES],
     /// Peak utilisation of the machine's memory capacity (0.0–1.0).
     pub peak_utilization: f64,
+    /// Number of memory nodes the series was built for (the meaningful
+    /// prefix of the per-node arrays).
+    pub nodes: usize,
 }
+
+const GIB: f64 = (1u64 << 30) as f64;
 
 impl CapacitySeries {
     /// Build a series from raw first-touch/free step events.
     ///
-    /// * `events` — step events from the machine (`time_ns`, `rss_bytes`).
+    /// * `events` — step events from the machine (`time_ns`, `rss_bytes`,
+    ///   per-node split).
     /// * `total_ns` — run duration used for the final sample.
     /// * `capacity_bytes` — machine memory capacity (for utilisation).
     /// * `buckets` — number of evenly spaced output samples (>= 1).
+    /// * `nodes` — number of memory nodes in the topology.
     pub fn from_events(
         events: &[RssPoint],
         total_ns: u64,
         capacity_bytes: u64,
         buckets: usize,
+        nodes: usize,
     ) -> Self {
         let buckets = buckets.max(1);
+        let nodes = nodes.clamp(1, MAX_MEM_NODES);
         let peak_bytes = events.iter().map(|e| e.rss_bytes).max().unwrap_or(0);
+        let mut peak_bytes_by_node = [0u64; MAX_MEM_NODES];
+        for e in events {
+            for (node, peak) in peak_bytes_by_node.iter_mut().enumerate() {
+                *peak = (*peak).max(e.rss_by_node[node]);
+            }
+        }
         let peak_utilization =
             if capacity_bytes == 0 { 0.0 } else { peak_bytes as f64 / capacity_bytes as f64 };
 
@@ -51,23 +76,35 @@ impl CapacitySeries {
         let step = (total_ns.max(1)) as f64 / buckets as f64;
         let mut idx = 0usize;
         let mut current = 0u64;
+        let mut current_by_node = [0u64; MAX_MEM_NODES];
         for b in 0..=buckets {
             let t_ns = (b as f64 * step) as u64;
             while idx < events.len() && events[idx].time_ns <= t_ns {
                 current = events[idx].rss_bytes;
+                current_by_node = events[idx].rss_by_node;
                 idx += 1;
+            }
+            let mut rss_by_node_gib = [0f64; MAX_MEM_NODES];
+            for (node, bytes) in current_by_node.iter().enumerate() {
+                rss_by_node_gib[node] = *bytes as f64 / GIB;
             }
             points.push(CapacityPoint {
                 time_s: t_ns as f64 * 1e-9,
-                rss_gib: current as f64 / (1u64 << 30) as f64,
+                rss_gib: current as f64 / GIB,
+                rss_by_node_gib,
             });
         }
-        CapacitySeries { points, peak_bytes, peak_utilization }
+        CapacitySeries { points, peak_bytes, peak_bytes_by_node, peak_utilization, nodes }
     }
 
     /// Peak resident set size in GiB.
     pub fn peak_gib(&self) -> f64 {
-        self.peak_bytes as f64 / (1u64 << 30) as f64
+        self.peak_bytes as f64 / GIB
+    }
+
+    /// Peak resident set size of one node, GiB.
+    pub fn peak_gib_on(&self, node: usize) -> f64 {
+        self.peak_bytes_by_node.get(node).map(|b| *b as f64 / GIB).unwrap_or(0.0)
     }
 
     /// The saturation value: RSS at the end of the run, GiB.
@@ -81,13 +118,13 @@ mod tests {
     use super::*;
 
     fn ev(time_ns: u64, rss: u64) -> RssPoint {
-        RssPoint { time_ns, rss_bytes: rss }
+        RssPoint::flat(time_ns, rss)
     }
 
     #[test]
     fn resampling_produces_monotonic_step_function() {
         let events = vec![ev(0, 0), ev(100, 1 << 30), ev(500, 3 << 30), ev(900, 2 << 30)];
-        let s = CapacitySeries::from_events(&events, 1000, 8 << 30, 10);
+        let s = CapacitySeries::from_events(&events, 1000, 8 << 30, 10, 1);
         assert_eq!(s.points.len(), 11);
         assert_eq!(s.peak_bytes, 3 << 30);
         assert!((s.peak_utilization - 3.0 / 8.0).abs() < 1e-12);
@@ -98,11 +135,40 @@ mod tests {
         assert!((s.final_gib() - 2.0).abs() < 1e-12);
         // Peak appears somewhere in the middle.
         assert!(s.points.iter().any(|p| (p.rss_gib - 3.0).abs() < 1e-12));
+        // Single-node events put everything on node 0.
+        assert_eq!(s.peak_bytes_by_node[0], 3 << 30);
+        assert!((s.peak_gib_on(0) - 3.0).abs() < 1e-12);
+        assert_eq!(s.peak_bytes_by_node[1], 0);
+    }
+
+    #[test]
+    fn per_node_split_is_resampled() {
+        let mk = |time_ns: u64, local: u64, remote: u64| {
+            let mut rss_by_node = [0u64; MAX_MEM_NODES];
+            rss_by_node[0] = local;
+            rss_by_node[1] = remote;
+            RssPoint { time_ns, rss_bytes: local + remote, rss_by_node }
+        };
+        let events = vec![mk(0, 1 << 30, 0), mk(400, 2 << 30, 1 << 30), mk(800, 2 << 30, 3 << 30)];
+        let s = CapacitySeries::from_events(&events, 1000, 16 << 30, 5, 2);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.peak_bytes, 5 << 30);
+        assert_eq!(s.peak_bytes_by_node[0], 2 << 30);
+        assert_eq!(s.peak_bytes_by_node[1], 3 << 30);
+        let last = s.points.last().unwrap();
+        assert!((last.rss_gib - 5.0).abs() < 1e-12);
+        assert!((last.rss_by_node_gib[0] - 2.0).abs() < 1e-12);
+        assert!((last.rss_by_node_gib[1] - 3.0).abs() < 1e-12);
+        // The split always sums to the total.
+        for p in &s.points {
+            let sum: f64 = p.rss_by_node_gib.iter().sum();
+            assert!((sum - p.rss_gib).abs() < 1e-9);
+        }
     }
 
     #[test]
     fn empty_events_give_flat_zero() {
-        let s = CapacitySeries::from_events(&[], 1_000_000, 1 << 30, 4);
+        let s = CapacitySeries::from_events(&[], 1_000_000, 1 << 30, 4, 1);
         assert_eq!(s.peak_bytes, 0);
         assert_eq!(s.peak_utilization, 0.0);
         assert!(s.points.iter().all(|p| p.rss_gib == 0.0));
@@ -111,14 +177,14 @@ mod tests {
     #[test]
     fn single_bucket_minimum() {
         let events = vec![ev(10, 1 << 20)];
-        let s = CapacitySeries::from_events(&events, 100, 1 << 30, 0);
+        let s = CapacitySeries::from_events(&events, 100, 1 << 30, 0, 1);
         assert_eq!(s.points.len(), 2);
         assert!(s.final_gib() > 0.0);
     }
 
     #[test]
     fn utilisation_guard_against_zero_capacity() {
-        let s = CapacitySeries::from_events(&[ev(0, 100)], 10, 0, 2);
+        let s = CapacitySeries::from_events(&[ev(0, 100)], 10, 0, 2, 1);
         assert_eq!(s.peak_utilization, 0.0);
     }
 }

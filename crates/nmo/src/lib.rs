@@ -14,6 +14,12 @@
 //!    Extension and attributed to user-tagged objects and execution phases
 //!    (Figures 4–6).
 //!
+//! On tiered-memory machines (local DDR plus CXL-style remote nodes) a
+//! fourth view rides on the same samples: [`latency`] builds per-data-source
+//! latency distributions (log2 histograms with p50/p90/p99) via
+//! [`sink::LatencySink`], separating local-DRAM from remote-DRAM fills —
+//! the paper's DDR-vs-CXL comparison.
+//!
 //! The public API is organised around three seams:
 //!
 //! * [`session::ProfileSession`] — the entry point. A builder configures the
@@ -24,9 +30,9 @@
 //!   aggregates `perf stat`-style hardware counters. A session can run both
 //!   at once on the same cores.
 //! * [`sink::AnalysisSink`] — pluggable analyses over the collected data.
-//!   The three levels of the paper ship as [`sink::CapacitySink`],
-//!   [`sink::BandwidthSink`], and [`sink::RegionSink`] — all incremental
-//!   aggregators.
+//!   The paper's levels ship as [`sink::CapacitySink`],
+//!   [`sink::BandwidthSink`], [`sink::RegionSink`], and
+//!   [`sink::LatencySink`] — all incremental aggregators.
 //! * [`stream`] — the online data plane: backends emit window-stamped
 //!   [`stream::SampleBatch`]es onto a bounded [`stream::EventBus`] while
 //!   the workload runs ([`session::ProfileSession::run_streaming`]), sinks
@@ -84,6 +90,7 @@ pub mod backend;
 pub mod bandwidth;
 pub mod capacity;
 pub mod config;
+pub mod latency;
 pub mod regions;
 pub mod report;
 pub mod runtime;
@@ -98,12 +105,13 @@ pub use backend::{CoreObserver, CounterBackend, SampleBackend, SpeBackend};
 pub use bandwidth::BandwidthSeries;
 pub use capacity::CapacitySeries;
 pub use config::{Mode, NmoConfig, NmoConfigBuilder};
+pub use latency::{LatencyHistogram, LatencyProfile};
 pub use regions::{attribute, RegionAccumulator, RegionProfile, RegionStats};
 pub use runtime::{AddressSample, Profile, Profiler};
 pub use session::{ActiveSession, ProfileSession, ProfileSessionBuilder};
 pub use sink::{
-    AnalysisRecord, AnalysisReport, AnalysisSink, BandwidthSink, CapacitySink, RegionSink,
-    StreamContext,
+    AnalysisRecord, AnalysisReport, AnalysisSink, BandwidthSink, CapacitySink, LatencySink,
+    RegionSink, StreamContext,
 };
 pub use stream::{
     BackpressurePolicy, BatchPayload, BusStats, CounterDelta, EventBus, SampleBatch, StreamOptions,

@@ -208,7 +208,7 @@ mod tests {
             core: 0,
             is_store,
             latency: 4,
-            level: arch_sim::MemLevel::L1,
+            source: arch_sim::DataSource::L1,
         }
     }
 

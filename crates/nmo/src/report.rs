@@ -86,7 +86,9 @@ impl Profile {
         let mut written = Vec::new();
         let base = &self.name;
 
-        // Address samples (the scatter data of Figures 4-6).
+        // Address samples (the scatter data of Figures 4-6). The source
+        // column carries the serving memory node for DRAM-class fills, e.g.
+        // `Dram(0)` / `RemoteDram(1)`.
         let path = dir.join(format!("{base}_samples.csv"));
         let rows: Vec<Vec<String>> = self
             .samples
@@ -98,34 +100,89 @@ impl Profile {
                     s.core.to_string(),
                     (s.is_store as u8).to_string(),
                     s.latency.to_string(),
-                    format!("{:?}", s.level),
+                    format!("{:?}", s.source),
                 ]
             })
             .collect();
-        write_csv(&path, &["time_ns", "vaddr", "core", "is_store", "latency", "level"], &rows)?;
+        write_csv(&path, &["time_ns", "vaddr", "core", "is_store", "latency", "source"], &rows)?;
         written.push(path.display().to_string());
 
-        // Capacity over time (Figure 2).
+        // Capacity over time (Figure 2), one extra column per memory node
+        // on tiered topologies.
         let path = dir.join(format!("{base}_capacity.csv"));
+        let tier_cols: Vec<String> =
+            (0..self.capacity.nodes).map(|n| format!("node{n}_gib")).collect();
+        let mut header = vec!["time_s".to_string(), "rss_gib".to_string()];
+        header.extend(tier_cols);
         let rows: Vec<Vec<String>> = self
             .capacity
             .points
             .iter()
-            .map(|p| vec![format!("{:.6}", p.time_s), format!("{:.6}", p.rss_gib)])
+            .map(|p| {
+                let mut row = vec![format!("{:.6}", p.time_s), format!("{:.6}", p.rss_gib)];
+                row.extend(
+                    p.rss_by_node_gib[..self.capacity.nodes].iter().map(|gib| format!("{gib:.6}")),
+                );
+                row
+            })
             .collect();
-        write_csv(&path, &["time_s", "rss_gib"], &rows)?;
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(&path, &header_refs, &rows)?;
         written.push(path.display().to_string());
 
-        // Bandwidth over time (Figure 3).
+        // Bandwidth over time (Figure 3), one extra column per memory node
+        // on tiered topologies.
         let path = dir.join(format!("{base}_bandwidth.csv"));
+        let tier_cols: Vec<String> =
+            (0..self.bandwidth.nodes).map(|n| format!("node{n}_gib_per_s")).collect();
+        let mut header = vec!["time_s".to_string(), "gib_per_s".to_string()];
+        header.extend(tier_cols);
         let rows: Vec<Vec<String>> = self
             .bandwidth
             .points
             .iter()
-            .map(|p| vec![format!("{:.6}", p.time_s), format!("{:.3}", p.gib_per_s)])
+            .map(|p| {
+                let mut row = vec![format!("{:.6}", p.time_s), format!("{:.3}", p.gib_per_s)];
+                row.extend(
+                    p.gib_per_s_by_node[..self.bandwidth.nodes]
+                        .iter()
+                        .map(|gib| format!("{gib:.3}")),
+                );
+                row
+            })
             .collect();
-        write_csv(&path, &["time_s", "gib_per_s"], &rows)?;
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(&path, &header_refs, &rows)?;
         written.push(path.display().to_string());
+
+        // Per-data-source latency distributions (the tiered-memory latency
+        // figure): log2-histogram summary statistics per source.
+        let latency = self.latency();
+        if !latency.is_empty() {
+            let path = dir.join(format!("{base}_latency.csv"));
+            let rows: Vec<Vec<String>> = latency
+                .per_source
+                .iter()
+                .map(|(source, hist)| {
+                    vec![
+                        format!("{source:?}"),
+                        hist.count().to_string(),
+                        format!("{:.1}", hist.mean()),
+                        format!("{:.1}", hist.p50()),
+                        format!("{:.1}", hist.p90()),
+                        format!("{:.1}", hist.p99()),
+                        hist.min().to_string(),
+                        hist.max().to_string(),
+                    ]
+                })
+                .collect();
+            write_csv(
+                &path,
+                &["source", "samples", "mean", "p50", "p90", "p99", "min", "max"],
+                &rows,
+            )?;
+            written.push(path.display().to_string());
+        }
 
         // Region attribution (Figures 4-6 legends).
         let regions = self.regions();
@@ -178,8 +235,9 @@ impl Profile {
     }
 
     /// A one-paragraph text summary of the run, including the SPE data-loss
-    /// fraction (paper §SPE limitations) and, for streaming runs, the
-    /// pipeline statistics.
+    /// fraction (paper §SPE limitations), per-tier traffic and latency on
+    /// tiered-memory machines, and, for streaming runs, the pipeline
+    /// statistics.
     pub fn summary(&self) -> String {
         let mut out = format!(
             "profile '{}' [{}]: {} samples processed ({} skipped), {} aux records, \
@@ -201,6 +259,29 @@ impl Profile {
             self.spe.truncated_records,
             self.loss_fraction() * 100.0,
         );
+        // Per-tier view on multi-node topologies: traffic split per memory
+        // node, plus tier medians when a LatencySink report is cached on the
+        // profile (no on-demand sample scan here — summary stays cheap).
+        if self.bandwidth.nodes > 1 {
+            let shares: Vec<String> = (0..self.bandwidth.nodes)
+                .map(|node| {
+                    format!("node{node} {:.1}%", self.bandwidth.node_traffic_share(node) * 100.0)
+                })
+                .collect();
+            let _ = write!(out, ", mem traffic {}", shares.join(" / "));
+        }
+        if let Some(latency) = self.analyses.iter().find_map(|a| match &a.report {
+            crate::sink::AnalysisReport::Latency(l) => Some(l),
+            _ => None,
+        }) {
+            let (local, remote) = (latency.local_dram(), latency.remote_dram());
+            if local.count() > 0 {
+                let _ = write!(out, ", DRAM p50 local {:.0}c", local.p50());
+                if remote.count() > 0 {
+                    let _ = write!(out, " / remote {:.0}c", remote.p50());
+                }
+            }
+        }
         if let Some(stream) = &self.stream {
             let _ = write!(
                 out,

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use arch_sim::{Machine, MachineCounters, MemLevel};
+use arch_sim::{DataSource, Machine, MachineCounters, MemLevel};
 use spe::SpeStatsSnapshot;
 
 use crate::annotate::{AddrTag, Annotations, Phase};
@@ -19,6 +19,7 @@ use crate::backend::{SampleBackend, SpeBackend};
 use crate::bandwidth::BandwidthSeries;
 use crate::capacity::CapacitySeries;
 use crate::config::NmoConfig;
+use crate::latency::LatencyProfile;
 use crate::regions::{attribute, RegionProfile};
 use crate::sink::{default_sinks, run_sinks, AnalysisRecord};
 use crate::stream::StreamStats;
@@ -38,8 +39,16 @@ pub struct AddressSample {
     pub is_store: bool,
     /// Latency reported by SPE, cycles.
     pub latency: u16,
-    /// Memory level that served the access.
-    pub level: MemLevel,
+    /// The memory-system source that served the access, from the SPE
+    /// data-source packet (carries the node id for DRAM-class fills).
+    pub source: DataSource,
+}
+
+impl AddressSample {
+    /// The memory-level class of the serving source.
+    pub fn level(&self) -> MemLevel {
+        self.source.level()
+    }
 }
 
 /// The complete result of one profiled run.
@@ -135,6 +144,20 @@ impl Profile {
             }
         }
         attribute(&self.samples, &self.tags, &self.phases)
+    }
+
+    /// Per-data-source latency distributions (the tiered-memory view).
+    ///
+    /// When a [`crate::sink::LatencySink`] ran on the session its stored
+    /// report is returned; otherwise the histograms are computed on demand
+    /// from the decoded samples.
+    pub fn latency(&self) -> LatencyProfile {
+        for record in &self.analyses {
+            if let crate::sink::AnalysisReport::Latency(l) = &record.report {
+                return l.clone();
+            }
+        }
+        LatencyProfile::from_samples(&self.samples)
     }
 
     /// The count collected by the counter backend for `event`, if any.

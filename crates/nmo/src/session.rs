@@ -362,8 +362,9 @@ impl ProfileSession {
         let machine_cfg = active.session.machine.config();
         let ctx = StreamContext {
             annotations: active.session.annotations.clone(),
-            capacity_bytes: machine_cfg.dram.capacity_bytes,
+            capacity_bytes: machine_cfg.total_mem_bytes(),
             bucket_ns: machine_cfg.cycles_to_ns(machine_cfg.bandwidth_bucket_cycles).max(1),
+            mem_nodes: machine_cfg.mem_nodes(),
         };
 
         let pump = {

@@ -1,9 +1,10 @@
 //! Pluggable analysis sinks (the reporting seam of the profiler).
 //!
-//! The paper's three profiling levels — temporal capacity, temporal
-//! bandwidth, and memory-region attribution — are implemented as
-//! [`AnalysisSink`]s registered on a [`crate::session::ProfileSession`]
-//! instead of hard-wired steps of the runtime.
+//! The paper's profiling levels — temporal capacity, temporal bandwidth,
+//! memory-region attribution, and per-tier latency distributions — are
+//! implemented as [`AnalysisSink`]s registered on a
+//! [`crate::session::ProfileSession`] instead of hard-wired steps of the
+//! runtime.
 //!
 //! Sinks consume data in one of two ways:
 //!
@@ -20,24 +21,28 @@
 //!   sinks that only implement `analyze` therefore keep working unchanged
 //!   on both paths.
 //!
-//! The three shipped sinks are incremental aggregators: capacity merges RSS
-//! tick batches, bandwidth merges per-bucket traffic deltas, and regions
-//! attributes each window's samples as it closes — a windowed merge instead
-//! of a deferred whole-run scan, so analysis work is spread over the run
-//! and live readouts stay current. Note that the *retained data* is not yet
-//! bounded: the final [`Profile`] still records every decoded sample (and
-//! the region scatter keeps one attributed point per sample), so memory
-//! grows with run length just as on the post-hoc path; eviction/downsampling
-//! policies for indefinitely long runs are future work.
+//! The shipped sinks are incremental aggregators: capacity merges RSS
+//! tick batches (per memory node), bandwidth merges per-bucket traffic
+//! deltas (per memory node), regions attributes each window's samples as it
+//! closes, and latency folds each sample into per-data-source log2
+//! histograms — a windowed merge instead of a deferred whole-run scan, so
+//! analysis work is spread over the run and live readouts stay current.
+//! Note that the *retained data* is not yet bounded: the final [`Profile`]
+//! still records every decoded sample (and the region scatter keeps one
+//! attributed point per sample), so memory grows with run length just as on
+//! the post-hoc path; eviction/downsampling policies for indefinitely long
+//! runs are future work (the latency histograms are already O(1) in run
+//! length).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use arch_sim::{Machine, RssPoint};
+use arch_sim::{Machine, RssPoint, MAX_MEM_NODES};
 
 use crate::annotate::Annotations;
 use crate::bandwidth::BandwidthSeries;
 use crate::capacity::CapacitySeries;
+use crate::latency::LatencyProfile;
 use crate::regions::{attribute, RegionAccumulator, RegionProfile};
 use crate::runtime::Profile;
 use crate::stream::{BatchPayload, SampleBatch, Window};
@@ -52,6 +57,8 @@ pub enum AnalysisReport {
     Bandwidth(BandwidthSeries),
     /// A region-attribution profile (level 3).
     Regions(RegionProfile),
+    /// Per-data-source latency distributions (the tiered-memory view).
+    Latency(LatencyProfile),
     /// Free-form textual output from a custom sink.
     Text(String),
 }
@@ -63,6 +70,7 @@ impl AnalysisReport {
             AnalysisReport::Capacity(c) => c.points.is_empty(),
             AnalysisReport::Bandwidth(b) => b.points.is_empty(),
             AnalysisReport::Regions(r) => r.scatter.is_empty(),
+            AnalysisReport::Latency(l) => l.is_empty(),
             AnalysisReport::Text(t) => t.is_empty(),
         }
     }
@@ -83,10 +91,13 @@ pub struct AnalysisRecord {
 pub struct StreamContext {
     /// The session's annotation registry (tags/phases grow during the run).
     pub annotations: Arc<Annotations>,
-    /// Machine DRAM capacity in bytes (for utilisation figures).
+    /// Total machine memory capacity in bytes, across every node (for
+    /// utilisation figures).
     pub capacity_bytes: u64,
     /// Width of one bandwidth bucket, simulated nanoseconds.
     pub bucket_ns: u64,
+    /// Number of memory nodes in the machine's topology.
+    pub mem_nodes: usize,
 }
 
 /// A pluggable analysis over a profiling run.
@@ -127,7 +138,8 @@ pub trait AnalysisSink: Send {
     }
 }
 
-/// Level 1: temporal capacity usage (paper Section VI-A, Figure 2).
+/// Level 1: temporal capacity usage (paper Section VI-A, Figure 2), split
+/// per memory node on tiered topologies.
 ///
 /// Streaming: merges the RSS tick batches into a step-event list and
 /// resamples at [`AnalysisSink::finish`]; post-hoc: scans the machine's
@@ -137,15 +149,15 @@ pub struct CapacitySink {
     /// Number of evenly spaced output samples.
     pub buckets: usize,
     events: Vec<RssPoint>,
-    /// DRAM capacity latched from the stream context; `None` until
-    /// streaming starts (the post-hoc marker).
-    capacity_bytes: Option<u64>,
+    /// DRAM capacity and node count latched from the stream context; `None`
+    /// until streaming starts (the post-hoc marker).
+    stream_geometry: Option<(u64, usize)>,
 }
 
 impl CapacitySink {
     /// A capacity sink emitting `buckets` evenly spaced samples.
     pub fn new(buckets: usize) -> Self {
-        CapacitySink { buckets, events: Vec::new(), capacity_bytes: None }
+        CapacitySink { buckets, events: Vec::new(), stream_geometry: None }
     }
 }
 
@@ -168,13 +180,14 @@ impl AnalysisSink for CapacitySink {
         Ok(AnalysisReport::Capacity(CapacitySeries::from_events(
             &machine.rss_series(),
             profile.elapsed_ns,
-            machine.config().dram.capacity_bytes,
+            machine.config().total_mem_bytes(),
             self.buckets,
+            machine.config().mem_nodes(),
         )))
     }
 
     fn on_stream_start(&mut self, ctx: &StreamContext) {
-        self.capacity_bytes = Some(ctx.capacity_bytes);
+        self.stream_geometry = Some((ctx.capacity_bytes, ctx.mem_nodes));
     }
 
     fn on_batch(&mut self, batch: &SampleBatch) {
@@ -184,7 +197,7 @@ impl AnalysisSink for CapacitySink {
     }
 
     fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
-        let Some(capacity_bytes) = self.capacity_bytes else {
+        let Some((capacity_bytes, nodes)) = self.stream_geometry else {
             return self.analyze(machine, profile);
         };
         let mut events = std::mem::take(&mut self.events);
@@ -194,24 +207,26 @@ impl AnalysisSink for CapacitySink {
             profile.elapsed_ns,
             capacity_bytes,
             self.buckets,
+            nodes,
         )))
     }
 }
 
-/// Level 2: temporal bandwidth usage (paper Section VI-B, Figure 3).
+/// Level 2: temporal bandwidth usage (paper Section VI-B, Figure 3), split
+/// per memory node on tiered topologies.
 ///
 /// Streaming: merges bandwidth tick batches per bucket (deliveries for the
-/// same bucket sum their bytes — the windowed merge); post-hoc: scans the
-/// machine's aggregated bucket series.
+/// same bucket sum their bytes, per node — the windowed merge); post-hoc:
+/// scans the machine's aggregated bucket series.
 #[derive(Debug, Clone, Default)]
 pub struct BandwidthSink {
-    /// Merged bus bytes per bucket *index* (points are binned to the bucket
-    /// containing their timestamp, so unaligned deliveries cannot fall
-    /// between buckets).
-    merged: BTreeMap<u64, u64>,
-    /// Bucket width latched from the stream context; `None` until streaming
-    /// starts (the post-hoc marker).
-    bucket_ns: Option<u64>,
+    /// Merged bus bytes per bucket *index*, split per memory node (points
+    /// are binned to the bucket containing their timestamp, so unaligned
+    /// deliveries cannot fall between buckets).
+    merged: BTreeMap<u64, [u64; MAX_MEM_NODES]>,
+    /// Bucket width and node count latched from the stream context; `None`
+    /// until streaming starts (the post-hoc marker).
+    stream_geometry: Option<(u64, usize)>,
 }
 
 impl BandwidthSink {
@@ -234,34 +249,40 @@ impl AnalysisSink for BandwidthSink {
         Ok(AnalysisReport::Bandwidth(BandwidthSeries::from_buckets(
             &machine.bandwidth_series(),
             profile.counters.flops,
+            machine.config().mem_nodes(),
         )))
     }
 
     fn on_stream_start(&mut self, ctx: &StreamContext) {
-        self.bucket_ns = Some(ctx.bucket_ns.max(1));
+        self.stream_geometry = Some((ctx.bucket_ns.max(1), ctx.mem_nodes));
     }
 
     fn on_batch(&mut self, batch: &SampleBatch) {
-        let Some(bucket_ns) = self.bucket_ns else { return };
+        let Some((bucket_ns, _)) = self.stream_geometry else { return };
         if let BatchPayload::Bandwidth { points } = &batch.payload {
             for p in points {
-                *self.merged.entry(p.time_ns / bucket_ns).or_insert(0) += p.bytes;
+                let merged = self.merged.entry(p.time_ns / bucket_ns).or_insert([0; MAX_MEM_NODES]);
+                for (node, bytes) in p.by_node.iter().enumerate() {
+                    merged[node] += bytes;
+                }
             }
         }
     }
 
     fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
-        let Some(bucket_ns) = self.bucket_ns else {
+        let Some((bucket_ns, nodes)) = self.stream_geometry else {
             return self.analyze(machine, profile);
         };
         let points: Vec<arch_sim::BandwidthPoint> = match self.merged.keys().next_back() {
             None => Vec::new(),
             Some(&last) => (0..=last)
                 .map(|i| {
-                    let bytes = self.merged.get(&i).copied().unwrap_or(0);
+                    let by_node = self.merged.get(&i).copied().unwrap_or([0; MAX_MEM_NODES]);
+                    let bytes: u64 = by_node.iter().sum();
                     arch_sim::BandwidthPoint {
                         time_ns: i * bucket_ns,
                         bytes,
+                        by_node,
                         gib_per_s: bytes as f64 / (1u64 << 30) as f64 / (bucket_ns as f64 * 1e-9),
                     }
                 })
@@ -270,6 +291,7 @@ impl AnalysisSink for BandwidthSink {
         Ok(AnalysisReport::Bandwidth(BandwidthSeries::from_buckets(
             &points,
             profile.counters.flops,
+            nodes,
         )))
     }
 }
@@ -341,13 +363,69 @@ impl AnalysisSink for RegionSink {
     }
 }
 
+/// Per-tier latency distributions (the paper's DDR-vs-CXL latency figures):
+/// one streaming log2-bucket histogram per SPE data source, with
+/// interpolated p50/p90/p99.
+///
+/// Streaming: folds every sample of every batch into the per-source
+/// histograms as it arrives (O(1) state per source — nothing is buffered);
+/// post-hoc: one scan over the profile's samples. The histograms are
+/// order-independent, so both paths produce identical reports.
+#[derive(Debug, Default)]
+pub struct LatencySink {
+    profile: LatencyProfile,
+    /// Set when streaming delivery started (the post-hoc marker).
+    streaming: bool,
+}
+
+impl LatencySink {
+    /// A fresh latency sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AnalysisSink for LatencySink {
+    fn name(&self) -> &'static str {
+        "latency"
+    }
+
+    fn analyze(
+        &mut self,
+        _machine: &Machine,
+        profile: &Profile,
+    ) -> Result<AnalysisReport, NmoError> {
+        Ok(AnalysisReport::Latency(LatencyProfile::from_samples(&profile.samples)))
+    }
+
+    fn on_stream_start(&mut self, _ctx: &StreamContext) {
+        self.streaming = true;
+    }
+
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+            for s in samples {
+                self.profile.record(s.source, s.latency);
+            }
+        }
+    }
+
+    fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
+        if !self.streaming {
+            return self.analyze(machine, profile);
+        }
+        Ok(AnalysisReport::Latency(std::mem::take(&mut self.profile)))
+    }
+}
+
 /// The sinks the session registers by default for `config`, mirroring the
 /// behaviour of the historical `Profiler`: capacity when RSS tracking is on,
-/// bandwidth when bandwidth tracking is on. Region attribution is *not* a
-/// default sink — it stays lazy via [`Profile::regions`] (many callers, e.g.
-/// the sensitivity sweeps, never read it and should not pay the per-sample
-/// attribution scan); register [`RegionSink`] explicitly to compute and
-/// cache it at session finish.
+/// bandwidth when bandwidth tracking is on. Region attribution and latency
+/// histograms are *not* default sinks — they stay lazy via
+/// [`Profile::regions`] / [`Profile::latency`] (many callers, e.g. the
+/// sensitivity sweeps, never read them and should not pay the per-sample
+/// scans); register [`RegionSink`] / [`LatencySink`] explicitly to compute
+/// and cache them at session finish.
 pub(crate) fn default_sinks(config: &crate::config::NmoConfig) -> Vec<Box<dyn AnalysisSink>> {
     let mut sinks: Vec<Box<dyn AnalysisSink>> = Vec::new();
     if config.track_rss {
@@ -373,7 +451,7 @@ pub(crate) fn run_sinks(
         match &report {
             AnalysisReport::Capacity(c) => profile.capacity = c.clone(),
             AnalysisReport::Bandwidth(b) => profile.bandwidth = b.clone(),
-            AnalysisReport::Regions(_) | AnalysisReport::Text(_) => {}
+            AnalysisReport::Regions(_) | AnalysisReport::Latency(_) | AnalysisReport::Text(_) => {}
         }
         profile.analyses.push(AnalysisRecord { sink: sink.name().to_string(), report });
     }
@@ -385,7 +463,7 @@ mod tests {
     use super::*;
     use crate::config::NmoConfig;
     use crate::runtime::AddressSample;
-    use arch_sim::{BandwidthPoint, MachineConfig};
+    use arch_sim::{BandwidthPoint, DataSource, MachineConfig};
 
     #[test]
     fn default_sinks_follow_config_flags() {
@@ -451,7 +529,7 @@ mod tests {
     }
 
     fn stream_ctx(annotations: Arc<Annotations>) -> StreamContext {
-        StreamContext { annotations, capacity_bytes: 1 << 30, bucket_ns: 1000 }
+        StreamContext { annotations, capacity_bytes: 1 << 30, bucket_ns: 1000, mem_nodes: 2 }
     }
 
     #[test]
@@ -469,7 +547,7 @@ mod tests {
                 seq: i,
                 window: clock.window(i),
                 payload: BatchPayload::Rss {
-                    points: vec![arch_sim::RssPoint { time_ns: i * 1000, rss_bytes: rss }],
+                    points: vec![arch_sim::RssPoint::flat(i * 1000, rss)],
                 },
             });
         }
@@ -477,6 +555,8 @@ mod tests {
         match report {
             AnalysisReport::Capacity(c) => {
                 assert_eq!(c.peak_bytes, 3 << 20);
+                assert_eq!(c.peak_bytes_by_node[0], 3 << 20);
+                assert_eq!(c.nodes, 2, "node count latched from the stream context");
                 assert!(!c.points.is_empty());
             }
             other => panic!("expected capacity report, got {other:?}"),
@@ -494,10 +574,15 @@ mod tests {
         let mut sink = BandwidthSink::new();
         sink.on_stream_start(&stream_ctx(Arc::new(Annotations::new())));
         let clock = crate::stream::WindowClock::new(1000);
-        let bp = |time_ns: u64, bytes: u64| BandwidthPoint {
-            time_ns,
-            bytes,
-            gib_per_s: 0.0, // recomputed by the sink
+        let bp = |time_ns: u64, bytes: u64| {
+            let mut by_node = [0u64; MAX_MEM_NODES];
+            by_node[0] = bytes;
+            BandwidthPoint {
+                time_ns,
+                bytes,
+                by_node,
+                gib_per_s: 0.0, // recomputed by the sink
+            }
         };
         // Two deliveries into bucket 0 (one of them mid-bucket, i.e. not
         // aligned to a bucket boundary) plus one into bucket 2.
@@ -517,6 +602,7 @@ mod tests {
         match report {
             AnalysisReport::Bandwidth(b) => {
                 assert_eq!(b.total_bytes, (1 << 21) + (1 << 21), "unaligned bytes are kept");
+                assert_eq!(b.total_bytes_by_node[0], b.total_bytes, "all traffic on node 0");
                 assert_eq!(b.points.len(), 3, "gap bucket 1 is zero-filled");
                 // Bucket 0 merged 2 × 1 MiB, bucket 2 carries 2 MiB: equal rates.
                 assert!((b.points[0].gib_per_s - b.points[2].gib_per_s).abs() < 1e-9);
@@ -524,6 +610,17 @@ mod tests {
                 assert!(b.arithmetic_intensity.is_some());
             }
             other => panic!("expected bandwidth report, got {other:?}"),
+        }
+    }
+
+    fn mk_sample(time_ns: u64, vaddr: u64) -> AddressSample {
+        AddressSample {
+            time_ns,
+            vaddr,
+            core: 0,
+            is_store: false,
+            latency: 1,
+            source: DataSource::L1,
         }
     }
 
@@ -537,21 +634,13 @@ mod tests {
         let mut sink = RegionSink::new();
         sink.on_stream_start(&stream_ctx(annotations.clone()));
         let clock = crate::stream::WindowClock::new(1000);
-        let mk = |time_ns: u64, vaddr: u64| AddressSample {
-            time_ns,
-            vaddr,
-            core: 0,
-            is_store: false,
-            latency: 1,
-            level: arch_sim::MemLevel::L1,
-        };
         sink.on_batch(&SampleBatch {
             backend: "spe",
             core: None,
             seq: 0,
             window: clock.window(0),
             payload: BatchPayload::SpeSamples {
-                samples: vec![mk(10, 0x1100), mk(20, 0x9000)],
+                samples: vec![mk_sample(10, 0x1100), mk_sample(20, 0x9000)],
                 loss: Default::default(),
             },
         });
@@ -563,7 +652,7 @@ mod tests {
             seq: 1,
             window: clock.window(1),
             payload: BatchPayload::SpeSamples {
-                samples: vec![mk(1500, 0x1200)],
+                samples: vec![mk_sample(1500, 0x1200)],
                 loss: Default::default(),
             },
         });
@@ -577,5 +666,63 @@ mod tests {
             }
             other => panic!("expected regions report, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn latency_sink_streaming_matches_post_hoc() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let samples: Vec<AddressSample> = (0..300u64)
+            .map(|i| {
+                let source = match i % 4 {
+                    0 => DataSource::L1,
+                    1 => DataSource::Slc,
+                    2 => DataSource::Dram(0),
+                    _ => DataSource::RemoteDram(1),
+                };
+                AddressSample {
+                    time_ns: i * 10,
+                    vaddr: 0x1000 + i,
+                    core: 0,
+                    is_store: false,
+                    latency: (10 + (i * 13) % 900) as u16,
+                    source,
+                }
+            })
+            .collect();
+
+        // Post-hoc path: analyze over the filled profile.
+        let mut profile = Profile::empty("t", NmoConfig::default());
+        profile.samples = samples.clone();
+        let mut post_hoc_sink = LatencySink::new();
+        let post_hoc = match post_hoc_sink.finish(&machine, &profile).unwrap() {
+            AnalysisReport::Latency(l) => l,
+            other => panic!("expected latency report, got {other:?}"),
+        };
+
+        // Streaming path: batches in arbitrary chunks.
+        let mut sink = LatencySink::new();
+        sink.on_stream_start(&stream_ctx(Arc::new(Annotations::new())));
+        let clock = crate::stream::WindowClock::new(1000);
+        for (seq, chunk) in samples.chunks(17).enumerate() {
+            sink.on_batch(&SampleBatch {
+                backend: "spe",
+                core: None,
+                seq: seq as u64,
+                window: clock.window(seq as u64),
+                payload: BatchPayload::SpeSamples {
+                    samples: chunk.to_vec(),
+                    loss: Default::default(),
+                },
+            });
+        }
+        let empty_profile = Profile::empty("t", NmoConfig::default());
+        let streamed = match sink.finish(&machine, &empty_profile).unwrap() {
+            AnalysisReport::Latency(l) => l,
+            other => panic!("expected latency report, got {other:?}"),
+        };
+
+        assert_eq!(streamed, post_hoc, "histograms are order-independent");
+        assert_eq!(streamed.per_source.len(), 4);
+        assert_eq!(streamed.total_count(), 300);
     }
 }

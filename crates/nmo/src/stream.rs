@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use arch_sim::{BandwidthPoint, RssPoint};
+use arch_sim::{BandwidthPoint, DataSource, RssPoint};
 use spe::SpeStatsSnapshot;
 
 use crate::runtime::AddressSample;
@@ -484,6 +484,10 @@ pub struct StreamSnapshot {
     pub spe_samples: u64,
     /// Latest cumulative hardware-counter totals seen.
     pub counter_totals: Vec<(String, u64)>,
+    /// SPE samples consumed so far per data source, ascending by source —
+    /// the live per-tier readout (how much traffic each cache level and
+    /// memory node is serving *right now*).
+    pub samples_by_source: Vec<(DataSource, u64)>,
     /// Highest RSS seen so far, bytes.
     pub rss_peak_bytes: u64,
     /// Highest simulated timestamp seen so far.
@@ -497,6 +501,26 @@ impl StreamSnapshot {
     pub fn closed_windows(&self) -> impl Iterator<Item = &WindowSummary> {
         self.windows.iter().filter(|w| w.closed && (w.samples > 0 || w.batches > 0))
     }
+
+    /// Samples seen so far for one data source.
+    pub fn samples_from(&self, source: DataSource) -> u64 {
+        self.samples_by_source.iter().find(|(s, _)| *s == source).map(|(_, n)| *n).unwrap_or(0)
+    }
+
+    /// Samples seen so far from DRAM-class sources, split `(local, remote)`
+    /// — the live tier balance.
+    pub fn dram_tier_counts(&self) -> (u64, u64) {
+        let mut local = 0;
+        let mut remote = 0;
+        for (source, n) in &self.samples_by_source {
+            match source {
+                DataSource::Dram(_) => local += n,
+                DataSource::RemoteDram(_) => remote += n,
+                _ => {}
+            }
+        }
+        (local, remote)
+    }
 }
 
 /// Consumer-thread bookkeeping behind [`StreamSnapshot`] (shared with
@@ -509,6 +533,7 @@ pub(crate) struct SnapshotState {
     pub(crate) spe_samples: u64,
     pub(crate) late_batches: u64,
     pub(crate) counter_totals: Vec<(String, u64)>,
+    pub(crate) samples_by_source: Vec<(DataSource, u64)>,
     pub(crate) rss_peak_bytes: u64,
     pub(crate) last_time_ns: u64,
 }
@@ -533,6 +558,12 @@ impl SnapshotState {
         match &batch.payload {
             BatchPayload::SpeSamples { samples, .. } => {
                 self.spe_samples += samples.len() as u64;
+                for s in samples {
+                    match self.samples_by_source.binary_search_by_key(&s.source, |(src, _)| *src) {
+                        Ok(i) => self.samples_by_source[i].1 += 1,
+                        Err(i) => self.samples_by_source.insert(i, (s.source, 1)),
+                    }
+                }
             }
             BatchPayload::CounterDeltas { deltas } => {
                 for d in deltas {
@@ -578,6 +609,7 @@ impl SnapshotState {
             batches: self.batches,
             spe_samples: self.spe_samples,
             counter_totals: self.counter_totals.clone(),
+            samples_by_source: self.samples_by_source.clone(),
             rss_peak_bytes: self.rss_peak_bytes,
             last_time_ns: self.last_time_ns,
             bus,
@@ -589,7 +621,7 @@ impl SnapshotState {
 mod tests {
     use super::*;
 
-    fn batch(window: Window, n: usize) -> SampleBatch {
+    fn batch_from(window: Window, n: usize, source: DataSource) -> SampleBatch {
         SampleBatch {
             backend: "test",
             core: None,
@@ -603,13 +635,17 @@ mod tests {
                         core: 0,
                         is_store: false,
                         latency: 1,
-                        level: arch_sim::MemLevel::L1,
+                        source,
                     };
                     n
                 ],
                 loss: SpeStatsSnapshot::default(),
             },
         }
+    }
+
+    fn batch(window: Window, n: usize) -> SampleBatch {
+        batch_from(window, n, DataSource::L1)
     }
 
     #[test]
@@ -717,5 +753,26 @@ mod tests {
         assert_eq!(snap.closed_windows().count(), 1);
         assert_eq!(snap.windows.len(), 2);
         assert!(snap.windows[0].closed && !snap.windows[1].closed);
+    }
+
+    #[test]
+    fn snapshot_state_tracks_per_source_counts() {
+        let clock = WindowClock::new(1000);
+        let mut state = SnapshotState::default();
+        state.record_batch(&batch_from(clock.window(0), 5, DataSource::L1));
+        state.record_batch(&batch_from(clock.window(0), 3, DataSource::Dram(0)));
+        state.record_batch(&batch_from(clock.window(1), 2, DataSource::RemoteDram(1)));
+        state.record_batch(&batch_from(clock.window(1), 4, DataSource::Dram(0)));
+        let snap = state.snapshot(BusStats::default());
+        assert_eq!(snap.samples_from(DataSource::L1), 5);
+        assert_eq!(snap.samples_from(DataSource::Dram(0)), 7);
+        assert_eq!(snap.samples_from(DataSource::RemoteDram(1)), 2);
+        assert_eq!(snap.samples_from(DataSource::Slc), 0);
+        assert_eq!(snap.dram_tier_counts(), (7, 2));
+        // Sources stay sorted ascending.
+        let sources: Vec<DataSource> = snap.samples_by_source.iter().map(|(s, _)| *s).collect();
+        let mut sorted = sources.clone();
+        sorted.sort();
+        assert_eq!(sources, sorted);
     }
 }

@@ -11,8 +11,17 @@
 //! The encoder writes a fuller record (events, operation type, latency
 //! counter, data source, PC) so richer tools can be built on top, but the
 //! layout guarantees the two NMO offsets exactly.
+//!
+//! The data-source packet uses the [`DataSource`] encoding (modeled on the
+//! Neoverse codes, with the serving memory node in the high nibble), so
+//! tiered-memory tools can tell local-DDR from remote/CXL fills. The events
+//! packet mirrors the hardware semantics: every level is distinguishable
+//! from the events field alone — L1 hits set [`events::L1_HIT`], SLC hits
+//! set [`events::SLC_HIT`], every DRAM-class fill (any node) sets
+//! [`events::LLC_MISS`], and remote-node fills additionally set
+//! [`events::REMOTE_ACCESS`] (the SPE `E[10]` remote-access event).
 
-use arch_sim::{MemLevel, OpKind};
+use arch_sim::{DataSource, OpKind};
 
 /// Size of one encoded SPE record in bytes (64-byte aligned, as observed by
 /// NMO on the Ampere testbed).
@@ -38,16 +47,24 @@ pub const VADDR_OFFSET: usize = 31;
 /// Byte offset of the timestamp payload within a record (per the paper).
 pub const TIMESTAMP_OFFSET: usize = 56;
 
-/// Events-packet bits (subset).
+/// Events-packet bits (subset of the SPE events payload).
 pub mod events {
     /// The sampled operation retired.
     pub const RETIRED: u16 = 1 << 1;
     /// The access hit in the L1 data cache.
     pub const L1_HIT: u16 = 1 << 2;
-    /// The access missed the last-level cache (went to DRAM).
-    pub const LLC_MISS: u16 = 1 << 5;
     /// The translation missed in the TLB (unused by the model, reserved).
     pub const TLB_MISS: u16 = 1 << 4;
+    /// The access missed the last-level cache (served by a DRAM node —
+    /// local or remote).
+    pub const LLC_MISS: u16 = 1 << 5;
+    /// The access hit in the shared system-level cache. Without this bit an
+    /// SLC-served record would be indistinguishable from an L2 hit in the
+    /// events field (neither `L1_HIT` nor `LLC_MISS`).
+    pub const SLC_HIT: u16 = 1 << 6;
+    /// The access crossed the socket/expander boundary (SPE `E[10]`): set
+    /// for remote-node DRAM fills on tiered topologies.
+    pub const REMOTE_ACCESS: u16 = 1 << 10;
 }
 
 /// A decoded SPE sample record.
@@ -63,8 +80,9 @@ pub struct SpeRecord {
     pub latency: u16,
     /// Whether the operation was a store (else a load/branch).
     pub is_store: bool,
-    /// Memory level that served the access.
-    pub level: MemLevel,
+    /// The memory-system source that served the access (carries the node id
+    /// for DRAM-class fills).
+    pub source: DataSource,
 }
 
 impl SpeRecord {
@@ -75,7 +93,7 @@ impl SpeRecord {
         timestamp: u64,
         latency_cycles: u64,
         kind: OpKind,
-        level: MemLevel,
+        source: DataSource,
     ) -> Self {
         SpeRecord {
             pc,
@@ -83,8 +101,21 @@ impl SpeRecord {
             timestamp,
             latency: latency_cycles.min(u16::MAX as u64) as u16,
             is_store: kind == OpKind::Store,
-            level,
+            source,
         }
+    }
+
+    /// The events-packet payload implied by this record's source.
+    pub fn events_payload(&self) -> u16 {
+        let mut ev = events::RETIRED;
+        match self.source {
+            DataSource::L1 => ev |= events::L1_HIT,
+            DataSource::L2 => {}
+            DataSource::Slc => ev |= events::SLC_HIT,
+            DataSource::Dram(_) => ev |= events::LLC_MISS,
+            DataSource::RemoteDram(_) => ev |= events::LLC_MISS | events::REMOTE_ACCESS,
+        }
+        ev
     }
 
     /// Encode into the 64-byte record layout.
@@ -92,14 +123,7 @@ impl SpeRecord {
         let mut out = [0u8; SPE_RECORD_BYTES];
         // Events packet: header + 2-byte payload.
         out[0] = HDR_EVENTS;
-        let mut ev = events::RETIRED;
-        if self.level == MemLevel::L1 {
-            ev |= events::L1_HIT;
-        }
-        if self.level == MemLevel::Dram {
-            ev |= events::LLC_MISS;
-        }
-        out[1..3].copy_from_slice(&ev.to_le_bytes());
+        out[1..3].copy_from_slice(&self.events_payload().to_le_bytes());
         // Operation type packet: header + 1-byte payload.
         out[3] = HDR_OP_TYPE;
         out[4] = if self.is_store { 0x01 } else { 0x00 };
@@ -108,7 +132,7 @@ impl SpeRecord {
         out[6..8].copy_from_slice(&self.latency.to_le_bytes());
         // Data source packet: header + 1-byte payload.
         out[8] = HDR_DATA_SOURCE;
-        out[9] = self.level.data_source_code();
+        out[9] = self.source.encode();
         // PC packet: header + 8-byte payload.
         out[10] = HDR_PC;
         out[11..19].copy_from_slice(&self.pc.to_le_bytes());
@@ -139,9 +163,9 @@ impl SpeRecord {
         let (vaddr, timestamp) = decode_nmo_fields(bytes)?;
         let latency = u16::from_le_bytes([bytes[6], bytes[7]]);
         let is_store = bytes[4] == 0x01;
-        let level = MemLevel::from_data_source_code(bytes[9])?;
+        let source = DataSource::decode(bytes[9])?;
         let pc = u64::from_le_bytes(bytes[11..19].try_into().ok()?);
-        Some(SpeRecord { pc, vaddr, timestamp, latency, is_store, level })
+        Some(SpeRecord { pc, vaddr, timestamp, latency, is_store, source })
     }
 }
 
@@ -238,8 +262,25 @@ pub fn decode_records(data: &[u8]) -> SpeRecordIter<'_> {
 mod tests {
     use super::*;
 
+    /// Every data source the machine model can produce, across node ids.
+    fn all_sources() -> Vec<DataSource> {
+        let mut sources = vec![DataSource::L1, DataSource::L2, DataSource::Slc];
+        for n in 0..4u8 {
+            sources.push(DataSource::Dram(n));
+            sources.push(DataSource::RemoteDram(n));
+        }
+        sources
+    }
+
     fn sample() -> SpeRecord {
-        SpeRecord::new(0x40_1000, 0xffff_0000_1234, 987_654, 333, OpKind::Store, MemLevel::Dram)
+        SpeRecord::new(
+            0x40_1000,
+            0xffff_0000_1234,
+            987_654,
+            333,
+            OpKind::Store,
+            DataSource::Dram(0),
+        )
     }
 
     #[test]
@@ -248,6 +289,63 @@ mod tests {
         let bytes = rec.encode();
         assert_eq!(bytes.len(), SPE_RECORD_BYTES);
         assert_eq!(SpeRecord::decode(&bytes), Some(rec));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_over_all_sources() {
+        for source in all_sources() {
+            for kind in [OpKind::Load, OpKind::Store] {
+                let rec = SpeRecord::new(0x40_2000, 0xffff_0000_4000, 55_555, 123, kind, source);
+                let back = SpeRecord::decode(&rec.encode()).expect("decodes");
+                assert_eq!(back, rec, "{source:?} {kind:?}");
+                assert_eq!(back.source, source);
+            }
+        }
+    }
+
+    #[test]
+    fn events_distinguish_every_level() {
+        let ev_of = |source| {
+            let rec = SpeRecord::new(1, 2, 3, 10, OpKind::Load, source);
+            let bytes = rec.encode();
+            u16::from_le_bytes([bytes[1], bytes[2]])
+        };
+
+        let l1 = ev_of(DataSource::L1);
+        assert_ne!(l1 & events::L1_HIT, 0);
+        assert_eq!(l1 & (events::LLC_MISS | events::SLC_HIT), 0);
+
+        let l2 = ev_of(DataSource::L2);
+        assert_eq!(l2 & (events::L1_HIT | events::SLC_HIT | events::LLC_MISS), 0);
+
+        // SLC-served records carry their own bit: without it they would be
+        // indistinguishable from L2 hits in the events field.
+        let slc = ev_of(DataSource::Slc);
+        assert_ne!(slc & events::SLC_HIT, 0);
+        assert_eq!(slc & (events::L1_HIT | events::LLC_MISS), 0);
+        assert_ne!(slc, l2, "SLC and L2 must differ in the events field");
+
+        // Every DRAM-class source sets LLC_MISS, not just node 0.
+        for source in [
+            DataSource::Dram(0),
+            DataSource::Dram(2),
+            DataSource::RemoteDram(0),
+            DataSource::RemoteDram(3),
+        ] {
+            let ev = ev_of(source);
+            assert_ne!(ev & events::LLC_MISS, 0, "{source:?} must flag LLC_MISS");
+            assert_eq!(ev & (events::L1_HIT | events::SLC_HIT), 0, "{source:?}");
+            assert_eq!(
+                ev & events::REMOTE_ACCESS != 0,
+                source.is_remote(),
+                "{source:?} remote-access bit"
+            );
+        }
+
+        // All retired.
+        for source in all_sources() {
+            assert_ne!(ev_of(source) & events::RETIRED, 0);
+        }
     }
 
     #[test]
@@ -276,6 +374,16 @@ mod tests {
     }
 
     #[test]
+    fn invalid_data_source_code_rejected() {
+        let mut bytes = sample().encode();
+        bytes[9] = 0x3; // not a defined source code
+        assert!(SpeRecord::decode(&bytes).is_none());
+        // The NMO fields still decode: the data-source packet is one of the
+        // "richer" packets NMO itself does not depend on.
+        assert!(decode_nmo_fields(&bytes).is_some());
+    }
+
+    #[test]
     fn zero_vaddr_or_timestamp_rejected() {
         let mut rec = sample();
         rec.vaddr = 0;
@@ -287,7 +395,7 @@ mod tests {
 
     #[test]
     fn latency_saturates() {
-        let rec = SpeRecord::new(0, 1, 1, 1 << 40, OpKind::Load, MemLevel::L2);
+        let rec = SpeRecord::new(0, 1, 1, 1 << 40, OpKind::Load, DataSource::L2);
         assert_eq!(rec.latency, u16::MAX);
     }
 
@@ -341,11 +449,11 @@ mod tests {
     }
 
     #[test]
-    fn load_levels_encoded() {
-        for level in [MemLevel::L1, MemLevel::L2, MemLevel::Slc, MemLevel::Dram] {
-            let rec = SpeRecord::new(1, 2, 3, 10, OpKind::Load, level);
+    fn load_sources_encoded() {
+        for source in all_sources() {
+            let rec = SpeRecord::new(1, 2, 3, 10, OpKind::Load, source);
             let back = SpeRecord::decode(&rec.encode()).unwrap();
-            assert_eq!(back.level, level);
+            assert_eq!(back.source, source);
             assert!(!back.is_store);
         }
     }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use arch_sim::{MemLevel, MemOutcome, Op, TimeConv};
+use arch_sim::{DataSource, MemOutcome, Op, TimeConv};
 
 use crate::config::SpeConfig;
 use crate::packet::SpeRecord;
@@ -106,11 +106,11 @@ impl SamplerUnit {
             return SampleOutcome::Collision;
         }
 
-        let (latency, level) = match outcome {
-            Some(o) => (o.latency_cycles, o.level),
+        let (latency, source) = match outcome {
+            Some(o) => (o.latency_cycles, o.source),
             // Branch samples carry no data access; model them as trivially
             // tracked operations.
-            None => (1, MemLevel::L1),
+            None => (1, DataSource::L1),
         };
         self.in_flight_until = now_cycles + latency;
 
@@ -121,7 +121,7 @@ impl SamplerUnit {
 
         let vaddr = if outcome.is_some() { op.vaddr } else { 0 };
         let timestamp = self.timeconv.cycles_to_timer_ticks(now_cycles).max(1);
-        SampleOutcome::Record(SpeRecord::new(op.pc, vaddr, timestamp, latency, op.kind, level))
+        SampleOutcome::Record(SpeRecord::new(op.pc, vaddr, timestamp, latency, op.kind, source))
     }
 }
 
@@ -132,7 +132,7 @@ mod tests {
 
     fn outcome(latency: u64) -> MemOutcome {
         MemOutcome {
-            level: MemLevel::L2,
+            source: DataSource::L2,
             latency_cycles: latency,
             occupancy_cycles: 1,
             bus_bytes: 0,
@@ -239,7 +239,7 @@ mod tests {
         let cfg = SpeConfig { jitter_ops: 0, ..SpeConfig::loads_stores(1) };
         let mut u = SamplerUnit::new(cfg, SpeStats::new_shared(), TimeConv::altra(), 3);
         let out = MemOutcome {
-            level: MemLevel::Dram,
+            source: DataSource::RemoteDram(1),
             latency_cycles: 333,
             occupancy_cycles: 20,
             bus_bytes: 64,
@@ -251,7 +251,7 @@ mod tests {
                 assert_eq!(rec.vaddr, 0xffff_0000_beef);
                 assert_eq!(rec.pc, 0x40_2000);
                 assert!(rec.is_store);
-                assert_eq!(rec.level, MemLevel::Dram);
+                assert_eq!(rec.source, DataSource::RemoteDram(1), "serving node survives");
                 assert_eq!(rec.latency, 333);
                 assert!(rec.timestamp > 0);
             }

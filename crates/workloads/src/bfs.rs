@@ -138,7 +138,7 @@ impl Workload for BfsBench {
                         // core must wait for it, so expose part of the miss
                         // latency as a stall.
                         let out = engine.load_at(pc::BFS_EXPAND, rl + (t_us * 4) as u64, 4);
-                        if out.level >= MemLevel::Slc {
+                        if out.level() >= MemLevel::Slc {
                             let exposed = (out.latency_cycles - out.occupancy_cycles) / 2;
                             engine.idle(exposed);
                         }

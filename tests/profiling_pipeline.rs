@@ -119,9 +119,10 @@ fn profile_csv_reports_are_written_and_parse_back() {
     let profile = run_profiled(Box::new(StreamBench::new(50_000, 1)), 2, 200);
     let dir = std::env::temp_dir().join(format!("nmo_it_csv_{}", std::process::id()));
     let files = profile.write_csv_reports(&dir).unwrap();
-    // samples, capacity, bandwidth, regions, phases, plus the perf-stat
-    // counters collected by the counter backend.
-    assert_eq!(files.len(), 6);
+    // samples, capacity, bandwidth, latency, regions, phases, plus the
+    // perf-stat counters collected by the counter backend.
+    assert_eq!(files.len(), 7);
+    assert!(files.iter().any(|f| f.ends_with("_latency.csv")));
     for f in &files {
         let content = std::fs::read_to_string(f).unwrap();
         let mut lines = content.lines();

@@ -4,15 +4,23 @@
 
 use proptest::prelude::*;
 
-use nmo_repro::arch_sim::{Cache, CacheLevelConfig, MemLevel, OpKind, TimeConv};
+use nmo_repro::arch_sim::{Cache, CacheLevelConfig, DataSource, OpKind, TimeConv};
 use nmo_repro::nmo::accuracy;
 use nmo_repro::perf_sub::records::{AuxRecord, LostRecord, Record};
 use nmo_repro::perf_sub::{AuxBuffer, MetadataPage, PerfEvent, PerfEventAttr, RingBuffer};
 use nmo_repro::spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
 use nmo_repro::workloads::chunk_range;
 
-fn arb_level() -> impl Strategy<Value = MemLevel> {
-    prop_oneof![Just(MemLevel::L1), Just(MemLevel::L2), Just(MemLevel::Slc), Just(MemLevel::Dram),]
+/// Build a data source from a class selector and a node id (the offline
+/// proptest shim has no `prop_map`, so the mapping happens in the test body).
+fn source_from(class: u8, node: u8) -> DataSource {
+    match class % 5 {
+        0 => DataSource::L1,
+        1 => DataSource::L2,
+        2 => DataSource::Slc,
+        3 => DataSource::Dram(node),
+        _ => DataSource::RemoteDram(node),
+    }
 }
 
 fn arb_kind() -> impl Strategy<Value = OpKind> {
@@ -27,9 +35,11 @@ proptest! {
         ts in 1u64..u64::MAX,
         latency in 0u64..100_000,
         kind in arb_kind(),
-        level in arb_level(),
+        source_class in 0u8..5,
+        node in 0u8..16,
     ) {
-        let rec = SpeRecord::new(pc, vaddr, ts, latency, kind, level);
+        let source = source_from(source_class, node);
+        let rec = SpeRecord::new(pc, vaddr, ts, latency, kind, source);
         let bytes = rec.encode();
         prop_assert_eq!(bytes.len(), SPE_RECORD_BYTES);
         let back = SpeRecord::decode(&bytes).expect("decode");
@@ -46,7 +56,7 @@ proptest! {
         corrupt_at in 0usize..64,
         new_byte in any::<u8>(),
     ) {
-        let rec = SpeRecord::new(0, vaddr, ts, 5, OpKind::Load, MemLevel::L1);
+        let rec = SpeRecord::new(0, vaddr, ts, 5, OpKind::Load, DataSource::L1);
         let mut bytes = rec.encode();
         bytes[corrupt_at] = new_byte;
         // Must never panic; may or may not decode depending on which byte
@@ -54,7 +64,7 @@ proptest! {
         let _ = SpeRecord::decode(&bytes);
         let _ = decode_nmo_fields(&bytes);
         // Zero address / timestamp records are always rejected by the NMO decode.
-        let zero = SpeRecord::new(0, 0, ts, 5, OpKind::Load, MemLevel::L1);
+        let zero = SpeRecord::new(0, 0, ts, 5, OpKind::Load, DataSource::L1);
         prop_assert!(decode_nmo_fields(&zero.encode()).is_none());
     }
 

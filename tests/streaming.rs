@@ -6,25 +6,35 @@
 
 use std::time::Duration;
 
-use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::arch_sim::{MachineConfig, PlacementPolicy};
 use nmo_repro::nmo::{
-    BandwidthSink, CapacitySink, NmoConfig, ProfileSession, RegionSink, StreamOptions,
+    BandwidthSink, CapacitySink, LatencySink, NmoConfig, ProfileSession, RegionSink, StreamOptions,
     StreamSnapshot, Workload,
 };
 use nmo_repro::workloads::StreamBench;
 
-fn stream_session(threads: usize, n: usize, iterations: usize) -> ProfileSession {
+fn stream_session_on(
+    machine_config: MachineConfig,
+    threads: usize,
+    n: usize,
+    iterations: usize,
+) -> ProfileSession {
     ProfileSession::builder()
-        .machine_config(MachineConfig::small_test())
+        .machine_config(machine_config)
         .config(NmoConfig::paper_default(200))
         .threads(threads)
         .sink(CapacitySink::default())
         .sink(BandwidthSink::default())
         .sink(RegionSink::default())
+        .sink(LatencySink::default())
         .stream_options(StreamOptions { window_ns: 100_000, ..StreamOptions::default() })
         .workload(Box::new(StreamBench::new(n, iterations)))
         .build()
         .expect("session builds")
+}
+
+fn stream_session(threads: usize, n: usize, iterations: usize) -> ProfileSession {
+    stream_session_on(MachineConfig::small_test(), threads, n, iterations)
 }
 
 /// Equivalence: a single-threaded run is fully deterministic, so the
@@ -63,12 +73,70 @@ fn streaming_stream_workload_matches_post_hoc_series() {
     assert_eq!(rs.untagged_samples, rp.untagged_samples);
     assert_eq!(rs.scatter.len(), rp.scatter.len());
 
+    // Per-tier latency distributions: the histograms are order-independent,
+    // so the streaming merge is *exactly* the post-hoc scan.
+    let (ls, lp) = (streamed.latency(), post_hoc.latency());
+    assert!(!ls.is_empty());
+    assert_eq!(ls, lp, "streaming latency histograms must equal the post-hoc scan");
+
     // The streaming run actually streamed.
     let stats = streamed.stream.expect("streaming stats recorded");
     assert!(stats.batches_published > 0, "{stats:?}");
     assert!(stats.windows_closed > 1, "{stats:?}");
     assert_eq!(stats.batches_dropped, 0, "{stats:?}");
     assert!(post_hoc.stream.is_none());
+}
+
+/// The tiered-memory acceptance run: on a two-node machine under TierSplit
+/// placement, STREAM's latency distribution is bimodal (remote-node p50
+/// strictly above local-node p50), the per-node capacity/bandwidth splits
+/// are populated, and single-threaded streaming still equals post-hoc for
+/// the latency sink.
+#[test]
+fn tiered_stream_latency_is_bimodal_and_streaming_matches_post_hoc() {
+    let tiered = || {
+        stream_session_on(
+            MachineConfig::small_test_tiered(PlacementPolicy::TierSplit { local_fraction: 0.5 }),
+            1,
+            60_000,
+            2,
+        )
+    };
+    let post_hoc = tiered().run().expect("post-hoc tiered run");
+    let streamed = tiered().run_streaming().expect("streaming tiered run");
+
+    // Both tiers served DRAM traffic and the remote mode sits above the
+    // local one — the DDR-vs-CXL signature.
+    let latency = post_hoc.latency();
+    let (local, remote) = (latency.local_dram(), latency.remote_dram());
+    assert!(local.count() > 0, "local DRAM fills observed");
+    assert!(remote.count() > 0, "remote DRAM fills observed");
+    assert!(
+        remote.p50() > local.p50(),
+        "bimodal: remote p50 {} must exceed local p50 {}",
+        remote.p50(),
+        local.p50()
+    );
+    assert!(latency.dram_tiers_bimodal());
+
+    // Per-node capacity and bandwidth splits are populated and consistent.
+    assert_eq!(post_hoc.capacity.nodes, 2);
+    assert!(post_hoc.capacity.peak_bytes_by_node[0] > 0);
+    assert!(post_hoc.capacity.peak_bytes_by_node[1] > 0);
+    assert_eq!(post_hoc.bandwidth.nodes, 2);
+    assert!(post_hoc.bandwidth.total_bytes_by_node[0] > 0);
+    assert!(post_hoc.bandwidth.total_bytes_by_node[1] > 0);
+    assert_eq!(
+        post_hoc.bandwidth.total_bytes_by_node.iter().sum::<u64>(),
+        post_hoc.bandwidth.total_bytes
+    );
+
+    // Streaming == post-hoc holds on the tiered machine too (single thread
+    // => deterministic simulation).
+    assert_eq!(streamed.samples, post_hoc.samples);
+    assert_eq!(streamed.latency(), latency);
+    assert_eq!(streamed.capacity, post_hoc.capacity);
+    assert_eq!(streamed.bandwidth, post_hoc.bandwidth);
 }
 
 /// Live readout: snapshots observed while the STREAM workload is still
