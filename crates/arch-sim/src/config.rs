@@ -107,6 +107,25 @@ impl MemNodeConfig {
     }
 }
 
+/// Cost model of one [`crate::Machine::migrate_page`] call: moving a page
+/// between nodes occupies both nodes' links for a page's worth of traffic
+/// (that part falls out of the [`MemNodeConfig`] bandwidth model) plus this
+/// fixed software overhead per page (unmap, copy setup, TLB shootdown — the
+/// `move_pages(2)` bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationCostConfig {
+    /// Fixed cycles charged per migrated page on top of the link transfer
+    /// latencies, recorded in [`crate::MigrationStats::charged_cycles`].
+    pub fixed_cycles_per_page: u64,
+}
+
+impl Default for MigrationCostConfig {
+    fn default() -> Self {
+        // ~2 µs at 3 GHz: the order of a move_pages() call per 64 KiB page.
+        MigrationCostConfig { fixed_cycles_per_page: 6_000 }
+    }
+}
+
 /// Where the virtual-memory system homes each page at first touch.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum PlacementPolicy {
@@ -133,12 +152,18 @@ pub struct MemTopologyConfig {
     pub nodes: Vec<MemNodeConfig>,
     /// First-touch page-placement policy.
     pub placement: PlacementPolicy,
+    /// Cost model for dynamic page migration between the nodes.
+    pub migration: MigrationCostConfig,
 }
 
 impl MemTopologyConfig {
     /// A single-node (flat DRAM) topology.
     pub fn single(node: MemNodeConfig) -> Self {
-        MemTopologyConfig { nodes: vec![node], placement: PlacementPolicy::LocalOnly }
+        MemTopologyConfig {
+            nodes: vec![node],
+            placement: PlacementPolicy::LocalOnly,
+            migration: MigrationCostConfig::default(),
+        }
     }
 
     /// A two-tier topology: local DDR plus one remote node, with the given
@@ -147,6 +172,7 @@ impl MemTopologyConfig {
         MemTopologyConfig {
             nodes: vec![local, MemNodeConfig { remote: true, ..remote }],
             placement,
+            migration: MigrationCostConfig::default(),
         }
     }
 
@@ -413,6 +439,13 @@ impl MachineConfig {
     pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
         ((cycles as u128 * 1_000_000_000u128) / self.freq_hz as u128) as u64
     }
+
+    /// Inverse of [`MachineConfig::cycles_to_ns`]: simulated nanoseconds to
+    /// core cycles (used by profilers translating sample timestamps back
+    /// into machine time, e.g. to timestamp a page migration).
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        ((ns as u128 * self.freq_hz as u128) / 1_000_000_000u128) as u64
+    }
 }
 
 #[cfg(test)]
@@ -521,5 +554,14 @@ mod tests {
         assert_eq!(c.cycles_to_ns(3_000_000_000), 1_000_000_000);
         assert_eq!(c.cycles_to_ns(3), 1);
         assert_eq!(c.cycles_to_ns(0), 0);
+        assert_eq!(c.ns_to_cycles(1_000_000_000), 3_000_000_000);
+        assert_eq!(c.ns_to_cycles(c.cycles_to_ns(12_345_678)), 12_345_678);
+    }
+
+    #[test]
+    fn migration_cost_defaults_are_sane() {
+        let c = MachineConfig::small_test_tiered(PlacementPolicy::Interleave);
+        assert!(c.mem.migration.fixed_cycles_per_page > 0);
+        c.validate().unwrap();
     }
 }

@@ -129,9 +129,64 @@ impl MachineCounters {
     }
 }
 
+/// Counters of the dynamic page-migration subsystem
+/// ([`crate::Machine::migrate_page`]): how many pages moved between memory
+/// tiers, in which direction, and what the moves cost. A *promotion* is a
+/// move onto a local (non-remote) node, a *demotion* a move onto a remote
+/// one; local↔local and remote↔remote moves count only in `migrations`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Total pages migrated.
+    pub migrations: u64,
+    /// Pages moved from a remote node onto a local one.
+    pub promoted_pages: u64,
+    /// Pages moved from a local node onto a remote one.
+    pub demoted_pages: u64,
+    /// Bytes carried by promotions.
+    pub promoted_bytes: u64,
+    /// Bytes carried by demotions.
+    pub demoted_bytes: u64,
+    /// Total bus bytes moved by migrations (one read + one write per page).
+    pub bus_bytes: u64,
+    /// Total cycles charged by the migration cost model (fixed software
+    /// overhead plus the link transfer latencies of both nodes).
+    pub charged_cycles: u64,
+}
+
+impl MigrationStats {
+    /// Fold one migration into the counters.
+    pub fn record(&mut self, bytes: u64, from_remote: bool, to_remote: bool, cycles: u64) {
+        self.migrations += 1;
+        self.bus_bytes += 2 * bytes;
+        self.charged_cycles += cycles;
+        if from_remote && !to_remote {
+            self.promoted_pages += 1;
+            self.promoted_bytes += bytes;
+        } else if !from_remote && to_remote {
+            self.demoted_pages += 1;
+            self.demoted_bytes += bytes;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn migration_stats_classify_directions() {
+        let mut s = MigrationStats::default();
+        s.record(4096, true, false, 100); // promotion
+        s.record(4096, false, true, 100); // demotion
+        s.record(4096, true, true, 100); // lateral remote move
+        assert_eq!(s.migrations, 3);
+        assert_eq!(s.promoted_pages, 1);
+        assert_eq!(s.demoted_pages, 1);
+        assert_eq!(s.promoted_bytes, 4096);
+        assert_eq!(s.demoted_bytes, 4096);
+        assert_eq!(s.bus_bytes, 3 * 2 * 4096);
+        assert_eq!(s.charged_cycles, 300);
+    }
 
     #[test]
     fn merge_sums_and_maxes() {

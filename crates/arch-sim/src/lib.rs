@@ -61,16 +61,16 @@ pub mod vm;
 pub use cache::Cache;
 pub use clock::TimeConv;
 pub use config::{
-    CacheLevelConfig, CostModel, MachineConfig, MemNodeConfig, MemTopologyConfig, PlacementPolicy,
-    MAX_MEM_NODES,
+    CacheLevelConfig, CostModel, MachineConfig, MemNodeConfig, MemTopologyConfig,
+    MigrationCostConfig, PlacementPolicy, MAX_MEM_NODES,
 };
-pub use counters::{CoreCounters, MachineCounters};
+pub use counters::{CoreCounters, MachineCounters, MigrationStats};
 pub use engine::Engine;
 pub use machine::{BandwidthPoint, Machine, RssPoint};
 pub use observer::{FanoutObserver, NullObserver, ObserverCharge, OpObserver};
 pub use op::{DataSource, MemLevel, MemOutcome, NodeId, Op, OpKind};
 pub use topology::{MemNode, MemTopology, NodeAccess};
-pub use vm::{AddressSpace, PageHome, Region};
+pub use vm::{AddressSpace, PageHome, PageMigration, Region};
 
 /// Errors produced by the machine substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -7,11 +7,12 @@ use parking_lot::Mutex;
 use crate::cache::Cache;
 use crate::clock::TimeConv;
 use crate::config::{MachineConfig, MAX_MEM_NODES};
-use crate::counters::{CoreCounters, MachineCounters};
+use crate::counters::{CoreCounters, MachineCounters, MigrationStats};
 use crate::engine::Engine;
 use crate::observer::OpObserver;
+use crate::op::NodeId;
 use crate::topology::MemTopology;
-use crate::vm::{AddressSpace, Region};
+use crate::vm::{AddressSpace, PageMigration, Region};
 use crate::{Result, SimError};
 
 /// State owned by one simulated core. Checked out by an [`Engine`] while a
@@ -107,6 +108,8 @@ pub struct Machine {
     cores: Vec<Mutex<Option<CoreState>>>,
     /// Step events of the RSS-over-time series.
     rss_events: Mutex<Vec<RssPoint>>,
+    /// Counters of the page-migration subsystem.
+    migration_stats: Mutex<MigrationStats>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -141,7 +144,16 @@ impl Machine {
             .collect();
         let cores =
             (0..cfg.num_cores).map(|id| Mutex::new(Some(CoreState::new(id, &cfg)))).collect();
-        Machine { cfg, timeconv, vm, topology, slc, cores, rss_events: Mutex::new(Vec::new()) }
+        Machine {
+            cfg,
+            timeconv,
+            vm,
+            topology,
+            slc,
+            cores,
+            rss_events: Mutex::new(Vec::new()),
+            migration_stats: Mutex::new(MigrationStats::default()),
+        }
     }
 
     /// The machine configuration.
@@ -193,6 +205,56 @@ impl Machine {
         let (rss_bytes, rss_by_node) = self.vm.rss_snapshot();
         let point = RssPoint { time_ns: self.cfg.cycles_to_ns(now_cycles), rss_bytes, rss_by_node };
         self.rss_events.lock().push(point);
+    }
+
+    /// Migrate the resident page containing `addr` onto memory node `dst` at
+    /// simulated time `now_cycles` — the actuator of profile-guided dynamic
+    /// tiering. On success the page is re-homed (every later DRAM-class
+    /// access to it is served by `dst`), a page's worth of traffic occupies
+    /// both nodes' links, the configured fixed cost plus the transfer
+    /// latency is recorded in [`MigrationStats`], and the RSS series gains a
+    /// step event carrying the new per-node split.
+    ///
+    /// Returns `Ok(None)` (a no-op) when the page is not resident, lies
+    /// outside every live region, or already lives on `dst`; `Err` when
+    /// `dst` does not exist on this machine. Safe to call from any thread,
+    /// including while workload engines are running on the cores.
+    pub fn migrate_page(
+        &self,
+        addr: u64,
+        dst: NodeId,
+        now_cycles: u64,
+    ) -> Result<Option<PageMigration>> {
+        if (dst as usize) >= self.topology.len() {
+            return Err(SimError::BadConfig(format!(
+                "migrate_page: no memory node {dst} on '{}' ({} nodes)",
+                self.cfg.name,
+                self.topology.len()
+            )));
+        }
+        let Some(migration) = self.vm.migrate_page(addr, dst) else {
+            return Ok(None);
+        };
+        let transfer = self.topology.transfer_page(
+            migration.from,
+            migration.to,
+            now_cycles,
+            migration.bytes as u32,
+        );
+        let cycles = self.cfg.mem.migration.fixed_cycles_per_page + transfer;
+        self.migration_stats.lock().record(
+            migration.bytes,
+            self.topology.node(migration.from).is_remote(),
+            self.topology.node(migration.to).is_remote(),
+            cycles,
+        );
+        self.push_rss_event(now_cycles);
+        Ok(Some(migration))
+    }
+
+    /// Snapshot of the page-migration counters.
+    pub fn migration_stats(&self) -> MigrationStats {
+        *self.migration_stats.lock()
     }
 
     /// Attach an engine to a core (checking the core state out of the machine).
@@ -466,6 +528,74 @@ mod tests {
         assert_eq!(last.rss_by_node[0], 2 * page);
         assert_eq!(last.rss_by_node[1], 2 * page);
         assert_eq!(last.rss_by_node.iter().sum::<u64>(), last.rss_bytes);
+    }
+
+    #[test]
+    fn migrate_page_rehomes_charges_and_records() {
+        let m = Machine::new(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+            local_fraction: 0.0,
+        }));
+        let page = m.config().page_bytes;
+        let region = m.alloc("data", 2 * page).unwrap();
+        {
+            let mut e = m.attach(0).unwrap();
+            e.store(region.start, 8);
+            e.store(region.start + page, 8);
+        }
+        assert_eq!(m.vm().rss_bytes_by_node()[1], 2 * page, "TierSplit(0) homes remotely");
+        let node_traffic_before = m.topology().node(0).write_bytes();
+
+        let mig = m.migrate_page(region.start, 0, 1_000).unwrap().expect("page migrates");
+        assert_eq!((mig.from, mig.to), (1, 0));
+        assert_eq!(m.vm().node_of(region.start), Some(0));
+        let stats = m.migration_stats();
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.promoted_pages, 1);
+        assert_eq!(stats.promoted_bytes, page);
+        assert_eq!(stats.demoted_pages, 0);
+        assert_eq!(stats.bus_bytes, 2 * page);
+        assert!(
+            stats.charged_cycles >= m.config().mem.migration.fixed_cycles_per_page,
+            "{stats:?}"
+        );
+        // The transfer occupied the destination link.
+        assert_eq!(m.topology().node(0).write_bytes(), node_traffic_before + page);
+        // The RSS series recorded the re-homing as a step event.
+        let last = *m.rss_series().last().unwrap();
+        assert_eq!(last.rss_bytes, 2 * page, "total residency unchanged");
+        assert_eq!(last.rss_by_node[0], page);
+        assert_eq!(last.rss_by_node[1], page);
+
+        // Demotion direction.
+        m.migrate_page(region.start, 1, 2_000).unwrap().expect("demotes");
+        let stats = m.migration_stats();
+        assert_eq!(stats.demoted_pages, 1);
+        assert_eq!(stats.demoted_bytes, page);
+
+        // No-ops and errors.
+        assert!(m.migrate_page(region.start, 1, 3_000).unwrap().is_none(), "already home");
+        assert!(m.migrate_page(0xdead_0000, 0, 3_000).unwrap().is_none(), "outside regions");
+        assert!(matches!(m.migrate_page(region.start, 9, 3_000), Err(SimError::BadConfig(_))));
+        assert_eq!(m.migration_stats().migrations, 2, "no-ops never count");
+    }
+
+    #[test]
+    fn migrated_page_is_served_by_its_new_node() {
+        let m = Machine::new(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+            local_fraction: 0.0,
+        }));
+        let page = m.config().page_bytes;
+        let region = m.alloc("data", page).unwrap();
+        {
+            let mut e = m.attach(0).unwrap();
+            e.store(region.start, 8);
+        }
+        m.migrate_page(region.start, 0, 1_000).unwrap().expect("promotes");
+        // Flush caches so the next access goes back to memory.
+        m.flush_caches();
+        let mut e = m.attach(0).unwrap();
+        let out = e.load(region.start, 8);
+        assert_eq!(out.source, crate::op::DataSource::Dram(0), "served locally after promotion");
     }
 
     #[test]

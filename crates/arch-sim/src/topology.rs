@@ -222,6 +222,22 @@ impl MemTopology {
         self.nodes.iter().map(MemNode::capacity_bytes).sum()
     }
 
+    /// Move `bytes` of page data from node `from` to node `to` at simulated
+    /// time `now_cycles`: the source link serves a read, the destination a
+    /// write, and both busy frontiers advance, so a migration storm shows up
+    /// as queueing delay on subsequent demand traffic exactly like any other
+    /// bandwidth consumer. Returns the combined transfer latency in cycles
+    /// (the slower of the two links, including queueing).
+    ///
+    /// # Panics
+    /// Panics when either node id is out of range (validated by
+    /// [`crate::Machine::migrate_page`] before the page is re-homed).
+    pub fn transfer_page(&self, from: NodeId, to: NodeId, now_cycles: u64, bytes: u32) -> u64 {
+        let read = self.node(from).access(now_cycles, bytes, 0);
+        let write = self.node(to).access(now_cycles, 0, bytes);
+        read.latency_cycles.max(write.latency_cycles)
+    }
+
     /// Reset every node's counters and busy frontier (between trials).
     pub fn reset(&self) {
         for node in &self.nodes {
@@ -334,6 +350,34 @@ mod tests {
         assert_eq!(topo.total_capacity_bytes(), 2 << 30);
         topo.reset();
         assert_eq!(topo.accesses(), 0);
+    }
+
+    #[test]
+    fn transfer_page_charges_both_links() {
+        let local = cfg();
+        let remote = MemNodeConfig {
+            latency_cycles: 400,
+            peak_bytes_per_cycle: 16.0,
+            remote: true,
+            ..local
+        };
+        let topo = MemTopology::from_config(&MemTopologyConfig::tiered(
+            local,
+            remote,
+            PlacementPolicy::Interleave,
+        ));
+        let latency = topo.transfer_page(1, 0, 0, 4096);
+        assert!(latency >= 400, "bounded below by the slower (remote) link: {latency}");
+        assert_eq!(topo.node(1).read_bytes(), 4096);
+        assert_eq!(topo.node(0).write_bytes(), 4096);
+        assert_eq!(topo.read_bytes(), 4096);
+        assert_eq!(topo.write_bytes(), 4096);
+        // A migration storm congests the links it uses.
+        for _ in 0..200 {
+            topo.transfer_page(1, 0, 0, 4096);
+        }
+        let after = topo.node(1).access(0, 64, 0);
+        assert!(after.queue_cycles > 0, "demand traffic queues behind the storm");
     }
 
     #[test]

@@ -62,6 +62,24 @@ pub struct PageHome {
     pub first_touch: bool,
 }
 
+/// One applied page migration, as returned by [`AddressSpace::migrate_page`].
+///
+/// The address space only knows node *ids*; whether a move is a promotion
+/// or demotion depends on the nodes' tier (remote) flags, which live on the
+/// topology — [`crate::Machine::migrate_page`] classifies the direction in
+/// its [`crate::MigrationStats`] accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMigration {
+    /// Base virtual address of the migrated page.
+    pub page_addr: u64,
+    /// The node the page was homed on before the migration.
+    pub from: NodeId,
+    /// The node the page is homed on now.
+    pub to: NodeId,
+    /// Size of the moved page in bytes.
+    pub bytes: u64,
+}
+
 #[derive(Debug)]
 struct RegionState {
     region: Region,
@@ -273,6 +291,44 @@ impl AddressSpace {
     /// [`AddressSpace::place`] ignoring the home node.
     pub fn touch(&self, addr: u64) -> bool {
         self.place(addr).map(|h| h.first_touch).unwrap_or(false)
+    }
+
+    /// Re-home the resident page containing `addr` onto `dst`, updating the
+    /// per-node residency accounting. Returns `None` (and changes nothing)
+    /// when the address lies outside every live region, the page has never
+    /// been touched (an unmapped page cannot be migrated), `dst` is not a
+    /// node pages are placed on, or the page already lives on `dst`.
+    ///
+    /// Migration does not disturb the placement-policy counters: pages
+    /// first-touched after a migration are still placed as if no migration
+    /// had happened, exactly like Linux `move_pages(2)` versus the NUMA
+    /// memory policy.
+    pub fn migrate_page(&self, addr: u64, dst: NodeId) -> Option<PageMigration> {
+        if dst as usize >= self.num_nodes {
+            return None;
+        }
+        let mut inner = self.inner.write();
+        let Inner { regions, resident_by_node, .. } = &mut *inner;
+        let (_, st) = regions.range_mut(..=addr).next_back()?;
+        if st.freed || !st.region.contains(addr) {
+            return None;
+        }
+        let page = ((addr - st.region.start) >> self.page_shift) as usize;
+        let (word, bit) = (page / 64, page % 64);
+        if st.touched[word] & (1 << bit) == 0 {
+            return None;
+        }
+        let from = st.nodes[page];
+        if from == dst {
+            return None;
+        }
+        st.nodes[page] = dst;
+        st.touched_by_node[from as usize] -= 1;
+        st.touched_by_node[dst as usize] += 1;
+        resident_by_node[from as usize] -= 1;
+        resident_by_node[dst as usize] += 1;
+        let page_addr = st.region.start + ((page as u64) << self.page_shift);
+        Some(PageMigration { page_addr, from, to: dst, bytes: self.page_bytes })
     }
 
     /// The home node of `addr`'s page, if the page is resident.
@@ -498,6 +554,60 @@ mod tests {
         let homes: Vec<NodeId> =
             (0..6u64).map(|p| vm.place(a.start + p * 4096).unwrap().node).collect();
         assert_eq!(homes, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn migrate_page_rehomes_and_keeps_rss_consistent() {
+        let vm = AddressSpace::with_placement(4096, 1 << 30, 2, PlacementPolicy::Interleave);
+        let a = vm.alloc("a", 4 * 4096).unwrap();
+        for p in 0..4u64 {
+            vm.place(a.start + p * 4096).unwrap();
+        }
+        // Page 0 went to node 0 under Interleave; move it to node 1.
+        let mig = vm.migrate_page(a.start + 17, 1).expect("resident page migrates");
+        assert_eq!(mig.page_addr, a.start, "page base address, not the probed one");
+        assert_eq!((mig.from, mig.to, mig.bytes), (0, 1, 4096));
+        assert_eq!(vm.node_of(a.start), Some(1), "home is updated");
+        let (total, by_node) = vm.rss_snapshot();
+        assert_eq!(total, 4 * 4096, "migration moves pages, not residency");
+        assert_eq!(by_node[0], 4096);
+        assert_eq!(by_node[1], 3 * 4096);
+        // Moving it back restores the split.
+        let back = vm.migrate_page(a.start, 0).unwrap();
+        assert_eq!((back.from, back.to), (1, 0));
+        assert_eq!(vm.rss_bytes_by_node()[0], 2 * 4096);
+        // Re-touching the page after migration is not a first touch and
+        // resolves to the migrated home.
+        let home = vm.place(a.start + 8).unwrap();
+        assert!(!home.first_touch);
+        assert_eq!(home.node, 0);
+    }
+
+    #[test]
+    fn migrate_page_rejects_invalid_targets() {
+        let vm = AddressSpace::with_placement(4096, 1 << 30, 2, PlacementPolicy::LocalOnly);
+        let a = vm.alloc("a", 2 * 4096).unwrap();
+        vm.place(a.start).unwrap();
+        assert!(vm.migrate_page(a.start, 0).is_none(), "already home");
+        assert!(vm.migrate_page(a.start, 5).is_none(), "no such node");
+        assert!(vm.migrate_page(a.start + 4096, 1).is_none(), "untouched page");
+        assert!(vm.migrate_page(a.end() + 4096 * 4, 1).is_none(), "outside every region");
+        vm.free("a");
+        assert!(vm.migrate_page(a.start, 1).is_none(), "freed region");
+        assert_eq!(vm.rss_bytes_by_node(), [0; MAX_MEM_NODES]);
+    }
+
+    #[test]
+    fn migration_does_not_disturb_placement_counters() {
+        let vm = AddressSpace::with_placement(4096, 1 << 30, 2, PlacementPolicy::Interleave);
+        let a = vm.alloc("a", 8 * 4096).unwrap();
+        vm.place(a.start).unwrap(); // node 0
+        vm.place(a.start + 4096).unwrap(); // node 1
+        vm.migrate_page(a.start, 1).unwrap();
+        // The next first touch continues the round-robin as if no migration
+        // had happened.
+        assert_eq!(vm.place(a.start + 2 * 4096).unwrap().node, 0);
+        assert_eq!(vm.place(a.start + 3 * 4096).unwrap().node, 1);
     }
 
     #[test]

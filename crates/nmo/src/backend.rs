@@ -124,6 +124,13 @@ pub(crate) struct CoreSpe {
     pub(crate) core: usize,
     pub(crate) event: Arc<PerfEvent>,
     pub(crate) stats: Arc<SpeStats>,
+    /// Serialises ring drains of this event between the monitor thread and
+    /// synchronous drains (`SampleBackend::drain`, `stop`). Holding it
+    /// across a whole `drain_event` call guarantees that once a
+    /// synchronous drain has run, *every* record published to the ring so
+    /// far is in the sample store — the completeness property
+    /// `ActiveSession::tiering_step`'s determinism contract rests on.
+    pub(crate) drain_gate: Arc<Mutex<()>>,
 }
 
 /// The ARM SPE sampling backend (paper Section IV).
@@ -205,12 +212,12 @@ impl SampleBackend for SpeBackend {
             let (driver, event, stats) =
                 SpeDriver::open_for(machine, core, spe_cfg, ring_pages, aux_pages, config.overhead)
                     .map_err(NmoError::Perf)?;
-            self.cores.push(CoreSpe { core, event, stats });
+            self.cores.push(CoreSpe { core, event, stats, drain_gate: Arc::new(Mutex::new(())) });
             observers.push(CoreObserver { core, observer: Box::new(driver) });
         }
 
-        let events: Vec<(usize, Arc<PerfEvent>)> =
-            self.cores.iter().map(|c| (c.core, c.event.clone())).collect();
+        let events: Vec<MonitoredEvent> =
+            self.cores.iter().map(|c| (c.core, c.event.clone(), c.drain_gate.clone())).collect();
         let store = self.store.clone();
         self.monitor = Some(std::thread::spawn(move || {
             monitor_loop(&events, &store);
@@ -232,6 +239,7 @@ impl SampleBackend for SpeBackend {
         // exactly one of us).
         for c in &self.cores {
             let _ = machine.flush_observer(c.core);
+            let _gate = c.drain_gate.lock();
             drain_event(c.core, &c.event, &self.store);
         }
         let samples = std::mem::take(&mut *self.store.samples.lock());
@@ -279,6 +287,7 @@ impl SampleBackend for SpeBackend {
         self.shut_down().map_err(|_| NmoError::backend("spe", "monitor thread panicked"))?;
         // Final synchronous drain in case the monitor exited early.
         for c in &self.cores {
+            let _gate = c.drain_gate.lock();
             drain_event(c.core, &c.event, &self.store);
         }
         Ok(())
@@ -311,18 +320,29 @@ impl SampleBackend for SpeBackend {
     }
 }
 
-pub(crate) fn monitor_loop(events: &[(usize, Arc<PerfEvent>)], store: &Arc<SampleStore>) {
+/// One event as seen by the monitor thread: core id, the perf event, and
+/// the drain gate shared with the synchronous drain paths.
+pub(crate) type MonitoredEvent = (usize, Arc<PerfEvent>, Arc<Mutex<()>>);
+
+pub(crate) fn monitor_loop(events: &[MonitoredEvent], store: &Arc<SampleStore>) {
+    // Every drain holds the event's gate for the whole pop→decode→store
+    // sequence, so a concurrent synchronous drain never observes a record
+    // that has left the ring but not yet reached the store.
+    let gated_drain = |core: usize, event: &Arc<PerfEvent>, gate: &Arc<Mutex<()>>| {
+        let _gate = gate.lock();
+        drain_event(core, event, store);
+    };
     loop {
         let mut any_ready = false;
         let mut all_closed = true;
-        for (core, event) in events {
+        for (core, event, gate) in events {
             match event.waker().try_wait() {
                 PollTimeout::Ready => {
                     any_ready = true;
-                    drain_event(*core, event, store);
+                    gated_drain(*core, event, gate);
                 }
                 PollTimeout::Closed => {
-                    drain_event(*core, event, store);
+                    gated_drain(*core, event, gate);
                 }
                 PollTimeout::TimedOut => {}
             }
@@ -331,8 +351,8 @@ pub(crate) fn monitor_loop(events: &[(usize, Arc<PerfEvent>)], store: &Arc<Sampl
             }
         }
         if all_closed {
-            for (core, event) in events {
-                drain_event(*core, event, store);
+            for (core, event, gate) in events {
+                gated_drain(*core, event, gate);
             }
             return;
         }

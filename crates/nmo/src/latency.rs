@@ -119,13 +119,31 @@ impl LatencyHistogram {
     }
 
     /// Approximate `p`-th percentile (`p` in `[0, 1]`), linearly
-    /// interpolated inside the containing log2 bucket and clamped to the
-    /// observed min/max. Returns 0.0 when empty.
+    /// interpolated inside the containing log2 bucket.
+    ///
+    /// Edge cases are pinned (and unit-tested) rather than left to the
+    /// interpolation:
+    ///
+    /// * an empty histogram returns `0.0` for every `p`;
+    /// * rank 1 returns the observed minimum and rank `count` the observed
+    ///   maximum exactly — so a single-observation histogram returns that
+    ///   observation for every `p`, and `p = 0.0` / `p = 1.0` are always
+    ///   the true extremes (historically these interpolated across the
+    ///   whole containing power-of-two bucket);
+    /// * interior ranks interpolate within their bucket, with the bucket
+    ///   bounds tightened to the observed min/max so the result can never
+    ///   leave the observed range.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank <= 1 {
+            return self.min() as f64;
+        }
+        if rank >= self.count {
+            return self.max as f64;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             if c == 0 {
@@ -133,9 +151,10 @@ impl LatencyHistogram {
             }
             if seen + c >= rank {
                 let (lo, hi) = bucket_bounds(i);
+                let lo = lo.max(self.min() as f64);
+                let hi = hi.min(self.max as f64);
                 let frac = (rank - seen) as f64 / c as f64;
-                let value = lo + frac * (hi - lo);
-                return value.clamp(self.min() as f64, self.max as f64);
+                return (lo + frac * (hi - lo)).clamp(self.min() as f64, self.max as f64);
             }
             seen += c;
         }
@@ -288,9 +307,62 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(0.5), 0.0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+        // Pinned: every percentile of an empty histogram is 0.0.
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 0.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        // Pinned: with one observation every percentile *is* that
+        // observation — no interpolation across the containing log2 bucket
+        // (330 lives in [256, 511]; the old interpolation returned bucket
+        // geometry rather than the sample).
+        for value in [0u16, 1, 330, 1000, u16::MAX] {
+            let mut h = LatencyHistogram::new();
+            h.record(value);
+            for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.percentile(p), value as f64, "value={value} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bucket_percentiles_stay_inside_the_observed_range() {
+        // Two observations sharing one log2 bucket ([256, 511]): the
+        // extremes are exact and interior ranks never leave [min, max].
+        let mut h = LatencyHistogram::new();
+        h.record(300);
+        h.record(400);
+        assert_eq!(h.p50(), 300.0, "rank 1 is the observed minimum");
+        assert_eq!(h.p99(), 400.0, "rank count is the observed maximum");
+        let mut many = LatencyHistogram::new();
+        for v in [300u16, 320, 340, 360, 380, 400] {
+            many.record(v);
+        }
+        for p in [0.0, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let v = many.percentile(p);
+            assert!((300.0..=400.0).contains(&v), "p={p} -> {v}");
+        }
+        assert_eq!(many.percentile(0.0), 300.0);
+        assert_eq!(many.percentile(1.0), 400.0);
+    }
+
+    #[test]
+    fn extreme_ranks_are_exact_even_in_lone_sample_buckets() {
+        // A lone sample in the minimum bucket used to interpolate to the
+        // bucket's upper bound; rank 1 must return the true minimum.
+        let mut h = LatencyHistogram::new();
+        h.record(4);
+        h.record(100);
+        h.record(110);
+        assert_eq!(h.percentile(0.0), 4.0);
+        assert!(h.p50() >= 4.0 && h.p50() <= 110.0);
+        assert_eq!(h.percentile(1.0), 110.0);
+        assert_eq!(h.p99(), 110.0, "p99 of 3 samples is the maximum");
     }
 
     #[test]

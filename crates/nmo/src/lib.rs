@@ -39,6 +39,12 @@
 //!   consume them through streaming hooks, and
 //!   [`session::ActiveSession::poll_snapshot`] exposes a live readout —
 //!   the mode long-running services are profiled in.
+//! * [`tiering`] — the profile-guided feedback loop: a
+//!   [`tiering::HotPageTracker`] aggregates decayed per-page heat from the
+//!   sample stream and a pluggable [`tiering::TieringPolicy`] migrates hot
+//!   pages between memory tiers mid-run through
+//!   [`arch_sim::Machine::migrate_page`] — the first place the profiler's
+//!   output changes simulated machine behaviour.
 //!
 //! Configuration follows Table I of the paper ([`config::NmoConfig`], the
 //! `NMO_*` environment variables); source annotations follow the C API of
@@ -97,6 +103,7 @@ pub mod runtime;
 pub mod session;
 pub mod sink;
 pub mod stream;
+pub mod tiering;
 pub mod workload;
 
 pub use analysis::{accuracy, time_overhead, RunMeasurement, Sweep, SweepPoint};
@@ -116,6 +123,10 @@ pub use sink::{
 pub use stream::{
     BackpressurePolicy, BatchPayload, BusStats, CounterDelta, EventBus, SampleBatch, StreamOptions,
     StreamSnapshot, StreamStats, Window, WindowClock, WindowSummary,
+};
+pub use tiering::{
+    AppliedMigration, HotPageTracker, LatencyThreshold, MigrationDecision, NoMigration, PageStats,
+    TieringPolicy, TieringReport, TieringView, TopKHot,
 };
 pub use workload::{Workload, WorkloadReport};
 

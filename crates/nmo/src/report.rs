@@ -219,6 +219,75 @@ impl Profile {
         write_csv(&path, &["phase", "start_ns", "end_ns"], &rows)?;
         written.push(path.display().to_string());
 
+        // Profile-guided tiering: the applied migration log plus the
+        // before/after per-tier latency comparison (only when a
+        // HotPageTracker ran on the session).
+        if let Some(tiering) = self.tiering() {
+            let path = dir.join(format!("{base}_migrations.csv"));
+            let rows: Vec<Vec<String>> = tiering
+                .applied
+                .iter()
+                .map(|m| {
+                    vec![
+                        m.time_ns.to_string(),
+                        m.window.to_string(),
+                        format!("{:#x}", m.page_addr),
+                        m.from.to_string(),
+                        m.to.to_string(),
+                        m.bytes.to_string(),
+                        if m.is_promotion() {
+                            "promotion".to_string()
+                        } else if m.is_demotion() {
+                            "demotion".to_string()
+                        } else {
+                            "lateral".to_string()
+                        },
+                    ]
+                })
+                .collect();
+            write_csv(
+                &path,
+                &["time_ns", "window", "page_addr", "from_node", "to_node", "bytes", "direction"],
+                &rows,
+            )?;
+            written.push(path.display().to_string());
+
+            let path = dir.join(format!("{base}_tiering.csv"));
+            let mut rows: Vec<Vec<String>> = vec![
+                vec!["policy".into(), tiering.policy.clone()],
+                vec!["pages_tracked".into(), tiering.pages_tracked.to_string()],
+                vec!["migrations".into(), tiering.migrations().to_string()],
+                vec!["promoted_bytes".into(), tiering.promoted_bytes().to_string()],
+                vec!["demoted_bytes".into(), tiering.demoted_bytes().to_string()],
+                vec!["migration_bus_bytes".into(), self.migrations.bus_bytes.to_string()],
+                vec!["migration_cycles".into(), self.migrations.charged_cycles.to_string()],
+            ];
+            for (phase, profile) in [
+                ("before", &tiering.before),
+                ("after", &tiering.after),
+                ("settled", &tiering.settled),
+            ] {
+                for (tier, hist) in
+                    [("local", profile.local_dram()), ("remote", profile.remote_dram())]
+                {
+                    rows.push(vec![
+                        format!("{tier}_dram_samples_{phase}"),
+                        hist.count().to_string(),
+                    ]);
+                    rows.push(vec![
+                        format!("{tier}_dram_p50_{phase}"),
+                        format!("{:.1}", hist.p50()),
+                    ]);
+                    rows.push(vec![
+                        format!("{tier}_dram_p99_{phase}"),
+                        format!("{:.1}", hist.p99()),
+                    ]);
+                }
+            }
+            write_csv(&path, &["metric", "value"], &rows)?;
+            written.push(path.display().to_string());
+        }
+
         // Hardware counters from the counting backend (perf stat analogue).
         if !self.perf_counts.is_empty() {
             let path = dir.join(format!("{base}_counters.csv"));
@@ -279,6 +348,37 @@ impl Profile {
                 let _ = write!(out, ", DRAM p50 local {:.0}c", local.p50());
                 if remote.count() > 0 {
                     let _ = write!(out, " / remote {:.0}c", remote.p50());
+                }
+            }
+        }
+        // Page migrations: the profile-guided tiering readout — counts and
+        // moved bytes from the machine's counters, plus the before/after
+        // remote-tier latency shift when a HotPageTracker report is cached.
+        if self.migrations.migrations > 0 {
+            let _ = write!(
+                out,
+                ", {} page migrations ({} promoted / {} demoted, {:.1} MiB moved)",
+                self.migrations.migrations,
+                self.migrations.promoted_pages,
+                self.migrations.demoted_pages,
+                self.migrations.bus_bytes as f64 / (1u64 << 21) as f64,
+            );
+            if let Some(tiering) = self.tiering() {
+                let before = tiering.before.remote_dram();
+                // Prefer the settled distribution (after the last
+                // migration); fall back to everything-after-the-first when
+                // the settled period saw no remote fills.
+                let settled = tiering.settled.remote_dram();
+                let after = if settled.count() > 0 { settled } else { tiering.after.remote_dram() };
+                if before.count() > 0 && after.count() > 0 {
+                    let _ = write!(
+                        out,
+                        ", remote DRAM p50/p99 {:.0}/{:.0}c before -> {:.0}/{:.0}c after",
+                        before.p50(),
+                        before.p99(),
+                        after.p50(),
+                        after.p99(),
+                    );
                 }
             }
         }

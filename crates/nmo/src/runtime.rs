@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use arch_sim::{DataSource, Machine, MachineCounters, MemLevel};
+use arch_sim::{DataSource, Machine, MachineCounters, MemLevel, MigrationStats};
 use spe::SpeStatsSnapshot;
 
 use crate::annotate::{AddrTag, Annotations, Phase};
@@ -81,6 +81,9 @@ pub struct Profile {
     pub perf_counts: Vec<(String, u64)>,
     /// Machine-wide hardware counters at the end of the run.
     pub counters: MachineCounters,
+    /// Page-migration counters at the end of the run (non-zero when a
+    /// tiering policy moved pages between memory nodes mid-run).
+    pub migrations: MigrationStats,
     /// Capacity-over-time series (level 1).
     pub capacity: CapacitySeries,
     /// Bandwidth-over-time series (level 2).
@@ -121,6 +124,7 @@ impl Profile {
             per_core_spe: Vec::new(),
             perf_counts: Vec::new(),
             counters: MachineCounters::default(),
+            migrations: MigrationStats::default(),
             capacity: CapacitySeries::default(),
             bandwidth: BandwidthSeries::default(),
             analyses: Vec::new(),
@@ -144,6 +148,27 @@ impl Profile {
             }
         }
         attribute(&self.samples, &self.tags, &self.phases)
+    }
+
+    /// Attach a manually driven tiering report (from
+    /// [`crate::tiering::HotPageTracker::report`]) so [`Profile::summary`],
+    /// the CSV reports, and [`Profile::tiering`] can see it — the
+    /// manual-actuation analogue of registering the tracker as a sink.
+    pub fn attach_tiering(&mut self, report: crate::tiering::TieringReport) {
+        self.analyses.push(AnalysisRecord {
+            sink: "tiering".to_string(),
+            report: crate::sink::AnalysisReport::Tiering(report),
+        });
+    }
+
+    /// The profile-guided tiering report, when a
+    /// [`crate::tiering::HotPageTracker`] ran on the session: the applied
+    /// migration log plus the before/after per-tier latency distributions.
+    pub fn tiering(&self) -> Option<&crate::tiering::TieringReport> {
+        self.analyses.iter().find_map(|a| match &a.report {
+            crate::sink::AnalysisReport::Tiering(t) => Some(t),
+            _ => None,
+        })
     }
 
     /// Per-data-source latency distributions (the tiered-memory view).
@@ -216,6 +241,7 @@ pub(crate) fn base_profile(
     let elapsed_cycles = counters.cycles;
     let mut profile = Profile::empty(config.name.clone(), config.clone());
     profile.counters = counters;
+    profile.migrations = machine.migration_stats();
     profile.elapsed_cycles = elapsed_cycles;
     profile.elapsed_ns = machine.config().cycles_to_ns(elapsed_cycles);
     profile.tags = annotations.tags();

@@ -365,6 +365,8 @@ impl ProfileSession {
             capacity_bytes: machine_cfg.total_mem_bytes(),
             bucket_ns: machine_cfg.cycles_to_ns(machine_cfg.bandwidth_bucket_cycles).max(1),
             mem_nodes: machine_cfg.mem_nodes(),
+            page_bytes: machine_cfg.page_bytes,
+            machine: Some(active.session.machine.clone()),
         };
 
         let pump = {
@@ -413,11 +415,14 @@ impl ProfileSession {
             self.machine.set_observer(core, observer).map_err(NmoError::Sim)?;
             attached.push(core);
         }
+        let manual_clock = WindowClock::new(self.stream_options.window_ns);
         Ok(ActiveSession {
             backend_names: self.backends.iter().map(|b| b.name().to_string()).collect(),
             session: self,
             attached,
             streaming: None,
+            manual_clock,
+            manual_closed_below: 0,
         })
     }
 }
@@ -441,6 +446,12 @@ pub struct ActiveSession {
     attached: Vec<usize>,
     backend_names: Vec<String>,
     streaming: Option<StreamingState>,
+    /// Window arithmetic of the manual actuation path
+    /// ([`ActiveSession::tiering_step`]); unused while streaming (the pump
+    /// owns the clock there).
+    manual_clock: WindowClock,
+    /// Windows below this index have been closed by `tiering_step`.
+    manual_closed_below: u64,
 }
 
 impl std::fmt::Debug for ActiveSession {
@@ -489,10 +500,63 @@ impl ActiveSession {
     }
 
     /// Live readout of a streaming session: the windows seen and closed so
-    /// far, sample/batch counts, counter totals, and bus accounting.
-    /// Returns `None` on a non-streaming session.
+    /// far, sample/batch counts, counter totals, bus accounting, and the
+    /// machine's page-migration counters. Returns `None` on a non-streaming
+    /// session.
     pub fn poll_snapshot(&self) -> Option<StreamSnapshot> {
-        self.streaming.as_ref().map(|s| s.snapshot.lock().snapshot(s.bus.stats()))
+        self.streaming.as_ref().map(|s| {
+            s.snapshot.lock().snapshot(s.bus.stats(), self.session.machine.migration_stats())
+        })
+    }
+
+    /// The manual actuator hook of profile-guided tiering: synchronously
+    /// drain every backend into `tracker`, close every window the sample
+    /// watermark has passed (each close runs the tracker's
+    /// [`crate::tiering::TieringPolicy`]), and apply the resulting
+    /// migrations to the machine via
+    /// [`arch_sim::Machine::migrate_page`]. Returns the migrations applied
+    /// by this step.
+    ///
+    /// Call it from the workload-driving thread between chunks of work
+    /// (with no engine attached, so buffered SPE records flush first) —
+    /// drains and decisions then happen at fixed points of the *simulated*
+    /// timeline, which is what makes tiering runs reproducible (see
+    /// `tests/tiering.rs`). Window width comes from
+    /// [`ProfileSessionBuilder::stream_options`].
+    ///
+    /// On a streaming session this returns an error: there the registered
+    /// tracker sink actuates by itself on the consumer thread.
+    pub fn tiering_step(
+        &mut self,
+        tracker: &mut crate::tiering::HotPageTracker,
+    ) -> Result<Vec<crate::tiering::AppliedMigration>, NmoError> {
+        if self.streaming.is_some() {
+            return Err(NmoError::Config(
+                "tiering_step drives non-streaming sessions; a streaming session actuates \
+                 through the registered HotPageTracker sink"
+                    .into(),
+            ));
+        }
+        let machine = self.session.machine.clone();
+        tracker.configure(machine.config());
+        let mut clock = self.manual_clock;
+        for backend in &mut self.session.backends {
+            for batch in backend.drain(&machine, &clock)? {
+                if let Some(t) = batch.max_time_ns() {
+                    clock.observe(t);
+                }
+                tracker.ingest(&batch);
+            }
+        }
+        let mut applied = Vec::new();
+        let threshold = clock.index_of(clock.watermark_ns());
+        while self.manual_closed_below < threshold {
+            let window = clock.window(self.manual_closed_below);
+            applied.extend(tracker.close_window(window, Some(&machine)));
+            self.manual_closed_below += 1;
+        }
+        self.manual_clock = clock;
+        Ok(applied)
     }
 
     /// Stop collection, drain the backends, run the sinks, and assemble the

@@ -59,6 +59,9 @@ pub enum AnalysisReport {
     Regions(RegionProfile),
     /// Per-data-source latency distributions (the tiered-memory view).
     Latency(LatencyProfile),
+    /// A profile-guided tiering run: applied migrations plus before/after
+    /// per-tier latency (from [`crate::tiering::HotPageTracker`]).
+    Tiering(crate::tiering::TieringReport),
     /// Free-form textual output from a custom sink.
     Text(String),
 }
@@ -71,6 +74,7 @@ impl AnalysisReport {
             AnalysisReport::Bandwidth(b) => b.points.is_empty(),
             AnalysisReport::Regions(r) => r.scatter.is_empty(),
             AnalysisReport::Latency(l) => l.is_empty(),
+            AnalysisReport::Tiering(t) => t.is_empty(),
             AnalysisReport::Text(t) => t.is_empty(),
         }
     }
@@ -98,6 +102,13 @@ pub struct StreamContext {
     pub bucket_ns: u64,
     /// Number of memory nodes in the machine's topology.
     pub mem_nodes: usize,
+    /// Virtual-memory page size, bytes (for per-page aggregation).
+    pub page_bytes: u64,
+    /// The live machine, for sinks that *act* on the run (e.g.
+    /// [`crate::tiering::HotPageTracker`] applying page migrations).
+    /// Always present on a session-driven stream; `None` only in
+    /// hand-built test contexts.
+    pub machine: Option<Arc<Machine>>,
 }
 
 /// A pluggable analysis over a profiling run.
@@ -451,7 +462,10 @@ pub(crate) fn run_sinks(
         match &report {
             AnalysisReport::Capacity(c) => profile.capacity = c.clone(),
             AnalysisReport::Bandwidth(b) => profile.bandwidth = b.clone(),
-            AnalysisReport::Regions(_) | AnalysisReport::Latency(_) | AnalysisReport::Text(_) => {}
+            AnalysisReport::Regions(_)
+            | AnalysisReport::Latency(_)
+            | AnalysisReport::Tiering(_)
+            | AnalysisReport::Text(_) => {}
         }
         profile.analyses.push(AnalysisRecord { sink: sink.name().to_string(), report });
     }
@@ -529,7 +543,14 @@ mod tests {
     }
 
     fn stream_ctx(annotations: Arc<Annotations>) -> StreamContext {
-        StreamContext { annotations, capacity_bytes: 1 << 30, bucket_ns: 1000, mem_nodes: 2 }
+        StreamContext {
+            annotations,
+            capacity_bytes: 1 << 30,
+            bucket_ns: 1000,
+            mem_nodes: 2,
+            page_bytes: 4096,
+            machine: None,
+        }
     }
 
     #[test]

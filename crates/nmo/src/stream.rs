@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use arch_sim::{BandwidthPoint, DataSource, RssPoint};
+use arch_sim::{BandwidthPoint, DataSource, MigrationStats, RssPoint};
 use spe::SpeStatsSnapshot;
 
 use crate::runtime::AddressSample;
@@ -494,6 +494,10 @@ pub struct StreamSnapshot {
     pub last_time_ns: u64,
     /// Bus accounting at snapshot time.
     pub bus: BusStats,
+    /// Page-migration counters at snapshot time — the live readout of a
+    /// profile-guided tiering run (how many pages have been promoted or
+    /// demoted *so far*).
+    pub migrations: MigrationStats,
 }
 
 impl StreamSnapshot {
@@ -602,7 +606,7 @@ impl SnapshotState {
         }
     }
 
-    pub(crate) fn snapshot(&self, bus: BusStats) -> StreamSnapshot {
+    pub(crate) fn snapshot(&self, bus: BusStats, migrations: MigrationStats) -> StreamSnapshot {
         StreamSnapshot {
             windows: self.windows.clone(),
             windows_closed: self.windows_closed,
@@ -613,6 +617,7 @@ impl SnapshotState {
             rss_peak_bytes: self.rss_peak_bytes,
             last_time_ns: self.last_time_ns,
             bus,
+            migrations,
         }
     }
 }
@@ -745,7 +750,7 @@ mod tests {
         state.record_close(clock.window(0));
         state.record_close(clock.window(0)); // idempotent
         state.record_batch(&batch(clock.window(0), 1)); // late
-        let snap = state.snapshot(BusStats::default());
+        let snap = state.snapshot(BusStats::default(), MigrationStats::default());
         assert_eq!(snap.windows_closed, 1);
         assert_eq!(snap.spe_samples, 6);
         assert_eq!(snap.batches, 3);
@@ -763,7 +768,7 @@ mod tests {
         state.record_batch(&batch_from(clock.window(0), 3, DataSource::Dram(0)));
         state.record_batch(&batch_from(clock.window(1), 2, DataSource::RemoteDram(1)));
         state.record_batch(&batch_from(clock.window(1), 4, DataSource::Dram(0)));
-        let snap = state.snapshot(BusStats::default());
+        let snap = state.snapshot(BusStats::default(), MigrationStats::default());
         assert_eq!(snap.samples_from(DataSource::L1), 5);
         assert_eq!(snap.samples_from(DataSource::Dram(0)), 7);
         assert_eq!(snap.samples_from(DataSource::RemoteDram(1)), 2);

@@ -1,0 +1,848 @@
+//! Profile-guided dynamic page tiering: close the loop from SPE address
+//! samples to page placement.
+//!
+//! PR 3's tiered topology *reports* where data lives and what each tier
+//! costs; this module *acts* on it. A [`HotPageTracker`] aggregates SPE
+//! samples into per-page access counts and tier-resolved latency (decayed
+//! window over window, so heat tracks the current phase rather than the
+//! whole run), a pluggable [`TieringPolicy`] turns the per-page view into
+//! [`MigrationDecision`]s at every window close, and the decisions are
+//! applied mid-run through [`arch_sim::Machine::migrate_page`] — the
+//! simulated analogue of a tiered-memory daemon moving hot pages from a
+//! CXL expander back into socket DDR with `move_pages(2)`.
+//!
+//! Two actuation paths share the same tracker:
+//!
+//! * **Streaming** — register the tracker as an analysis sink
+//!   ([`crate::session::ProfileSessionBuilder::sink`]); during a
+//!   [`crate::session::ProfileSession::run_streaming`] run it consumes
+//!   batches on the consumer thread and applies decisions whenever the
+//!   producer watermark closes a window.
+//! * **Manual / deterministic** — drive the workload in chunks and call
+//!   [`crate::session::ActiveSession::tiering_step`] between them; drains,
+//!   window closes, and migrations then happen at fixed points of the
+//!   *simulated* timeline, so two identically configured runs reproduce
+//!   the same decisions bit for bit (see `tests/tiering.rs`).
+//!
+//! The [`TieringReport`] records the applied migration log plus the
+//! before/after per-tier latency distributions — the "remote p99 drops
+//! toward local after promotion" figure of `examples/hot_page_migration.rs`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use arch_sim::{Machine, MachineConfig, NodeId};
+
+use crate::latency::{LatencyHistogram, LatencyProfile};
+use crate::runtime::{AddressSample, Profile};
+use crate::sink::{AnalysisReport, AnalysisSink, StreamContext};
+use crate::stream::{BatchPayload, SampleBatch, Window};
+use crate::NmoError;
+
+/// One policy decision: move the page at `page_addr` to `dst_node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationDecision {
+    /// Base virtual address of the page to move.
+    pub page_addr: u64,
+    /// The memory node to move it to (0 = local DDR).
+    pub dst_node: NodeId,
+}
+
+/// One migration that was actually applied to the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedMigration {
+    /// Index of the closed window whose statistics triggered the decision.
+    pub window: u64,
+    /// Simulated time the migration was applied at, nanoseconds.
+    pub time_ns: u64,
+    /// Base virtual address of the moved page.
+    pub page_addr: u64,
+    /// Node the page lived on before.
+    pub from: NodeId,
+    /// Node the page lives on now.
+    pub to: NodeId,
+    /// Page size in bytes.
+    pub bytes: u64,
+    /// Whether the source node was on the remote tier.
+    pub from_remote: bool,
+    /// Whether the destination node is on the remote tier.
+    pub to_remote: bool,
+}
+
+impl AppliedMigration {
+    /// Remote → local move.
+    pub fn is_promotion(&self) -> bool {
+        self.from_remote && !self.to_remote
+    }
+
+    /// Local → remote move.
+    pub fn is_demotion(&self) -> bool {
+        !self.from_remote && self.to_remote
+    }
+}
+
+/// Decayed per-page statistics, as exposed to policies via [`TieringView`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageStats {
+    /// Base virtual address of the page.
+    pub page_addr: u64,
+    /// Decayed count of *all* sampled accesses to the page (cache hits
+    /// included — overall hotness).
+    pub heat: f64,
+    /// Decayed count of DRAM-class sampled accesses (the traffic a
+    /// migration would actually move between nodes).
+    pub dram_heat: f64,
+    /// The node that served the page's most recent DRAM-class sample.
+    pub node: NodeId,
+    /// Whether that node is on the remote tier.
+    pub remote: bool,
+    /// Decayed mean latency of the page's DRAM-class samples, cycles.
+    pub mean_dram_latency: f64,
+    /// Total (undecayed) samples observed for the page over the run.
+    pub samples: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PageState {
+    heat: f64,
+    dram_heat: f64,
+    node: NodeId,
+    remote: bool,
+    lat_sum: f64,
+    lat_count: f64,
+    samples: u64,
+}
+
+impl PageState {
+    fn stats(&self, page_addr: u64) -> PageStats {
+        PageStats {
+            page_addr,
+            heat: self.heat,
+            dram_heat: self.dram_heat,
+            node: self.node,
+            remote: self.remote,
+            mean_dram_latency: if self.lat_count > 0.0 {
+                self.lat_sum / self.lat_count
+            } else {
+                0.0
+            },
+            samples: self.samples,
+        }
+    }
+}
+
+/// The point-in-window view a [`TieringPolicy`] decides over.
+#[derive(Debug)]
+pub struct TieringView<'a> {
+    pages: &'a BTreeMap<u64, PageState>,
+    local_dram: &'a LatencyHistogram,
+}
+
+impl TieringView<'_> {
+    /// Number of pages currently tracked.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Every tracked page, ascending by address.
+    pub fn pages(&self) -> impl Iterator<Item = PageStats> + '_ {
+        self.pages.iter().map(|(addr, st)| st.stats(*addr))
+    }
+
+    /// The `k` hottest remote-tier pages by DRAM heat (ties broken by
+    /// ascending address, so decisions are deterministic).
+    pub fn hottest_remote(&self, k: usize) -> Vec<PageStats> {
+        let mut remote: Vec<PageStats> = self.pages().filter(|p| p.remote).collect();
+        remote.sort_by(|a, b| {
+            b.dram_heat
+                .partial_cmp(&a.dram_heat)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.page_addr.cmp(&b.page_addr))
+        });
+        remote.truncate(k);
+        remote
+    }
+
+    /// Median latency of local-DRAM fills observed so far (0.0 until any
+    /// local fill was sampled) — the baseline for latency-ratio policies.
+    pub fn local_dram_p50(&self) -> f64 {
+        self.local_dram.p50()
+    }
+}
+
+/// A pluggable hot-page tiering policy: turn the tracker's per-page view
+/// into migration decisions at each window close.
+///
+/// # Worked example
+///
+/// A custom policy promoting every remote page whose decayed DRAM heat
+/// crosses a fixed cutoff:
+///
+/// ```
+/// use nmo::tiering::{MigrationDecision, TieringPolicy, TieringView};
+///
+/// struct HotterThan {
+///     cutoff: f64,
+/// }
+///
+/// impl TieringPolicy for HotterThan {
+///     fn name(&self) -> &'static str {
+///         "hotter-than"
+///     }
+///
+///     fn decide(&mut self, _window: u64, view: &TieringView<'_>) -> Vec<MigrationDecision> {
+///         view.hottest_remote(usize::MAX)
+///             .into_iter()
+///             .filter(|page| page.dram_heat > self.cutoff)
+///             .map(|page| MigrationDecision { page_addr: page.page_addr, dst_node: 0 })
+///             .collect()
+///     }
+/// }
+///
+/// // Plug it into a tracker exactly like the shipped policies:
+/// let tracker = nmo::tiering::HotPageTracker::new(HotterThan { cutoff: 8.0 });
+/// assert_eq!(tracker.policy_name(), "hotter-than");
+/// ```
+pub trait TieringPolicy: Send {
+    /// Stable policy name (recorded in the [`TieringReport`]).
+    fn name(&self) -> &'static str;
+
+    /// Decide which pages to move after window `window_index` closed. The
+    /// tracker applies the decisions (pages that are no-ops — already home,
+    /// not resident — are skipped by the machine) and updates its own view.
+    fn decide(&mut self, window_index: u64, view: &TieringView<'_>) -> Vec<MigrationDecision>;
+
+    /// Feedback after the tracker applied this window's decisions: only the
+    /// migrations the machine actually performed (no-ops are filtered out).
+    /// Budgeted policies charge their budget here rather than in
+    /// [`TieringPolicy::decide`], so skipped decisions cost nothing.
+    fn on_applied(&mut self, _applied: &[AppliedMigration]) {}
+}
+
+impl TieringPolicy for Box<dyn TieringPolicy> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, window_index: u64, view: &TieringView<'_>) -> Vec<MigrationDecision> {
+        (**self).decide(window_index, view)
+    }
+
+    fn on_applied(&mut self, applied: &[AppliedMigration]) {
+        (**self).on_applied(applied)
+    }
+}
+
+/// The null policy: track, report, never migrate (the control arm of the
+/// example's comparison).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMigration;
+
+impl TieringPolicy for NoMigration {
+    fn name(&self) -> &'static str {
+        "no-migration"
+    }
+
+    fn decide(&mut self, _window: u64, _view: &TieringView<'_>) -> Vec<MigrationDecision> {
+        Vec::new()
+    }
+}
+
+/// Every `interval` closed windows, promote the `k` hottest remote pages
+/// (by decayed DRAM heat) to the local node.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKHot {
+    /// How many pages to promote per decision point.
+    pub k: usize,
+    /// Decide every this many closed windows (1 = every window).
+    pub interval: u64,
+    /// Ignore pages whose decayed DRAM heat is below this floor (avoids
+    /// paying migration cost for pages that merely appeared once).
+    pub min_dram_heat: f64,
+    /// Total promotion budget in pages (`None` = unlimited) — the bounded
+    /// migration bandwidth a real tiering daemon works under. Once spent,
+    /// the policy stops deciding.
+    pub budget: Option<u64>,
+    /// Promotions actually applied so far (charged against `budget` via
+    /// [`TieringPolicy::on_applied`], so no-op decisions cost nothing).
+    spent: u64,
+}
+
+impl TopKHot {
+    /// Promote the `k` hottest remote pages every `interval` windows, with
+    /// the default heat floor of 1.0 and no promotion budget.
+    pub fn new(k: usize, interval: u64) -> Self {
+        TopKHot { k, interval, min_dram_heat: 1.0, budget: None, spent: 0 }
+    }
+
+    /// Cap the total number of pages this policy will ever promote.
+    pub fn with_budget(mut self, pages: u64) -> Self {
+        self.budget = Some(pages);
+        self
+    }
+}
+
+impl TieringPolicy for TopKHot {
+    fn name(&self) -> &'static str {
+        "top-k-hot"
+    }
+
+    fn decide(&mut self, window_index: u64, view: &TieringView<'_>) -> Vec<MigrationDecision> {
+        let interval = self.interval.max(1);
+        if !(window_index + 1).is_multiple_of(interval) {
+            return Vec::new();
+        }
+        let take = match self.budget {
+            Some(budget) => (budget.saturating_sub(self.spent) as usize).min(self.k),
+            None => self.k,
+        };
+        if take == 0 {
+            return Vec::new();
+        }
+        view.hottest_remote(take)
+            .into_iter()
+            .filter(|p| p.dram_heat >= self.min_dram_heat)
+            .map(|p| MigrationDecision { page_addr: p.page_addr, dst_node: 0 })
+            .collect()
+    }
+
+    fn on_applied(&mut self, applied: &[AppliedMigration]) {
+        self.spent += applied.len() as u64;
+    }
+}
+
+/// Promote every remote page whose mean DRAM latency exceeds
+/// `p50_ratio` times the local-DRAM median — the "this page costs more
+/// than local memory would" rule, driven entirely by SPE's per-sample
+/// latency (the measurement counter-based profilers cannot make).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyThreshold {
+    /// Promote when `page mean latency > p50_ratio * local DRAM p50`.
+    pub p50_ratio: f64,
+    /// Ignore pages whose decayed DRAM heat is below this floor.
+    pub min_dram_heat: f64,
+}
+
+impl LatencyThreshold {
+    /// Promote remote pages costing more than `p50_ratio` times the local
+    /// median, with the default heat floor of 1.0.
+    pub fn new(p50_ratio: f64) -> Self {
+        LatencyThreshold { p50_ratio, min_dram_heat: 1.0 }
+    }
+}
+
+impl TieringPolicy for LatencyThreshold {
+    fn name(&self) -> &'static str {
+        "latency-threshold"
+    }
+
+    fn decide(&mut self, _window: u64, view: &TieringView<'_>) -> Vec<MigrationDecision> {
+        let local_p50 = view.local_dram_p50();
+        if local_p50 <= 0.0 {
+            // No local baseline yet: nothing to compare against.
+            return Vec::new();
+        }
+        let cutoff = local_p50 * self.p50_ratio;
+        view.hottest_remote(usize::MAX)
+            .into_iter()
+            .filter(|p| p.dram_heat >= self.min_dram_heat && p.mean_dram_latency > cutoff)
+            .map(|p| MigrationDecision { page_addr: p.page_addr, dst_node: 0 })
+            .collect()
+    }
+}
+
+/// The output of a tiering run: what moved, and what it did to the per-tier
+/// latency distributions.
+#[derive(Debug, Clone)]
+pub struct TieringReport {
+    /// Name of the policy that decided.
+    pub policy: String,
+    /// Distinct pages ever tracked over the run.
+    pub pages_tracked: u64,
+    /// Windows the tracker saw close.
+    pub windows_closed: u64,
+    /// The applied migration log, in application order.
+    pub applied: Vec<AppliedMigration>,
+    /// Latency distributions of samples observed *before* the first applied
+    /// migration (the whole run when nothing migrated).
+    pub before: LatencyProfile,
+    /// Latency distributions of samples observed *after* the first applied
+    /// migration (empty when nothing migrated). Includes the transition
+    /// period while migrations were still being applied; use
+    /// [`TieringReport::settled`] for the steady state.
+    pub after: LatencyProfile,
+    /// Latency distributions of samples observed after the *last* applied
+    /// migration — the settled steady state the policy converged to (empty
+    /// when nothing migrated).
+    pub settled: LatencyProfile,
+}
+
+impl TieringReport {
+    /// Whether the report carries any data at all.
+    pub fn is_empty(&self) -> bool {
+        self.applied.is_empty() && self.before.is_empty() && self.after.is_empty()
+    }
+
+    /// Applied migrations.
+    pub fn migrations(&self) -> u64 {
+        self.applied.len() as u64
+    }
+
+    /// Bytes moved remote → local.
+    pub fn promoted_bytes(&self) -> u64 {
+        self.applied.iter().filter(|m| m.is_promotion()).map(|m| m.bytes).sum()
+    }
+
+    /// Bytes moved local → remote.
+    pub fn demoted_bytes(&self) -> u64 {
+        self.applied.iter().filter(|m| m.is_demotion()).map(|m| m.bytes).sum()
+    }
+}
+
+/// Heat below which a decayed page is dropped from the tracker (bounds the
+/// tracked set to pages warm in the recent windows).
+const EVICT_HEAT: f64 = 1.0 / 64.0;
+
+/// The hot-page streaming aggregator and actuator (see the module docs).
+///
+/// As an [`AnalysisSink`] it consumes `SpeSamples` batches, decays its
+/// per-page counters at every window close, asks its [`TieringPolicy`] for
+/// decisions, and — when a machine handle is available (always, on a
+/// streaming session) — applies them via [`Machine::migrate_page`]. On the
+/// manual path, [`crate::session::ActiveSession::tiering_step`] drives the
+/// same state machine synchronously.
+pub struct HotPageTracker {
+    policy: Box<dyn TieringPolicy>,
+    /// Multiplier applied to every page's heat at each window close.
+    decay: f64,
+    page_bytes: u64,
+    freq_hz: u64,
+    configured: bool,
+    /// Actuation target on the streaming path (latched at stream start).
+    machine: Option<Arc<Machine>>,
+    /// Set once streaming (or manual stepping) delivered data — the marker
+    /// telling `finish` not to re-scan the profile.
+    fed_incrementally: bool,
+    pages: BTreeMap<u64, PageState>,
+    /// Authoritative homes of pages this tracker migrated: late batches may
+    /// still carry pre-migration samples, which must not flip the page's
+    /// tier back in the view (and re-trigger decisions for it).
+    pinned: BTreeMap<u64, (NodeId, bool)>,
+    pages_tracked: u64,
+    windows_closed: u64,
+    local_dram: LatencyHistogram,
+    /// Latency profiles segmented by migration activity: a new segment
+    /// opens whenever a window close applies at least one migration, so
+    /// segment 0 is "before any migration" and the last segment is the
+    /// settled state after the final one. Bounded by the number of
+    /// migration-applying closes, not by run length.
+    segments: Vec<LatencyProfile>,
+    applied: Vec<AppliedMigration>,
+    last_seen_ns: u64,
+}
+
+impl std::fmt::Debug for HotPageTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HotPageTracker")
+            .field("policy", &self.policy.name())
+            .field("pages", &self.pages.len())
+            .field("applied", &self.applied.len())
+            .finish()
+    }
+}
+
+impl HotPageTracker {
+    /// A tracker deciding with `policy`, with the default half-life decay
+    /// of 0.5 per window and a 64 KiB page size until configured from a
+    /// machine (both actuation paths configure it automatically).
+    pub fn new(policy: impl TieringPolicy + 'static) -> Self {
+        HotPageTracker {
+            policy: Box::new(policy),
+            decay: 0.5,
+            page_bytes: 64 * 1024,
+            freq_hz: 1_000_000_000,
+            configured: false,
+            machine: None,
+            fed_incrementally: false,
+            pages: BTreeMap::new(),
+            pinned: BTreeMap::new(),
+            pages_tracked: 0,
+            windows_closed: 0,
+            local_dram: LatencyHistogram::new(),
+            segments: vec![LatencyProfile::new()],
+            applied: Vec::new(),
+            last_seen_ns: 0,
+        }
+    }
+
+    /// Override the per-window heat decay (clamped to `[0, 1]`; 1.0 never
+    /// forgets, 0.0 considers only the last window).
+    pub fn with_decay(mut self, decay: f64) -> Self {
+        self.decay = decay.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Migrations applied so far, in order.
+    pub fn applied(&self) -> &[AppliedMigration] {
+        &self.applied
+    }
+
+    /// Latch page geometry and clock frequency from a machine configuration
+    /// (idempotent; called by both actuation paths).
+    pub(crate) fn configure(&mut self, cfg: &MachineConfig) {
+        if !self.configured {
+            self.page_bytes = cfg.page_bytes;
+            self.freq_hz = cfg.freq_hz;
+            self.configured = true;
+        }
+    }
+
+    /// Fold one decoded sample into the per-page state.
+    pub fn observe(&mut self, s: &AddressSample) {
+        let page_addr = s.vaddr & !(self.page_bytes - 1);
+        let entry = self.pages.entry(page_addr).or_insert_with(|| {
+            self.pages_tracked += 1;
+            PageState::default()
+        });
+        entry.heat += 1.0;
+        entry.samples += 1;
+        if s.source.is_dram_class() {
+            entry.dram_heat += 1.0;
+            // A migrated page's home is pinned: a late batch carrying
+            // pre-migration samples must not flip the tier back.
+            let (node, remote) = match self.pinned.get(&page_addr) {
+                Some(&(node, remote)) => (node, remote),
+                None => (s.source.node().unwrap_or(0), s.source.is_remote()),
+            };
+            entry.node = node;
+            entry.remote = remote;
+            entry.lat_sum += s.latency as f64;
+            entry.lat_count += 1.0;
+            if !s.source.is_remote() {
+                self.local_dram.record(s.latency);
+            }
+        }
+        self.segments.last_mut().expect("segments never empty").record(s.source, s.latency);
+        self.last_seen_ns = self.last_seen_ns.max(s.time_ns);
+    }
+
+    /// Fold every SPE sample of a batch into the tracker.
+    pub fn ingest(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+            for s in samples {
+                self.observe(s);
+            }
+        }
+    }
+
+    /// Close one window: decide on the pre-decay heat, apply the decisions
+    /// to `machine` (when present), then decay every page and evict the
+    /// cold ones. Returns the migrations applied for this window.
+    pub fn close_window(
+        &mut self,
+        window: Window,
+        machine: Option<&Machine>,
+    ) -> Vec<AppliedMigration> {
+        self.windows_closed += 1;
+        let decisions = {
+            let view = TieringView { pages: &self.pages, local_dram: &self.local_dram };
+            self.policy.decide(window.index, &view)
+        };
+        let mut applied = Vec::new();
+        if let Some(machine) = machine {
+            // Timestamp migrations at the close watermark: never before the
+            // newest sample that informed the decision.
+            let now_ns = window.end_ns.max(self.last_seen_ns);
+            let now_cycles = machine.config().ns_to_cycles(now_ns);
+            for decision in decisions {
+                // An Err means an unknown node — a policy bug, not a data
+                // race — so treat it like the not-migratable no-op.
+                let outcome = machine
+                    .migrate_page(decision.page_addr, decision.dst_node, now_cycles)
+                    .unwrap_or_default();
+                let Some(migration) = outcome else { continue };
+                let topology = machine.topology();
+                let done = AppliedMigration {
+                    window: window.index,
+                    time_ns: now_ns,
+                    page_addr: migration.page_addr,
+                    from: migration.from,
+                    to: migration.to,
+                    bytes: migration.bytes,
+                    from_remote: topology.node(migration.from).is_remote(),
+                    to_remote: topology.node(migration.to).is_remote(),
+                };
+                if let Some(state) = self.pages.get_mut(&migration.page_addr) {
+                    state.node = migration.to;
+                    state.remote = done.to_remote;
+                }
+                self.pinned.insert(migration.page_addr, (migration.to, done.to_remote));
+                applied.push(done);
+            }
+        }
+        if !applied.is_empty() {
+            self.policy.on_applied(&applied);
+            // Open a new latency segment: samples from here on ran against
+            // the updated placement.
+            self.segments.push(LatencyProfile::new());
+        }
+        self.applied.extend_from_slice(&applied);
+        // Decay after deciding: decisions see the freshest heat.
+        self.pages.retain(|_, st| {
+            st.heat *= self.decay;
+            st.dram_heat *= self.decay;
+            st.lat_sum *= self.decay;
+            st.lat_count *= self.decay;
+            st.heat >= EVICT_HEAT
+        });
+        applied
+    }
+
+    /// The report assembled from everything observed so far.
+    pub fn report(&self) -> TieringReport {
+        let before = self.segments[0].clone();
+        let mut after = LatencyProfile::new();
+        for segment in &self.segments[1..] {
+            after.merge(segment);
+        }
+        let settled = if self.segments.len() > 1 {
+            self.segments.last().expect("segments never empty").clone()
+        } else {
+            LatencyProfile::new()
+        };
+        TieringReport {
+            policy: self.policy.name().to_string(),
+            pages_tracked: self.pages_tracked,
+            windows_closed: self.windows_closed,
+            applied: self.applied.clone(),
+            before,
+            after,
+            settled,
+        }
+    }
+}
+
+impl AnalysisSink for HotPageTracker {
+    fn name(&self) -> &'static str {
+        "tiering"
+    }
+
+    fn analyze(
+        &mut self,
+        machine: &Machine,
+        profile: &Profile,
+    ) -> Result<AnalysisReport, NmoError> {
+        // Post-hoc: one scan over the decoded samples. No actuation — the
+        // run is over; the report still carries the heat/latency view.
+        self.configure(machine.config());
+        for s in &profile.samples {
+            self.observe(s);
+        }
+        Ok(AnalysisReport::Tiering(self.report()))
+    }
+
+    fn on_stream_start(&mut self, ctx: &StreamContext) {
+        self.fed_incrementally = true;
+        if let Some(machine) = &ctx.machine {
+            self.configure(machine.config());
+            self.machine = Some(machine.clone());
+        }
+    }
+
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        self.ingest(batch);
+    }
+
+    fn on_window_close(&mut self, window: Window) {
+        let machine = self.machine.clone();
+        self.close_window(window, machine.as_deref());
+    }
+
+    fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
+        if !self.fed_incrementally {
+            return self.analyze(machine, profile);
+        }
+        Ok(AnalysisReport::Tiering(self.report()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::WindowClock;
+    use arch_sim::{DataSource, MachineConfig, PlacementPolicy};
+
+    fn sample(vaddr: u64, source: DataSource, latency: u16, time_ns: u64) -> AddressSample {
+        AddressSample { time_ns, vaddr, core: 0, is_store: false, latency, source }
+    }
+
+    fn fill_tracker(tracker: &mut HotPageTracker) {
+        // Page 0x10000: very hot, remote, slow. Page 0x20000: lukewarm,
+        // remote. Page 0x30000: hot but local. Page 0x40000: cache-served.
+        for i in 0..32u64 {
+            tracker.observe(&sample(0x10000 + i * 8, DataSource::RemoteDram(1), 900, i));
+        }
+        for i in 0..4u64 {
+            tracker.observe(&sample(0x20000 + i * 8, DataSource::RemoteDram(1), 880, 100 + i));
+        }
+        for i in 0..16u64 {
+            tracker.observe(&sample(0x30000 + i * 8, DataSource::Dram(0), 120, 200 + i));
+        }
+        for i in 0..8u64 {
+            tracker.observe(&sample(0x40000 + i * 8, DataSource::L1, 4, 300 + i));
+        }
+    }
+
+    #[test]
+    fn tracker_aggregates_per_page_heat_and_latency() {
+        let mut tracker = HotPageTracker::new(NoMigration);
+        fill_tracker(&mut tracker);
+        let view = TieringView { pages: &tracker.pages, local_dram: &tracker.local_dram };
+        assert_eq!(view.len(), 4);
+        let pages: Vec<PageStats> = view.pages().collect();
+        assert_eq!(pages[0].page_addr, 0x10000);
+        assert_eq!(pages[0].heat, 32.0);
+        assert_eq!(pages[0].dram_heat, 32.0);
+        assert!(pages[0].remote);
+        assert!((pages[0].mean_dram_latency - 900.0).abs() < 1e-9);
+        assert!(!pages[2].remote);
+        assert_eq!(pages[3].dram_heat, 0.0, "cache hits carry no DRAM heat");
+        let hottest = view.hottest_remote(1);
+        assert_eq!(hottest.len(), 1);
+        assert_eq!(hottest[0].page_addr, 0x10000);
+        assert!(view.local_dram_p50() > 0.0);
+    }
+
+    #[test]
+    fn decay_cools_and_evicts_pages() {
+        let mut tracker = HotPageTracker::new(NoMigration).with_decay(0.5);
+        fill_tracker(&mut tracker);
+        let clock = WindowClock::new(1000);
+        tracker.close_window(clock.window(0), None);
+        assert!((tracker.pages[&0x10000].heat - 16.0).abs() < 1e-9);
+        // Ten more closes decay the lukewarm page below the eviction floor.
+        for w in 1..12 {
+            tracker.close_window(clock.window(w), None);
+        }
+        assert!(!tracker.pages.contains_key(&0x20000), "cold page evicted");
+        assert_eq!(tracker.report().pages_tracked, 4, "tracked count is historical");
+        assert_eq!(tracker.report().windows_closed, 12);
+    }
+
+    #[test]
+    fn top_k_hot_promotes_hottest_remote_pages_on_its_interval() {
+        let mut policy = TopKHot::new(1, 2);
+        let mut tracker = HotPageTracker::new(NoMigration);
+        fill_tracker(&mut tracker);
+        let view = TieringView { pages: &tracker.pages, local_dram: &tracker.local_dram };
+        assert!(policy.decide(0, &view).is_empty(), "window 0 is off-interval");
+        let decisions = policy.decide(1, &view);
+        assert_eq!(decisions, vec![MigrationDecision { page_addr: 0x10000, dst_node: 0 }]);
+        // The heat floor suppresses barely-seen pages.
+        let mut strict = TopKHot { min_dram_heat: 16.0, ..TopKHot::new(8, 1) };
+        let decisions = strict.decide(0, &view);
+        assert_eq!(decisions.len(), 1, "only the hot page clears the floor");
+        // A budget caps the total promotions ever *applied*; decisions the
+        // machine no-ops cost nothing.
+        let mut frugal = TopKHot::new(8, 1).with_budget(1);
+        assert_eq!(frugal.decide(0, &view).len(), 1, "budget caps how many are proposed");
+        assert_eq!(frugal.decide(1, &view).len(), 1, "un-applied decisions are free");
+        frugal.on_applied(&[AppliedMigration {
+            window: 1,
+            time_ns: 0,
+            page_addr: 0x10000,
+            from: 1,
+            to: 0,
+            bytes: 4096,
+            from_remote: true,
+            to_remote: false,
+        }]);
+        assert!(frugal.decide(2, &view).is_empty(), "budget spent once applied");
+    }
+
+    #[test]
+    fn latency_threshold_promotes_expensive_remote_pages() {
+        let mut policy = LatencyThreshold::new(3.0);
+        let mut tracker = HotPageTracker::new(NoMigration);
+        fill_tracker(&mut tracker);
+        let view = TieringView { pages: &tracker.pages, local_dram: &tracker.local_dram };
+        let decisions = policy.decide(0, &view);
+        // Both remote pages cost ~900c against a local p50 of ~120c.
+        assert_eq!(decisions.len(), 2);
+        assert!(decisions.iter().all(|d| d.dst_node == 0));
+
+        // Without a local baseline the policy stays quiet.
+        let mut cold = HotPageTracker::new(NoMigration);
+        cold.observe(&sample(0x10000, DataSource::RemoteDram(1), 900, 1));
+        let view = TieringView { pages: &cold.pages, local_dram: &cold.local_dram };
+        assert!(policy.decide(0, &view).is_empty());
+    }
+
+    #[test]
+    fn close_window_applies_decisions_to_the_machine() {
+        let machine = Machine::new(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+            local_fraction: 0.0,
+        }));
+        let page = machine.config().page_bytes;
+        let region = machine.alloc("data", 4 * page).unwrap();
+        {
+            let mut e = machine.attach(0).unwrap();
+            for p in 0..4u64 {
+                e.store(region.start + p * page, 8);
+            }
+        }
+        let mut tracker = HotPageTracker::new(TopKHot::new(2, 1));
+        tracker.configure(machine.config());
+        for i in 0..16u64 {
+            tracker.observe(&sample(region.start + i % 8, DataSource::RemoteDram(1), 700, i));
+            tracker.observe(&sample(
+                region.start + page + (i % 8),
+                DataSource::RemoteDram(1),
+                700,
+                i,
+            ));
+        }
+        let clock = WindowClock::new(1000);
+        let applied = tracker.close_window(clock.window(0), Some(&machine));
+        assert_eq!(applied.len(), 2);
+        assert!(applied.iter().all(|m| m.is_promotion() && !m.is_demotion()));
+        assert_eq!(machine.migration_stats().promoted_pages, 2);
+        assert_eq!(machine.vm().node_of(region.start), Some(0));
+        assert_eq!(machine.vm().node_of(region.start + page), Some(0));
+        // The tracker's own view follows the move: nothing remote remains
+        // above the floor, so the next close applies nothing.
+        let applied = tracker.close_window(clock.window(1), Some(&machine));
+        assert!(applied.is_empty());
+        // Samples after the first migration land in the `after` profile.
+        tracker.observe(&sample(region.start, DataSource::Dram(0), 120, 5000));
+        let report = tracker.report();
+        assert_eq!(report.migrations(), 2);
+        assert_eq!(report.promoted_bytes(), 2 * page);
+        assert_eq!(report.demoted_bytes(), 0);
+        assert_eq!(report.after.total_count(), 1);
+        assert_eq!(report.settled, report.after, "one migration epoch: settled == after");
+        assert!(report.before.total_count() > 0);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn no_migration_policy_never_decides() {
+        let mut tracker = HotPageTracker::new(NoMigration);
+        fill_tracker(&mut tracker);
+        let machine = Machine::new(MachineConfig::small_test_tiered(PlacementPolicy::Interleave));
+        let applied = tracker.close_window(WindowClock::new(1000).window(0), Some(&machine));
+        assert!(applied.is_empty());
+        assert_eq!(machine.migration_stats().migrations, 0);
+        assert_eq!(tracker.report().policy, "no-migration");
+    }
+}

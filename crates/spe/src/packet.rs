@@ -216,12 +216,28 @@ pub struct SpeRecordIter<'a> {
     data: &'a [u8],
     pos: usize,
     skipped: u64,
+    skipped_bytes: u64,
+    decoded: u64,
 }
 
 impl SpeRecordIter<'_> {
     /// Records rejected so far (bad headers, zero fields, trailing partial).
     pub fn skipped(&self) -> u64 {
         self.skipped
+    }
+
+    /// Bytes covered by the rejections so far: 64 per skipped record plus
+    /// the exact length of a trailing partial record. Together with the
+    /// decoded records this accounts for every consumed byte:
+    /// `decoded() * 64 + skipped_bytes()` equals the number of bytes walked
+    /// — the loss-accounting invariant the fuzz tests pin.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped_bytes
+    }
+
+    /// Records successfully decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
     }
 
     /// Upper bound on the number of records remaining in the chunk.
@@ -239,14 +255,19 @@ impl Iterator for SpeRecordIter<'_> {
             self.pos += SPE_RECORD_BYTES;
             match decode_nmo_fields(chunk) {
                 Some((vaddr, ticks)) => {
-                    return Some(DecodedRecord { vaddr, ticks, full: SpeRecord::decode(chunk) })
+                    self.decoded += 1;
+                    return Some(DecodedRecord { vaddr, ticks, full: SpeRecord::decode(chunk) });
                 }
-                None => self.skipped += 1,
+                None => {
+                    self.skipped += 1;
+                    self.skipped_bytes += SPE_RECORD_BYTES as u64;
+                }
             }
         }
         if self.pos < self.data.len() {
             // Trailing partial record: count once, then stop for good.
             self.skipped += 1;
+            self.skipped_bytes += (self.data.len() - self.pos) as u64;
             self.pos = self.data.len();
         }
         None
@@ -255,7 +276,7 @@ impl Iterator for SpeRecordIter<'_> {
 
 /// Decode a drained aux chunk incrementally (see [`SpeRecordIter`]).
 pub fn decode_records(data: &[u8]) -> SpeRecordIter<'_> {
-    SpeRecordIter { data, pos: 0, skipped: 0 }
+    SpeRecordIter { data, pos: 0, skipped: 0, skipped_bytes: 0, decoded: 0 }
 }
 
 #[cfg(test)]
@@ -426,8 +447,16 @@ mod tests {
         assert_eq!(second.vaddr, good.vaddr);
         assert!(iter.next().is_none());
         assert_eq!(iter.skipped(), 2, "one corrupt record and one trailing partial");
+        assert_eq!(iter.decoded(), 2);
+        assert_eq!(iter.skipped_bytes(), 64 + 17, "one full skip plus the 17-byte tail");
+        assert_eq!(
+            iter.decoded() * SPE_RECORD_BYTES as u64 + iter.skipped_bytes(),
+            data.len() as u64,
+            "accounting covers every byte"
+        );
         assert!(iter.next().is_none(), "exhausted iterator stays exhausted");
         assert_eq!(iter.skipped(), 2, "skip count does not grow after exhaustion");
+        assert_eq!(iter.skipped_bytes(), 64 + 17, "byte count does not grow after exhaustion");
     }
 
     #[test]

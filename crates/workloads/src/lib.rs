@@ -100,6 +100,12 @@ where
     }
 }
 
+/// Parse an environment variable, falling back to `default` when unset or
+/// unparseable — the tuning-knob helper the examples share.
+pub fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
 /// Split `n` items into `parts` contiguous ranges (the last part absorbs the
 /// remainder), mirroring OpenMP static scheduling.
 pub fn chunk_range(n: usize, parts: usize, part: usize) -> std::ops::Range<usize> {

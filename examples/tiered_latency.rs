@@ -31,11 +31,7 @@ use nmo_repro::nmo::{
     BandwidthSink, CapacitySink, LatencySink, NmoConfig, NmoError, Profile, ProfileSession,
     Workload,
 };
-use nmo_repro::workloads::{PageRank, StreamBench};
-
-fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
-}
+use nmo_repro::workloads::{env_or, PageRank, StreamBench};
 
 fn ratios_from_env() -> Vec<f64> {
     std::env::var("NMO_TIER_RATIOS")

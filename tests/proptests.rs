@@ -4,12 +4,33 @@
 
 use proptest::prelude::*;
 
-use nmo_repro::arch_sim::{Cache, CacheLevelConfig, DataSource, OpKind, TimeConv};
+use nmo_repro::arch_sim::{
+    AddressSpace, Cache, CacheLevelConfig, DataSource, NodeId, OpKind, PlacementPolicy, TimeConv,
+};
 use nmo_repro::nmo::accuracy;
 use nmo_repro::perf_sub::records::{AuxRecord, LostRecord, Record};
 use nmo_repro::perf_sub::{AuxBuffer, MetadataPage, PerfEvent, PerfEventAttr, RingBuffer};
-use nmo_repro::spe::packet::{decode_nmo_fields, SpeRecord, SPE_RECORD_BYTES};
+use nmo_repro::spe::packet::{decode_nmo_fields, decode_records, SpeRecord, SPE_RECORD_BYTES};
 use nmo_repro::workloads::chunk_range;
+
+const PAGE: u64 = 4096;
+
+/// Build a placed address space: one region of `pages` pages, all touched.
+fn placed_space(nodes: usize, placement: PlacementPolicy, pages: usize) -> (AddressSpace, u64) {
+    let vm = AddressSpace::with_placement(PAGE, 1 << 30, nodes, placement);
+    let region = vm.alloc("a", pages as u64 * PAGE).unwrap();
+    for p in 0..pages as u64 {
+        vm.place(region.start + p * PAGE).unwrap();
+    }
+    (vm, region.start)
+}
+
+/// The per-node RSS split must always sum to the total RSS.
+fn assert_rss_consistent(vm: &AddressSpace, expect_pages: u64) {
+    let (total, by_node) = vm.rss_snapshot();
+    assert_eq!(total, expect_pages * PAGE, "total residency");
+    assert_eq!(by_node.iter().sum::<u64>(), total, "per-node split sums to total");
+}
 
 /// Build a data source from a class selector and a node id (the offline
 /// proptest shim has no `prop_map`, so the mapping happens in the test body).
@@ -243,6 +264,151 @@ proptest! {
         for addr in &addresses {
             prop_assert!(cache.probe(*addr));
         }
+    }
+
+    #[test]
+    fn interleave_spreads_pages_within_one_of_even(
+        nodes in 2usize..=4,
+        pages in 1usize..300,
+    ) {
+        let (vm, _) = placed_space(nodes, PlacementPolicy::Interleave, pages);
+        let by_node = vm.rss_bytes_by_node();
+        let counts: Vec<u64> = by_node[..nodes].iter().map(|b| b / PAGE).collect();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "counts {counts:?} not within one of even");
+        prop_assert_eq!(counts.iter().sum::<u64>(), pages as u64);
+        assert_rss_consistent(&vm, pages as u64);
+    }
+
+    #[test]
+    fn tier_split_respects_the_fraction_within_one_page(
+        fraction in any::<f64>(),
+        pages in 1usize..300,
+    ) {
+        let placement = PlacementPolicy::TierSplit { local_fraction: fraction };
+        let (vm, _) = placed_space(2, placement, pages);
+        let local_pages = (vm.rss_bytes_by_node()[0] / PAGE) as f64;
+        let target = fraction.clamp(0.0, 1.0) * pages as f64;
+        prop_assert!(
+            (local_pages - target).abs() <= 1.0,
+            "local {local_pages} vs target {target} (fraction {fraction}, {pages} pages)"
+        );
+        assert_rss_consistent(&vm, pages as u64);
+    }
+
+    #[test]
+    fn rss_invariants_survive_arbitrary_migration_sequences(
+        nodes in 2usize..=4,
+        pages in 1usize..120,
+        move_pages in prop::collection::vec(0usize..1_000, 0..60),
+        move_nodes in prop::collection::vec(0u8..6, 0..60),
+    ) {
+        let (vm, start) = placed_space(nodes, PlacementPolicy::Interleave, pages);
+        for (page_sel, dst) in move_pages.iter().zip(move_nodes.iter()) {
+            let addr = start + (*page_sel as u64 % pages as u64) * PAGE;
+            let before = vm.node_of(addr);
+            match vm.migrate_page(addr, *dst) {
+                Some(mig) => {
+                    prop_assert!((*dst as usize) < nodes, "out-of-range target never applies");
+                    prop_assert_eq!(Some(mig.from), before);
+                    prop_assert_eq!(mig.to, *dst);
+                    prop_assert_eq!(vm.node_of(addr), Some(*dst), "home follows the migration");
+                }
+                None => {
+                    // Legal no-ops only: already home or invalid target.
+                    prop_assert!(
+                        before == Some(*dst) || *dst as usize >= nodes,
+                        "unexpected no-op: page {page_sel} -> node {dst}"
+                    );
+                    prop_assert_eq!(vm.node_of(addr), before, "no-op changes nothing");
+                }
+            }
+            assert_rss_consistent(&vm, pages as u64);
+        }
+    }
+
+    #[test]
+    fn placement_sequence_is_unaffected_by_interleaved_migrations(
+        nodes in 2usize..=4,
+        pages in 2usize..100,
+        migrate_every in 1usize..8,
+    ) {
+        // First-touch placement (round-robin under Interleave) must not be
+        // disturbed by migrations happening between touches.
+        let vm = AddressSpace::with_placement(PAGE, 1 << 30, nodes, PlacementPolicy::Interleave);
+        let region = vm.alloc("a", pages as u64 * PAGE).unwrap();
+        for p in 0..pages as u64 {
+            let home = vm.place(region.start + p * PAGE).unwrap();
+            prop_assert!(home.first_touch);
+            prop_assert_eq!(home.node, (p % nodes as u64) as NodeId, "round-robin continues");
+            if (p as usize).is_multiple_of(migrate_every) {
+                // Shuffle an earlier page around between the touches.
+                vm.migrate_page(region.start, ((p as usize + 1) % nodes) as NodeId);
+            }
+            let (total, by_node) = vm.rss_snapshot();
+            prop_assert_eq!(total, (p + 1) * PAGE);
+            prop_assert_eq!(by_node.iter().sum::<u64>(), total);
+        }
+    }
+
+    #[test]
+    fn decode_records_never_panics_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut iter = decode_records(&data);
+        let mut decoded = 0u64;
+        for rec in iter.by_ref() {
+            prop_assert!(rec.vaddr != 0 && rec.ticks != 0, "zero fields are always rejected");
+            decoded += 1;
+        }
+        prop_assert_eq!(iter.decoded(), decoded);
+        // Loss accounting covers every undecoded byte exactly.
+        prop_assert_eq!(
+            decoded * SPE_RECORD_BYTES as u64 + iter.skipped_bytes(),
+            data.len() as u64
+        );
+        // And the record-level skip count covers every 64-byte slot plus
+        // the trailing partial (if any).
+        let full_slots = (data.len() / SPE_RECORD_BYTES) as u64;
+        let partial = (data.len() % SPE_RECORD_BYTES != 0) as u64;
+        prop_assert_eq!(decoded + iter.skipped(), full_slots + partial);
+    }
+
+    #[test]
+    fn decode_records_on_corrupted_truncated_streams_accounts_exactly(
+        n in 1usize..20,
+        corrupt_at in prop::collection::vec(0usize..1280, 0..48),
+        corrupt_with in prop::collection::vec(any::<u8>(), 0..48),
+        cut in 0usize..1281,
+    ) {
+        // A valid stream of n records, then arbitrary byte corruption and
+        // an arbitrary truncation point.
+        let mut data = Vec::with_capacity(n * SPE_RECORD_BYTES);
+        for i in 0..n as u64 {
+            let rec = SpeRecord::new(
+                0x40_0000 + i,
+                0xffff_0000_0000 + (i + 1) * 64,
+                1 + i * 1000,
+                i % 800,
+                if i % 2 == 0 { OpKind::Load } else { OpKind::Store },
+                source_from((i % 5) as u8, (i % 4) as u8),
+            );
+            data.extend_from_slice(&rec.encode());
+        }
+        for (pos, byte) in corrupt_at.iter().zip(corrupt_with.iter()) {
+            let at = pos % data.len();
+            data[at] = *byte;
+        }
+        data.truncate(cut.min(data.len()));
+
+        let mut iter = decode_records(&data);
+        let decoded = iter.by_ref().count() as u64;
+        prop_assert!(decoded <= n as u64, "cannot decode more records than were written");
+        prop_assert_eq!(
+            decoded * SPE_RECORD_BYTES as u64 + iter.skipped_bytes(),
+            data.len() as u64,
+            "skip/loss accounting must exactly cover the undecoded bytes"
+        );
     }
 
     #[test]
