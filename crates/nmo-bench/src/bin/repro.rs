@@ -13,6 +13,7 @@ use std::path::{Path, PathBuf};
 use nmo::NmoError;
 use nmo_bench::experiments::{self, ExperimentResult};
 use nmo_bench::harness::Scale;
+use nmo_bench::stream_throughput;
 
 struct Args {
     exp: String,
@@ -46,7 +47,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp <id|all>] [--quick|--full|--tiny] [--out <dir>]\n\
-                     experiments: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11"
+                     experiments: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 \
+                     fig11 bench_stream"
                 );
                 std::process::exit(0);
             }
@@ -60,8 +62,19 @@ fn parse_args() -> Args {
 }
 
 const EXPERIMENT_IDS: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
     "fig11",
+    "bench_stream",
 ];
 
 fn wants(exp: &str, ids: &[&str]) -> bool {
@@ -135,6 +148,22 @@ fn run(args: &Args) -> Result<(), NmoError> {
     }
     if wants(exp, &["fig10", "fig11"]) {
         emit(vec![experiments::fig10_fig11_threads(scale, 4096)?], &args.out, 20);
+    }
+    if wants(exp, &["bench_stream"]) {
+        // Pipeline-throughput sweep (samples/sec vs shard count at 1/32/128
+        // simulated cores); also writes BENCH_stream.json to seed the perf
+        // trajectory of the sharded streaming pipeline.
+        let records_per_core = match args.scale_name {
+            "tiny" => 2_000,
+            "full" => 65_536,
+            _ => 16_384,
+        };
+        let points = stream_throughput::default_sweep(records_per_core);
+        emit(vec![stream_throughput::to_experiment(&points)], &args.out, 20);
+        match stream_throughput::write_bench_stream_json(&points, &args.out) {
+            Ok(path) => println!("  -> wrote {path}\n"),
+            Err(e) => eprintln!("  !! failed to write BENCH_stream.json: {e}"),
+        }
     }
     Ok(())
 }

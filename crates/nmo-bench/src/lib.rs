@@ -25,5 +25,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod stream_throughput;
 
 pub use harness::{baseline_run, profiled_run, BaselineRun, Scale, WorkloadKind};

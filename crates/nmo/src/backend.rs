@@ -34,7 +34,9 @@ use spe::{SpeDriver, SpeStats, SpeStatsSnapshot};
 
 use crate::config::NmoConfig;
 use crate::runtime::{AddressSample, Profile};
-use crate::stream::{BatchPayload, CounterDelta, SampleBatch, StreamSource, WindowClock};
+use crate::stream::{
+    BatchPayload, BatchPool, CounterDelta, SampleBatch, StreamSource, WindowClock,
+};
 use crate::NmoError;
 
 /// One per-core observer produced by a backend, ready to attach.
@@ -80,15 +82,34 @@ pub trait SampleBackend: Send {
     /// Streaming hook: move everything collected since the previous call
     /// into window-stamped batches. `clock` supplies the window arithmetic
     /// and the producer watermark (use [`WindowClock::current`] for data
-    /// without timestamps). Data returned here must *also* be folded into
-    /// the final [`Profile`] by [`SampleBackend::fill`] — batches feed the
-    /// live pipeline, the profile stays the complete record.
+    /// without timestamps); `pool` supplies (and takes back) the batch
+    /// buffers, so a steady-state drain allocates nothing. Data returned
+    /// here must *also* be folded into the final [`Profile`] by
+    /// [`SampleBackend::fill`] — batches feed the live pipeline, the
+    /// profile stays the complete record.
     fn drain(
         &mut self,
         _machine: &Machine,
         _clock: &WindowClock,
+        _pool: &BatchPool,
     ) -> Result<Vec<SampleBatch>, NmoError> {
         Ok(Vec::new())
+    }
+
+    /// Split this backend's per-core drain work into independent workers,
+    /// one per pipeline shard (core-hash partitioning: the worker for shard
+    /// `s` covers the backend's cores with `core % shards == s`). Each
+    /// worker runs on its own pump thread and drains only its disjoint core
+    /// subset, so drains scale with core count.
+    ///
+    /// A backend that cannot shard (machine-wide instruments like the
+    /// counting backend) keeps the default empty list; the sharded session
+    /// then calls its [`SampleBackend::drain`] from the coordinator pump
+    /// instead. When workers are handed out, the session stops calling
+    /// `drain` on the backend itself — the workers own the streaming side
+    /// until [`SampleBackend::stop`].
+    fn shard_drainers(&mut self, _shards: usize) -> Vec<Box<dyn ShardDrainer>> {
+        Vec::new()
     }
 
     /// The timestamped batch producers this backend will feed once started
@@ -109,7 +130,32 @@ pub trait SampleBackend: Send {
     fn fill(&mut self, profile: &mut Profile) -> Result<(), NmoError>;
 }
 
-/// Shared store the SPE monitoring thread decodes samples into.
+/// One pump worker's slice of a backend's drain work: a disjoint core
+/// subset drained in parallel with the other shards' workers (see
+/// [`SampleBackend::shard_drainers`]).
+pub trait ShardDrainer: Send {
+    /// The pipeline shard this worker belongs to.
+    fn shard(&self) -> usize;
+
+    /// Drain everything this worker's cores collected since the previous
+    /// call into window-stamped batches (same contract as
+    /// [`SampleBackend::drain`], restricted to the worker's core subset).
+    fn drain(
+        &mut self,
+        machine: &Machine,
+        clock: &WindowClock,
+        pool: &BatchPool,
+    ) -> Result<Vec<SampleBatch>, NmoError>;
+
+    /// The timestamped batch producers this worker feeds (the subset of the
+    /// backend's [`SampleBackend::stream_sources`] it covers).
+    fn sources(&self) -> Vec<StreamSource>;
+}
+
+/// Per-core store the SPE decode paths (monitor thread and pump drains)
+/// deposit samples into. One store per core keeps the hot decode path off a
+/// single shared lock, and lets per-shard drain workers collect disjoint
+/// core subsets without contending.
 #[derive(Debug, Default)]
 pub(crate) struct SampleStore {
     pub(crate) samples: Mutex<Vec<AddressSample>>,
@@ -120,6 +166,10 @@ pub(crate) struct SampleStore {
     pub(crate) truncated_flagged: AtomicU64,
 }
 
+/// Everything one SPE core's drain paths share: the perf event, statistics,
+/// the per-core sample store, and the drain gate. Cloning shares the
+/// underlying instruments (all fields are `Arc`s).
+#[derive(Clone)]
 pub(crate) struct CoreSpe {
     pub(crate) core: usize,
     pub(crate) event: Arc<PerfEvent>,
@@ -131,6 +181,8 @@ pub(crate) struct CoreSpe {
     /// far is in the sample store — the completeness property
     /// `ActiveSession::tiering_step`'s determinism contract rests on.
     pub(crate) drain_gate: Arc<Mutex<()>>,
+    /// This core's decode target.
+    pub(crate) store: Arc<SampleStore>,
 }
 
 /// The ARM SPE sampling backend (paper Section IV).
@@ -144,11 +196,14 @@ pub(crate) struct CoreSpe {
 #[derive(Default)]
 pub struct SpeBackend {
     cores: Vec<CoreSpe>,
-    store: Arc<SampleStore>,
     monitor: Option<JoinHandle<()>>,
     /// Everything already handed out through [`SampleBackend::drain`];
     /// merged back into the profile by `fill`.
-    drained: Vec<AddressSample>,
+    drained: Arc<Mutex<Vec<AddressSample>>>,
+    /// One drained-record slot per shard drain worker (each worker writes
+    /// only its own slot, so the hot publish path never contends across
+    /// shards); collected alongside `drained` by `fill`.
+    shard_drained: Vec<Arc<Mutex<Vec<AddressSample>>>>,
     /// Cumulative statistics at the previous drain (for per-drain deltas).
     last_stats: SpeStatsSnapshot,
 }
@@ -212,15 +267,19 @@ impl SampleBackend for SpeBackend {
             let (driver, event, stats) =
                 SpeDriver::open_for(machine, core, spe_cfg, ring_pages, aux_pages, config.overhead)
                     .map_err(NmoError::Perf)?;
-            self.cores.push(CoreSpe { core, event, stats, drain_gate: Arc::new(Mutex::new(())) });
+            self.cores.push(CoreSpe {
+                core,
+                event,
+                stats,
+                drain_gate: Arc::new(Mutex::new(())),
+                store: Arc::new(SampleStore::default()),
+            });
             observers.push(CoreObserver { core, observer: Box::new(driver) });
         }
 
-        let events: Vec<MonitoredEvent> =
-            self.cores.iter().map(|c| (c.core, c.event.clone(), c.drain_gate.clone())).collect();
-        let store = self.store.clone();
+        let events = self.cores.clone();
         self.monitor = Some(std::thread::spawn(move || {
-            monitor_loop(&events, &store);
+            monitor_loop(&events);
         }));
         Ok(observers)
     }
@@ -229,54 +288,44 @@ impl SampleBackend for SpeBackend {
         &mut self,
         machine: &Machine,
         clock: &WindowClock,
+        pool: &BatchPool,
     ) -> Result<Vec<SampleBatch>, NmoError> {
         if self.cores.is_empty() {
             return Ok(Vec::new());
         }
-        // Push sub-watermark data out of the per-core drivers, then pull
-        // every published record through the decode pipeline ourselves (the
-        // monitor thread may also be pulling; the ring hands each record to
-        // exactly one of us).
-        for c in &self.cores {
-            let _ = machine.flush_observer(c.core);
-            let _gate = c.drain_gate.lock();
-            drain_event(c.core, &c.event, &self.store);
-        }
-        let samples = std::mem::take(&mut *self.store.samples.lock());
-        let mut cumulative = SpeStatsSnapshot::default();
-        for c in &self.cores {
-            cumulative.merge(&c.stats.snapshot());
-        }
-        let loss = cumulative.delta(&self.last_stats);
-        self.last_stats = cumulative;
-        if samples.is_empty() && loss == SpeStatsSnapshot::default() {
-            return Ok(Vec::new());
-        }
-        self.drained.extend_from_slice(&samples);
+        Ok(drain_core_set(
+            &self.cores,
+            machine,
+            clock,
+            pool,
+            &self.drained,
+            &mut self.last_stats,
+            None,
+        ))
+    }
 
-        let batch = |window, samples, loss| SampleBatch {
-            backend: "spe",
-            core: None,
-            seq: 0,
-            window,
-            payload: BatchPayload::SpeSamples { samples, loss },
-        };
-        let grouped = clock.group_by_window(samples, |s| s.time_ns);
-        if grouped.is_empty() {
-            // Loss-only drain (e.g. pure truncation): stamp with the current
-            // watermark window.
-            return Ok(vec![batch(clock.current(), Vec::new(), loss)]);
+    fn shard_drainers(&mut self, shards: usize) -> Vec<Box<dyn ShardDrainer>> {
+        if self.cores.is_empty() || shards <= 1 {
+            return Vec::new();
         }
-        let last = grouped.len() - 1;
-        Ok(grouped
+        let mut by_shard: std::collections::BTreeMap<usize, Vec<CoreSpe>> =
+            std::collections::BTreeMap::new();
+        for c in &self.cores {
+            by_shard.entry(c.core % shards).or_default().push(c.clone());
+        }
+        by_shard
             .into_iter()
-            .enumerate()
-            .map(|(i, (window, group))| {
-                // The per-drain loss delta rides on the newest batch.
-                let loss = if i == last { loss } else { SpeStatsSnapshot::default() };
-                batch(window, group, loss)
+            .map(|(shard, cores)| {
+                let drained = Arc::new(Mutex::new(Vec::new()));
+                self.shard_drained.push(drained.clone());
+                Box::new(SpeShardDrainer {
+                    shard,
+                    cores,
+                    drained,
+                    last_stats: SpeStatsSnapshot::default(),
+                }) as Box<dyn ShardDrainer>
             })
-            .collect())
+            .collect()
     }
 
     fn stream_sources(&self) -> Vec<StreamSource> {
@@ -286,18 +335,35 @@ impl SampleBackend for SpeBackend {
     fn stop(&mut self, _machine: &Machine) -> Result<(), NmoError> {
         self.shut_down().map_err(|_| NmoError::backend("spe", "monitor thread panicked"))?;
         // Final synchronous drain in case the monitor exited early.
+        let mut scratch = Vec::new();
         for c in &self.cores {
             let _gate = c.drain_gate.lock();
-            drain_event(c.core, &c.event, &self.store);
+            drain_event(c.core, &c.event, &c.store, &mut scratch);
         }
         Ok(())
     }
 
     fn fill(&mut self, profile: &mut Profile) -> Result<(), NmoError> {
-        // Everything still in the store plus everything already streamed out
-        // through `drain` — together the complete sample record.
-        let mut samples = std::mem::take(&mut *self.store.samples.lock());
-        samples.append(&mut self.drained);
+        // Everything still in the per-core stores plus everything already
+        // streamed out through `drain` (or the shard drain workers) —
+        // together the complete sample record.
+        let mut samples = std::mem::take(&mut *self.drained.lock());
+        for slot in &self.shard_drained {
+            samples.append(&mut slot.lock());
+        }
+        let mut processed = 0u64;
+        let mut skipped = 0u64;
+        let mut aux_records = 0u64;
+        let mut collision_flagged = 0u64;
+        let mut truncated_flagged = 0u64;
+        for c in &self.cores {
+            samples.append(&mut c.store.samples.lock());
+            processed += c.store.processed.load(Ordering::Relaxed);
+            skipped += c.store.skipped.load(Ordering::Relaxed);
+            aux_records += c.store.aux_records.load(Ordering::Relaxed);
+            collision_flagged += c.store.collision_flagged.load(Ordering::Relaxed);
+            truncated_flagged += c.store.truncated_flagged.load(Ordering::Relaxed);
+        }
         samples.sort_by_key(|s| s.time_ns);
 
         let mut per_core_spe = Vec::new();
@@ -308,11 +374,11 @@ impl SampleBackend for SpeBackend {
             per_core_spe.push((c.core, snap));
         }
 
-        profile.processed_samples = self.store.processed.load(Ordering::Relaxed);
-        profile.skipped_packets = self.store.skipped.load(Ordering::Relaxed);
-        profile.aux_records = self.store.aux_records.load(Ordering::Relaxed);
-        profile.collision_flagged_records = self.store.collision_flagged.load(Ordering::Relaxed);
-        profile.truncated_flagged_records = self.store.truncated_flagged.load(Ordering::Relaxed);
+        profile.processed_samples = processed;
+        profile.skipped_packets = skipped;
+        profile.aux_records = aux_records;
+        profile.collision_flagged_records = collision_flagged;
+        profile.truncated_flagged_records = truncated_flagged;
         profile.samples = samples;
         profile.spe = merged;
         profile.per_core_spe = per_core_spe;
@@ -320,39 +386,159 @@ impl SampleBackend for SpeBackend {
     }
 }
 
-/// One event as seen by the monitor thread: core id, the perf event, and
-/// the drain gate shared with the synchronous drain paths.
-pub(crate) type MonitoredEvent = (usize, Arc<PerfEvent>, Arc<Mutex<()>>);
+/// One pump worker's slice of the SPE backend: the cores whose index hashes
+/// to its shard, drained in parallel with the other shards' workers. Loss
+/// deltas are tracked per worker (each covers a disjoint core subset, so
+/// the per-shard deltas sum to the backend-wide delta).
+struct SpeShardDrainer {
+    shard: usize,
+    cores: Vec<CoreSpe>,
+    drained: Arc<Mutex<Vec<AddressSample>>>,
+    last_stats: SpeStatsSnapshot,
+}
 
-pub(crate) fn monitor_loop(events: &[MonitoredEvent], store: &Arc<SampleStore>) {
+impl ShardDrainer for SpeShardDrainer {
+    fn shard(&self) -> usize {
+        self.shard
+    }
+
+    fn drain(
+        &mut self,
+        machine: &Machine,
+        clock: &WindowClock,
+        pool: &BatchPool,
+    ) -> Result<Vec<SampleBatch>, NmoError> {
+        // Stamp batches with a representative core so the sharded bus
+        // routes them to this worker's lane (every core in the subset
+        // hashes to the same lane by construction).
+        let lane_core = self.cores.first().map(|c| c.core);
+        Ok(drain_core_set(
+            &self.cores,
+            machine,
+            clock,
+            pool,
+            &self.drained,
+            &mut self.last_stats,
+            lane_core,
+        ))
+    }
+
+    fn sources(&self) -> Vec<StreamSource> {
+        self.cores.iter().map(|c| ("spe", Some(c.core))).collect()
+    }
+}
+
+/// Drain a core subset: flush the per-core drivers, pull every published
+/// ring record through the decode pipeline (the monitor thread may also be
+/// pulling; the ring hands each record to exactly one of us), and turn the
+/// collected samples into window-stamped batches. The per-drain loss delta
+/// of the subset rides on the newest batch. Buffers come from `pool`;
+/// `batch_core` stamps the emitted batches (lane routing on the sharded
+/// bus).
+fn drain_core_set(
+    cores: &[CoreSpe],
+    machine: &Machine,
+    clock: &WindowClock,
+    pool: &BatchPool,
+    drained: &Mutex<Vec<AddressSample>>,
+    last_stats: &mut SpeStatsSnapshot,
+    batch_core: Option<usize>,
+) -> Vec<SampleBatch> {
+    // Push sub-watermark data out of the per-core drivers, then decode.
+    let mut scratch = pool.bytes();
+    for c in cores {
+        let _ = machine.flush_observer(c.core);
+        let _gate = c.drain_gate.lock();
+        drain_event(c.core, &c.event, &c.store, &mut scratch);
+    }
+    pool.recycle_bytes(scratch);
+
+    // Collect the subset's samples, grouped by window into pooled buffers.
+    let mut by_window: std::collections::BTreeMap<u64, Vec<AddressSample>> =
+        std::collections::BTreeMap::new();
+    for c in cores {
+        let taken = {
+            let mut lock = c.store.samples.lock();
+            if lock.is_empty() {
+                continue;
+            }
+            std::mem::replace(&mut *lock, pool.samples())
+        };
+        drained.lock().extend_from_slice(&taken);
+        for s in &taken {
+            by_window.entry(clock.index_of(s.time_ns)).or_insert_with(|| pool.samples()).push(*s);
+        }
+        pool.recycle_samples(taken);
+    }
+
+    let mut cumulative = SpeStatsSnapshot::default();
+    for c in cores {
+        cumulative.merge(&c.stats.snapshot());
+    }
+    let loss = cumulative.delta(last_stats);
+    *last_stats = cumulative;
+
+    if by_window.is_empty() {
+        if loss == SpeStatsSnapshot::default() {
+            return Vec::new();
+        }
+        // Loss-only drain (e.g. pure truncation): stamp with the current
+        // watermark window.
+        return vec![SampleBatch::new(
+            "spe",
+            batch_core,
+            clock.current(),
+            BatchPayload::SpeSamples { samples: Vec::new(), loss },
+        )];
+    }
+    let last = by_window.len() - 1;
+    by_window
+        .into_iter()
+        .enumerate()
+        .map(|(i, (index, group))| {
+            // The per-drain loss delta rides on the newest batch.
+            let loss = if i == last { loss } else { SpeStatsSnapshot::default() };
+            SampleBatch::new(
+                "spe",
+                batch_core,
+                clock.window(index),
+                BatchPayload::SpeSamples { samples: group, loss },
+            )
+        })
+        .collect()
+}
+
+pub(crate) fn monitor_loop(events: &[CoreSpe]) {
     // Every drain holds the event's gate for the whole pop→decode→store
     // sequence, so a concurrent synchronous drain never observes a record
-    // that has left the ring but not yet reached the store.
-    let gated_drain = |core: usize, event: &Arc<PerfEvent>, gate: &Arc<Mutex<()>>| {
-        let _gate = gate.lock();
-        drain_event(core, event, store);
-    };
+    // that has left the ring but not yet reached the store. One scratch
+    // buffer serves every event's aux reads (the monitor never allocates in
+    // steady state).
+    let mut scratch = Vec::new();
     loop {
         let mut any_ready = false;
         let mut all_closed = true;
-        for (core, event, gate) in events {
-            match event.waker().try_wait() {
+        for c in events {
+            match c.event.waker().try_wait() {
                 PollTimeout::Ready => {
                     any_ready = true;
-                    gated_drain(*core, event, gate);
+                    let _gate = c.drain_gate.lock();
+                    drain_event(c.core, &c.event, &c.store, &mut scratch);
                 }
                 PollTimeout::Closed => {
-                    gated_drain(*core, event, gate);
+                    let _gate = c.drain_gate.lock();
+                    drain_event(c.core, &c.event, &c.store, &mut scratch);
                 }
                 PollTimeout::TimedOut => {}
             }
-            if !event.waker().is_closed() {
+            if !c.event.waker().is_closed() {
                 all_closed = false;
             }
         }
         if all_closed {
-            for (core, event, gate) in events {
-                gated_drain(*core, event, gate);
+            for c in events {
+                let _gate = c.drain_gate.lock();
+                drain_event(c.core, &c.event, &c.store, &mut scratch);
             }
             return;
         }
@@ -363,8 +549,15 @@ pub(crate) fn monitor_loop(events: &[MonitoredEvent], store: &Arc<SampleStore>) 
 }
 
 /// Drain every pending ring-buffer record of one event, decoding aux data
-/// into address samples.
-pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<SampleStore>) {
+/// into the core's sample store. `scratch` is the caller's reusable aux
+/// read buffer (see [`perf_sub::AuxBuffer::read_into`]) — the decode loop
+/// allocates nothing beyond sample-store growth.
+pub(crate) fn drain_event(
+    core: usize,
+    event: &Arc<PerfEvent>,
+    store: &Arc<SampleStore>,
+    scratch: &mut Vec<u8>,
+) {
     let (time_zero, time_shift, time_mult) = event.meta().clock();
     for record in event.drain() {
         let aux = match record {
@@ -379,12 +572,15 @@ pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<Sampl
             store.truncated_flagged.fetch_add(1, Ordering::Relaxed);
         }
         let Some(aux_buf) = event.aux() else { continue };
-        let data = aux_buf.read_at(aux.aux_offset, aux.aux_size);
-        let mut samples = Vec::with_capacity(data.len() / SPE_RECORD_BYTES);
+        aux_buf.read_into(aux.aux_offset, aux.aux_size, scratch);
         // The incremental NMO decode: validate the 0xb2 / 0x71 header bytes,
         // read the 64-bit address and timestamp, count everything else as
-        // skipped (per-drain loss accounting).
-        let mut decoder = decode_records(&data);
+        // skipped (per-drain loss accounting). Samples decode straight into
+        // the per-core store (the gate serialises us with other drainers).
+        let mut decoder = decode_records(scratch);
+        let mut samples = store.samples.lock();
+        samples.reserve(scratch.len() / SPE_RECORD_BYTES);
+        let before = samples.len();
         for rec in decoder.by_ref() {
             let time_ns = TimeConv::apply_mmap_triple(rec.ticks, time_zero, time_shift, time_mult);
             // Opportunistic full decode for the richer fields.
@@ -401,9 +597,10 @@ pub(crate) fn drain_event(core: usize, event: &Arc<PerfEvent>, store: &Arc<Sampl
                 source,
             });
         }
+        let decoded = (samples.len() - before) as u64;
+        drop(samples);
         store.skipped.fetch_add(decoder.skipped(), Ordering::Relaxed);
-        store.processed.fetch_add(samples.len() as u64, Ordering::Relaxed);
-        store.samples.lock().extend(samples);
+        store.processed.fetch_add(decoded, Ordering::Relaxed);
     }
 }
 
@@ -516,6 +713,7 @@ impl SampleBackend for CounterBackend {
         &mut self,
         _machine: &Machine,
         clock: &WindowClock,
+        _pool: &BatchPool,
     ) -> Result<Vec<SampleBatch>, NmoError> {
         if self.events.is_empty() {
             return Ok(Vec::new());
@@ -536,14 +734,15 @@ impl SampleBackend for CounterBackend {
             return Ok(Vec::new());
         }
         // Counter reads carry no timestamps of their own; stamp with the
-        // producer watermark's current window.
-        Ok(vec![SampleBatch {
-            backend: "counters",
-            core: None,
-            seq: 0,
-            window: clock.current(),
-            payload: BatchPayload::CounterDeltas { deltas },
-        }])
+        // producer watermark's current window. (The counters are
+        // machine-wide, so this backend does not shard — the coordinator
+        // pump drains it.)
+        Ok(vec![SampleBatch::new(
+            "counters",
+            None,
+            clock.current(),
+            BatchPayload::CounterDeltas { deltas },
+        )])
     }
 
     fn stop(&mut self, _machine: &Machine) -> Result<(), NmoError> {
@@ -615,6 +814,7 @@ mod tests {
             machine.set_observer(co.core, co.observer).unwrap();
         }
         let clock = crate::stream::WindowClock::new(1_000);
+        let pool = BatchPool::new(8);
         let region = machine.alloc("data", 1 << 20).unwrap();
         {
             let mut e = machine.attach(0).unwrap();
@@ -626,14 +826,14 @@ mod tests {
 
         // Mid-run drain: batches are window-stamped, carry samples, and the
         // per-drain loss delta rides exactly once.
-        let batches = backend.drain(&machine, &clock).unwrap();
+        let batches = backend.drain(&machine, &clock, &pool).unwrap();
         assert!(!batches.is_empty());
         let mut streamed = 0u64;
         let mut loss_batches = 0u64;
         let mut last_window = None;
         for b in &batches {
             assert_eq!(b.backend, "spe");
-            if let BatchPayload::SpeSamples { samples, loss } = &b.payload {
+            if let BatchPayload::SpeSamples { samples, loss } = b.payload() {
                 streamed += samples.len() as u64;
                 assert!(samples.iter().all(|s| b.window.contains_ns(s.time_ns)));
                 if *loss != SpeStatsSnapshot::default() {
@@ -651,7 +851,7 @@ mod tests {
         assert_eq!(loss_batches, 1, "the drain's stats delta rides on one batch");
 
         // A second drain with no new data is empty.
-        assert!(backend.drain(&machine, &clock).unwrap().is_empty());
+        assert!(backend.drain(&machine, &clock, &pool).unwrap().is_empty());
 
         // fill() still assembles the complete record.
         backend.stop(&machine).unwrap();
@@ -672,6 +872,7 @@ mod tests {
             machine.set_observer(co.core, co.observer).unwrap();
         }
         let clock = crate::stream::WindowClock::new(1_000);
+        let pool = BatchPool::new(8);
         let region = machine.alloc("data", 1 << 16).unwrap();
         {
             let mut e = machine.attach(0).unwrap();
@@ -679,9 +880,9 @@ mod tests {
                 e.load(region.start + i * 8, 8);
             }
         }
-        let batches = backend.drain(&machine, &clock).unwrap();
+        let batches = backend.drain(&machine, &clock, &pool).unwrap();
         assert_eq!(batches.len(), 1);
-        let BatchPayload::CounterDeltas { deltas } = &batches[0].payload else {
+        let BatchPayload::CounterDeltas { deltas } = batches[0].payload() else {
             panic!("counter backend emits CounterDeltas");
         };
         let mem = deltas.iter().find(|d| d.event == "mem_access").unwrap();
@@ -693,8 +894,8 @@ mod tests {
             let mut e = machine.attach(0).unwrap();
             e.store(region.start, 8);
         }
-        let batches = backend.drain(&machine, &clock).unwrap();
-        let BatchPayload::CounterDeltas { deltas } = &batches[0].payload else {
+        let batches = backend.drain(&machine, &clock, &pool).unwrap();
+        let BatchPayload::CounterDeltas { deltas } = batches[0].payload() else {
             panic!("counter backend emits CounterDeltas");
         };
         let mem = deltas.iter().find(|d| d.event == "mem_access").unwrap();
@@ -703,7 +904,7 @@ mod tests {
         let _ = machine.take_observer(0).unwrap();
         backend.stop(&machine).unwrap();
         // Quiescent counters drain to nothing.
-        assert!(backend.drain(&machine, &clock).unwrap().is_empty());
+        assert!(backend.drain(&machine, &clock, &pool).unwrap().is_empty());
     }
 
     #[test]

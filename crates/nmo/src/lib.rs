@@ -108,7 +108,7 @@ pub mod workload;
 
 pub use analysis::{accuracy, time_overhead, RunMeasurement, Sweep, SweepPoint};
 pub use annotate::{AddrTag, Annotations, Phase};
-pub use backend::{CoreObserver, CounterBackend, SampleBackend, SpeBackend};
+pub use backend::{CoreObserver, CounterBackend, SampleBackend, ShardDrainer, SpeBackend};
 pub use bandwidth::BandwidthSeries;
 pub use capacity::CapacitySeries;
 pub use config::{Mode, NmoConfig, NmoConfigBuilder};
@@ -118,11 +118,12 @@ pub use runtime::{AddressSample, Profile, Profiler};
 pub use session::{ActiveSession, ProfileSession, ProfileSessionBuilder};
 pub use sink::{
     AnalysisRecord, AnalysisReport, AnalysisSink, BandwidthSink, CapacitySink, LatencySink,
-    RegionSink, StreamContext,
+    RegionSink, ShardState, ShardableSink, SinkShard, StreamContext,
 };
 pub use stream::{
-    BackpressurePolicy, BatchPayload, BusStats, CounterDelta, EventBus, SampleBatch, StreamOptions,
-    StreamSnapshot, StreamStats, Window, WindowClock, WindowSummary,
+    BackpressurePolicy, BatchPayload, BatchPool, BusStats, CounterDelta, EventBus, PoolStats,
+    SampleBatch, ShardSummary, ShardedBus, StreamOptions, StreamSnapshot, StreamStats, Window,
+    WindowClock, WindowSummary,
 };
 pub use tiering::{
     AppliedMigration, HotPageTracker, LatencyThreshold, MigrationDecision, NoMigration, PageStats,

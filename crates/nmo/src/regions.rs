@@ -142,6 +142,34 @@ impl RegionAccumulator {
         }
     }
 
+    /// Merge another accumulator into this one (the shard-merge step of the
+    /// sharded streaming pipeline): counts and extents sum, sampled cache
+    /// lines union, and `other`'s scatter points append after ours — so
+    /// merging shard accumulators in ascending shard index is
+    /// deterministic.
+    pub fn merge(&mut self, other: RegionAccumulator) {
+        self.scatter.extend(other.scatter);
+        for (name, (stats, lines)) in other.per_tag {
+            match self.per_tag.get_mut(&name) {
+                Some((ours, our_lines)) => {
+                    ours.samples += stats.samples;
+                    ours.loads += stats.loads;
+                    ours.stores += stats.stores;
+                    ours.min_addr = ours.min_addr.min(stats.min_addr);
+                    ours.max_addr = ours.max_addr.max(stats.max_addr);
+                    our_lines.extend(lines);
+                }
+                None => {
+                    self.per_tag.insert(name, (stats, lines));
+                }
+            }
+        }
+        for (phase, count) in other.per_phase {
+            *self.per_phase.entry(phase).or_insert(0) += count;
+        }
+        self.untagged += other.untagged;
+    }
+
     /// Finish: compute per-tag coverage against the final tag extents and
     /// assemble the [`RegionProfile`]. Scatter samples keep ingestion order.
     pub fn finalize(self, tags: &[AddrTag]) -> RegionProfile {
@@ -221,6 +249,33 @@ mod tests {
 
     fn phases() -> Vec<Phase> {
         vec![Phase { name: "triad".into(), start_ns: 100, end_ns: 1000 }]
+    }
+
+    /// Splitting a sample stream across accumulators and merging them in
+    /// order must equal one serial ingestion — the shard-merge guarantee of
+    /// the sharded streaming pipeline.
+    #[test]
+    fn sharded_accumulators_merge_to_the_serial_result() {
+        let samples: Vec<AddressSample> = (0..200u64)
+            .map(|i| sample(100 + i * 7, 0x1000 + (i % 80) * 0x40, i % 3 == 0))
+            .collect();
+        let mut serial = RegionAccumulator::new();
+        serial.ingest(&samples, &tags(), &phases());
+
+        let mut shards: Vec<RegionAccumulator> = (0..4).map(|_| RegionAccumulator::new()).collect();
+        for (i, chunk) in samples.chunks(13).enumerate() {
+            shards[i % 4].ingest(chunk, &tags(), &phases());
+        }
+        let mut merged = shards.remove(0);
+        for shard in shards {
+            merged.merge(shard);
+        }
+
+        let (s, m) = (serial.finalize(&tags()), merged.finalize(&tags()));
+        assert_eq!(s.per_tag, m.per_tag);
+        assert_eq!(s.per_phase, m.per_phase);
+        assert_eq!(s.untagged_samples, m.untagged_samples);
+        assert_eq!(s.scatter.len(), m.scatter.len());
     }
 
     #[test]

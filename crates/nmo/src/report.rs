@@ -391,6 +391,20 @@ impl Profile {
                 stream.batches_dropped,
                 stream.late_batches,
             );
+            if stream.batches_dropped > 0 {
+                // Bus drops are the pipeline's own loss channel (decoded
+                // data that never reached the sinks) — spell the item count
+                // and fraction out instead of leaving them invisible.
+                let _ = write!(
+                    out,
+                    ", bus loss {} items ({:.1}% of batches)",
+                    stream.items_dropped,
+                    stream.bus_drop_fraction() * 100.0,
+                );
+            }
+            if stream.shards > 1 {
+                let _ = write!(out, ", {} shards", stream.shards);
+            }
         }
         out
     }
@@ -448,6 +462,20 @@ mod tests {
             ..Default::default()
         });
         assert!(profile.summary().contains("42 batches over 7 windows"), "{}", profile.summary());
+        assert!(!profile.summary().contains("bus loss"), "no drops, no loss note");
+        // Bus drops surface with their item count and fraction, and the
+        // shard count is reported for sharded runs.
+        profile.stream = Some(crate::stream::StreamStats {
+            windows_closed: 7,
+            batches_published: 30,
+            batches_dropped: 10,
+            items_dropped: 1234,
+            shards: 8,
+            ..Default::default()
+        });
+        let summary = profile.summary();
+        assert!(summary.contains("bus loss 1234 items (25.0% of batches)"), "{summary}");
+        assert!(summary.contains("8 shards"), "{summary}");
     }
 
     #[test]

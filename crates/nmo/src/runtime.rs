@@ -211,7 +211,10 @@ impl Profile {
 
 /// Emit a stderr warning when the run lost more SPE samples than the
 /// configured threshold ([`NmoConfig::loss_warn_threshold`], `NMO_LOSS_WARN`)
-/// — the accuracy-collapse regime of the paper's Figures 8–9.
+/// — the accuracy-collapse regime of the paper's Figures 8–9. The same
+/// threshold guards the streaming pipeline's own loss channel: batches the
+/// event bus dropped under backpressure (data that was decoded but never
+/// reached the sinks).
 pub(crate) fn warn_on_loss(profile: &Profile) {
     let threshold = profile.config.loss_warn_threshold;
     let loss = profile.loss_fraction();
@@ -227,6 +230,22 @@ pub(crate) fn warn_on_loss(profile: &Profile) {
             profile.spe.truncated_records,
             profile.spe.samples_selected,
         );
+    }
+    if let Some(stream) = &profile.stream {
+        let dropped = stream.bus_drop_fraction();
+        if threshold > 0.0 && dropped > threshold {
+            eprintln!(
+                "[nmo] warning: profile '{}' dropped {:.1}% of streamed batches \
+                 (threshold {:.1}%): {} of {} batches ({} items) lost to bus backpressure — \
+                 consider a larger bus_capacity, more shards, or Block backpressure",
+                profile.name,
+                dropped * 100.0,
+                threshold * 100.0,
+                stream.batches_dropped,
+                stream.batches_published + stream.batches_dropped,
+                stream.items_dropped,
+            );
+        }
     }
 }
 

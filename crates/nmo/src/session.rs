@@ -35,7 +35,7 @@
 //! the mode a long-running service is profiled in, where waiting for the
 //! workload to exit is not an option.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -45,13 +45,13 @@ use parking_lot::Mutex;
 use arch_sim::{FanoutObserver, Machine, MachineConfig, OpObserver};
 
 use crate::annotate::Annotations;
-use crate::backend::{CounterBackend, SampleBackend, SpeBackend};
+use crate::backend::{CounterBackend, SampleBackend, ShardDrainer, SpeBackend};
 use crate::config::NmoConfig;
 use crate::runtime::Profile;
-use crate::sink::{default_sinks, run_sinks, AnalysisSink, StreamContext};
+use crate::sink::{default_sinks, run_sinks, AnalysisSink, ShardState, SinkShard, StreamContext};
 use crate::stream::{
-    BatchPayload, BusEvent, BusRecv, EventBus, SampleBatch, SnapshotState, StreamOptions,
-    StreamSnapshot, StreamStats, WindowClock,
+    BatchPayload, BatchPool, BusEvent, BusRecv, EventBus, SampleBatch, ShardedBus, SnapshotState,
+    StreamOptions, StreamSnapshot, StreamSource, StreamStats, WindowClock,
 };
 use crate::workload::Workload;
 use crate::NmoError;
@@ -347,16 +347,34 @@ impl ProfileSession {
     /// handle. The caller attaches engines itself (or drives a workload),
     /// polls [`ActiveSession::poll_snapshot`] for live readout, and calls
     /// [`ActiveSession::finish`] when done.
+    ///
+    /// The pipeline runs with [`StreamOptions::shards`] shards (`0` = auto:
+    /// `min(profiled cores, available_parallelism)`). At one shard this is
+    /// the classic serial pipeline — one pump thread, one consumer thread;
+    /// at N shards it is N pump workers draining disjoint core sets onto N
+    /// bus lanes, N shard consumers running [`SinkShard`] workers, and a
+    /// deterministic (shard-index-ordered) merge back into the registered
+    /// sinks.
     pub fn start_streaming(self) -> Result<ActiveSession, NmoError> {
         let opts = self.stream_options.clone();
+        let requested_shards = opts.shards;
+        let cores = self.cores.len();
         let mut active = self.start()?;
-        let backends = std::mem::take(&mut active.session.backends);
-        let sinks = std::mem::take(&mut active.session.sinks);
+        let mut backends = std::mem::take(&mut active.session.backends);
+        let mut sinks = std::mem::take(&mut active.session.sinks);
         // Remember the backend names now — `fill` runs after the pump hands
         // the backends back, but the name list must survive a pump failure.
         active.backend_names = backends.iter().map(|b| b.name().to_string()).collect();
 
-        let bus = EventBus::bounded(opts.bus_capacity, opts.backpressure);
+        let shards = match requested_shards {
+            0 => {
+                cores.min(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)).max(1)
+            }
+            n => n,
+        };
+
+        let bus = ShardedBus::new(shards, opts.bus_capacity, opts.backpressure);
+        let pool = BatchPool::new((opts.bus_capacity * shards).clamp(64, 4096));
         let stop = Arc::new(AtomicBool::new(false));
         let snapshot = Arc::new(Mutex::new(SnapshotState::default()));
         let machine_cfg = active.session.machine.config();
@@ -369,19 +387,128 @@ impl ProfileSession {
             machine: Some(active.session.machine.clone()),
         };
 
-        let pump = {
-            let machine = active.session.machine.clone();
-            let bus = bus.clone();
-            let stop = stop.clone();
-            let opts = opts.clone();
-            std::thread::spawn(move || pump_loop(machine, backends, bus, stop, opts))
+        let (pumps, consumers, merger) = if shards == 1 {
+            // The classic serial pipeline.
+            let pump = {
+                let machine = active.session.machine.clone();
+                let bus = bus.clone();
+                let stop = stop.clone();
+                let opts = opts.clone();
+                let pool = pool.clone();
+                std::thread::spawn(move || pump_loop(machine, backends, bus, stop, opts, pool))
+            };
+            let consumer = {
+                let lane = bus.lane(0).clone();
+                let snapshot = snapshot.clone();
+                let pool = pool.clone();
+                std::thread::spawn(move || consumer_loop(sinks, lane, snapshot, ctx, pool))
+            };
+            (vec![pump], vec![ConsumerHandle::Serial(consumer)], None)
+        } else {
+            // The sharded pipeline. Parent sinks see the stream start, then
+            // hand out one worker per shard (legacy sinks keep `None` slots
+            // and are fed serially through the merger mutex). A panicking
+            // sink surfaces as a sink error here, mirroring the serial
+            // path's catch in `consumer_loop` (dropping `active` unwinds
+            // the backends cleanly — no pumps have been spawned yet).
+            let started = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for sink in &mut sinks {
+                    sink.on_stream_start(&ctx);
+                }
+            }));
+            if started.is_err() {
+                return Err(NmoError::sink("stream-start", "sink panicked in on_stream_start"));
+            }
+            let mut shard_workers: Vec<ShardWorkerSet> =
+                (0..shards).map(|_| Vec::with_capacity(sinks.len())).collect();
+            for sink in &mut sinks {
+                match sink.as_shardable() {
+                    Some(shardable) => {
+                        for (shard, workers) in shard_workers.iter_mut().enumerate() {
+                            workers.push(Some(shardable.make_shard(shard, &ctx)));
+                        }
+                    }
+                    None => {
+                        for workers in shard_workers.iter_mut() {
+                            workers.push(None);
+                        }
+                    }
+                }
+            }
+            let merger = Arc::new(Mutex::new(MergerState {
+                sinks,
+                pending: std::collections::BTreeMap::new(),
+                legacy_close_counts: std::collections::BTreeMap::new(),
+            }));
+
+            // Partition the backends' drain work: shardable backends hand
+            // out per-shard workers; the rest stay on the coordinator.
+            let mut per_shard_drainers: Vec<Vec<Box<dyn ShardDrainer>>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            let mut classic = Vec::with_capacity(backends.len());
+            let mut seeded_sources = Vec::new();
+            for backend in &mut backends {
+                let drainers = backend.shard_drainers(shards);
+                classic.push(drainers.is_empty());
+                if drainers.is_empty() {
+                    // Coordinator-drained backend: its own source list.
+                    seeded_sources.extend(backend.stream_sources());
+                }
+                for drainer in drainers {
+                    // Worker-drained: each worker declares the sources it
+                    // covers (its slice of the backend's core set).
+                    seeded_sources.extend(drainer.sources());
+                    let shard = drainer.shard();
+                    per_shard_drainers[shard.min(shards - 1)].push(drainer);
+                }
+            }
+
+            let coordinator = Arc::new(Mutex::new(CloseCoordinator::new(
+                WindowClock::new(opts.window_ns),
+                seeded_sources,
+            )));
+            let final_round = Arc::new(AtomicBool::new(false));
+            let workers_done = Arc::new(AtomicUsize::new(0));
+
+            let mut pumps = Vec::with_capacity(shards);
+            let mut backends_slot = Some((backends, classic));
+            for (shard, drainers) in per_shard_drainers.into_iter().enumerate() {
+                // The coordinator (shard 0) owns the backends: it drains the
+                // non-shardable ones, runs the machine probes, and drives
+                // the stop sequence.
+                let owned = if shard == 0 { backends_slot.take() } else { None };
+                let worker = PumpWorker {
+                    shard,
+                    machine: active.session.machine.clone(),
+                    backends: owned,
+                    drainers,
+                    bus: bus.clone(),
+                    coordinator: coordinator.clone(),
+                    stop: stop.clone(),
+                    final_round: final_round.clone(),
+                    workers_done: workers_done.clone(),
+                    total_workers: shards,
+                    pool: pool.clone(),
+                    opts: opts.clone(),
+                };
+                pumps.push(std::thread::spawn(move || worker.run()));
+            }
+
+            let mut consumers = Vec::with_capacity(shards);
+            for (shard, workers) in shard_workers.into_iter().enumerate() {
+                let lane = bus.lane(shard).clone();
+                let merger = merger.clone();
+                let snapshot = snapshot.clone();
+                let pool = pool.clone();
+                consumers.push(ConsumerHandle::Shard(std::thread::spawn(move || {
+                    shard_consumer_loop(shard, shards, lane, workers, merger, snapshot, pool)
+                })));
+            }
+            (pumps, consumers, Some(merger))
         };
-        let consumer = {
-            let bus = bus.clone();
-            let snapshot = snapshot.clone();
-            std::thread::spawn(move || consumer_loop(sinks, bus, snapshot, ctx))
-        };
-        active.streaming = Some(StreamingState { bus, stop, snapshot, pump, consumer });
+
+        active.streaming =
+            Some(StreamingState { bus, stop, snapshot, pumps, consumers, merger, shards });
         Ok(active)
     }
 
@@ -423,21 +550,56 @@ impl ProfileSession {
             streaming: None,
             manual_clock,
             manual_closed_below: 0,
+            manual_pool: BatchPool::new(64),
         })
     }
 }
 
-/// What the pump thread returns on join: the backends it borrowed for the
-/// run, plus the first error any of their drain/stop calls produced.
-type PumpOutcome = (Vec<Box<dyn SampleBackend>>, Result<(), NmoError>);
+/// What a pump worker returns on join: the backends it borrowed for the run
+/// (coordinator only), plus the first error any of its drain/stop calls
+/// produced.
+type PumpOutcome = (Option<CoordinatorBackends>, Result<(), NmoError>);
+
+/// One consumer thread's join handle: the serial consumer owns the sinks
+/// themselves; a shard consumer owns one `SinkShard` worker per shardable
+/// sink (the parent sinks live in the merger).
+enum ConsumerHandle {
+    Serial(JoinHandle<Vec<Box<dyn AnalysisSink>>>),
+    Shard(JoinHandle<ShardWorkerSet>),
+}
+
+/// One shard consumer's sink workers, index-aligned with the session's
+/// sinks (`None` = legacy sink, fed serially through the merger).
+type ShardWorkerSet = Vec<Option<Box<dyn SinkShard>>>;
+
+/// The coordinator pump's cargo: the session's backends plus the flags
+/// marking which of them it drains classically (no shard workers).
+type CoordinatorBackends = (Vec<Box<dyn SampleBackend>>, Vec<bool>);
+
+/// Sinks plus in-flight per-window shard states, shared between the shard
+/// consumers of a sharded session. Also the serialisation point for legacy
+/// (non-shardable) sinks.
+struct MergerState {
+    sinks: Vec<Box<dyn AnalysisSink>>,
+    /// `(sink index, window index)` → states delivered so far, tagged with
+    /// their shard. When every shard has delivered, the states are merged
+    /// in ascending shard order.
+    pending: std::collections::BTreeMap<(usize, u64), Vec<(usize, ShardState)>>,
+    /// Close signals seen per window for the legacy-sink path: legacy sinks
+    /// receive a close only once every lane has processed its copy of the
+    /// broadcast (so their on-time batches all arrived first).
+    legacy_close_counts: std::collections::BTreeMap<u64, usize>,
+}
 
 /// The threads and shared state of a streaming session.
 struct StreamingState {
-    bus: Arc<EventBus>,
+    bus: Arc<ShardedBus>,
     stop: Arc<AtomicBool>,
     snapshot: Arc<Mutex<SnapshotState>>,
-    pump: JoinHandle<PumpOutcome>,
-    consumer: JoinHandle<Vec<Box<dyn AnalysisSink>>>,
+    pumps: Vec<JoinHandle<PumpOutcome>>,
+    consumers: Vec<ConsumerHandle>,
+    merger: Option<Arc<Mutex<MergerState>>>,
+    shards: usize,
 }
 
 /// A session that is actively collecting.
@@ -452,6 +614,8 @@ pub struct ActiveSession {
     manual_clock: WindowClock,
     /// Windows below this index have been closed by `tiering_step`.
     manual_closed_below: u64,
+    /// Batch-buffer pool of the manual drain path.
+    manual_pool: Arc<BatchPool>,
 }
 
 impl std::fmt::Debug for ActiveSession {
@@ -505,7 +669,11 @@ impl ActiveSession {
     /// session.
     pub fn poll_snapshot(&self) -> Option<StreamSnapshot> {
         self.streaming.as_ref().map(|s| {
-            s.snapshot.lock().snapshot(s.bus.stats(), self.session.machine.migration_stats())
+            s.snapshot.lock().snapshot(
+                s.bus.stats(),
+                &s.bus.lane_stats(),
+                self.session.machine.migration_stats(),
+            )
         })
     }
 
@@ -541,11 +709,12 @@ impl ActiveSession {
         tracker.configure(machine.config());
         let mut clock = self.manual_clock;
         for backend in &mut self.session.backends {
-            for batch in backend.drain(&machine, &clock)? {
+            for batch in backend.drain(&machine, &clock, &self.manual_pool)? {
                 if let Some(t) = batch.max_time_ns() {
                     clock.observe(t);
                 }
                 tracker.ingest(&batch);
+                self.manual_pool.recycle_batch(batch);
             }
         }
         let mut applied = Vec::new();
@@ -572,30 +741,103 @@ impl ActiveSession {
         let mut stream_stats = None;
         match self.streaming.take() {
             Some(streaming) => {
-                // The pump stops the backends itself (monitor joins + final
-                // drain), publishes the remainder, closes every window, and
-                // closes the bus — which lets the consumer exit.
+                // The coordinator pump stops the backends itself (monitor
+                // joins + final drains on every worker), publishes the
+                // remainder, closes every window, and closes the bus —
+                // which lets the consumers exit.
                 streaming.stop.store(true, Ordering::Release);
-                let pump_outcome = streaming.pump.join();
-                if pump_outcome.is_err() {
-                    // The pump died before its own bus.close(); close it here
-                    // so the consumer (joined below) can exit instead of
-                    // polling an open, silent bus forever.
-                    streaming.bus.close();
+                let mut backends = None;
+                let mut pump_result: Result<(), NmoError> = Ok(());
+                let mut pump_panicked = false;
+                for pump in streaming.pumps {
+                    match pump.join() {
+                        Ok((owned, result)) => {
+                            if owned.is_some() {
+                                backends = owned;
+                            }
+                            if let Err(e) = result {
+                                if pump_result.is_ok() {
+                                    pump_result = Err(e);
+                                }
+                            }
+                        }
+                        Err(_) => pump_panicked = true,
+                    }
                 }
-                let (backends, pump_result) = match pump_outcome {
-                    Ok(outcome) => outcome,
-                    Err(_) => {
-                        let _ = streaming.consumer.join();
+                // A dead coordinator never closed the lanes; close them here
+                // so the consumers (joined below) can exit instead of
+                // polling an open, silent bus forever. (Idempotent on the
+                // clean path.)
+                streaming.bus.close_all();
+
+                let mut consumer_panicked = false;
+                let mut shard_workers: Vec<(usize, ShardWorkerSet)> = Vec::new();
+                for (shard, consumer) in streaming.consumers.into_iter().enumerate() {
+                    match consumer {
+                        ConsumerHandle::Serial(handle) => match handle.join() {
+                            Ok(sinks) => self.session.sinks = sinks,
+                            Err(_) => consumer_panicked = true,
+                        },
+                        ConsumerHandle::Shard(handle) => match handle.join() {
+                            Ok(workers) => shard_workers.push((shard, workers)),
+                            Err(_) => consumer_panicked = true,
+                        },
+                    }
+                }
+
+                if let Some(merger) = streaming.merger {
+                    let mut merger = merger.lock();
+                    let mut sinks = std::mem::take(&mut merger.sinks);
+                    if !consumer_panicked && !pump_panicked {
+                        // Merge any per-window states that never completed
+                        // (defensive: the shutdown close-broadcast normally
+                        // drains them), then the shards' final states —
+                        // both in ascending shard order.
+                        let leftovers = std::mem::take(&mut merger.pending);
+                        for ((sink_index, index), mut states) in leftovers {
+                            states.sort_by_key(|(shard, _)| *shard);
+                            let window =
+                                WindowClock::new(self.session.stream_options.window_ns.max(1))
+                                    .window(index);
+                            if let Some(shardable) = sinks[sink_index].as_shardable() {
+                                shardable.merge_window(
+                                    window,
+                                    states.into_iter().map(|(_, s)| s).collect(),
+                                );
+                            }
+                        }
+                        shard_workers.sort_by_key(|(shard, _)| *shard);
+                        let sink_count = sinks.len();
+                        for sink_index in 0..sink_count {
+                            let states: Vec<ShardState> = shard_workers
+                                .iter_mut()
+                                .filter_map(|(_, workers)| workers[sink_index].take())
+                                .map(|worker| worker.finish())
+                                .collect();
+                            if states.is_empty() {
+                                continue;
+                            }
+                            if let Some(shardable) = sinks[sink_index].as_shardable() {
+                                shardable.merge_final(states);
+                            }
+                        }
+                    }
+                    self.session.sinks = sinks;
+                }
+
+                let backends = match backends {
+                    Some((backends, _classic)) => backends,
+                    None => {
                         return Err(NmoError::backend("stream-pump", "pump thread panicked"));
                     }
                 };
                 self.session.backends = backends;
-                let sinks = streaming
-                    .consumer
-                    .join()
-                    .map_err(|_| NmoError::sink("stream-consumer", "consumer thread panicked"))?;
-                self.session.sinks = sinks;
+                if pump_panicked {
+                    return Err(NmoError::backend("stream-pump", "pump worker panicked"));
+                }
+                if consumer_panicked {
+                    return Err(NmoError::sink("stream-consumer", "consumer thread panicked"));
+                }
                 pump_result?;
                 let state = streaming.snapshot.lock();
                 let bus = streaming.bus.stats();
@@ -606,6 +848,7 @@ impl ActiveSession {
                     items_dropped: bus.dropped_items,
                     late_batches: state.late_batches,
                     bus_high_watermark: bus.high_watermark,
+                    shards: streaming.shards as u64,
                 });
             }
             None => {
@@ -639,32 +882,9 @@ impl Drop for ActiveSession {
     fn drop(&mut self) {
         if let Some(streaming) = self.streaming.take() {
             streaming.stop.store(true, Ordering::Release);
-            streaming.bus.close();
+            streaming.bus.close_all();
         }
     }
-}
-
-/// The producer side of a streaming session: periodically drain every
-/// backend (plus the machine-level RSS/bandwidth probes) into window-stamped
-/// batches, advance the watermark, and close completed windows. On stop:
-/// stop the backends (joining the SPE monitor), publish the final remainder,
-/// close every open window, and close the bus.
-/// Producer-side bookkeeping of the pump: sequence numbers, the window
-/// clock, the set of windows awaiting closure, and a per-source watermark
-/// (a window only closes once every recently active, timestamp-carrying
-/// source has moved past it — e.g. the SPE aux watermark publishes in
-/// bursts that lag the RSS probe, and closing on the global maximum alone
-/// would make every SPE burst arrive late).
-struct PumpState {
-    clock: WindowClock,
-    seq: u64,
-    open_windows: std::collections::BTreeSet<u64>,
-    closed_below: u64,
-    /// Per-source `(watermark_ns, last tick the source produced)`. SPE
-    /// samples are tracked per *core* — each core's aux buffer publishes at
-    /// its own cadence, so the slowest core bounds what may close.
-    sources: std::collections::BTreeMap<(&'static str, Option<usize>), (u64, u64)>,
-    tick: u64,
 }
 
 /// A source that has been quiet for this many pump ticks stops holding the
@@ -674,36 +894,73 @@ struct PumpState {
 /// comfortably above one aux-watermark publication interval.
 const SOURCE_IDLE_TICKS: u64 = 250;
 
-impl PumpState {
-    fn mark_source(&mut self, key: (&'static str, Option<usize>), t_ns: u64) {
-        let entry = self.sources.entry(key).or_insert((0, self.tick));
-        entry.0 = entry.0.max(t_ns);
-        entry.1 = self.tick;
+/// The per-source watermarks a batch advances: per-core maxima for SPE
+/// sample batches (each core's aux buffer publishes at its own cadence, so
+/// the slowest core bounds what may close), the batch maximum otherwise.
+fn source_marks(batch: &SampleBatch) -> Vec<(StreamSource, u64)> {
+    let Some(max) = batch.max_time_ns() else { return Vec::new() };
+    if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+        let mut per_core: std::collections::BTreeMap<usize, u64> =
+            std::collections::BTreeMap::new();
+        for s in samples {
+            let entry = per_core.entry(s.core).or_insert(0);
+            *entry = (*entry).max(s.time_ns);
+        }
+        per_core.into_iter().map(|(core, t)| ((batch.backend, Some(core)), t)).collect()
+    } else {
+        vec![((batch.backend, None), max)]
+    }
+}
+
+/// Producer-side close bookkeeping, shared by every pump worker of a
+/// session: the window clock, the set of windows awaiting closure, and a
+/// per-source watermark — a window only closes once every recently active,
+/// timestamp-carrying source has moved past it (e.g. the SPE aux watermark
+/// publishes in bursts that lag the RSS probe, and closing on the global
+/// maximum alone would make every SPE burst arrive late). In sharded mode
+/// the workers mark their sources under the mutex after publishing; only
+/// the coordinator closes windows (broadcasting the close to every lane).
+struct CloseCoordinator {
+    clock: WindowClock,
+    open_windows: std::collections::BTreeSet<u64>,
+    closed_below: u64,
+    /// Per-source `(watermark_ns, last tick the source produced)`.
+    sources: std::collections::BTreeMap<StreamSource, (u64, u64)>,
+    tick: u64,
+}
+
+impl CloseCoordinator {
+    /// Seed the watermark with every declared producer so nothing closes
+    /// until each has delivered its first data (or sat out the idle grace).
+    fn new(clock: WindowClock, seeded_sources: Vec<StreamSource>) -> Self {
+        CloseCoordinator {
+            clock,
+            open_windows: std::collections::BTreeSet::new(),
+            closed_below: 0,
+            sources: seeded_sources.into_iter().map(|s| (s, (0, 0))).collect(),
+            tick: 0,
+        }
     }
 
-    fn publish(&mut self, mut batch: SampleBatch, bus: &EventBus) {
-        batch.seq = self.seq;
-        self.seq += 1;
-        if let Some(t) = batch.max_time_ns() {
-            self.clock.observe(t);
-            if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
-                let mut per_core: std::collections::BTreeMap<usize, u64> =
-                    std::collections::BTreeMap::new();
-                for s in samples {
-                    let max = per_core.entry(s.core).or_insert(0);
-                    *max = (*max).max(s.time_ns);
-                }
-                for (core, max) in per_core {
-                    self.mark_source((batch.backend, Some(core)), max);
-                }
-            } else {
-                self.mark_source((batch.backend, None), t);
-            }
+    fn mark_source(&mut self, key: StreamSource, t_ns: u64) {
+        let tick = self.tick;
+        let entry = self.sources.entry(key).or_insert((0, tick));
+        entry.0 = entry.0.max(t_ns);
+        entry.1 = tick;
+    }
+
+    /// Register one published batch: advance the clock and its sources'
+    /// watermarks, and track its window as open. Must be called *after* the
+    /// batch was enqueued — the close threshold may only move once the data
+    /// that justifies it is on a lane.
+    fn note_published(&mut self, window_index: u64, marks: &[(StreamSource, u64)]) {
+        for &(source, t_ns) in marks {
+            self.clock.observe(t_ns);
+            self.mark_source(source, t_ns);
         }
-        if batch.window.index >= self.closed_below {
-            self.open_windows.insert(batch.window.index);
+        if window_index >= self.closed_below {
+            self.open_windows.insert(window_index);
         }
-        bus.publish(BusEvent::Batch(batch));
     }
 
     /// The window index below which every active source has delivered.
@@ -717,46 +974,59 @@ impl PumpState {
         active_min.unwrap_or_else(|| self.clock.index_of(self.clock.watermark_ns()))
     }
 
-    fn close_ready_windows(&mut self, bus: &EventBus) {
+    /// Close every open window every active producer has moved past — those
+    /// can no longer receive on-time data. Close signals are broadcast to
+    /// every lane (they bypass lane capacity, so this never blocks).
+    fn close_ready_windows(&mut self, bus: &ShardedBus) {
         let threshold = self.close_threshold();
         while let Some(&index) = self.open_windows.iter().next() {
             if index >= threshold {
                 break;
             }
             self.open_windows.remove(&index);
-            bus.publish(BusEvent::CloseWindow(self.clock.window(index)));
+            bus.broadcast_close(self.clock.window(index));
+            self.closed_below = self.closed_below.max(index + 1);
+        }
+    }
+
+    /// Shutdown: close everything still open, ascending.
+    fn close_remaining(&mut self, bus: &ShardedBus) {
+        for index in std::mem::take(&mut self.open_windows) {
+            bus.broadcast_close(self.clock.window(index));
             self.closed_below = self.closed_below.max(index + 1);
         }
     }
 }
 
+/// Publish a batch on the sharded bus and register it with the close
+/// coordinator (in that order — see [`CloseCoordinator::note_published`]).
+fn publish_batch(batch: SampleBatch, bus: &ShardedBus, coordinator: &Mutex<CloseCoordinator>) {
+    let marks = source_marks(&batch);
+    let window_index = batch.window.index;
+    bus.publish(batch);
+    coordinator.lock().note_published(window_index, &marks);
+}
+
+/// The serial producer (single-shard pipeline): one pump thread drains
+/// every backend (plus the machine-level RSS/bandwidth probes) into
+/// window-stamped batches, advances the watermark, and closes completed
+/// windows. On stop: stop the backends (joining the SPE monitor), publish
+/// the final remainder, close every open window, and close the bus.
 fn pump_loop(
     machine: Arc<Machine>,
     mut backends: Vec<Box<dyn SampleBackend>>,
-    bus: Arc<EventBus>,
+    bus: Arc<ShardedBus>,
     stop: Arc<AtomicBool>,
     opts: StreamOptions,
+    pool: Arc<BatchPool>,
 ) -> PumpOutcome {
-    let mut state = PumpState {
-        clock: WindowClock::new(opts.window_ns),
-        seq: 0,
-        open_windows: std::collections::BTreeSet::new(),
-        closed_below: 0,
-        sources: std::collections::BTreeMap::new(),
-        tick: 0,
-    };
-    // Seed the watermark with every declared producer so nothing closes
-    // until each has delivered its first data (or sat out the idle grace).
-    for backend in &backends {
-        for source in backend.stream_sources() {
-            state.sources.insert(source, (0, 0));
-        }
-    }
+    let seeded = backends.iter().flat_map(|b| b.stream_sources()).collect();
+    let coordinator = Mutex::new(CloseCoordinator::new(WindowClock::new(opts.window_ns), seeded));
     let mut rss_cursor = 0usize;
     let mut result: Result<(), NmoError> = Ok(());
 
     loop {
-        state.tick += 1;
+        coordinator.lock().tick += 1;
         let stopping = stop.load(Ordering::Acquire);
         if stopping {
             // Observers are detached by now; join the SPE monitor and run
@@ -775,11 +1045,12 @@ fn pump_loop(
         // the aux watermark, or the workload thread calls
         // `Engine::flush_observer` itself.
 
+        let clock = coordinator.lock().clock;
         for backend in &mut backends {
-            match backend.drain(&machine, &state.clock) {
+            match backend.drain(&machine, &clock, &pool) {
                 Ok(batches) => {
                     for batch in batches {
-                        state.publish(batch, &bus);
+                        publish_batch(batch, &bus, &coordinator);
                     }
                 }
                 Err(e) => {
@@ -794,16 +1065,11 @@ fn pump_loop(
         let fresh = machine.rss_events_since(rss_cursor);
         if !fresh.is_empty() {
             rss_cursor += fresh.len();
-            for (window, points) in state.clock.group_by_window(fresh, |p| p.time_ns) {
-                state.publish(
-                    SampleBatch {
-                        backend: "machine",
-                        core: None,
-                        seq: 0,
-                        window,
-                        payload: BatchPayload::Rss { points },
-                    },
+            for (window, points) in clock.group_by_window(fresh, |p| p.time_ns) {
+                publish_batch(
+                    SampleBatch::new("machine", None, window, BatchPayload::Rss { points }),
                     &bus,
+                    &coordinator,
                 );
             }
         }
@@ -813,30 +1079,178 @@ fn pump_loop(
             // engines have returned their cores; deliver the full series as
             // the final tick, one batch per window.
             let bw = machine.bandwidth_series();
-            for (window, points) in state.clock.group_by_window(bw, |p| p.time_ns) {
-                state.publish(
-                    SampleBatch {
-                        backend: "machine",
-                        core: None,
-                        seq: 0,
-                        window,
-                        payload: BatchPayload::Bandwidth { points },
-                    },
+            for (window, points) in clock.group_by_window(bw, |p| p.time_ns) {
+                publish_batch(
+                    SampleBatch::new("machine", None, window, BatchPayload::Bandwidth { points }),
                     &bus,
+                    &coordinator,
                 );
             }
-            for index in std::mem::take(&mut state.open_windows) {
-                bus.publish(BusEvent::CloseWindow(state.clock.window(index)));
-            }
-            bus.close();
-            return (backends, result);
+            coordinator.lock().close_remaining(&bus);
+            bus.close_all();
+            return (Some((backends, Vec::new())), result);
         }
 
-        // Close every open window every active producer has moved past —
-        // those can no longer receive on-time data.
-        state.close_ready_windows(&bus);
+        coordinator.lock().close_ready_windows(&bus);
 
         std::thread::sleep(opts.poll_interval);
+    }
+}
+
+/// One pump worker of the sharded pipeline. The worker for shard 0 is the
+/// *coordinator*: it owns the backends (draining the non-shardable ones),
+/// runs the machine probes, closes ready windows, and drives the shutdown
+/// sequence — stop the backends, signal the final drain round, wait for
+/// every worker's final publish, deliver the bandwidth series, close the
+/// remaining windows, and close every lane. The other workers only drain
+/// their [`ShardDrainer`]s and publish onto their own lane.
+struct PumpWorker {
+    shard: usize,
+    machine: Arc<Machine>,
+    /// `Some((backends, classic flags))` on the coordinator: `classic[i]`
+    /// marks backends without shard workers, drained here.
+    backends: Option<CoordinatorBackends>,
+    drainers: Vec<Box<dyn ShardDrainer>>,
+    bus: Arc<ShardedBus>,
+    coordinator: Arc<Mutex<CloseCoordinator>>,
+    stop: Arc<AtomicBool>,
+    final_round: Arc<AtomicBool>,
+    workers_done: Arc<AtomicUsize>,
+    total_workers: usize,
+    pool: Arc<BatchPool>,
+    opts: StreamOptions,
+}
+
+impl PumpWorker {
+    fn run(mut self) -> PumpOutcome {
+        let shard = self.shard;
+        let final_round = self.final_round.clone();
+        let workers_done = self.workers_done.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner()));
+        match outcome {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                // Do not wedge the other threads: a dead coordinator can no
+                // longer start the final round, and every worker owes the
+                // done-counter its increment.
+                if shard == 0 {
+                    final_round.store(true, Ordering::Release);
+                }
+                workers_done.fetch_add(1, Ordering::AcqRel);
+                (
+                    None,
+                    Err(NmoError::backend("stream-pump", format!("pump worker {shard} panicked"))),
+                )
+            }
+        }
+    }
+
+    fn run_inner(&mut self) -> PumpOutcome {
+        let is_coordinator = self.shard == 0;
+        let mut rss_cursor = 0usize;
+        let mut result: Result<(), NmoError> = Ok(());
+        let record = |e: NmoError, result: &mut Result<(), NmoError>| {
+            if result.is_ok() {
+                *result = Err(e);
+            }
+        };
+
+        loop {
+            if is_coordinator {
+                self.coordinator.lock().tick += 1;
+            }
+            if is_coordinator
+                && self.stop.load(Ordering::Acquire)
+                && !self.final_round.load(Ordering::Acquire)
+            {
+                // Observers are detached; join the SPE monitor and run the
+                // backends' final synchronous drains into their stores,
+                // then open the final drain round for every worker.
+                if let Some((backends, _)) = self.backends.as_mut() {
+                    for backend in backends.iter_mut() {
+                        if let Err(e) = backend.stop(&self.machine) {
+                            record(e, &mut result);
+                        }
+                    }
+                }
+                self.final_round.store(true, Ordering::Release);
+            }
+            let finishing = self.final_round.load(Ordering::Acquire);
+
+            let clock = self.coordinator.lock().clock;
+            for drainer in &mut self.drainers {
+                match drainer.drain(&self.machine, &clock, &self.pool) {
+                    Ok(batches) => {
+                        for batch in batches {
+                            publish_batch(batch, &self.bus, &self.coordinator);
+                        }
+                    }
+                    Err(e) => record(e, &mut result),
+                }
+            }
+            if let Some((backends, classic)) = self.backends.as_mut() {
+                for (backend, is_classic) in backends.iter_mut().zip(classic.iter()) {
+                    if !is_classic {
+                        continue;
+                    }
+                    match backend.drain(&self.machine, &clock, &self.pool) {
+                        Ok(batches) => {
+                            for batch in batches {
+                                publish_batch(batch, &self.bus, &self.coordinator);
+                            }
+                        }
+                        Err(e) => record(e, &mut result),
+                    }
+                }
+                // Machine probe: new RSS step events since the previous
+                // tick (coordinator only — the probe is machine-wide).
+                let fresh = self.machine.rss_events_since(rss_cursor);
+                if !fresh.is_empty() {
+                    rss_cursor += fresh.len();
+                    for (window, points) in clock.group_by_window(fresh, |p| p.time_ns) {
+                        publish_batch(
+                            SampleBatch::new("machine", None, window, BatchPayload::Rss { points }),
+                            &self.bus,
+                            &self.coordinator,
+                        );
+                    }
+                }
+            }
+
+            if finishing {
+                self.workers_done.fetch_add(1, Ordering::AcqRel);
+                if !is_coordinator {
+                    return (None, result);
+                }
+                // Coordinator: wait for every worker's final publish, then
+                // deliver the bandwidth series, close what remains, and
+                // close the lanes so the consumers can exit.
+                while self.workers_done.load(Ordering::Acquire) < self.total_workers {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let bw = self.machine.bandwidth_series();
+                for (window, points) in clock.group_by_window(bw, |p| p.time_ns) {
+                    publish_batch(
+                        SampleBatch::new(
+                            "machine",
+                            None,
+                            window,
+                            BatchPayload::Bandwidth { points },
+                        ),
+                        &self.bus,
+                        &self.coordinator,
+                    );
+                }
+                self.coordinator.lock().close_remaining(&self.bus);
+                self.bus.close_all();
+                return (self.backends.take(), result);
+            }
+
+            if is_coordinator {
+                self.coordinator.lock().close_ready_windows(&self.bus);
+            }
+            std::thread::sleep(self.opts.poll_interval);
+        }
     }
 }
 
@@ -852,9 +1266,10 @@ fn pump_loop(
 /// [`ActiveSession::finish`] surfaces it as an error.
 fn consumer_loop(
     mut sinks: Vec<Box<dyn AnalysisSink>>,
-    bus: Arc<EventBus>,
+    lane: Arc<EventBus>,
     snapshot: Arc<Mutex<SnapshotState>>,
     ctx: StreamContext,
+    pool: Arc<BatchPool>,
 ) -> Vec<Box<dyn AnalysisSink>> {
     let mut panic_payload = None;
     let dispatch = |sinks: &mut Vec<Box<dyn AnalysisSink>>,
@@ -883,22 +1298,151 @@ fn consumer_loop(
         panic_payload = Some(payload);
     }
     loop {
-        match bus.recv_timeout(Duration::from_millis(100)) {
+        match lane.recv_timeout(Duration::from_millis(100)) {
             BusRecv::Event(event) => {
                 {
                     let mut snap = snapshot.lock();
                     match &event {
-                        BusEvent::Batch(batch) => snap.record_batch(batch),
-                        BusEvent::CloseWindow(window) => snap.record_close(*window),
+                        BusEvent::Batch(batch) => snap.record_batch(batch, 0),
+                        BusEvent::CloseWindow(window) => snap.record_close(*window, 1),
                     }
                 }
                 dispatch(&mut sinks, &event, &mut panic_payload);
+                // The batch's buffers go back to the pool for the next
+                // drain (the zero-copy recycle step).
+                if let BusEvent::Batch(batch) = event {
+                    pool.recycle_batch(batch);
+                }
             }
             BusRecv::TimedOut => {}
             BusRecv::Closed => match panic_payload {
                 Some(payload) => std::panic::resume_unwind(payload),
                 None => return sinks,
             },
+        }
+    }
+}
+
+/// One shard consumer of the sharded pipeline: it drains its lane, feeds
+/// its [`SinkShard`] workers lock-free, serialises legacy sinks through the
+/// merger mutex, and delivers per-window shard states to the merger (the
+/// shard whose delivery completes a window performs that window's merge, in
+/// ascending shard order, under the merger lock).
+///
+/// A panicking sink shard must not kill the thread outright: under
+/// [`crate::stream::BackpressurePolicy::Block`] a dead consumer would leave
+/// its lane's pump worker wedged in `publish` forever (and `finish` wedged
+/// joining it). Instead the panic is caught, the loop keeps draining
+/// (discarding) until the lane closes, and the panic is rethrown so the
+/// join in [`ActiveSession::finish`] surfaces it as an error.
+fn shard_consumer_loop(
+    shard: usize,
+    shard_count: usize,
+    lane: Arc<EventBus>,
+    mut workers: ShardWorkerSet,
+    merger: Arc<Mutex<MergerState>>,
+    snapshot: Arc<Mutex<SnapshotState>>,
+    pool: Arc<BatchPool>,
+) -> ShardWorkerSet {
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    loop {
+        match lane.recv_timeout(Duration::from_millis(100)) {
+            BusRecv::Event(event) => {
+                {
+                    let mut snap = snapshot.lock();
+                    match &event {
+                        BusEvent::Batch(batch) => snap.record_batch(batch, shard),
+                        BusEvent::CloseWindow(window) => snap.record_close(*window, shard_count),
+                    }
+                }
+                if panic_payload.is_none() {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        dispatch_shard_event(shard, shard_count, &event, &mut workers, &merger);
+                    }));
+                    if let Err(payload) = result {
+                        panic_payload = Some(payload);
+                    }
+                }
+                if let BusEvent::Batch(batch) = event {
+                    pool.recycle_batch(batch);
+                }
+            }
+            BusRecv::TimedOut => {}
+            BusRecv::Closed => match panic_payload {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => return workers,
+            },
+        }
+    }
+}
+
+fn dispatch_shard_event(
+    shard: usize,
+    shard_count: usize,
+    event: &BusEvent,
+    workers: &mut [Option<Box<dyn SinkShard>>],
+    merger: &Mutex<MergerState>,
+) {
+    match event {
+        BusEvent::Batch(batch) => {
+            let mut any_legacy = false;
+            for worker in workers.iter_mut() {
+                match worker {
+                    Some(worker) => worker.on_batch(batch),
+                    None => any_legacy = true,
+                }
+            }
+            if any_legacy {
+                // Serial fallback: legacy sinks see every batch, serialised
+                // under the merger lock (per-lane order preserved).
+                let mut merger = merger.lock();
+                let merger = &mut *merger;
+                for (index, worker) in workers.iter().enumerate() {
+                    if worker.is_none() {
+                        merger.sinks[index].on_batch(batch);
+                    }
+                }
+            }
+        }
+        BusEvent::CloseWindow(window) => {
+            for (index, worker) in workers.iter_mut().enumerate() {
+                let Some(worker) = worker else { continue };
+                let Some(state) = worker.on_window_close(*window) else { continue };
+                let mut merger = merger.lock();
+                let merger = &mut *merger;
+                let entry = merger.pending.entry((index, window.index)).or_default();
+                entry.push((shard, state));
+                if entry.len() == shard_count {
+                    let mut states =
+                        merger.pending.remove(&(index, window.index)).expect("just inserted");
+                    states.sort_by_key(|(s, _)| *s);
+                    let states = states.into_iter().map(|(_, state)| state).collect();
+                    merger.sinks[index]
+                        .as_shardable()
+                        .expect("shard workers only exist for shardable sinks")
+                        .merge_window(*window, states);
+                }
+            }
+            {
+                // Legacy sinks get each close exactly once, and only after
+                // every lane has processed its copy of the broadcast — by
+                // then each lane's on-time batches for the window have been
+                // forwarded (they precede the close in lane order), so the
+                // PR 2 close-after-on-time-data contract holds for legacy
+                // sinks under sharding too.
+                let mut merger = merger.lock();
+                let merger = &mut *merger;
+                let seen = merger.legacy_close_counts.entry(window.index).or_insert(0);
+                *seen += 1;
+                if *seen == shard_count {
+                    merger.legacy_close_counts.remove(&window.index);
+                    for (index, worker) in workers.iter().enumerate() {
+                        if worker.is_none() {
+                            merger.sinks[index].on_window_close(*window);
+                        }
+                    }
+                }
+            }
         }
     }
 }

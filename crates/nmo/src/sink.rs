@@ -147,6 +147,130 @@ pub trait AnalysisSink: Send {
     fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
         self.analyze(machine, profile)
     }
+
+    /// The sharded-pipeline seam: sinks that can aggregate per shard return
+    /// themselves as a [`ShardableSink`] here. The default `None` is the
+    /// serial-fallback adapter — a sharded session feeds such a sink every
+    /// batch through a serialising mutex instead (per-lane order preserved,
+    /// cross-lane interleaving unspecified), so pre-sharding sinks compile
+    /// and run unchanged.
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+        None
+    }
+}
+
+/// Type-erased state handed from a [`SinkShard`] back to its parent sink at
+/// merge time.
+pub type ShardState = Box<dyn std::any::Any + Send>;
+
+/// One shard's worker for a [`ShardableSink`]: it consumes the batches of
+/// exactly one bus lane (a disjoint, core-hashed subset of the stream) on
+/// its own consumer thread, with no locks on the per-batch path.
+pub trait SinkShard: Send {
+    /// One batch from this shard's lane arrived.
+    fn on_batch(&mut self, batch: &SampleBatch);
+
+    /// The producer watermark closed `window` (broadcast to every lane).
+    /// Sinks that merge *per window* — because the parent acts on the merged
+    /// state mid-run, like [`crate::tiering::HotPageTracker`] — return this
+    /// shard's partial state for the window; cumulative sinks keep the
+    /// default `None` and merge once at the end.
+    fn on_window_close(&mut self, _window: Window) -> Option<ShardState> {
+        None
+    }
+
+    /// Hand the accumulated state back for the final merge (called after
+    /// the bus closed).
+    fn finish(self: Box<Self>) -> ShardState;
+}
+
+/// A sink that scales with the sharded streaming pipeline: per-shard workers
+/// aggregate disjoint lanes in parallel, and the parent merges their states
+/// in **ascending shard index** — a fixed order, so a sharded run produces
+/// the same report as a single-shard (or post-hoc) run wherever the
+/// underlying aggregation is exact (sums, histograms, per-window
+/// attribution).
+///
+/// # Worked example
+///
+/// A sink counting store samples, sharded. Each shard counts its own lane;
+/// the parent sums the counts in shard order at the end:
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use arch_sim::Machine;
+/// use nmo::sink::{
+///     AnalysisReport, AnalysisSink, ShardState, ShardableSink, SinkShard, StreamContext,
+/// };
+/// use nmo::stream::{BatchPayload, SampleBatch};
+/// use nmo::{NmoError, Profile};
+///
+/// #[derive(Default)]
+/// struct StoreCounter {
+///     stores: u64,
+/// }
+///
+/// struct StoreCounterShard {
+///     stores: u64,
+/// }
+///
+/// impl SinkShard for StoreCounterShard {
+///     fn on_batch(&mut self, batch: &SampleBatch) {
+///         if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+///             self.stores += samples.iter().filter(|s| s.is_store).count() as u64;
+///         }
+///     }
+///
+///     fn finish(self: Box<Self>) -> ShardState {
+///         Box::new(self.stores)
+///     }
+/// }
+///
+/// impl AnalysisSink for StoreCounter {
+///     fn name(&self) -> &'static str {
+///         "store-counter"
+///     }
+///
+///     fn analyze(&mut self, _m: &Machine, _p: &Profile) -> Result<AnalysisReport, NmoError> {
+///         Ok(AnalysisReport::Text(format!("stores={}", self.stores)))
+///     }
+///
+///     // Opt into sharding; without this override the session would fall
+///     // back to feeding the sink serially.
+///     fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+///         Some(self)
+///     }
+/// }
+///
+/// impl ShardableSink for StoreCounter {
+///     fn make_shard(&mut self, _shard: usize, _ctx: &StreamContext) -> Box<dyn SinkShard> {
+///         Box::new(StoreCounterShard { stores: 0 })
+///     }
+///
+///     fn merge_final(&mut self, states: Vec<ShardState>) {
+///         for state in states {
+///             self.stores += *state.downcast::<u64>().expect("a StoreCounterShard state");
+///         }
+///     }
+/// }
+///
+/// # fn main() {}
+/// ```
+pub trait ShardableSink {
+    /// Create the worker for shard `shard` (called once per shard at stream
+    /// start, after [`AnalysisSink::on_stream_start`] ran on the parent).
+    fn make_shard(&mut self, shard: usize, ctx: &StreamContext) -> Box<dyn SinkShard>;
+
+    /// Merge one window's per-shard states, ascending by shard index, and
+    /// run the sink's window-close logic over the merged view. Only called
+    /// for sinks whose shards return `Some` from
+    /// [`SinkShard::on_window_close`]; the default does nothing.
+    fn merge_window(&mut self, _window: Window, _states: Vec<ShardState>) {}
+
+    /// Merge the shards' final states, ascending by shard index (called
+    /// once, after every lane drained).
+    fn merge_final(&mut self, states: Vec<ShardState>);
 }
 
 /// Level 1: temporal capacity usage (paper Section VI-A, Figure 2), split
@@ -202,7 +326,7 @@ impl AnalysisSink for CapacitySink {
     }
 
     fn on_batch(&mut self, batch: &SampleBatch) {
-        if let BatchPayload::Rss { points } = &batch.payload {
+        if let BatchPayload::Rss { points } = batch.payload() {
             self.events.extend_from_slice(points);
         }
     }
@@ -220,6 +344,44 @@ impl AnalysisSink for CapacitySink {
             self.buckets,
             nodes,
         )))
+    }
+
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+        Some(self)
+    }
+}
+
+/// One shard's RSS event collector (see [`CapacitySink`]). RSS batches are
+/// core-less and therefore all ride lane 0, but the shard machinery keeps
+/// the sink uniform with the others (and correct if that routing changes).
+struct CapacityShard {
+    events: Vec<RssPoint>,
+}
+
+impl SinkShard for CapacityShard {
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::Rss { points } = batch.payload() {
+            self.events.extend_from_slice(points);
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ShardState {
+        Box::new(self.events)
+    }
+}
+
+impl ShardableSink for CapacitySink {
+    fn make_shard(&mut self, _shard: usize, _ctx: &StreamContext) -> Box<dyn SinkShard> {
+        Box::new(CapacityShard { events: Vec::new() })
+    }
+
+    fn merge_final(&mut self, states: Vec<ShardState>) {
+        // Shard order fixes the concatenation; `finish` sorts by timestamp
+        // anyway, so the merged series equals the serial one.
+        for state in states {
+            let events = state.downcast::<Vec<RssPoint>>().expect("a CapacityShard state");
+            self.events.extend(*events);
+        }
     }
 }
 
@@ -270,7 +432,7 @@ impl AnalysisSink for BandwidthSink {
 
     fn on_batch(&mut self, batch: &SampleBatch) {
         let Some((bucket_ns, _)) = self.stream_geometry else { return };
-        if let BatchPayload::Bandwidth { points } = &batch.payload {
+        if let BatchPayload::Bandwidth { points } = batch.payload() {
             for p in points {
                 let merged = self.merged.entry(p.time_ns / bucket_ns).or_insert([0; MAX_MEM_NODES]);
                 for (node, bytes) in p.by_node.iter().enumerate() {
@@ -304,6 +466,56 @@ impl AnalysisSink for BandwidthSink {
             profile.counters.flops,
             nodes,
         )))
+    }
+
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+        Some(self)
+    }
+}
+
+/// One shard's per-bucket traffic merge (see [`BandwidthSink`]).
+struct BandwidthShard {
+    bucket_ns: u64,
+    merged: BTreeMap<u64, [u64; MAX_MEM_NODES]>,
+}
+
+impl SinkShard for BandwidthShard {
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::Bandwidth { points } = batch.payload() {
+            for p in points {
+                let merged =
+                    self.merged.entry(p.time_ns / self.bucket_ns).or_insert([0; MAX_MEM_NODES]);
+                for (node, bytes) in p.by_node.iter().enumerate() {
+                    merged[node] += bytes;
+                }
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ShardState {
+        Box::new(self.merged)
+    }
+}
+
+impl ShardableSink for BandwidthSink {
+    fn make_shard(&mut self, _shard: usize, ctx: &StreamContext) -> Box<dyn SinkShard> {
+        Box::new(BandwidthShard { bucket_ns: ctx.bucket_ns.max(1), merged: BTreeMap::new() })
+    }
+
+    fn merge_final(&mut self, states: Vec<ShardState>) {
+        // Per-bucket sums are exact integers, so the shard merge equals the
+        // serial merge regardless of how deliveries were split.
+        for state in states {
+            let merged = state
+                .downcast::<BTreeMap<u64, [u64; MAX_MEM_NODES]>>()
+                .expect("a BandwidthShard state");
+            for (bucket, by_node) in merged.into_iter() {
+                let entry = self.merged.entry(bucket).or_insert([0; MAX_MEM_NODES]);
+                for (node, bytes) in by_node.iter().enumerate() {
+                    entry[node] += bytes;
+                }
+            }
+        }
     }
 }
 
@@ -351,7 +563,7 @@ impl AnalysisSink for RegionSink {
     }
 
     fn on_batch(&mut self, batch: &SampleBatch) {
-        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
             self.pending.entry(batch.window.index).or_default().extend_from_slice(samples);
         }
     }
@@ -371,6 +583,69 @@ impl AnalysisSink for RegionSink {
         }
         let accum = std::mem::take(&mut self.accum);
         Ok(AnalysisReport::Regions(accum.finalize(&profile.tags)))
+    }
+
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+        Some(self)
+    }
+}
+
+/// One shard's region attribution (see [`RegionSink`]): buffers its lane's
+/// samples per window, attributes them against the then-current tags/phases
+/// when the window closes, and hands its accumulator back for the ordered
+/// final merge.
+struct RegionShard {
+    annotations: Arc<Annotations>,
+    accum: RegionAccumulator,
+    pending: BTreeMap<u64, Vec<crate::runtime::AddressSample>>,
+}
+
+impl RegionShard {
+    fn ingest_window(&mut self, index: u64) {
+        if let Some(samples) = self.pending.remove(&index) {
+            self.accum.ingest(&samples, &self.annotations.tags(), &self.annotations.phases());
+        }
+    }
+}
+
+impl SinkShard for RegionShard {
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+            self.pending.entry(batch.window.index).or_default().extend_from_slice(samples);
+        }
+    }
+
+    fn on_window_close(&mut self, window: Window) -> Option<ShardState> {
+        self.ingest_window(window.index);
+        None
+    }
+
+    fn finish(mut self: Box<Self>) -> ShardState {
+        let open: Vec<u64> = self.pending.keys().copied().collect();
+        for index in open {
+            self.ingest_window(index);
+        }
+        Box::new(self.accum)
+    }
+}
+
+impl ShardableSink for RegionSink {
+    fn make_shard(&mut self, _shard: usize, ctx: &StreamContext) -> Box<dyn SinkShard> {
+        Box::new(RegionShard {
+            annotations: ctx.annotations.clone(),
+            accum: RegionAccumulator::new(),
+            pending: BTreeMap::new(),
+        })
+    }
+
+    fn merge_final(&mut self, states: Vec<ShardState>) {
+        // Per-sample attribution is independent, so counts equal the serial
+        // path's; scatter order is shard-major (deterministic by the fixed
+        // merge order, though different from the serial interleaving).
+        for state in states {
+            let accum = state.downcast::<RegionAccumulator>().expect("a RegionShard state");
+            self.accum.merge(*accum);
+        }
     }
 }
 
@@ -414,7 +689,7 @@ impl AnalysisSink for LatencySink {
     }
 
     fn on_batch(&mut self, batch: &SampleBatch) {
-        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
             for s in samples {
                 self.profile.record(s.source, s.latency);
             }
@@ -426,6 +701,44 @@ impl AnalysisSink for LatencySink {
             return self.analyze(machine, profile);
         }
         Ok(AnalysisReport::Latency(std::mem::take(&mut self.profile)))
+    }
+
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+        Some(self)
+    }
+}
+
+/// One shard's latency histograms (see [`LatencySink`]). Histogram buckets
+/// are exact counters, so the shard merge is bit-identical to the serial
+/// fold in any order.
+struct LatencyShard {
+    profile: LatencyProfile,
+}
+
+impl SinkShard for LatencyShard {
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+            for s in samples {
+                self.profile.record(s.source, s.latency);
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ShardState {
+        Box::new(self.profile)
+    }
+}
+
+impl ShardableSink for LatencySink {
+    fn make_shard(&mut self, _shard: usize, _ctx: &StreamContext) -> Box<dyn SinkShard> {
+        Box::new(LatencyShard { profile: LatencyProfile::new() })
+    }
+
+    fn merge_final(&mut self, states: Vec<ShardState>) {
+        for state in states {
+            let profile = state.downcast::<LatencyProfile>().expect("a LatencyShard state");
+            self.profile.merge(&profile);
+        }
     }
 }
 
@@ -562,15 +875,12 @@ mod tests {
         sink.on_stream_start(&stream_ctx(Arc::new(Annotations::new())));
         let clock = crate::stream::WindowClock::new(1000);
         for (i, rss) in [(0u64, 1u64 << 20), (1, 3 << 20), (2, 2 << 20)] {
-            sink.on_batch(&SampleBatch {
-                backend: "machine",
-                core: None,
-                seq: i,
-                window: clock.window(i),
-                payload: BatchPayload::Rss {
-                    points: vec![arch_sim::RssPoint::flat(i * 1000, rss)],
-                },
-            });
+            sink.on_batch(&SampleBatch::new(
+                "machine",
+                None,
+                clock.window(i),
+                BatchPayload::Rss { points: vec![arch_sim::RssPoint::flat(i * 1000, rss)] },
+            ));
         }
         let report = sink.finish(&machine, &profile).unwrap();
         match report {
@@ -611,13 +921,12 @@ mod tests {
             (0u64, vec![bp(0, 1 << 20)]),
             (1, vec![bp(bucket_ns / 2, 1 << 20), bp(2 * bucket_ns, 1 << 21)]),
         ] {
-            sink.on_batch(&SampleBatch {
-                backend: "machine",
-                core: None,
-                seq,
-                window: clock.window(seq),
-                payload: BatchPayload::Bandwidth { points },
-            });
+            sink.on_batch(&SampleBatch::new(
+                "machine",
+                None,
+                clock.window(seq),
+                BatchPayload::Bandwidth { points },
+            ));
         }
         let report = sink.finish(&machine, &profile).unwrap();
         match report {
@@ -655,28 +964,26 @@ mod tests {
         let mut sink = RegionSink::new();
         sink.on_stream_start(&stream_ctx(annotations.clone()));
         let clock = crate::stream::WindowClock::new(1000);
-        sink.on_batch(&SampleBatch {
-            backend: "spe",
-            core: None,
-            seq: 0,
-            window: clock.window(0),
-            payload: BatchPayload::SpeSamples {
+        sink.on_batch(&SampleBatch::new(
+            "spe",
+            None,
+            clock.window(0),
+            BatchPayload::SpeSamples {
                 samples: vec![mk_sample(10, 0x1100), mk_sample(20, 0x9000)],
                 loss: Default::default(),
             },
-        });
+        ));
         sink.on_window_close(clock.window(0));
         // A window that never closes is still merged at finish.
-        sink.on_batch(&SampleBatch {
-            backend: "spe",
-            core: None,
-            seq: 1,
-            window: clock.window(1),
-            payload: BatchPayload::SpeSamples {
+        sink.on_batch(&SampleBatch::new(
+            "spe",
+            None,
+            clock.window(1),
+            BatchPayload::SpeSamples {
                 samples: vec![mk_sample(1500, 0x1200)],
                 loss: Default::default(),
             },
-        });
+        ));
         let report = sink.finish(&machine, &profile).unwrap();
         match report {
             AnalysisReport::Regions(r) => {
@@ -725,16 +1032,12 @@ mod tests {
         sink.on_stream_start(&stream_ctx(Arc::new(Annotations::new())));
         let clock = crate::stream::WindowClock::new(1000);
         for (seq, chunk) in samples.chunks(17).enumerate() {
-            sink.on_batch(&SampleBatch {
-                backend: "spe",
-                core: None,
-                seq: seq as u64,
-                window: clock.window(seq as u64),
-                payload: BatchPayload::SpeSamples {
-                    samples: chunk.to_vec(),
-                    loss: Default::default(),
-                },
-            });
+            sink.on_batch(&SampleBatch::new(
+                "spe",
+                None,
+                clock.window(seq as u64),
+                BatchPayload::SpeSamples { samples: chunk.to_vec(), loss: Default::default() },
+            ));
         }
         let empty_profile = Profile::empty("t", NmoConfig::default());
         let streamed = match sink.finish(&machine, &empty_profile).unwrap() {
@@ -745,5 +1048,136 @@ mod tests {
         assert_eq!(streamed, post_hoc, "histograms are order-independent");
         assert_eq!(streamed.per_source.len(), 4);
         assert_eq!(streamed.total_count(), 300);
+    }
+
+    /// Feeding the same batch stream through N sink shards (partitioned by
+    /// core) and merging in shard order must reproduce the serial sink's
+    /// report — the `ShardableSink` contract for every standard sink.
+    #[test]
+    fn sharded_sinks_merge_to_the_serial_reports() {
+        let machine = Machine::new(MachineConfig::small_test());
+        let annotations = Arc::new(Annotations::new());
+        annotations.tag_addr("obj", 0x1000, 0x40_000);
+        let ctx = stream_ctx(annotations.clone());
+        let clock = crate::stream::WindowClock::new(1000);
+        let shards = 4usize;
+
+        // A deterministic multi-core batch stream: 16 cores, 12 windows.
+        let mut batches = Vec::new();
+        for window in 0..12u64 {
+            for core in 0..16usize {
+                let samples: Vec<AddressSample> = (0..25u64)
+                    .map(|i| {
+                        let n = window * 400 + core as u64 * 25 + i;
+                        AddressSample {
+                            time_ns: window * 1000 + i * 40,
+                            vaddr: 0x1000 + (n % 600) * 0x40,
+                            core,
+                            is_store: n.is_multiple_of(3),
+                            latency: (20 + (n * 17) % 700) as u16,
+                            source: if n.is_multiple_of(5) {
+                                DataSource::RemoteDram(1)
+                            } else if n.is_multiple_of(2) {
+                                DataSource::Dram(0)
+                            } else {
+                                DataSource::L1
+                            },
+                        }
+                    })
+                    .collect();
+                batches.push(SampleBatch::new(
+                    "spe",
+                    Some(core),
+                    clock.window(window),
+                    BatchPayload::SpeSamples { samples, loss: Default::default() },
+                ));
+            }
+        }
+
+        let profile = Profile::empty("t", NmoConfig::default());
+
+        // Serial reference.
+        let mut serial = RegionSink::new();
+        serial.on_stream_start(&ctx);
+        let mut serial_lat = LatencySink::new();
+        serial_lat.on_stream_start(&ctx);
+        for b in &batches {
+            serial.on_batch(b);
+            serial_lat.on_batch(b);
+        }
+        for w in 0..12u64 {
+            serial.on_window_close(clock.window(w));
+        }
+        let serial_regions = match serial.finish(&machine, &profile).unwrap() {
+            AnalysisReport::Regions(r) => r,
+            other => panic!("expected regions, got {other:?}"),
+        };
+        let serial_latency = match serial_lat.finish(&machine, &profile).unwrap() {
+            AnalysisReport::Latency(l) => l,
+            other => panic!("expected latency, got {other:?}"),
+        };
+
+        // Sharded: partition by core hash, merge in shard order.
+        let mut region = RegionSink::new();
+        region.on_stream_start(&ctx);
+        let mut latency = LatencySink::new();
+        latency.on_stream_start(&ctx);
+        let mut region_shards: Vec<Box<dyn SinkShard>> =
+            (0..shards).map(|s| region.as_shardable().unwrap().make_shard(s, &ctx)).collect();
+        let mut latency_shards: Vec<Box<dyn SinkShard>> =
+            (0..shards).map(|s| latency.as_shardable().unwrap().make_shard(s, &ctx)).collect();
+        for b in &batches {
+            let lane = b.core.expect("spe batches carry a core") % shards;
+            region_shards[lane].on_batch(b);
+            latency_shards[lane].on_batch(b);
+        }
+        for w in 0..12u64 {
+            for shard in region_shards.iter_mut().chain(latency_shards.iter_mut()) {
+                assert!(shard.on_window_close(clock.window(w)).is_none());
+            }
+        }
+        let states: Vec<ShardState> = region_shards.into_iter().map(|s| s.finish()).collect();
+        region.as_shardable().unwrap().merge_final(states);
+        let states: Vec<ShardState> = latency_shards.into_iter().map(|s| s.finish()).collect();
+        latency.as_shardable().unwrap().merge_final(states);
+
+        let sharded_regions = match region.finish(&machine, &profile).unwrap() {
+            AnalysisReport::Regions(r) => r,
+            other => panic!("expected regions, got {other:?}"),
+        };
+        let sharded_latency = match latency.finish(&machine, &profile).unwrap() {
+            AnalysisReport::Latency(l) => l,
+            other => panic!("expected latency, got {other:?}"),
+        };
+
+        assert_eq!(sharded_latency, serial_latency, "histogram merge is exact");
+        assert_eq!(sharded_regions.per_tag, serial_regions.per_tag);
+        assert_eq!(sharded_regions.per_phase, serial_regions.per_phase);
+        assert_eq!(sharded_regions.untagged_samples, serial_regions.untagged_samples);
+        assert_eq!(sharded_regions.scatter.len(), serial_regions.scatter.len());
+    }
+
+    /// A legacy sink (no `as_shardable` override) reports `None` — the
+    /// serial-fallback marker the session keys off.
+    #[test]
+    fn legacy_sinks_are_not_shardable() {
+        struct Legacy;
+        impl AnalysisSink for Legacy {
+            fn name(&self) -> &'static str {
+                "legacy"
+            }
+            fn analyze(
+                &mut self,
+                _machine: &Machine,
+                _profile: &Profile,
+            ) -> Result<AnalysisReport, NmoError> {
+                Ok(AnalysisReport::Text(String::new()))
+            }
+        }
+        assert!(Legacy.as_shardable().is_none());
+        assert!(CapacitySink::default().as_shardable().is_some());
+        assert!(BandwidthSink::default().as_shardable().is_some());
+        assert!(RegionSink::default().as_shardable().is_some());
+        assert!(LatencySink::default().as_shardable().is_some());
     }
 }

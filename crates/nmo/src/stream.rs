@@ -1,30 +1,40 @@
-//! The streaming data plane: time windows, sample batches, and the bounded
+//! The streaming data plane: time windows, sample batches, and the sharded
 //! event bus connecting backends to analysis sinks.
 //!
 //! The paper's SPE flow is inherently streaming — a monitor thread drains
 //! the aux buffer periodically and all three analysis levels are windowed
 //! over time — so the profiler's core seam is a produce/consume pipeline
-//! rather than a post-hoc scan:
+//! rather than a post-hoc scan. On many-core machines (the paper's 128-core
+//! Ampere Altra Max) a single pump/consumer pair cannot keep up with every
+//! core sampling at the densest periods, so the pipeline shards:
 //!
 //! ```text
-//! backends ──SampleBatch──▶ EventBus (bounded MPSC) ──▶ sinks.on_batch
-//!    │                          │                          │
-//!    └── stamped with a       drop accounting            windowed
-//!        time Window          + backpressure             aggregation
+//! pump workers ──SampleBatch──▶ ShardedBus ──▶ shard consumers ──▶ merge
+//!  (disjoint        │            N lanes,          │            (ordered by
+//!   core sets)      │            per-lane          │             shard index,
+//!                   └ stamped    backpressure      └ SinkShard   deterministic)
+//!                     + pooled   + drop accounting   aggregation
 //! ```
 //!
 //! * A [`SampleBatch`] carries one window's worth of data from one source:
 //!   decoded SPE records, hardware-counter deltas, or RSS/bandwidth ticks.
-//! * The [`EventBus`] is a bounded multi-producer single-consumer queue with
-//!   explicit backpressure: when the consumer falls behind, batches are
-//!   either dropped (and counted — the analogue of SPE aux truncation) or
-//!   the producer blocks, depending on [`BackpressurePolicy`].
+//!   Its buffers come from (and return to) a [`BatchPool`], so the steady
+//!   state of the hot path allocates nothing.
+//! * The [`ShardedBus`] partitions batches over N single-producer lanes by
+//!   core hash ([`ShardedBus::lane_for_core`]); each lane is a bounded
+//!   [`EventBus`] with explicit backpressure: when a consumer falls behind,
+//!   batches are either dropped (and counted — the analogue of SPE aux
+//!   truncation) or the producer blocks, depending on
+//!   [`BackpressurePolicy`]. Per-lane accounting rolls up into one
+//!   [`BusStats`] via [`ShardedBus::stats`].
 //! * [`Window`]s close monotonically once the producer-side watermark passes
-//!   them; late batches are still delivered (and counted) so final reports
-//!   stay complete.
+//!   them (window-close signals are broadcast to every lane); late batches
+//!   are still delivered (and counted) so final reports stay complete.
 //!
 //! [`crate::session::ProfileSession::run_streaming`] wires the pipeline up;
-//! [`crate::sink::AnalysisSink`] consumes it through its streaming hooks.
+//! [`crate::sink::AnalysisSink`] consumes it through its streaming hooks,
+//! and [`crate::sink::ShardableSink`] through per-shard workers with a
+//! deterministic merge.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -177,21 +187,57 @@ pub enum BatchPayload {
 
 /// One unit of streaming delivery: a window-stamped chunk of data from one
 /// backend (or the machine probe).
+///
+/// Construct batches with [`SampleBatch::new`]: the payload is scanned once
+/// there and its maximum timestamp cached, so the consumer-side watermark
+/// checks (`max_time_ns` is read on every delivery) never re-scan the
+/// sample slice. The payload is therefore immutable after construction.
 #[derive(Debug, Clone)]
 pub struct SampleBatch {
     /// Name of the producing backend (`"spe"`, `"counters"`, `"machine"`).
     pub backend: &'static str,
     /// Core the data belongs to, when per-core.
     pub core: Option<usize>,
-    /// Monotonic publication sequence number (stamped by the pump).
+    /// Monotonic publication sequence number (stamped by the bus on
+    /// publish).
     pub seq: u64,
     /// The time window the data belongs to.
     pub window: Window,
-    /// The data itself.
-    pub payload: BatchPayload,
+    /// The data itself (immutable — `max_time_ns` is cached over it).
+    payload: BatchPayload,
+    /// Highest item timestamp, computed once at construction.
+    max_time_ns: Option<u64>,
 }
 
 impl SampleBatch {
+    /// Build a batch, scanning the payload once to cache its maximum item
+    /// timestamp.
+    pub fn new(
+        backend: &'static str,
+        core: Option<usize>,
+        window: Window,
+        payload: BatchPayload,
+    ) -> Self {
+        let max_time_ns = match &payload {
+            BatchPayload::SpeSamples { samples, .. } => samples.iter().map(|s| s.time_ns).max(),
+            BatchPayload::CounterDeltas { .. } => None,
+            BatchPayload::Rss { points } => points.iter().map(|p| p.time_ns).max(),
+            BatchPayload::Bandwidth { points } => points.iter().map(|p| p.time_ns).max(),
+        };
+        SampleBatch { backend, core, seq: 0, window, payload, max_time_ns }
+    }
+
+    /// The batch's data.
+    pub fn payload(&self) -> &BatchPayload {
+        &self.payload
+    }
+
+    /// Consume the batch, returning its payload (the recycling path back
+    /// into a [`BatchPool`]).
+    pub fn into_payload(self) -> BatchPayload {
+        self.payload
+    }
+
     /// Number of items (samples / deltas / points) in the batch.
     pub fn len(&self) -> usize {
         match &self.payload {
@@ -208,14 +254,9 @@ impl SampleBatch {
     }
 
     /// Highest simulated timestamp carried by the batch's items, if any
-    /// carry timestamps.
+    /// carry timestamps (cached at construction — no payload scan).
     pub fn max_time_ns(&self) -> Option<u64> {
-        match &self.payload {
-            BatchPayload::SpeSamples { samples, .. } => samples.iter().map(|s| s.time_ns).max(),
-            BatchPayload::CounterDeltas { .. } => None,
-            BatchPayload::Rss { points } => points.iter().map(|p| p.time_ns).max(),
-            BatchPayload::Bandwidth { points } => points.iter().map(|p| p.time_ns).max(),
-        }
+        self.max_time_ns
     }
 }
 
@@ -414,18 +455,222 @@ impl EventBus {
     }
 }
 
+/// A pool of recycled batch buffers: the zero-copy seam of the hot path.
+///
+/// Every pump drain used to allocate a fresh `Vec` for the decoded samples
+/// (plus a scratch `Vec<u8>` per aux-record read); at the paper's densest
+/// sampling periods on 128 cores that is thousands of allocations per
+/// second on the hot path. The pool recycles both kinds of buffer: the
+/// consumer hands a finished [`SampleBatch`] back via
+/// [`BatchPool::recycle_batch`], and the next drain reuses its capacity via
+/// [`BatchPool::samples`] / [`BatchPool::bytes`].
+///
+/// The pool is bounded (`max_pooled` buffers of each kind); beyond that,
+/// recycled buffers are simply dropped, so a burst cannot pin memory
+/// forever.
+#[derive(Debug)]
+pub struct BatchPool {
+    samples: Mutex<Vec<Vec<AddressSample>>>,
+    bytes: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+}
+
+/// Point-in-time pool accounting (how effective recycling is).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer requests served from the pool.
+    pub reused: u64,
+    /// Buffer requests that had to allocate fresh.
+    pub allocated: u64,
+}
+
+impl BatchPool {
+    /// A pool retaining at most `max_pooled` buffers of each kind.
+    pub fn new(max_pooled: usize) -> Arc<BatchPool> {
+        Arc::new(BatchPool {
+            samples: Mutex::new(Vec::new()),
+            bytes: Mutex::new(Vec::new()),
+            max_pooled: max_pooled.max(1),
+            reused: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
+        })
+    }
+
+    fn count(&self, reused: bool) {
+        if reused {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.allocated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// An empty sample buffer, recycled when available.
+    pub fn samples(&self) -> Vec<AddressSample> {
+        let buf = self.samples.lock().pop();
+        self.count(buf.is_some());
+        buf.unwrap_or_default()
+    }
+
+    /// An empty byte scratch buffer, recycled when available.
+    pub fn bytes(&self) -> Vec<u8> {
+        let buf = self.bytes.lock().pop();
+        self.count(buf.is_some());
+        buf.unwrap_or_default()
+    }
+
+    /// Return a sample buffer to the pool (cleared, capacity kept).
+    pub fn recycle_samples(&self, mut buf: Vec<AddressSample>) {
+        buf.clear();
+        let mut pool = self.samples.lock();
+        if pool.len() < self.max_pooled {
+            pool.push(buf);
+        }
+    }
+
+    /// Return a byte scratch buffer to the pool (cleared, capacity kept).
+    pub fn recycle_bytes(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut pool = self.bytes.lock();
+        if pool.len() < self.max_pooled {
+            pool.push(buf);
+        }
+    }
+
+    /// Recycle a consumed batch's buffers back into the pool.
+    pub fn recycle_batch(&self, batch: SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.into_payload() {
+            self.recycle_samples(samples);
+        }
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            reused: self.reused.load(Ordering::Relaxed),
+            allocated: self.allocated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The sharded event bus: N single-producer lanes partitioned by core hash.
+///
+/// Each pump worker drains a disjoint core set and publishes to the lane its
+/// cores hash to, so lanes are effectively single-producer/single-consumer
+/// and scale with core count instead of funnelling every core through one
+/// queue. Batches without a core (counter deltas, machine probes) ride on
+/// lane 0. Window-close signals are broadcast to every lane
+/// ([`ShardedBus::broadcast_close`]) so shard consumers can close their
+/// partial windows; per-lane drop/backpressure accounting rolls up into one
+/// [`BusStats`] ([`ShardedBus::stats`]) and stays inspectable per lane
+/// ([`ShardedBus::lane_stats`]).
+pub struct ShardedBus {
+    lanes: Vec<Arc<EventBus>>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBus").field("lanes", &self.lanes.len()).finish()
+    }
+}
+
+impl ShardedBus {
+    /// A bus with `shards` lanes of `capacity_per_lane` events each
+    /// (both clamped to at least 1).
+    pub fn new(
+        shards: usize,
+        capacity_per_lane: usize,
+        policy: BackpressurePolicy,
+    ) -> Arc<ShardedBus> {
+        let shards = shards.max(1);
+        Arc::new(ShardedBus {
+            lanes: (0..shards).map(|_| EventBus::bounded(capacity_per_lane, policy)).collect(),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of lanes (== shard count).
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane a batch from `core` is partitioned onto (core-hash
+    /// partitioning; core-less batches ride lane 0).
+    pub fn lane_for_core(&self, core: Option<usize>) -> usize {
+        core.map(|c| c % self.lanes.len()).unwrap_or(0)
+    }
+
+    /// One lane's queue (the consumer side of shard `lane`).
+    pub fn lane(&self, lane: usize) -> &Arc<EventBus> {
+        &self.lanes[lane]
+    }
+
+    /// Producer side: stamp the batch with the global sequence number and
+    /// enqueue it on its core's lane. Returns `false` when the lane dropped
+    /// it (see [`EventBus::publish`]).
+    pub fn publish(&self, mut batch: SampleBatch) -> bool {
+        batch.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let lane = self.lane_for_core(batch.core);
+        self.lanes[lane].publish(BusEvent::Batch(batch))
+    }
+
+    /// Broadcast a window-close signal to every lane (close signals bypass
+    /// lane capacity, so a broadcast never blocks or drops).
+    pub fn broadcast_close(&self, window: Window) {
+        for lane in &self.lanes {
+            lane.publish(BusEvent::CloseWindow(window));
+        }
+    }
+
+    /// Close every lane: producers start failing, consumers drain what is
+    /// queued and then see [`BusRecv::Closed`].
+    pub fn close_all(&self) {
+        for lane in &self.lanes {
+            lane.close();
+        }
+    }
+
+    /// Per-lane accounting, ascending by lane index.
+    pub fn lane_stats(&self) -> Vec<BusStats> {
+        self.lanes.iter().map(|l| l.stats()).collect()
+    }
+
+    /// The roll-up across every lane: counts sum; `high_watermark` is the
+    /// worst single lane (the number backpressure tuning cares about).
+    pub fn stats(&self) -> BusStats {
+        let mut rolled = BusStats::default();
+        for lane in &self.lanes {
+            let s = lane.stats();
+            rolled.published += s.published;
+            rolled.dropped_batches += s.dropped_batches;
+            rolled.dropped_items += s.dropped_items;
+            rolled.high_watermark = rolled.high_watermark.max(s.high_watermark);
+            rolled.capacity += s.capacity;
+            rolled.queued += s.queued;
+        }
+        rolled
+    }
+}
+
 /// Tuning knobs for a streaming session
 /// (see [`crate::session::ProfileSessionBuilder::stream_options`]).
 #[derive(Debug, Clone)]
 pub struct StreamOptions {
     /// Window width in simulated nanoseconds (default 1 ms).
     pub window_ns: u64,
-    /// Event-bus capacity in events (default 1024).
+    /// Event-bus capacity in events *per lane* (default 1024).
     pub bus_capacity: usize,
     /// Wall-clock interval between pump drains (default 200 µs).
     pub poll_interval: Duration,
     /// What producers do when the bus is full.
     pub backpressure: BackpressurePolicy,
+    /// Number of pipeline shards (pump workers, bus lanes, and shard
+    /// consumers). `0` (the default) resolves to
+    /// `min(profiled cores, available_parallelism)` at session start; `1`
+    /// runs the classic serial pipeline.
+    pub shards: usize,
 }
 
 impl Default for StreamOptions {
@@ -435,6 +680,7 @@ impl Default for StreamOptions {
             bus_capacity: 1024,
             poll_interval: Duration::from_micros(200),
             backpressure: BackpressurePolicy::default(),
+            shards: 0,
         }
     }
 }
@@ -453,8 +699,23 @@ pub struct StreamStats {
     pub items_dropped: u64,
     /// Batches that arrived for an already-closed window.
     pub late_batches: u64,
-    /// Highest bus occupancy observed.
+    /// Highest bus occupancy observed (worst single lane when sharded).
     pub bus_high_watermark: u64,
+    /// Number of pipeline shards the run used (1 = the serial pipeline).
+    pub shards: u64,
+}
+
+impl StreamStats {
+    /// Fraction of published-or-dropped batches the bus dropped under
+    /// backpressure (0.0 when nothing was attempted) — the pipeline's own
+    /// loss channel, guarded by the same warning threshold as SPE loss.
+    pub fn bus_drop_fraction(&self) -> f64 {
+        let attempted = self.batches_published + self.batches_dropped;
+        if attempted == 0 {
+            return 0.0;
+        }
+        self.batches_dropped as f64 / attempted as f64
+    }
 }
 
 /// Live per-window accounting inside a [`StreamSnapshot`].
@@ -470,12 +731,29 @@ pub struct WindowSummary {
     pub closed: bool,
 }
 
+/// Live per-shard accounting inside a [`StreamSnapshot`]: what one shard
+/// consumer has processed so far, plus its lane's bus accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Shard (= lane) index.
+    pub shard: usize,
+    /// Batches this shard's consumer has processed.
+    pub batches: u64,
+    /// SPE samples this shard's consumer has processed.
+    pub spe_samples: u64,
+    /// This shard's lane accounting at snapshot time.
+    pub lane: BusStats,
+}
+
 /// A point-in-time view of a streaming session, returned by
 /// [`crate::session::ActiveSession::poll_snapshot`].
 #[derive(Debug, Clone, Default)]
 pub struct StreamSnapshot {
     /// Per-window accounting, ascending by window index.
     pub windows: Vec<WindowSummary>,
+    /// Per-shard accounting, ascending by shard index (one entry when the
+    /// pipeline runs serially).
+    pub per_shard: Vec<ShardSummary>,
     /// Windows closed so far.
     pub windows_closed: u64,
     /// Batches consumed so far.
@@ -532,6 +810,11 @@ impl StreamSnapshot {
 #[derive(Debug, Default)]
 pub(crate) struct SnapshotState {
     pub(crate) windows: Vec<WindowSummary>,
+    /// `(batches, spe_samples)` per shard, grown on demand.
+    pub(crate) per_shard: Vec<(u64, u64)>,
+    /// Close signals seen per window (closes are broadcast to every lane;
+    /// a window only counts as closed once every lane processed its copy).
+    close_counts: std::collections::BTreeMap<u64, usize>,
     pub(crate) windows_closed: u64,
     pub(crate) batches: u64,
     pub(crate) spe_samples: u64,
@@ -554,8 +837,15 @@ impl SnapshotState {
         }
     }
 
-    pub(crate) fn record_batch(&mut self, batch: &SampleBatch) {
+    pub(crate) fn record_batch(&mut self, batch: &SampleBatch, shard: usize) {
         self.batches += 1;
+        if self.per_shard.len() <= shard {
+            self.per_shard.resize(shard + 1, (0, 0));
+        }
+        self.per_shard[shard].0 += 1;
+        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+            self.per_shard[shard].1 += samples.len() as u64;
+        }
         if let Some(t) = batch.max_time_ns() {
             self.last_time_ns = self.last_time_ns.max(t);
         }
@@ -598,7 +888,19 @@ impl SnapshotState {
         }
     }
 
-    pub(crate) fn record_close(&mut self, window: Window) {
+    /// Register one lane's close signal for `window`; the window counts as
+    /// closed once `expected_closes` lanes (the broadcast fan-out) have
+    /// delivered theirs. Extra signals beyond that are ignored.
+    pub(crate) fn record_close(&mut self, window: Window, expected_closes: usize) {
+        let seen = self.close_counts.entry(window.index).or_insert(0);
+        *seen += 1;
+        if *seen < expected_closes.max(1) {
+            return;
+        }
+        // Broadcast complete: drop the counter so a long-lived session's
+        // close bookkeeping stays bounded by in-flight windows, not by run
+        // length.
+        self.close_counts.remove(&window.index);
         let summary = self.summary_mut(window);
         if !summary.closed {
             summary.closed = true;
@@ -606,9 +908,26 @@ impl SnapshotState {
         }
     }
 
-    pub(crate) fn snapshot(&self, bus: BusStats, migrations: MigrationStats) -> StreamSnapshot {
+    pub(crate) fn snapshot(
+        &self,
+        bus: BusStats,
+        lanes: &[BusStats],
+        migrations: MigrationStats,
+    ) -> StreamSnapshot {
+        let per_shard = (0..lanes.len().max(self.per_shard.len()))
+            .map(|shard| {
+                let (batches, spe_samples) = self.per_shard.get(shard).copied().unwrap_or((0, 0));
+                ShardSummary {
+                    shard,
+                    batches,
+                    spe_samples,
+                    lane: lanes.get(shard).copied().unwrap_or_default(),
+                }
+            })
+            .collect();
         StreamSnapshot {
             windows: self.windows.clone(),
+            per_shard,
             windows_closed: self.windows_closed,
             batches: self.batches,
             spe_samples: self.spe_samples,
@@ -627,12 +946,11 @@ mod tests {
     use super::*;
 
     fn batch_from(window: Window, n: usize, source: DataSource) -> SampleBatch {
-        SampleBatch {
-            backend: "test",
-            core: None,
-            seq: 0,
+        SampleBatch::new(
+            "test",
+            None,
             window,
-            payload: BatchPayload::SpeSamples {
+            BatchPayload::SpeSamples {
                 samples: vec![
                     AddressSample {
                         time_ns: window.start_ns,
@@ -646,7 +964,7 @@ mod tests {
                 ],
                 loss: SpeStatsSnapshot::default(),
             },
-        }
+        )
     }
 
     fn batch(window: Window, n: usize) -> SampleBatch {
@@ -745,12 +1063,12 @@ mod tests {
     fn snapshot_state_tracks_windows_and_late_batches() {
         let clock = WindowClock::new(1000);
         let mut state = SnapshotState::default();
-        state.record_batch(&batch(clock.window(0), 3));
-        state.record_batch(&batch(clock.window(1), 2));
-        state.record_close(clock.window(0));
-        state.record_close(clock.window(0)); // idempotent
-        state.record_batch(&batch(clock.window(0), 1)); // late
-        let snap = state.snapshot(BusStats::default(), MigrationStats::default());
+        state.record_batch(&batch(clock.window(0), 3), 0);
+        state.record_batch(&batch(clock.window(1), 2), 0);
+        state.record_close(clock.window(0), 1);
+        state.record_close(clock.window(0), 1); // idempotent
+        state.record_batch(&batch(clock.window(0), 1), 0); // late
+        let snap = state.snapshot(BusStats::default(), &[], MigrationStats::default());
         assert_eq!(snap.windows_closed, 1);
         assert_eq!(snap.spe_samples, 6);
         assert_eq!(snap.batches, 3);
@@ -764,11 +1082,11 @@ mod tests {
     fn snapshot_state_tracks_per_source_counts() {
         let clock = WindowClock::new(1000);
         let mut state = SnapshotState::default();
-        state.record_batch(&batch_from(clock.window(0), 5, DataSource::L1));
-        state.record_batch(&batch_from(clock.window(0), 3, DataSource::Dram(0)));
-        state.record_batch(&batch_from(clock.window(1), 2, DataSource::RemoteDram(1)));
-        state.record_batch(&batch_from(clock.window(1), 4, DataSource::Dram(0)));
-        let snap = state.snapshot(BusStats::default(), MigrationStats::default());
+        state.record_batch(&batch_from(clock.window(0), 5, DataSource::L1), 0);
+        state.record_batch(&batch_from(clock.window(0), 3, DataSource::Dram(0)), 1);
+        state.record_batch(&batch_from(clock.window(1), 2, DataSource::RemoteDram(1)), 0);
+        state.record_batch(&batch_from(clock.window(1), 4, DataSource::Dram(0)), 1);
+        let snap = state.snapshot(BusStats::default(), &[], MigrationStats::default());
         assert_eq!(snap.samples_from(DataSource::L1), 5);
         assert_eq!(snap.samples_from(DataSource::Dram(0)), 7);
         assert_eq!(snap.samples_from(DataSource::RemoteDram(1)), 2);
@@ -779,5 +1097,157 @@ mod tests {
         let mut sorted = sources.clone();
         sorted.sort();
         assert_eq!(sources, sorted);
+        // Per-shard counts surfaced in the snapshot, ascending by shard.
+        assert_eq!(snap.per_shard.len(), 2);
+        assert_eq!(snap.per_shard[0].batches, 2);
+        assert_eq!(snap.per_shard[0].spe_samples, 7);
+        assert_eq!(snap.per_shard[1].spe_samples, 7);
+    }
+
+    #[test]
+    fn batch_caches_max_time_at_construction() {
+        let clock = WindowClock::new(1000);
+        let samples = vec![
+            AddressSample {
+                time_ns: 120,
+                vaddr: 0x1000,
+                core: 0,
+                is_store: false,
+                latency: 1,
+                source: DataSource::L1,
+            },
+            AddressSample {
+                time_ns: 990,
+                vaddr: 0x1008,
+                core: 0,
+                is_store: true,
+                latency: 2,
+                source: DataSource::L1,
+            },
+        ];
+        let batch = SampleBatch::new(
+            "spe",
+            Some(0),
+            clock.window(0),
+            BatchPayload::SpeSamples { samples, loss: SpeStatsSnapshot::default() },
+        );
+        assert_eq!(batch.max_time_ns(), Some(990));
+        assert_eq!(batch.len(), 2);
+        let counters = SampleBatch::new(
+            "counters",
+            None,
+            clock.window(0),
+            BatchPayload::CounterDeltas { deltas: Vec::new() },
+        );
+        assert_eq!(counters.max_time_ns(), None, "counter deltas carry no timestamps");
+    }
+
+    #[test]
+    fn sharded_bus_partitions_by_core_and_rolls_up_stats() {
+        let bus = ShardedBus::new(4, 2, BackpressurePolicy::DropNewest);
+        assert_eq!(bus.shards(), 4);
+        assert_eq!(bus.lane_for_core(Some(0)), 0);
+        assert_eq!(bus.lane_for_core(Some(5)), 1);
+        assert_eq!(bus.lane_for_core(Some(7)), 3);
+        assert_eq!(bus.lane_for_core(None), 0, "core-less batches ride lane 0");
+
+        let clock = WindowClock::new(1000);
+        let core_batch = |core: usize, n: usize| {
+            SampleBatch::new(
+                "spe",
+                Some(core),
+                clock.window(0),
+                BatchPayload::SpeSamples {
+                    samples: vec![
+                        AddressSample {
+                            time_ns: 10,
+                            vaddr: 0x1000,
+                            core,
+                            is_store: false,
+                            latency: 1,
+                            source: DataSource::L1,
+                        };
+                        n
+                    ],
+                    loss: SpeStatsSnapshot::default(),
+                },
+            )
+        };
+        // Fill lane 1 (cores 1 and 5) to capacity, then overflow it.
+        assert!(bus.publish(core_batch(1, 1)));
+        assert!(bus.publish(core_batch(5, 1)));
+        assert!(!bus.publish(core_batch(1, 3)), "lane 1 is full");
+        // Lane 2 is unaffected by lane 1's backpressure.
+        assert!(bus.publish(core_batch(2, 1)));
+
+        let lanes = bus.lane_stats();
+        assert_eq!(lanes.len(), 4);
+        assert_eq!(lanes[1].published, 2);
+        assert_eq!(lanes[1].dropped_batches, 1);
+        assert_eq!(lanes[1].dropped_items, 3);
+        assert_eq!(lanes[2].published, 1);
+        assert_eq!(lanes[0].published, 0);
+
+        let rolled = bus.stats();
+        assert_eq!(rolled.published, 3);
+        assert_eq!(rolled.dropped_batches, 1);
+        assert_eq!(rolled.dropped_items, 3);
+        assert_eq!(rolled.capacity, 4 * 2);
+
+        // Sequence numbers are globally unique and ascending per lane.
+        let mut seqs = Vec::new();
+        bus.broadcast_close(clock.window(0));
+        bus.close_all();
+        for lane in 0..4 {
+            let mut closes = 0;
+            loop {
+                match bus.lane(lane).recv_timeout(Duration::from_millis(50)) {
+                    BusRecv::Event(BusEvent::Batch(b)) => seqs.push(b.seq),
+                    BusRecv::Event(BusEvent::CloseWindow(w)) => {
+                        assert_eq!(w.index, 0);
+                        closes += 1;
+                    }
+                    BusRecv::Closed => break,
+                    BusRecv::TimedOut => panic!("lane {lane} must drain then close"),
+                }
+            }
+            assert_eq!(closes, 1, "every lane sees the broadcast close");
+        }
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 3, "published batches carry distinct sequence numbers");
+    }
+
+    #[test]
+    fn batch_pool_recycles_buffers() {
+        let pool = BatchPool::new(4);
+        let mut samples = pool.samples();
+        samples.reserve(128);
+        let cap = samples.capacity();
+        assert!(cap >= 128);
+        pool.recycle_samples(samples);
+        let reused = pool.samples();
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= cap, "capacity survives the recycle round-trip");
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(pool.stats().allocated, 1);
+
+        // Batch recycling feeds sample buffers back too.
+        let clock = WindowClock::new(1000);
+        let batch = SampleBatch::new(
+            "spe",
+            Some(0),
+            clock.window(0),
+            BatchPayload::SpeSamples { samples: reused, loss: SpeStatsSnapshot::default() },
+        );
+        pool.recycle_batch(batch);
+        assert!(pool.samples().capacity() >= cap);
+
+        // The pool is bounded: recycles beyond `max_pooled` are dropped.
+        for _ in 0..16 {
+            pool.recycle_bytes(vec![0u8; 8]);
+        }
+        let pooled: usize = (0..16).filter(|_| pool.bytes().capacity() > 0).count();
+        assert!(pooled <= 4, "at most max_pooled byte buffers retained, got {pooled}");
     }
 }

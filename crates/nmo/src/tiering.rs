@@ -35,7 +35,9 @@ use arch_sim::{Machine, MachineConfig, NodeId};
 
 use crate::latency::{LatencyHistogram, LatencyProfile};
 use crate::runtime::{AddressSample, Profile};
-use crate::sink::{AnalysisReport, AnalysisSink, StreamContext};
+use crate::sink::{
+    AnalysisReport, AnalysisSink, ShardState, ShardableSink, SinkShard, StreamContext,
+};
 use crate::stream::{BatchPayload, SampleBatch, Window};
 use crate::NmoError;
 
@@ -538,7 +540,7 @@ impl HotPageTracker {
 
     /// Fold every SPE sample of a batch into the tracker.
     pub fn ingest(&mut self, batch: &SampleBatch) {
-        if let BatchPayload::SpeSamples { samples, .. } = &batch.payload {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
             for s in samples {
                 self.observe(s);
             }
@@ -632,6 +634,165 @@ impl HotPageTracker {
     }
 }
 
+/// One page's contribution from one shard's slice of one window (the unit
+/// of the tracker's deterministic window-close merge).
+#[derive(Debug, Clone, Copy, Default)]
+struct PageDelta {
+    heat: f64,
+    dram_heat: f64,
+    samples: u64,
+    lat_sum: f64,
+    lat_count: f64,
+    /// Node/tier of the *last* DRAM-class sample this shard saw for the
+    /// page (only meaningful when `saw_dram`).
+    node: NodeId,
+    remote: bool,
+    saw_dram: bool,
+}
+
+/// One shard's per-window digest of the sample stream: per-page deltas plus
+/// the latency contributions the tracker folds into its segments and
+/// local-DRAM baseline at merge time.
+#[derive(Debug, Default)]
+struct TrackerDigest {
+    pages: BTreeMap<u64, PageDelta>,
+    local_dram: LatencyHistogram,
+    latency: LatencyProfile,
+    last_seen_ns: u64,
+}
+
+impl TrackerDigest {
+    fn observe(&mut self, s: &AddressSample, page_bytes: u64) {
+        let page_addr = s.vaddr & !(page_bytes - 1);
+        let delta = self.pages.entry(page_addr).or_default();
+        delta.heat += 1.0;
+        delta.samples += 1;
+        if s.source.is_dram_class() {
+            delta.dram_heat += 1.0;
+            delta.node = s.source.node().unwrap_or(0);
+            delta.remote = s.source.is_remote();
+            delta.saw_dram = true;
+            delta.lat_sum += s.latency as f64;
+            delta.lat_count += 1.0;
+            if !s.source.is_remote() {
+                self.local_dram.record(s.latency);
+            }
+        }
+        self.latency.record(s.source, s.latency);
+        self.last_seen_ns = self.last_seen_ns.max(s.time_ns);
+    }
+
+    /// Fold `other` into this digest (used for the shard's leftover windows
+    /// at finish; ascending window order keeps it deterministic).
+    fn absorb(&mut self, other: TrackerDigest) {
+        for (page_addr, delta) in other.pages {
+            let mine = self.pages.entry(page_addr).or_default();
+            mine.heat += delta.heat;
+            mine.dram_heat += delta.dram_heat;
+            mine.samples += delta.samples;
+            mine.lat_sum += delta.lat_sum;
+            mine.lat_count += delta.lat_count;
+            if delta.saw_dram {
+                mine.node = delta.node;
+                mine.remote = delta.remote;
+                mine.saw_dram = true;
+            }
+        }
+        self.local_dram.merge(&other.local_dram);
+        self.latency.merge(&other.latency);
+        self.last_seen_ns = self.last_seen_ns.max(other.last_seen_ns);
+    }
+}
+
+/// One shard's worker for a sharded [`HotPageTracker`]: it digests its
+/// lane's samples *per window* and hands each window's digest back at the
+/// window close, so the parent tracker merges the shards in ascending shard
+/// index and decides over the globally merged heat — sharded decisions are
+/// therefore a deterministic function of the per-window sample sets, not of
+/// cross-lane arrival timing.
+struct TrackerShard {
+    page_bytes: u64,
+    pending: BTreeMap<u64, TrackerDigest>,
+}
+
+impl SinkShard for TrackerShard {
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+            let digest = self.pending.entry(batch.window.index).or_default();
+            for s in samples {
+                digest.observe(s, self.page_bytes);
+            }
+        }
+    }
+
+    fn on_window_close(&mut self, window: Window) -> Option<ShardState> {
+        Some(Box::new(self.pending.remove(&window.index).unwrap_or_default()))
+    }
+
+    fn finish(self: Box<Self>) -> ShardState {
+        // Late windows that never saw a close: fold them into one leftover
+        // digest, ascending by window index.
+        let mut leftover = TrackerDigest::default();
+        for (_, digest) in self.pending {
+            leftover.absorb(digest);
+        }
+        Box::new(leftover)
+    }
+}
+
+impl HotPageTracker {
+    /// Merge one digest into the tracker's live per-page state (pinned
+    /// homes override the digest's tier view, exactly like
+    /// [`HotPageTracker::observe`] does on the serial path).
+    fn absorb_digest(&mut self, digest: TrackerDigest) {
+        for (page_addr, delta) in digest.pages {
+            let entry = self.pages.entry(page_addr).or_insert_with(|| {
+                self.pages_tracked += 1;
+                PageState::default()
+            });
+            entry.heat += delta.heat;
+            entry.dram_heat += delta.dram_heat;
+            entry.samples += delta.samples;
+            entry.lat_sum += delta.lat_sum;
+            entry.lat_count += delta.lat_count;
+            if delta.saw_dram {
+                let (node, remote) = match self.pinned.get(&page_addr) {
+                    Some(&(node, remote)) => (node, remote),
+                    None => (delta.node, delta.remote),
+                };
+                entry.node = node;
+                entry.remote = remote;
+            }
+        }
+        self.local_dram.merge(&digest.local_dram);
+        self.segments.last_mut().expect("segments never empty").merge(&digest.latency);
+        self.last_seen_ns = self.last_seen_ns.max(digest.last_seen_ns);
+    }
+}
+
+impl ShardableSink for HotPageTracker {
+    fn make_shard(&mut self, _shard: usize, ctx: &StreamContext) -> Box<dyn SinkShard> {
+        let page_bytes = if self.configured { self.page_bytes } else { ctx.page_bytes };
+        Box::new(TrackerShard { page_bytes, pending: BTreeMap::new() })
+    }
+
+    fn merge_window(&mut self, window: Window, states: Vec<ShardState>) {
+        for state in states {
+            let digest = state.downcast::<TrackerDigest>().expect("a TrackerShard digest");
+            self.absorb_digest(*digest);
+        }
+        let machine = self.machine.clone();
+        self.close_window(window, machine.as_deref());
+    }
+
+    fn merge_final(&mut self, states: Vec<ShardState>) {
+        for state in states {
+            let digest = state.downcast::<TrackerDigest>().expect("a TrackerShard digest");
+            self.absorb_digest(*digest);
+        }
+    }
+}
+
 impl AnalysisSink for HotPageTracker {
     fn name(&self) -> &'static str {
         "tiering"
@@ -673,6 +834,10 @@ impl AnalysisSink for HotPageTracker {
             return self.analyze(machine, profile);
         }
         Ok(AnalysisReport::Tiering(self.report()))
+    }
+
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+        Some(self)
     }
 }
 
@@ -833,6 +998,113 @@ mod tests {
         assert_eq!(report.settled, report.after, "one migration epoch: settled == after");
         assert!(report.before.total_count() > 0);
         assert!(!report.is_empty());
+    }
+
+    /// The sharded tracker contract: partitioning a per-window sample
+    /// stream over N shards and merging digests in shard order at each
+    /// window close must reproduce the serial tracker's state — same heat,
+    /// same latency segments, and (with a machine attached) the same
+    /// migration decisions.
+    #[test]
+    fn sharded_tracker_merge_matches_serial_ingestion() {
+        use crate::stream::SampleBatch;
+
+        let machine = || {
+            Machine::new(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+                local_fraction: 0.0,
+            }))
+        };
+        let serial_machine = machine();
+        let sharded_machine = machine();
+        let page = serial_machine.config().page_bytes;
+        let clock = WindowClock::new(1000);
+        let shards = 4usize;
+
+        // Touch 6 pages so they are resident (remote under TierSplit 0.0).
+        let touch = |m: &Machine| {
+            let region = m.alloc("data", 6 * page).unwrap();
+            let mut e = m.attach(0).unwrap();
+            for p in 0..6u64 {
+                e.store(region.start + p * page, 8);
+            }
+            region.start
+        };
+        let serial_base = touch(&serial_machine);
+        let sharded_base = touch(&sharded_machine);
+        assert_eq!(serial_base, sharded_base, "identical machines place identically");
+
+        // A deterministic windowed stream over 8 cores: page p is hammered
+        // in proportion to its index, so the top-k choice is unambiguous.
+        let batches_for = |base: u64| {
+            let mut batches = Vec::new();
+            for window in 0..4u64 {
+                for core in 0..8usize {
+                    let samples: Vec<AddressSample> = (0..12u64)
+                        .map(|i| {
+                            let p = (i + core as u64) % 6;
+                            sample(
+                                base + p * page + (i % 8) * 64,
+                                DataSource::RemoteDram(1),
+                                700 + (p * 10) as u16,
+                                window * 1000 + i * 80,
+                            )
+                        })
+                        .collect();
+                    batches.push(SampleBatch::new(
+                        "spe",
+                        Some(core),
+                        clock.window(window),
+                        BatchPayload::SpeSamples { samples, loss: Default::default() },
+                    ));
+                }
+            }
+            batches
+        };
+
+        // Serial reference: ingest in stream order, close each window.
+        let mut serial = HotPageTracker::new(TopKHot::new(2, 1));
+        serial.configure(serial_machine.config());
+        let mut serial_applied = Vec::new();
+        for window in 0..4u64 {
+            for b in batches_for(serial_base).iter().filter(|b| b.window.index == window) {
+                serial.ingest(b);
+            }
+            serial_applied.extend(serial.close_window(clock.window(window), Some(&serial_machine)));
+        }
+
+        // Sharded: per-core lanes, window digests merged in shard order.
+        let mut sharded = HotPageTracker::new(TopKHot::new(2, 1));
+        sharded.configure(sharded_machine.config());
+        sharded.machine = Some(Arc::new(sharded_machine));
+        let ctx = StreamContext {
+            annotations: Arc::new(crate::annotate::Annotations::new()),
+            capacity_bytes: 1 << 30,
+            bucket_ns: 1000,
+            mem_nodes: 2,
+            page_bytes: page,
+            machine: None,
+        };
+        let mut workers: Vec<Box<dyn SinkShard>> =
+            (0..shards).map(|s| ShardableSink::make_shard(&mut sharded, s, &ctx)).collect();
+        for b in &batches_for(sharded_base) {
+            workers[b.core.unwrap() % shards].on_batch(b);
+        }
+        for window in 0..4u64 {
+            let states: Vec<ShardState> = workers
+                .iter_mut()
+                .map(|w| w.on_window_close(clock.window(window)).expect("tracker digests"))
+                .collect();
+            sharded.merge_window(clock.window(window), states);
+        }
+
+        assert!(!serial_applied.is_empty(), "the policy migrated something");
+        assert_eq!(sharded.applied(), &serial_applied[..], "identical migration decisions");
+        let (s, m) = (serial.report(), sharded.report());
+        assert_eq!(s.before, m.before);
+        assert_eq!(s.after, m.after);
+        assert_eq!(s.settled, m.settled);
+        assert_eq!(s.pages_tracked, m.pages_tracked);
+        assert_eq!(s.windows_closed, m.windows_closed);
     }
 
     #[test]

@@ -301,10 +301,30 @@ impl AuxBuffer {
 
     /// Consumer side: copy `len` bytes starting at monotonic offset `offset`.
     pub fn read_at(&self, offset: u64, len: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.read_into(offset, len, &mut out);
+        out
+    }
+
+    /// Consumer side: copy `len` bytes starting at monotonic offset `offset`
+    /// into `out` (cleared first). The zero-allocation read path: callers on
+    /// the drain hot loop reuse one scratch buffer across reads instead of
+    /// allocating per aux record.
+    pub fn read_into(&self, offset: u64, len: u64, out: &mut Vec<u8>) {
         let inner = self.inner.lock();
         let cap = self.capacity as usize;
         let start = (offset % self.capacity) as usize;
-        (0..len as usize).map(|i| inner.buf[(start + i) % cap]).collect()
+        out.clear();
+        out.reserve(len as usize);
+        // Copy contiguous runs instead of a byte-at-a-time modulo walk.
+        let mut remaining = len as usize;
+        let mut pos = start;
+        while remaining > 0 {
+            let run = remaining.min(cap - pos);
+            out.extend_from_slice(&inner.buf[pos..pos + run]);
+            remaining -= run;
+            pos = (pos + run) % cap;
+        }
     }
 
     /// Consumer side: advance the tail to monotonic offset `new_tail`,
@@ -386,6 +406,26 @@ mod tests {
         aux.advance_tail(off + data.len() as u64, &meta);
         assert_eq!(aux.unconsumed(), 0);
         assert_eq!(meta.aux_tail.load(Ordering::Relaxed), 255);
+    }
+
+    /// `read_into` reuses the caller's scratch buffer (the drain hot path's
+    /// zero-allocation read) and agrees with `read_at` across a wrap.
+    #[test]
+    fn aux_read_into_reuses_scratch_across_wrap() {
+        let meta = MetadataPage::default();
+        let aux = AuxBuffer::new(1, 256).unwrap();
+        let mut scratch = Vec::new();
+        let mut expected_cap = 0usize;
+        for round in 0..10u8 {
+            let data: Vec<u8> = (0..96u8).map(|i| i.wrapping_add(round)).collect();
+            let off = aux.write(&data, &meta).unwrap();
+            aux.read_into(off, data.len() as u64, &mut scratch);
+            assert_eq!(scratch, data);
+            assert_eq!(scratch, aux.read_at(off, data.len() as u64));
+            assert!(scratch.capacity() >= expected_cap, "scratch capacity never shrinks");
+            expected_cap = scratch.capacity();
+            aux.advance_tail(off + data.len() as u64, &meta);
+        }
     }
 
     #[test]

@@ -33,8 +33,12 @@ fn main() -> Result<(), NmoError> {
             ..NmoConfig::paper_default(1024)
         })
         .threads(8)
-        // 250 µs simulated windows so the live readout has plenty of them.
-        .stream_options(StreamOptions { window_ns: 250_000, ..StreamOptions::default() })
+        // 250 µs simulated windows so the live readout has plenty of them,
+        // and 4 pipeline shards: the 8 profiled cores are drained by 4
+        // parallel pump workers onto 4 bus lanes, consumed by 4 shard
+        // consumers whose partial states merge deterministically (shards: 0
+        // would auto-size to min(cores, available_parallelism)).
+        .stream_options(StreamOptions { window_ns: 250_000, shards: 4, ..StreamOptions::default() })
         .build()?;
 
     // Workloads are set up against the session's machine before collection
@@ -79,7 +83,9 @@ fn main() -> Result<(), NmoError> {
     println!("workload issued {} memory ops", report.mem_ops);
     if let Some(stats) = &profile.stream {
         println!(
-            "pipeline: {} batches over {} windows, {} dropped by backpressure, {} late",
+            "pipeline: {} shards, {} batches over {} windows, {} dropped by backpressure, \
+             {} late",
+            stats.shards,
             stats.batches_published,
             stats.windows_closed,
             stats.batches_dropped,

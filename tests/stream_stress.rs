@@ -1,0 +1,139 @@
+//! Sharded-pipeline stress tests: the full 128-core machine at the
+//! smallest sampling period, under both backpressure policies.
+//!
+//! What must hold (the acceptance criteria of the sharding refactor):
+//!
+//! * no deadlock — every configuration runs to completion, including lanes
+//!   small enough to force constant backpressure;
+//! * exact accounting — under `Block` nothing is lost (every decoded sample
+//!   reaches every sink exactly once), under `DropNewest` the drops are
+//!   counted per lane and rolled up, and the final [`Profile`] stays the
+//!   complete record either way (bus loss affects live sinks, never the
+//!   post-hoc data);
+//! * sharded == serial — a deterministic (single-worker-core) PageRank run
+//!   produces bit-identical reports through 8 shards and through the serial
+//!   pipeline (the STREAM equivalence lives in `tests/streaming.rs`).
+
+use nmo_repro::arch_sim::MachineConfig;
+use nmo_repro::nmo::{
+    BackpressurePolicy, BandwidthSink, CapacitySink, LatencySink, NmoConfig, Profile,
+    ProfileSession, RegionSink, StreamOptions,
+};
+use nmo_repro::workloads::{PageRank, StreamBench};
+
+/// All 128 cores of the paper's machine, smallest sampling period, the
+/// standard sink set, and an aggressive aux watermark so samples stream
+/// while windows are open.
+fn altra_stress_session(
+    shards: usize,
+    bus_capacity: usize,
+    policy: BackpressurePolicy,
+) -> ProfileSession {
+    ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(NmoConfig { aux_watermark_bytes: Some(16 * 1024), ..NmoConfig::paper_default(1) })
+        .threads(128)
+        .sink(CapacitySink::default())
+        .sink(BandwidthSink::default())
+        .sink(RegionSink::default())
+        .sink(LatencySink::default())
+        .stream_options(StreamOptions {
+            window_ns: 100_000,
+            bus_capacity,
+            backpressure: policy,
+            shards,
+            ..StreamOptions::default()
+        })
+        .workload(Box::new(StreamBench::new(64_000, 1)))
+        .build()
+        .expect("session builds")
+}
+
+/// 128 simulated cores at period 1 through 8 shards with lanes too small to
+/// keep up: the run must complete (no deadlock), count every drop, and
+/// still assemble the complete sample record.
+#[test]
+fn stress_128_cores_dropnewest_counts_drops_exactly() {
+    let profile = altra_stress_session(8, 2, BackpressurePolicy::DropNewest)
+        .run_streaming()
+        .expect("streaming run completes");
+    let stats = profile.stream.expect("stream stats");
+    assert_eq!(stats.shards, 8);
+    assert!(stats.batches_published > 0, "{stats:?}");
+    assert!(stats.windows_closed > 0, "{stats:?}");
+    assert!(
+        stats.batches_dropped > 0 && stats.items_dropped > 0,
+        "2-deep lanes at period 1 must overflow: {stats:?}"
+    );
+    // Bus loss never corrupts the post-hoc record: every decoded sample is
+    // in the profile even though some batches never reached the sinks.
+    assert!(profile.processed_samples > 10_000, "{}", profile.processed_samples);
+    assert_eq!(profile.samples.len() as u64, profile.processed_samples);
+    // The loss is surfaced, not silent.
+    assert!(profile.summary().contains("bus loss"), "{}", profile.summary());
+    // The live latency sink saw at most what the bus delivered.
+    let delivered = profile.latency().total_count();
+    assert!(delivered < profile.processed_samples, "drops must cost the live sinks something");
+}
+
+/// The lossless arm: `Block` backpressure on the same overloaded
+/// configuration stalls the pump workers instead of dropping, so every
+/// decoded sample reaches every sink exactly once — and nothing deadlocks
+/// even with 8 pump workers blocking on 2-deep lanes.
+#[test]
+fn stress_128_cores_block_is_lossless_and_deadlock_free() {
+    let profile = altra_stress_session(8, 2, BackpressurePolicy::Block)
+        .run_streaming()
+        .expect("streaming run completes");
+    let stats = profile.stream.expect("stream stats");
+    assert_eq!(stats.shards, 8);
+    assert_eq!(stats.batches_dropped, 0, "{stats:?}");
+    assert_eq!(stats.items_dropped, 0, "{stats:?}");
+    assert!(profile.processed_samples > 10_000, "{}", profile.processed_samples);
+    assert_eq!(profile.samples.len() as u64, profile.processed_samples);
+    // Exact delivery accounting: with no drops, the streaming latency sink
+    // saw exactly the decoded sample set, and the region sink attributed
+    // exactly one scatter point per sample.
+    assert_eq!(profile.latency().total_count(), profile.processed_samples);
+    assert_eq!(profile.regions().scatter.len() as u64, profile.processed_samples);
+}
+
+fn pagerank_session(shards: usize) -> ProfileSession {
+    ProfileSession::builder()
+        .machine_config(MachineConfig::small_test())
+        .config(NmoConfig::paper_default(100))
+        .threads(1)
+        .sink(CapacitySink::default())
+        .sink(BandwidthSink::default())
+        .sink(RegionSink::default())
+        .sink(LatencySink::default())
+        .stream_options(StreamOptions { window_ns: 100_000, shards, ..StreamOptions::default() })
+        .workload(Box::new(PageRank::new(1 << 11, 8, 2)))
+        .build()
+        .expect("session builds")
+}
+
+fn assert_profiles_equivalent(sharded: &Profile, serial: &Profile) {
+    assert_eq!(sharded.samples, serial.samples, "identical decoded sample streams");
+    assert_eq!(sharded.processed_samples, serial.processed_samples);
+    assert_eq!(sharded.capacity, serial.capacity);
+    assert_eq!(sharded.bandwidth, serial.bandwidth);
+    assert_eq!(sharded.latency(), serial.latency());
+    let (rs, rp) = (sharded.regions(), serial.regions());
+    assert_eq!(rs.per_tag, rp.per_tag);
+    assert_eq!(rs.per_phase, rp.per_phase);
+    assert_eq!(rs.untagged_samples, rp.untagged_samples);
+    assert_eq!(rs.scatter.len(), rp.scatter.len());
+}
+
+/// PageRank through 8 shards equals PageRank through the serial pipeline
+/// (single worker core → deterministic simulation → bit-for-bit reports).
+#[test]
+fn pagerank_sharded_equals_serial() {
+    let serial = pagerank_session(1).run_streaming().expect("serial run");
+    let sharded = pagerank_session(8).run_streaming().expect("sharded run");
+    assert!(serial.processed_samples > 500, "{}", serial.processed_samples);
+    assert_profiles_equivalent(&sharded, &serial);
+    assert_eq!(sharded.stream.expect("stats").shards, 8);
+    assert_eq!(sharded.stream.expect("stats").batches_dropped, 0);
+}

@@ -139,6 +139,53 @@ fn tiered_stream_latency_is_bimodal_and_streaming_matches_post_hoc() {
     assert_eq!(streamed.bandwidth, post_hoc.bandwidth);
 }
 
+/// The sharded pipeline on a deterministic (single-worker-core) run is
+/// bit-for-bit the serial pipeline: same samples, same capacity/bandwidth
+/// series, same region stats, same latency histograms. Forcing 4 shards on
+/// a 1-core run exercises the whole sharded machinery — pump workers, lane
+/// routing, shard consumers, ordered merge — while keeping the simulation
+/// reproducible.
+#[test]
+fn sharded_streaming_matches_serial_streaming_bit_for_bit() {
+    let with_shards = |shards: usize| {
+        ProfileSession::builder()
+            .machine_config(MachineConfig::small_test())
+            .config(NmoConfig::paper_default(200))
+            .threads(1)
+            .sink(CapacitySink::default())
+            .sink(BandwidthSink::default())
+            .sink(RegionSink::default())
+            .sink(LatencySink::default())
+            .stream_options(StreamOptions {
+                window_ns: 100_000,
+                shards,
+                ..StreamOptions::default()
+            })
+            .workload(Box::new(StreamBench::new(60_000, 2)))
+            .build()
+            .expect("session builds")
+    };
+    let serial = with_shards(1).run_streaming().expect("serial streaming run");
+    let sharded = with_shards(4).run_streaming().expect("sharded streaming run");
+
+    assert_eq!(sharded.samples, serial.samples, "identical decoded sample streams");
+    assert_eq!(sharded.processed_samples, serial.processed_samples);
+    assert_eq!(sharded.capacity, serial.capacity);
+    assert_eq!(sharded.bandwidth, serial.bandwidth);
+    assert_eq!(sharded.latency(), serial.latency());
+    let (rs, rp) = (sharded.regions(), serial.regions());
+    assert_eq!(rs.per_tag, rp.per_tag);
+    assert_eq!(rs.per_phase, rp.per_phase);
+    assert_eq!(rs.untagged_samples, rp.untagged_samples);
+    assert_eq!(rs.scatter.len(), rp.scatter.len());
+
+    let serial_stats = serial.stream.expect("serial stats");
+    let sharded_stats = sharded.stream.expect("sharded stats");
+    assert_eq!(serial_stats.shards, 1);
+    assert_eq!(sharded_stats.shards, 4);
+    assert_eq!(sharded_stats.batches_dropped, 0, "default bus must not drop");
+}
+
 /// Live readout: snapshots observed while the STREAM workload is still
 /// running grow monotonically and expose non-empty windows.
 #[test]
