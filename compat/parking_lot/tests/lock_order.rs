@@ -1,0 +1,159 @@
+//! End-to-end tests for the runtime lock-order checker.
+//!
+//! These run in one process (cargo's test harness), so each test uses its
+//! own lock instances and distinct names; the global acquisition graph is
+//! append-only and shared.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{check, lock_report, Mutex};
+
+fn ab_pair(a: &'static str, b: &'static str) -> (Arc<Mutex<u32>>, Arc<Mutex<u32>>) {
+    (Arc::new(Mutex::named(0, a)), Arc::new(Mutex::named(0, b)))
+}
+
+/// The seeded inversion: one thread establishes A -> B, another attempts
+/// B -> A. The checker must panic at the second acquisition instead of
+/// letting the schedule decide between "fine" and "deadlock".
+#[test]
+fn seeded_inversion_panics() {
+    check::force_enable();
+    let (a, b) = ab_pair("test.inv.a", "test.inv.b");
+
+    // Establish the order A -> B.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    // Attempt the inverse order on another thread; the panic must carry
+    // both lock names so the report is actionable.
+    let handle = std::thread::spawn(move || {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    });
+    let err = handle.join().expect_err("inverted acquisition must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("inversion"), "panic message: {msg}");
+    assert!(msg.contains("test.inv.a") && msg.contains("test.inv.b"), "panic message: {msg}");
+}
+
+/// Transitive inversions are caught too: A -> B and B -> C establish
+/// A ->* C, so C -> A must panic even though no thread ever held C and A
+/// together before.
+#[test]
+fn transitive_inversion_panics() {
+    check::force_enable();
+    let a = Arc::new(Mutex::named(0u32, "test.tr.a"));
+    let b = Arc::new(Mutex::named(0u32, "test.tr.b"));
+    let c = Arc::new(Mutex::named(0u32, "test.tr.c"));
+
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _gc = c.lock();
+    }
+    let handle = std::thread::spawn(move || {
+        let _gc = c.lock();
+        let _ga = a.lock();
+    });
+    assert!(handle.join().is_err(), "transitive inversion must panic");
+}
+
+/// Re-locking a mutex the thread already holds would deadlock under std;
+/// the checker reports it instead.
+#[test]
+fn self_deadlock_panics() {
+    check::force_enable();
+    let m = Arc::new(Mutex::named(0u32, "test.self.m"));
+    let handle = std::thread::spawn(move || {
+        let _g1 = m.lock();
+        let _g2 = m.lock();
+    });
+    let err = handle.join().expect_err("recursive lock must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("self-deadlock"), "panic message: {msg}");
+}
+
+/// Consistent ordering across threads never trips the checker, and the
+/// observed edges/statistics show up in the reports.
+#[test]
+fn consistent_order_is_quiet_and_reported() {
+    check::force_enable();
+    let (a, b) = ab_pair("test.ok.a", "test.ok.b");
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let mut ga = a.lock();
+                    let mut gb = b.lock();
+                    *ga += 1;
+                    *gb += 1;
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("consistent order must not panic");
+    }
+    assert_eq!(*a.lock(), 400);
+
+    let report = lock_report();
+    let stat = |name: &str| report.iter().find(|s| s.name == name).expect("lock in report");
+    // 400 loop acquisitions + the final assertion's read for `a`.
+    assert!(stat("test.ok.a").acquisitions >= 401, "report: {report:?}");
+    assert!(stat("test.ok.b").acquisitions >= 400, "report: {report:?}");
+    assert!(
+        check::order_edges().contains(&("test.ok.a".to_string(), "test.ok.b".to_string())),
+        "edges: {:?}",
+        check::order_edges()
+    );
+}
+
+/// `try_lock` in the inverse order must not panic — it cannot block, so it
+/// cannot deadlock; it still contributes edges for later blocking checks.
+#[test]
+fn try_lock_in_reverse_order_is_allowed() {
+    check::force_enable();
+    let (a, b) = ab_pair("test.try.a", "test.try.b");
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let _gb = b.lock();
+    let ga = a.try_lock();
+    assert!(ga.is_some(), "uncontended try_lock should succeed");
+}
+
+/// Hold times around a condvar wait exclude the sleep: the guard is
+/// released for the duration of the wait, so max_hold_ns for the lock must
+/// stay far below the wait timeout.
+#[test]
+fn condvar_wait_splits_hold_times() {
+    use std::time::Instant;
+    check::force_enable();
+    let m = Mutex::named(false, "test.cv.m");
+    let cv = parking_lot::Condvar::new();
+    let mut g = m.lock();
+    let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(200));
+    assert!(res.timed_out());
+    drop(g);
+
+    let report = lock_report();
+    let stat = report.iter().find(|s| s.name == "test.cv.m").expect("lock in report");
+    assert_eq!(stat.acquisitions, 2, "wait counts as release + reacquire");
+    assert!(
+        stat.max_hold_ns < Duration::from_millis(150).as_nanos() as u64,
+        "hold time must exclude the 200ms condvar wait; got {}ns",
+        stat.max_hold_ns
+    );
+}

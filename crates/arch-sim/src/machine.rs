@@ -129,6 +129,8 @@ impl Machine {
     /// Panics if the configuration is invalid; use [`MachineConfig::validate`]
     /// first if the configuration is user-supplied.
     pub fn new(cfg: MachineConfig) -> Self {
+        // unwrap-ok: the panic is this constructor's documented contract
+        // (see `# Panics` above); fallible callers validate first.
         cfg.validate().expect("invalid machine configuration");
         let timeconv =
             TimeConv { core_freq_hz: cfg.freq_hz, timer_freq_hz: 25_000_000, time_zero_ns: 0 };
@@ -140,10 +142,11 @@ impl Machine {
         );
         let topology = MemTopology::from_config(&cfg.mem);
         let slc = (0..cfg.slc_shards)
-            .map(|_| Mutex::new(Cache::new_shard(&cfg.slc, cfg.slc_shards)))
+            .map(|_| Mutex::named(Cache::new_shard(&cfg.slc, cfg.slc_shards), "machine.slc"))
             .collect();
-        let cores =
-            (0..cfg.num_cores).map(|id| Mutex::new(Some(CoreState::new(id, &cfg)))).collect();
+        let cores = (0..cfg.num_cores)
+            .map(|id| Mutex::named(Some(CoreState::new(id, &cfg)), "machine.core"))
+            .collect();
         Machine {
             cfg,
             timeconv,
@@ -151,8 +154,8 @@ impl Machine {
             topology,
             slc,
             cores,
-            rss_events: Mutex::new(Vec::new()),
-            migration_stats: Mutex::new(MigrationStats::default()),
+            rss_events: Mutex::named(Vec::new(), "machine.rss"),
+            migration_stats: Mutex::named(MigrationStats::default(), "machine.migrations"),
         }
     }
 

@@ -84,18 +84,26 @@ impl MemNode {
     /// separately toward write traffic.
     pub fn access(&self, now_cycles: u64, read_bytes: u32, write_back_bytes: u32) -> NodeAccess {
         let total_bytes = read_bytes as u64 + write_back_bytes as u64;
+        // relaxed-ok: traffic counters — monotone sums read only by the
+        // reporting getters below; no other data is published through them.
         self.read_bytes.fetch_add(read_bytes as u64, Ordering::Relaxed);
+        // relaxed-ok: traffic counter, as above.
         self.write_bytes.fetch_add(write_back_bytes as u64, Ordering::Relaxed);
+        // relaxed-ok: traffic counter, as above.
         self.accesses.fetch_add(1, Ordering::Relaxed);
 
         let now_micro = now_cycles.saturating_mul(FRAC);
         let reserve = total_bytes * self.microcycles_per_byte;
 
         // Advance the busy frontier: new_frontier = max(frontier, now) + reserve.
+        // relaxed-ok: the frontier is a self-contained monotone max in
+        // simulated time — the CAS loop only needs atomicity of the value
+        // itself; no memory is published through it.
         let mut prev = self.busy_until.load(Ordering::Relaxed);
         loop {
             let start = prev.max(now_micro);
             let next = start + reserve;
+            // relaxed-ok: as above — value-only CAS, no release payload.
             match self.busy_until.compare_exchange_weak(
                 prev,
                 next,
@@ -117,16 +125,20 @@ impl MemNode {
 
     /// Total bytes read from the node so far.
     pub fn read_bytes(&self) -> u64 {
+        // relaxed-ok: reporting read of a stats counter; a slightly stale
+        // value is fine mid-run and exact at join points.
         self.read_bytes.load(Ordering::Relaxed)
     }
 
     /// Total bytes written back to the node so far.
     pub fn write_bytes(&self) -> u64 {
+        // relaxed-ok: reporting read of a stats counter, as above.
         self.write_bytes.load(Ordering::Relaxed)
     }
 
     /// Total number of accesses served so far.
     pub fn accesses(&self) -> u64 {
+        // relaxed-ok: reporting read of a stats counter, as above.
         self.accesses.load(Ordering::Relaxed)
     }
 
@@ -147,9 +159,14 @@ impl MemNode {
 
     /// Reset traffic counters and the busy frontier (between trials).
     pub fn reset(&self) {
+        // relaxed-ok: trial boundaries are externally synchronised (the
+        // caller joins all simulated cores before resetting).
         self.busy_until.store(0, Ordering::Relaxed);
+        // relaxed-ok: as above — quiescent at trial boundaries.
         self.read_bytes.store(0, Ordering::Relaxed);
+        // relaxed-ok: as above.
         self.write_bytes.store(0, Ordering::Relaxed);
+        // relaxed-ok: as above.
         self.accesses.store(0, Ordering::Relaxed);
     }
 }

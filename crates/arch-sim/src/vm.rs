@@ -142,7 +142,7 @@ impl AddressSpace {
             capacity_bytes,
             num_nodes: num_nodes.clamp(1, MAX_MEM_NODES),
             placement,
-            inner: RwLock::new(Inner { next_free: HEAP_BASE, ..Default::default() }),
+            inner: RwLock::named(Inner { next_free: HEAP_BASE, ..Default::default() }, "vm.inner"),
         }
     }
 

@@ -13,6 +13,10 @@
 //! the 128-core configuration should sit well above the 1-shard serial
 //! pipeline; on a single-hardware-thread host the ratio degrades toward
 //! 1.0× (the file records `host_parallelism` so readers can tell).
+//!
+//! Bench-harness code: a violated setup assumption should abort the run,
+//! so panicking `expect`s are the intended failure mode here.
+// nmo-lint: allow-file(no-unwrap-in-lib)
 
 use std::path::Path;
 use std::sync::Arc;

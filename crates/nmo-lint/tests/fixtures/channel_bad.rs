@@ -1,0 +1,12 @@
+//! Fixture for `bounded-channel`: unbounded std mpsc construction is a
+//! finding; `sync_channel` (bounded) is clean.
+
+use std::sync::mpsc;
+
+pub fn unbounded_queue() -> (mpsc::Sender<u32>, mpsc::Receiver<u32>) {
+    mpsc::channel()
+}
+
+pub fn bounded_queue() -> (mpsc::SyncSender<u32>, mpsc::Receiver<u32>) {
+    mpsc::sync_channel(128)
+}

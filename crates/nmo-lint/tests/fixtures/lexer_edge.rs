@@ -1,0 +1,20 @@
+//! Fixture of lexer edge cases. Every "violation" below lives inside a
+//! string literal or a comment, so a correct lexer reports NOTHING for this
+//! file; any finding means a literal/comment boundary was mis-tracked.
+
+/* nested /* block */ comments: println!("not code"); v.unwrap(); */
+
+pub fn decoys() -> Vec<String> {
+    vec![
+        "println!(\"in a plain string\")".to_string(),
+        r#"raw string: x.unwrap() and Ordering::Relaxed"#.to_string(),
+        r##"nested fence: r#"inner"# mpsc::channel()"##.to_string(),
+        String::from_utf8_lossy(b"byte string: a.lock(); b.lock();").into_owned(),
+    ]
+}
+
+pub fn char_literals() -> (char, char, char, u8, &'static str) {
+    // The quote/punctuation char literals must not open phantom strings,
+    // and `'a` in the return type above must lex as a lifetime, not a char.
+    ('"', '\'', ' ', b'\\', "done")
+}

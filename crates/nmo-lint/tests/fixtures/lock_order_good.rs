@@ -1,0 +1,35 @@
+//! Fixture: consistent `alpha` -> `beta` ordering everywhere, plus the two
+//! exempt patterns — dropping the first guard before taking the second, and
+//! reverse order via non-blocking `try_lock`.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let mut b = self.beta.lock();
+        *b += *a;
+    }
+
+    pub fn hand_over_hand(&self) {
+        let a = self.alpha.lock();
+        let x = *a;
+        drop(a);
+        // `alpha` was released above, so this acquisition holds nothing:
+        // no beta-while-alpha edge, and no alpha -> beta edge either.
+        let mut b = self.beta.lock();
+        *b += x;
+    }
+
+    pub fn reverse_but_try(&self) {
+        let b = self.beta.lock();
+        if let Some(mut a) = self.alpha.try_lock() {
+            *a += *b;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: re-locking a mutex already held on the same path — guaranteed
+//! self-deadlock under std-backed locks.
+
+use parking_lot::Mutex;
+
+pub struct Cell {
+    inner: Mutex<u32>,
+}
+
+impl Cell {
+    pub fn double_lock(&self) -> u32 {
+        let first = self.inner.lock();
+        let second = self.inner.lock();
+        *first + *second
+    }
+}

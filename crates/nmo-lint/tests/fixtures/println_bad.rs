@@ -1,0 +1,12 @@
+//! Fixture for `no-println-in-lib`: `println!`/`print!` in library code
+//! are findings; `eprintln!` and writes to an explicit sink are clean.
+
+pub fn report(x: u32) {
+    println!("x = {x}");
+    print!("trailing");
+    eprintln!("diagnostics may go to stderr");
+}
+
+pub fn report_to(mut w: impl std::fmt::Write, x: u32) {
+    let _ = writeln!(w, "x = {x}");
+}

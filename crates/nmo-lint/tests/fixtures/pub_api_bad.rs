@@ -1,0 +1,27 @@
+//! Fixture for `pub-api-result` (loaded with a `crates/nmo/src/...`
+//! relative path by the integration tests): a public function constructing
+//! `NmoError` without surfacing a `Result` is a finding; `Result`-returning
+//! and non-public functions are clean.
+
+use crate::NmoError;
+
+pub fn swallows_error(ok: bool) -> u32 {
+    if !ok {
+        let _ = NmoError::Config("dropped on the floor".into());
+    }
+    7
+}
+
+pub fn surfaces_error(ok: bool) -> Result<u32, NmoError> {
+    if !ok {
+        return Err(NmoError::Config("surfaced".into()));
+    }
+    Ok(7)
+}
+
+pub(crate) fn internal(ok: bool) -> u32 {
+    if !ok {
+        let _ = NmoError::Config("internal plumbing".into());
+    }
+    7
+}

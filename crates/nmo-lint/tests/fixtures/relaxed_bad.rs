@@ -1,0 +1,25 @@
+//! Fixture for `relaxed-atomics-audit`: an unjustified `Ordering::Relaxed`
+//! (finding), a justified one and a multi-line call justified at the
+//! statement head (clean).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // relaxed-ok: statistics counter, no ordering dependency.
+    c.load(Ordering::Relaxed)
+}
+
+pub fn justified_multiline(c: &AtomicU64) -> bool {
+    // relaxed-ok: value-only CAS loop; the id is its own payload.
+    c.compare_exchange(
+        0,
+        1,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    )
+    .is_ok()
+}

@@ -1,0 +1,16 @@
+// nmo-lint: allow-file(no-println-in-lib)
+//! Fixture for suppression syntax: the file-level allow silences every
+//! `println!` here; the line-level allow silences exactly one unwrap, so
+//! the second unwrap is this file's only expected finding.
+
+pub fn prints(x: u32) {
+    println!("file-level allow covers this: {x}");
+    println!("and this");
+}
+
+pub fn unwraps(v: Option<u32>) -> u32 {
+    // nmo-lint: allow(no-unwrap-in-lib)
+    let a = v.unwrap();
+    let b = v.unwrap();
+    a + b
+}

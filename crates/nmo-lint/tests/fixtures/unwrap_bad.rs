@@ -1,0 +1,28 @@
+//! Fixture for `no-unwrap-in-lib`: one naked unwrap and one naked expect
+//! (both findings), one justified expect and one suppressed unwrap (clean).
+
+pub fn naked_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn naked_expect(v: Option<u32>) -> u32 {
+    v.expect("always set")
+}
+
+pub fn justified(v: Option<u32>) -> u32 {
+    // unwrap-ok: `v` is produced by `naked_unwrap`'s caller with Some.
+    v.expect("set by construction")
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // nmo-lint: allow(no-unwrap-in-lib)
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -152,7 +152,9 @@ impl Sweep {
         if products.len() < 2 {
             return 0.0;
         }
-        products.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp instead of partial_cmp().unwrap(): a NaN product (e.g.
+        // from a degenerate 0 * inf point) must not panic mid-analysis.
+        products.sort_by(f64::total_cmp);
         let median = products[products.len() / 2];
         products.iter().map(|p| (p - median).abs() / median).fold(0.0, f64::max)
     }

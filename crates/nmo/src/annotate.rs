@@ -86,15 +86,21 @@ struct Inner {
 }
 
 /// Thread-safe annotation registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Annotations {
     inner: Mutex<Inner>,
+}
+
+impl Default for Annotations {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Annotations {
     /// Create an empty registry.
     pub fn new() -> Self {
-        Self::default()
+        Annotations { inner: Mutex::named(Inner::default(), "annotations.inner") }
     }
 
     /// `nmo_tag_addr`: register a named address range.

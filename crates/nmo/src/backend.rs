@@ -156,7 +156,7 @@ pub trait ShardDrainer: Send {
 /// deposit samples into. One store per core keeps the hot decode path off a
 /// single shared lock, and lets per-shard drain workers collect disjoint
 /// core subsets without contending.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct SampleStore {
     pub(crate) samples: Mutex<Vec<AddressSample>>,
     pub(crate) processed: AtomicU64,
@@ -164,6 +164,19 @@ pub(crate) struct SampleStore {
     pub(crate) aux_records: AtomicU64,
     pub(crate) collision_flagged: AtomicU64,
     pub(crate) truncated_flagged: AtomicU64,
+}
+
+impl Default for SampleStore {
+    fn default() -> Self {
+        SampleStore {
+            samples: Mutex::named(Vec::new(), "spe.store.samples"),
+            processed: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            aux_records: AtomicU64::new(0),
+            collision_flagged: AtomicU64::new(0),
+            truncated_flagged: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Everything one SPE core's drain paths share: the perf event, statistics,
@@ -193,7 +206,6 @@ pub(crate) struct CoreSpe {
 /// 64-byte SPE record (validating the `0xb2`/`0x71` header bytes, reading
 /// the virtual address at offset 31 and the timestamp at offset 56), and
 /// converts timestamps to the perf clock via the metadata-page triple.
-#[derive(Default)]
 pub struct SpeBackend {
     cores: Vec<CoreSpe>,
     monitor: Option<JoinHandle<()>>,
@@ -208,10 +220,22 @@ pub struct SpeBackend {
     last_stats: SpeStatsSnapshot,
 }
 
+impl Default for SpeBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SpeBackend {
     /// Create an idle SPE backend.
     pub fn new() -> Self {
-        Self::default()
+        SpeBackend {
+            cores: Vec::new(),
+            monitor: None,
+            drained: Arc::new(Mutex::named(Vec::new(), "spe.drained")),
+            shard_drained: Vec::new(),
+            last_stats: SpeStatsSnapshot::default(),
+        }
     }
 
     /// Close every opened event and join the monitor thread. Idempotent.
@@ -271,7 +295,7 @@ impl SampleBackend for SpeBackend {
                 core,
                 event,
                 stats,
-                drain_gate: Arc::new(Mutex::new(())),
+                drain_gate: Arc::new(Mutex::named((), "spe.drain_gate")),
                 store: Arc::new(SampleStore::default()),
             });
             observers.push(CoreObserver { core, observer: Box::new(driver) });
@@ -316,7 +340,7 @@ impl SampleBackend for SpeBackend {
         by_shard
             .into_iter()
             .map(|(shard, cores)| {
-                let drained = Arc::new(Mutex::new(Vec::new()));
+                let drained = Arc::new(Mutex::named(Vec::new(), "spe.shard_drained"));
                 self.shard_drained.push(drained.clone());
                 Box::new(SpeShardDrainer {
                     shard,
@@ -358,11 +382,21 @@ impl SampleBackend for SpeBackend {
         let mut truncated_flagged = 0u64;
         for c in &self.cores {
             samples.append(&mut c.store.samples.lock());
-            processed += c.store.processed.load(Ordering::Relaxed);
-            skipped += c.store.skipped.load(Ordering::Relaxed);
-            aux_records += c.store.aux_records.load(Ordering::Relaxed);
-            collision_flagged += c.store.collision_flagged.load(Ordering::Relaxed);
-            truncated_flagged += c.store.truncated_flagged.load(Ordering::Relaxed);
+            let st = &c.store;
+            // relaxed-ok: loss-accounting counters; the drain gate already
+            // serialised the writers, these sums are for the report.
+            let (p, s, a, cf, tf) = (
+                st.processed.load(Ordering::Relaxed),
+                st.skipped.load(Ordering::Relaxed),
+                st.aux_records.load(Ordering::Relaxed),
+                st.collision_flagged.load(Ordering::Relaxed),
+                st.truncated_flagged.load(Ordering::Relaxed),
+            );
+            processed += p;
+            skipped += s;
+            aux_records += a;
+            collision_flagged += cf;
+            truncated_flagged += tf;
         }
         samples.sort_by_key(|s| s.time_ns);
 
@@ -543,6 +577,9 @@ pub(crate) fn monitor_loop(events: &[CoreSpe]) {
             return;
         }
         if !any_ready {
+            // The emulated-interrupt poll loop deliberately naps between
+            // checks; there is no condvar on the simulated aux buffers.
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(Duration::from_micros(200));
         }
     }
@@ -564,12 +601,14 @@ pub(crate) fn drain_event(
             Record::Aux(a) => a,
             Record::ItraceStart(_) | Record::Lost(_) => continue,
         };
+        // relaxed-ok: loss-accounting counter; the drain gate serialises
+        // drainers and the summary read happens after the final drain.
         store.aux_records.fetch_add(1, Ordering::Relaxed);
         if aux.collision() {
-            store.collision_flagged.fetch_add(1, Ordering::Relaxed);
+            store.collision_flagged.fetch_add(1, Ordering::Relaxed); // relaxed-ok: as above
         }
         if aux.truncated() {
-            store.truncated_flagged.fetch_add(1, Ordering::Relaxed);
+            store.truncated_flagged.fetch_add(1, Ordering::Relaxed); // relaxed-ok: as above
         }
         let Some(aux_buf) = event.aux() else { continue };
         aux_buf.read_into(aux.aux_offset, aux.aux_size, scratch);
@@ -599,8 +638,10 @@ pub(crate) fn drain_event(
         }
         let decoded = (samples.len() - before) as u64;
         drop(samples);
+        // relaxed-ok: loss-accounting counters, as above — the samples
+        // themselves travel through the mutex-protected store.
         store.skipped.fetch_add(decoder.skipped(), Ordering::Relaxed);
-        store.processed.fetch_add(decoded, Ordering::Relaxed);
+        store.processed.fetch_add(decoded, Ordering::Relaxed); // relaxed-ok: as above
     }
 }
 

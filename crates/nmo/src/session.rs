@@ -376,7 +376,7 @@ impl ProfileSession {
         let bus = ShardedBus::new(shards, opts.bus_capacity, opts.backpressure);
         let pool = BatchPool::new((opts.bus_capacity * shards).clamp(64, 4096));
         let stop = Arc::new(AtomicBool::new(false));
-        let snapshot = Arc::new(Mutex::new(SnapshotState::default()));
+        let snapshot = Arc::new(Mutex::named(SnapshotState::default(), "session.snapshot"));
         let machine_cfg = active.session.machine.config();
         let ctx = StreamContext {
             annotations: active.session.annotations.clone(),
@@ -435,11 +435,14 @@ impl ProfileSession {
                     }
                 }
             }
-            let merger = Arc::new(Mutex::new(MergerState {
-                sinks,
-                pending: std::collections::BTreeMap::new(),
-                legacy_close_counts: std::collections::BTreeMap::new(),
-            }));
+            let merger = Arc::new(Mutex::named(
+                MergerState {
+                    sinks,
+                    pending: std::collections::BTreeMap::new(),
+                    legacy_close_counts: std::collections::BTreeMap::new(),
+                },
+                "session.merger",
+            ));
 
             // Partition the backends' drain work: shardable backends hand
             // out per-shard workers; the rest stay on the coordinator.
@@ -463,10 +466,10 @@ impl ProfileSession {
                 }
             }
 
-            let coordinator = Arc::new(Mutex::new(CloseCoordinator::new(
-                WindowClock::new(opts.window_ns),
-                seeded_sources,
-            )));
+            let coordinator = Arc::new(Mutex::named(
+                CloseCoordinator::new(WindowClock::new(opts.window_ns), seeded_sources),
+                "session.coordinator",
+            ));
             let final_round = Arc::new(AtomicBool::new(false));
             let workers_done = Arc::new(AtomicUsize::new(0));
 
@@ -536,6 +539,7 @@ impl ProfileSession {
         for (core, mut observers) in per_core {
             let observer: Box<dyn OpObserver> = match observers.len() {
                 0 => continue,
+                // unwrap-ok: this match arm only runs when len == 1.
                 1 => observers.pop().expect("len checked"),
                 _ => Box::new(FanoutObserver::new(observers)),
             };
@@ -1003,6 +1007,18 @@ impl CloseCoordinator {
 fn publish_batch(batch: SampleBatch, bus: &ShardedBus, coordinator: &Mutex<CloseCoordinator>) {
     let marks = source_marks(&batch);
     let window_index = batch.window.index;
+    // Ordering rationale (pinned): publish-then-mark. The watermark may
+    // only advance once the data justifying it is queued on a lane —
+    // marking first would let a concurrent close-threshold computation
+    // close the batch's window before the batch is visible to its shard
+    // consumer, violating the close-after-on-time-data contract. Both
+    // operations are mutex-protected (lane queue, coordinator), so the
+    // program order here is the inter-thread order. Note this nests
+    // bus-lock inside-then-before coordinator-lock; `close_ready_windows`
+    // takes coordinator then bus, but `bus.publish` has released the lane
+    // lock before `coordinator.lock()` runs (no lock is held across the
+    // two calls), so no cycle exists — the `NMO_LOCK_CHECK` runtime
+    // checker verifies exactly this in the stress suite.
     bus.publish(batch);
     coordinator.lock().note_published(window_index, &marks);
 }
@@ -1021,7 +1037,10 @@ fn pump_loop(
     pool: Arc<BatchPool>,
 ) -> PumpOutcome {
     let seeded = backends.iter().flat_map(|b| b.stream_sources()).collect();
-    let coordinator = Mutex::new(CloseCoordinator::new(WindowClock::new(opts.window_ns), seeded));
+    let coordinator = Mutex::named(
+        CloseCoordinator::new(WindowClock::new(opts.window_ns), seeded),
+        "session.coordinator",
+    );
     let mut rss_cursor = 0usize;
     let mut result: Result<(), NmoError> = Ok(());
 
@@ -1093,6 +1112,9 @@ fn pump_loop(
 
         coordinator.lock().close_ready_windows(&bus);
 
+        // Drain cadence: the pump samples the backends at the configured
+        // wall-clock interval; nothing signals "new simulated work".
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(opts.poll_interval);
     }
 }
@@ -1226,6 +1248,8 @@ impl PumpWorker {
                 // deliver the bandwidth series, close what remains, and
                 // close the lanes so the consumers can exit.
                 while self.workers_done.load(Ordering::Acquire) < self.total_workers {
+                    // Join-barrier poll at shutdown; not on the hot path.
+                    #[allow(clippy::disallowed_methods)]
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 let bw = self.machine.bandwidth_series();
@@ -1249,6 +1273,8 @@ impl PumpWorker {
             if is_coordinator {
                 self.coordinator.lock().close_ready_windows(&self.bus);
             }
+            // Drain cadence, as in the serial pump above.
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(self.opts.poll_interval);
         }
     }
@@ -1413,12 +1439,15 @@ fn dispatch_shard_event(
                 let entry = merger.pending.entry((index, window.index)).or_default();
                 entry.push((shard, state));
                 if entry.len() == shard_count {
-                    let mut states =
-                        merger.pending.remove(&(index, window.index)).expect("just inserted");
+                    let mut states = std::mem::take(entry);
+                    merger.pending.remove(&(index, window.index));
                     states.sort_by_key(|(s, _)| *s);
                     let states = states.into_iter().map(|(_, state)| state).collect();
                     merger.sinks[index]
                         .as_shardable()
+                        // unwrap-ok: a `ShardWorker` is only constructed for
+                        // sinks whose `as_shardable()` returned Some at
+                        // session start; the sink set is immutable after.
                         .expect("shard workers only exist for shardable sinks")
                         .merge_window(*window, states);
                 }
@@ -1704,6 +1733,7 @@ mod tests {
                 assert!(snap.spe_samples > 0, "pump never delivered: {snap:?}");
                 break;
             }
+            #[allow(clippy::disallowed_methods)] // test poll loop
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         let profile = active.finish().unwrap();

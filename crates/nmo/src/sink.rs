@@ -379,6 +379,8 @@ impl ShardableSink for CapacitySink {
         // Shard order fixes the concatenation; `finish` sorts by timestamp
         // anyway, so the merged series equals the serial one.
         for state in states {
+            // unwrap-ok: `merge_final` only receives states built by this
+            // sink's own `make_shard`, which always boxes Vec<RssPoint>.
             let events = state.downcast::<Vec<RssPoint>>().expect("a CapacityShard state");
             self.events.extend(*events);
         }
@@ -508,6 +510,8 @@ impl ShardableSink for BandwidthSink {
         for state in states {
             let merged = state
                 .downcast::<BTreeMap<u64, [u64; MAX_MEM_NODES]>>()
+                // unwrap-ok: states come from this sink's own `make_shard`,
+                // which always boxes this exact map type.
                 .expect("a BandwidthShard state");
             for (bucket, by_node) in merged.into_iter() {
                 let entry = self.merged.entry(bucket).or_insert([0; MAX_MEM_NODES]);
@@ -643,6 +647,8 @@ impl ShardableSink for RegionSink {
         // path's; scatter order is shard-major (deterministic by the fixed
         // merge order, though different from the serial interleaving).
         for state in states {
+            // unwrap-ok: states come from this sink's own `make_shard`,
+            // which always boxes a RegionAccumulator.
             let accum = state.downcast::<RegionAccumulator>().expect("a RegionShard state");
             self.accum.merge(*accum);
         }
@@ -736,6 +742,8 @@ impl ShardableSink for LatencySink {
 
     fn merge_final(&mut self, states: Vec<ShardState>) {
         for state in states {
+            // unwrap-ok: states come from this sink's own `make_shard`,
+            // which always boxes a LatencyProfile.
             let profile = state.downcast::<LatencyProfile>().expect("a LatencyShard state");
             self.profile.merge(&profile);
         }

@@ -338,7 +338,7 @@ impl std::fmt::Debug for EventBus {
         f.debug_struct("EventBus")
             .field("capacity", &self.capacity)
             .field("policy", &self.policy)
-            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .field("closed", &self.closed.load(Ordering::Relaxed)) // relaxed-ok: Debug snapshot
             .finish()
     }
 }
@@ -347,7 +347,10 @@ impl EventBus {
     /// Create a bus holding at most `capacity` events (minimum 1).
     pub fn bounded(capacity: usize, policy: BackpressurePolicy) -> Arc<EventBus> {
         Arc::new(EventBus {
-            inner: Mutex::new(BusQueue { queue: VecDeque::new(), high_watermark: 0 }),
+            inner: Mutex::named(
+                BusQueue { queue: VecDeque::new(), high_watermark: 0 },
+                "bus.inner",
+            ),
             readable: Condvar::new(),
             writable: Condvar::new(),
             capacity: capacity.max(1),
@@ -378,8 +381,10 @@ impl EventBus {
                 }
                 if matches!(self.policy, BackpressurePolicy::DropNewest) {
                     drop(inner);
+                    // relaxed-ok: drop-accounting counters read by `stats()`
+                    // for reporting; no data is published through them.
                     self.dropped_batches.fetch_add(1, Ordering::Relaxed);
-                    self.dropped_items.fetch_add(items, Ordering::Relaxed);
+                    self.dropped_items.fetch_add(items, Ordering::Relaxed); // relaxed-ok: as above
                     return false;
                 }
                 // Block: re-check the closed flag at least every 10 ms so a
@@ -391,8 +396,9 @@ impl EventBus {
         if self.is_closed() {
             drop(inner);
             if is_batch {
+                // relaxed-ok: drop-accounting counters, as above.
                 self.dropped_batches.fetch_add(1, Ordering::Relaxed);
-                self.dropped_items.fetch_add(items, Ordering::Relaxed);
+                self.dropped_items.fetch_add(items, Ordering::Relaxed); // relaxed-ok: as above
             }
             return false;
         }
@@ -400,6 +406,8 @@ impl EventBus {
         let occupancy = inner.queue.len() as u64;
         inner.high_watermark = inner.high_watermark.max(occupancy);
         drop(inner);
+        // relaxed-ok: publish counter for `stats()`; the event itself was
+        // handed over under `inner`'s mutex, which carries the ordering.
         self.published.fetch_add(1, Ordering::Relaxed);
         self.readable.notify_one();
         true
@@ -430,6 +438,14 @@ impl EventBus {
     /// Close the bus: producers start failing, the consumer drains what is
     /// queued and then sees [`BusRecv::Closed`].
     pub fn close(&self) {
+        // Ordering rationale (pinned): Release pairs with the Acquire in
+        // `is_closed` so everything the closer did before closing (final
+        // batches, coordinator bookkeeping) is visible to a producer or
+        // consumer that observes `closed == true`. Taking `inner` before
+        // notifying closes the race with a waiter that checked the flag and
+        // is about to block: it either sees the flag under the lock or gets
+        // the notification after releasing it — it cannot sleep through the
+        // close. Verified at runtime by the `NMO_LOCK_CHECK` stress run.
         self.closed.store(true, Ordering::Release);
         let _guard = self.inner.lock();
         self.readable.notify_all();
@@ -438,6 +454,7 @@ impl EventBus {
 
     /// Whether the bus has been closed.
     pub fn is_closed(&self) -> bool {
+        // Acquire pairs with the Release store in `close` (see there).
         self.closed.load(Ordering::Acquire)
     }
 
@@ -445,9 +462,11 @@ impl EventBus {
     pub fn stats(&self) -> BusStats {
         let inner = self.inner.lock();
         BusStats {
+            // relaxed-ok: reporting snapshot of the accounting counters; a
+            // mid-run snapshot tolerates skew, the final one is quiescent.
             published: self.published.load(Ordering::Relaxed),
-            dropped_batches: self.dropped_batches.load(Ordering::Relaxed),
-            dropped_items: self.dropped_items.load(Ordering::Relaxed),
+            dropped_batches: self.dropped_batches.load(Ordering::Relaxed), // relaxed-ok: as above
+            dropped_items: self.dropped_items.load(Ordering::Relaxed),     // relaxed-ok: as above
             high_watermark: inner.high_watermark,
             capacity: self.capacity as u64,
             queued: inner.queue.len() as u64,
@@ -490,8 +509,8 @@ impl BatchPool {
     /// A pool retaining at most `max_pooled` buffers of each kind.
     pub fn new(max_pooled: usize) -> Arc<BatchPool> {
         Arc::new(BatchPool {
-            samples: Mutex::new(Vec::new()),
-            bytes: Mutex::new(Vec::new()),
+            samples: Mutex::named(Vec::new(), "pool.samples"),
+            bytes: Mutex::named(Vec::new(), "pool.bytes"),
             max_pooled: max_pooled.max(1),
             reused: AtomicU64::new(0),
             allocated: AtomicU64::new(0),
@@ -500,9 +519,10 @@ impl BatchPool {
 
     fn count(&self, reused: bool) {
         if reused {
+            // relaxed-ok: recycling-effectiveness counters for `stats()`.
             self.reused.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.allocated.fetch_add(1, Ordering::Relaxed);
+            self.allocated.fetch_add(1, Ordering::Relaxed); // relaxed-ok: as above
         }
     }
 
@@ -548,8 +568,9 @@ impl BatchPool {
     /// Current accounting snapshot.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
+            // relaxed-ok: reporting snapshot, as for `BusStats`.
             reused: self.reused.load(Ordering::Relaxed),
-            allocated: self.allocated.load(Ordering::Relaxed),
+            allocated: self.allocated.load(Ordering::Relaxed), // relaxed-ok: as above
         }
     }
 }
@@ -611,6 +632,9 @@ impl ShardedBus {
     /// enqueue it on its core's lane. Returns `false` when the lane dropped
     /// it (see [`EventBus::publish`]).
     pub fn publish(&self, mut batch: SampleBatch) -> bool {
+        // relaxed-ok: sequence allocator — only uniqueness/atomicity of the
+        // ticket matters; the stamped batch is published via the lane's
+        // mutex-protected queue, which provides the happens-before edge.
         batch.seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let lane = self.lane_for_core(batch.core);
         self.lanes[lane].publish(BusEvent::Batch(batch))
@@ -1040,6 +1064,7 @@ mod tests {
             // Blocks until the consumer pops the first batch.
             bus2.publish(BusEvent::Batch(batch(WindowClock::new(1000).window(1), 1)))
         });
+        #[allow(clippy::disallowed_methods)] // test: let the producer block first
         std::thread::sleep(Duration::from_millis(20));
         match bus.recv_timeout(Duration::from_secs(5)) {
             BusRecv::Event(BusEvent::Batch(b)) => assert_eq!(b.window.index, 0),

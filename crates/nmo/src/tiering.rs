@@ -534,6 +534,8 @@ impl HotPageTracker {
                 self.local_dram.record(s.latency);
             }
         }
+        // unwrap-ok: `segments` starts as vec![one profile] and is only
+        // ever pushed to, never drained.
         self.segments.last_mut().expect("segments never empty").record(s.source, s.latency);
         self.last_seen_ns = self.last_seen_ns.max(s.time_ns);
     }
@@ -618,6 +620,7 @@ impl HotPageTracker {
             after.merge(segment);
         }
         let settled = if self.segments.len() > 1 {
+            // unwrap-ok: `segments` starts non-empty and only grows.
             self.segments.last().expect("segments never empty").clone()
         } else {
             LatencyProfile::new()
@@ -765,6 +768,7 @@ impl HotPageTracker {
             }
         }
         self.local_dram.merge(&digest.local_dram);
+        // unwrap-ok: `segments` starts non-empty and only grows.
         self.segments.last_mut().expect("segments never empty").merge(&digest.latency);
         self.last_seen_ns = self.last_seen_ns.max(digest.last_seen_ns);
     }
@@ -778,6 +782,8 @@ impl ShardableSink for HotPageTracker {
 
     fn merge_window(&mut self, window: Window, states: Vec<ShardState>) {
         for state in states {
+            // unwrap-ok: states come from this sink's own `make_shard`,
+            // which always boxes a TrackerDigest.
             let digest = state.downcast::<TrackerDigest>().expect("a TrackerShard digest");
             self.absorb_digest(*digest);
         }
@@ -787,6 +793,8 @@ impl ShardableSink for HotPageTracker {
 
     fn merge_final(&mut self, states: Vec<ShardState>) {
         for state in states {
+            // unwrap-ok: states come from this sink's own `make_shard`,
+            // which always boxes a TrackerDigest.
             let digest = state.downcast::<TrackerDigest>().expect("a TrackerShard digest");
             self.absorb_digest(*digest);
         }

@@ -47,17 +47,22 @@ impl CountingEvent {
     /// Producer side: add `n` occurrences (ignored while disabled).
     pub fn add(&self, n: u64) {
         if self.is_enabled() {
+            // relaxed-ok: pure occurrence counter — the count itself is the
+            // payload; `enabled` carries the Acquire/Release pairing.
             self.value.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Read the current count.
     pub fn read(&self) -> u64 {
+        // relaxed-ok: reporting read; a `perf stat`-style count tolerates
+        // the race with in-flight adds by design.
         self.value.load(Ordering::Relaxed)
     }
 
     /// Reset the count to zero (between trials).
     pub fn reset(&self) {
+        // relaxed-ok: trial boundaries are externally synchronised.
         self.value.store(0, Ordering::Relaxed);
     }
 }

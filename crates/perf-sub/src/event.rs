@@ -46,6 +46,8 @@ impl PerfEvent {
         attr.validate()?;
         let ring = RingBuffer::new(ring_pages, page_bytes)?;
         Ok(PerfEvent {
+            // relaxed-ok: unique-id allocator — only atomicity of the
+            // counter matters, not ordering against other memory.
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
             attr,
             cpu,

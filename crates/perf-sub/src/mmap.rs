@@ -50,17 +50,22 @@ impl MetadataPage {
     /// Publish the clock-conversion triple (done by the "kernel" at event
     /// creation; read by NMO when decoding timestamps).
     pub fn set_clock(&self, time_zero: u64, time_shift: u16, time_mult: u32) {
+        // relaxed-ok: written once at event creation, before any drainer
+        // thread can hold a reference — publication happens via the
+        // `Arc<PerfEvent>` handoff, not through these cells.
         self.time_zero.store(time_zero, Ordering::Relaxed);
-        self.time_shift.store(time_shift as u64, Ordering::Relaxed);
-        self.time_mult.store(time_mult as u64, Ordering::Relaxed);
+        self.time_shift.store(time_shift as u64, Ordering::Relaxed); // relaxed-ok: as above
+        self.time_mult.store(time_mult as u64, Ordering::Relaxed); // relaxed-ok: as above
     }
 
     /// Read the clock-conversion triple.
     pub fn clock(&self) -> (u64, u16, u32) {
         (
+            // relaxed-ok: set once before the event handle is shared; see
+            // `set_clock`.
             self.time_zero.load(Ordering::Relaxed),
-            self.time_shift.load(Ordering::Relaxed) as u16,
-            self.time_mult.load(Ordering::Relaxed) as u32,
+            self.time_shift.load(Ordering::Relaxed) as u16, // relaxed-ok: as above
+            self.time_mult.load(Ordering::Relaxed) as u32,  // relaxed-ok: as above
         )
     }
 }
@@ -96,12 +101,10 @@ impl RingBuffer {
         }
         let capacity = pages * page_bytes;
         Ok(RingBuffer {
-            inner: Mutex::new(RingInner {
-                buf: vec![0u8; capacity as usize],
-                head: 0,
-                tail: 0,
-                lost: 0,
-            }),
+            inner: Mutex::named(
+                RingInner { buf: vec![0u8; capacity as usize], head: 0, tail: 0, lost: 0 },
+                "perf.ring",
+            ),
             capacity,
         })
     }
@@ -223,13 +226,16 @@ impl AuxBuffer {
         }
         let capacity = pages * page_bytes;
         Ok(AuxBuffer {
-            inner: Mutex::new(AuxInner {
-                buf: vec![0u8; capacity as usize],
-                head: 0,
-                tail: 0,
-                truncated_bytes: 0,
-                truncation_events: 0,
-            }),
+            inner: Mutex::named(
+                AuxInner {
+                    buf: vec![0u8; capacity as usize],
+                    head: 0,
+                    tail: 0,
+                    truncated_bytes: 0,
+                    truncation_events: 0,
+                },
+                "perf.aux",
+            ),
             capacity,
             pages,
         })

@@ -23,12 +23,22 @@ pub enum PollTimeout {
     Closed,
 }
 
-#[derive(Default)]
 struct WakerState {
     pending: Mutex<bool>,
     condvar: Condvar,
     closed: AtomicBool,
     wakeups: AtomicU64,
+}
+
+impl Default for WakerState {
+    fn default() -> Self {
+        WakerState {
+            pending: Mutex::named(false, "poll.pending"),
+            condvar: Condvar::new(),
+            closed: AtomicBool::new(false),
+            wakeups: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A cloneable readiness-notification handle (epoll-like).
@@ -40,8 +50,9 @@ pub struct Waker {
 impl std::fmt::Debug for Waker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Waker")
+            // relaxed-ok: Debug snapshot — values are informational only.
             .field("wakeups", &self.state.wakeups.load(Ordering::Relaxed))
-            .field("closed", &self.state.closed.load(Ordering::Relaxed))
+            .field("closed", &self.state.closed.load(Ordering::Relaxed)) // relaxed-ok: as above
             .finish()
     }
 }
@@ -54,6 +65,8 @@ impl Waker {
 
     /// Signal readiness (producer side). Idempotent until consumed.
     pub fn wake(&self) {
+        // relaxed-ok: interrupt-count statistic; the actual wakeup handoff
+        // is the mutex-protected `pending` flag below.
         self.state.wakeups.fetch_add(1, Ordering::Relaxed);
         let mut pending = self.state.pending.lock();
         *pending = true;
@@ -75,6 +88,7 @@ impl Waker {
 
     /// Total number of wake calls so far (used to quantify interrupt counts).
     pub fn wakeups(&self) -> u64 {
+        // relaxed-ok: reporting read of a statistic.
         self.state.wakeups.load(Ordering::Relaxed)
     }
 
@@ -142,6 +156,7 @@ mod tests {
         let w = Waker::new();
         let w2 = w.clone();
         let handle = std::thread::spawn(move || {
+            #[allow(clippy::disallowed_methods)] // test: delayed producer
             std::thread::sleep(Duration::from_millis(20));
             w2.wake();
         });
@@ -155,6 +170,7 @@ mod tests {
         let w = Waker::new();
         let w2 = w.clone();
         let handle = std::thread::spawn(move || {
+            #[allow(clippy::disallowed_methods)] // test: delayed producer
             std::thread::sleep(Duration::from_millis(20));
             w2.close();
         });

@@ -159,6 +159,8 @@ impl Record {
         let body = &b[8..header.size as usize];
         let u64_at = |off: usize| -> Result<u64> {
             body.get(off..off + 8)
+                // unwrap-ok: the slice is exactly 8 bytes by construction
+                // of the `get(off..off + 8)` range.
                 .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
                 .ok_or_else(|| PerfError::CorruptRecord("short field".into()))
         };
@@ -174,7 +176,10 @@ impl Record {
                     return Err(PerfError::CorruptRecord("short itrace body".into()));
                 }
                 Ok(Record::ItraceStart(ItraceStartRecord {
+                    // unwrap-ok: `body.len() >= 8` checked above; the
+                    // slice is exactly 4 bytes.
                     pid: u32::from_le_bytes(body[0..4].try_into().unwrap()),
+                    // unwrap-ok: same — exactly 4 bytes of a checked body.
                     tid: u32::from_le_bytes(body[4..8].try_into().unwrap()),
                 }))
             }

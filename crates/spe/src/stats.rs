@@ -66,19 +66,23 @@ impl SpeStats {
     /// Take a snapshot of the current values.
     pub fn snapshot(&self) -> SpeStatsSnapshot {
         SpeStatsSnapshot {
+            // relaxed-ok: the whole block is monotone emulation-statistics
+            // counters; snapshots tolerate mid-run skew and are exact once
+            // the emulated cores have joined.
             population_ops: self.population_ops.load(Ordering::Relaxed),
-            samples_selected: self.samples_selected.load(Ordering::Relaxed),
-            records_written: self.records_written.load(Ordering::Relaxed),
-            collisions: self.collisions.load(Ordering::Relaxed),
-            filtered_out: self.filtered_out.load(Ordering::Relaxed),
-            truncated_records: self.truncated_records.load(Ordering::Relaxed),
-            interrupts: self.interrupts.load(Ordering::Relaxed),
-            aux_bytes_written: self.aux_bytes_written.load(Ordering::Relaxed),
-            overhead_cycles: self.overhead_cycles.load(Ordering::Relaxed),
+            samples_selected: self.samples_selected.load(Ordering::Relaxed), // relaxed-ok: as above
+            records_written: self.records_written.load(Ordering::Relaxed),   // relaxed-ok: as above
+            collisions: self.collisions.load(Ordering::Relaxed),             // relaxed-ok: as above
+            filtered_out: self.filtered_out.load(Ordering::Relaxed),         // relaxed-ok: as above
+            truncated_records: self.truncated_records.load(Ordering::Relaxed), // relaxed-ok: as above
+            interrupts: self.interrupts.load(Ordering::Relaxed), // relaxed-ok: as above
+            aux_bytes_written: self.aux_bytes_written.load(Ordering::Relaxed), // relaxed-ok: as above
+            overhead_cycles: self.overhead_cycles.load(Ordering::Relaxed), // relaxed-ok: as above
         }
     }
 
     pub(crate) fn add(&self, field: &AtomicU64, n: u64) {
+        // relaxed-ok: statistics counter increment; see `snapshot`.
         field.fetch_add(n, Ordering::Relaxed);
     }
 }

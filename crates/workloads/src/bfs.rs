@@ -14,7 +14,7 @@
 //! collisions than STREAM/CFD at small sampling periods (its sample
 //! production rate per cycle is much lower).
 
-use std::sync::Mutex;
+use parking_lot::Mutex;
 
 use arch_sim::{Machine, MemLevel};
 use nmo::{Annotations, NmoError};
@@ -152,11 +152,11 @@ impl Workload for BfsBench {
                     }
                 }
                 if !local_next.is_empty() {
-                    next.lock().unwrap_or_else(|p| p.into_inner()).extend_from_slice(&local_next);
+                    next.lock().extend_from_slice(&local_next);
                 }
             });
             result?;
-            let mut next = next.into_inner().unwrap_or_else(|p| p.into_inner());
+            let mut next = next.into_inner();
             // Deduplicate vertices discovered by multiple threads in the same level.
             next.sort_unstable();
             next.dedup();

@@ -46,7 +46,9 @@ impl CsrGraph {
         if self.offsets.len() != self.num_vertices + 1 {
             return false;
         }
-        if self.offsets[0] != 0 || *self.offsets.last().unwrap() as usize != self.edges.len() {
+        if self.offsets.first() != Some(&0)
+            || self.offsets.last().map(|&v| v as usize) != Some(self.edges.len())
+        {
             return false;
         }
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {

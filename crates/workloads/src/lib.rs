@@ -82,18 +82,19 @@ pub fn parallel_on_cores<F>(machine: &Machine, cores: &[usize], body: F) -> Resu
 where
     F: Fn(usize, &mut arch_sim::Engine<'_>) + Sync,
 {
-    let failures: std::sync::Mutex<Vec<arch_sim::SimError>> = std::sync::Mutex::new(Vec::new());
+    let failures: parking_lot::Mutex<Vec<arch_sim::SimError>> =
+        parking_lot::Mutex::named(Vec::new(), "workloads.failures");
     std::thread::scope(|s| {
         for (idx, &core) in cores.iter().enumerate() {
             let body = &body;
             let failures = &failures;
             s.spawn(move || match machine.attach(core) {
                 Ok(mut engine) => body(idx, &mut engine),
-                Err(e) => failures.lock().unwrap_or_else(|p| p.into_inner()).push(e),
+                Err(e) => failures.lock().push(e),
             });
         }
     });
-    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    let mut failures = failures.into_inner();
     match failures.pop() {
         Some(e) => Err(e.into()),
         None => Ok(()),

@@ -73,6 +73,7 @@ fn main() -> Result<(), NmoError> {
                     snap.rss_peak_bytes as f64 / (1u64 << 30) as f64,
                 );
             }
+            #[allow(clippy::disallowed_methods)] // example: live-report cadence
             std::thread::sleep(Duration::from_millis(20));
         }
         handle.join().expect("workload thread panicked")

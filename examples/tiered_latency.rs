@@ -186,6 +186,7 @@ fn main() -> Result<(), NmoError> {
                     last = tiers;
                 }
             }
+            #[allow(clippy::disallowed_methods)] // example: live-report cadence
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
         handle.join().expect("workload thread")

@@ -211,6 +211,7 @@ fn poll_snapshot_grows_monotonically_during_the_run() {
         let handle = s.spawn(move || workload.run(machine, annotations, cores));
         while !handle.is_finished() {
             snapshots.push(active.poll_snapshot().expect("streaming session snapshots"));
+            #[allow(clippy::disallowed_methods)] // test poll loop
             std::thread::sleep(Duration::from_millis(1));
         }
         handle.join().expect("workload thread").expect("workload run")
