@@ -25,6 +25,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod stream_adaptive;
 pub mod stream_throughput;
 
 pub use harness::{baseline_run, profiled_run, BaselineRun, Scale, WorkloadKind};

@@ -1,0 +1,466 @@
+//! Adaptive-pipeline benchmark: the controller against the static sweep.
+//!
+//! The experiment reuses the spine of [`crate::stream_throughput`] — the
+//! same pre-encoded records, the same decode → bus → sink pipeline, the
+//! same merged-report correctness check — but hands the shard width, the
+//! drain cadence, and the backpressure policy to an
+//! [`nmo::AdaptiveRuntime`] instead of fixing them. Pump workers park and
+//! re-activate as the controller moves the active width, exactly like the
+//! session's pump workers: the allocated topology (lanes, consumers, sink
+//! shards) is fixed, work is redistributed over the active workers by slot
+//! striding, and every consumer stays subscribed so the deterministic
+//! shard-order merge is unaffected.
+//!
+//! `BENCH_stream_adaptive.json` records the static sweep, the adaptive
+//! sweep over allocated widths, and the headline ratio
+//! `best_adaptive / best_static` — the controller's job is to land within
+//! ~10% of the best static configuration without being told which one it
+//! is (CI asserts ≥ 0.9×).
+//!
+//! Bench-harness code: a violated setup assumption should abort the run,
+//! so panicking `expect`s are the intended failure mode here.
+// nmo-lint: allow-file(no-unwrap-in-lib)
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nmo::sink::{ShardState, SinkShard};
+use nmo::stream::{BackpressurePolicy, BusRecv, WindowClock};
+use nmo::{
+    AdaptiveOptions, AdaptiveRuntime, AnalysisSink, Annotations, BatchPool, LatencySink, NmoConfig,
+    Profile, RegionSink, ShardedBus, StreamContext,
+};
+use parking_lot::Mutex;
+
+use crate::experiments::ExperimentResult;
+use crate::stream_throughput::{
+    encode_core, host_parallelism, pump_core_chunk, run_config, StreamBenchPoint, WINDOW_NS,
+};
+
+/// One measured adaptive configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBenchPoint {
+    /// Simulated cores producing records.
+    pub cores: usize,
+    /// Allocated shards (lanes, consumers, sink shards).
+    pub allocated: usize,
+    /// Active width the controller started at.
+    pub initial_active: usize,
+    /// Active width when the stream ended.
+    pub final_active: usize,
+    /// Control decisions taken during the run.
+    pub decisions: u64,
+    /// Samples pushed end to end.
+    pub samples: u64,
+    /// Wall-clock time, milliseconds.
+    pub elapsed_ms: f64,
+    /// End-to-end throughput.
+    pub samples_per_sec: f64,
+}
+
+/// One slot of pump work: the cores hashing to one lane, with their decode
+/// cursors. Slots are shared so active workers can cover a parked worker's
+/// cores (worker `w` strides over slots `s` with `s % active == w`).
+struct PumpSlot {
+    cores: Vec<usize>,
+    cursors: Vec<usize>,
+    done: bool,
+}
+
+/// Consumer receive timeout — doubles as the idle tick the runtime converts
+/// idle counts with. Short, so the idle metric reacts within a few control
+/// intervals.
+const RECV_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Run one adaptive configuration end to end and measure it.
+pub fn run_adaptive_config(
+    cores: usize,
+    allocated: usize,
+    records_per_core: usize,
+    opts: AdaptiveOptions,
+) -> AdaptiveBenchPoint {
+    let encoded: Vec<Vec<u8>> = (0..cores).map(|c| encode_core(c, records_per_core)).collect();
+    let encoded = Arc::new(encoded);
+
+    let annotations = Arc::new(Annotations::new());
+    annotations.tag_addr("hot", 0x1000, 0x1000 + 1024 * 64);
+    annotations.tag_addr("cold", 0x1000 + 1024 * 64, 0x1000 + 4096 * 64);
+    let ctx = StreamContext {
+        annotations,
+        capacity_bytes: 1 << 30,
+        bucket_ns: WINDOW_NS,
+        mem_nodes: 2,
+        page_bytes: 64 * 1024,
+        machine: None,
+    };
+
+    let mut latency = LatencySink::new();
+    latency.on_stream_start(&ctx);
+    let mut regions = RegionSink::new();
+    regions.on_stream_start(&ctx);
+    let mut latency_shards: Vec<Box<dyn SinkShard>> = (0..allocated)
+        .map(|s| latency.as_shardable().expect("shardable").make_shard(s, &ctx))
+        .collect();
+    let mut region_shards: Vec<Box<dyn SinkShard>> = (0..allocated)
+        .map(|s| regions.as_shardable().expect("shardable").make_shard(s, &ctx))
+        .collect();
+
+    let bus = ShardedBus::new(allocated, 1024, BackpressurePolicy::Block);
+    let pool = BatchPool::new(4096);
+    let clock = WindowClock::new(WINDOW_NS);
+    let runtime = AdaptiveRuntime::new(
+        opts,
+        allocated,
+        Duration::from_micros(200),
+        BackpressurePolicy::Block,
+        RECV_TIMEOUT,
+    );
+    bus.set_active_lanes(runtime.active());
+    let initial_active = runtime.active();
+
+    // One slot per lane: the cores whose batches hash there.
+    let slots: Vec<Mutex<PumpSlot>> = (0..allocated)
+        .map(|s| {
+            let mine: Vec<usize> = (0..cores).filter(|c| c % allocated == s).collect();
+            let n = mine.len();
+            Mutex::named(PumpSlot { cores: mine, cursors: vec![0; n], done: false }, "bench.slots")
+        })
+        .collect();
+    let slots_done = AtomicUsize::new(0);
+
+    let started = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let mut consumers = Vec::with_capacity(allocated);
+        for (shard, (mut lat, mut reg)) in
+            latency_shards.drain(..).zip(region_shards.drain(..)).enumerate()
+        {
+            let lane = bus.lane(shard).clone();
+            let pool = pool.clone();
+            let runtime = runtime.clone();
+            consumers.push(scope.spawn(move || {
+                let mut consumed = 0u64;
+                loop {
+                    match lane.recv_timeout(RECV_TIMEOUT) {
+                        BusRecv::Event(nmo::stream::BusEvent::Batch(batch)) => {
+                            consumed += batch.len() as u64;
+                            lat.on_batch(&batch);
+                            reg.on_batch(&batch);
+                            pool.recycle_batch(batch);
+                        }
+                        BusRecv::Event(nmo::stream::BusEvent::CloseWindow(_)) => {}
+                        BusRecv::TimedOut => runtime.note_consumer_idle(shard),
+                        BusRecv::Closed => return (consumed, lat, reg),
+                    }
+                }
+            }));
+        }
+        // Pump workers: the allocated set, parking and re-activating as the
+        // controller moves the width. Worker 0 doubles as the coordinator
+        // driving the control loop.
+        let mut pumps = Vec::with_capacity(allocated);
+        for worker in 0..allocated {
+            let bus = &bus;
+            let pool = pool.clone();
+            let encoded = encoded.clone();
+            let runtime = runtime.clone();
+            let slots = &slots;
+            let slots_done = &slots_done;
+            pumps.push(scope.spawn(move || {
+                let mut published = 0u64;
+                while slots_done.load(Ordering::Acquire) < allocated {
+                    let active = bus.active_lanes();
+                    if worker == 0 {
+                        let _ = runtime.control(bus);
+                    }
+                    if worker >= active {
+                        // Parked: an active worker covers this worker's
+                        // slot; wake at the shared cadence to re-check.
+                        #[allow(clippy::disallowed_methods)] // parked pump worker cadence
+                        std::thread::sleep(runtime.poll_interval());
+                        continue;
+                    }
+                    let mut progressed = false;
+                    let mut s = worker;
+                    while s < allocated {
+                        let mut slot = slots[s].lock();
+                        if !slot.done {
+                            let mut slot_progress = false;
+                            for i in 0..slot.cores.len() {
+                                let core = slot.cores[i];
+                                let n = pump_core_chunk(
+                                    core,
+                                    &encoded[core],
+                                    &mut slot.cursors[i],
+                                    bus,
+                                    &pool,
+                                    &clock,
+                                );
+                                if n > 0 {
+                                    slot_progress = true;
+                                    published += n;
+                                }
+                            }
+                            if !slot_progress {
+                                slot.done = true;
+                                slots_done.fetch_add(1, Ordering::Release);
+                            } else {
+                                progressed = true;
+                            }
+                        }
+                        drop(slot);
+                        s += active;
+                    }
+                    if !progressed {
+                        // Our stride is exhausted but other slots may still
+                        // be live (or get reassigned to us); idle briefly.
+                        #[allow(clippy::disallowed_methods)] // pump idle backoff
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+                published
+            }));
+        }
+        let published: u64 = pumps.into_iter().map(|p| p.join().expect("pump")).sum();
+        bus.close_all();
+        let mut consumed = 0u64;
+        let mut lat_states: Vec<ShardState> = Vec::with_capacity(allocated);
+        let mut reg_states: Vec<ShardState> = Vec::with_capacity(allocated);
+        for consumer in consumers {
+            let (n, lat, reg) = consumer.join().expect("consumer");
+            consumed += n;
+            lat_states.push(lat.finish());
+            reg_states.push(reg.finish());
+        }
+        assert_eq!(consumed, published, "Block backpressure loses nothing");
+        latency.as_shardable().expect("shardable").merge_final(lat_states);
+        regions.as_shardable().expect("shardable").merge_final(reg_states);
+        consumed
+    });
+    let elapsed = started.elapsed();
+
+    // The merge must still cover every sample with the controller moving
+    // the width mid-run — correctness first, speed second.
+    let profile = Profile::empty("bench", NmoConfig::default());
+    let machine = arch_sim::Machine::new(arch_sim::MachineConfig::small_test());
+    match latency.finish(&machine, &profile).expect("latency report") {
+        nmo::AnalysisReport::Latency(l) => assert_eq!(l.total_count(), total),
+        other => panic!("expected latency report, got {other:?}"),
+    }
+
+    AdaptiveBenchPoint {
+        cores,
+        allocated,
+        initial_active,
+        final_active: bus.active_lanes(),
+        decisions: runtime.decisions_total(),
+        samples: total,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        samples_per_sec: total as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// The `bench_stream_adaptive` experiment: a static shard sweep and an
+/// adaptive sweep over the same widths (as allocated pools), at one core
+/// count.
+pub fn adaptive_sweep(
+    cores: usize,
+    widths: &[usize],
+    records_per_core: usize,
+) -> (Vec<StreamBenchPoint>, Vec<AdaptiveBenchPoint>) {
+    let static_points: Vec<StreamBenchPoint> =
+        widths.iter().map(|&s| run_config(cores, s, records_per_core)).collect();
+    let adaptive_points: Vec<AdaptiveBenchPoint> = widths
+        .iter()
+        .map(|&a| {
+            run_adaptive_config(
+                cores,
+                a,
+                records_per_core,
+                AdaptiveOptions {
+                    // A short control interval and window so the controller
+                    // gets several shots within a bench-sized run.
+                    control_interval: Duration::from_micros(500),
+                    window: 2,
+                    ..AdaptiveOptions::default()
+                },
+            )
+        })
+        .collect();
+    (static_points, adaptive_points)
+}
+
+/// Best throughput in a static sweep.
+fn best_static(points: &[StreamBenchPoint]) -> Option<&StreamBenchPoint> {
+    points.iter().max_by(|a, b| a.samples_per_sec.total_cmp(&b.samples_per_sec))
+}
+
+/// Best throughput in an adaptive sweep.
+fn best_adaptive(points: &[AdaptiveBenchPoint]) -> Option<&AdaptiveBenchPoint> {
+    points.iter().max_by(|a, b| a.samples_per_sec.total_cmp(&b.samples_per_sec))
+}
+
+/// `best_adaptive / best_static` — the headline the controller is judged
+/// on (`None` when either sweep is empty).
+pub fn adaptive_vs_best_static(
+    static_points: &[StreamBenchPoint],
+    adaptive_points: &[AdaptiveBenchPoint],
+) -> Option<f64> {
+    Some(
+        best_adaptive(adaptive_points)?.samples_per_sec
+            / best_static(static_points)?.samples_per_sec,
+    )
+}
+
+/// Render both sweeps as one [`ExperimentResult`] table (`mode` column
+/// distinguishes static rows from adaptive rows).
+pub fn to_experiment(
+    static_points: &[StreamBenchPoint],
+    adaptive_points: &[AdaptiveBenchPoint],
+) -> ExperimentResult {
+    let mut rows: Vec<Vec<String>> = static_points
+        .iter()
+        .map(|p| {
+            vec![
+                "static".into(),
+                p.cores.to_string(),
+                p.shards.to_string(),
+                p.shards.to_string(),
+                "0".into(),
+                p.samples.to_string(),
+                format!("{:.3}", p.elapsed_ms),
+                format!("{:.0}", p.samples_per_sec),
+            ]
+        })
+        .collect();
+    rows.extend(adaptive_points.iter().map(|p| {
+        vec![
+            "adaptive".into(),
+            p.cores.to_string(),
+            p.allocated.to_string(),
+            p.final_active.to_string(),
+            p.decisions.to_string(),
+            p.samples.to_string(),
+            format!("{:.3}", p.elapsed_ms),
+            format!("{:.0}", p.samples_per_sec),
+        ]
+    }));
+    ExperimentResult {
+        id: "bench_stream_adaptive".into(),
+        title: format!(
+            "Adaptive pipeline controller vs static shard sweep (host parallelism {})",
+            host_parallelism()
+        ),
+        header: vec![
+            "mode".into(),
+            "cores".into(),
+            "shards".into(),
+            "final_active".into(),
+            "decisions".into(),
+            "samples".into(),
+            "elapsed_ms".into(),
+            "samples_per_sec".into(),
+        ],
+        rows,
+    }
+}
+
+/// Write both sweeps and the headline ratio as
+/// `BENCH_stream_adaptive.json` under `dir` (hand-rolled JSON — no serde in
+/// this offline workspace). Returns the path written.
+pub fn write_bench_stream_adaptive_json(
+    static_points: &[StreamBenchPoint],
+    adaptive_points: &[AdaptiveBenchPoint],
+    dir: &Path,
+) -> std::io::Result<String> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
+    // `null` when a sweep is empty (NaN is not JSON).
+    let ratio = match adaptive_vs_best_static(static_points, adaptive_points) {
+        Some(ratio) => format!("{ratio:.3}"),
+        None => "null".to_string(),
+    };
+    out.push_str(&format!("  \"adaptive_vs_best_static\": {ratio},\n"));
+    match best_static(static_points) {
+        Some(p) => out.push_str(&format!(
+            "  \"best_static\": {{\"shards\": {}, \"samples_per_sec\": {:.1}}},\n",
+            p.shards, p.samples_per_sec
+        )),
+        None => out.push_str("  \"best_static\": null,\n"),
+    }
+    match best_adaptive(adaptive_points) {
+        Some(p) => out.push_str(&format!(
+            "  \"best_adaptive\": {{\"allocated\": {}, \"final_active\": {}, \
+             \"samples_per_sec\": {:.1}}},\n",
+            p.allocated, p.final_active, p.samples_per_sec
+        )),
+        None => out.push_str("  \"best_adaptive\": null,\n"),
+    }
+    out.push_str("  \"static_points\": [\n");
+    for (i, p) in static_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cores\": {}, \"shards\": {}, \"samples\": {}, \"elapsed_ms\": {:.3}, \
+             \"samples_per_sec\": {:.1}}}{}\n",
+            p.cores,
+            p.shards,
+            p.samples,
+            p.elapsed_ms,
+            p.samples_per_sec,
+            if i + 1 == static_points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"adaptive_points\": [\n");
+    for (i, p) in adaptive_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cores\": {}, \"allocated\": {}, \"initial_active\": {}, \
+             \"final_active\": {}, \"decisions\": {}, \"samples\": {}, \"elapsed_ms\": {:.3}, \
+             \"samples_per_sec\": {:.1}}}{}\n",
+            p.cores,
+            p.allocated,
+            p.initial_active,
+            p.final_active,
+            p.decisions,
+            p.samples,
+            p.elapsed_ms,
+            p.samples_per_sec,
+            if i + 1 == adaptive_points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_stream_adaptive.json");
+    std::fs::write(&path, out)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_adaptive_sweep_measures_and_serialises() {
+        let (static_points, adaptive_points) = adaptive_sweep(4, &[1, 2], 2_000);
+        assert_eq!(static_points.len(), 2);
+        assert_eq!(adaptive_points.len(), 2);
+        for p in &adaptive_points {
+            assert_eq!(p.samples, (p.cores * 2_000) as u64, "every record decodes and merges");
+            assert!(p.final_active >= 1 && p.final_active <= p.allocated);
+            assert!(p.samples_per_sec > 0.0);
+        }
+        let ratio = adaptive_vs_best_static(&static_points, &adaptive_points).expect("ratio");
+        assert!(ratio.is_finite() && ratio > 0.0);
+
+        let dir = std::env::temp_dir().join(format!("nmo_bench_adaptive_{}", std::process::id()));
+        let path =
+            write_bench_stream_adaptive_json(&static_points, &adaptive_points, &dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"adaptive_vs_best_static\""));
+        assert!(content.contains("\"best_static\""));
+        assert!(content.contains("\"adaptive_points\""));
+        assert!(!content.contains("NaN"));
+        let table = to_experiment(&static_points, &adaptive_points);
+        assert_eq!(table.rows.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

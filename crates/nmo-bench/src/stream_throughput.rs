@@ -51,11 +51,11 @@ pub struct StreamBenchPoint {
 /// Records decoded per simulated drain (one batch-building step).
 const DRAIN_CHUNK: usize = 512;
 /// Simulated window width (ns) used to stamp batches.
-const WINDOW_NS: u64 = 100_000;
+pub(crate) const WINDOW_NS: u64 = 100_000;
 
 /// Pre-encode `records` SPE records for one core, timestamps ascending so
 /// the stream spans many windows.
-fn encode_core(core: usize, records: usize) -> Vec<u8> {
+pub(crate) fn encode_core(core: usize, records: usize) -> Vec<u8> {
     let sources = [
         DataSource::L1,
         DataSource::L2,
@@ -81,7 +81,7 @@ fn encode_core(core: usize, records: usize) -> Vec<u8> {
 
 /// Decode one core's next chunk into a window-stamped batch stream,
 /// publishing on the bus (the pump worker's inner loop).
-fn pump_core_chunk(
+pub(crate) fn pump_core_chunk(
     core: usize,
     data: &[u8],
     cursor: &mut usize,
@@ -134,7 +134,7 @@ fn pump_core_chunk(
 }
 
 /// Run one configuration end to end and measure it.
-fn run_config(cores: usize, shards: usize, records_per_core: usize) -> StreamBenchPoint {
+pub(crate) fn run_config(cores: usize, shards: usize, records_per_core: usize) -> StreamBenchPoint {
     // Encode the input outside the measured section.
     let encoded: Vec<Vec<u8>> = (0..cores).map(|c| encode_core(c, records_per_core)).collect();
     let encoded = Arc::new(encoded);
@@ -325,7 +325,7 @@ pub fn to_experiment(points: &[StreamBenchPoint]) -> ExperimentResult {
     }
 }
 
-fn host_parallelism() -> usize {
+pub(crate) fn host_parallelism() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 

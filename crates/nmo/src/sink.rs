@@ -170,8 +170,10 @@ pub trait SinkShard: Send {
     /// One batch from this shard's lane arrived.
     fn on_batch(&mut self, batch: &SampleBatch);
 
-    /// The producer watermark closed `window` (broadcast to every lane).
-    /// Sinks that merge *per window* — because the parent acts on the merged
+    /// The producer watermark closed `window` (broadcast to every lane,
+    /// including lanes the adaptive controller has parked — a parked lane
+    /// still has a live consumer, it just receives no new batches). Sinks
+    /// that merge *per window* — because the parent acts on the merged
     /// state mid-run, like [`crate::tiering::HotPageTracker`] — return this
     /// shard's partial state for the window; cumulative sinks keep the
     /// default `None` and merge once at the end.
@@ -266,10 +268,20 @@ pub trait ShardableSink {
     /// run the sink's window-close logic over the merged view. Only called
     /// for sinks whose shards return `Some` from
     /// [`SinkShard::on_window_close`]; the default does nothing.
+    ///
+    /// The merge always gathers one state from **every allocated shard**,
+    /// even when the adaptive controller has narrowed the *active* width
+    /// mid-run: parked lanes keep their consumers, receive every window
+    /// close, and contribute (possibly empty) states. Implementations must
+    /// therefore tolerate states that saw no batches for the window, and
+    /// must not assume the distribution of work across shards is stable
+    /// over time — only that the *union* over shards is the full stream.
     fn merge_window(&mut self, _window: Window, _states: Vec<ShardState>) {}
 
     /// Merge the shards' final states, ascending by shard index (called
-    /// once, after every lane drained).
+    /// once, after every lane drained). As with
+    /// [`ShardableSink::merge_window`], every allocated shard contributes a
+    /// state regardless of how the active-shard set changed during the run.
     fn merge_final(&mut self, states: Vec<ShardState>);
 }
 

@@ -35,9 +35,17 @@
 //! [`crate::sink::AnalysisSink`] consumes it through its streaming hooks,
 //! and [`crate::sink::ShardableSink`] through per-shard workers with a
 //! deterministic merge.
+//!
+//! The pipeline's shape is tunable at runtime: the optional [`adaptive`]
+//! controller ([`StreamOptions::adaptive`]) moves the *active* lane count
+//! within the allocated shards ([`ShardedBus::set_active_lanes`]), the
+//! drain cadence, and the backpressure policy
+//! ([`EventBus::set_policy`]) against a loss/overhead budget.
+
+pub mod adaptive;
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -326,7 +334,10 @@ pub struct EventBus {
     readable: Condvar,
     writable: Condvar,
     capacity: usize,
-    policy: BackpressurePolicy,
+    /// [`BackpressurePolicy`] as a `u8` (`DropNewest = 0`, `Block = 1`):
+    /// runtime-switchable by the adaptive controller, re-read on every
+    /// publish attempt and on every wakeup of a blocked producer.
+    policy: AtomicU8,
     closed: AtomicBool,
     published: AtomicU64,
     dropped_batches: AtomicU64,
@@ -337,7 +348,7 @@ impl std::fmt::Debug for EventBus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventBus")
             .field("capacity", &self.capacity)
-            .field("policy", &self.policy)
+            .field("policy", &self.policy())
             .field("closed", &self.closed.load(Ordering::Relaxed)) // relaxed-ok: Debug snapshot
             .finish()
     }
@@ -354,7 +365,7 @@ impl EventBus {
             readable: Condvar::new(),
             writable: Condvar::new(),
             capacity: capacity.max(1),
-            policy,
+            policy: AtomicU8::new(policy as u8),
             closed: AtomicBool::new(false),
             published: AtomicU64::new(0),
             dropped_batches: AtomicU64::new(0),
@@ -379,7 +390,7 @@ impl EventBus {
                 if self.is_closed() {
                     break;
                 }
-                if matches!(self.policy, BackpressurePolicy::DropNewest) {
+                if matches!(self.policy(), BackpressurePolicy::DropNewest) {
                     drop(inner);
                     // relaxed-ok: drop-accounting counters read by `stats()`
                     // for reporting; no data is published through them.
@@ -449,6 +460,28 @@ impl EventBus {
         self.closed.store(true, Ordering::Release);
         let _guard = self.inner.lock();
         self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// The current backpressure policy.
+    pub fn policy(&self) -> BackpressurePolicy {
+        // relaxed-ok: policy hint — a producer acting on a just-replaced
+        // policy for one more publish is indistinguishable from the switch
+        // landing one event later; no data travels through this flag.
+        match self.policy.load(Ordering::Relaxed) {
+            0 => BackpressurePolicy::DropNewest,
+            _ => BackpressurePolicy::Block,
+        }
+    }
+
+    /// Switch the backpressure policy at runtime (the adaptive controller's
+    /// actuation seam). Takes effect on the next publish attempt; a
+    /// producer blocked mid-wait re-reads the policy on wakeup, and the
+    /// notify below wakes it immediately rather than at its next 10 ms
+    /// re-check.
+    pub fn set_policy(&self, policy: BackpressurePolicy) {
+        self.policy.store(policy as u8, Ordering::Relaxed); // relaxed-ok: see policy()
+        let _guard = self.inner.lock();
         self.writable.notify_all();
     }
 
@@ -586,14 +619,25 @@ impl BatchPool {
 /// partial windows; per-lane drop/backpressure accounting rolls up into one
 /// [`BusStats`] ([`ShardedBus::stats`]) and stays inspectable per lane
 /// ([`ShardedBus::lane_stats`]).
+///
+/// The *active* lane count ([`ShardedBus::active_lanes`]) can move at
+/// runtime within `1..=shards()`: new batches only route onto active lanes,
+/// while parked lanes keep their consumers subscribed, still drain whatever
+/// they hold, and still receive window-close broadcasts — so narrowing or
+/// widening mid-run never strands data or wedges window bookkeeping.
 pub struct ShardedBus {
     lanes: Vec<Arc<EventBus>>,
+    /// Lanes new batches may route onto (`1..=lanes.len()`).
+    active: AtomicUsize,
     seq: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardedBus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedBus").field("lanes", &self.lanes.len()).finish()
+        f.debug_struct("ShardedBus")
+            .field("lanes", &self.lanes.len())
+            .field("active", &self.active_lanes())
+            .finish()
     }
 }
 
@@ -608,19 +652,45 @@ impl ShardedBus {
         let shards = shards.max(1);
         Arc::new(ShardedBus {
             lanes: (0..shards).map(|_| EventBus::bounded(capacity_per_lane, policy)).collect(),
+            active: AtomicUsize::new(shards),
             seq: AtomicU64::new(0),
         })
     }
 
-    /// Number of lanes (== shard count).
+    /// Number of lanes (== allocated shard count).
     pub fn shards(&self) -> usize {
         self.lanes.len()
     }
 
+    /// Number of currently active lanes (≤ [`ShardedBus::shards`]).
+    pub fn active_lanes(&self) -> usize {
+        // relaxed-ok: routing hint — a producer routing by a stale width
+        // lands the batch on a lane whose consumer is subscribed either
+        // way; the batch itself travels through the lane's mutex.
+        self.active.load(Ordering::Relaxed).clamp(1, self.lanes.len())
+    }
+
+    /// Set the active lane count (clamped to `1..=shards()`) — the adaptive
+    /// controller's width actuation seam. Parked lanes drain what they hold
+    /// and keep receiving close broadcasts; they just get no new batches.
+    pub fn set_active_lanes(&self, active: usize) {
+        let clamped = active.clamp(1, self.lanes.len());
+        self.active.store(clamped, Ordering::Relaxed); // relaxed-ok: see active_lanes()
+    }
+
+    /// Switch every lane's backpressure policy
+    /// (see [`EventBus::set_policy`]).
+    pub fn set_policy(&self, policy: BackpressurePolicy) {
+        for lane in &self.lanes {
+            lane.set_policy(policy);
+        }
+    }
+
     /// The lane a batch from `core` is partitioned onto (core-hash
-    /// partitioning; core-less batches ride lane 0).
+    /// partitioning over the *active* lanes; core-less batches ride
+    /// lane 0).
     pub fn lane_for_core(&self, core: Option<usize>) -> usize {
-        core.map(|c| c % self.lanes.len()).unwrap_or(0)
+        core.map(|c| c % self.active_lanes()).unwrap_or(0)
     }
 
     /// One lane's queue (the consumer side of shard `lane`).
@@ -693,8 +763,15 @@ pub struct StreamOptions {
     /// Number of pipeline shards (pump workers, bus lanes, and shard
     /// consumers). `0` (the default) resolves to
     /// `min(profiled cores, available_parallelism)` at session start; `1`
-    /// runs the classic serial pipeline.
+    /// runs the classic serial pipeline. Explicit values are clamped to the
+    /// profiled core count — extra shards would own zero cores and lanes
+    /// with no producer (see [`StreamStats::shards_requested`]).
     pub shards: usize,
+    /// Adaptive controller configuration: `Some` lets the pipeline tune its
+    /// own active shard count, drain cadence, and backpressure policy at
+    /// runtime (see [`adaptive`]); `None` (the default) keeps the static
+    /// configuration above.
+    pub adaptive: Option<adaptive::AdaptiveOptions>,
 }
 
 impl Default for StreamOptions {
@@ -705,6 +782,7 @@ impl Default for StreamOptions {
             poll_interval: Duration::from_micros(200),
             backpressure: BackpressurePolicy::default(),
             shards: 0,
+            adaptive: None,
         }
     }
 }
@@ -725,8 +803,19 @@ pub struct StreamStats {
     pub late_batches: u64,
     /// Highest bus occupancy observed (worst single lane when sharded).
     pub bus_high_watermark: u64,
-    /// Number of pipeline shards the run used (1 = the serial pipeline).
+    /// Number of pipeline shards the run allocated (1 = the serial
+    /// pipeline), after clamping to the profiled core count.
     pub shards: u64,
+    /// Shard count the caller asked for via [`StreamOptions::shards`]
+    /// before resolution/clamping (`0` = auto). Differs from `shards` when
+    /// the request over-provisioned the machine.
+    pub shards_requested: u64,
+    /// Active shard count when the run finished (< `shards` when the
+    /// adaptive controller parked lanes; == `shards` on static runs).
+    pub active_shards: u64,
+    /// Decisions the adaptive controller made over the run (0 on static
+    /// runs).
+    pub adaptive_decisions: u64,
 }
 
 impl StreamStats {
@@ -800,6 +889,12 @@ pub struct StreamSnapshot {
     /// profile-guided tiering run (how many pages have been promoted or
     /// demoted *so far*).
     pub migrations: MigrationStats,
+    /// Active shard count at snapshot time (tracks the adaptive
+    /// controller's width; equals `per_shard.len()` on static runs).
+    pub active_shards: usize,
+    /// The adaptive controller's decision log so far (empty on static
+    /// runs) — what changed, when, and why.
+    pub adaptive: Vec<adaptive::AdaptiveDecision>,
 }
 
 impl StreamSnapshot {
@@ -937,6 +1032,8 @@ impl SnapshotState {
         bus: BusStats,
         lanes: &[BusStats],
         migrations: MigrationStats,
+        active_shards: usize,
+        adaptive: Vec<adaptive::AdaptiveDecision>,
     ) -> StreamSnapshot {
         let per_shard = (0..lanes.len().max(self.per_shard.len()))
             .map(|shard| {
@@ -961,6 +1058,8 @@ impl SnapshotState {
             last_time_ns: self.last_time_ns,
             bus,
             migrations,
+            active_shards,
+            adaptive,
         }
     }
 }
@@ -1093,7 +1192,8 @@ mod tests {
         state.record_close(clock.window(0), 1);
         state.record_close(clock.window(0), 1); // idempotent
         state.record_batch(&batch(clock.window(0), 1), 0); // late
-        let snap = state.snapshot(BusStats::default(), &[], MigrationStats::default());
+        let snap =
+            state.snapshot(BusStats::default(), &[], MigrationStats::default(), 1, Vec::new());
         assert_eq!(snap.windows_closed, 1);
         assert_eq!(snap.spe_samples, 6);
         assert_eq!(snap.batches, 3);
@@ -1111,7 +1211,8 @@ mod tests {
         state.record_batch(&batch_from(clock.window(0), 3, DataSource::Dram(0)), 1);
         state.record_batch(&batch_from(clock.window(1), 2, DataSource::RemoteDram(1)), 0);
         state.record_batch(&batch_from(clock.window(1), 4, DataSource::Dram(0)), 1);
-        let snap = state.snapshot(BusStats::default(), &[], MigrationStats::default());
+        let snap =
+            state.snapshot(BusStats::default(), &[], MigrationStats::default(), 2, Vec::new());
         assert_eq!(snap.samples_from(DataSource::L1), 5);
         assert_eq!(snap.samples_from(DataSource::Dram(0)), 7);
         assert_eq!(snap.samples_from(DataSource::RemoteDram(1)), 2);
@@ -1241,6 +1342,53 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), 3, "published batches carry distinct sequence numbers");
+    }
+
+    #[test]
+    fn active_lane_routing_narrows_and_widens() {
+        let bus = ShardedBus::new(4, 8, BackpressurePolicy::DropNewest);
+        assert_eq!(bus.active_lanes(), 4, "all lanes active by default");
+        assert_eq!(bus.lane_for_core(Some(7)), 3);
+
+        bus.set_active_lanes(2);
+        assert_eq!(bus.active_lanes(), 2);
+        assert_eq!(bus.lane_for_core(Some(7)), 1, "routing narrows to active lanes");
+        assert_eq!(bus.lane_for_core(Some(2)), 0);
+        assert_eq!(bus.lane_for_core(None), 0, "core-less batches still ride lane 0");
+
+        // Clamped at both ends.
+        bus.set_active_lanes(0);
+        assert_eq!(bus.active_lanes(), 1);
+        bus.set_active_lanes(64);
+        assert_eq!(bus.active_lanes(), 4);
+
+        // A policy switch reaches every lane.
+        bus.set_policy(BackpressurePolicy::Block);
+        for lane in 0..4 {
+            assert_eq!(bus.lane(lane).policy(), BackpressurePolicy::Block);
+        }
+    }
+
+    #[test]
+    fn policy_switch_reaches_a_blocked_producer() {
+        let bus = EventBus::bounded(1, BackpressurePolicy::Block);
+        let clock = WindowClock::new(1000);
+        assert!(bus.publish(BusEvent::Batch(batch(clock.window(0), 1))));
+        let bus2 = bus.clone();
+        let producer = std::thread::spawn(move || {
+            // Blocks on the full bus under Block...
+            bus2.publish(BusEvent::Batch(batch(WindowClock::new(1000).window(1), 2)))
+        });
+        #[allow(clippy::disallowed_methods)] // test: let the producer block first
+        std::thread::sleep(Duration::from_millis(20));
+        // ...until the policy flips mid-wait: the producer must wake, see
+        // DropNewest, and drop instead of staying blocked.
+        bus.set_policy(BackpressurePolicy::DropNewest);
+        assert!(!producer.join().unwrap(), "mid-wait switch to DropNewest drops the publish");
+        let stats = bus.stats();
+        assert_eq!(stats.dropped_batches, 1);
+        assert_eq!(stats.dropped_items, 2);
+        assert_eq!(stats.published, 1, "the queued batch is untouched");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Adaptive-pipeline integration tests.
+//!
+//! Three properties of the adaptive controller that must hold end to end:
+//!
+//! * an adaptive session runs to completion with its accounting intact and
+//!   the controller's activity recorded in [`nmo::StreamStats`];
+//! * the serial (one-shard) pipeline accepts a controller too — it tunes
+//!   cadence and backpressure there, never width;
+//! * the deterministic merge tolerates a **changing active-shard set**: the
+//!   merged per-window and final results are identical no matter how the
+//!   active width moves mid-run, and identical across repeated runs of the
+//!   same width schedule. (Controller *decision* determinism is pinned at
+//!   the unit level in `nmo::stream::adaptive`.)
+
+use std::time::Duration;
+
+use nmo_repro::arch_sim::{DataSource, MachineConfig};
+use nmo_repro::nmo::stream::{BusEvent, BusRecv, Window};
+use nmo_repro::nmo::{
+    AdaptiveOptions, AddressSample, BackpressurePolicy, BandwidthSink, BatchPayload, CapacitySink,
+    LatencySink, NmoConfig, ProfileSession, RegionSink, SampleBatch, ShardState, ShardableSink,
+    ShardedBus, SinkShard, StreamOptions,
+};
+use nmo_repro::spe::SpeStatsSnapshot;
+use nmo_repro::workloads::StreamBench;
+
+/// An adaptive sharded session runs to completion, keeps exact accounting
+/// under `Block`, and records the controller's footprint (requested and
+/// effective widths, final active width, decision count) in the stats.
+#[test]
+fn adaptive_session_completes_and_records_controller_state() {
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::small_test())
+        .config(NmoConfig::paper_default(10))
+        .threads(4)
+        .sink(CapacitySink::default())
+        .sink(BandwidthSink::default())
+        .sink(RegionSink::default())
+        .sink(LatencySink::default())
+        .stream_options(StreamOptions {
+            window_ns: 100_000,
+            backpressure: BackpressurePolicy::Block,
+            shards: 4,
+            adaptive: Some(AdaptiveOptions {
+                control_interval: Duration::from_micros(200),
+                window: 2,
+                ..AdaptiveOptions::default()
+            }),
+            ..StreamOptions::default()
+        })
+        .workload(Box::new(StreamBench::new(32_000, 2)))
+        .build()
+        .expect("session builds")
+        .run_streaming()
+        .expect("adaptive run completes");
+    let stats = profile.stream.expect("stream stats");
+    assert_eq!(stats.shards, 4, "4 profiled cores support 4 shards");
+    assert_eq!(stats.shards_requested, 4);
+    assert!(
+        (1..=4).contains(&(stats.active_shards as usize)),
+        "final active width within the allocated range: {stats:?}"
+    );
+    assert_eq!(stats.batches_dropped, 0, "Block stays lossless under adaptation: {stats:?}");
+    assert!(profile.processed_samples > 0);
+    assert_eq!(profile.samples.len() as u64, profile.processed_samples);
+    assert_eq!(profile.latency().total_count(), profile.processed_samples);
+}
+
+/// The serial pipeline (one shard) takes a controller too: width is pinned
+/// at 1, so only cadence/backpressure rules can fire, and the run stays
+/// bit-compatible with its accounting.
+#[test]
+fn adaptive_serial_session_pins_width_at_one() {
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::small_test())
+        .config(NmoConfig::paper_default(10))
+        .threads(1)
+        .sink(LatencySink::default())
+        .stream_options(StreamOptions {
+            window_ns: 100_000,
+            backpressure: BackpressurePolicy::Block,
+            shards: 1,
+            adaptive: Some(AdaptiveOptions {
+                control_interval: Duration::from_micros(200),
+                window: 2,
+                ..AdaptiveOptions::default()
+            }),
+            ..StreamOptions::default()
+        })
+        .workload(Box::new(StreamBench::new(16_000, 1)))
+        .build()
+        .expect("session builds")
+        .run_streaming()
+        .expect("serial adaptive run completes");
+    let stats = profile.stream.expect("stream stats");
+    assert_eq!(stats.shards, 1);
+    assert_eq!(stats.active_shards, 1, "a one-shard pipeline cannot change width");
+    assert_eq!(stats.batches_dropped, 0, "{stats:?}");
+    assert_eq!(profile.latency().total_count(), profile.processed_samples);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run width-change merge equivalence (unit-level harness)
+// ---------------------------------------------------------------------------
+//
+// A deterministic multi-shard *session* is impossible on this host (effective
+// shards clamp to the profiled core count, and multi-core simulation is
+// nondeterministic), so the width-change equivalence is pinned one level
+// down: synthetic batches through a real `ShardedBus` and real `SinkShard`
+// workers, with `set_active_lanes` moved mid-stream exactly as the
+// controller moves it. The digest below is order-sensitive per window, so
+// equality means the merged view — not just the totals — is width-invariant.
+
+/// Per-window digest sink: each shard tracks (count, vaddr-sum) per open
+/// window and hands the pair over at window close; the parent records the
+/// merged per-window tuples in close order plus cumulative totals.
+#[derive(Default)]
+struct DigestSink {
+    merged: Vec<(u64, u64, u64)>,
+    total_count: u64,
+    total_vaddr: u64,
+}
+
+struct DigestShard {
+    window_count: u64,
+    window_vaddr: u64,
+    total_count: u64,
+    total_vaddr: u64,
+}
+
+impl SinkShard for DigestShard {
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+            for s in samples {
+                self.window_count += 1;
+                self.window_vaddr = self.window_vaddr.wrapping_add(s.vaddr);
+                self.total_count += 1;
+                self.total_vaddr = self.total_vaddr.wrapping_add(s.vaddr);
+            }
+        }
+    }
+
+    fn on_window_close(&mut self, _window: Window) -> Option<ShardState> {
+        let state = (self.window_count, self.window_vaddr);
+        self.window_count = 0;
+        self.window_vaddr = 0;
+        Some(Box::new(state))
+    }
+
+    fn finish(self: Box<Self>) -> ShardState {
+        Box::new((self.total_count, self.total_vaddr))
+    }
+}
+
+impl ShardableSink for DigestSink {
+    fn make_shard(
+        &mut self,
+        _shard: usize,
+        _ctx: &nmo_repro::nmo::StreamContext,
+    ) -> Box<dyn SinkShard> {
+        Box::new(DigestShard { window_count: 0, window_vaddr: 0, total_count: 0, total_vaddr: 0 })
+    }
+
+    fn merge_window(&mut self, window: Window, states: Vec<ShardState>) {
+        let mut count = 0u64;
+        let mut vaddr = 0u64;
+        for state in states {
+            let (c, v) = *state.downcast::<(u64, u64)>().expect("a DigestShard window state");
+            count += c;
+            vaddr = vaddr.wrapping_add(v);
+        }
+        self.merged.push((window.index, count, vaddr));
+    }
+
+    fn merge_final(&mut self, states: Vec<ShardState>) {
+        for state in states {
+            let (c, v) = *state.downcast::<(u64, u64)>().expect("a DigestShard final state");
+            self.total_count += c;
+            self.total_vaddr = self.total_vaddr.wrapping_add(v);
+        }
+    }
+}
+
+fn sample(time_ns: u64, core: usize, vaddr: u64) -> AddressSample {
+    AddressSample {
+        time_ns,
+        vaddr,
+        core,
+        is_store: core.is_multiple_of(2),
+        latency: 40,
+        source: DataSource::Dram(0),
+    }
+}
+
+/// Drain every queued event from every lane in ascending lane order,
+/// feeding each shard worker; per-window states gather in lane order and
+/// merge when the close signal has been seen on every lane.
+fn drain_all(
+    bus: &ShardedBus,
+    shards: &mut [Box<dyn SinkShard>],
+    pending: &mut Vec<(Window, Vec<ShardState>)>,
+    sink: &mut DigestSink,
+) {
+    let lanes = bus.shards();
+    for (lane, shard) in shards.iter_mut().enumerate() {
+        loop {
+            match bus.lane(lane).recv_timeout(Duration::from_millis(1)) {
+                BusRecv::Event(BusEvent::Batch(batch)) => shard.on_batch(&batch),
+                BusRecv::Event(BusEvent::CloseWindow(window)) => {
+                    if let Some(state) = shard.on_window_close(window) {
+                        let entry = match pending.iter_mut().find(|(w, _)| w.index == window.index)
+                        {
+                            Some(entry) => entry,
+                            None => {
+                                pending.push((window, Vec::new()));
+                                pending.last_mut().expect("just pushed")
+                            }
+                        };
+                        entry.1.push(state);
+                    }
+                }
+                BusRecv::TimedOut | BusRecv::Closed => break,
+            }
+        }
+    }
+    // Merge every window all lanes have now closed, ascending by index —
+    // the session coordinator's dispatch rule, sequentially.
+    pending.sort_by_key(|(w, _)| w.index);
+    while let Some((window, states)) = pending.first_mut() {
+        if states.len() < lanes {
+            break;
+        }
+        let window = *window;
+        let states = std::mem::take(states);
+        pending.remove(0);
+        sink.merge_window(window, states);
+    }
+}
+
+/// Feed a fixed synthetic stream (8 windows × 200 samples over 4 cores)
+/// through a 4-lane bus, applying `schedule` (batch index → new active
+/// width) mid-stream, and return the sink's full digest.
+fn run_schedule(schedule: &[(usize, usize)]) -> (Vec<(u64, u64, u64)>, u64, u64) {
+    const WINDOW_NS: u64 = 1_000;
+    const WINDOWS: u64 = 8;
+    const BATCHES_PER_WINDOW: usize = 20;
+    let bus = ShardedBus::new(4, 1024, BackpressurePolicy::Block);
+    let mut sink = DigestSink::default();
+    let ctx = nmo_repro::nmo::StreamContext {
+        annotations: std::sync::Arc::new(nmo_repro::nmo::Annotations::new()),
+        capacity_bytes: 1 << 30,
+        bucket_ns: WINDOW_NS,
+        mem_nodes: 1,
+        page_bytes: 4096,
+        machine: None,
+    };
+    let mut shards: Vec<Box<dyn SinkShard>> = (0..4).map(|s| sink.make_shard(s, &ctx)).collect();
+    let mut pending: Vec<(Window, Vec<ShardState>)> = Vec::new();
+
+    let mut batch_index = 0usize;
+    for w in 0..WINDOWS {
+        let window = Window { index: w, start_ns: w * WINDOW_NS, end_ns: (w + 1) * WINDOW_NS };
+        for b in 0..BATCHES_PER_WINDOW {
+            if let Some((_, width)) = schedule.iter().find(|(at, _)| *at == batch_index) {
+                bus.set_active_lanes(*width);
+            }
+            let core = b % 4;
+            let samples: Vec<AddressSample> = (0..10)
+                .map(|i| {
+                    let t = window.start_ns + (b as u64 * 10 + i) % WINDOW_NS;
+                    sample(t, core, 0x1000 + (batch_index as u64) * 64 + i * 8)
+                })
+                .collect();
+            let batch = SampleBatch::new(
+                "spe",
+                Some(core),
+                window,
+                BatchPayload::SpeSamples { samples, loss: SpeStatsSnapshot::default() },
+            );
+            assert!(bus.publish(batch), "Block bus never drops");
+            batch_index += 1;
+        }
+        bus.broadcast_close(window);
+        drain_all(&bus, &mut shards, &mut pending, &mut sink);
+    }
+    bus.close_all();
+    drain_all(&bus, &mut shards, &mut pending, &mut sink);
+    assert!(pending.is_empty(), "every window merged: {} left", pending.len());
+    let finals: Vec<ShardState> = shards.into_iter().map(|s| s.finish()).collect();
+    sink.merge_final(finals);
+    (sink.merged, sink.total_count, sink.total_vaddr)
+}
+
+/// The merged digest is invariant under mid-run width changes: a static
+/// full-width run, a static serial run, and a run whose active width moves
+/// 4 → 2 → 1 → 3 mid-stream all merge to the same per-window tuples and the
+/// same totals — and the changing-width run is reproducible run-to-run.
+#[test]
+fn mid_run_width_changes_preserve_the_merged_digest() {
+    let static_full = run_schedule(&[]);
+    let static_serial = run_schedule(&[(0, 1)]);
+    let changing = run_schedule(&[(30, 2), (70, 1), (110, 3)]);
+    let changing_again = run_schedule(&[(30, 2), (70, 1), (110, 3)]);
+
+    assert_eq!(changing, changing_again, "same schedule, identical digest");
+    assert_eq!(changing, static_full, "width changes do not alter the merged view");
+    assert_eq!(static_serial, static_full, "serial == sharded semantics");
+    let (merged, total, _) = static_full;
+    assert_eq!(merged.len(), 8, "one merge per window");
+    assert_eq!(total, 8 * 20 * 10, "every sample merged exactly once");
+}

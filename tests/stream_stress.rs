@@ -14,10 +14,12 @@
 //!   produces bit-identical reports through 8 shards and through the serial
 //!   pipeline (the STREAM equivalence lives in `tests/streaming.rs`).
 
+use std::time::Duration;
+
 use nmo_repro::arch_sim::MachineConfig;
 use nmo_repro::nmo::{
-    BackpressurePolicy, BandwidthSink, CapacitySink, LatencySink, NmoConfig, Profile,
-    ProfileSession, RegionSink, StreamOptions,
+    AdaptiveOptions, BackpressurePolicy, BandwidthSink, CapacitySink, LatencySink, NmoConfig,
+    Profile, ProfileSession, RegionSink, StreamOptions,
 };
 use nmo_repro::workloads::{PageRank, StreamBench};
 
@@ -59,6 +61,8 @@ fn stress_128_cores_dropnewest_counts_drops_exactly() {
         .expect("streaming run completes");
     let stats = profile.stream.expect("stream stats");
     assert_eq!(stats.shards, 8);
+    assert_eq!(stats.shards_requested, 8);
+    assert_eq!(stats.active_shards, 8, "static run keeps every shard active");
     assert!(stats.batches_published > 0, "{stats:?}");
     assert!(stats.windows_closed > 0, "{stats:?}");
     assert!(
@@ -98,6 +102,57 @@ fn stress_128_cores_block_is_lossless_and_deadlock_free() {
     assert_eq!(profile.regions().scatter.len() as u64, profile.processed_samples);
 }
 
+/// Adaptive mode under the full 128-core stress load. The controller is free
+/// to repartition mid-run — parking and re-activating pump workers, moving
+/// the drain cadence, and (from `DropNewest`) escalating to `Block` — and
+/// the pipeline must still run to completion with its accounting intact.
+/// This test rides the CI `NMO_LOCK_CHECK=1` job, so every controller lock
+/// edge (`adaptive.control` → `bus.inner`, the shared drainer slots) is
+/// order-checked under real contention.
+#[test]
+fn stress_128_cores_adaptive_completes_with_exact_accounting() {
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::ampere_altra_max())
+        .config(NmoConfig { aux_watermark_bytes: Some(16 * 1024), ..NmoConfig::paper_default(1) })
+        .threads(128)
+        .sink(CapacitySink::default())
+        .sink(BandwidthSink::default())
+        .sink(RegionSink::default())
+        .sink(LatencySink::default())
+        .stream_options(StreamOptions {
+            window_ns: 100_000,
+            bus_capacity: 64,
+            backpressure: BackpressurePolicy::Block,
+            shards: 8,
+            adaptive: Some(AdaptiveOptions {
+                control_interval: Duration::from_micros(500),
+                window: 2,
+                ..AdaptiveOptions::default()
+            }),
+            ..StreamOptions::default()
+        })
+        .workload(Box::new(StreamBench::new(64_000, 1)))
+        .build()
+        .expect("session builds")
+        .run_streaming()
+        .expect("adaptive streaming run completes");
+    let stats = profile.stream.expect("stream stats");
+    assert_eq!(stats.shards, 8);
+    assert_eq!(stats.shards_requested, 8);
+    assert!(
+        (1..=8).contains(&(stats.active_shards as usize)),
+        "final active width stays within the allocated range: {stats:?}"
+    );
+    // Block backpressure stays lossless no matter how the controller moves
+    // the active width or cadence mid-run.
+    assert_eq!(stats.batches_dropped, 0, "{stats:?}");
+    assert_eq!(stats.items_dropped, 0, "{stats:?}");
+    assert!(profile.processed_samples > 10_000, "{}", profile.processed_samples);
+    assert_eq!(profile.samples.len() as u64, profile.processed_samples);
+    assert_eq!(profile.latency().total_count(), profile.processed_samples);
+    assert_eq!(profile.regions().scatter.len() as u64, profile.processed_samples);
+}
+
 fn pagerank_session(shards: usize) -> ProfileSession {
     ProfileSession::builder()
         .machine_config(MachineConfig::small_test())
@@ -126,14 +181,18 @@ fn assert_profiles_equivalent(sharded: &Profile, serial: &Profile) {
     assert_eq!(rs.scatter.len(), rp.scatter.len());
 }
 
-/// PageRank through 8 shards equals PageRank through the serial pipeline
+/// PageRank with an over-provisioned shard request (8 shards, 1 profiled
+/// core) clamps to the serial-width pipeline and stays bit-for-bit equal to
+/// the serial run — the shards>cores resolution pin on a second workload
 /// (single worker core → deterministic simulation → bit-for-bit reports).
 #[test]
-fn pagerank_sharded_equals_serial() {
+fn pagerank_over_provisioned_shards_equal_serial() {
     let serial = pagerank_session(1).run_streaming().expect("serial run");
     let sharded = pagerank_session(8).run_streaming().expect("sharded run");
     assert!(serial.processed_samples > 500, "{}", serial.processed_samples);
     assert_profiles_equivalent(&sharded, &serial);
-    assert_eq!(sharded.stream.expect("stats").shards, 8);
-    assert_eq!(sharded.stream.expect("stats").batches_dropped, 0);
+    let stats = sharded.stream.expect("stats");
+    assert_eq!(stats.shards, 1, "effective shards clamp to the profiled core count");
+    assert_eq!(stats.shards_requested, 8, "the original request is recorded");
+    assert_eq!(stats.batches_dropped, 0);
 }
