@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 use nmo::NmoError;
 use nmo_bench::experiments::{self, ExperimentResult};
 use nmo_bench::harness::Scale;
-use nmo_bench::{stream_adaptive, stream_throughput};
+use nmo_bench::{stream_adaptive, stream_throughput, trace_bench};
 
 struct Args {
     exp: String,
@@ -48,7 +48,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: repro [--exp <id|all>] [--quick|--full|--tiny] [--out <dir>]\n\
                      experiments: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 \
-                     fig11 bench_stream bench_stream_adaptive"
+                     fig11 bench_stream bench_stream_adaptive bench_trace"
                 );
                 std::process::exit(0);
             }
@@ -76,6 +76,7 @@ const EXPERIMENT_IDS: &[&str] = &[
     "fig11",
     "bench_stream",
     "bench_stream_adaptive",
+    "bench_trace",
 ];
 
 fn wants(exp: &str, ids: &[&str]) -> bool {
@@ -190,6 +191,28 @@ fn run(args: &Args) -> Result<(), NmoError> {
         ) {
             Ok(path) => println!("  -> wrote {path}\n"),
             Err(e) => eprintln!("  !! failed to write BENCH_stream_adaptive.json: {e}"),
+        }
+    }
+    if wants(exp, &["bench_trace"]) {
+        // Trace-store benchmark: live encode overhead, storage density vs a
+        // fixed-width layout, and indexed replay speedup over re-simulating
+        // the recorded session; writes BENCH_trace.json.
+        let records_per_core = match args.scale_name {
+            "tiny" => 2_000,
+            "full" => 65_536,
+            _ => 16_384,
+        };
+        let result = trace_bench::bench_trace(8, 4, records_per_core, 3);
+        emit(vec![trace_bench::to_experiment(&result)], &args.out, 20);
+        println!(
+            "  encode overhead {:.2}%, {:.2} bytes/sample, indexed replay {:.1}x vs re-simulate\n",
+            result.encode_overhead_fraction.max(0.0) * 100.0,
+            result.bytes_per_sample,
+            result.indexed_speedup_vs_resimulate
+        );
+        match trace_bench::write_bench_trace_json(&result, &args.out) {
+            Ok(path) => println!("  -> wrote {path}\n"),
+            Err(e) => eprintln!("  !! failed to write BENCH_trace.json: {e}"),
         }
     }
     Ok(())

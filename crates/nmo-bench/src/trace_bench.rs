@@ -1,0 +1,512 @@
+//! Trace-store benchmark (`repro --exp bench_trace`): the three numbers of
+//! the indexed-binary-trace work, written to `BENCH_trace.json`.
+//!
+//! 1. **Encode overhead** — two numbers. The gated one is end-to-end: the
+//!    same streaming PageRank session runs with and without a trace
+//!    directory, best-of-trials, and the wall-clock delta is what recording
+//!    costs a live profiling run (target: < 5%, CI gate: ≤ 10%). Alongside
+//!    it, a worst-case stress number: the synthetic drain→decode→bus→sink
+//!    pipeline of [`crate::stream_throughput`] (whose per-sample analysis
+//!    is deliberately minimal) with [`nmo::TraceWriterSink`] shards riding
+//!    the consumer threads, reported as a throughput delta but not gated —
+//!    on a single-core host every encoded byte debits that ratio directly.
+//! 2. **Storage density** — bytes per stored sample versus the naive
+//!    fixed-width encoding of an [`nmo::AddressSample`] (8 time + 8 vaddr +
+//!    8 core + 1 store + 2 latency + 1 source = 28 bytes), everything
+//!    included (block framing, checksums, footer index, manifest).
+//! 3. **Replay speedup vs re-simulation** — the headline: a recorded
+//!    PageRank session is replayed through a fresh `LatencySink`
+//!    sequentially and through the parallel indexed path
+//!    ([`nmo::TraceReader::replay_query`]), against the wall-clock of
+//!    re-running the simulation (CI gate: indexed ≥ 2x).
+//!
+//! Bench-harness code: a violated setup assumption should abort the run,
+//! so panicking `expect`s are the intended failure mode here.
+// nmo-lint: allow-file(no-unwrap-in-lib)
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use arch_sim::{MachineConfig, PlacementPolicy};
+use nmo::sink::SinkShard;
+use nmo::stream::{BackpressurePolicy, BusRecv, WindowClock};
+use nmo::trace::replay_finish;
+use nmo::{
+    AnalysisSink, Annotations, BatchPool, LatencySink, NmoConfig, Profile, ProfileSession,
+    RegionSink, ShardedBus, StreamContext, StreamOptions, TraceQuery, TraceReader, TraceWriterSink,
+};
+use workloads::PageRank;
+
+use crate::experiments::ExperimentResult;
+use crate::stream_throughput::{encode_core, host_parallelism, pump_core_chunk, WINDOW_NS};
+
+/// Bytes of the naive fixed-width `AddressSample` encoding the delta/varint
+/// format is measured against: u64 time + u64 vaddr + u64 core + u8 store +
+/// u16 latency + u8 source.
+pub const NAIVE_SAMPLE_BYTES: u64 = 28;
+
+/// Everything `BENCH_trace.json` reports.
+#[derive(Debug, Clone)]
+pub struct TraceBenchResult {
+    /// Cores / shards of the synthetic encode-overhead pipeline.
+    pub cores: usize,
+    /// Shards (pump workers, lanes, consumers, trace segments).
+    pub shards: usize,
+    /// Samples pushed through the synthetic pipeline.
+    pub pipeline_samples: u64,
+    /// Best-of-trials throughput without the trace writer.
+    pub baseline_samples_per_sec: f64,
+    /// Best-of-trials throughput with the trace writer recording.
+    pub recorded_samples_per_sec: f64,
+    /// `1 - recorded/baseline` on the synthetic stress pipeline — the
+    /// worst case, where the competing analysis work is minimal (not
+    /// gated; negative means within noise).
+    pub pipeline_overhead_fraction: f64,
+    /// `record/resimulate - 1` on the end-to-end streaming session — what
+    /// recording costs a real profiling run; this is the gated number.
+    pub encode_overhead_fraction: f64,
+    /// Samples stored in the synthetic pipeline's trace.
+    pub stored_samples: u64,
+    /// Total on-disk trace bytes (segments + manifest).
+    pub trace_bytes: u64,
+    /// `trace_bytes / stored_samples`.
+    pub bytes_per_sample: f64,
+    /// `NAIVE_SAMPLE_BYTES / bytes_per_sample`.
+    pub compression_ratio_vs_fixed_width: f64,
+    /// Wall-clock of re-running the PageRank simulation, milliseconds.
+    pub resimulate_ms: f64,
+    /// Wall-clock of the recorded session (simulation + trace writing).
+    pub record_ms: f64,
+    /// Sequential replay of the stored session trace, milliseconds.
+    pub sequential_replay_ms: f64,
+    /// Parallel indexed replay (`replay_query`, all segments), milliseconds.
+    pub indexed_replay_ms: f64,
+    /// Replay worker threads of the indexed path (= session segments).
+    pub replay_segments: usize,
+    /// `resimulate_ms / sequential_replay_ms`.
+    pub sequential_speedup_vs_resimulate: f64,
+    /// `resimulate_ms / indexed_replay_ms` — the headline number.
+    pub indexed_speedup_vs_resimulate: f64,
+}
+
+/// Run the synthetic pipeline once; when `trace_dir` is set, a
+/// `TraceWriterSink` shard rides every consumer thread and the finished
+/// trace is left at `trace_dir`. Returns (samples, elapsed).
+fn run_pipeline(
+    cores: usize,
+    shards: usize,
+    encoded: &Arc<Vec<Vec<u8>>>,
+    trace_dir: Option<&Path>,
+) -> (u64, Duration) {
+    let annotations = Arc::new(Annotations::new());
+    let ctx = StreamContext {
+        annotations,
+        capacity_bytes: 1 << 30,
+        bucket_ns: WINDOW_NS,
+        mem_nodes: 2,
+        page_bytes: 64 * 1024,
+        machine: None,
+    };
+
+    // The live-analysis half mirrors `stream_throughput::run_config`:
+    // a latency histogram and a region attributor per consumer thread.
+    let mut latency = LatencySink::new();
+    latency.on_stream_start(&ctx);
+    let mut regions = RegionSink::new();
+    regions.on_stream_start(&ctx);
+    let mut analysis_shards: Vec<Vec<Box<dyn SinkShard>>> = (0..shards)
+        .map(|s| {
+            vec![
+                latency.as_shardable().expect("shardable").make_shard(s, &ctx),
+                regions.as_shardable().expect("shardable").make_shard(s, &ctx),
+            ]
+        })
+        .collect();
+    let mut tracer = trace_dir.map(|dir| {
+        std::fs::remove_dir_all(dir).ok();
+        let mut t = TraceWriterSink::new(dir);
+        t.on_stream_start(&ctx);
+        t
+    });
+    let mut trace_shards: Vec<Option<Box<dyn SinkShard>>> = match tracer.as_mut() {
+        Some(t) => {
+            let sh = t.as_shardable().expect("trace writer is shardable");
+            (0..shards).map(|s| Some(sh.make_shard(s, &ctx))).collect()
+        }
+        None => (0..shards).map(|_| None).collect(),
+    };
+
+    let records_per_core = encoded[0].len() / spe::packet::SPE_RECORD_BYTES;
+    let last_window = WindowClock::new(WINDOW_NS).index_of(records_per_core as u64 * 1_000);
+    let bus = ShardedBus::new(shards, 1024, BackpressurePolicy::Block);
+    let pool = BatchPool::new(4096);
+    let clock = WindowClock::new(WINDOW_NS);
+
+    let started = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let mut consumers = Vec::with_capacity(shards);
+        for (shard, (mut workers, mut tra)) in
+            analysis_shards.drain(..).zip(trace_shards.drain(..)).enumerate()
+        {
+            let lane = bus.lane(shard).clone();
+            let pool = pool.clone();
+            consumers.push(scope.spawn(move || {
+                let mut consumed = 0u64;
+                loop {
+                    match lane.recv_timeout(Duration::from_millis(50)) {
+                        BusRecv::Event(nmo::stream::BusEvent::Batch(batch)) => {
+                            consumed += batch.len() as u64;
+                            for w in workers.iter_mut() {
+                                w.on_batch(&batch);
+                            }
+                            if let Some(t) = tra.as_mut() {
+                                t.on_batch(&batch);
+                            }
+                            pool.recycle_batch(batch);
+                        }
+                        BusRecv::Event(nmo::stream::BusEvent::CloseWindow(_)) => {}
+                        BusRecv::TimedOut => {}
+                        BusRecv::Closed => break,
+                    }
+                }
+                // Window closes, in order, to every sink's shard (the trace
+                // needs them recorded for replay to merge windows).
+                for w in 0..=last_window {
+                    let window = clock.window(w);
+                    for worker in workers.iter_mut() {
+                        worker.on_window_close(window);
+                    }
+                    if let Some(t) = tra.as_mut() {
+                        t.on_window_close(window);
+                    }
+                }
+                (consumed, workers, tra)
+            }));
+        }
+        let mut pumps = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let bus = &bus;
+            let pool = pool.clone();
+            let encoded = Arc::clone(encoded);
+            pumps.push(scope.spawn(move || {
+                let mut published = 0u64;
+                let my_cores: Vec<usize> = (0..cores).filter(|c| c % shards == shard).collect();
+                let mut cursors = vec![0usize; my_cores.len()];
+                loop {
+                    let mut progressed = false;
+                    for (slot, &core) in my_cores.iter().enumerate() {
+                        let n = pump_core_chunk(
+                            core,
+                            &encoded[core],
+                            &mut cursors[slot],
+                            bus,
+                            &pool,
+                            &clock,
+                        );
+                        if n > 0 {
+                            progressed = true;
+                            published += n;
+                        }
+                    }
+                    if !progressed {
+                        return published;
+                    }
+                }
+            }));
+        }
+        let published: u64 = pumps.into_iter().map(|p| p.join().expect("pump")).sum();
+        bus.close_all();
+        let mut consumed = 0u64;
+        let mut lat_states = Vec::with_capacity(shards);
+        let mut reg_states = Vec::with_capacity(shards);
+        let mut trace_states = Vec::with_capacity(shards);
+        for consumer in consumers {
+            let (n, mut workers, tra) = consumer.join().expect("consumer");
+            consumed += n;
+            let reg = workers.pop().expect("region worker");
+            let lat = workers.pop().expect("latency worker");
+            lat_states.push(lat.finish());
+            reg_states.push(reg.finish());
+            if let Some(t) = tra {
+                trace_states.push(t.finish());
+            }
+        }
+        assert_eq!(consumed, published, "Block backpressure loses nothing");
+        latency.as_shardable().expect("shardable").merge_final(lat_states);
+        regions.as_shardable().expect("shardable").merge_final(reg_states);
+        if let Some(t) = tracer.as_mut() {
+            t.as_shardable().expect("shardable").merge_final(trace_states);
+        }
+        consumed
+    });
+    let elapsed = started.elapsed();
+
+    if let Some(t) = tracer {
+        // Writes the manifest so the trace is openable.
+        let mut sinks: Vec<Box<dyn AnalysisSink>> = vec![Box::new(t)];
+        replay_finish(&mut sinks).expect("trace manifest");
+    }
+    (total, elapsed)
+}
+
+/// On-disk size of every file in the trace directory.
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries.filter_map(|e| e.ok()).filter_map(|e| e.metadata().ok()).map(|m| m.len()).sum()
+        })
+        .unwrap_or(0)
+}
+
+/// The PageRank session the replay arm records and re-simulates; `scale`
+/// grows the graph with the records-per-core knob of the other benches.
+fn replay_session(scale: usize, trace_dir: Option<&PathBuf>) -> ProfileSession {
+    let vertices = (scale * 2).next_power_of_two().clamp(1 << 10, 1 << 14);
+    let mut builder = ProfileSession::builder()
+        .machine_config(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+            local_fraction: 0.5,
+        }))
+        .config(NmoConfig::paper_default(100))
+        .threads(4)
+        .sink(LatencySink::default())
+        .stream_options(StreamOptions { window_ns: 100_000, shards: 4, ..StreamOptions::default() })
+        .workload(Box::new(PageRank::new(vertices, 8, 2)));
+    if let Some(dir) = trace_dir {
+        builder = builder.trace_dir(dir.clone());
+    }
+    builder.build().expect("session builds")
+}
+
+fn latency_report_debug(profile: &Profile) -> String {
+    let rec = profile.analyses.iter().find(|r| r.sink == "latency").expect("live latency report");
+    format!("{:?}", rec.report)
+}
+
+/// Run the full trace benchmark. `records_per_core` sizes the synthetic
+/// pipeline (and, scaled, the PageRank replay arm); `trials` is the
+/// best-of count for the overhead measurement.
+pub fn bench_trace(
+    cores: usize,
+    shards: usize,
+    records_per_core: usize,
+    trials: usize,
+) -> TraceBenchResult {
+    let encoded: Arc<Vec<Vec<u8>>> =
+        Arc::new((0..cores).map(|c| encode_core(c, records_per_core)).collect());
+    let trace_dir =
+        std::env::temp_dir().join(format!("nmo_bench_trace_pipe_{}", std::process::id()));
+
+    // Arm 1: encode overhead, best-of-`trials` per configuration.
+    let mut baseline_best = Duration::MAX;
+    let mut recorded_best = Duration::MAX;
+    let mut samples = 0u64;
+    for _ in 0..trials.max(1) {
+        let (n, t) = run_pipeline(cores, shards, &encoded, None);
+        samples = n;
+        baseline_best = baseline_best.min(t);
+        let (m, t) = run_pipeline(cores, shards, &encoded, Some(&trace_dir));
+        assert_eq!(m, n, "both arms push the identical stream");
+        recorded_best = recorded_best.min(t);
+    }
+    let baseline_rate = samples as f64 / baseline_best.as_secs_f64().max(1e-9);
+    let recorded_rate = samples as f64 / recorded_best.as_secs_f64().max(1e-9);
+    let pipeline_overhead = 1.0 - recorded_rate / baseline_rate;
+
+    // Arm 2: storage density of the recorded pipeline trace.
+    let reader = TraceReader::open(&trace_dir).expect("open pipeline trace");
+    let summary = reader.summary();
+    assert_eq!(summary.samples, samples, "every sample is stored");
+    let trace_bytes = dir_bytes(&trace_dir);
+    let bytes_per_sample = trace_bytes as f64 / summary.samples.max(1) as f64;
+
+    // Arm 3: replay vs re-simulation on a recorded PageRank session, and
+    // the gated end-to-end encode overhead (record vs plain, best-of-trials
+    // with the arms interleaved so drift hits both equally).
+    let session_dir =
+        std::env::temp_dir().join(format!("nmo_bench_trace_sess_{}", std::process::id()));
+    let mut record_ms = f64::MAX;
+    let mut resimulate_ms = f64::MAX;
+    let mut live_latency = String::new();
+    for _ in 0..trials.max(1) {
+        std::fs::remove_dir_all(&session_dir).ok();
+        let started = Instant::now();
+        let recorded_profile = replay_session(records_per_core, Some(&session_dir))
+            .run_streaming()
+            .expect("recorded run");
+        record_ms = record_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        live_latency = latency_report_debug(&recorded_profile);
+
+        let started = Instant::now();
+        let resim_profile =
+            replay_session(records_per_core, None).run_streaming().expect("re-simulation");
+        resimulate_ms = resimulate_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        drop(resim_profile);
+    }
+    let encode_overhead = record_ms / resimulate_ms.max(1e-9) - 1.0;
+
+    let reader = TraceReader::open(&session_dir).expect("open session trace");
+    let mut sinks: Vec<Box<dyn AnalysisSink>> = vec![Box::new(LatencySink::default())];
+    let started = Instant::now();
+    reader.replay(&mut sinks).expect("sequential replay");
+    let sequential_replay_ms = started.elapsed().as_secs_f64() * 1e3;
+    let records = replay_finish(&mut sinks).expect("replay report");
+    assert_eq!(
+        format!("{:?}", records[0].report),
+        live_latency,
+        "sequential replay must be bit-for-bit the live run"
+    );
+
+    let mut sinks: Vec<Box<dyn AnalysisSink>> = vec![Box::new(LatencySink::default())];
+    let started = Instant::now();
+    reader.replay_query(&TraceQuery::all(), &mut sinks).expect("indexed replay");
+    let indexed_replay_ms = started.elapsed().as_secs_f64() * 1e3;
+    let records = replay_finish(&mut sinks).expect("indexed report");
+    assert_eq!(
+        format!("{:?}", records[0].report),
+        live_latency,
+        "indexed replay must match the live run too"
+    );
+    let replay_segments = reader.shards();
+
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::remove_dir_all(&session_dir).ok();
+
+    TraceBenchResult {
+        cores,
+        shards,
+        pipeline_samples: samples,
+        baseline_samples_per_sec: baseline_rate,
+        recorded_samples_per_sec: recorded_rate,
+        pipeline_overhead_fraction: pipeline_overhead,
+        encode_overhead_fraction: encode_overhead,
+        stored_samples: summary.samples,
+        trace_bytes,
+        bytes_per_sample,
+        compression_ratio_vs_fixed_width: NAIVE_SAMPLE_BYTES as f64 / bytes_per_sample.max(1e-9),
+        resimulate_ms,
+        record_ms,
+        sequential_replay_ms,
+        indexed_replay_ms,
+        replay_segments,
+        sequential_speedup_vs_resimulate: resimulate_ms / sequential_replay_ms.max(1e-9),
+        indexed_speedup_vs_resimulate: resimulate_ms / indexed_replay_ms.max(1e-9),
+    }
+}
+
+/// Render the result as an [`ExperimentResult`] table.
+pub fn to_experiment(r: &TraceBenchResult) -> ExperimentResult {
+    ExperimentResult {
+        id: "bench_trace".into(),
+        title: format!(
+            "Trace store: encode overhead, density, replay speedup (host parallelism {})",
+            host_parallelism()
+        ),
+        header: vec!["metric".into(), "value".into()],
+        rows: vec![
+            vec!["pipeline cores x shards".into(), format!("{} x {}", r.cores, r.shards)],
+            vec!["pipeline samples".into(), r.pipeline_samples.to_string()],
+            vec!["baseline samples/s".into(), format!("{:.0}", r.baseline_samples_per_sec)],
+            vec!["recorded samples/s".into(), format!("{:.0}", r.recorded_samples_per_sec)],
+            vec![
+                "stress pipeline overhead".into(),
+                format!("{:.2}%", r.pipeline_overhead_fraction * 100.0),
+            ],
+            vec![
+                "live-run encode overhead".into(),
+                format!("{:.2}%", r.encode_overhead_fraction * 100.0),
+            ],
+            vec!["trace bytes/sample".into(), format!("{:.2}", r.bytes_per_sample)],
+            vec![
+                "compression vs fixed-width".into(),
+                format!("{:.2}x", r.compression_ratio_vs_fixed_width),
+            ],
+            vec!["re-simulate".into(), format!("{:.1} ms", r.resimulate_ms)],
+            vec!["sequential replay".into(), format!("{:.1} ms", r.sequential_replay_ms)],
+            vec![
+                "indexed replay".into(),
+                format!("{:.1} ms ({} workers)", r.indexed_replay_ms, r.replay_segments),
+            ],
+            vec![
+                "indexed speedup vs re-simulate".into(),
+                format!("{:.1}x", r.indexed_speedup_vs_resimulate),
+            ],
+        ],
+    }
+}
+
+/// Write `BENCH_trace.json` under `dir` (hand-rolled JSON — no serde in
+/// this offline workspace). Returns the path written.
+pub fn write_bench_trace_json(r: &TraceBenchResult, dir: &Path) -> std::io::Result<String> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_parallelism\": {},\n", host_parallelism()));
+    out.push_str(&format!(
+        "  \"encode\": {{\"cores\": {}, \"shards\": {}, \"samples\": {}, \
+         \"baseline_samples_per_sec\": {:.1}, \"recorded_samples_per_sec\": {:.1}, \
+         \"pipeline_overhead_fraction\": {:.4}, \"record_ms\": {:.3}, \
+         \"resimulate_ms\": {:.3}, \"encode_overhead_fraction\": {:.4}}},\n",
+        r.cores,
+        r.shards,
+        r.pipeline_samples,
+        r.baseline_samples_per_sec,
+        r.recorded_samples_per_sec,
+        r.pipeline_overhead_fraction,
+        r.record_ms,
+        r.resimulate_ms,
+        r.encode_overhead_fraction,
+    ));
+    out.push_str(&format!(
+        "  \"storage\": {{\"samples\": {}, \"trace_bytes\": {}, \"bytes_per_sample\": {:.3}, \
+         \"naive_bytes_per_sample\": {}, \"compression_ratio_vs_fixed_width\": {:.3}}},\n",
+        r.stored_samples,
+        r.trace_bytes,
+        r.bytes_per_sample,
+        NAIVE_SAMPLE_BYTES,
+        r.compression_ratio_vs_fixed_width,
+    ));
+    out.push_str(&format!(
+        "  \"replay\": {{\"resimulate_ms\": {:.3}, \"record_ms\": {:.3}, \
+         \"sequential_replay_ms\": {:.3}, \"indexed_replay_ms\": {:.3}, \
+         \"replay_segments\": {}, \"sequential_speedup_vs_resimulate\": {:.3}, \
+         \"indexed_speedup_vs_resimulate\": {:.3}}}\n",
+        r.resimulate_ms,
+        r.record_ms,
+        r.sequential_replay_ms,
+        r.indexed_replay_ms,
+        r.replay_segments,
+        r.sequential_speedup_vs_resimulate,
+        r.indexed_speedup_vs_resimulate,
+    ));
+    out.push_str("}\n");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_trace.json");
+    std::fs::write(&path, out)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bench_measures_and_serialises() {
+        let r = bench_trace(4, 2, 2_000, 1);
+        assert_eq!(r.pipeline_samples, 8_000);
+        assert_eq!(r.stored_samples, 8_000);
+        assert!(r.baseline_samples_per_sec > 0.0 && r.recorded_samples_per_sec > 0.0);
+        assert!(r.bytes_per_sample > 0.0 && r.trace_bytes > 0);
+        assert!(r.sequential_speedup_vs_resimulate > 0.0);
+        assert!(r.indexed_speedup_vs_resimulate > 0.0);
+
+        let dir = std::env::temp_dir().join(format!("nmo_bench_trace_{}", std::process::id()));
+        let path = write_bench_trace_json(&r, &dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"host_parallelism\""));
+        assert!(content.contains("\"encode_overhead_fraction\""));
+        assert!(content.contains("\"indexed_speedup_vs_resimulate\""));
+        assert!(!content.contains("NaN"));
+        let table = to_experiment(&r);
+        assert!(table.rows.len() >= 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -400,6 +400,7 @@ mod tests {
     #[test]
     fn classify_paths() {
         assert_eq!(classify(Path::new("crates/nmo/src/stream.rs")), FileKind::Lib);
+        assert_eq!(classify(Path::new("crates/nmo/src/trace.rs")), FileKind::Lib);
         assert_eq!(classify(Path::new("crates/nmo-bench/src/bin/repro.rs")), FileKind::Bin);
         assert_eq!(classify(Path::new("src/main.rs")), FileKind::Bin);
         assert_eq!(classify(Path::new("tests/streaming.rs")), FileKind::Test);

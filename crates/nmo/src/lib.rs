@@ -104,6 +104,7 @@ pub mod session;
 pub mod sink;
 pub mod stream;
 pub mod tiering;
+pub mod trace;
 pub mod workload;
 
 pub use analysis::{accuracy, time_overhead, RunMeasurement, Sweep, SweepPoint};
@@ -133,6 +134,7 @@ pub use tiering::{
     AppliedMigration, HotPageTracker, LatencyThreshold, MigrationDecision, NoMigration, PageStats,
     TieringPolicy, TieringReport, TieringView, TopKHot,
 };
+pub use trace::{ReplayStats, TraceQuery, TraceReader, TraceSummary, TraceWriterSink};
 pub use workload::{Workload, WorkloadReport};
 
 /// Errors produced by the NMO runtime.
@@ -167,6 +169,10 @@ pub enum NmoError {
     /// The session was configured inconsistently (no cores, unknown core
     /// ids, missing workload, ...).
     Config(String),
+    /// The binary trace store rejected a segment or a replay failed:
+    /// truncated or corrupt blocks, checksum mismatches, unsupported
+    /// versions, or a query that cannot be served from the stored index.
+    Trace(String),
 }
 
 impl NmoError {
@@ -178,6 +184,11 @@ impl NmoError {
     /// Construct a [`NmoError::Sink`] from a sink name and message.
     pub fn sink(sink: impl Into<String>, message: impl Into<String>) -> Self {
         NmoError::Sink { sink: sink.into(), message: message.into() }
+    }
+
+    /// Construct a [`NmoError::Trace`] from a message.
+    pub fn trace(message: impl Into<String>) -> Self {
+        NmoError::Trace(message.into())
     }
 }
 
@@ -193,6 +204,7 @@ impl std::fmt::Display for NmoError {
             NmoError::Sink { sink, message } => write!(f, "sink '{sink}' failed: {message}"),
             NmoError::Workload(msg) => write!(f, "workload error: {msg}"),
             NmoError::Config(msg) => write!(f, "session configuration error: {msg}"),
+            NmoError::Trace(msg) => write!(f, "trace error: {msg}"),
         }
     }
 }

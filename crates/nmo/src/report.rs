@@ -50,6 +50,29 @@ pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>])
     fs::write(path, out)
 }
 
+/// Write a CSV whose cells are machine-formatted (numbers, hex addresses,
+/// enum debug labels) and therefore can never need RFC 4180 quoting: the
+/// column layout is derived once per report and `emit` appends every row
+/// directly into one preallocated buffer — no `Vec<String>` per row, no
+/// `String` per cell. On million-row sample/latency CSVs this is the
+/// difference between 2N+ transient allocations and one.
+fn write_csv_streamed<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: usize,
+    bytes_per_row: usize,
+    emit: impl FnOnce(&mut String),
+) -> io::Result<()> {
+    let header_bytes: usize = header.iter().map(|h| h.len() + 1).sum();
+    let mut out = String::with_capacity(header_bytes + rows * bytes_per_row);
+    csv_row(&mut out, header.iter());
+    emit(&mut out);
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
 /// Render rows as an aligned text table.
 pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -88,71 +111,82 @@ impl Profile {
 
         // Address samples (the scatter data of Figures 4-6). The source
         // column carries the serving memory node for DRAM-class fills, e.g.
-        // `Dram(0)` / `RemoteDram(1)`.
+        // `Dram(0)` / `RemoteDram(1)`. The source label is cached per
+        // distinct `DataSource` (a handful per topology), not re-formatted
+        // per row.
         let path = dir.join(format!("{base}_samples.csv"));
-        let rows: Vec<Vec<String>> = self
-            .samples
-            .iter()
-            .map(|s| {
-                vec![
-                    s.time_ns.to_string(),
-                    format!("{:#x}", s.vaddr),
-                    s.core.to_string(),
-                    (s.is_store as u8).to_string(),
-                    s.latency.to_string(),
-                    format!("{:?}", s.source),
-                ]
-            })
-            .collect();
-        write_csv(&path, &["time_ns", "vaddr", "core", "is_store", "latency", "source"], &rows)?;
+        let mut source_labels: Vec<(arch_sim::DataSource, String)> = Vec::new();
+        write_csv_streamed(
+            &path,
+            &["time_ns", "vaddr", "core", "is_store", "latency", "source"],
+            self.samples.len(),
+            44,
+            |out| {
+                for s in &self.samples {
+                    let label = match source_labels.iter().find(|(src, _)| *src == s.source) {
+                        Some((_, label)) => label,
+                        None => {
+                            source_labels.push((s.source, format!("{:?}", s.source)));
+                            &source_labels[source_labels.len() - 1].1
+                        }
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{},{:#x},{},{},{},{label}",
+                        s.time_ns, s.vaddr, s.core, s.is_store as u8, s.latency,
+                    );
+                }
+            },
+        )?;
         written.push(path.display().to_string());
 
         // Capacity over time (Figure 2), one extra column per memory node
-        // on tiered topologies.
+        // on tiered topologies. The per-tier column layout is hoisted once
+        // per report; the row loop only formats numbers into the buffer.
         let path = dir.join(format!("{base}_capacity.csv"));
-        let tier_cols: Vec<String> =
-            (0..self.capacity.nodes).map(|n| format!("node{n}_gib")).collect();
+        let nodes = self.capacity.nodes;
         let mut header = vec!["time_s".to_string(), "rss_gib".to_string()];
-        header.extend(tier_cols);
-        let rows: Vec<Vec<String>> = self
-            .capacity
-            .points
-            .iter()
-            .map(|p| {
-                let mut row = vec![format!("{:.6}", p.time_s), format!("{:.6}", p.rss_gib)];
-                row.extend(
-                    p.rss_by_node_gib[..self.capacity.nodes].iter().map(|gib| format!("{gib:.6}")),
-                );
-                row
-            })
-            .collect();
+        header.extend((0..nodes).map(|n| format!("node{n}_gib")));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(&path, &header_refs, &rows)?;
+        write_csv_streamed(
+            &path,
+            &header_refs,
+            self.capacity.points.len(),
+            18 * (2 + nodes),
+            |out| {
+                for p in &self.capacity.points {
+                    let _ = write!(out, "{:.6},{:.6}", p.time_s, p.rss_gib);
+                    for gib in &p.rss_by_node_gib[..nodes] {
+                        let _ = write!(out, ",{gib:.6}");
+                    }
+                    out.push('\n');
+                }
+            },
+        )?;
         written.push(path.display().to_string());
 
         // Bandwidth over time (Figure 3), one extra column per memory node
-        // on tiered topologies.
+        // on tiered topologies; same hoisted layout as capacity.
         let path = dir.join(format!("{base}_bandwidth.csv"));
-        let tier_cols: Vec<String> =
-            (0..self.bandwidth.nodes).map(|n| format!("node{n}_gib_per_s")).collect();
+        let nodes = self.bandwidth.nodes;
         let mut header = vec!["time_s".to_string(), "gib_per_s".to_string()];
-        header.extend(tier_cols);
-        let rows: Vec<Vec<String>> = self
-            .bandwidth
-            .points
-            .iter()
-            .map(|p| {
-                let mut row = vec![format!("{:.6}", p.time_s), format!("{:.3}", p.gib_per_s)];
-                row.extend(
-                    p.gib_per_s_by_node[..self.bandwidth.nodes]
-                        .iter()
-                        .map(|gib| format!("{gib:.3}")),
-                );
-                row
-            })
-            .collect();
+        header.extend((0..nodes).map(|n| format!("node{n}_gib_per_s")));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(&path, &header_refs, &rows)?;
+        write_csv_streamed(
+            &path,
+            &header_refs,
+            self.bandwidth.points.len(),
+            14 * (2 + nodes),
+            |out| {
+                for p in &self.bandwidth.points {
+                    let _ = write!(out, "{:.6},{:.3}", p.time_s, p.gib_per_s);
+                    for gib in &p.gib_per_s_by_node[..nodes] {
+                        let _ = write!(out, ",{gib:.3}");
+                    }
+                    out.push('\n');
+                }
+            },
+        )?;
         written.push(path.display().to_string());
 
         // Per-data-source latency distributions (the tiered-memory latency
@@ -160,26 +194,26 @@ impl Profile {
         let latency = self.latency();
         if !latency.is_empty() {
             let path = dir.join(format!("{base}_latency.csv"));
-            let rows: Vec<Vec<String>> = latency
-                .per_source
-                .iter()
-                .map(|(source, hist)| {
-                    vec![
-                        format!("{source:?}"),
-                        hist.count().to_string(),
-                        format!("{:.1}", hist.mean()),
-                        format!("{:.1}", hist.p50()),
-                        format!("{:.1}", hist.p90()),
-                        format!("{:.1}", hist.p99()),
-                        hist.min().to_string(),
-                        hist.max().to_string(),
-                    ]
-                })
-                .collect();
-            write_csv(
+            write_csv_streamed(
                 &path,
                 &["source", "samples", "mean", "p50", "p90", "p99", "min", "max"],
-                &rows,
+                latency.per_source.len(),
+                64,
+                |out| {
+                    for (source, hist) in &latency.per_source {
+                        let _ = writeln!(
+                            out,
+                            "{source:?},{},{:.1},{:.1},{:.1},{:.1},{},{}",
+                            hist.count(),
+                            hist.mean(),
+                            hist.p50(),
+                            hist.p90(),
+                            hist.p99(),
+                            hist.min(),
+                            hist.max(),
+                        );
+                    }
+                },
             )?;
             written.push(path.display().to_string());
         }
@@ -224,31 +258,27 @@ impl Profile {
         // HotPageTracker ran on the session).
         if let Some(tiering) = self.tiering() {
             let path = dir.join(format!("{base}_migrations.csv"));
-            let rows: Vec<Vec<String>> = tiering
-                .applied
-                .iter()
-                .map(|m| {
-                    vec![
-                        m.time_ns.to_string(),
-                        m.window.to_string(),
-                        format!("{:#x}", m.page_addr),
-                        m.from.to_string(),
-                        m.to.to_string(),
-                        m.bytes.to_string(),
-                        if m.is_promotion() {
-                            "promotion".to_string()
-                        } else if m.is_demotion() {
-                            "demotion".to_string()
-                        } else {
-                            "lateral".to_string()
-                        },
-                    ]
-                })
-                .collect();
-            write_csv(
+            write_csv_streamed(
                 &path,
                 &["time_ns", "window", "page_addr", "from_node", "to_node", "bytes", "direction"],
-                &rows,
+                tiering.applied.len(),
+                56,
+                |out| {
+                    for m in &tiering.applied {
+                        let direction = if m.is_promotion() {
+                            "promotion"
+                        } else if m.is_demotion() {
+                            "demotion"
+                        } else {
+                            "lateral"
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{},{},{:#x},{},{},{},{direction}",
+                            m.time_ns, m.window, m.page_addr, m.from, m.to, m.bytes,
+                        );
+                    }
+                },
             )?;
             written.push(path.display().to_string());
 

@@ -148,6 +148,15 @@ impl ProfileSessionBuilder {
         self
     }
 
+    /// Record the run to an indexed binary trace under `dir` (one segment
+    /// per shard): sugar for registering a
+    /// [`crate::trace::TraceWriterSink`]. The stored trace replays through
+    /// any sink via [`crate::trace::TraceReader`] — no re-simulation.
+    pub fn trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.sinks.push(Box::new(crate::trace::TraceWriterSink::new(dir)));
+        self
+    }
+
     /// The workload [`ProfileSession::run`] will drive.
     pub fn workload(mut self, workload: Box<dyn Workload>) -> Self {
         self.workload = Some(workload);

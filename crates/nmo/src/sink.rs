@@ -106,9 +106,33 @@ pub struct StreamContext {
     pub page_bytes: u64,
     /// The live machine, for sinks that *act* on the run (e.g.
     /// [`crate::tiering::HotPageTracker`] applying page migrations).
-    /// Always present on a session-driven stream; `None` only in
-    /// hand-built test contexts.
+    /// Always present on a session-driven stream; `None` on replays from a
+    /// stored trace (the run is over — there is nothing left to actuate)
+    /// and in hand-built test contexts.
     pub machine: Option<Arc<Machine>>,
+}
+
+impl StreamContext {
+    /// A machine-less context for replaying a stored trace
+    /// ([`crate::trace::TraceReader`]): the recorded geometry is restored,
+    /// the annotation registry starts empty, and `machine` is `None` —
+    /// sinks aggregate exactly as they did live, but nothing can actuate
+    /// the (finished) run.
+    pub fn for_replay(
+        capacity_bytes: u64,
+        bucket_ns: u64,
+        mem_nodes: usize,
+        page_bytes: u64,
+    ) -> Self {
+        StreamContext {
+            annotations: Arc::new(Annotations::new()),
+            capacity_bytes,
+            bucket_ns,
+            mem_nodes,
+            page_bytes,
+            machine: None,
+        }
+    }
 }
 
 /// A pluggable analysis over a profiling run.

@@ -573,6 +573,16 @@ impl BatchPool {
         buf.unwrap_or_default()
     }
 
+    /// An empty byte scratch buffer with at least `min_capacity` reserved.
+    /// Recycled buffers usually already carry the capacity from their last
+    /// use, so steady-state callers (e.g. the trace writer's block scratch)
+    /// pay the allocation once per pooled buffer, not once per use.
+    pub fn bytes_with_capacity(&self, min_capacity: usize) -> Vec<u8> {
+        let mut buf = self.bytes();
+        buf.reserve(min_capacity);
+        buf
+    }
+
     /// Return a sample buffer to the pool (cleared, capacity kept).
     pub fn recycle_samples(&self, mut buf: Vec<AddressSample>) {
         buf.clear();

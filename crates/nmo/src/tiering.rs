@@ -825,6 +825,12 @@ impl AnalysisSink for HotPageTracker {
         if let Some(machine) = &ctx.machine {
             self.configure(machine.config());
             self.machine = Some(machine.clone());
+        } else if !self.configured {
+            // Machine-less stream (a trace replay): latch the page size
+            // from the recorded geometry so page aggregation is identical
+            // to the live run the trace was captured from.
+            self.page_bytes = ctx.page_bytes;
+            self.configured = true;
         }
     }
 

@@ -1,0 +1,2416 @@
+//! Append-only binary trace store and replay — record a streaming run once,
+//! re-analyse it forever.
+//!
+//! Every analysis in NMO used to require a live [`crate::ProfileSession`]:
+//! sinks only see samples while the simulated machine runs, so trying a new
+//! sink, tiering policy, or report on an existing run cost a full
+//! re-simulation. This module stores the streaming delivery itself — the
+//! exact per-shard sequence of window-stamped [`SampleBatch`]es and
+//! window-close broadcasts — in a compact indexed binary format, and replays
+//! it through any [`AnalysisSink`] without touching a machine.
+//!
+//! # On-disk layout
+//!
+//! A trace is a directory: one segment file per pipeline shard plus a small
+//! text manifest.
+//!
+//! ```text
+//! trace-dir/
+//! ├── trace.manifest          window width, stream geometry, segment list
+//! ├── shard-000.seg           everything shard lane 0 delivered, in order
+//! ├── shard-001.seg
+//! └── ...
+//!
+//! segment   := header block* index trailer
+//! header    := "NMOT" version:u16 shard:u16                  (8 bytes)
+//! block     := "NMOB" payload_len:u32 fnv1a64(payload):u64 payload
+//! payload   := event*                                        (see below)
+//! index     := "NMOX" count:u32 entry{count} fnv1a64(entries):u64
+//! entry     := offset payload_len checksum first_window last_window
+//!              core_mask min_vaddr max_vaddr samples events closes
+//!              (11 × u64-equivalent little-endian fields, 88 bytes)
+//! trailer   := index_offset:u64 "NMOE"                       (12 bytes)
+//! ```
+//!
+//! Blocks are flushed at every window-close broadcast (so a close always
+//! terminates its block and blocks map cleanly onto time windows) and when
+//! the scratch buffer passes a size target. Window closes additionally go
+//! into their own one-event mini blocks, so an indexed query can prune data
+//! blocks by core/address yet still deliver every close in its time range.
+//! The footer index is what makes a segment random-access: a query reads the
+//! fixed-width entry table from the end of the file and seeks straight to
+//! the matching blocks — O(1) per block, never scanning the whole segment.
+//!
+//! # Encoding invariants (varint/delta)
+//!
+//! Integers are LEB128 varints (7 bits per byte, little-endian groups, at
+//! most 10 bytes); signed deltas are zigzag-mapped (`0,-1,1,-2,…` →
+//! `0,1,2,3,…`) before varint encoding. Within one batch event:
+//!
+//! * sample timestamps are zigzag deltas from the previous sample, seeded
+//!   with the batch window's `start_ns` — in-window times are small;
+//! * virtual addresses are zigzag deltas from the previous sample's address,
+//!   seeded with 0 — strided and page-local access patterns collapse to a
+//!   byte or two;
+//! * the core id is elided while it equals the previous sample's core
+//!   (seeded with the batch core), which is always on per-core SPE batches;
+//! * the data source is the 1-byte SPE data-source encoding
+//!   ([`DataSource::encode`]), so the serving node id survives round-trips.
+//!
+//! Decoding is the exact inverse and every read is bounds-checked: arbitrary
+//! bytes never panic, a corrupt block fails its checksum before any event in
+//! it is decoded, and damage surfaces as [`NmoError::Trace`] (strict replay)
+//! or as per-block skip accounting ([`scan_blocks`], lenient).
+//!
+//! # Recording and replaying
+//!
+//! [`TraceWriterSink`] is an ordinary [`AnalysisSink`] + [`ShardableSink`]:
+//! registered on a session it appends each shard lane's deliveries to that
+//! shard's segment, with no cross-shard lock on the hot path (each
+//! [`SinkShard`] owns its file and scratch buffer). [`TraceReader::replay`]
+//! rebuilds the sharded consumer structure offline — per-shard workers fed
+//! in recorded per-lane order, per-window merges in ascending shard index
+//! once every shard closed the window — so a replay through a
+//! [`crate::LatencySink`] or [`crate::tiering::HotPageTracker`] reproduces
+//! the recorded live run bit-for-bit. [`TraceReader::replay_query`] fans
+//! matching blocks out across one worker thread per segment for
+//! time-window-, core-, or address-sliced queries that never load the whole
+//! trace.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread;
+
+use arch_sim::{BandwidthPoint, DataSource, Machine, MachineConfig, RssPoint, MAX_MEM_NODES};
+use spe::SpeStatsSnapshot;
+
+use crate::config::NmoConfig;
+use crate::runtime::{AddressSample, Profile};
+use crate::sink::{
+    AnalysisRecord, AnalysisReport, AnalysisSink, ShardState, ShardableSink, SinkShard,
+    StreamContext,
+};
+use crate::stream::{BatchPayload, BatchPool, SampleBatch, Window, WindowClock};
+use crate::NmoError;
+
+/// Segment file header magic.
+const SEGMENT_MAGIC: [u8; 4] = *b"NMOT";
+/// Block frame magic.
+const BLOCK_MAGIC: [u8; 4] = *b"NMOB";
+/// Footer index magic.
+const INDEX_MAGIC: [u8; 4] = *b"NMOX";
+/// End-of-file trailer magic.
+const TRAILER_MAGIC: [u8; 4] = *b"NMOE";
+/// Current format version.
+const FORMAT_VERSION: u16 = 1;
+/// Flush a block once its payload passes this size (closes flush earlier).
+const BLOCK_TARGET_BYTES: usize = 64 * 1024;
+/// Upper bound on a declared block payload length (corruption guard).
+const MAX_BLOCK_BYTES: usize = 1 << 28;
+/// Size of one fixed-width footer index entry.
+const INDEX_ENTRY_BYTES: usize = 88;
+/// Manifest file name inside a trace directory.
+const MANIFEST_NAME: &str = "trace.manifest";
+
+/// Event tags inside a block payload.
+const EV_SPE: u8 = 1;
+const EV_CLOSE: u8 = 2;
+const EV_COUNTERS: u8 = 3;
+const EV_RSS: u8 = 4;
+const EV_BANDWIDTH: u8 = 5;
+
+// ---------------------------------------------------------------------------
+// Primitive codecs: varint, zigzag, FNV-1a.
+// ---------------------------------------------------------------------------
+
+/// Append a LEB128 varint (at most 10 bytes). Single-byte values — the
+/// overwhelming majority under delta encoding — take the early return;
+/// longer ones are staged in a stack buffer so the `Vec` is touched once
+/// instead of once per byte.
+#[inline]
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    if v < 0x80 {
+        out.push(v as u8);
+        return;
+    }
+    let mut buf = [0u8; 10];
+    let mut n = 0;
+    while v >= 0x80 {
+        buf[n] = (v as u8) | 0x80;
+        v >>= 7;
+        n += 1;
+    }
+    buf[n] = v as u8;
+    out.extend_from_slice(&buf[..n + 1]);
+}
+
+/// Read a LEB128 varint; `None` on truncation or overlong encoding.
+fn get_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Map a signed delta onto the unsigned varint domain (`0,-1,1,…` → `0,1,2,…`).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// FNV-1a 64-bit hash — the block and index checksum.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], pos: usize) -> Option<u32> {
+    data.get(pos..pos + 4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn get_u64(data: &[u8], pos: usize) -> Option<u64> {
+    data.get(pos..pos + 8)
+        .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+}
+
+// ---------------------------------------------------------------------------
+// Event codec.
+// ---------------------------------------------------------------------------
+
+/// Map a backend name to its stored id. Unknown custom backends collapse to
+/// a generic id (replayed as `"trace"`): [`SampleBatch::backend`] is a
+/// `&'static str`, so only well-known names can be reconstructed.
+fn backend_id(name: &str) -> u64 {
+    match name {
+        "spe" => 0,
+        "counters" => 1,
+        "machine" => 2,
+        _ => 3,
+    }
+}
+
+/// Inverse of [`backend_id`].
+fn backend_name(id: u64) -> &'static str {
+    match id {
+        0 => "spe",
+        1 => "counters",
+        2 => "machine",
+        _ => "trace",
+    }
+}
+
+/// One decoded trace record: a recorded batch delivery or a window-close
+/// broadcast, exactly as the shard lane saw it during the live run.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A recorded delivery of one [`SampleBatch`] (sequence number
+    /// preserved).
+    Batch(SampleBatch),
+    /// A recorded window-close broadcast.
+    Close(Window),
+}
+
+/// Per-block summary accumulated by the writer and stored in the footer
+/// index entry for that block.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    first_window: u64,
+    last_window: u64,
+    core_mask: u64,
+    min_vaddr: u64,
+    max_vaddr: u64,
+    samples: u64,
+    events: u64,
+    closes: u64,
+}
+
+impl BlockMeta {
+    fn empty() -> Self {
+        BlockMeta {
+            first_window: u64::MAX,
+            last_window: 0,
+            core_mask: 0,
+            min_vaddr: u64::MAX,
+            max_vaddr: 0,
+            samples: 0,
+            events: 0,
+            closes: 0,
+        }
+    }
+
+    fn see_window(&mut self, index: u64) {
+        self.first_window = self.first_window.min(index);
+        self.last_window = self.last_window.max(index);
+    }
+}
+
+/// The bit a core contributes to a block's 64-bit core presence mask.
+fn core_bit(core: usize) -> u64 {
+    1u64 << (core % 64)
+}
+
+fn put_window(out: &mut Vec<u8>, w: Window) {
+    put_varint(out, w.index);
+    put_varint(out, w.start_ns);
+    put_varint(out, w.end_ns.saturating_sub(w.start_ns));
+}
+
+/// Encode one batch delivery. Returns the number of address samples written.
+fn encode_batch_event(out: &mut Vec<u8>, batch: &SampleBatch, meta: &mut BlockMeta) -> u64 {
+    let tag = match batch.payload() {
+        BatchPayload::SpeSamples { .. } => EV_SPE,
+        BatchPayload::CounterDeltas { .. } => EV_COUNTERS,
+        BatchPayload::Rss { .. } => EV_RSS,
+        BatchPayload::Bandwidth { .. } => EV_BANDWIDTH,
+    };
+    out.push(tag);
+    put_varint(out, batch.seq);
+    put_window(out, batch.window);
+    put_varint(out, batch.core.map_or(0, |c| c as u64 + 1));
+    put_varint(out, backend_id(batch.backend));
+    meta.see_window(batch.window.index);
+    meta.events += 1;
+    match batch.core {
+        Some(c) => meta.core_mask |= core_bit(c),
+        // Core-less deliveries (machine probe ticks) must never be pruned
+        // by a core-sliced query: claim every core bit.
+        None => meta.core_mask = u64::MAX,
+    }
+    let mut samples_written = 0u64;
+    match batch.payload() {
+        BatchPayload::SpeSamples { samples, loss } => {
+            // Worst case ~2 + 3 varints of ≤4 bytes per sample; one reserve
+            // here keeps the per-sample pushes off the growth path.
+            out.reserve(samples.len() * 16 + 96);
+            put_varint(out, samples.len() as u64);
+            let mut prev_time = batch.window.start_ns;
+            let mut prev_vaddr = 0u64;
+            let mut prev_core = batch.core.unwrap_or(usize::MAX);
+            for s in samples {
+                let core_differs = s.core != prev_core;
+                let flags = u8::from(s.is_store) | (u8::from(core_differs) << 1);
+                out.push(flags);
+                out.push(s.source.encode());
+                put_varint(out, zigzag(s.time_ns.wrapping_sub(prev_time) as i64));
+                put_varint(out, zigzag(s.vaddr.wrapping_sub(prev_vaddr) as i64));
+                put_varint(out, u64::from(s.latency));
+                if core_differs {
+                    put_varint(out, s.core as u64);
+                    meta.core_mask |= core_bit(s.core);
+                }
+                prev_time = s.time_ns;
+                prev_vaddr = s.vaddr;
+                prev_core = s.core;
+                meta.min_vaddr = meta.min_vaddr.min(s.vaddr);
+                meta.max_vaddr = meta.max_vaddr.max(s.vaddr);
+            }
+            samples_written = samples.len() as u64;
+            meta.samples += samples_written;
+            for v in [
+                loss.population_ops,
+                loss.samples_selected,
+                loss.records_written,
+                loss.collisions,
+                loss.filtered_out,
+                loss.truncated_records,
+                loss.interrupts,
+                loss.aux_bytes_written,
+                loss.overhead_cycles,
+            ] {
+                put_varint(out, v);
+            }
+        }
+        BatchPayload::CounterDeltas { deltas } => {
+            put_varint(out, deltas.len() as u64);
+            for d in deltas {
+                put_varint(out, d.event.len() as u64);
+                out.extend_from_slice(d.event.as_bytes());
+                put_varint(out, d.delta);
+                put_varint(out, d.total);
+            }
+        }
+        BatchPayload::Rss { points } => {
+            put_varint(out, points.len() as u64);
+            let mut prev_time = batch.window.start_ns;
+            for p in points {
+                put_varint(out, zigzag(p.time_ns.wrapping_sub(prev_time) as i64));
+                prev_time = p.time_ns;
+                put_varint(out, p.rss_bytes);
+                let nodes = nonzero_prefix(&p.rss_by_node);
+                put_varint(out, nodes as u64);
+                for &n in &p.rss_by_node[..nodes] {
+                    put_varint(out, n);
+                }
+            }
+        }
+        BatchPayload::Bandwidth { points } => {
+            put_varint(out, points.len() as u64);
+            let mut prev_time = batch.window.start_ns;
+            for p in points {
+                put_varint(out, zigzag(p.time_ns.wrapping_sub(prev_time) as i64));
+                prev_time = p.time_ns;
+                put_varint(out, p.bytes);
+                out.extend_from_slice(&p.gib_per_s.to_bits().to_le_bytes());
+                let nodes = nonzero_prefix(&p.by_node);
+                put_varint(out, nodes as u64);
+                for &n in &p.by_node[..nodes] {
+                    put_varint(out, n);
+                }
+            }
+        }
+    }
+    samples_written
+}
+
+/// Length of the prefix of `arr` holding every non-zero element.
+fn nonzero_prefix(arr: &[u64; MAX_MEM_NODES]) -> usize {
+    arr.iter().rposition(|&v| v != 0).map_or(0, |i| i + 1)
+}
+
+/// Encode one window-close broadcast.
+fn encode_close_event(out: &mut Vec<u8>, w: Window, meta: &mut BlockMeta) {
+    out.push(EV_CLOSE);
+    put_window(out, w);
+    meta.see_window(w.index);
+    meta.events += 1;
+    meta.closes += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Event decoding (strictly bounds-checked — never panics on any input).
+// ---------------------------------------------------------------------------
+
+fn rv(data: &[u8], pos: &mut usize, what: &str) -> Result<u64, String> {
+    get_varint(data, pos).ok_or_else(|| format!("truncated varint ({what}) at byte {pos}"))
+}
+
+fn read_window(data: &[u8], pos: &mut usize) -> Result<Window, String> {
+    let index = rv(data, pos, "window index")?;
+    let start_ns = rv(data, pos, "window start")?;
+    let width = rv(data, pos, "window width")?;
+    Ok(Window { index, start_ns, end_ns: start_ns.saturating_add(width) })
+}
+
+/// Guard a declared element count against the bytes actually remaining
+/// (each element encodes to at least `min_bytes`), so corrupt counts cannot
+/// drive huge allocations.
+fn checked_count(
+    data: &[u8],
+    pos: usize,
+    count: u64,
+    min_bytes: usize,
+    what: &str,
+) -> Result<usize, String> {
+    let remaining = data.len().saturating_sub(pos);
+    let count = usize::try_from(count).map_err(|_| format!("absurd {what} count {count}"))?;
+    if count.saturating_mul(min_bytes.max(1)) > remaining {
+        return Err(format!("{what} count {count} exceeds remaining payload ({remaining} bytes)"));
+    }
+    Ok(count)
+}
+
+/// Decode every event in a (checksum-verified) block payload.
+fn decode_events(payload: &[u8]) -> Result<Vec<TraceEvent>, String> {
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < payload.len() {
+        let tag = payload[pos];
+        pos += 1;
+        if tag == EV_CLOSE {
+            let w = read_window(payload, &mut pos)?;
+            out.push(TraceEvent::Close(w));
+            continue;
+        }
+        if !(EV_SPE..=EV_BANDWIDTH).contains(&tag) {
+            return Err(format!("unknown event tag {tag} at byte {pos}"));
+        }
+        let seq = rv(payload, &mut pos, "batch seq")?;
+        let window = read_window(payload, &mut pos)?;
+        let core_plus1 = rv(payload, &mut pos, "batch core")?;
+        let core = match core_plus1 {
+            0 => None,
+            c => Some(usize::try_from(c - 1).map_err(|_| format!("absurd batch core {}", c - 1))?),
+        };
+        let backend = backend_name(rv(payload, &mut pos, "backend id")?);
+        let data = match tag {
+            EV_SPE => {
+                let n = rv(payload, &mut pos, "sample count")?;
+                let n = checked_count(payload, pos, n, 5, "sample")?;
+                let mut samples = Vec::with_capacity(n);
+                let mut prev_time = window.start_ns;
+                let mut prev_vaddr = 0u64;
+                let mut prev_core = core.unwrap_or(usize::MAX);
+                for _ in 0..n {
+                    let flags = *payload
+                        .get(pos)
+                        .ok_or_else(|| format!("truncated sample flags at byte {pos}"))?;
+                    let code = *payload
+                        .get(pos + 1)
+                        .ok_or_else(|| format!("truncated data source at byte {pos}"))?;
+                    pos += 2;
+                    let source = DataSource::decode(code)
+                        .ok_or_else(|| format!("invalid data-source code {code:#x}"))?;
+                    let dt = unzigzag(rv(payload, &mut pos, "time delta")?);
+                    let dv = unzigzag(rv(payload, &mut pos, "vaddr delta")?);
+                    let latency = u16::try_from(rv(payload, &mut pos, "latency")?)
+                        .map_err(|_| "latency out of u16 range".to_string())?;
+                    let sample_core = if flags & 0b10 != 0 {
+                        let c = rv(payload, &mut pos, "sample core")?;
+                        usize::try_from(c).map_err(|_| format!("absurd sample core {c}"))?
+                    } else {
+                        prev_core
+                    };
+                    let time_ns = prev_time.wrapping_add(dt as u64);
+                    let vaddr = prev_vaddr.wrapping_add(dv as u64);
+                    prev_time = time_ns;
+                    prev_vaddr = vaddr;
+                    prev_core = sample_core;
+                    samples.push(AddressSample {
+                        time_ns,
+                        vaddr,
+                        core: sample_core,
+                        is_store: flags & 0b1 != 0,
+                        latency,
+                        source,
+                    });
+                }
+                let mut loss = SpeStatsSnapshot::default();
+                for field in [
+                    &mut loss.population_ops,
+                    &mut loss.samples_selected,
+                    &mut loss.records_written,
+                    &mut loss.collisions,
+                    &mut loss.filtered_out,
+                    &mut loss.truncated_records,
+                    &mut loss.interrupts,
+                    &mut loss.aux_bytes_written,
+                    &mut loss.overhead_cycles,
+                ] {
+                    *field = rv(payload, &mut pos, "loss counter")?;
+                }
+                BatchPayload::SpeSamples { samples, loss }
+            }
+            EV_COUNTERS => {
+                let n = rv(payload, &mut pos, "delta count")?;
+                let n = checked_count(payload, pos, n, 3, "counter delta")?;
+                let mut deltas = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = rv(payload, &mut pos, "event-name length")?;
+                    let len = checked_count(payload, pos, len, 1, "event-name byte")?;
+                    let bytes = payload
+                        .get(pos..pos + len)
+                        .ok_or_else(|| format!("truncated event name at byte {pos}"))?;
+                    pos += len;
+                    let event = std::str::from_utf8(bytes)
+                        .map_err(|_| "event name is not UTF-8".to_string())?
+                        .to_string();
+                    let delta = rv(payload, &mut pos, "counter delta")?;
+                    let total = rv(payload, &mut pos, "counter total")?;
+                    deltas.push(crate::stream::CounterDelta { event, delta, total });
+                }
+                BatchPayload::CounterDeltas { deltas }
+            }
+            EV_RSS => {
+                let n = rv(payload, &mut pos, "rss point count")?;
+                let n = checked_count(payload, pos, n, 3, "rss point")?;
+                let mut points = Vec::with_capacity(n);
+                let mut prev_time = window.start_ns;
+                for _ in 0..n {
+                    let dt = unzigzag(rv(payload, &mut pos, "rss time delta")?);
+                    let time_ns = prev_time.wrapping_add(dt as u64);
+                    prev_time = time_ns;
+                    let rss_bytes = rv(payload, &mut pos, "rss bytes")?;
+                    let rss_by_node = read_node_array(payload, &mut pos)?;
+                    points.push(RssPoint { time_ns, rss_bytes, rss_by_node });
+                }
+                BatchPayload::Rss { points }
+            }
+            _ => {
+                let n = rv(payload, &mut pos, "bandwidth point count")?;
+                let n = checked_count(payload, pos, n, 11, "bandwidth point")?;
+                let mut points = Vec::with_capacity(n);
+                let mut prev_time = window.start_ns;
+                for _ in 0..n {
+                    let dt = unzigzag(rv(payload, &mut pos, "bandwidth time delta")?);
+                    let time_ns = prev_time.wrapping_add(dt as u64);
+                    prev_time = time_ns;
+                    let bytes = rv(payload, &mut pos, "bandwidth bytes")?;
+                    let bits = get_u64(payload, pos)
+                        .ok_or_else(|| format!("truncated bandwidth rate at byte {pos}"))?;
+                    pos += 8;
+                    let by_node = read_node_array(payload, &mut pos)?;
+                    points.push(BandwidthPoint {
+                        time_ns,
+                        bytes,
+                        by_node,
+                        gib_per_s: f64::from_bits(bits),
+                    });
+                }
+                BatchPayload::Bandwidth { points }
+            }
+        };
+        let mut batch = SampleBatch::new(backend, core, window, data);
+        batch.seq = seq;
+        out.push(TraceEvent::Batch(batch));
+    }
+    Ok(out)
+}
+
+fn read_node_array(payload: &[u8], pos: &mut usize) -> Result<[u64; MAX_MEM_NODES], String> {
+    let nodes = rv(payload, pos, "node count")?;
+    let nodes = usize::try_from(nodes).unwrap_or(usize::MAX);
+    if nodes > MAX_MEM_NODES {
+        return Err(format!("node count {nodes} exceeds MAX_MEM_NODES ({MAX_MEM_NODES})"));
+    }
+    let mut arr = [0u64; MAX_MEM_NODES];
+    for slot in arr.iter_mut().take(nodes) {
+        *slot = rv(payload, pos, "per-node value")?;
+    }
+    Ok(arr)
+}
+
+// ---------------------------------------------------------------------------
+// Lenient block scanning (corruption-tolerant, exact byte accounting).
+// ---------------------------------------------------------------------------
+
+/// One verified block recovered by [`scan_blocks`].
+#[derive(Debug)]
+pub struct ScannedBlock {
+    /// Byte offset of the block frame within the scanned slice.
+    pub offset: usize,
+    /// Whole frame length (header + payload).
+    pub frame_len: usize,
+    /// The decoded events.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Result of a lenient scan over a segment's block region.
+///
+/// Invariant (the fuzz-harness property): `consumed_bytes + skipped_bytes`
+/// always equals the scanned slice's length — every byte is either part of
+/// exactly one verified frame or accounted as skipped.
+#[derive(Debug, Default)]
+pub struct BlockScan {
+    /// Blocks whose frame, checksum, and event stream all verified.
+    pub blocks: Vec<ScannedBlock>,
+    /// Bytes covered by verified frames.
+    pub consumed_bytes: usize,
+    /// Bytes not covered by any verified frame (garbage, corrupt or
+    /// truncated frames).
+    pub skipped_bytes: usize,
+    /// One message per rejected frame or truncated tail (resync noise from
+    /// plain garbage bytes is not reported).
+    pub errors: Vec<String>,
+}
+
+impl BlockScan {
+    /// The first damage report, as the error strict replay would surface.
+    pub fn first_error(&self) -> Option<NmoError> {
+        self.errors.first().map(|e| NmoError::trace(e.clone()))
+    }
+}
+
+/// Scan a segment's block region, skipping over corruption instead of
+/// failing: bad magic bytes are stepped over one at a time, frames whose
+/// checksum or event stream does not verify are skipped whole, and a
+/// truncated tail is accounted and reported. Never panics, for any input.
+pub fn scan_blocks(data: &[u8]) -> BlockScan {
+    let mut scan = BlockScan::default();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let remaining = data.len() - pos;
+        if remaining < 16 {
+            if data[pos..].starts_with(&BLOCK_MAGIC) {
+                scan.errors.push(format!("truncated block header at offset {pos}"));
+            }
+            scan.skipped_bytes += remaining;
+            break;
+        }
+        if data[pos..pos + 4] != BLOCK_MAGIC {
+            pos += 1;
+            scan.skipped_bytes += 1;
+            continue;
+        }
+        // unwrap-ok: the 16-byte header presence was checked above.
+        let len = get_u32(data, pos + 4).unwrap() as usize;
+        let checksum = get_u64(data, pos + 8).unwrap(); // unwrap-ok: as above
+        if len > MAX_BLOCK_BYTES {
+            scan.errors.push(format!("oversized block length {len} at offset {pos}"));
+            pos += 1;
+            scan.skipped_bytes += 1;
+            continue;
+        }
+        let frame_len = 16 + len;
+        if remaining < frame_len {
+            scan.errors.push(format!(
+                "truncated block payload at offset {pos} (need {frame_len} bytes, have {remaining})"
+            ));
+            scan.skipped_bytes += remaining;
+            break;
+        }
+        let payload = &data[pos + 16..pos + frame_len];
+        if fnv1a(payload) != checksum {
+            scan.errors.push(format!("block checksum mismatch at offset {pos}"));
+            scan.skipped_bytes += frame_len;
+            pos += frame_len;
+            continue;
+        }
+        match decode_events(payload) {
+            Ok(events) => {
+                scan.blocks.push(ScannedBlock { offset: pos, frame_len, events });
+                scan.consumed_bytes += frame_len;
+                pos += frame_len;
+            }
+            Err(e) => {
+                scan.errors.push(format!("undecodable block at offset {pos}: {e}"));
+                scan.skipped_bytes += frame_len;
+                pos += frame_len;
+            }
+        }
+    }
+    scan
+}
+
+// ---------------------------------------------------------------------------
+// Footer index.
+// ---------------------------------------------------------------------------
+
+/// One fixed-width footer index entry describing a block.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    offset: u64,
+    payload_len: u64,
+    checksum: u64,
+    first_window: u64,
+    last_window: u64,
+    core_mask: u64,
+    min_vaddr: u64,
+    max_vaddr: u64,
+    samples: u64,
+    events: u64,
+    closes: u64,
+}
+
+impl IndexEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.offset,
+            self.payload_len,
+            self.checksum,
+            self.first_window,
+            self.last_window,
+            self.core_mask,
+            self.min_vaddr,
+            self.max_vaddr,
+            self.samples,
+            self.events,
+            self.closes,
+        ] {
+            put_u64(out, v);
+        }
+    }
+
+    fn decode(data: &[u8], pos: usize) -> Option<IndexEntry> {
+        let mut fields = [0u64; 11];
+        for (i, f) in fields.iter_mut().enumerate() {
+            *f = get_u64(data, pos + i * 8)?;
+        }
+        Some(IndexEntry {
+            offset: fields[0],
+            payload_len: fields[1],
+            checksum: fields[2],
+            first_window: fields[3],
+            last_window: fields[4],
+            core_mask: fields[5],
+            min_vaddr: fields[6],
+            max_vaddr: fields[7],
+            samples: fields[8],
+            events: fields[9],
+            closes: fields[10],
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment writer (the per-shard hot path).
+// ---------------------------------------------------------------------------
+
+/// Per-segment totals, returned as the shard state of a
+/// [`TraceWriterSink`]'s shards and folded into the manifest.
+#[derive(Debug, Clone, Default)]
+struct SegmentSummary {
+    shard: usize,
+    file_name: String,
+    window_ns: u64,
+    samples: u64,
+    events: u64,
+    closes: u64,
+    blocks: u64,
+    bytes: u64,
+    error: Option<String>,
+}
+
+/// Appends one shard lane's deliveries to its segment file. Owns its file
+/// handle and scratch buffer, so the streaming hot path takes no lock; the
+/// scratch comes from (and returns to) the parent sink's [`BatchPool`].
+struct SegmentWriter {
+    file: BufWriter<File>,
+    file_name: String,
+    shard: usize,
+    /// Current file offset (the header is already written at construction).
+    offset: u64,
+    /// Block payload scratch, reused across blocks.
+    buf: Vec<u8>,
+    meta: BlockMeta,
+    index: Vec<IndexEntry>,
+    /// Window width latched from the first event (0 until then).
+    window_ns: u64,
+    samples: u64,
+    events: u64,
+    closes: u64,
+    pool: Arc<BatchPool>,
+}
+
+impl SegmentWriter {
+    /// File name of the segment for `shard`.
+    fn segment_file_name(shard: usize) -> String {
+        format!("shard-{shard:03}.seg")
+    }
+
+    fn create(dir: &Path, shard: usize, pool: Arc<BatchPool>) -> std::io::Result<SegmentWriter> {
+        let file_name = Self::segment_file_name(shard);
+        let mut file = BufWriter::new(File::create(dir.join(&file_name))?);
+        file.write_all(&SEGMENT_MAGIC)?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        file.write_all(&(shard as u16).to_le_bytes())?;
+        Ok(SegmentWriter {
+            file,
+            file_name,
+            shard,
+            offset: 8,
+            buf: pool.bytes_with_capacity(BLOCK_TARGET_BYTES),
+            meta: BlockMeta::empty(),
+            index: Vec::new(),
+            window_ns: 0,
+            samples: 0,
+            events: 0,
+            closes: 0,
+            pool,
+        })
+    }
+
+    fn latch_window(&mut self, w: Window) {
+        if self.window_ns == 0 {
+            self.window_ns = w.width_ns();
+        }
+    }
+
+    fn append_batch(&mut self, batch: &SampleBatch) -> std::io::Result<()> {
+        self.latch_window(batch.window);
+        self.samples += encode_batch_event(&mut self.buf, batch, &mut self.meta);
+        self.events += 1;
+        if self.buf.len() >= BLOCK_TARGET_BYTES {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Record a window-close broadcast: flush the data accumulated so far,
+    /// then write the close as its own one-event mini block, so index-driven
+    /// queries can prune data blocks yet still seek every close in range.
+    fn append_close(&mut self, w: Window) -> std::io::Result<()> {
+        self.latch_window(w);
+        self.flush_block()?;
+        encode_close_event(&mut self.buf, w, &mut self.meta);
+        self.events += 1;
+        self.closes += 1;
+        self.flush_block()
+    }
+
+    fn flush_block(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let checksum = fnv1a(&self.buf);
+        self.file.write_all(&BLOCK_MAGIC)?;
+        self.file.write_all(&(self.buf.len() as u32).to_le_bytes())?;
+        self.file.write_all(&checksum.to_le_bytes())?;
+        self.file.write_all(&self.buf)?;
+        self.index.push(IndexEntry {
+            offset: self.offset,
+            payload_len: self.buf.len() as u64,
+            checksum,
+            first_window: self.meta.first_window,
+            last_window: self.meta.last_window,
+            core_mask: self.meta.core_mask,
+            min_vaddr: self.meta.min_vaddr,
+            max_vaddr: self.meta.max_vaddr,
+            samples: self.meta.samples,
+            events: self.meta.events,
+            closes: self.meta.closes,
+        });
+        self.offset += 16 + self.buf.len() as u64;
+        self.buf.clear();
+        self.meta = BlockMeta::empty();
+        Ok(())
+    }
+
+    /// Flush outstanding data, write the footer index and trailer, and
+    /// return the segment's totals.
+    fn finish(mut self) -> std::io::Result<SegmentSummary> {
+        self.flush_block()?;
+        let index_offset = self.offset;
+        let mut entries = Vec::with_capacity(self.index.len() * INDEX_ENTRY_BYTES);
+        for e in &self.index {
+            e.encode(&mut entries);
+        }
+        self.file.write_all(&INDEX_MAGIC)?;
+        self.file.write_all(&(self.index.len() as u32).to_le_bytes())?;
+        self.file.write_all(&entries)?;
+        self.file.write_all(&fnv1a(&entries).to_le_bytes())?;
+        self.file.write_all(&index_offset.to_le_bytes())?;
+        self.file.write_all(&TRAILER_MAGIC)?;
+        self.file.flush()?;
+        let bytes = index_offset + 8 + entries.len() as u64 + 8 + 8 + 4;
+        self.pool.recycle_bytes(self.buf);
+        Ok(SegmentSummary {
+            shard: self.shard,
+            file_name: self.file_name,
+            window_ns: self.window_ns,
+            samples: self.samples,
+            events: self.events,
+            closes: self.closes,
+            blocks: self.index.len() as u64,
+            bytes,
+            error: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The recording sink.
+// ---------------------------------------------------------------------------
+
+/// Stream geometry persisted to the manifest so a replay can rebuild an
+/// equivalent [`StreamContext`] without the original machine.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    capacity_bytes: u64,
+    bucket_ns: u64,
+    mem_nodes: usize,
+    page_bytes: u64,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry { capacity_bytes: 0, bucket_ns: 1, mem_nodes: 1, page_bytes: 64 * 1024 }
+    }
+}
+
+/// Records a streaming run into an on-disk trace directory.
+///
+/// Register it on a session like any other sink; under the sharded pipeline
+/// it is a [`ShardableSink`] whose shards each append to their own segment
+/// file (no cross-shard lock on the hot path), and under the serial
+/// consumer it writes a single-segment trace. [`AnalysisSink::finish`]
+/// finalises the segments and writes the manifest; the returned
+/// [`AnalysisReport::Text`] summarises what was stored.
+///
+/// ```no_run
+/// use nmo::trace::TraceWriterSink;
+/// use nmo::{NmoConfig, ProfileSession};
+///
+/// # fn main() -> Result<(), nmo::NmoError> {
+/// let session = ProfileSession::builder()
+///     .config(NmoConfig::paper_default(500))
+///     .threads(2)
+///     .sink(TraceWriterSink::new("results/trace_demo"))
+///     .build()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct TraceWriterSink {
+    dir: PathBuf,
+    pool: Arc<BatchPool>,
+    /// Window width used by the post-hoc (`analyze`) path, where no
+    /// streaming windows exist to latch from.
+    posthoc_window_ns: u64,
+    geometry: Geometry,
+    streamed: bool,
+    sharded: bool,
+    serial: Option<SegmentWriter>,
+    summaries: Vec<SegmentSummary>,
+    error: Option<String>,
+}
+
+impl TraceWriterSink {
+    /// A writer that stores the trace under `dir` (created on demand).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TraceWriterSink {
+            dir: dir.into(),
+            pool: BatchPool::new(32),
+            posthoc_window_ns: 100_000,
+            geometry: Geometry::default(),
+            streamed: false,
+            sharded: false,
+            serial: None,
+            summaries: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Window width for the post-hoc [`AnalysisSink::analyze`] path (a
+    /// streamed recording always uses the session's own windows).
+    pub fn posthoc_window_ns(mut self, window_ns: u64) -> Self {
+        self.posthoc_window_ns = window_ns.max(1);
+        self
+    }
+
+    /// The trace directory this sink writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn record_error(&mut self, e: impl std::fmt::Display) {
+        if self.error.is_none() {
+            self.error = Some(e.to_string());
+        }
+    }
+
+    /// The serial-path segment writer, created on first use.
+    fn serial_writer(&mut self) -> Option<&mut SegmentWriter> {
+        if self.serial.is_none() && self.error.is_none() {
+            match fs::create_dir_all(&self.dir)
+                .and_then(|()| SegmentWriter::create(&self.dir, 0, Arc::clone(&self.pool)))
+            {
+                Ok(w) => self.serial = Some(w),
+                Err(e) => self.record_error(format!("cannot open segment 0: {e}")),
+            }
+        }
+        self.serial.as_mut()
+    }
+
+    fn write_manifest(&self) -> Result<(), NmoError> {
+        fs::create_dir_all(&self.dir)?;
+        let window_ns = self.summaries.iter().map(|s| s.window_ns).max().unwrap_or(0);
+        let samples: u64 = self.summaries.iter().map(|s| s.samples).sum();
+        let mut out = String::new();
+        out.push_str("nmo-trace-manifest v1\n");
+        out.push_str(&format!("window_ns {window_ns}\n"));
+        out.push_str(&format!("capacity_bytes {}\n", self.geometry.capacity_bytes));
+        out.push_str(&format!("bucket_ns {}\n", self.geometry.bucket_ns));
+        out.push_str(&format!("mem_nodes {}\n", self.geometry.mem_nodes));
+        out.push_str(&format!("page_bytes {}\n", self.geometry.page_bytes));
+        out.push_str(&format!("shards {}\n", self.summaries.len()));
+        out.push_str(&format!("samples {samples}\n"));
+        for s in &self.summaries {
+            out.push_str(&format!("segment {}\n", s.file_name));
+        }
+        out.push_str("end\n");
+        fs::write(self.dir.join(MANIFEST_NAME), out)?;
+        Ok(())
+    }
+
+    fn summary_report(&self) -> AnalysisReport {
+        let samples: u64 = self.summaries.iter().map(|s| s.samples).sum();
+        let events: u64 = self.summaries.iter().map(|s| s.events).sum();
+        let closes: u64 = self.summaries.iter().map(|s| s.closes).sum();
+        let blocks: u64 = self.summaries.iter().map(|s| s.blocks).sum();
+        let bytes: u64 = self.summaries.iter().map(|s| s.bytes).sum();
+        AnalysisReport::Text(format!(
+            "trace: {samples} samples / {events} events ({closes} closes) in {} segment(s), \
+             {blocks} blocks, {bytes} bytes at {}",
+            self.summaries.len(),
+            self.dir.display()
+        ))
+    }
+}
+
+impl AnalysisSink for TraceWriterSink {
+    fn name(&self) -> &'static str {
+        "trace-writer"
+    }
+
+    /// Post-hoc mode: no streaming delivery happened, so encode the
+    /// profile's collected samples as a single-segment trace, windowed at
+    /// [`TraceWriterSink::posthoc_window_ns`] (per-window batches in
+    /// timestamp order, one close per window).
+    fn analyze(
+        &mut self,
+        _machine: &Machine,
+        profile: &Profile,
+    ) -> Result<AnalysisReport, NmoError> {
+        let clock = WindowClock::new(self.posthoc_window_ns);
+        let mut by_window: BTreeMap<u64, Vec<AddressSample>> = BTreeMap::new();
+        for s in &profile.samples {
+            by_window.entry(clock.index_of(s.time_ns)).or_default().push(*s);
+        }
+        fs::create_dir_all(&self.dir)?;
+        let mut writer = SegmentWriter::create(&self.dir, 0, Arc::clone(&self.pool))?;
+        for (index, samples) in by_window {
+            let window = clock.window(index);
+            let batch = SampleBatch::new(
+                "spe",
+                None,
+                window,
+                BatchPayload::SpeSamples { samples, loss: SpeStatsSnapshot::default() },
+            );
+            writer.append_batch(&batch)?;
+            writer.append_close(window)?;
+        }
+        self.summaries = vec![writer.finish()?];
+        self.write_manifest()?;
+        Ok(self.summary_report())
+    }
+
+    fn on_stream_start(&mut self, ctx: &StreamContext) {
+        self.streamed = true;
+        self.geometry = Geometry {
+            capacity_bytes: ctx.capacity_bytes,
+            bucket_ns: ctx.bucket_ns,
+            mem_nodes: ctx.mem_nodes,
+            page_bytes: ctx.page_bytes,
+        };
+        if let Err(e) = fs::create_dir_all(&self.dir) {
+            self.record_error(format!("cannot create trace directory: {e}"));
+        }
+    }
+
+    /// Serial-path recording (the sharded path goes through
+    /// [`ShardableSink::make_shard`] instead).
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if self.sharded {
+            return;
+        }
+        if let Some(w) = self.serial_writer() {
+            if let Err(e) = w.append_batch(batch) {
+                self.serial = None;
+                self.record_error(format!("segment write failed: {e}"));
+            }
+        }
+    }
+
+    fn on_window_close(&mut self, window: Window) {
+        if self.sharded {
+            return;
+        }
+        if let Some(w) = self.serial_writer() {
+            if let Err(e) = w.append_close(window) {
+                self.serial = None;
+                self.record_error(format!("segment write failed: {e}"));
+            }
+        }
+    }
+
+    fn finish(&mut self, machine: &Machine, profile: &Profile) -> Result<AnalysisReport, NmoError> {
+        if !self.streamed && self.summaries.is_empty() {
+            return self.analyze(machine, profile);
+        }
+        if let Some(w) = self.serial.take() {
+            match w.finish() {
+                Ok(s) => self.summaries.push(s),
+                Err(e) => self.record_error(format!("segment finalise failed: {e}")),
+            }
+        }
+        let shard_errors: Vec<String> =
+            self.summaries.iter().filter_map(|s| s.error.clone()).collect();
+        for e in shard_errors {
+            self.record_error(e);
+        }
+        if let Some(e) = &self.error {
+            return Err(NmoError::sink("trace-writer", e.clone()));
+        }
+        self.summaries.sort_by_key(|s| s.shard);
+        self.write_manifest()?;
+        Ok(self.summary_report())
+    }
+
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableSink> {
+        Some(self)
+    }
+}
+
+impl ShardableSink for TraceWriterSink {
+    fn make_shard(&mut self, shard: usize, _ctx: &StreamContext) -> Box<dyn SinkShard> {
+        self.sharded = true;
+        let writer = fs::create_dir_all(&self.dir)
+            .and_then(|()| SegmentWriter::create(&self.dir, shard, Arc::clone(&self.pool)));
+        match writer {
+            Ok(w) => Box::new(TraceShard { writer: Some(w), shard, error: None }),
+            Err(e) => Box::new(TraceShard {
+                writer: None,
+                shard,
+                error: Some(format!("cannot open segment {shard}: {e}")),
+            }),
+        }
+    }
+
+    fn merge_final(&mut self, states: Vec<ShardState>) {
+        for state in states {
+            if let Ok(summary) = state.downcast::<SegmentSummary>() {
+                self.summaries.push(*summary);
+            }
+        }
+        self.summaries.sort_by_key(|s| s.shard);
+    }
+}
+
+/// One shard of the [`TraceWriterSink`]: owns its segment writer, records
+/// exactly what its lane delivered, in delivery order.
+struct TraceShard {
+    writer: Option<SegmentWriter>,
+    shard: usize,
+    error: Option<String>,
+}
+
+impl TraceShard {
+    fn fail(&mut self, e: std::io::Error) {
+        if self.error.is_none() {
+            self.error = Some(format!("segment {} write failed: {e}", self.shard));
+        }
+        self.writer = None;
+    }
+}
+
+impl SinkShard for TraceShard {
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.append_batch(batch) {
+                self.fail(e);
+            }
+        }
+    }
+
+    fn on_window_close(&mut self, window: Window) -> Option<ShardState> {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.append_close(window) {
+                self.fail(e);
+            }
+        }
+        None
+    }
+
+    fn finish(self: Box<Self>) -> ShardState {
+        let mut summary = match self.writer {
+            Some(w) => match w.finish() {
+                Ok(s) => s,
+                Err(e) => SegmentSummary {
+                    shard: self.shard,
+                    error: Some(format!("segment {} finalise failed: {e}", self.shard)),
+                    ..SegmentSummary::default()
+                },
+            },
+            None => SegmentSummary { shard: self.shard, ..SegmentSummary::default() },
+        };
+        if summary.error.is_none() {
+            summary.error = self.error;
+        }
+        Box::new(summary)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reader: manifest, strict segment streaming, footer-index access.
+// ---------------------------------------------------------------------------
+
+/// Parsed `trace.manifest`.
+#[derive(Debug, Clone)]
+struct Manifest {
+    window_ns: u64,
+    capacity_bytes: u64,
+    bucket_ns: u64,
+    mem_nodes: usize,
+    page_bytes: u64,
+    samples: u64,
+    segments: Vec<String>,
+}
+
+impl Manifest {
+    fn parse(text: &str) -> Result<Manifest, NmoError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("nmo-trace-manifest v1") {
+            return Err(NmoError::trace("unrecognised manifest header"));
+        }
+        let mut m = Manifest {
+            window_ns: 0,
+            capacity_bytes: 0,
+            bucket_ns: 1,
+            mem_nodes: 1,
+            page_bytes: 64 * 1024,
+            samples: 0,
+            segments: Vec::new(),
+        };
+        for line in lines {
+            let (key, value) = match line.split_once(' ') {
+                Some(kv) => kv,
+                None => {
+                    if line == "end" {
+                        break;
+                    }
+                    return Err(NmoError::trace(format!("malformed manifest line: {line:?}")));
+                }
+            };
+            let num = || {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| NmoError::trace(format!("bad manifest value for {key}: {value}")))
+            };
+            match key {
+                "window_ns" => m.window_ns = num()?,
+                "capacity_bytes" => m.capacity_bytes = num()?,
+                "bucket_ns" => m.bucket_ns = num()?,
+                "mem_nodes" => m.mem_nodes = num()? as usize,
+                "page_bytes" => m.page_bytes = num()?,
+                "samples" => m.samples = num()?,
+                "shards" => {} // implied by the segment list
+                "segment" => {
+                    if value.contains('/') || value.contains("..") {
+                        return Err(NmoError::trace(format!("suspicious segment name: {value}")));
+                    }
+                    m.segments.push(value.to_string());
+                }
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        if m.segments.is_empty() {
+            return Err(NmoError::trace("manifest lists no segments"));
+        }
+        Ok(m)
+    }
+}
+
+/// What a stored trace contains, for reports and examples.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Number of per-shard segment files.
+    pub shards: usize,
+    /// Total address samples stored.
+    pub samples: u64,
+    /// Total stored bytes across segments (including indexes).
+    pub bytes: u64,
+    /// Streaming window width, nanoseconds.
+    pub window_ns: u64,
+}
+
+/// Counters reported by a replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Address samples delivered to sinks.
+    pub samples: u64,
+    /// Batch deliveries replayed.
+    pub batches: u64,
+    /// Windows fully closed (all shards) during the replay.
+    pub windows: u64,
+    /// Blocks decoded.
+    pub blocks: u64,
+    /// Segment files visited.
+    pub segments: usize,
+}
+
+/// Streams one segment file block by block, strictly: any framing,
+/// checksum, or decode damage is an immediate [`NmoError::Trace`].
+struct SegmentEventReader {
+    file: BufReader<File>,
+    path: PathBuf,
+    scratch: Vec<u8>,
+    done: bool,
+}
+
+impl SegmentEventReader {
+    fn open(path: PathBuf) -> Result<SegmentEventReader, NmoError> {
+        let file = File::open(&path)
+            .map_err(|e| NmoError::trace(format!("cannot open {}: {e}", path.display())))?;
+        let mut r = SegmentEventReader {
+            file: BufReader::new(file),
+            path,
+            scratch: Vec::new(),
+            done: false,
+        };
+        let mut header = [0u8; 8];
+        r.read_exact(&mut header, "segment header")?;
+        if header[..4] != SEGMENT_MAGIC {
+            return Err(r.damage("not an NMO trace segment (bad magic)"));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != FORMAT_VERSION {
+            return Err(r.damage(format!("unsupported segment version {version}")));
+        }
+        Ok(r)
+    }
+
+    fn damage(&self, what: impl std::fmt::Display) -> NmoError {
+        NmoError::trace(format!("{}: {what}", self.path.display()))
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], what: &str) -> Result<(), NmoError> {
+        self.file
+            .read_exact(buf)
+            .map_err(|e| NmoError::trace(format!("{}: truncated {what}: {e}", self.path.display())))
+    }
+
+    /// The next block's events, or `None` once the footer index is reached.
+    fn next_block(&mut self) -> Result<Option<Vec<TraceEvent>>, NmoError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut magic = [0u8; 4];
+        self.read_exact(&mut magic, "block header")?;
+        if magic == INDEX_MAGIC {
+            self.done = true;
+            return Ok(None);
+        }
+        if magic != BLOCK_MAGIC {
+            return Err(self.damage("bad block magic (corrupt segment)"));
+        }
+        let mut rest = [0u8; 12];
+        self.read_exact(&mut rest, "block header")?;
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let checksum = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        if len > MAX_BLOCK_BYTES {
+            return Err(self.damage(format!("oversized block length {len}")));
+        }
+        self.scratch.resize(len, 0);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = self.read_exact(&mut scratch, "block payload");
+        self.scratch = scratch;
+        res?;
+        if fnv1a(&self.scratch) != checksum {
+            return Err(self.damage("block checksum mismatch"));
+        }
+        let events = decode_events(&self.scratch).map_err(|e| self.damage(e))?;
+        Ok(Some(events))
+    }
+}
+
+/// Read and verify a segment's footer index (for O(1) block seeks).
+fn read_segment_index(file: &mut File, path: &Path) -> Result<Vec<IndexEntry>, NmoError> {
+    let err = |what: String| NmoError::trace(format!("{}: {what}", path.display()));
+    let file_len = file.seek(SeekFrom::End(0)).map_err(|e| err(format!("cannot seek: {e}")))?;
+    if file_len < 8 + 12 {
+        return Err(err("file too short for a trailer".into()));
+    }
+    file.seek(SeekFrom::End(-12)).map_err(|e| err(format!("cannot seek: {e}")))?;
+    let mut trailer = [0u8; 12];
+    file.read_exact(&mut trailer).map_err(|e| err(format!("truncated trailer: {e}")))?;
+    if trailer[8..] != TRAILER_MAGIC {
+        return Err(err("bad trailer magic (unfinalised or corrupt segment)".into()));
+    }
+    let index_offset = u64::from_le_bytes([
+        trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+        trailer[7],
+    ]);
+    if index_offset < 8 || index_offset + 12 > file_len {
+        return Err(err(format!("index offset {index_offset} out of bounds")));
+    }
+    file.seek(SeekFrom::Start(index_offset)).map_err(|e| err(format!("cannot seek: {e}")))?;
+    let mut head = [0u8; 8];
+    file.read_exact(&mut head).map_err(|e| err(format!("truncated index header: {e}")))?;
+    if head[..4] != INDEX_MAGIC {
+        return Err(err("bad index magic".into()));
+    }
+    let count = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
+    let index_bytes = count.saturating_mul(INDEX_ENTRY_BYTES);
+    let available = (file_len - index_offset).saturating_sub(8 + 8 + 12);
+    if index_bytes as u64 > available {
+        return Err(err(format!("index entry count {count} exceeds file size")));
+    }
+    let mut entries = vec![0u8; index_bytes];
+    file.read_exact(&mut entries).map_err(|e| err(format!("truncated index: {e}")))?;
+    let mut sum = [0u8; 8];
+    file.read_exact(&mut sum).map_err(|e| err(format!("truncated index checksum: {e}")))?;
+    if fnv1a(&entries) != u64::from_le_bytes(sum) {
+        return Err(err("index checksum mismatch".into()));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        match IndexEntry::decode(&entries, i * INDEX_ENTRY_BYTES) {
+            Some(e) => out.push(e),
+            None => return Err(err("truncated index entry".into())),
+        }
+    }
+    Ok(out)
+}
+
+/// Read, verify, and decode the block described by `entry`.
+fn read_block_at(
+    file: &mut File,
+    path: &Path,
+    entry: &IndexEntry,
+) -> Result<Vec<TraceEvent>, NmoError> {
+    let err = |what: String| NmoError::trace(format!("{}: {what}", path.display()));
+    let len = usize::try_from(entry.payload_len)
+        .ok()
+        .filter(|&l| l <= MAX_BLOCK_BYTES)
+        .ok_or_else(|| err(format!("oversized indexed block ({} bytes)", entry.payload_len)))?;
+    file.seek(SeekFrom::Start(entry.offset)).map_err(|e| err(format!("cannot seek: {e}")))?;
+    let mut frame = vec![0u8; 16 + len];
+    file.read_exact(&mut frame)
+        .map_err(|e| err(format!("truncated block at offset {}: {e}", entry.offset)))?;
+    if frame[..4] != BLOCK_MAGIC {
+        return Err(err(format!("index points at a non-block offset {}", entry.offset)));
+    }
+    let payload = &frame[16..];
+    if fnv1a(payload) != entry.checksum {
+        return Err(err(format!("block checksum mismatch at offset {}", entry.offset)));
+    }
+    decode_events(payload).map_err(err)
+}
+
+/// Per-window shard states awaiting the all-shards-closed merge:
+/// window index -> (window, accumulated `(shard, state)` pairs).
+type PendingWindows = BTreeMap<u64, (Window, Vec<(usize, ShardState)>)>;
+
+/// Opens a stored trace directory and replays it through analysis sinks.
+pub struct TraceReader {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl TraceReader {
+    /// Open a trace directory written by [`TraceWriterSink`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<TraceReader, NmoError> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = fs::read_to_string(&manifest_path).map_err(|e| {
+            NmoError::trace(format!("cannot read {}: {e}", manifest_path.display()))
+        })?;
+        let manifest = Manifest::parse(&text)?;
+        Ok(TraceReader { dir, manifest })
+    }
+
+    /// Number of per-shard segments (the live run's shard count).
+    pub fn shards(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    /// Streaming window width of the recorded run, nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.manifest.window_ns
+    }
+
+    /// Totals of the stored trace.
+    pub fn summary(&self) -> TraceSummary {
+        let bytes = self
+            .manifest
+            .segments
+            .iter()
+            .filter_map(|s| fs::metadata(self.dir.join(s)).ok())
+            .map(|m| m.len())
+            .sum();
+        TraceSummary {
+            shards: self.manifest.segments.len(),
+            samples: self.manifest.samples,
+            bytes,
+            window_ns: self.manifest.window_ns,
+        }
+    }
+
+    /// A machine-less [`StreamContext`] rebuilt from the recorded stream
+    /// geometry: the legitimate replay-side context ([`StreamContext::machine`]
+    /// is `None`, so sinks aggregate but do not actuate).
+    pub fn replay_context(&self) -> StreamContext {
+        StreamContext::for_replay(
+            self.manifest.capacity_bytes,
+            self.manifest.bucket_ns,
+            self.manifest.mem_nodes,
+            self.manifest.page_bytes,
+        )
+    }
+
+    fn segment_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(&self.manifest.segments[shard])
+    }
+
+    /// Sequentially replay the whole trace through `sinks`, reproducing the
+    /// recorded run bit-for-bit: each sink's shard workers are fed their
+    /// lane's deliveries in recorded order, and per-window states merge in
+    /// ascending shard index exactly when the last shard closes the window
+    /// — the same schedule the live sharded consumer follows. Sinks without
+    /// a shardable implementation receive the merged stream serially
+    /// (shard-major within each window round).
+    ///
+    /// Call [`replay_finish`] (or the sinks' `finish` directly) afterwards
+    /// to collect the reports.
+    pub fn replay(&self, sinks: &mut [Box<dyn AnalysisSink>]) -> Result<ReplayStats, NmoError> {
+        let ctx = self.replay_context();
+        self.replay_with_context(&ctx, sinks)
+    }
+
+    /// [`TraceReader::replay`] with a caller-built context (e.g. carrying
+    /// the original annotations so a region sink can re-attribute samples).
+    pub fn replay_with_context(
+        &self,
+        ctx: &StreamContext,
+        sinks: &mut [Box<dyn AnalysisSink>],
+    ) -> Result<ReplayStats, NmoError> {
+        let shards = self.shards();
+        let mut stats = ReplayStats { segments: shards, ..ReplayStats::default() };
+        let mut readers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            readers.push(SegmentEventReader::open(self.segment_path(shard))?);
+        }
+        // Per-sink shard workers (None = legacy sink fed serially).
+        let mut workers: Vec<Option<Vec<Box<dyn SinkShard>>>> = Vec::with_capacity(sinks.len());
+        for sink in sinks.iter_mut() {
+            sink.on_stream_start(ctx);
+            match sink.as_shardable() {
+                Some(sh) => {
+                    workers.push(Some((0..shards).map(|s| sh.make_shard(s, ctx)).collect()));
+                }
+                None => workers.push(None),
+            }
+        }
+        // Pending per-window shard states, per sink, and per-window close
+        // counts for the all-shards-closed trigger (the live merge rule).
+        let mut pending: Vec<PendingWindows> = sinks.iter().map(|_| BTreeMap::new()).collect();
+        let mut close_counts: BTreeMap<u64, (Window, usize)> = BTreeMap::new();
+        let mut queues: Vec<VecDeque<TraceEvent>> = (0..shards).map(|_| VecDeque::new()).collect();
+        loop {
+            let mut progressed = false;
+            for shard in 0..shards {
+                // Deliver this shard's events up to and including its next
+                // window close (one close per shard per round keeps the
+                // lanes advancing in lock step, windows ascending).
+                loop {
+                    let ev = match queues[shard].pop_front() {
+                        Some(ev) => ev,
+                        None => match readers[shard].next_block()? {
+                            Some(events) => {
+                                stats.blocks += 1;
+                                queues[shard].extend(events);
+                                continue;
+                            }
+                            None => break,
+                        },
+                    };
+                    progressed = true;
+                    match ev {
+                        TraceEvent::Batch(batch) => {
+                            stats.batches += 1;
+                            if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+                                stats.samples += samples.len() as u64;
+                            }
+                            for (sink, ws) in sinks.iter_mut().zip(workers.iter_mut()) {
+                                match ws {
+                                    Some(ws) => ws[shard].on_batch(&batch),
+                                    None => sink.on_batch(&batch),
+                                }
+                            }
+                        }
+                        TraceEvent::Close(w) => {
+                            for (ws, pend) in workers.iter_mut().zip(pending.iter_mut()) {
+                                if let Some(ws) = ws {
+                                    if let Some(state) = ws[shard].on_window_close(w) {
+                                        pend.entry(w.index)
+                                            .or_insert_with(|| (w, Vec::new()))
+                                            .1
+                                            .push((shard, state));
+                                    }
+                                }
+                            }
+                            let entry = close_counts.entry(w.index).or_insert((w, 0));
+                            entry.1 += 1;
+                            if entry.1 == shards {
+                                close_counts.remove(&w.index);
+                                stats.windows += 1;
+                                merge_closed_window(sinks, &mut workers, &mut pending, w, shards);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Final merge, ascending shard index — the live end-of-run path.
+        for (sink, ws) in sinks.iter_mut().zip(workers.iter_mut()) {
+            if let Some(ws) = ws.take() {
+                let states: Vec<ShardState> = ws.into_iter().map(|w| w.finish()).collect();
+                if let Some(sh) = sink.as_shardable() {
+                    sh.merge_final(states);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Merge a fully closed window: shardable sinks whose every shard returned
+/// a state get `merge_window` with the states in ascending shard order;
+/// legacy sinks get their single `on_window_close` — the same delivery the
+/// live consumer performs when the last lane processes the broadcast.
+fn merge_closed_window(
+    sinks: &mut [Box<dyn AnalysisSink>],
+    workers: &mut [Option<Vec<Box<dyn SinkShard>>>],
+    pending: &mut [PendingWindows],
+    w: Window,
+    shards: usize,
+) {
+    for ((sink, ws), pend) in sinks.iter_mut().zip(workers.iter_mut()).zip(pending.iter_mut()) {
+        match ws {
+            Some(_) => {
+                let complete = pend.get(&w.index).is_some_and(|(_, states)| states.len() == shards);
+                if complete {
+                    if let Some((win, mut states)) = pend.remove(&w.index) {
+                        states.sort_by_key(|(shard, _)| *shard);
+                        if let Some(sh) = sink.as_shardable() {
+                            sh.merge_window(win, states.into_iter().map(|(_, s)| s).collect());
+                        }
+                    }
+                }
+            }
+            None => sink.on_window_close(w),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed parallel replay.
+// ---------------------------------------------------------------------------
+
+/// A slice of a stored trace: time windows, cores, and/or an address range.
+/// Unset dimensions match everything. Time and core slicing are
+/// batch-granular (an SPE batch is per-core and per-window); the address
+/// range additionally filters individual samples inside matching batches.
+#[derive(Debug, Clone, Default)]
+pub struct TraceQuery {
+    /// Inclusive window-index range.
+    pub windows: Option<(u64, u64)>,
+    /// Cores to include (batch-level; core-less machine ticks always pass).
+    pub cores: Option<Vec<usize>>,
+    /// Inclusive virtual-address range (applied per sample).
+    pub vaddr: Option<(u64, u64)>,
+}
+
+impl TraceQuery {
+    /// A query matching the whole trace.
+    pub fn all() -> Self {
+        TraceQuery::default()
+    }
+
+    /// Restrict to an inclusive window-index range.
+    pub fn with_windows(mut self, first: u64, last: u64) -> Self {
+        self.windows = Some((first.min(last), first.max(last)));
+        self
+    }
+
+    /// Restrict to the given cores.
+    pub fn with_cores(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
+        self.cores = Some(cores.into_iter().collect());
+        self
+    }
+
+    /// Restrict to an inclusive virtual-address range.
+    pub fn with_vaddr(mut self, lo: u64, hi: u64) -> Self {
+        self.vaddr = Some((lo.min(hi), lo.max(hi)));
+        self
+    }
+
+    fn window_in_range(&self, index: u64) -> bool {
+        self.windows.is_none_or(|(lo, hi)| (lo..=hi).contains(&index))
+    }
+
+    fn core_matches(&self, core: usize) -> bool {
+        self.cores.as_ref().is_none_or(|cores| cores.contains(&core))
+    }
+
+    fn core_mask(&self) -> u64 {
+        match &self.cores {
+            None => u64::MAX,
+            Some(cores) => cores.iter().fold(0, |m, &c| m | core_bit(c)),
+        }
+    }
+
+    /// Whether a footer index entry can contain anything this query needs.
+    /// Close mini blocks ride on the window range alone: every close in
+    /// range must reach the sinks regardless of core/address slicing.
+    fn matches_entry(&self, e: &IndexEntry) -> bool {
+        if let Some((lo, hi)) = self.windows {
+            if e.first_window > hi || e.last_window < lo {
+                return false;
+            }
+        }
+        if e.closes > 0 {
+            return true;
+        }
+        if e.core_mask & self.core_mask() == 0 {
+            return false;
+        }
+        if let Some((lo, hi)) = self.vaddr {
+            if e.samples > 0 && (e.min_vaddr > hi || e.max_vaddr < lo) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Apply the per-sample address filter; `None` drops the whole batch.
+    fn filter_batch(&self, batch: SampleBatch) -> Option<SampleBatch> {
+        let (lo, hi) = match self.vaddr {
+            Some(range) if matches!(batch.payload(), BatchPayload::SpeSamples { .. }) => range,
+            _ => return Some(batch),
+        };
+        let (seq, backend, core, window) = (batch.seq, batch.backend, batch.core, batch.window);
+        match batch.into_payload() {
+            BatchPayload::SpeSamples { samples, loss } => {
+                let filtered: Vec<AddressSample> =
+                    samples.into_iter().filter(|s| (lo..=hi).contains(&s.vaddr)).collect();
+                if filtered.is_empty() {
+                    return None;
+                }
+                let mut b = SampleBatch::new(
+                    backend,
+                    core,
+                    window,
+                    BatchPayload::SpeSamples { samples: filtered, loss },
+                );
+                b.seq = seq;
+                Some(b)
+            }
+            _ => None, // unreachable: guarded by the payload match above
+        }
+    }
+}
+
+/// What one segment worker brings back from an indexed replay.
+struct ShardOutcome {
+    shard: usize,
+    workers: Vec<(usize, Box<dyn SinkShard>)>,
+    states: Vec<(usize, Window, ShardState)>,
+    closed: Vec<u64>,
+    samples: u64,
+    batches: u64,
+    blocks: u64,
+}
+
+/// Replay the blocks of one segment matching `query` through this shard's
+/// workers (runs on its own thread).
+fn query_segment(
+    path: PathBuf,
+    shard: usize,
+    query: TraceQuery,
+    mut set: Vec<(usize, Box<dyn SinkShard>)>,
+) -> Result<ShardOutcome, NmoError> {
+    let mut file = File::open(&path)
+        .map_err(|e| NmoError::trace(format!("cannot open {}: {e}", path.display())))?;
+    let entries = read_segment_index(&mut file, &path)?;
+    let mut out = ShardOutcome {
+        shard,
+        workers: Vec::new(),
+        states: Vec::new(),
+        closed: Vec::new(),
+        samples: 0,
+        batches: 0,
+        blocks: 0,
+    };
+    for entry in entries.iter().filter(|e| query.matches_entry(e)) {
+        let events = read_block_at(&mut file, &path, entry)?;
+        out.blocks += 1;
+        for ev in events {
+            match ev {
+                TraceEvent::Batch(batch) => {
+                    if !query.window_in_range(batch.window.index) {
+                        continue;
+                    }
+                    if let Some(core) = batch.core {
+                        if !query.core_matches(core) {
+                            continue;
+                        }
+                    }
+                    if let Some(batch) = query.filter_batch(batch) {
+                        out.batches += 1;
+                        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+                            out.samples += samples.len() as u64;
+                        }
+                        for (_, worker) in set.iter_mut() {
+                            worker.on_batch(&batch);
+                        }
+                    }
+                }
+                TraceEvent::Close(w) => {
+                    if query.window_in_range(w.index) {
+                        out.closed.push(w.index);
+                        for (sink_idx, worker) in set.iter_mut() {
+                            if let Some(state) = worker.on_window_close(w) {
+                                out.states.push((*sink_idx, w, state));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.workers = set;
+    Ok(out)
+}
+
+impl TraceReader {
+    /// Indexed parallel replay: fan the blocks matching `query` out across
+    /// one worker thread per segment, deliver them to per-shard sink
+    /// workers, then merge per-window states (ascending window, ascending
+    /// shard) and finish — without ever reading non-matching blocks or
+    /// loading the whole trace. Every sink must be a [`ShardableSink`]
+    /// (deterministic merge is what makes the parallel fan-out safe).
+    pub fn replay_query(
+        &self,
+        query: &TraceQuery,
+        sinks: &mut [Box<dyn AnalysisSink>],
+    ) -> Result<ReplayStats, NmoError> {
+        let ctx = self.replay_context();
+        let shards = self.shards();
+        let mut sets: Vec<Vec<(usize, Box<dyn SinkShard>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (i, sink) in sinks.iter_mut().enumerate() {
+            sink.on_stream_start(&ctx);
+            let name = sink.name();
+            let sh = sink.as_shardable().ok_or_else(|| {
+                NmoError::trace(format!("indexed replay requires shardable sinks; '{name}' is not"))
+            })?;
+            for (shard, set) in sets.iter_mut().enumerate() {
+                set.push((i, sh.make_shard(shard, &ctx)));
+            }
+        }
+        let outcomes: Vec<Result<ShardOutcome, NmoError>> = thread::scope(|scope| {
+            let handles: Vec<_> = sets
+                .into_iter()
+                .enumerate()
+                .map(|(shard, set)| {
+                    let path = self.segment_path(shard);
+                    let query = query.clone();
+                    scope.spawn(move || query_segment(path, shard, query, set))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(NmoError::trace("indexed replay worker panicked")))
+                })
+                .collect()
+        });
+        let mut stats = ReplayStats { segments: shards, ..ReplayStats::default() };
+        let mut per_sink: Vec<PendingWindows> = sinks.iter().map(|_| BTreeMap::new()).collect();
+        let mut workers: Vec<Vec<(usize, Box<dyn SinkShard>)>> =
+            sinks.iter().map(|_| Vec::new()).collect();
+        let mut close_counts: BTreeMap<u64, usize> = BTreeMap::new();
+        for outcome in outcomes {
+            let o = outcome?;
+            stats.samples += o.samples;
+            stats.batches += o.batches;
+            stats.blocks += o.blocks;
+            for w in o.closed {
+                *close_counts.entry(w).or_insert(0) += 1;
+            }
+            for (sink_idx, window, state) in o.states {
+                per_sink[sink_idx]
+                    .entry(window.index)
+                    .or_insert_with(|| (window, Vec::new()))
+                    .1
+                    .push((o.shard, state));
+            }
+            for (sink_idx, worker) in o.workers {
+                workers[sink_idx].push((o.shard, worker));
+            }
+        }
+        stats.windows = close_counts.values().filter(|&&n| n == shards).count() as u64;
+        for (sink, (pend, mut ws)) in sinks.iter_mut().zip(per_sink.into_iter().zip(workers)) {
+            if let Some(sh) = sink.as_shardable() {
+                for (_, (window, mut states)) in pend {
+                    if states.len() == shards {
+                        states.sort_by_key(|(shard, _)| *shard);
+                        sh.merge_window(window, states.into_iter().map(|(_, s)| s).collect());
+                    }
+                }
+                ws.sort_by_key(|(shard, _)| *shard);
+                sh.merge_final(ws.into_iter().map(|(_, w)| w.finish()).collect());
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Lenient integrity check over every segment: scan all block regions
+    /// with [`scan_blocks`], tolerating (and reporting) damage instead of
+    /// failing on the first corrupt byte.
+    pub fn verify(&self) -> Result<TraceVerify, NmoError> {
+        let mut v = TraceVerify::default();
+        for shard in 0..self.shards() {
+            let path = self.segment_path(shard);
+            let data = fs::read(&path)
+                .map_err(|e| NmoError::trace(format!("cannot read {}: {e}", path.display())))?;
+            // Scan only the block region when the trailer parses; a segment
+            // with a damaged trailer is scanned to the end (the index bytes
+            // then show up as skipped).
+            let end = match fs::File::open(&path) {
+                Ok(mut f) => read_segment_index(&mut f, &path)
+                    .ok()
+                    .and_then(|_| data.len().checked_sub(12))
+                    .and_then(|t| get_u64(&data, t))
+                    .map_or(data.len(), |off| (off as usize).min(data.len())),
+                Err(_) => data.len(),
+            };
+            let start = 8.min(end);
+            let scan = scan_blocks(&data[start..end]);
+            v.blocks += scan.blocks.len() as u64;
+            v.consumed_bytes += scan.consumed_bytes as u64;
+            v.skipped_bytes += scan.skipped_bytes as u64;
+            v.errors.extend(scan.errors.into_iter().map(|e| format!("{}: {e}", path.display())));
+        }
+        Ok(v)
+    }
+}
+
+/// Result of [`TraceReader::verify`].
+#[derive(Debug, Default)]
+pub struct TraceVerify {
+    /// Blocks that verified across all segments.
+    pub blocks: u64,
+    /// Bytes covered by verified blocks.
+    pub consumed_bytes: u64,
+    /// Bytes skipped as damaged or unrecognised.
+    pub skipped_bytes: u64,
+    /// Damage reports.
+    pub errors: Vec<String>,
+}
+
+/// Collect the sinks' reports after a replay, without a live machine: calls
+/// each sink's [`AnalysisSink::finish`] against a minimal machine and an
+/// empty profile (streaming-fed sinks ignore both and report what they
+/// aggregated from the replayed stream).
+pub fn replay_finish(sinks: &mut [Box<dyn AnalysisSink>]) -> Result<Vec<AnalysisRecord>, NmoError> {
+    let machine = Machine::new(MachineConfig::small_test());
+    let profile = Profile::empty("replay", NmoConfig::paper_default(1000));
+    sinks
+        .iter_mut()
+        .map(|s| {
+            s.finish(&machine, &profile)
+                .map(|report| AnalysisRecord { sink: s.name().to_string(), report })
+        })
+        .collect()
+}
+
+/// A machine-less [`StreamContext`] for replays with default geometry (used
+/// by hand-built tests; [`TraceReader::replay_context`] rebuilds the
+/// recorded geometry instead).
+pub fn default_replay_context() -> StreamContext {
+    StreamContext::for_replay(0, 1, 1, 64 * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::BatchPayload;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("nmo_trace_{tag}_{}", std::process::id()))
+    }
+
+    fn sample(t: u64, vaddr: u64, core: usize, latency: u16, source: DataSource) -> AddressSample {
+        AddressSample { time_ns: t, vaddr, core, is_store: t.is_multiple_of(3), latency, source }
+    }
+
+    fn spe_batch(core: usize, window: Window, samples: Vec<AddressSample>) -> SampleBatch {
+        let loss = SpeStatsSnapshot {
+            samples_selected: samples.len() as u64,
+            records_written: samples.len() as u64 + 1,
+            ..SpeStatsSnapshot::default()
+        };
+        let mut b =
+            SampleBatch::new("spe", Some(core), window, BatchPayload::SpeSamples { samples, loss });
+        b.seq = 41 + core as u64;
+        b
+    }
+
+    fn assert_batches_eq(a: &SampleBatch, b: &SampleBatch) {
+        assert_eq!(a.backend, b.backend);
+        assert_eq!(a.core, b.core);
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.window, b.window);
+        match (a.payload(), b.payload()) {
+            (
+                BatchPayload::SpeSamples { samples: sa, loss: la },
+                BatchPayload::SpeSamples { samples: sb, loss: lb },
+            ) => {
+                assert_eq!(sa, sb);
+                assert_eq!(la, lb);
+            }
+            (
+                BatchPayload::CounterDeltas { deltas: da },
+                BatchPayload::CounterDeltas { deltas: db },
+            ) => {
+                assert_eq!(da.len(), db.len());
+                for (x, y) in da.iter().zip(db) {
+                    assert_eq!((&x.event, x.delta, x.total), (&y.event, y.delta, y.total));
+                }
+            }
+            (BatchPayload::Rss { points: pa }, BatchPayload::Rss { points: pb }) => {
+                assert_eq!(pa, pb);
+            }
+            (BatchPayload::Bandwidth { points: pa }, BatchPayload::Bandwidth { points: pb }) => {
+                assert_eq!(pa.len(), pb.len());
+                for (x, y) in pa.iter().zip(pb) {
+                    assert_eq!((x.time_ns, x.bytes, x.by_node), (y.time_ns, y.bytes, y.by_node));
+                    assert!((x.gib_per_s - y.gib_per_s).abs() < f64::EPSILON);
+                }
+            }
+            _ => panic!("payload kinds differ"),
+        }
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX];
+        for &v in &values {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overlong() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf[..cut], &mut pos), None, "cut at {cut}");
+        }
+        // 11 continuation bytes can only encode overflow.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(get_varint(&overlong, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    fn mixed_events(window: Window) -> Vec<TraceEvent> {
+        let samples = vec![
+            sample(window.start_ns + 10, 0x7f00_0000, 3, 120, DataSource::L1),
+            sample(window.start_ns + 25, 0x7f00_0040, 3, 300, DataSource::Dram(0)),
+            sample(window.start_ns + 26, 0x6000_0000, 7, 900, DataSource::RemoteDram(1)),
+        ];
+        let counters = SampleBatch::new(
+            "counters",
+            Some(1),
+            window,
+            BatchPayload::CounterDeltas {
+                deltas: vec![crate::stream::CounterDelta {
+                    event: "ll_cache_miss".to_string(),
+                    delta: 17,
+                    total: 4242,
+                }],
+            },
+        );
+        let mut rss_by_node = [0u64; MAX_MEM_NODES];
+        rss_by_node[0] = 4096;
+        rss_by_node[1] = 8192;
+        let rss = SampleBatch::new(
+            "machine",
+            None,
+            window,
+            BatchPayload::Rss {
+                points: vec![RssPoint {
+                    time_ns: window.start_ns + 5,
+                    rss_bytes: 12_288,
+                    rss_by_node,
+                }],
+            },
+        );
+        let bw = SampleBatch::new(
+            "machine",
+            None,
+            window,
+            BatchPayload::Bandwidth {
+                points: vec![BandwidthPoint {
+                    time_ns: window.start_ns + 6,
+                    bytes: 64,
+                    by_node: rss_by_node,
+                    gib_per_s: 1.75,
+                }],
+            },
+        );
+        vec![
+            TraceEvent::Batch(spe_batch(3, window, samples)),
+            TraceEvent::Batch(counters),
+            TraceEvent::Batch(rss),
+            TraceEvent::Batch(bw),
+            TraceEvent::Close(window),
+        ]
+    }
+
+    #[test]
+    fn events_encode_decode_round_trip() {
+        let window = Window { index: 4, start_ns: 4_000_000, end_ns: 5_000_000 };
+        let events = mixed_events(window);
+        let mut buf = Vec::new();
+        let mut meta = BlockMeta::empty();
+        for ev in &events {
+            match ev {
+                TraceEvent::Batch(b) => {
+                    encode_batch_event(&mut buf, b, &mut meta);
+                }
+                TraceEvent::Close(w) => encode_close_event(&mut buf, *w, &mut meta),
+            }
+        }
+        assert_eq!(meta.samples, 3);
+        assert_eq!(meta.closes, 1);
+        assert_eq!(meta.first_window, 4);
+        assert_eq!(meta.core_mask & core_bit(3), core_bit(3));
+        // Core-less machine batches force the mask wide open.
+        assert_eq!(meta.core_mask, u64::MAX);
+        assert_eq!(meta.min_vaddr, 0x6000_0000);
+        assert_eq!(meta.max_vaddr, 0x7f00_0040);
+
+        let decoded = decode_events(&buf).expect("decode");
+        assert_eq!(decoded.len(), events.len());
+        for (orig, got) in events.iter().zip(&decoded) {
+            match (orig, got) {
+                (TraceEvent::Batch(a), TraceEvent::Batch(b)) => assert_batches_eq(a, b),
+                (TraceEvent::Close(a), TraceEvent::Close(b)) => assert_eq!(a, b),
+                _ => panic!("event kinds differ"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_any_truncation() {
+        let window = Window { index: 0, start_ns: 0, end_ns: 1_000_000 };
+        let mut buf = Vec::new();
+        let mut meta = BlockMeta::empty();
+        // A cut at an exact event boundary is a legal (shorter) stream, so
+        // record the boundaries and expect success with fewer events there
+        // and a decode error everywhere else — never a panic.
+        let mut boundaries = std::collections::BTreeSet::new();
+        let mut n_events = 0usize;
+        for ev in mixed_events(window) {
+            match ev {
+                TraceEvent::Batch(b) => {
+                    encode_batch_event(&mut buf, &b, &mut meta);
+                }
+                TraceEvent::Close(w) => encode_close_event(&mut buf, w, &mut meta),
+            }
+            boundaries.insert(buf.len());
+            n_events += 1;
+        }
+        for cut in 1..buf.len() {
+            match decode_events(&buf[..cut]) {
+                Ok(events) => {
+                    assert!(boundaries.contains(&cut), "cut {cut} inside an event decoded Ok");
+                    assert!(events.len() < n_events);
+                }
+                Err(_) => {
+                    assert!(!boundaries.contains(&cut), "cut {cut} at a boundary must decode");
+                }
+            }
+        }
+    }
+
+    fn write_segment(dir: &Path, shard: usize, windows: u64) -> SegmentSummary {
+        let pool = BatchPool::new(4);
+        let mut w = SegmentWriter::create(dir, shard, Arc::clone(&pool)).expect("create");
+        let clock = WindowClock::new(1_000_000);
+        for wi in 0..windows {
+            let window = clock.window(wi);
+            let samples = (0..50)
+                .map(|i| {
+                    sample(
+                        window.start_ns + i * 10,
+                        0x1000_0000 + wi * 0x1000 + i * 64,
+                        shard,
+                        (100 + i) as u16,
+                        if i % 2 == 0 { DataSource::L1 } else { DataSource::Dram(0) },
+                    )
+                })
+                .collect();
+            w.append_batch(&spe_batch(shard, window, samples)).expect("append");
+            w.append_close(window).expect("close");
+        }
+        w.finish().expect("finish")
+    }
+
+    #[test]
+    fn segment_round_trips_through_index_and_sequential_reader() {
+        let dir = tmp("segment_rt");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let summary = write_segment(&dir, 0, 6);
+        assert_eq!(summary.samples, 300);
+        assert_eq!(summary.closes, 6);
+        let path = dir.join(SegmentWriter::segment_file_name(0));
+
+        // Footer index: every block readable via read_block_at, metadata sane.
+        let mut file = File::open(&path).expect("open");
+        let entries = read_segment_index(&mut file, &path).expect("index");
+        assert_eq!(entries.len() as u64, summary.blocks);
+        let mut indexed_events = 0u64;
+        for e in &entries {
+            let events = read_block_at(&mut file, &path, e).expect("block");
+            assert_eq!(events.len() as u64, e.events);
+            indexed_events += e.events;
+        }
+        assert_eq!(indexed_events, summary.events);
+
+        // Sequential reader sees the same event stream in order.
+        let mut reader = SegmentEventReader::open(path.clone()).expect("reader");
+        let mut seq_events = 0u64;
+        let mut closes = 0u64;
+        while let Some(events) = reader.next_block().expect("next") {
+            for ev in &events {
+                if matches!(ev, TraceEvent::Close(_)) {
+                    closes += 1;
+                }
+            }
+            seq_events += events.len() as u64;
+        }
+        assert_eq!(seq_events, summary.events);
+        assert_eq!(closes, 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_blocks_accounts_for_every_byte_under_corruption() {
+        let dir = tmp("scan_corrupt");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let summary = write_segment(&dir, 0, 4);
+        let path = dir.join(SegmentWriter::segment_file_name(0));
+        let data = fs::read(&path).expect("read");
+        let trailer_at = data.len() - 12;
+        let index_offset = get_u64(&data, trailer_at).expect("trailer") as usize;
+        let blocks = &data[8..index_offset];
+
+        // Pristine region: everything consumed, nothing skipped.
+        let clean = scan_blocks(blocks);
+        assert!(clean.errors.is_empty(), "{:?}", clean.errors);
+        assert_eq!(clean.blocks.len() as u64, summary.blocks);
+        assert_eq!(clean.consumed_bytes, blocks.len());
+        assert_eq!(clean.skipped_bytes, 0);
+
+        // Flip one payload byte in every position of the first block frame:
+        // never a panic, bytes always exactly accounted.
+        let first_len = clean.blocks[0].frame_len;
+        for at in 0..first_len {
+            let mut bad = blocks.to_vec();
+            bad[at] ^= 0xff;
+            let scan = scan_blocks(&bad);
+            assert_eq!(
+                scan.consumed_bytes + scan.skipped_bytes,
+                bad.len(),
+                "byte {at}: consumed {} + skipped {} != {}",
+                scan.consumed_bytes,
+                scan.skipped_bytes,
+                bad.len()
+            );
+        }
+
+        // A checksum flip specifically must surface as a checksum error.
+        let mut bad = blocks.to_vec();
+        bad[4 + 4 + 2] ^= 0xff; // inside the fnv1a64 field of block 0
+        let scan = scan_blocks(&bad);
+        assert!(scan.errors.iter().any(|e| e.contains("checksum mismatch")), "{:?}", scan.errors);
+        assert!(scan.first_error().is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_reader_surfaces_checksum_damage_as_trace_error() {
+        let dir = tmp("strict_damage");
+        fs::create_dir_all(&dir).expect("mkdir");
+        write_segment(&dir, 0, 2);
+        let path = dir.join(SegmentWriter::segment_file_name(0));
+        let mut data = fs::read(&path).expect("read");
+        data[8 + 4 + 4 + 2] ^= 0xff; // corrupt block 0's stored checksum
+        fs::write(&path, &data).expect("write");
+        let mut reader = SegmentEventReader::open(path.clone()).expect("open");
+        let err = loop {
+            match reader.next_block() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("damage not detected"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(&err, NmoError::Trace(m) if m.contains("checksum")),
+            "unexpected error: {err}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_parses_and_rejects_path_escapes() {
+        let text = "nmo-trace-manifest v1\nwindow_ns 250000\ncapacity_bytes 1024\nbucket_ns 7\nmem_nodes 2\npage_bytes 65536\nshards 2\nsamples 99\nsegment shard-000.seg\nsegment shard-001.seg\nend\n";
+        let m = Manifest::parse(text).expect("parse");
+        assert_eq!(m.window_ns, 250_000);
+        assert_eq!(m.mem_nodes, 2);
+        assert_eq!(m.segments.len(), 2);
+        assert!(Manifest::parse("not a manifest\n").is_err());
+        assert!(Manifest::parse("nmo-trace-manifest v1\nsegment ../../etc/passwd\nend\n").is_err());
+    }
+
+    #[test]
+    fn query_pruning_matches_entry_semantics() {
+        let entry = IndexEntry {
+            offset: 8,
+            payload_len: 100,
+            checksum: 0,
+            first_window: 4,
+            last_window: 6,
+            core_mask: core_bit(2) | core_bit(66), // 2 and 66 alias mod 64
+            min_vaddr: 0x1000,
+            max_vaddr: 0x2000,
+            samples: 10,
+            events: 3,
+            closes: 0,
+        };
+        assert!(TraceQuery::all().matches_entry(&entry));
+        assert!(TraceQuery::all().with_windows(6, 9).matches_entry(&entry));
+        assert!(!TraceQuery::all().with_windows(7, 9).matches_entry(&entry));
+        assert!(TraceQuery::all().with_cores([2]).matches_entry(&entry));
+        assert!(!TraceQuery::all().with_cores([3]).matches_entry(&entry));
+        // Aliased core bit keeps the block (pruning is conservative).
+        assert!(TraceQuery::all().with_cores([66]).matches_entry(&entry));
+        assert!(TraceQuery::all().with_vaddr(0x1800, 0x1900).matches_entry(&entry));
+        assert!(!TraceQuery::all().with_vaddr(0x3000, 0x4000).matches_entry(&entry));
+        // Close-carrying blocks are never pruned by core/vaddr.
+        let close_entry = IndexEntry { closes: 1, ..entry };
+        assert!(TraceQuery::all().with_cores([3]).matches_entry(&close_entry));
+    }
+}

@@ -426,3 +426,230 @@ proptest! {
         prop_assert_eq!(prev_end, n);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Trace store (nmo::trace): codec fuzzing and shard-count round trips.
+// ---------------------------------------------------------------------------
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nmo_repro::nmo::trace::scan_blocks;
+use nmo_repro::nmo::{
+    AddressSample, AnalysisReport, AnalysisSink, Annotations, BatchPayload, NmoError, SampleBatch,
+    StreamContext, TraceReader, TraceWriterSink, WindowClock,
+};
+use nmo_repro::spe::SpeStatsSnapshot;
+
+const TRACE_WINDOW_NS: u64 = 100_000;
+
+/// Unique per-process trace directories for the property runs.
+fn trace_tmp(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("nmo_trace_prop_{tag}_{}_{n}", std::process::id()))
+}
+
+fn trace_ctx() -> StreamContext {
+    StreamContext {
+        annotations: Arc::new(Annotations::new()),
+        capacity_bytes: 1 << 30,
+        bucket_ns: 1000,
+        mem_nodes: 2,
+        page_bytes: 4096,
+        machine: None,
+    }
+}
+
+/// Write `samples` to a trace at `dir` through `shards` writer shards, the
+/// way the live sharded pipeline would: per-window per-core batches on the
+/// core-hashed lane, closes delivered to every shard in window order.
+fn write_sharded_trace(dir: &Path, shards: usize, samples: &[AddressSample]) {
+    let ctx = trace_ctx();
+    let clock = WindowClock::new(TRACE_WINDOW_NS);
+    let mut by_window: BTreeMap<u64, BTreeMap<usize, Vec<AddressSample>>> = BTreeMap::new();
+    for s in samples {
+        by_window.entry(clock.index_of(s.time_ns)).or_default().entry(s.core).or_default().push(*s);
+    }
+    let last_window = by_window.keys().next_back().copied().unwrap_or(0);
+
+    let mut sink = TraceWriterSink::new(dir.to_path_buf());
+    sink.on_stream_start(&ctx);
+    let writer = sink.as_shardable().expect("trace writer is shardable");
+    let mut workers: Vec<_> = (0..shards).map(|s| writer.make_shard(s, &ctx)).collect();
+    let mut seq = 0u64;
+    for wi in 0..=last_window {
+        let window = clock.window(wi);
+        if let Some(cores) = by_window.get(&wi) {
+            for (&core, core_samples) in cores {
+                let loss = SpeStatsSnapshot {
+                    samples_selected: core_samples.len() as u64,
+                    ..SpeStatsSnapshot::default()
+                };
+                let mut batch = SampleBatch::new(
+                    "spe",
+                    Some(core),
+                    window,
+                    BatchPayload::SpeSamples { samples: core_samples.clone(), loss },
+                );
+                batch.seq = seq;
+                seq += 1;
+                workers[core % shards].on_batch(&batch);
+            }
+        }
+        for w in workers.iter_mut() {
+            w.on_window_close(window);
+        }
+    }
+    let states = workers.into_iter().map(|w| w.finish()).collect();
+    sink.as_shardable().expect("still shardable").merge_final(states);
+    let mut sinks: Vec<Box<dyn AnalysisSink>> = vec![Box::new(sink)];
+    nmo_repro::nmo::trace::replay_finish(&mut sinks).expect("manifest written");
+}
+
+/// Legacy (non-sharded) sink that collects every replayed sample through a
+/// shared handle, so the test can inspect what a replay delivered.
+struct CollectorSink {
+    out: Arc<parking_lot::Mutex<Vec<AddressSample>>>,
+}
+
+impl AnalysisSink for CollectorSink {
+    fn name(&self) -> &'static str {
+        "collector"
+    }
+    fn analyze(
+        &mut self,
+        _machine: &nmo_repro::arch_sim::Machine,
+        _profile: &nmo_repro::nmo::Profile,
+    ) -> Result<AnalysisReport, NmoError> {
+        Ok(AnalysisReport::Text(String::new()))
+    }
+    fn on_batch(&mut self, batch: &SampleBatch) {
+        if let BatchPayload::SpeSamples { samples, .. } = batch.payload() {
+            self.out.lock().extend_from_slice(samples);
+        }
+    }
+}
+
+/// Canonical order for comparing sample multisets.
+fn sample_sort_key(s: &AddressSample) -> (u64, u64, usize, u16, bool, u8) {
+    (s.time_ns, s.vaddr, s.core, s.latency, s.is_store, s.source.encode())
+}
+
+proptest! {
+    /// The lenient block scanner never panics on arbitrary bytes, and its
+    /// consumed/skipped accounting covers every byte exactly (the
+    /// `decode_records` fuzz-harness contract, ported to the trace codec).
+    #[test]
+    fn scan_blocks_never_panics_and_accounts_exactly_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let scan = scan_blocks(&data);
+        prop_assert_eq!(scan.consumed_bytes + scan.skipped_bytes, data.len());
+        let frame_bytes: usize = scan.blocks.iter().map(|b| b.frame_len).sum();
+        prop_assert_eq!(frame_bytes, scan.consumed_bytes);
+    }
+
+    /// Arbitrary sample streams written through 1, 2, and 8 writer shards
+    /// replay to exactly the same sample multiset — the encode→decode round
+    /// trip is lossless and shard-count-independent.
+    #[test]
+    fn trace_round_trips_arbitrary_streams_across_shard_counts(
+        times in prop::collection::vec(0u64..1_000_000, 1..200),
+        vaddr_pages in prop::collection::vec(0u64..1_000, 1..200),
+        cores in prop::collection::vec(0usize..8, 1..200),
+        latencies in prop::collection::vec(0u64..4096, 1..200),
+        source_classes in prop::collection::vec(0u8..5, 1..200),
+        nodes in prop::collection::vec(0u8..4, 1..200),
+    ) {
+        let n = times
+            .len()
+            .min(vaddr_pages.len())
+            .min(cores.len())
+            .min(latencies.len())
+            .min(source_classes.len())
+            .min(nodes.len());
+        let samples: Vec<AddressSample> = (0..n)
+            .map(|i| AddressSample {
+                time_ns: times[i],
+                vaddr: 0x1000_0000 + vaddr_pages[i] * 4096 + (i as u64 % 64) * 64,
+                core: cores[i],
+                is_store: i % 3 == 0,
+                latency: latencies[i] as u16,
+                source: source_from(source_classes[i], nodes[i]),
+            })
+            .collect();
+        let mut expected = samples.clone();
+        expected.sort_by_key(sample_sort_key);
+
+        for shards in [1usize, 2, 8] {
+            let dir = trace_tmp("rt");
+            write_sharded_trace(&dir, shards, &samples);
+
+            let reader = TraceReader::open(&dir).expect("open trace");
+            prop_assert_eq!(reader.shards(), shards);
+            let out = Arc::new(parking_lot::Mutex::named(Vec::new(), "test.collector"));
+            let mut sinks: Vec<Box<dyn AnalysisSink>> =
+                vec![Box::new(CollectorSink { out: Arc::clone(&out) })];
+            let stats = reader.replay(&mut sinks).expect("replay");
+            prop_assert_eq!(stats.samples, n as u64, "shards={}", shards);
+
+            let mut got = std::mem::take(&mut *out.lock());
+            got.sort_by_key(sample_sort_key);
+            prop_assert_eq!(&got, &expected, "shards={}", shards);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// A valid segment block region survives arbitrary corruption + an
+    /// arbitrary truncation point: the scanner never panics, never
+    /// double-counts a byte, and never recovers more blocks than written.
+    #[test]
+    fn scan_blocks_on_corrupted_truncated_segments_accounts_exactly(
+        pages in prop::collection::vec(0u64..64, 1..100),
+        corrupt_at in prop::collection::vec(0usize..1_000_000, 0..32),
+        corrupt_with in prop::collection::vec(any::<u8>(), 0..32),
+        cut_frac in 0u64..=1_000,
+    ) {
+        let samples: Vec<AddressSample> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| AddressSample {
+                time_ns: i as u64 * 1000,
+                vaddr: 0x2000_0000 + p * 4096,
+                core: i % 4,
+                is_store: i % 2 == 0,
+                latency: (i % 900) as u16,
+                source: source_from((i % 5) as u8, (i % 2) as u8),
+            })
+            .collect();
+        let dir = trace_tmp("corrupt");
+        write_sharded_trace(&dir, 1, &samples);
+        let seg = dir.join("shard-000.seg");
+        let bytes = std::fs::read(&seg).expect("segment bytes");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Block region = after the 8-byte header, before the footer index
+        // (trailer's last 12 bytes end with the index offset + magic).
+        let trailer = bytes.len() - 12;
+        let index_offset =
+            u64::from_le_bytes(bytes[trailer..trailer + 8].try_into().expect("8 bytes")) as usize;
+        let mut region = bytes[8..index_offset].to_vec();
+        let clean = scan_blocks(&region);
+        let written_blocks = clean.blocks.len();
+        prop_assert_eq!(clean.skipped_bytes, 0);
+
+        for (pos, byte) in corrupt_at.iter().zip(corrupt_with.iter()) {
+            let at = pos % region.len();
+            region[at] = *byte;
+        }
+        let cut = (region.len() as u64 * cut_frac / 1_000) as usize;
+        region.truncate(cut);
+
+        let scan = scan_blocks(&region);
+        prop_assert_eq!(scan.consumed_bytes + scan.skipped_bytes, region.len());
+        prop_assert!(scan.blocks.len() <= written_blocks, "cannot recover unwritten blocks");
+    }
+}

@@ -1,0 +1,209 @@
+//! Trace store & replay: end-to-end acceptance tests for `nmo::trace`.
+//!
+//! The contract under test (ISSUE 10 / ROADMAP item 3):
+//!
+//! * **Replay == live, bit for bit.** A sharded streaming run recorded
+//!   through `TraceWriterSink` and replayed sequentially through fresh
+//!   `LatencySink` + `HotPageTracker` instances produces byte-identical
+//!   reports — same windows, same merge order — without re-simulating.
+//! * **Indexed == sequential.** The parallel indexed replay
+//!   (`TraceReader::replay_query`, one worker thread per segment) with an
+//!   unrestricted query produces the same reports as sequential replay.
+//! * **Slicing prunes.** A time-window-restricted query reads fewer blocks
+//!   and feeds fewer samples than the full replay, and a core-restricted
+//!   query only surfaces the selected cores' samples.
+//! * **Damage is an error, not garbage.** Corrupting a stored segment makes
+//!   replay fail with `NmoError::Trace` (never a panic, never silently
+//!   wrong samples), while `TraceReader::verify` reports the damage with
+//!   exact byte accounting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use nmo_repro::arch_sim::{MachineConfig, PlacementPolicy};
+use nmo_repro::nmo::trace::replay_finish;
+use nmo_repro::nmo::{
+    AnalysisSink, HotPageTracker, LatencySink, NmoConfig, NoMigration, Profile, ProfileSession,
+    StreamOptions, TraceQuery, TraceReader, TraceWriterSink,
+};
+use nmo_repro::workloads::PageRank;
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nmo_trace_it_{tag}_{}", std::process::id()))
+}
+
+/// A sharded PageRank run on the tiered test machine, recorded to `dir`.
+fn recorded_run(dir: &Path, shards: usize) -> Profile {
+    ProfileSession::builder()
+        .machine_config(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+            local_fraction: 0.5,
+        }))
+        .config(NmoConfig::paper_default(100))
+        .threads(4)
+        .sink(LatencySink::default())
+        .sink(HotPageTracker::new(NoMigration))
+        .trace_dir(dir.to_path_buf())
+        .stream_options(StreamOptions { window_ns: 100_000, shards, ..StreamOptions::default() })
+        .workload(Box::new(PageRank::new(1 << 10, 8, 2)))
+        .build()
+        .expect("session builds")
+        .run_streaming()
+        .expect("recorded streaming run")
+}
+
+fn replay_sinks() -> Vec<Box<dyn AnalysisSink>> {
+    vec![Box::new(LatencySink::default()), Box::new(HotPageTracker::new(NoMigration))]
+}
+
+/// Debug-format the named live report (panics if the run didn't produce it).
+fn live_report(profile: &Profile, sink: &str) -> String {
+    let rec = profile
+        .analyses
+        .iter()
+        .find(|r| r.sink == sink)
+        .unwrap_or_else(|| panic!("live run has no '{sink}' report"));
+    format!("{:?}", rec.report)
+}
+
+#[test]
+fn sequential_replay_is_bit_for_bit_equal_to_the_live_sharded_run() {
+    let dir = tmp("seq_equiv");
+    let profile = recorded_run(&dir, 4);
+    let live_latency = live_report(&profile, "latency");
+    let live_tiering = live_report(&profile, "tiering");
+    assert!(profile.processed_samples > 0);
+
+    let reader = TraceReader::open(&dir).expect("open trace");
+    assert_eq!(reader.shards(), 4, "one segment per shard");
+    assert_eq!(reader.window_ns(), 100_000, "recorded window geometry");
+    let summary = reader.summary();
+    assert!(summary.samples > 0 && summary.bytes > 0);
+
+    let mut sinks = replay_sinks();
+    let stats = reader.replay(&mut sinks).expect("sequential replay");
+    assert_eq!(stats.segments, 4);
+    assert!(stats.samples > 0 && stats.windows > 0, "{stats:?}");
+    assert_eq!(stats.samples, summary.samples, "replay feeds every stored sample");
+
+    let records = replay_finish(&mut sinks).expect("replay reports");
+    assert_eq!(format!("{:?}", records[0].report), live_latency, "latency replay == live");
+    assert_eq!(format!("{:?}", records[1].report), live_tiering, "tiering replay == live");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn indexed_parallel_replay_matches_sequential_replay() {
+    let dir = tmp("idx_equiv");
+    recorded_run(&dir, 4);
+    let reader = TraceReader::open(&dir).expect("open trace");
+
+    let mut seq = replay_sinks();
+    let seq_stats = reader.replay(&mut seq).expect("sequential replay");
+    let seq_records = replay_finish(&mut seq).expect("sequential reports");
+
+    let mut idx = replay_sinks();
+    let idx_stats = reader.replay_query(&TraceQuery::all(), &mut idx).expect("indexed replay");
+    let idx_records = replay_finish(&mut idx).expect("indexed reports");
+
+    assert_eq!(idx_stats.samples, seq_stats.samples);
+    assert_eq!(idx_stats.windows, seq_stats.windows);
+    for (i, r) in idx_records.iter().enumerate() {
+        assert_eq!(
+            format!("{:?}", r.report),
+            format!("{:?}", seq_records[i].report),
+            "indexed replay diverged on '{}'",
+            r.sink
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn window_and_core_sliced_queries_prune_blocks_and_samples() {
+    let dir = tmp("sliced");
+    recorded_run(&dir, 4);
+    let reader = TraceReader::open(&dir).expect("open trace");
+
+    let mut all = replay_sinks();
+    let full = reader.replay_query(&TraceQuery::all(), &mut all).expect("full indexed replay");
+    assert!(full.windows > 2, "need several windows to slice: {full:?}");
+
+    // First half of the run only: strictly fewer samples and blocks read.
+    let half = full.windows / 2;
+    let mut sliced = replay_sinks();
+    let slice_stats = reader
+        .replay_query(&TraceQuery::all().with_windows(0, half - 1), &mut sliced)
+        .expect("window-sliced replay");
+    assert!(slice_stats.samples < full.samples, "{slice_stats:?} vs {full:?}");
+    assert!(slice_stats.blocks < full.blocks, "index must prune whole blocks");
+    assert_eq!(slice_stats.windows, half, "exactly the requested windows close");
+
+    // Core slice: only core 0's samples survive (lanes are core-hashed, so
+    // the index prunes the other shards' data blocks outright).
+    let mut one_core: Vec<Box<dyn AnalysisSink>> = vec![Box::new(LatencySink::default())];
+    let core_stats = reader
+        .replay_query(&TraceQuery::all().with_cores([0]), &mut one_core)
+        .expect("core-sliced replay");
+    assert!(core_stats.samples > 0 && core_stats.samples < full.samples);
+
+    // Both slices together compose.
+    let mut both: Vec<Box<dyn AnalysisSink>> = vec![Box::new(LatencySink::default())];
+    let both_stats = reader
+        .replay_query(&TraceQuery::all().with_windows(0, half - 1).with_cores([0]), &mut both)
+        .expect("window+core replay");
+    assert!(both_stats.samples <= core_stats.samples.min(slice_stats.samples));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_segments_fail_replay_with_trace_error_and_verify_reports_them() {
+    let dir = tmp("corrupt");
+    recorded_run(&dir, 2);
+    let reader = TraceReader::open(&dir).expect("open trace");
+    let clean = reader.verify().expect("verify clean");
+    assert!(clean.errors.is_empty(), "{:?}", clean.errors);
+    assert!(clean.blocks > 0 && clean.skipped_bytes == 0);
+
+    // Flip one byte in the middle of shard 0's block region.
+    let seg = dir.join("shard-000.seg");
+    let mut bytes = fs::read(&seg).expect("read segment");
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0xff;
+    fs::write(&seg, &bytes).expect("write corrupted segment");
+
+    let mut sinks = replay_sinks();
+    let err = reader.replay(&mut sinks).expect_err("corrupt replay must fail");
+    assert!(matches!(err, nmo_repro::nmo::NmoError::Trace(_)), "want NmoError::Trace, got: {err}");
+
+    let damaged = reader.verify().expect("verify damaged");
+    assert!(!damaged.errors.is_empty(), "verify must surface the damage");
+    assert!(damaged.skipped_bytes > 0, "damaged bytes are accounted, not consumed");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Post-hoc recording: a non-streaming `run()` still produces a replayable
+/// trace via the `analyze` fallback (single segment, synthesized windows).
+#[test]
+fn posthoc_analyze_records_a_replayable_single_segment_trace() {
+    let dir = tmp("posthoc");
+    let profile = ProfileSession::builder()
+        .machine_config(MachineConfig::small_test_tiered(PlacementPolicy::TierSplit {
+            local_fraction: 0.5,
+        }))
+        .config(NmoConfig::paper_default(100))
+        .threads(2)
+        .sink(TraceWriterSink::new(dir.clone()))
+        .workload(Box::new(PageRank::new(1 << 9, 8, 1)))
+        .build()
+        .expect("session builds")
+        .run()
+        .expect("post-hoc run");
+    assert!(profile.processed_samples > 0);
+
+    let reader = TraceReader::open(&dir).expect("open post-hoc trace");
+    assert_eq!(reader.shards(), 1);
+    let mut sinks: Vec<Box<dyn AnalysisSink>> = vec![Box::new(LatencySink::default())];
+    let stats = reader.replay(&mut sinks).expect("replay post-hoc trace");
+    assert_eq!(stats.samples, profile.processed_samples, "every post-hoc sample is stored");
+    fs::remove_dir_all(&dir).ok();
+}
